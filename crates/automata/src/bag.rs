@@ -1,0 +1,253 @@
+//! Unordered-language (bag) membership: the `ulang(R)` of the paper.
+//!
+//! A bag `b` belongs to `ulang(R)` iff **some ordering** of its elements
+//! belongs to `lang(R)`. Deciding this is NP-complete in general (it is one
+//! of the two sources of hardness in Table 2); this module provides:
+//!
+//! * [`bag_matches`] — exact decision by memoized search over
+//!   (NFA state set, remaining bag) pairs;
+//! * [`homogeneous_symbol`] — recognizing the paper's *homogeneous
+//!   collections* `{(a→T)*}`, for which membership is a trivial count
+//!   check and which keep the PTIME rows of Table 2 polynomial.
+
+use std::collections::{HashMap, HashSet};
+
+use ssd_base::Multiset;
+
+use crate::nfa::{Nfa, StateId};
+use crate::syntax::{Atom, Regex};
+
+/// Does some ordering of `bag` belong to the language of `nfa`?
+///
+/// Memoized top-down search: from a set of NFA states and a remaining bag,
+/// try each distinct element as the next symbol. The memo table is keyed by
+/// `(state set, remaining bag)`; in the worst case this is exponential in
+/// the number of distinct symbols, matching the problem's NP-completeness.
+pub fn bag_matches<A, S>(nfa: &Nfa<A>, bag: &Multiset<S>) -> bool
+where
+    A: Atom<Sym = S>,
+    S: Ord + Clone + std::hash::Hash,
+{
+    type Key<S> = (Vec<StateId>, Vec<(S, usize)>);
+    fn canon<S: Ord + Clone>(bag: &Multiset<S>) -> Vec<(S, usize)> {
+        bag.iter_counts().map(|(s, n)| (s.clone(), n)).collect()
+    }
+
+    fn go<A, S>(
+        nfa: &Nfa<A>,
+        states: Vec<StateId>,
+        bag: &mut Multiset<S>,
+        memo: &mut HashMap<Key<S>, bool>,
+    ) -> bool
+    where
+        A: Atom<Sym = S>,
+        S: Ord + Clone + std::hash::Hash,
+    {
+        if bag.is_empty() {
+            return states.iter().any(|&q| nfa.is_accepting(q));
+        }
+        let key = (states.clone(), canon(bag));
+        if let Some(&v) = memo.get(&key) {
+            return v;
+        }
+        let distinct: Vec<S> = bag.iter_counts().map(|(s, _)| s.clone()).collect();
+        let mut ok = false;
+        for s in distinct {
+            let next = nfa.step(&states, &s);
+            if next.is_empty() {
+                continue;
+            }
+            bag.remove(&s);
+            if go(nfa, next, bag, memo) {
+                ok = true;
+            }
+            bag.insert(s);
+            if ok {
+                break;
+            }
+        }
+        memo.insert(key, ok);
+        ok
+    }
+
+    let mut memo = HashMap::new();
+    let mut bag = bag.clone();
+    go(nfa, vec![nfa.start()], &mut bag, &mut memo)
+}
+
+/// If `re` is a *homogeneous collection* regex `(a)*` over exactly one atom
+/// (the paper's `{(a→T')*}` unordered types, up to trivial nesting), returns
+/// that atom. Such types admit PTIME unordered reasoning: any bag of `a`'s
+/// of any size belongs to the language.
+pub fn homogeneous_symbol<A: Clone + Eq>(re: &Regex<A>) -> Option<A> {
+    fn single_atom<A: Clone + Eq>(re: &Regex<A>) -> Option<A> {
+        match re {
+            Regex::Atom(a) => Some(a.clone()),
+            Regex::Concat(parts) | Regex::Alt(parts) if parts.len() == 1 => {
+                single_atom(&parts[0])
+            }
+            _ => None,
+        }
+    }
+    match re {
+        Regex::Star(inner) => single_atom(inner),
+        Regex::Concat(parts) | Regex::Alt(parts) if parts.len() == 1 => {
+            homogeneous_symbol(&parts[0])
+        }
+        _ => None,
+    }
+}
+
+/// Membership for homogeneous collections: every element must equal the
+/// collection's atom symbolically.
+pub fn homogeneous_bag_matches<A, S>(atom: &A, bag: &Multiset<S>) -> bool
+where
+    A: Atom<Sym = S>,
+    S: Ord,
+{
+    bag.iter_counts().all(|(s, _)| atom.matches(s))
+}
+
+/// The set of distinct atoms occurring on transitions of `nfa` — the
+/// alphabet actually used, needed by schema pruning.
+pub fn used_atoms<A: Clone + Eq + std::hash::Hash>(nfa: &Nfa<A>) -> HashSet<A> {
+    nfa.all_edges().map(|(_, a, _)| a.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glushkov::build;
+    use crate::syntax::LabelAtom;
+    use ssd_base::LabelId;
+
+    fn l(i: u32) -> Regex<LabelAtom> {
+        Regex::atom(LabelAtom::Label(LabelId(i)))
+    }
+
+    fn bag(ids: &[u32]) -> Multiset<LabelId> {
+        ids.iter().map(|&i| LabelId(i)).collect()
+    }
+
+    #[test]
+    fn bag_of_concat_any_order() {
+        // lang = a.b.c — every permutation of {a,b,c} must be found by
+        // reordering, i.e. the bag matches.
+        let re = Regex::concat(vec![l(0), l(1), l(2)]);
+        let n = build(&re);
+        assert!(bag_matches(&n, &bag(&[2, 0, 1])));
+        assert!(!bag_matches(&n, &bag(&[0, 1])));
+        assert!(!bag_matches(&n, &bag(&[0, 1, 2, 2])));
+    }
+
+    #[test]
+    fn bag_respects_multiplicities() {
+        // lang = a.a.b
+        let re = Regex::concat(vec![l(0), l(0), l(1)]);
+        let n = build(&re);
+        assert!(bag_matches(&n, &bag(&[0, 1, 0])));
+        assert!(!bag_matches(&n, &bag(&[0, 1])));
+        assert!(!bag_matches(&n, &bag(&[0, 1, 1])));
+    }
+
+    #[test]
+    fn empty_bag_and_nullable() {
+        let star = build(&Regex::star(l(0)));
+        assert!(bag_matches(&star, &bag(&[])));
+        let plus = build(&Regex::plus(l(0)));
+        assert!(!bag_matches(&plus, &bag(&[])));
+    }
+
+    #[test]
+    fn bag_with_alternation() {
+        // lang = (a|b).(c|d)
+        let re = Regex::concat(vec![
+            Regex::alt(vec![l(0), l(1)]),
+            Regex::alt(vec![l(2), l(3)]),
+        ]);
+        let n = build(&re);
+        assert!(bag_matches(&n, &bag(&[2, 1])));
+        assert!(bag_matches(&n, &bag(&[3, 0])));
+        assert!(!bag_matches(&n, &bag(&[0, 1])));
+    }
+
+    #[test]
+    fn homogeneous_detection() {
+        let a = LabelAtom::Label(LabelId(0));
+        assert_eq!(homogeneous_symbol(&Regex::star(l(0))), Some(a));
+        assert_eq!(homogeneous_symbol(&l(0)), None);
+        assert_eq!(
+            homogeneous_symbol(&Regex::star(Regex::alt(vec![l(0), l(1)]))),
+            None
+        );
+        assert_eq!(
+            homogeneous_symbol::<LabelAtom>(&Regex::star(Regex::concat(vec![l(0), l(0)]))),
+            None
+        );
+    }
+
+    #[test]
+    fn homogeneous_membership() {
+        let a = LabelAtom::Label(LabelId(0));
+        assert!(homogeneous_bag_matches(&a, &bag(&[])));
+        assert!(homogeneous_bag_matches(&a, &bag(&[0, 0, 0])));
+        assert!(!homogeneous_bag_matches(&a, &bag(&[0, 1])));
+    }
+
+    #[test]
+    fn bag_matches_agrees_with_permutation_bruteforce() {
+        // Cross-check on a nontrivial language: (a.b)* | c
+        let re = Regex::alt(vec![
+            Regex::star(Regex::concat(vec![l(0), l(1)])),
+            l(2),
+        ]);
+        let n = build(&re);
+        let cases: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![2],
+            vec![0, 1],
+            vec![1, 0],
+            vec![0, 1, 0, 1],
+            vec![0, 0, 1, 1],
+            vec![0, 1, 2],
+            vec![0],
+        ];
+        for ids in cases {
+            let b = bag(&ids);
+            let mut v = b.to_sorted_vec();
+            let mut expected = false;
+            // Heap's-algorithm-free brute force: iterate permutations via
+            // sorting-based next_permutation.
+            loop {
+                if n.accepts(&v) {
+                    expected = true;
+                    break;
+                }
+                if !next_permutation(&mut v) {
+                    break;
+                }
+            }
+            assert_eq!(bag_matches(&n, &b), expected, "bag {ids:?}");
+        }
+    }
+
+    fn next_permutation<T: Ord>(v: &mut [T]) -> bool {
+        if v.len() < 2 {
+            return false;
+        }
+        let mut i = v.len() - 1;
+        while i > 0 && v[i - 1] >= v[i] {
+            i -= 1;
+        }
+        if i == 0 {
+            return false;
+        }
+        let mut j = v.len() - 1;
+        while v[j] <= v[i - 1] {
+            j -= 1;
+        }
+        v.swap(i - 1, j);
+        v[i..].reverse();
+        true
+    }
+}

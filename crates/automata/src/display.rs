@@ -1,0 +1,126 @@
+//! Pretty-printing of regular expressions with minimal parentheses.
+//!
+//! Used to show feedback queries (Section 4.1) back to users in the same
+//! syntax the query parser accepts, so feedback output round-trips.
+
+use crate::syntax::Regex;
+
+/// Operator precedence levels: alternation < concatenation < postfix.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Alt,
+    Concat,
+    Postfix,
+}
+
+/// Renders `re` using `atom` to print atoms. The output parses back to the
+/// same language with [`crate::parser::parse_path_regex`]-style grammars.
+pub fn regex_to_string<A>(re: &Regex<A>, atom: &mut impl FnMut(&A) -> String) -> String {
+    fn go<A>(re: &Regex<A>, atom: &mut impl FnMut(&A) -> String, out: &mut String, ctx: Prec) {
+        match re {
+            Regex::Empty => out.push_str("<empty>"),
+            Regex::Epsilon => out.push_str("()"),
+            Regex::Atom(a) => out.push_str(&atom(a)),
+            Regex::Concat(parts) => {
+                let wrap = ctx > Prec::Concat;
+                if wrap {
+                    out.push('(');
+                }
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        out.push('.');
+                    }
+                    go(p, atom, out, Prec::Concat);
+                }
+                if wrap {
+                    out.push(')');
+                }
+            }
+            Regex::Alt(parts) => {
+                let wrap = ctx > Prec::Alt;
+                if wrap {
+                    out.push('(');
+                }
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        out.push('|');
+                    }
+                    go(p, atom, out, Prec::Alt);
+                }
+                if wrap {
+                    out.push(')');
+                }
+            }
+            Regex::Star(r) | Regex::Plus(r) | Regex::Opt(r) => {
+                let op = match re {
+                    Regex::Star(_) => '*',
+                    Regex::Plus(_) => '+',
+                    _ => '?',
+                };
+                go(r, atom, out, Prec::Postfix);
+                out.push(op);
+            }
+        }
+    }
+    let mut out = String::new();
+    go(re, atom, &mut out, Prec::Alt);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::equivalent;
+    use crate::glushkov::build;
+    use crate::parser::parse_path_regex;
+    use crate::syntax::LabelAtom;
+    use ssd_base::SharedInterner;
+
+    fn show(re: &Regex<LabelAtom>, pool: &SharedInterner) -> String {
+        regex_to_string(re, &mut |a| match a {
+            LabelAtom::Label(l) => pool.resolve(*l),
+            LabelAtom::Any => "_".to_owned(),
+        })
+    }
+
+    #[test]
+    fn minimal_parens() {
+        let p = SharedInterner::new();
+        let re = parse_path_regex("a.b|c*", &p).unwrap();
+        assert_eq!(show(&re, &p), "a.b|c*");
+        let re2 = parse_path_regex("(a|b).c", &p).unwrap();
+        assert_eq!(show(&re2, &p), "(a|b).c");
+        let re3 = parse_path_regex("(a.b)*", &p).unwrap();
+        assert_eq!(show(&re3, &p), "(a.b)*");
+    }
+
+    #[test]
+    fn round_trip_parses_to_same_language() {
+        let p = SharedInterner::new();
+        for src in [
+            "a",
+            "_*",
+            "a.b.c",
+            "a|b|c",
+            "(a|b).(c|d)*",
+            "a+.b?",
+            "author.name.(first-name|last-name)",
+        ] {
+            let re = parse_path_regex(src, &p).unwrap();
+            let printed = show(&re, &p);
+            let re2 = parse_path_regex(&printed, &p).unwrap();
+            assert!(
+                equivalent(&build(&re), &build(&re2)),
+                "{src} -> {printed} changed language"
+            );
+        }
+    }
+
+    #[test]
+    fn epsilon_prints_parseable() {
+        let p = SharedInterner::new();
+        let re = parse_path_regex("a?", &p).unwrap();
+        let printed = show(&re, &p);
+        assert!(parse_path_regex(&printed, &p).is_ok());
+    }
+}

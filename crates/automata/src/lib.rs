@@ -1,0 +1,38 @@
+//! Regular expressions and finite automata over symbolic label alphabets.
+//!
+//! The traces technique of Milo & Suciu (PODS 1999) reduces type inference
+//! to operations on regular languages: intersection, emptiness, projection,
+//! and membership — both ordered (`lang(R)`) and unordered (`ulang(R)`, the
+//! bag language). This crate implements that machinery from scratch:
+//!
+//! * [`Regex`] — a generic regular-expression AST over any atom type, with
+//!   smart constructors that keep expressions normalized;
+//! * [`Nfa`] — Glushkov (position) automata, ε-free by construction;
+//! * products, emptiness, membership, shortest witnesses ([`ops`]);
+//! * symbolic determinization and DFA minimization, language equivalence
+//!   and inclusion ([`dfa`]);
+//! * regex reconstruction from automata by state elimination
+//!   ([`regexgen`]), used to print feedback queries;
+//! * bag (unordered-language) membership and joint-realizability searches
+//!   ([`bag`]), the sources of the paper's NP-completeness results.
+//!
+//! Atoms are *symbolic*: a single atom such as [`LabelAtom::Any`] (the `_`
+//! wildcard of the paper's patterns) stands for infinitely many concrete
+//! labels, which keeps automata finite over the infinite label universe.
+
+#![deny(missing_docs)]
+
+pub mod bag;
+pub mod dfa;
+pub mod display;
+pub mod glushkov;
+pub mod nfa;
+pub mod ops;
+pub mod parser;
+pub mod product;
+pub mod regexgen;
+pub mod syntax;
+
+pub use dfa::Dfa;
+pub use nfa::{Nfa, StateId};
+pub use syntax::{Atom, LabelAtom, Regex};

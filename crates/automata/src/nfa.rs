@@ -1,0 +1,185 @@
+//! ε-free nondeterministic finite automata over symbolic atoms.
+
+use std::fmt;
+
+use crate::syntax::Atom;
+
+/// A state index in an [`Nfa`].
+pub type StateId = usize;
+
+/// An ε-free NFA. Transitions are labeled with symbolic atoms; a transition
+/// `(a, q')` from `q` can be taken on a concrete symbol `s` iff
+/// `a.matches(&s)`.
+///
+/// Built by the Glushkov construction (see [`crate::glushkov`]), so there is
+/// a single start state and no ε-transitions.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Nfa<A> {
+    /// `transitions[q]` lists the outgoing `(atom, target)` edges of `q`.
+    transitions: Vec<Vec<(A, StateId)>>,
+    /// The unique start state.
+    start: StateId,
+    /// `accepting[q]` iff `q` is accepting.
+    accepting: Vec<bool>,
+}
+
+impl<A> Nfa<A> {
+    /// Creates an NFA with `n` states, start state `start`, no transitions,
+    /// and no accepting states.
+    pub fn with_states(n: usize, start: StateId) -> Self {
+        assert!(start < n, "start state out of range");
+        Nfa {
+            transitions: std::iter::repeat_with(Vec::new).take(n).collect(),
+            start,
+            accepting: vec![false; n],
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Whether `q` is accepting.
+    pub fn is_accepting(&self, q: StateId) -> bool {
+        self.accepting[q]
+    }
+
+    /// Marks `q` accepting.
+    pub fn set_accepting(&mut self, q: StateId, yes: bool) {
+        self.accepting[q] = yes;
+    }
+
+    /// Adds a transition `q --a--> r`.
+    pub fn add_transition(&mut self, q: StateId, a: A, r: StateId) {
+        self.transitions[q].push((a, r));
+    }
+
+    /// Outgoing edges of `q`.
+    pub fn edges(&self, q: StateId) -> &[(A, StateId)] {
+        &self.transitions[q]
+    }
+
+    /// Iterates over all `(source, atom, target)` triples.
+    pub fn all_edges(&self) -> impl Iterator<Item = (StateId, &A, StateId)> {
+        self.transitions
+            .iter()
+            .enumerate()
+            .flat_map(|(q, es)| es.iter().map(move |(a, r)| (q, a, *r)))
+    }
+
+    /// All accepting states.
+    pub fn accepting_states(&self) -> Vec<StateId> {
+        (0..self.num_states())
+            .filter(|&q| self.accepting[q])
+            .collect()
+    }
+
+    /// Total number of transitions (a size measure).
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.iter().map(Vec::len).sum()
+    }
+}
+
+impl<A: Atom> Nfa<A> {
+    /// The set of states reachable from `states` on concrete symbol `s`.
+    pub fn step(&self, states: &[StateId], s: &A::Sym) -> Vec<StateId> {
+        let mut out = Vec::new();
+        for &q in states {
+            for (a, r) in &self.transitions[q] {
+                if a.matches(s) && !out.contains(r) {
+                    out.push(*r);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Runs the automaton on `word`; returns whether it accepts.
+    pub fn accepts(&self, word: &[A::Sym]) -> bool {
+        let mut states = vec![self.start];
+        for s in word {
+            states = self.step(&states, s);
+            if states.is_empty() {
+                return false;
+            }
+        }
+        states.iter().any(|&q| self.accepting[q])
+    }
+}
+
+impl<A: fmt::Debug> fmt::Debug for Nfa<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Nfa(states={}, start={}, accepting={:?})",
+            self.num_states(),
+            self.start,
+            (0..self.num_states())
+                .filter(|&q| self.accepting[q])
+                .collect::<Vec<_>>()
+        )?;
+        for (q, a, r) in self.all_edges() {
+            writeln!(f, "  {q} --{a:?}--> {r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::LabelAtom;
+    use ssd_base::LabelId;
+
+    fn ab_nfa() -> Nfa<LabelAtom> {
+        // Accepts a·b.
+        let mut n = Nfa::with_states(3, 0);
+        n.add_transition(0, LabelAtom::Label(LabelId(0)), 1);
+        n.add_transition(1, LabelAtom::Label(LabelId(1)), 2);
+        n.set_accepting(2, true);
+        n
+    }
+
+    #[test]
+    fn accepts_exact_word() {
+        let n = ab_nfa();
+        assert!(n.accepts(&[LabelId(0), LabelId(1)]));
+        assert!(!n.accepts(&[LabelId(0)]));
+        assert!(!n.accepts(&[LabelId(1), LabelId(0)]));
+        assert!(!n.accepts(&[]));
+    }
+
+    #[test]
+    fn wildcard_transition_matches_all() {
+        let mut n = Nfa::with_states(2, 0);
+        n.add_transition(0, LabelAtom::Any, 1);
+        n.set_accepting(1, true);
+        assert!(n.accepts(&[LabelId(42)]));
+        assert!(!n.accepts(&[]));
+    }
+
+    #[test]
+    fn step_dedups_and_sorts() {
+        let mut n = Nfa::with_states(3, 0);
+        n.add_transition(0, LabelAtom::Any, 2);
+        n.add_transition(0, LabelAtom::Label(LabelId(0)), 2);
+        n.add_transition(0, LabelAtom::Label(LabelId(0)), 1);
+        let next = n.step(&[0], &LabelId(0));
+        assert_eq!(next, vec![1, 2]);
+    }
+
+    #[test]
+    fn counts() {
+        let n = ab_nfa();
+        assert_eq!(n.num_states(), 3);
+        assert_eq!(n.num_transitions(), 2);
+        assert_eq!(n.accepting_states(), vec![2]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Parser for regular path expressions (Table 1 of the paper).
+//!
+//! Grammar, with conventional precedence instead of the paper's fully
+//! parenthesized form (the parenthesized form is accepted too):
+//!
+//! ```text
+//! R ::= R '|' R          alternation (lowest precedence)
+//!     | R '.' R          concatenation
+//!     | R '*' | R '+' | R '?'   postfix repetition
+//!     | '(' R ')' | label | '_' | 'epsilon'
+//! ```
+//!
+//! Labels are identifiers (`author`, `first-name`, …) and are interned via
+//! the shared interner so that data, schema, and query agree on label ids.
+
+use ssd_base::{Error, Result, SharedInterner};
+
+use crate::syntax::{LabelAtom, Regex};
+
+/// Parses a regular path expression, interning labels in `pool`.
+pub fn parse_path_regex(input: &str, pool: &SharedInterner) -> Result<Regex<LabelAtom>> {
+    let mut p = Parser::new(input, pool);
+    let re = p.alt()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(Error::parse(format!(
+            "unexpected trailing input at byte {} in regex {input:?}",
+            p.pos
+        )));
+    }
+    Ok(re)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+    pool: &'a SharedInterner,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str, pool: &'a SharedInterner) -> Self {
+        Parser {
+            input,
+            pos: 0,
+            pool,
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        self.skip_ws();
+        let c = self.rest().chars().next()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            other => Err(Error::parse(format!(
+                "expected '{c}' at byte {} of {:?}, found {other:?}",
+                self.pos, self.input
+            ))),
+        }
+    }
+
+    fn alt(&mut self) -> Result<Regex<LabelAtom>> {
+        let mut parts = vec![self.concat()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            parts.push(self.concat()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Regex::alt(parts)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Regex<LabelAtom>> {
+        let mut parts = vec![self.postfix()?];
+        loop {
+            match self.peek() {
+                Some('.') => {
+                    self.bump();
+                    parts.push(self.postfix()?);
+                }
+                // Juxtaposition before '(' or an atom also concatenates,
+                // which tolerates DTD-ish inputs; the canonical separator
+                // is '.'.
+                Some(c) if c == '(' || c == '_' || is_label_start(c) => {
+                    parts.push(self.postfix()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Regex::concat(parts)
+        })
+    }
+
+    fn postfix(&mut self) -> Result<Regex<LabelAtom>> {
+        let mut re = self.atom()?;
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    re = Regex::star(re);
+                }
+                Some('+') => {
+                    self.bump();
+                    re = Regex::plus(re);
+                }
+                Some('?') => {
+                    self.bump();
+                    re = Regex::opt(re);
+                }
+                _ => break,
+            }
+        }
+        Ok(re)
+    }
+
+    fn atom(&mut self) -> Result<Regex<LabelAtom>> {
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                if self.peek() == Some(')') {
+                    self.bump();
+                    return Ok(Regex::Epsilon);
+                }
+                let re = self.alt()?;
+                self.expect(')')?;
+                Ok(re)
+            }
+            Some('_') => {
+                self.bump();
+                Ok(Regex::atom(LabelAtom::Any))
+            }
+            Some(c) if is_label_start(c) => {
+                let word = self.label_word();
+                if word == "epsilon" {
+                    Ok(Regex::Epsilon)
+                } else {
+                    Ok(Regex::atom(LabelAtom::Label(self.pool.intern(&word))))
+                }
+            }
+            other => Err(Error::parse(format!(
+                "expected regex atom at byte {} of {:?}, found {other:?}",
+                self.pos, self.input
+            ))),
+        }
+    }
+
+    fn label_word(&mut self) -> String {
+        self.skip_ws();
+        let start = self.pos;
+        for c in self.rest().chars() {
+            if is_label_continue(c) {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        self.input[start..self.pos].to_owned()
+    }
+}
+
+fn is_label_start(c: char) -> bool {
+    c.is_alphabetic()
+}
+
+fn is_label_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '-' || c == ':'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glushkov::build;
+    use ssd_base::LabelId;
+
+    fn pool() -> SharedInterner {
+        SharedInterner::new()
+    }
+
+    fn ids(pool: &SharedInterner, names: &[&str]) -> Vec<LabelId> {
+        names.iter().map(|n| pool.intern(n)).collect()
+    }
+
+    #[test]
+    fn parses_single_label() {
+        let p = pool();
+        let re = parse_path_regex("author", &p).unwrap();
+        assert!(build(&re).accepts(&ids(&p, &["author"])));
+        assert!(!build(&re).accepts(&ids(&p, &["title"])));
+    }
+
+    #[test]
+    fn parses_concat_and_alt_with_precedence() {
+        let p = pool();
+        // a.b|c  ==  (a.b)|c
+        let re = parse_path_regex("a.b|c", &p).unwrap();
+        let n = build(&re);
+        assert!(n.accepts(&ids(&p, &["a", "b"])));
+        assert!(n.accepts(&ids(&p, &["c"])));
+        assert!(!n.accepts(&ids(&p, &["a", "c"])));
+    }
+
+    #[test]
+    fn parses_postfix_operators() {
+        let p = pool();
+        let n = build(&parse_path_regex("a*.b+.c?", &p).unwrap());
+        assert!(n.accepts(&ids(&p, &["b"])));
+        assert!(n.accepts(&ids(&p, &["a", "a", "b", "b", "c"])));
+        assert!(!n.accepts(&ids(&p, &["c"])));
+    }
+
+    #[test]
+    fn parses_wildcard_paths() {
+        let p = pool();
+        // The paper's author.name.(_*) style path.
+        let re = parse_path_regex("author.name._*", &p).unwrap();
+        let n = build(&re);
+        assert!(n.accepts(&ids(&p, &["author", "name"])));
+        assert!(n.accepts(&ids(&p, &["author", "name", "anything", "deep"])));
+        assert!(!n.accepts(&ids(&p, &["author"])));
+    }
+
+    #[test]
+    fn parses_parenthesized_paper_form() {
+        let p = pool();
+        let re = parse_path_regex("((a.b)|(c*))", &p).unwrap();
+        let n = build(&re);
+        assert!(n.accepts(&ids(&p, &["a", "b"])));
+        assert!(n.accepts(&[]));
+        assert!(n.accepts(&ids(&p, &["c", "c"])));
+    }
+
+    #[test]
+    fn epsilon_forms() {
+        let p = pool();
+        for src in ["()", "epsilon", "(epsilon)"] {
+            let re = parse_path_regex(src, &p).unwrap();
+            assert!(build(&re).accepts(&[]), "{src}");
+        }
+    }
+
+    #[test]
+    fn hyphenated_labels() {
+        let p = pool();
+        let re = parse_path_regex("first-name|last-name", &p).unwrap();
+        let n = build(&re);
+        assert!(n.accepts(&ids(&p, &["first-name"])));
+        assert!(n.accepts(&ids(&p, &["last-name"])));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let p = pool();
+        assert!(parse_path_regex("", &p).is_err());
+        assert!(parse_path_regex("a..b", &p).is_err());
+        assert!(parse_path_regex("a|", &p).is_err());
+        assert!(parse_path_regex("(a", &p).is_err());
+        assert!(parse_path_regex("*a", &p).is_err());
+        assert!(parse_path_regex("a)", &p).is_err());
+    }
+
+    #[test]
+    fn shared_pool_yields_shared_ids() {
+        let p = pool();
+        let _ = parse_path_regex("a.b", &p).unwrap();
+        let re2 = parse_path_regex("a", &p).unwrap();
+        let a = p.get("a").unwrap();
+        assert_eq!(re2, Regex::atom(LabelAtom::Label(a)));
+    }
+}

@@ -1,0 +1,160 @@
+//! Regex reconstruction from automata by state elimination.
+//!
+//! Feedback queries (Section 4.1 of the paper) must be *printed back* to the
+//! user as regular path expressions, so after computing the per-segment
+//! projection of the trace intersection we convert the automaton back into a
+//! `Regex`. Classic generalized-NFA state elimination: add fresh start/end
+//! states, then eliminate the original states one by one, composing the
+//! regexes on the bypassed paths.
+
+use std::collections::HashMap;
+
+use crate::nfa::Nfa;
+use crate::syntax::Regex;
+
+/// Converts an automaton into an equivalent regular expression.
+///
+/// Elimination order is by ascending degree (a standard heuristic that
+/// keeps the output small); the result is further tidied by the smart
+/// constructors of [`Regex`].
+pub fn nfa_to_regex<A: Clone + Eq>(nfa: &Nfa<A>) -> Regex<A> {
+    let n = nfa.num_states();
+    // Generalized NFA over states 0..n+2: n is the new start, n+1 the new end.
+    let start = n;
+    let end = n + 1;
+    let mut edge: HashMap<(usize, usize), Regex<A>> = HashMap::new();
+
+    let add = |edge: &mut HashMap<(usize, usize), Regex<A>>, s: usize, t: usize, r: Regex<A>| {
+        if r.is_empty_lang() {
+            return;
+        }
+        match edge.remove(&(s, t)) {
+            Some(old) => {
+                edge.insert((s, t), Regex::alt(vec![old, r]));
+            }
+            None => {
+                edge.insert((s, t), r);
+            }
+        }
+    };
+
+    for (q, a, r) in nfa.all_edges() {
+        add(&mut edge, q, r, Regex::atom(a.clone()));
+    }
+    add(&mut edge, start, nfa.start(), Regex::Epsilon);
+    for q in 0..n {
+        if nfa.is_accepting(q) {
+            add(&mut edge, q, end, Regex::Epsilon);
+        }
+    }
+
+    // Eliminate original states, lowest-degree first.
+    let mut remaining: Vec<usize> = (0..n).collect();
+    while !remaining.is_empty() {
+        // Pick the state with the fewest incident generalized edges.
+        let (idx, &victim) = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &v)| {
+                edge.keys()
+                    .filter(|(s, t)| *s == v || *t == v)
+                    .count()
+            })
+            .expect("nonempty");
+        remaining.swap_remove(idx);
+
+        let self_loop = edge.remove(&(victim, victim));
+        let loop_star = self_loop.map(Regex::star);
+
+        let ins: Vec<(usize, Regex<A>)> = edge
+            .iter()
+            .filter(|((s, t), _)| *t == victim && *s != victim)
+            .map(|((s, _), r)| (*s, r.clone()))
+            .collect();
+        let outs: Vec<(usize, Regex<A>)> = edge
+            .iter()
+            .filter(|((s, t), _)| *s == victim && *t != victim)
+            .map(|((_, t), r)| (*t, r.clone()))
+            .collect();
+        edge.retain(|(s, t), _| *s != victim && *t != victim);
+
+        for (s, rin) in &ins {
+            for (t, rout) in &outs {
+                let mut parts = vec![rin.clone()];
+                if let Some(ls) = &loop_star {
+                    parts.push(ls.clone());
+                }
+                parts.push(rout.clone());
+                add(&mut edge, *s, *t, Regex::concat(parts));
+            }
+        }
+    }
+
+    edge.remove(&(start, end)).unwrap_or(Regex::Empty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::equivalent;
+    use crate::glushkov::build;
+    use crate::syntax::{LabelAtom, Regex};
+    use ssd_base::LabelId;
+
+    fn l(i: u32) -> Regex<LabelAtom> {
+        Regex::atom(LabelAtom::Label(LabelId(i)))
+    }
+
+    fn round_trip(re: &Regex<LabelAtom>) {
+        let nfa = build(re);
+        let back = nfa_to_regex(&nfa);
+        let nfa2 = build(&back);
+        assert!(
+            equivalent(&nfa, &nfa2),
+            "round trip changed language: {re:?} vs {back:?}"
+        );
+    }
+
+    #[test]
+    fn round_trips_preserve_language() {
+        round_trip(&l(0));
+        round_trip(&Regex::Epsilon);
+        round_trip(&Regex::Empty);
+        round_trip(&Regex::concat(vec![l(0), l(1)]));
+        round_trip(&Regex::alt(vec![l(0), Regex::concat(vec![l(1), l(2)])]));
+        round_trip(&Regex::star(Regex::alt(vec![l(0), l(1)])));
+        round_trip(&Regex::concat(vec![
+            Regex::plus(l(0)),
+            Regex::opt(l(1)),
+            Regex::star(Regex::concat(vec![l(2), l(0)])),
+        ]));
+    }
+
+    #[test]
+    fn empty_automaton_gives_empty_regex() {
+        let nfa: Nfa<LabelAtom> = Nfa::with_states(1, 0);
+        assert_eq!(nfa_to_regex(&nfa), Regex::Empty);
+    }
+
+    #[test]
+    fn epsilon_only_automaton() {
+        let mut nfa: Nfa<LabelAtom> = Nfa::with_states(1, 0);
+        nfa.set_accepting(0, true);
+        let re = nfa_to_regex(&nfa);
+        assert!(re.nullable());
+        assert!(build(&re).accepts(&[]));
+        assert!(!build(&re).accepts(&[LabelId(0)]));
+    }
+
+    #[test]
+    fn self_loop_becomes_star() {
+        let mut nfa: Nfa<LabelAtom> = Nfa::with_states(1, 0);
+        nfa.add_transition(0, LabelAtom::Label(LabelId(0)), 0);
+        nfa.set_accepting(0, true);
+        let re = nfa_to_regex(&nfa);
+        let n2 = build(&re);
+        assert!(n2.accepts(&[]));
+        assert!(n2.accepts(&[LabelId(0), LabelId(0), LabelId(0)]));
+        assert!(!n2.accepts(&[LabelId(1)]));
+    }
+}

@@ -1,0 +1,314 @@
+//! The regular-expression AST, generic over its atom type.
+//!
+//! Three alphabets appear in the paper and all three reuse this AST:
+//!
+//! * *path expressions* in patterns — atoms are labels or the wildcard `_`
+//!   ([`LabelAtom`]);
+//! * *schema regexes* — atoms are `label→Tid` pairs (defined in
+//!   `ssd-schema`);
+//! * *trace languages* — atoms mix labels with variable/type marker symbols
+//!   (defined in `ssd-core`).
+
+use std::fmt;
+use std::hash::Hash;
+
+use ssd_base::LabelId;
+
+/// An atom of a regular expression: a symbolic letter that concretely
+/// matches zero or more symbols of type [`Atom::Sym`].
+pub trait Atom: Clone + Eq + Ord + Hash + fmt::Debug {
+    /// The concrete symbol type words are made of.
+    type Sym;
+
+    /// Whether this atom matches the concrete symbol `s`.
+    fn matches(&self, s: &Self::Sym) -> bool;
+}
+
+/// Path-expression atoms: a constant label or the `_` wildcard.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum LabelAtom {
+    /// A constant label.
+    Label(LabelId),
+    /// The wildcard `_`, matching any label.
+    Any,
+}
+
+impl Atom for LabelAtom {
+    type Sym = LabelId;
+
+    #[inline]
+    fn matches(&self, s: &LabelId) -> bool {
+        match self {
+            LabelAtom::Label(l) => l == s,
+            LabelAtom::Any => true,
+        }
+    }
+}
+
+/// A regular expression over atoms of type `A`.
+///
+/// `Empty` (the empty *language*) is distinguished from `Epsilon` (the empty
+/// *word*). The variants mirror Table 1 of the paper — concatenation,
+/// alternation, Kleene star, ε, atoms — plus the derived forms `+` and `?`
+/// that DTD content models use.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Regex<A> {
+    /// The empty language ∅.
+    Empty,
+    /// The language {ε}.
+    Epsilon,
+    /// A single atom.
+    Atom(A),
+    /// Concatenation `R1.R2…Rn` (n ≥ 2 after normalization).
+    Concat(Vec<Regex<A>>),
+    /// Alternation `R1|R2|…|Rn` (n ≥ 2 after normalization).
+    Alt(Vec<Regex<A>>),
+    /// Kleene star `R*`.
+    Star(Box<Regex<A>>),
+    /// One-or-more `R+`.
+    Plus(Box<Regex<A>>),
+    /// Zero-or-one `R?`.
+    Opt(Box<Regex<A>>),
+}
+
+impl<A: Clone> Regex<A> {
+    /// Smart concatenation: drops ε factors, collapses ∅, flattens.
+    pub fn concat(parts: Vec<Regex<A>>) -> Regex<A> {
+        let mut out = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Regex::Empty => return Regex::Empty,
+                Regex::Epsilon => {}
+                Regex::Concat(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Regex::Epsilon,
+            1 => out.pop().expect("len checked"),
+            _ => Regex::Concat(out),
+        }
+    }
+
+    /// Smart alternation: drops ∅ branches, flattens.
+    pub fn alt(parts: Vec<Regex<A>>) -> Regex<A> {
+        let mut out = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Regex::Empty => {}
+                Regex::Alt(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Regex::Empty,
+            1 => out.pop().expect("len checked"),
+            _ => Regex::Alt(out),
+        }
+    }
+
+    /// Smart star: `∅* = ε* = ε`; `(R*)* = R*`.
+    pub fn star(inner: Regex<A>) -> Regex<A> {
+        match inner {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            s @ Regex::Star(_) => s,
+            Regex::Plus(r) | Regex::Opt(r) => Regex::Star(r),
+            other => Regex::Star(Box::new(other)),
+        }
+    }
+
+    /// Smart plus: `∅+ = ∅`, `ε+ = ε`, `(R*)+ = R*`.
+    pub fn plus(inner: Regex<A>) -> Regex<A> {
+        match inner {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            s @ Regex::Star(_) => s,
+            Regex::Opt(r) => Regex::Star(r),
+            p @ Regex::Plus(_) => p,
+            other => Regex::Plus(Box::new(other)),
+        }
+    }
+
+    /// Smart option: `∅? = ε? = ε`, `(R*)? = R*`.
+    pub fn opt(inner: Regex<A>) -> Regex<A> {
+        match inner {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            s @ Regex::Star(_) => s,
+            o @ Regex::Opt(_) => o,
+            Regex::Plus(r) => Regex::Star(r),
+            other => Regex::Opt(Box::new(other)),
+        }
+    }
+
+    /// A single-atom regex.
+    pub fn atom(a: A) -> Regex<A> {
+        Regex::Atom(a)
+    }
+
+    /// Whether ε belongs to the language (nullability).
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Atom(_) | Regex::Plus(_) => match self {
+                Regex::Plus(r) => r.nullable(),
+                _ => false,
+            },
+            Regex::Epsilon | Regex::Star(_) | Regex::Opt(_) => true,
+            Regex::Concat(parts) => parts.iter().all(Regex::nullable),
+            Regex::Alt(parts) => parts.iter().any(Regex::nullable),
+        }
+    }
+
+    /// Whether the language is empty (no word at all).
+    pub fn is_empty_lang(&self) -> bool {
+        match self {
+            Regex::Empty => true,
+            Regex::Epsilon | Regex::Atom(_) | Regex::Star(_) | Regex::Opt(_) => false,
+            Regex::Plus(r) => r.is_empty_lang(),
+            Regex::Concat(parts) => parts.iter().any(Regex::is_empty_lang),
+            Regex::Alt(parts) => parts.iter().all(Regex::is_empty_lang),
+        }
+    }
+
+    /// Number of AST nodes (a size measure for complexity experiments).
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Epsilon | Regex::Atom(_) => 1,
+            Regex::Star(r) | Regex::Plus(r) | Regex::Opt(r) => 1 + r.size(),
+            Regex::Concat(parts) | Regex::Alt(parts) => {
+                1 + parts.iter().map(Regex::size).sum::<usize>()
+            }
+        }
+    }
+
+    /// Visits every atom occurrence left to right.
+    pub fn for_each_atom(&self, f: &mut impl FnMut(&A)) {
+        match self {
+            Regex::Empty | Regex::Epsilon => {}
+            Regex::Atom(a) => f(a),
+            Regex::Star(r) | Regex::Plus(r) | Regex::Opt(r) => r.for_each_atom(f),
+            Regex::Concat(parts) | Regex::Alt(parts) => {
+                for p in parts {
+                    p.for_each_atom(f);
+                }
+            }
+        }
+    }
+
+    /// Collects the distinct atoms of the expression.
+    pub fn atoms(&self) -> Vec<A>
+    where
+        A: Ord,
+    {
+        let mut v = Vec::new();
+        self.for_each_atom(&mut |a| v.push(a.clone()));
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Maps every atom through `f`, preserving structure.
+    pub fn map_atoms<B: Clone>(&self, f: &mut impl FnMut(&A) -> Regex<B>) -> Regex<B> {
+        match self {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Atom(a) => f(a),
+            Regex::Star(r) => Regex::star(r.map_atoms(f)),
+            Regex::Plus(r) => Regex::plus(r.map_atoms(f)),
+            Regex::Opt(r) => Regex::opt(r.map_atoms(f)),
+            Regex::Concat(parts) => Regex::concat(parts.iter().map(|p| p.map_atoms(f)).collect()),
+            Regex::Alt(parts) => Regex::alt(parts.iter().map(|p| p.map_atoms(f)).collect()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> Regex<LabelAtom> {
+        Regex::atom(LabelAtom::Label(LabelId(i)))
+    }
+
+    #[test]
+    fn concat_drops_epsilon_and_flattens() {
+        let r = Regex::concat(vec![Regex::Epsilon, l(1), Regex::concat(vec![l(2), l(3)])]);
+        assert_eq!(r, Regex::Concat(vec![l(1), l(2), l(3)]));
+    }
+
+    #[test]
+    fn concat_with_empty_is_empty() {
+        let r = Regex::concat(vec![l(1), Regex::Empty]);
+        assert_eq!(r, Regex::Empty);
+    }
+
+    #[test]
+    fn alt_drops_empty_branches() {
+        let r = Regex::alt(vec![Regex::Empty, l(1)]);
+        assert_eq!(r, l(1));
+        let r2: Regex<LabelAtom> = Regex::alt(vec![Regex::Empty, Regex::Empty]);
+        assert_eq!(r2, Regex::Empty);
+    }
+
+    #[test]
+    fn star_simplifications() {
+        assert_eq!(Regex::<LabelAtom>::star(Regex::Empty), Regex::Epsilon);
+        assert_eq!(Regex::star(Regex::star(l(1))), Regex::star(l(1)));
+        assert_eq!(Regex::star(Regex::plus(l(1))), Regex::star(l(1)));
+    }
+
+    #[test]
+    fn plus_and_opt_simplifications() {
+        assert_eq!(Regex::<LabelAtom>::plus(Regex::Empty), Regex::Empty);
+        assert_eq!(Regex::plus(Regex::opt(l(1))), Regex::star(l(1)));
+        assert_eq!(Regex::opt(Regex::plus(l(1))), Regex::star(l(1)));
+    }
+
+    #[test]
+    fn nullable_cases() {
+        assert!(Regex::<LabelAtom>::Epsilon.nullable());
+        assert!(!l(1).nullable());
+        assert!(Regex::star(l(1)).nullable());
+        assert!(!Regex::plus(l(1)).nullable());
+        assert!(Regex::concat(vec![Regex::star(l(1)), Regex::opt(l(2))]).nullable());
+        assert!(!Regex::concat(vec![Regex::star(l(1)), l(2)]).nullable());
+        assert!(Regex::alt(vec![l(1), Regex::Epsilon]).nullable());
+    }
+
+    #[test]
+    fn empty_language_detection() {
+        assert!(Regex::<LabelAtom>::Empty.is_empty_lang());
+        assert!(!Regex::star(l(1)).is_empty_lang());
+        // Constructed via raw variants to bypass smart constructors.
+        let raw = Regex::Concat(vec![l(1), Regex::Empty]);
+        assert!(raw.is_empty_lang());
+    }
+
+    #[test]
+    fn atoms_are_sorted_and_deduped() {
+        let r = Regex::concat(vec![l(2), l(1), l(2)]);
+        assert_eq!(
+            r.atoms(),
+            vec![LabelAtom::Label(LabelId(1)), LabelAtom::Label(LabelId(2))]
+        );
+    }
+
+    #[test]
+    fn wildcard_matches_everything() {
+        assert!(LabelAtom::Any.matches(&LabelId(7)));
+        assert!(LabelAtom::Label(LabelId(7)).matches(&LabelId(7)));
+        assert!(!LabelAtom::Label(LabelId(7)).matches(&LabelId(8)));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let r = Regex::concat(vec![l(1), Regex::star(l(2))]);
+        assert_eq!(r.size(), 4); // concat + atom + star + atom
+    }
+
+    #[test]
+    fn map_atoms_substitutes() {
+        let r = Regex::concat(vec![l(1), l(2)]);
+        let doubled = r.map_atoms(&mut |a| Regex::concat(vec![Regex::atom(*a), Regex::atom(*a)]));
+        assert_eq!(doubled, Regex::Concat(vec![l(1), l(1), l(2), l(2)]));
+    }
+}

@@ -1,0 +1,80 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Errors produced anywhere in the `ssd` workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A syntax error while parsing data graphs, schemas, DTDs, queries, or
+    /// regular expressions. Carries a human-readable message including the
+    /// offending position.
+    Parse(String),
+    /// A structural validity error (e.g. a non-referenceable oid used twice,
+    /// a dangling oid, a duplicate definition).
+    Invalid(String),
+    /// A reference to a name that was never defined.
+    Undefined(String),
+    /// An operation was applied to inputs outside its supported class
+    /// (e.g. the PTIME algorithm invoked on an unordered schema).
+    Unsupported(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Invalid(m) => write!(f, "invalid input: {m}"),
+            Error::Undefined(m) => write!(f, "undefined name: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl Error {
+    /// Convenience constructor for parse errors.
+    pub fn parse(msg: impl Into<String>) -> Self {
+        Error::Parse(msg.into())
+    }
+
+    /// Convenience constructor for validity errors.
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        Error::Invalid(msg.into())
+    }
+
+    /// Convenience constructor for undefined-name errors.
+    pub fn undefined(msg: impl Into<String>) -> Self {
+        Error::Undefined(msg.into())
+    }
+
+    /// Convenience constructor for unsupported-class errors.
+    pub fn unsupported(msg: impl Into<String>) -> Self {
+        Error::Unsupported(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(Error::parse("eof").to_string(), "parse error: eof");
+        assert_eq!(Error::invalid("dup").to_string(), "invalid input: dup");
+        assert_eq!(Error::undefined("T9").to_string(), "undefined name: T9");
+        assert_eq!(
+            Error::unsupported("unordered").to_string(),
+            "unsupported: unordered"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::parse("x"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Strongly-typed identifiers shared across the workspace.
+//!
+//! Every formal object of the paper (labels, oids, type ids, pattern
+//! variables) is referred to by a compact `u32` index wrapped in a newtype,
+//! so that indices of different kinds cannot be confused and hot structures
+//! stay small (see the type-size guidance of the Rust Performance Book).
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Builds an id from a `usize` index, panicking on overflow.
+            #[inline]
+            pub fn from_usize(i: usize) -> Self {
+                Self(u32::try_from(i).expect("id overflow"))
+            }
+
+            /// Returns the raw index as a `usize`, for slice indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// An interned edge label from the universe `A` of label names.
+    LabelId,
+    "l"
+);
+define_id!(
+    /// An object identifier (node of a data graph).
+    OidId,
+    "o"
+);
+define_id!(
+    /// A type identifier (index into a schema's type table).
+    TypeIdx,
+    "T"
+);
+define_id!(
+    /// A pattern variable (node, label, or value variable of a query).
+    VarId,
+    "x"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_usize() {
+        let l = LabelId::from_usize(17);
+        assert_eq!(l.index(), 17);
+        assert_eq!(l, LabelId(17));
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(TypeIdx(1) < TypeIdx(2));
+        assert!(OidId(0) < OidId(10));
+    }
+
+    #[test]
+    fn debug_uses_prefix() {
+        assert_eq!(format!("{:?}", LabelId(3)), "l3");
+        assert_eq!(format!("{}", TypeIdx(5)), "T5");
+        assert_eq!(format!("{}", VarId(2)), "x2");
+    }
+
+    #[test]
+    #[should_panic(expected = "id overflow")]
+    fn from_usize_panics_on_overflow() {
+        let _ = LabelId::from_usize(u32::MAX as usize + 1);
+    }
+}

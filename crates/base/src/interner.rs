@@ -1,0 +1,186 @@
+//! String interning for edge labels, object names, and type names.
+//!
+//! The paper's label universe `A` is a (possibly infinite) set of strings.
+//! Data graphs, schemas, and queries must agree on label identities, so all
+//! three are built against a shared interner. Interning keeps hot
+//! structures (`Vec<(LabelId, OidId)>` edge lists, regex symbols) at one
+//! word per label and makes label equality a `u32` compare.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::ids::LabelId;
+
+/// An append-only string interner mapping strings to dense [`LabelId`]s.
+#[derive(Default)]
+pub struct Interner {
+    map: HashMap<Arc<str>, LabelId>,
+    strings: Vec<Arc<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its id (existing or fresh).
+    pub fn intern(&mut self, s: &str) -> LabelId {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = LabelId::from_usize(self.strings.len());
+        let arc: Arc<str> = Arc::from(s);
+        self.strings.push(Arc::clone(&arc));
+        self.map.insert(arc, id);
+        id
+    }
+
+    /// Looks up an already-interned string without inserting.
+    pub fn get(&self, s: &str) -> Option<LabelId> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves an id back to its string.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: LabelId) -> &str {
+        &self.strings[id.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether no strings have been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interner")
+            .field("len", &self.strings.len())
+            .finish()
+    }
+}
+
+/// A cheaply clonable, thread-safe handle to a shared [`Interner`].
+///
+/// Data graphs, schemas, and queries that must agree on labels hold clones
+/// of the same `SharedInterner`.
+#[derive(Clone, Default, Debug)]
+pub struct SharedInterner(Arc<RwLock<Interner>>);
+
+impl SharedInterner {
+    /// Creates a fresh shared interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s` in the shared pool.
+    pub fn intern(&self, s: &str) -> LabelId {
+        // Fast path: read lock only.
+        if let Some(id) = self.0.read().get(s) {
+            return id;
+        }
+        self.0.write().intern(s)
+    }
+
+    /// Looks up `s` without inserting.
+    pub fn get(&self, s: &str) -> Option<LabelId> {
+        self.0.read().get(s)
+    }
+
+    /// Resolves `id` to an owned string.
+    pub fn resolve(&self, id: LabelId) -> String {
+        self.0.read().resolve(id).to_owned()
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.0.read().len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.read().is_empty()
+    }
+
+    /// True if both handles point at the same underlying pool.
+    pub fn same_pool(&self, other: &SharedInterner) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("author");
+        let b = i.intern("author");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_ids() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "a");
+        assert_eq!(i.resolve(b), "b");
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = Interner::new();
+        assert!(i.get("x").is_none());
+        i.intern("x");
+        assert!(i.get("x").is_some());
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn shared_interner_agrees_across_clones() {
+        let s = SharedInterner::new();
+        let s2 = s.clone();
+        let a = s.intern("paper");
+        let b = s2.intern("paper");
+        assert_eq!(a, b);
+        assert!(s.same_pool(&s2));
+        assert_eq!(s2.resolve(a), "paper");
+    }
+
+    #[test]
+    fn shared_interner_threads() {
+        let s = SharedInterner::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    let mut ids = Vec::new();
+                    for k in 0..100 {
+                        ids.push(s.intern(&format!("l{k}")));
+                    }
+                    ids
+                })
+            })
+            .collect();
+        let all: Vec<Vec<LabelId>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for ids in &all[1..] {
+            assert_eq!(ids, &all[0]);
+        }
+        assert_eq!(s.len(), 100);
+    }
+}

@@ -1,0 +1,18 @@
+//! Shared substrate for the `ssd` workspace.
+//!
+//! This crate provides the small building blocks every other crate relies
+//! on: interned labels (the universe `A` of the paper), strongly-typed
+//! identifiers, multisets (the bags used by unordered languages), and the
+//! common error type.
+
+#![deny(missing_docs)]
+
+pub mod error;
+pub mod ids;
+pub mod interner;
+pub mod multiset;
+
+pub use error::{Error, Result};
+pub use ids::{LabelId, OidId, TypeIdx, VarId};
+pub use interner::{Interner, SharedInterner};
+pub use multiset::Multiset;

@@ -1,0 +1,179 @@
+//! Finite multisets (bags).
+//!
+//! The unordered language `ulang(R)` of the paper is a set of finite *bags*
+//! of symbols: a bag belongs to `ulang(R)` iff some ordering of its elements
+//! belongs to `lang(R)`. This module provides the bag container used by the
+//! unordered-membership algorithms in `ssd-automata` and by conformance
+//! checking of unordered nodes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A finite multiset over an ordered element type.
+///
+/// Elements are stored as sorted `(element, multiplicity)` pairs, so two
+/// bags are equal iff they contain the same elements with the same
+/// multiplicities, regardless of insertion order.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Multiset<T: Ord> {
+    counts: BTreeMap<T, usize>,
+    len: usize,
+}
+
+impl<T: Ord> Multiset<T> {
+    /// Creates an empty multiset.
+    pub fn new() -> Self {
+        Self {
+            counts: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Inserts one occurrence of `item`.
+    pub fn insert(&mut self, item: T) {
+        *self.counts.entry(item).or_insert(0) += 1;
+        self.len += 1;
+    }
+
+    /// Removes one occurrence of `item`; returns whether one was present.
+    pub fn remove(&mut self, item: &T) -> bool {
+        match self.counts.get_mut(item) {
+            Some(n) if *n > 1 => {
+                *n -= 1;
+                self.len -= 1;
+                true
+            }
+            Some(_) => {
+                self.counts.remove(item);
+                self.len -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Multiplicity of `item` in the bag.
+    pub fn count(&self, item: &T) -> usize {
+        self.counts.get(item).copied().unwrap_or(0)
+    }
+
+    /// Whether `item` occurs at least once.
+    pub fn contains(&self, item: &T) -> bool {
+        self.count(item) > 0
+    }
+
+    /// Total number of elements counted with multiplicity.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bag is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of *distinct* elements.
+    pub fn distinct_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterates over `(element, multiplicity)` pairs in element order.
+    pub fn iter_counts(&self) -> impl Iterator<Item = (&T, usize)> {
+        self.counts.iter().map(|(t, &n)| (t, n))
+    }
+
+    /// Iterates over elements with multiplicity (each element repeated).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.counts
+            .iter()
+            .flat_map(|(t, &n)| std::iter::repeat(t).take(n))
+    }
+
+    /// Whether `self` is a sub-bag of `other` (pointwise `≤` on counts).
+    pub fn is_subbag_of(&self, other: &Multiset<T>) -> bool {
+        self.counts.iter().all(|(t, &n)| other.count(t) >= n)
+    }
+}
+
+impl<T: Ord + Clone> Multiset<T> {
+    /// Returns the bag as a flat, sorted vector (one entry per occurrence).
+    pub fn to_sorted_vec(&self) -> Vec<T> {
+        self.iter().cloned().collect()
+    }
+}
+
+impl<T: Ord> FromIterator<T> for Multiset<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut m = Multiset::new();
+        for item in iter {
+            m.insert(item);
+        }
+        m
+    }
+}
+
+impl<T: Ord + fmt::Debug> fmt::Debug for Multiset<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{|")?;
+        let mut first = true;
+        for (t, n) in self.iter_counts() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{t:?}")?;
+            if n > 1 {
+                write!(f, "×{n}")?;
+            }
+        }
+        write!(f, "|}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insertion_order_is_irrelevant() {
+        let a: Multiset<u32> = [1, 2, 2, 3].into_iter().collect();
+        let b: Multiset<u32> = [2, 3, 1, 2].into_iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counts_and_len() {
+        let m: Multiset<&str> = ["a", "b", "a"].into_iter().collect();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.distinct_len(), 2);
+        assert_eq!(m.count(&"a"), 2);
+        assert_eq!(m.count(&"b"), 1);
+        assert_eq!(m.count(&"c"), 0);
+    }
+
+    #[test]
+    fn remove_decrements_then_deletes() {
+        let mut m: Multiset<u8> = [5, 5].into_iter().collect();
+        assert!(m.remove(&5));
+        assert_eq!(m.count(&5), 1);
+        assert!(m.remove(&5));
+        assert!(!m.remove(&5));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn subbag_relation() {
+        let small: Multiset<u8> = [1, 2].into_iter().collect();
+        let big: Multiset<u8> = [1, 1, 2, 3].into_iter().collect();
+        assert!(small.is_subbag_of(&big));
+        assert!(!big.is_subbag_of(&small));
+        let twice: Multiset<u8> = [2, 2].into_iter().collect();
+        assert!(!twice.is_subbag_of(&big));
+    }
+
+    #[test]
+    fn sorted_vec_repeats_multiplicities() {
+        let m: Multiset<u8> = [3, 1, 3].into_iter().collect();
+        assert_eq!(m.to_sorted_vec(), vec![1, 3, 3]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Experiment BM99: conformance checking is PTIME for tagged schemas
+//! (Definition 2.1, after [BM99]). Sweeps document size against the
+//! paper's bibliography schema.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssd_base::SharedInterner;
+use ssd_gen::corpora::{bibliography, PAPER_SCHEMA};
+use ssd_model::parse_data_graph;
+use ssd_schema::{conforms, parse_schema};
+
+fn conformance(c: &mut Criterion) {
+    let pool = SharedInterner::new();
+    let s = parse_schema(PAPER_SCHEMA, &pool).unwrap();
+    let mut g = c.benchmark_group("bm99/conformance_doc_size");
+    g.sample_size(20);
+    for papers in [10usize, 40, 160, 640] {
+        let data = parse_data_graph(&bibliography(papers, 2), &pool).unwrap();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(data.len()),
+            &papers,
+            |b, _| b.iter(|| conforms(&data, &s).is_some()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, conformance);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Experiment T2.np: the NP-complete cells of Table 2 (Theorem 3.1).
+//!
+//! The 3SAT reduction (unordered rigid types + join-free queries) drives
+//! the general solver; runtime should grow super-polynomially with the
+//! number of propositional variables/clauses, in contrast with the smooth
+//! PTIME sweeps of `table2_ptime.rs`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ssd_base::SharedInterner;
+use ssd_core::solver;
+use ssd_gen::sat3::Sat3;
+use ssd_query::parse_query;
+use ssd_schema::parse_schema;
+
+fn np_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2/np_3sat_reduction");
+    g.sample_size(10);
+    for vars in [3usize, 4, 5] {
+        let mut rng = StdRng::seed_from_u64(31 + vars as u64);
+        let f = Sat3::random(&mut rng, vars, vars + 2);
+        let pool = SharedInterner::new();
+        let s = parse_schema(&f.schema_text(), &pool).unwrap();
+        let q = parse_query(&f.query_text(), &pool).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(vars), &vars, |b, _| {
+            b.iter(|| solver::solve(&q, &s).satisfiable)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, np_cells);
+criterion_main!(benches);

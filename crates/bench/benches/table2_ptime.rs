@@ -1,0 +1,55 @@
+//! Experiment T2.r2 / T2.r4: the PTIME cells of Table 2.
+//!
+//! Sweeps query size (number of definitions) and schema size for (a) the
+//! trace-product engine on join-free queries over ordered schemas and (b)
+//! the tagged/constant-suffix algorithm over DTD+-class schemas. The
+//! paper's claim: polynomial query and combined complexity — runtimes
+//! should grow smoothly, not exponentially, along both axes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssd_bench::workload;
+use ssd_core::feas::{analyze, Constraints};
+use ssd_core::tagged::satisfiable_tagged;
+
+fn ordered_joinfree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2/ordered_joinfree_query_size");
+    g.sample_size(20);
+    for num_defs in [2usize, 4, 8, 16] {
+        let (s, tg, q) = workload(100 + num_defs as u64, 10, num_defs, false, false);
+        g.bench_with_input(BenchmarkId::from_parameter(num_defs), &num_defs, |b, _| {
+            b.iter(|| analyze(&q, &s, &tg, &Constraints::none()).unwrap().satisfiable)
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("t2/ordered_joinfree_schema_size");
+    g.sample_size(20);
+    for num_types in [4usize, 8, 16, 32] {
+        let (s, tg, q) = workload(200 + num_types as u64, num_types, 4, false, false);
+        g.bench_with_input(BenchmarkId::from_parameter(num_types), &num_types, |b, _| {
+            b.iter(|| analyze(&q, &s, &tg, &Constraints::none()).unwrap().satisfiable)
+        });
+    }
+    g.finish();
+}
+
+fn tagged_constant_suffix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2/tagged_constant_suffix");
+    g.sample_size(20);
+    for num_defs in [2usize, 4, 8, 16] {
+        // The random generator occasionally falls outside the
+        // constant-suffix class (its fallback query uses `_+`); retry
+        // seeds until the workload is in class.
+        let (s, tg, q) = (0..64)
+            .map(|k| workload(300 + num_defs as u64 + 1000 * k, 10, num_defs, true, true))
+            .find(|(_, _, q)| ssd_query::QueryClass::of(q).constant_suffix)
+            .expect("a constant-suffix workload exists");
+        g.bench_with_input(BenchmarkId::from_parameter(num_defs), &num_defs, |b, _| {
+            b.iter(|| satisfiable_tagged(&q, &s, &tg, &Constraints::none()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ordered_joinfree, tagged_constant_suffix);
+criterion_main!(benches);

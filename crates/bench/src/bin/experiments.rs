@@ -1,0 +1,192 @@
+//! Prints the reproduction's experiment tables (the rows recorded in
+//! `EXPERIMENTS.md`):
+//!
+//! 1. Table 2 shape check — wall-clock scaling of the PTIME algorithms vs
+//!    the exponential blow-up of the general solver on the 3SAT family;
+//! 2. the §4.2 optimizer examples and workloads — edges explored by the
+//!    naive strategy vs `A_O` (the paper's cost function);
+//! 3. the §4.1 feedback worked example — the rewritten query;
+//! 4. the §4.3 transformation example — inferred output schema.
+//!
+//! Run with `cargo run --release -p ssd-bench --bin experiments`.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ssd_base::SharedInterner;
+
+use ssd_core::feas::{analyze, Constraints};
+use ssd_core::solver;
+use ssd_feedback::feedback_query;
+use ssd_gen::corpora::{bibliography, FEEDBACK_QUERY, PAPER_SCHEMA};
+use ssd_gen::sat3::Sat3;
+use ssd_model::parse_data_graph;
+use ssd_optimizer::compare;
+use ssd_query::parse_query;
+use ssd_schema::parse_schema;
+use ssd_transform::{infer_output_schema, ConstructEdge, SkolemTerm, Transformation};
+
+fn time_ms(f: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    table2_shape();
+    optimizer_tables();
+    feedback_example();
+    transform_example();
+}
+
+fn table2_shape() {
+    println!("== Experiment T2: satisfiability complexity shapes ==");
+    println!("-- PTIME cell: join-free queries over ordered schemas (trace product) --");
+    println!("{:>6} {:>6} {:>12}", "|Q|", "|S|", "time (ms)");
+    for num_defs in [2usize, 4, 8, 16, 32] {
+        // Deep schemas keep the generated pattern tree growing with the
+        // requested definition count.
+        let mut rng = StdRng::seed_from_u64(1000 + num_defs as u64);
+        let pool = SharedInterner::new();
+        let schema = ssd_gen::schema_gen::ordered_schema(
+            &mut rng,
+            &pool,
+            &ssd_gen::schema_gen::SchemaGenConfig {
+                num_types: 8 + 2 * num_defs,
+                fanout: 3,
+                star_prob: 0.6,
+                ..Default::default()
+            },
+        );
+        let tg = ssd_schema::TypeGraph::new(&schema);
+        let q = ssd_gen::query_gen::joinfree_query(
+            &schema,
+            &tg,
+            &mut rng,
+            &ssd_gen::query_gen::QueryGenConfig {
+                num_defs,
+                fanout: 3,
+                path_len: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let ms = time_ms(|| {
+            for _ in 0..10 {
+                let _ = analyze(&q, &schema, &tg, &Constraints::none()).unwrap();
+            }
+        }) / 10.0;
+        println!("{:>6} {:>6} {:>12.3}", q.size(), schema.size(), ms);
+    }
+
+    println!("-- NP cell: 3SAT reduction over unordered rigid types (general solver) --");
+    println!("{:>6} {:>8} {:>12} {:>6}", "vars", "clauses", "time (ms)", "sat");
+    for vars in [3usize, 4, 5, 6] {
+        let mut rng = StdRng::seed_from_u64(2000 + vars as u64);
+        let f = Sat3::random(&mut rng, vars, vars + 2);
+        let pool = SharedInterner::new();
+        let s = parse_schema(&f.schema_text(), &pool).unwrap();
+        let q = parse_query(&f.query_text(), &pool).unwrap();
+        let mut sat = false;
+        let ms = time_ms(|| {
+            sat = solver::solve(&q, &s).satisfiable;
+        });
+        assert_eq!(sat, f.brute_force(), "reduction must agree with brute force");
+        println!("{vars:>6} {:>8} {ms:>12.3} {sat:>6}", f.clauses.len());
+    }
+    println!();
+}
+
+fn optimizer_tables() {
+    println!("== Experiment T4.2: edges explored, naive vs A_O ==");
+    let pool = SharedInterner::new();
+
+    // The paper's downward-pruning example (Section 4.2, example 1).
+    let schema = parse_schema(
+        "ROOT = [a->AC | a->AD | b->BD]; AC = [c->E]; AD = [d->E]; BD = [d->E]; E = [()]",
+        &pool,
+    )
+    .unwrap();
+    let q = parse_query("SELECT X WHERE Root = [a.c -> X]", &pool).unwrap();
+    println!("-- §4.2 example 1 (downward pruning), query a.c --");
+    println!("{:>6} {:>8} {:>8} {:>8}", "db", "naive", "A_O", "matches");
+    for (name, data) in [
+        ("DB1", "o1 = [a -> o2]; o2 = [c -> o3]; o3 = []"),
+        ("DB2", "o1 = [a -> o2]; o2 = [d -> o3]; o3 = []"),
+        ("DB3", "o1 = [b -> o2]; o2 = [d -> o3]; o3 = []"),
+    ] {
+        let g = parse_data_graph(data, &pool).unwrap();
+        let c = compare(&q, &schema, &g).unwrap();
+        assert_eq!(c.naive_results, c.adaptive_results);
+        assert!(c.adaptive_cost <= c.naive_cost);
+        println!(
+            "{name:>6} {:>8} {:>8} {:>8}",
+            c.naive_cost,
+            c.adaptive_cost,
+            c.naive_results.len()
+        );
+    }
+
+    // Bibliography scan at scale.
+    let pool2 = SharedInterner::new();
+    let s2 = parse_schema(PAPER_SCHEMA, &pool2).unwrap();
+    let q2 = parse_query("SELECT X WHERE Root = [paper.title -> X]", &pool2).unwrap();
+    println!("-- bibliography titles scan (paper.title), growing documents --");
+    println!("{:>8} {:>8} {:>8} {:>8}", "papers", "naive", "A_O", "saved%");
+    for papers in [5usize, 20, 80, 320] {
+        let g = parse_data_graph(&bibliography(papers, 3), &pool2).unwrap();
+        let c = compare(&q2, &s2, &g).unwrap();
+        assert_eq!(c.naive_results, c.adaptive_results);
+        assert!(c.adaptive_cost <= c.naive_cost);
+        let saved = 100.0 * (1.0 - c.adaptive_cost as f64 / c.naive_cost as f64);
+        println!(
+            "{papers:>8} {:>8} {:>8} {saved:>7.1}%",
+            c.naive_cost, c.adaptive_cost
+        );
+    }
+    println!();
+}
+
+fn feedback_example() {
+    println!("== Experiment P4.1: the §4.1 feedback worked example ==");
+    let pool = SharedInterner::new();
+    let s = parse_schema(PAPER_SCHEMA, &pool).unwrap();
+    let q = parse_query(FEEDBACK_QUERY, &pool).unwrap();
+    let fb = feedback_query(&q, &s).unwrap();
+    println!("-- original --\n{q}");
+    println!("-- feedback --\n{fb}");
+    println!();
+}
+
+fn transform_example() {
+    println!("== Experiment S4.3: inferred output schema ==");
+    let pool = SharedInterner::new();
+    let s = parse_schema(PAPER_SCHEMA, &pool).unwrap();
+    let q = parse_query(
+        "SELECT X, V WHERE Root = [paper -> P]; P = [_*.lastname -> X]; X = V",
+        &pool,
+    )
+    .unwrap();
+    let x = q.var_by_name("X").unwrap();
+    let v = q.var_by_name("V").unwrap();
+    let t = Transformation {
+        query: q,
+        rules: vec![
+            ConstructEdge {
+                source: SkolemTerm::constant("Names"),
+                label: pool.intern("person"),
+                target: ssd_transform::skolem::Target::Term(SkolemTerm::unary("P", x)),
+            },
+            ConstructEdge {
+                source: SkolemTerm::unary("P", x),
+                label: pool.intern("last"),
+                target: ssd_transform::skolem::Target::CopyValue(v),
+            },
+        ],
+        root_fun: "Names".to_owned(),
+    };
+    let out = infer_output_schema(&t, &s).unwrap();
+    println!("{out}");
+    println!();
+}

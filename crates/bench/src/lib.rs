@@ -1,0 +1,41 @@
+//! Shared helpers for the reproduction benchmarks (see `benches/` and the
+//! `experiments` binary).
+//!
+//! Each bench target regenerates one row of the experiment index in
+//! `DESIGN.md`; `EXPERIMENTS.md` records paper-claim vs measured shape.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ssd_base::SharedInterner;
+use ssd_gen::query_gen::{joinfree_query, QueryGenConfig};
+use ssd_gen::schema_gen::{ordered_schema, SchemaGenConfig};
+use ssd_query::Query;
+use ssd_schema::{Schema, TypeGraph};
+
+/// A deterministic workload: random ordered (optionally tagged) schema of
+/// `num_types` collection types with a join-free query of `num_defs`
+/// definitions.
+pub fn workload(
+    seed: u64,
+    num_types: usize,
+    num_defs: usize,
+    tagged: bool,
+    wildcard_prefix: bool,
+) -> (Schema, TypeGraph, Query) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = SharedInterner::new();
+    let scfg = SchemaGenConfig {
+        num_types,
+        tagged,
+        ..Default::default()
+    };
+    let schema = ordered_schema(&mut rng, &pool, &scfg);
+    let tg = TypeGraph::new(&schema);
+    let qcfg = QueryGenConfig {
+        num_defs,
+        wildcard_prefix,
+        ..Default::default()
+    };
+    let q = joinfree_query(&schema, &tg, &mut rng, &qcfg).expect("generated query parses");
+    (schema, tg, q)
+}

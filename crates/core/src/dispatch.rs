@@ -1,0 +1,305 @@
+//! Algorithm selection: the operational rendering of Table 2.
+//!
+//! Given the query and schema classifications, satisfiability (and, via
+//! pins, partial type checking) is routed to:
+//!
+//! | condition | algorithm | complexity |
+//! |---|---|---|
+//! | join-free query, ordered (+homog.) schema | trace product ([`crate::feas`]) | PTIME |
+//! | bounded joins, ordered (+homog.) schema | join enumeration over the trace product | `O(|S|^B)` · PTIME |
+//! | constant-suffix query, tagged ordered schema | forced assignment ([`crate::tagged`]) | PTIME |
+//! | otherwise | complete search ([`crate::solver`]) | exponential (NP-complete problem) |
+
+use ssd_base::VarId;
+use ssd_query::{Query, QueryClass, VarKind};
+use ssd_schema::{Schema, SchemaClass, TypeGraph};
+
+use crate::feas::{self, Constraints};
+use crate::solver;
+use crate::tagged;
+
+/// Which algorithm decided the instance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Algorithm {
+    /// The PTIME trace-product engine (join-free, ordered schemas).
+    TraceProduct,
+    /// Join enumeration on top of the trace product (bounded joins).
+    BoundedJoins,
+    /// The PTIME forced-assignment algorithm (tagged + constant suffix).
+    TaggedSuffix,
+    /// The complete exponential search.
+    GeneralSearch,
+}
+
+/// A satisfiability verdict plus the algorithm that produced it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SatOutcome {
+    /// The verdict.
+    pub satisfiable: bool,
+    /// The deciding algorithm.
+    pub algorithm: Algorithm,
+}
+
+/// Type correctness (satisfiability): is there a database conforming to
+/// `s` on which `q` returns a non-empty result?
+pub fn satisfiable(q: &Query, s: &Schema) -> crate::Result<SatOutcome> {
+    satisfiable_with(q, s, &Constraints::none())
+}
+
+/// Satisfiability under pinned types/labels (partial type checking).
+pub fn satisfiable_with(q: &Query, s: &Schema, c: &Constraints) -> crate::Result<SatOutcome> {
+    let qclass = QueryClass::of(q);
+    let sclass = SchemaClass::of(s);
+
+    if sclass.is_ordered_plus_homogeneous() {
+        let tg = TypeGraph::new(s);
+        if qclass.join_free() {
+            let a = feas::analyze(q, s, &tg, c)?;
+            return Ok(SatOutcome {
+                satisfiable: a.satisfiable,
+                algorithm: Algorithm::TraceProduct,
+            });
+        }
+        if qclass.bounded_joins(MAX_ENUMERATED_JOINS) && sclass.ordered {
+            let sat = bounded_joins(q, s, &tg, c, &qclass.join_vars);
+            return Ok(SatOutcome {
+                satisfiable: sat,
+                algorithm: Algorithm::BoundedJoins,
+            });
+        }
+        if sclass.tagged && qclass.constant_suffix {
+            let sat = tagged::satisfiable_tagged(q, s, &tg, c)?;
+            return Ok(SatOutcome {
+                satisfiable: sat,
+                algorithm: Algorithm::TaggedSuffix,
+            });
+        }
+    }
+
+    Ok(SatOutcome {
+        satisfiable: solver::solve_with(q, s, c).satisfiable,
+        algorithm: Algorithm::GeneralSearch,
+    })
+}
+
+/// The bound `B` up to which join enumeration is treated as "bounded"
+/// (polynomial for each fixed bound — the paper's *bounded joins* class).
+pub const MAX_ENUMERATED_JOINS: usize = 4;
+
+/// Bounded-join satisfiability for ordered schemas: enumerate types for
+/// the join variables (referenceable — exact for ordered schemas, where
+/// distinct first edges prevent path sharing), treat their reference
+/// occurrences as pinned leaves, and check each join variable's own
+/// definition separately.
+fn bounded_joins(
+    q: &Query,
+    s: &Schema,
+    tg: &TypeGraph,
+    base: &Constraints,
+    join_vars: &[VarId],
+) -> bool {
+    enumerate(q, s, tg, base, join_vars, 0)
+}
+
+fn enumerate(
+    q: &Query,
+    s: &Schema,
+    tg: &TypeGraph,
+    c: &Constraints,
+    join_vars: &[VarId],
+    i: usize,
+) -> bool {
+    if i == join_vars.len() {
+        // All join variables pinned: leaf-treat them, check the root tree
+        // plus each join variable's own definition.
+        let mut leafed = c.clone();
+        for &v in join_vars {
+            leafed.leaf_vars.insert(v);
+        }
+        let root_ok = feas::analyze_tree(q, s, tg, &leafed)
+            .satisfiable;
+        if !root_ok {
+            return false;
+        }
+        for &v in join_vars {
+            if matches!(q.kind(v), VarKind::Node { .. }) {
+                let t = leafed.var_types[&v];
+                let mut own = leafed.clone();
+                own.leaf_vars.remove(&v);
+                let a = feas::analyze_tree(q, s, tg, &own);
+                if !a.feas[v.index()].contains(&t) {
+                    return false;
+                }
+            }
+        }
+        return true;
+    }
+    let v = join_vars[i];
+    match q.kind(v) {
+        VarKind::Node { .. } => {
+            for t in s.types() {
+                if !tg.is_inhabited(t) || !s.is_referenceable(t) {
+                    continue;
+                }
+                if c.var_types.get(&v).is_some_and(|&p| p != t) {
+                    continue;
+                }
+                let next = c.clone().pin_type(v, t);
+                if enumerate(q, s, tg, &next, join_vars, i + 1) {
+                    return true;
+                }
+            }
+            false
+        }
+        VarKind::Value => {
+            // One representative type per atomic kind.
+            let mut seen = std::collections::HashSet::new();
+            for t in s.types() {
+                let Some(a) = s.def(t).atomic() else { continue };
+                if !seen.insert(a) {
+                    continue;
+                }
+                if c.var_types.get(&v).is_some_and(|&p| s.def(p).atomic() != Some(a)) {
+                    continue;
+                }
+                let next = c.clone().pin_type(v, t);
+                if enumerate(q, s, tg, &next, join_vars, i + 1) {
+                    return true;
+                }
+            }
+            false
+        }
+        VarKind::Label => {
+            let mut labels = std::collections::BTreeSet::new();
+            for t in s.types() {
+                for a in tg.step(t) {
+                    labels.insert(a.label);
+                }
+            }
+            for l in labels {
+                if c.label_vars.get(&v).is_some_and(|&p| p != l) {
+                    continue;
+                }
+                let next = c.clone().pin_label(v, l);
+                if enumerate(q, s, tg, &next, join_vars, i + 1) {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_base::SharedInterner;
+    use ssd_query::parse_query;
+    use ssd_schema::{parse_dtd, parse_schema};
+
+    fn outcome(schema: &str, query: &str) -> SatOutcome {
+        let pool = SharedInterner::new();
+        let s = parse_schema(schema, &pool).unwrap();
+        let q = parse_query(query, &pool).unwrap();
+        satisfiable(&q, &s).unwrap()
+    }
+
+    #[test]
+    fn join_free_ordered_uses_trace_product() {
+        let o = outcome(
+            "T = [a->U.b->V]; U = int; V = string",
+            "SELECT X WHERE Root = [a -> X]",
+        );
+        assert_eq!(o.algorithm, Algorithm::TraceProduct);
+        assert!(o.satisfiable);
+    }
+
+    #[test]
+    fn node_join_uses_bounded_enumeration() {
+        let o = outcome(
+            "T = [a->&U.b->&U]; &U = int",
+            "SELECT X WHERE Root = [a -> &X, b -> &X]",
+        );
+        assert_eq!(o.algorithm, Algorithm::BoundedJoins);
+        assert!(o.satisfiable);
+        // Non-referenceable target type: unsat.
+        let o2 = outcome(
+            "T = [a->U.b->V]; U = int; V = int",
+            "SELECT X WHERE Root = [a -> &X, b -> &X]",
+        );
+        assert_eq!(o2.algorithm, Algorithm::BoundedJoins);
+        assert!(!o2.satisfiable);
+    }
+
+    #[test]
+    fn unordered_schema_uses_general_search() {
+        let o = outcome(
+            "T = {a->U.b->V}; U = int; V = string",
+            "SELECT X WHERE Root = {a -> X, b -> Y}",
+        );
+        assert_eq!(o.algorithm, Algorithm::GeneralSearch);
+        assert!(o.satisfiable);
+    }
+
+    #[test]
+    fn tagged_suffix_path_exists_for_many_joins() {
+        // Five join variables exceed the enumeration bound; the tagged
+        // algorithm takes over for constant-suffix queries.
+        let pool = SharedInterner::new();
+        let s = parse_dtd(
+            "<!ELEMENT r (a*,b*) > <!ELEMENT a (#PCDATA) > <!ELEMENT b (#PCDATA) >",
+            &pool,
+        )
+        .unwrap();
+        let q = parse_query(
+            "SELECT V1 WHERE Root = [a -> X1, a -> X2, a -> X3, b -> Y1, b -> Y2];
+             X1 = V1; X2 = V1; X3 = V2; Y1 = V2; Y2 = V3;
+             Z1 = V3",
+            &pool,
+        );
+        // Z1 is disconnected; build a connected variant instead.
+        assert!(q.is_err());
+        let q2 = parse_query(
+            "SELECT V1 WHERE Root = [a -> X1, a -> X2, a -> X3, b -> Y1, b -> Y2];
+             X1 = V1; X2 = V1; X3 = V2; Y1 = V2; Y2 = V3; Y3 = V3",
+            &pool,
+        );
+        assert!(q2.is_err()); // Y3 also disconnected
+        let q3 = parse_query(
+            "SELECT V1 WHERE Root = [a -> X1, a -> X2, a -> X3, b -> Y1, b -> Y2];
+             X1 = V1; X2 = V1; X3 = V2; Y1 = V2; Y2 = V1",
+            &pool,
+        )
+        .unwrap();
+        let tg = TypeGraph::new(&s);
+        let sat = tagged::satisfiable_tagged(&q3, &s, &tg, &Constraints::none()).unwrap();
+        assert!(sat);
+    }
+
+    #[test]
+    fn satisfiability_agrees_between_algorithms_on_shared_class() {
+        // Join-free, ordered, tagged, constant labels: both PTIME paths and
+        // the general solver must agree.
+        let pool = SharedInterner::new();
+        let s = parse_schema(
+            "T = [a->U.(b->V)*]; U = [c->W]; V = int; W = string",
+            &pool,
+        )
+        .unwrap();
+        for (query, want) in [
+            ("SELECT X WHERE Root = [a.c -> X]", true),
+            ("SELECT X WHERE Root = [b -> X, a -> Y]", false), // order
+            ("SELECT X WHERE Root = [a -> X, b -> Y, b -> Z]", true),
+            ("SELECT X WHERE Root = [c -> X]", false),
+        ] {
+            let q = parse_query(query, &pool).unwrap();
+            let tg = TypeGraph::new(&s);
+            let by_feas = feas::analyze(&q, &s, &tg, &Constraints::none())
+                .unwrap()
+                .satisfiable;
+            let by_solver = solver::solve(&q, &s).satisfiable;
+            assert_eq!(by_feas, want, "feas on {query}");
+            assert_eq!(by_solver, want, "solver on {query}");
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The trace alphabet (Section 3.4).
+//!
+//! Traces are words `X w₁ X₁ w₂ X₂ … wₖ Xₖ` mixing edge labels with
+//! *marker symbols*. For satisfiability, markers are bare variables
+//! (`X_i`); for type checking and inference they are refined into typed
+//! markers `X_i^{T_j}` — one new symbol per variable/type pair.
+
+use ssd_automata::syntax::Atom;
+use ssd_base::{LabelId, TypeIdx, VarId};
+
+/// A concrete symbol of a trace word.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum TraceSym {
+    /// An edge label.
+    Label(LabelId),
+    /// A typed marker `X^T` (the type is `None` for untyped markers).
+    Mark(VarId, Option<TypeIdx>),
+}
+
+/// A symbolic atom of a trace language.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum TraceAtom {
+    /// A constant edge label.
+    Label(LabelId),
+    /// The wildcard `_` (any edge label, never a marker).
+    AnyLabel,
+    /// A marker for variable `v`; `ty = None` matches any typing of the
+    /// marker, `Some(t)` only `v^t`.
+    Mark(VarId, Option<TypeIdx>),
+}
+
+impl Atom for TraceAtom {
+    type Sym = TraceSym;
+
+    fn matches(&self, s: &TraceSym) -> bool {
+        match (self, s) {
+            (TraceAtom::Label(a), TraceSym::Label(b)) => a == b,
+            (TraceAtom::AnyLabel, TraceSym::Label(_)) => true,
+            (TraceAtom::Mark(v, None), TraceSym::Mark(w, _)) => v == w,
+            (TraceAtom::Mark(v, Some(t)), TraceSym::Mark(w, u)) => v == w && Some(*t) == *u,
+            _ => false,
+        }
+    }
+}
+
+/// Symbolic intersection of trace atoms (used by trace products): the
+/// result matches exactly the symbols matched by both.
+pub fn meet(a: &TraceAtom, b: &TraceAtom) -> Option<TraceAtom> {
+    use TraceAtom::*;
+    match (a, b) {
+        (Label(x), Label(y)) if x == y => Some(*a),
+        (Label(x), AnyLabel) | (AnyLabel, Label(x)) => Some(Label(*x)),
+        (AnyLabel, AnyLabel) => Some(AnyLabel),
+        (Mark(v, None), Mark(w, t)) | (Mark(v, t), Mark(w, None)) if v == w => {
+            Some(Mark(*v, *t))
+        }
+        (Mark(v, Some(t)), Mark(w, Some(u))) if v == w && t == u => Some(*a),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_matching() {
+        let a = TraceAtom::Label(LabelId(1));
+        assert!(a.matches(&TraceSym::Label(LabelId(1))));
+        assert!(!a.matches(&TraceSym::Label(LabelId(2))));
+        assert!(!a.matches(&TraceSym::Mark(VarId(0), None)));
+        assert!(TraceAtom::AnyLabel.matches(&TraceSym::Label(LabelId(9))));
+        assert!(!TraceAtom::AnyLabel.matches(&TraceSym::Mark(VarId(0), None)));
+    }
+
+    #[test]
+    fn marker_matching() {
+        let untyped = TraceAtom::Mark(VarId(3), None);
+        let typed = TraceAtom::Mark(VarId(3), Some(TypeIdx(7)));
+        let sym = TraceSym::Mark(VarId(3), Some(TypeIdx(7)));
+        let sym2 = TraceSym::Mark(VarId(3), Some(TypeIdx(8)));
+        assert!(untyped.matches(&sym));
+        assert!(untyped.matches(&sym2));
+        assert!(typed.matches(&sym));
+        assert!(!typed.matches(&sym2));
+        assert!(!typed.matches(&TraceSym::Mark(VarId(4), Some(TypeIdx(7)))));
+    }
+
+    #[test]
+    fn meet_is_intersection() {
+        use TraceAtom::*;
+        assert_eq!(
+            meet(&AnyLabel, &Label(LabelId(2))),
+            Some(Label(LabelId(2)))
+        );
+        assert_eq!(meet(&Label(LabelId(1)), &Label(LabelId(2))), None);
+        assert_eq!(meet(&Label(LabelId(1)), &Mark(VarId(0), None)), None);
+        assert_eq!(
+            meet(&Mark(VarId(0), None), &Mark(VarId(0), Some(TypeIdx(1)))),
+            Some(Mark(VarId(0), Some(TypeIdx(1))))
+        );
+        assert_eq!(
+            meet(&Mark(VarId(0), Some(TypeIdx(1))), &Mark(VarId(0), Some(TypeIdx(2)))),
+            None
+        );
+    }
+}

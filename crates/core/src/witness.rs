@@ -1,0 +1,181 @@
+//! Witness databases: minimal instances of a schema (and of single types).
+//!
+//! Used by the workload generators and by tests to confirm positive
+//! satisfiability verdicts independently: a synthesized instance is checked
+//! with `ssd_schema::conforms` and queried with `ssd_query::evaluate`.
+//!
+//! Construction mirrors the inhabitation proof of
+//! [`ssd_schema::TypeGraph`]: referenceable types get one shared node
+//! (created before recursing, so recursive schemas close into cycles);
+//! non-referenceable types are expanded into fresh copies, choosing at
+//! each level a word realizable without re-entering the types currently on
+//! the expansion stack.
+
+use std::collections::HashMap;
+
+use ssd_automata::ops::shortest_witness;
+use ssd_automata::Nfa;
+use ssd_base::{Error, OidId, Result, TypeIdx};
+use ssd_model::{DataGraph, Edge, GraphBuilder};
+use ssd_schema::{Schema, SchemaAtom, TypeDef, TypeGraph};
+
+/// Builds a minimal instance of `schema` (rooted at the root type).
+pub fn min_instance(schema: &Schema, tg: &TypeGraph) -> Result<DataGraph> {
+    let mut w = Witness {
+        schema,
+        tg,
+        b: GraphBuilder::new(schema.pool().clone()),
+        shared: HashMap::new(),
+    };
+    if !tg.is_inhabited(schema.root()) {
+        return Err(Error::invalid("the schema's root type is uninhabited"));
+    }
+    let mut stack = vec![false; schema.len()];
+    let root = w.build(schema.root(), &mut stack)?;
+    w.b.finish_with_root(root)
+}
+
+struct Witness<'a> {
+    schema: &'a Schema,
+    tg: &'a TypeGraph,
+    b: GraphBuilder,
+    shared: HashMap<TypeIdx, OidId>,
+}
+
+impl<'a> Witness<'a> {
+    fn build(&mut self, t: TypeIdx, stack: &mut Vec<bool>) -> Result<OidId> {
+        if self.schema.is_referenceable(t) {
+            if let Some(&oid) = self.shared.get(&t) {
+                return Ok(oid);
+            }
+            let oid = self.b.declare_fresh(true);
+            self.shared.insert(t, oid);
+            self.fill(oid, t, stack)?;
+            return Ok(oid);
+        }
+        let oid = self.b.declare_fresh(false);
+        self.fill(oid, t, stack)?;
+        Ok(oid)
+    }
+
+    fn fill(&mut self, oid: OidId, t: TypeIdx, stack: &mut Vec<bool>) -> Result<()> {
+        match self.schema.def(t) {
+            TypeDef::Atomic(a) => self.b.define_atomic(oid, a.example_value()),
+            TypeDef::Unordered(_) | TypeDef::Ordered(_) => {
+                let nfa = self
+                    .tg
+                    .pruned_nfa(t)
+                    .ok_or_else(|| Error::invalid("uninhabited type in witness"))?
+                    .clone();
+                stack[t.index()] = true;
+                let word = self.realizable_word(&nfa, stack).ok_or_else(|| {
+                    Error::invalid(format!(
+                        "type {} has no realizable word in this context",
+                        self.schema.name(t)
+                    ))
+                })?;
+                let mut edges = Vec::with_capacity(word.len());
+                for a in &word {
+                    let child = self.build(a.target, stack)?;
+                    edges.push(Edge::new(a.label, child));
+                }
+                stack[t.index()] = false;
+                match self.schema.def(t) {
+                    TypeDef::Unordered(_) => self.b.define_unordered(oid, edges),
+                    _ => self.b.define_ordered(oid, edges),
+                }
+            }
+        }
+    }
+
+    /// A shortest word whose targets are all realizable in the current
+    /// expansion context (referenceable-or-off-stack).
+    fn realizable_word(
+        &self,
+        nfa: &Nfa<SchemaAtom>,
+        stack: &[bool],
+    ) -> Option<Vec<SchemaAtom>> {
+        // Filter transitions whose target would recurse into an on-stack
+        // non-referenceable type.
+        let mut filtered = Nfa::with_states(nfa.num_states(), nfa.start());
+        for (q, a, r) in nfa.all_edges() {
+            let usable = self.schema.is_referenceable(a.target) || !stack[a.target.index()];
+            if usable {
+                filtered.add_transition(q, *a, r);
+            }
+        }
+        for q in 0..nfa.num_states() {
+            if nfa.is_accepting(q) {
+                filtered.set_accepting(q, true);
+            }
+        }
+        shortest_witness(&filtered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_base::SharedInterner;
+    use ssd_schema::{conforms, parse_schema};
+
+    fn check(schema_src: &str) -> DataGraph {
+        let pool = SharedInterner::new();
+        let s = parse_schema(schema_src, &pool).unwrap();
+        let tg = TypeGraph::new(&s);
+        let g = min_instance(&s, &tg).expect("witness");
+        assert!(conforms(&g, &s).is_some(), "witness must conform:\n{g}");
+        g
+    }
+
+    #[test]
+    fn paper_schema_witness() {
+        let g = check(
+            r#"DOCUMENT = [(paper->PAPER)*];
+               PAPER = [title->TITLE.(author->AUTHOR)*];
+               AUTHOR = [name->NAME.email->EMAIL];
+               NAME = [firstname->FIRSTNAME.lastname->LASTNAME];
+               TITLE = string; FIRSTNAME = string;
+               LASTNAME = string; EMAIL = string"#,
+        );
+        // Minimal: the empty document.
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn mandatory_children_are_materialized() {
+        let g = check("T = [a->U.b->V]; U = int; V = string");
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn recursive_referenceable_schema_closes_cycles() {
+        let g = check("R = [x->&T]; &T = [a->&T]");
+        // R node plus one shared T node with a self-loop.
+        assert_eq!(g.len(), 2);
+        let t = g.edges(g.root())[0].target;
+        assert_eq!(g.edges(t)[0].target, t);
+    }
+
+    #[test]
+    fn nonref_recursion_avoided_via_alternative() {
+        // T can avoid itself through the b branch.
+        let g = check("R = [x->T]; T = [a->T | b->V]; V = int");
+        assert!(g.len() <= 3);
+    }
+
+    #[test]
+    fn unordered_witness() {
+        let g = check("T = {a->U.a->U}; U = int");
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn uninhabited_root_fails() {
+        let pool = SharedInterner::new();
+        let s = parse_schema("T = [a->T]", &pool).unwrap();
+        let tg = TypeGraph::new(&s);
+        assert!(min_instance(&s, &tg).is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! Sampling schema-conforming data graphs.
+//!
+//! A biased random walk over each type's (pruned) content automaton:
+//! with probability `continue_prob` take a random usable transition,
+//! otherwise steer towards acceptance (shortest path out). Star loops thus
+//! expand geometrically, giving instances of controllable expected size.
+
+use rand::Rng;
+use ssd_automata::ops::coreachable;
+use ssd_base::{Error, OidId, Result, TypeIdx};
+use ssd_model::{DataGraph, Edge, GraphBuilder};
+use ssd_schema::{Schema, SchemaAtom, TypeDef, TypeGraph};
+
+/// Parameters for instance sampling.
+#[derive(Clone, Copy, Debug)]
+pub struct DataGenConfig {
+    /// Probability of continuing a random walk instead of steering to
+    /// acceptance.
+    pub continue_prob: f64,
+    /// Hard cap on generated nodes (sampling steers to minimal expansions
+    /// beyond it).
+    pub max_nodes: usize,
+}
+
+impl Default for DataGenConfig {
+    fn default() -> Self {
+        DataGenConfig {
+            continue_prob: 0.5,
+            max_nodes: 4000,
+        }
+    }
+}
+
+/// Samples a conforming instance of `schema`.
+pub fn sample_instance(
+    schema: &Schema,
+    tg: &TypeGraph,
+    rng: &mut impl Rng,
+    cfg: &DataGenConfig,
+) -> Result<DataGraph> {
+    if !tg.is_inhabited(schema.root()) {
+        return Err(Error::invalid("the schema's root type is uninhabited"));
+    }
+    let mut gen = Sampler {
+        schema,
+        tg,
+        b: GraphBuilder::new(schema.pool().clone()),
+        nodes: 0,
+        cfg: *cfg,
+    };
+    let mut stack = vec![false; schema.len()];
+    let root = gen.build(schema.root(), rng, &mut stack)?;
+    gen.b.finish_with_root(root)
+}
+
+struct Sampler<'a> {
+    schema: &'a Schema,
+    tg: &'a TypeGraph,
+    b: GraphBuilder,
+    nodes: usize,
+    cfg: DataGenConfig,
+}
+
+impl<'a> Sampler<'a> {
+    fn build(&mut self, t: TypeIdx, rng: &mut impl Rng, stack: &mut Vec<bool>) -> Result<OidId> {
+        self.nodes += 1;
+        // Referenceable types may close cycles, but for benchmarking we
+        // want tree-ish data; expand fresh copies and only fall back to
+        // minimal expansion under pressure.
+        let oid = self.b.declare_fresh(self.schema.is_referenceable(t));
+        match self.schema.def(t) {
+            TypeDef::Atomic(a) => {
+                let v = match a.example_value() {
+                    ssd_model::Value::Int(_) => ssd_model::Value::Int(rng.gen_range(0..1000)),
+                    ssd_model::Value::Str(_) => {
+                        ssd_model::Value::Str(format!("s{}", rng.gen_range(0..1000)))
+                    }
+                    other => other,
+                };
+                self.b.define_atomic(oid, v)?;
+            }
+            TypeDef::Unordered(_) | TypeDef::Ordered(_) => {
+                let word = self.sample_word(t, rng, stack)?;
+                stack[t.index()] = true;
+                let mut edges = Vec::with_capacity(word.len());
+                for a in &word {
+                    let child = self.build(a.target, rng, stack)?;
+                    edges.push(Edge::new(a.label, child));
+                }
+                stack[t.index()] = false;
+                match self.schema.def(t) {
+                    TypeDef::Unordered(_) => self.b.define_unordered(oid, edges)?,
+                    _ => self.b.define_ordered(oid, edges)?,
+                }
+            }
+        }
+        Ok(oid)
+    }
+
+    /// Random accepted word of `t`'s pruned automaton, avoiding on-stack
+    /// non-referenceable recursion and respecting the node budget.
+    fn sample_word(
+        &self,
+        t: TypeIdx,
+        rng: &mut impl Rng,
+        stack: &[bool],
+    ) -> Result<Vec<SchemaAtom>> {
+        let nfa = self
+            .tg
+            .pruned_nfa(t)
+            .ok_or_else(|| Error::invalid("uninhabited collection type"))?;
+        // Usable transitions: target realizable in this context.
+        let usable = |a: &SchemaAtom| {
+            self.schema.is_referenceable(a.target) || !stack[a.target.index()]
+        };
+        // Pre-compute acceptance-reachability over usable transitions.
+        let mut filtered = ssd_automata::Nfa::with_states(nfa.num_states(), nfa.start());
+        for (q, a, r) in nfa.all_edges() {
+            if usable(a) {
+                filtered.add_transition(q, *a, r);
+            }
+        }
+        for q in 0..nfa.num_states() {
+            if nfa.is_accepting(q) {
+                filtered.set_accepting(q, true);
+            }
+        }
+        let good = coreachable(&filtered);
+        if !good[filtered.start()] {
+            return Err(Error::invalid("no realizable word in this context"));
+        }
+        let mut word = Vec::new();
+        let mut q = filtered.start();
+        loop {
+            let stop_allowed = filtered.is_accepting(q);
+            let over_budget = self.nodes + word.len() >= self.cfg.max_nodes;
+            let candidates: Vec<&(SchemaAtom, usize)> = filtered
+                .edges(q)
+                .iter()
+                .filter(|(_, r)| good[*r])
+                .collect();
+            let must_stop = candidates.is_empty();
+            if must_stop
+                || (stop_allowed && (over_budget || !rng.gen_bool(self.cfg.continue_prob)))
+            {
+                if stop_allowed {
+                    return Ok(word);
+                }
+                if must_stop {
+                    return Err(Error::invalid("walk stuck (should not happen)"));
+                }
+            }
+            let (a, r) = candidates[rng.gen_range(0..candidates.len())];
+            word.push(*a);
+            q = *r;
+            if word.len() > 10_000 {
+                return Err(Error::invalid("runaway word sampling"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_gen::{ordered_schema, unordered_schema, SchemaGenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ssd_base::SharedInterner;
+    use ssd_schema::conforms;
+
+    #[test]
+    fn sampled_ordered_instances_conform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for seed in 0..8 {
+            let pool = SharedInterner::new();
+            let cfg = SchemaGenConfig {
+                num_types: 4 + seed % 4,
+                tagged: seed % 2 == 0,
+                ..Default::default()
+            };
+            let s = ordered_schema(&mut rng, &pool, &cfg);
+            let tg = ssd_schema::TypeGraph::new(&s);
+            let g = sample_instance(&s, &tg, &mut rng, &DataGenConfig::default()).unwrap();
+            assert!(
+                conforms(&g, &s).is_some(),
+                "seed {seed}\nschema:\n{s}\ndata:\n{g}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_unordered_instances_conform() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let pool = SharedInterner::new();
+        let cfg = SchemaGenConfig {
+            num_types: 4,
+            fanout: 2,
+            ..Default::default()
+        };
+        let s = unordered_schema(&mut rng, &pool, &cfg);
+        let tg = ssd_schema::TypeGraph::new(&s);
+        let g = sample_instance(&s, &tg, &mut rng, &DataGenConfig::default()).unwrap();
+        assert!(conforms(&g, &s).is_some(), "schema:\n{s}\ndata:\n{g}");
+    }
+
+    #[test]
+    fn size_scales_with_continue_probability() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let pool = SharedInterner::new();
+        let s = ssd_schema::parse_schema(
+            "T = [(item->U)*]; U = int",
+            &pool,
+        )
+        .unwrap();
+        let tg = ssd_schema::TypeGraph::new(&s);
+        let mut small_total = 0;
+        let mut big_total = 0;
+        for _ in 0..20 {
+            let small = sample_instance(
+                &s,
+                &tg,
+                &mut rng,
+                &DataGenConfig {
+                    continue_prob: 0.2,
+                    max_nodes: 10_000,
+                },
+            )
+            .unwrap();
+            let big = sample_instance(
+                &s,
+                &tg,
+                &mut rng,
+                &DataGenConfig {
+                    continue_prob: 0.9,
+                    max_nodes: 10_000,
+                },
+            )
+            .unwrap();
+            small_total += small.len();
+            big_total += big.len();
+        }
+        assert!(big_total > small_total);
+    }
+
+    #[test]
+    fn node_budget_is_respected_softly() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let pool = SharedInterner::new();
+        let s = ssd_schema::parse_schema("T = [(a->T)*.(b->U)*]; U = int", &pool).unwrap();
+        let tg = ssd_schema::TypeGraph::new(&s);
+        let g = sample_instance(
+            &s,
+            &tg,
+            &mut rng,
+            &DataGenConfig {
+                continue_prob: 0.95,
+                max_nodes: 200,
+            },
+        )
+        .unwrap();
+        assert!(g.len() < 2_000);
+    }
+}

@@ -1,0 +1,17 @@
+//! Workload generators for the reproduction benchmarks.
+//!
+//! * random ordered / tagged / unordered schemas with controllable size
+//!   and fan-out ([`schema_gen`]);
+//! * schema-conforming data sampling ([`data_gen`]);
+//! * query families matching the columns of Table 2 ([`query_gen`]);
+//! * the 3SAT reduction of Theorem 3.1 ([`sat3`]);
+//! * the paper's example corpora (bibliography schema/DTD/documents and
+//!   the Section 4.2 optimizer examples) ([`corpora`]).
+
+#![deny(missing_docs)]
+
+pub mod corpora;
+pub mod data_gen;
+pub mod query_gen;
+pub mod sat3;
+pub mod schema_gen;

@@ -1,0 +1,165 @@
+//! Random schema generation, parameterized along the axes of Table 2.
+
+use rand::Rng;
+use ssd_automata::Regex;
+use ssd_base::{SharedInterner, TypeIdx};
+use ssd_schema::{AtomicType, Schema, SchemaAtom, SchemaBuilder, TypeDef};
+
+/// Parameters for random schema generation.
+#[derive(Clone, Debug)]
+pub struct SchemaGenConfig {
+    /// Number of collection types (atomic leaf types are added on top).
+    pub num_types: usize,
+    /// Max entries per type's regex.
+    pub fanout: usize,
+    /// Whether every label is tied to a unique type (tagged / DTD+-like).
+    pub tagged: bool,
+    /// Probability that an entry is starred (optional repetition).
+    pub star_prob: f64,
+    /// Probability that two adjacent entries are grouped in an alternation.
+    pub alt_prob: f64,
+}
+
+impl Default for SchemaGenConfig {
+    fn default() -> Self {
+        SchemaGenConfig {
+            num_types: 8,
+            fanout: 3,
+            tagged: false,
+            star_prob: 0.4,
+            alt_prob: 0.3,
+        }
+    }
+}
+
+/// Generates a random **ordered** schema. Types form a layered DAG (type
+/// `i` only references types `> i`), so every type is inhabited; the last
+/// layer is atomic.
+pub fn ordered_schema(rng: &mut impl Rng, pool: &SharedInterner, cfg: &SchemaGenConfig) -> Schema {
+    let n = cfg.num_types.max(1);
+    let mut b = SchemaBuilder::new(pool.clone());
+    let collection: Vec<TypeIdx> = (0..n).map(|i| b.declare(&format!("T{i}"), false)).collect();
+    let atomics: Vec<TypeIdx> = [AtomicType::Int, AtomicType::Str]
+        .iter()
+        .enumerate()
+        .map(|(i, _)| b.declare(&format!("A{i}"), false))
+        .collect();
+    let mut label_counter = 0usize;
+    for (i, &t) in collection.iter().enumerate() {
+        let fan = rng.gen_range(1..=cfg.fanout.max(1));
+        let mut parts: Vec<Regex<SchemaAtom>> = Vec::with_capacity(fan);
+        for _ in 0..fan {
+            let target = if i + 1 < n && rng.gen_bool(0.7) {
+                collection[rng.gen_range(i + 1..n)]
+            } else {
+                atomics[rng.gen_range(0..atomics.len())]
+            };
+            let label = if cfg.tagged {
+                // One label per target type keeps the tag relation 1-1.
+                pool.intern(&format!("l{}", target.index()))
+            } else {
+                let l = pool.intern(&format!("l{}", rng.gen_range(0..n + 2)));
+                label_counter += 1;
+                let _ = label_counter;
+                l
+            };
+            let mut atom = Regex::atom(SchemaAtom::new(label, target));
+            if rng.gen_bool(cfg.star_prob) {
+                atom = Regex::star(atom);
+            }
+            parts.push(atom);
+        }
+        // Occasionally group a tail into an alternation.
+        let re = if parts.len() >= 2 && rng.gen_bool(cfg.alt_prob) {
+            let tail = parts.split_off(parts.len() - 2);
+            parts.push(Regex::alt(tail));
+            Regex::concat(parts)
+        } else {
+            Regex::concat(parts)
+        };
+        b.define(t, TypeDef::Ordered(re)).expect("fresh type");
+    }
+    for (&t, a) in atomics.iter().zip([AtomicType::Int, AtomicType::Str]) {
+        b.define(t, TypeDef::Atomic(a)).expect("fresh type");
+    }
+    b.finish().expect("generated schema is well-formed")
+}
+
+/// Generates a random **unordered** schema by converting every collection
+/// type of a random ordered schema to the unordered kind (keeping the same
+/// regexes — their bags are then interpreted via `ulang`).
+pub fn unordered_schema(
+    rng: &mut impl Rng,
+    pool: &SharedInterner,
+    cfg: &SchemaGenConfig,
+) -> Schema {
+    let base = ordered_schema(rng, pool, cfg);
+    let mut b = SchemaBuilder::new(pool.clone());
+    let ids: Vec<TypeIdx> = base
+        .types()
+        .map(|t| b.declare(base.name(t), base.is_referenceable(t)))
+        .collect();
+    for t in base.types() {
+        let def = match base.def(t) {
+            TypeDef::Ordered(r) => TypeDef::Unordered(remap(r, &ids)),
+            TypeDef::Unordered(r) => TypeDef::Unordered(remap(r, &ids)),
+            TypeDef::Atomic(a) => TypeDef::Atomic(*a),
+        };
+        b.define(ids[t.index()], def).expect("fresh type");
+    }
+    b.finish().expect("generated schema is well-formed")
+}
+
+fn remap(r: &Regex<SchemaAtom>, ids: &[TypeIdx]) -> Regex<SchemaAtom> {
+    r.map_atoms(&mut |a| Regex::atom(SchemaAtom::new(a.label, ids[a.target.index()])))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ssd_schema::{SchemaClass, TypeGraph};
+
+    #[test]
+    fn ordered_schemas_are_ordered_and_inhabited() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for seed in 0..10 {
+            let pool = SharedInterner::new();
+            let cfg = SchemaGenConfig {
+                num_types: 4 + seed % 5,
+                ..Default::default()
+            };
+            let s = ordered_schema(&mut rng, &pool, &cfg);
+            assert!(SchemaClass::of(&s).ordered);
+            let tg = TypeGraph::new(&s);
+            for t in s.types() {
+                assert!(tg.is_inhabited(t), "{} in schema\n{}", s.name(t), s);
+            }
+        }
+    }
+
+    #[test]
+    fn tagged_schemas_are_tagged() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool = SharedInterner::new();
+        let cfg = SchemaGenConfig {
+            tagged: true,
+            ..Default::default()
+        };
+        let s = ordered_schema(&mut rng, &pool, &cfg);
+        let c = SchemaClass::of(&s);
+        assert!(c.tagged && c.ordered);
+        assert!(c.is_dtd_plus());
+    }
+
+    #[test]
+    fn unordered_schemas_are_unordered() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pool = SharedInterner::new();
+        let s = unordered_schema(&mut rng, &pool, &SchemaGenConfig::default());
+        assert!(!SchemaClass::of(&s).ordered);
+        let tg = TypeGraph::new(&s);
+        assert!(tg.is_inhabited(s.root()));
+    }
+}

@@ -1,0 +1,28 @@
+//! The ordered OEM data model of Milo & Suciu (PODS 1999), Section 2.
+//!
+//! Data is a collection of objects (oids). Each object's value is an atomic
+//! value, an *unordered* collection `{label→oid, …}`, or an *ordered*
+//! sequence `[label→oid, …]`. A distinguished root reaches every object.
+//! Objects are *referenceable* (`&o5`, may be shared) or non-referenceable
+//! (at most one incoming reference).
+//!
+//! The crate provides the graph representation ([`DataGraph`]), a builder,
+//! the paper's textual syntax (Table 1) with parser and printer, an XML
+//! importer matching the paper's XML encoding, and structural validation.
+
+#![deny(missing_docs)]
+
+pub mod builder;
+pub mod graph;
+pub mod node;
+pub mod parser;
+pub mod validate;
+pub mod value;
+pub mod xml;
+
+pub use builder::GraphBuilder;
+pub use graph::DataGraph;
+pub use node::{Edge, Node, NodeKind};
+pub use parser::parse_data_graph;
+pub use value::Value;
+pub use xml::parse_xml;

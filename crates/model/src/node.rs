@@ -1,0 +1,100 @@
+//! Nodes of a data graph: atomic values and (un)ordered edge collections.
+
+use ssd_base::{LabelId, OidId};
+
+use crate::value::Value;
+
+/// A labeled edge `label → target`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Edge {
+    /// The edge label.
+    pub label: LabelId,
+    /// The target object.
+    pub target: OidId,
+}
+
+impl Edge {
+    /// Constructs an edge.
+    pub fn new(label: LabelId, target: OidId) -> Self {
+        Edge { label, target }
+    }
+}
+
+/// The three node kinds of the model (and of ScmDL types and patterns).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NodeKind {
+    /// An atomic value.
+    Atomic,
+    /// An unordered collection `{…}`.
+    Unordered,
+    /// An ordered sequence `[…]`.
+    Ordered,
+}
+
+/// An object's value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Node {
+    /// An atomic value, e.g. `o3 = 3.14`.
+    Atomic(Value),
+    /// An unordered collection, e.g. `o1 = {a→o2, b→o3}`. Edge order in
+    /// the vector is storage order only and carries no meaning.
+    Unordered(Vec<Edge>),
+    /// An ordered sequence, e.g. `o2 = [a→o4, c→o5, c→o6]`. Edge order is
+    /// semantically significant (Definition 2.2 orders paths by it).
+    Ordered(Vec<Edge>),
+}
+
+impl Node {
+    /// This node's kind.
+    pub fn kind(&self) -> NodeKind {
+        match self {
+            Node::Atomic(_) => NodeKind::Atomic,
+            Node::Unordered(_) => NodeKind::Unordered,
+            Node::Ordered(_) => NodeKind::Ordered,
+        }
+    }
+
+    /// The outgoing edges (empty slice for atomic nodes).
+    pub fn edges(&self) -> &[Edge] {
+        match self {
+            Node::Atomic(_) => &[],
+            Node::Unordered(es) | Node::Ordered(es) => es,
+        }
+    }
+
+    /// The atomic value, if this is an atomic node.
+    pub fn value(&self) -> Option<&Value> {
+        match self {
+            Node::Atomic(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Number of outgoing edges.
+    pub fn degree(&self) -> usize {
+        self.edges().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_edges() {
+        let a = Node::Atomic(Value::Int(1));
+        assert_eq!(a.kind(), NodeKind::Atomic);
+        assert!(a.edges().is_empty());
+        assert_eq!(a.value(), Some(&Value::Int(1)));
+
+        let e = Edge::new(LabelId(0), OidId(1));
+        let u = Node::Unordered(vec![e]);
+        assert_eq!(u.kind(), NodeKind::Unordered);
+        assert_eq!(u.degree(), 1);
+        assert!(u.value().is_none());
+
+        let o = Node::Ordered(vec![e, Edge::new(LabelId(1), OidId(2))]);
+        assert_eq!(o.kind(), NodeKind::Ordered);
+        assert_eq!(o.edges().len(), 2);
+    }
+}

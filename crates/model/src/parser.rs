@@ -1,0 +1,379 @@
+//! Parser for the paper's textual data-graph syntax (Table 1):
+//!
+//! ```text
+//! GraphDef ::= Oid=Node ; … ; Oid=Node
+//! Node     ::= value | {E} | [E]
+//! E        ::= label -> Oid , … , label -> Oid
+//! ```
+//!
+//! Oids are identifiers, `&`-prefixed when referenceable. Values are
+//! integers, floats, `"strings"`, and booleans. The first definition is the
+//! root. `→` is accepted as a synonym for `->`.
+
+use ssd_base::{Error, Result, SharedInterner};
+
+use crate::builder::GraphBuilder;
+use crate::graph::DataGraph;
+use crate::node::Edge;
+use crate::value::Value;
+
+/// Parses a data graph from the textual syntax.
+pub fn parse_data_graph(input: &str, pool: &SharedInterner) -> Result<DataGraph> {
+    let mut p = Lexer::new(input);
+    let mut b = GraphBuilder::new(pool.clone());
+    let mut any = false;
+    loop {
+        p.skip_ws();
+        if p.at_end() {
+            break;
+        }
+        parse_def(&mut p, &mut b, pool)?;
+        any = true;
+        p.skip_ws();
+        if p.eat(';') {
+            continue;
+        }
+        if !p.at_end() {
+            return Err(Error::parse(format!(
+                "expected ';' between definitions at byte {}",
+                p.pos
+            )));
+        }
+    }
+    if !any {
+        return Err(Error::parse("empty data graph"));
+    }
+    b.finish()
+}
+
+fn parse_def(p: &mut Lexer<'_>, b: &mut GraphBuilder, pool: &SharedInterner) -> Result<()> {
+    let (name, referenceable) = p.oid_ref()?;
+    let oid = b.declare(&name, referenceable);
+    p.expect('=')?;
+    p.skip_ws();
+    match p.peek() {
+        Some('{') => {
+            let edges = parse_edges(p, b, pool, '{', '}')?;
+            b.define_unordered(oid, edges)
+        }
+        Some('[') => {
+            let edges = parse_edges(p, b, pool, '[', ']')?;
+            b.define_ordered(oid, edges)
+        }
+        _ => {
+            let v = p.value()?;
+            b.define_atomic(oid, v)
+        }
+    }
+}
+
+fn parse_edges(
+    p: &mut Lexer<'_>,
+    b: &mut GraphBuilder,
+    pool: &SharedInterner,
+    open: char,
+    close: char,
+) -> Result<Vec<Edge>> {
+    p.expect(open)?;
+    let mut edges = Vec::new();
+    p.skip_ws();
+    if p.eat(close) {
+        return Ok(edges);
+    }
+    loop {
+        let label = p.ident()?;
+        p.arrow()?;
+        let (name, referenceable) = p.oid_ref()?;
+        let target = b.declare(&name, referenceable);
+        edges.push(Edge::new(pool.intern(&label), target));
+        p.skip_ws();
+        if p.eat(',') {
+            continue;
+        }
+        p.expect(close)?;
+        break;
+    }
+    Ok(edges)
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer { input, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.rest().chars().next()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(Error::parse(format!(
+                "expected '{c}' at byte {} near {:?}",
+                self.pos,
+                self.rest().chars().take(12).collect::<String>()
+            )))
+        }
+    }
+
+    fn arrow(&mut self) -> Result<()> {
+        self.skip_ws();
+        if self.rest().starts_with("->") {
+            self.pos += 2;
+            Ok(())
+        } else if self.rest().starts_with('→') {
+            self.pos += '→'.len_utf8();
+            Ok(())
+        } else {
+            Err(Error::parse(format!("expected '->' at byte {}", self.pos)))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        for c in self.rest().chars() {
+            if c.is_alphanumeric() || c == '-' || c == ':' || c == '_' {
+                // '-' only after the first char, and never as part of '->'.
+                if c == '-' {
+                    let after = &self.input[self.pos + 1..];
+                    if self.pos == start || after.starts_with('>') {
+                        break;
+                    }
+                }
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(Error::parse(format!(
+                "expected identifier at byte {start}"
+            )));
+        }
+        Ok(self.input[start..self.pos].to_owned())
+    }
+
+    fn oid_ref(&mut self) -> Result<(String, bool)> {
+        self.skip_ws();
+        let referenceable = self.eat('&');
+        let name = self.ident()?;
+        Ok((name, referenceable))
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') => {
+                self.pos += 1;
+                let mut s = String::new();
+                let mut chars = self.rest().char_indices();
+                loop {
+                    match chars.next() {
+                        Some((i, '"')) => {
+                            self.pos += i + 1;
+                            return Ok(Value::Str(s));
+                        }
+                        Some((_, '\\')) => match chars.next() {
+                            Some((_, c)) => s.push(c),
+                            None => break,
+                        },
+                        Some((_, c)) => s.push(c),
+                        None => break,
+                    }
+                }
+                Err(Error::parse("unterminated string literal"))
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let start = self.pos;
+                let mut is_float = false;
+                let mut first = true;
+                for ch in self.rest().chars() {
+                    if ch.is_ascii_digit() || (first && (ch == '-' || ch == '+')) {
+                        self.pos += ch.len_utf8();
+                    } else if ch == '.' || ch == 'e' || ch == 'E' {
+                        is_float = true;
+                        self.pos += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                    first = false;
+                }
+                let text = &self.input[start..self.pos];
+                if is_float {
+                    text.parse::<f64>()
+                        .map(Value::Float)
+                        .map_err(|e| Error::parse(format!("bad float {text:?}: {e}")))
+                } else {
+                    text.parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|e| Error::parse(format!("bad int {text:?}: {e}")))
+                }
+            }
+            _ => {
+                let word = self.ident()?;
+                match word.as_str() {
+                    "true" => Ok(Value::Bool(true)),
+                    "false" => Ok(Value::Bool(false)),
+                    _ => Err(Error::parse(format!("expected a value, found {word:?}"))),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    fn pool() -> SharedInterner {
+        SharedInterner::new()
+    }
+
+    #[test]
+    fn parses_the_papers_table1_example() {
+        let p = pool();
+        let g = parse_data_graph(
+            r#"o1={a->o2, b->o3}; o2=[a->o4,c->o5,c->o6];
+               o3=3.14; o4="abc"; o5=2.71; o6=6.12"#,
+            &p,
+        )
+        .unwrap();
+        assert_eq!(g.len(), 6);
+        let o1 = g.by_name("o1").unwrap();
+        let o2 = g.by_name("o2").unwrap();
+        assert_eq!(g.root(), o1);
+        assert_eq!(g.kind(o1), NodeKind::Unordered);
+        assert_eq!(g.kind(o2), NodeKind::Ordered);
+        assert_eq!(g.edges(o2).len(), 3);
+        let o4 = g.by_name("o4").unwrap();
+        assert_eq!(g.node(o4).value(), Some(&Value::Str("abc".into())));
+    }
+
+    #[test]
+    fn parses_the_papers_xml_example_graph() {
+        let p = pool();
+        let src = r#"
+            o1 = [paper -> o2];
+            o2 = [title -> o3, author -> o4];
+            o3 = "A real nice paper";
+            o4 = [name -> o5, email -> o6];
+            o5 = [firstname -> o7, lastname -> o8];
+            o6 = "..."; o7 = "John"; o8 = "Smith"
+        "#;
+        let g = parse_data_graph(src, &p).unwrap();
+        assert_eq!(g.len(), 8);
+        assert_eq!(g.num_edges(), 7);
+    }
+
+    #[test]
+    fn referenceable_sharing() {
+        let p = pool();
+        let g = parse_data_graph(
+            r#"o1 = [paper -> o2, paper -> o3];
+               o2 = [author -> &a1]; o3 = [author -> &a1];
+               &a1 = "Smith""#,
+            &p,
+        )
+        .unwrap();
+        let a1 = g.by_name("a1").unwrap();
+        assert!(g.is_referenceable(a1));
+        assert_eq!(g.incoming_counts()[a1.index()], 2);
+    }
+
+    #[test]
+    fn empty_collections() {
+        let p = pool();
+        let g = parse_data_graph("o1 = { }", &p).unwrap();
+        assert_eq!(g.edges(g.root()).len(), 0);
+        let g2 = parse_data_graph("o1 = []", &p).unwrap();
+        assert_eq!(g2.kind(g2.root()), NodeKind::Ordered);
+    }
+
+    #[test]
+    fn unicode_arrow_accepted() {
+        let p = pool();
+        let g = parse_data_graph("o1 = {a → o2}; o2 = 1", &p).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn value_forms() {
+        let p = pool();
+        let g = parse_data_graph(
+            r#"o1 = [a->o2, b->o3, c->o4, d->o5, e->o6];
+               o2 = -17; o3 = 2.5e3; o4 = true; o5 = false; o6 = "q\"uo\\te""#,
+            &p,
+        )
+        .unwrap();
+        let v = |n: &str| g.node(g.by_name(n).unwrap()).value().unwrap().clone();
+        assert_eq!(v("o2"), Value::Int(-17));
+        assert_eq!(v("o3"), Value::Float(2500.0));
+        assert_eq!(v("o4"), Value::Bool(true));
+        assert_eq!(v("o5"), Value::Bool(false));
+        assert_eq!(v("o6"), Value::Str("q\"uo\\te".into()));
+    }
+
+    #[test]
+    fn duplicate_definition_rejected() {
+        let p = pool();
+        assert!(parse_data_graph("o1 = 1; o1 = 2", &p).is_err());
+    }
+
+    #[test]
+    fn syntax_errors() {
+        let p = pool();
+        assert!(parse_data_graph("", &p).is_err());
+        assert!(parse_data_graph("o1 = ", &p).is_err());
+        assert!(parse_data_graph("o1 = {a o2}", &p).is_err());
+        assert!(parse_data_graph("o1 = {a -> }", &p).is_err());
+        assert!(parse_data_graph("o1 = [a -> o2", &p).is_err());
+        assert!(parse_data_graph("o1 = \"unterminated", &p).is_err());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let p = pool();
+        let src = r#"o1={a->o2, b->&o3}; o2=[c->&o3]; &o3="shared""#;
+        let g = parse_data_graph(src, &p).unwrap();
+        let printed = g.to_string();
+        let g2 = parse_data_graph(&printed, &p).unwrap();
+        assert_eq!(g.len(), g2.len());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        for oid in g.oids() {
+            let o2 = g2.by_name(g.name(oid)).unwrap();
+            assert_eq!(g.node(oid).kind(), g2.node(o2).kind());
+            assert_eq!(g.is_referenceable(oid), g2.is_referenceable(o2));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Structural validation of data graphs (Section 2 of the paper).
+//!
+//! Rules enforced:
+//!
+//! 1. every object is reachable from the root;
+//! 2. a non-referenceable object occurs at most once as an edge target;
+//! 3. the root, if non-referenceable, occurs as no edge target at all.
+
+use std::collections::VecDeque;
+
+use ssd_base::{Error, Result};
+
+use crate::graph::DataGraph;
+
+/// Checks the structural rules above, returning the first violation.
+pub fn validate(g: &DataGraph) -> Result<()> {
+    // Rule 2 & 3: incoming-reference counts.
+    let incoming = g.incoming_counts();
+    for oid in g.oids() {
+        let n = incoming[oid.index()];
+        if !g.is_referenceable(oid) {
+            if oid == g.root() && n > 0 {
+                return Err(Error::invalid(format!(
+                    "non-referenceable root {} appears as an edge target",
+                    g.name(oid)
+                )));
+            }
+            if n > 1 {
+                return Err(Error::invalid(format!(
+                    "non-referenceable object {} has {n} incoming references",
+                    g.name(oid)
+                )));
+            }
+        }
+    }
+
+    // Rule 1: reachability from the root.
+    let mut seen = vec![false; g.len()];
+    let mut queue = VecDeque::new();
+    seen[g.root().index()] = true;
+    queue.push_back(g.root());
+    while let Some(o) = queue.pop_front() {
+        for e in g.edges(o) {
+            if !seen[e.target.index()] {
+                seen[e.target.index()] = true;
+                queue.push_back(e.target);
+            }
+        }
+    }
+    for oid in g.oids() {
+        if !seen[oid.index()] {
+            return Err(Error::invalid(format!(
+                "object {} is unreachable from the root",
+                g.name(oid)
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_data_graph;
+    use ssd_base::SharedInterner;
+
+    #[test]
+    fn accepts_paper_example() {
+        let pool = SharedInterner::new();
+        let src = r#"
+            o1 = {a -> o2, b -> o3};
+            o2 = [a -> o4, c -> o5, c -> o6];
+            o3 = 3.14; o4 = "abc"; o5 = 2.71; o6 = 6.12
+        "#;
+        assert!(parse_data_graph(src, &pool).is_ok());
+    }
+
+    #[test]
+    fn rejects_shared_nonreferenceable() {
+        let pool = SharedInterner::new();
+        let src = "o1 = {a -> o2, b -> o2}; o2 = 1";
+        let err = parse_data_graph(src, &pool).unwrap_err();
+        assert!(err.to_string().contains("incoming"), "{err}");
+    }
+
+    #[test]
+    fn accepts_shared_referenceable() {
+        let pool = SharedInterner::new();
+        let src = "o1 = {a -> &o2, b -> &o2}; &o2 = 1";
+        assert!(parse_data_graph(src, &pool).is_ok());
+    }
+
+    #[test]
+    fn rejects_unreachable_object() {
+        let pool = SharedInterner::new();
+        let src = "o1 = {a -> o2}; o2 = 1; o3 = 2";
+        let err = parse_data_graph(src, &pool).unwrap_err();
+        assert!(err.to_string().contains("unreachable"), "{err}");
+    }
+
+    #[test]
+    fn rejects_edge_to_nonreferenceable_root() {
+        let pool = SharedInterner::new();
+        let src = "o1 = {a -> o2}; o2 = {b -> o1}";
+        let err = parse_data_graph(src, &pool).unwrap_err();
+        assert!(err.to_string().contains("root"), "{err}");
+    }
+
+    #[test]
+    fn accepts_cycle_through_referenceable_nonroot() {
+        // A non-referenceable object may have ONE incoming edge, so a cycle
+        // below the root is legal.
+        let pool = SharedInterner::new();
+        let src = "o1 = {a -> o2}; o2 = {b -> &o3}; &o3 = {c -> &o3}";
+        assert!(parse_data_graph(src, &pool).is_ok());
+    }
+
+    #[test]
+    fn rejects_self_loop_with_two_incoming() {
+        // o2 has incoming references from o1 AND from itself — two
+        // references to a non-referenceable object.
+        let pool = SharedInterner::new();
+        let src = "o1 = {a -> o2}; o2 = {c -> o2}";
+        let err = parse_data_graph(src, &pool);
+        assert!(err.is_err(), "two incoming references: from o1 and itself");
+    }
+}

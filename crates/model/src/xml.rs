@@ -1,0 +1,237 @@
+//! XML import: the paper's encoding of XML fragments as data graphs.
+//!
+//! An element `<e> c1 … ck </e>` becomes an ordered node with one edge per
+//! child, labeled by the child's element name; text content becomes an
+//! atomic string node. This matches the paper's worked example:
+//!
+//! ```text
+//! <paper><title> A real nice paper </title> … </paper>
+//!   ⇒  o1 = [paper → o2]; o2 = [title → o3, …]; o3 = "A real nice paper"
+//! ```
+//!
+//! The importer handles the element/PCDATA subset the paper uses (no
+//! attributes, no mixed content, no entities beyond `&lt; &gt; &amp;
+//! &quot; &apos;`).
+
+use ssd_base::{Error, OidId, Result, SharedInterner};
+
+use crate::builder::GraphBuilder;
+use crate::graph::DataGraph;
+use crate::node::Edge;
+use crate::value::Value;
+
+/// Parses an XML fragment (a single root element) into a data graph whose
+/// root is an ordered node with one edge labeled by the element's name.
+pub fn parse_xml(input: &str, pool: &SharedInterner) -> Result<DataGraph> {
+    let mut p = Xml {
+        input,
+        pos: 0,
+    };
+    p.skip_ws();
+    let mut b = GraphBuilder::new(pool.clone());
+    let root = b.declare_fresh(false);
+    let (name, child) = p.element(&mut b, pool)?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(Error::parse(format!(
+            "trailing content after root element at byte {}",
+            p.pos
+        )));
+    }
+    b.define_ordered(root, vec![Edge::new(pool.intern(&name), child)])?;
+    b.finish()
+}
+
+struct Xml<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Xml<'a> {
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn tag_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        for c in self.rest().chars() {
+            if c.is_alphanumeric() || c == '-' || c == '_' || c == ':' {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(Error::parse(format!("expected tag name at byte {start}")));
+        }
+        Ok(self.input[start..self.pos].to_owned())
+    }
+
+    /// Parses `<name> content </name>`; returns `(name, oid)`.
+    fn element(&mut self, b: &mut GraphBuilder, pool: &SharedInterner) -> Result<(String, OidId)> {
+        self.skip_ws();
+        if !self.rest().starts_with('<') {
+            return Err(Error::parse(format!("expected '<' at byte {}", self.pos)));
+        }
+        self.pos += 1;
+        let name = self.tag_name()?;
+        self.skip_ws();
+        // Self-closing tag.
+        if self.rest().starts_with("/>") {
+            self.pos += 2;
+            let oid = b.declare_fresh(false);
+            b.define_ordered(oid, vec![])?;
+            return Ok((name, oid));
+        }
+        if !self.rest().starts_with('>') {
+            return Err(Error::parse(format!(
+                "expected '>' after tag name at byte {} (attributes are not supported)",
+                self.pos
+            )));
+        }
+        self.pos += 1;
+
+        let mut children: Vec<(String, OidId)> = Vec::new();
+        let mut text = String::new();
+        loop {
+            if self.rest().starts_with("</") {
+                self.pos += 2;
+                let close = self.tag_name()?;
+                if close != name {
+                    return Err(Error::parse(format!(
+                        "mismatched closing tag </{close}> for <{name}>"
+                    )));
+                }
+                self.skip_ws();
+                if !self.rest().starts_with('>') {
+                    return Err(Error::parse("expected '>' in closing tag"));
+                }
+                self.pos += 1;
+                break;
+            } else if self.rest().starts_with('<') {
+                let (cname, coid) = self.element(b, pool)?;
+                children.push((cname, coid));
+            } else if self.at_end() {
+                return Err(Error::parse(format!("unclosed element <{name}>")));
+            } else {
+                // Text run up to the next '<'.
+                let upto = self.rest().find('<').unwrap_or(self.rest().len());
+                text.push_str(&self.rest()[..upto]);
+                self.pos += upto;
+            }
+        }
+
+        let trimmed = text.trim();
+        let oid = b.declare_fresh(false);
+        if children.is_empty() && !trimmed.is_empty() {
+            b.define_atomic(oid, Value::Str(unescape(trimmed)))?;
+        } else if !children.is_empty() && !trimmed.is_empty() {
+            return Err(Error::parse(format!(
+                "mixed content in <{name}> is not supported"
+            )));
+        } else {
+            let edges = children
+                .into_iter()
+                .map(|(n, o)| Edge::new(pool.intern(&n), o))
+                .collect();
+            b.define_ordered(oid, edges)?;
+        }
+        Ok((name, oid))
+    }
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    #[test]
+    fn parses_the_papers_xml_example() {
+        let pool = SharedInterner::new();
+        let g = parse_xml(
+            r#"<paper><title> A real nice paper </title>
+                 <author><name><firstname> John </firstname>
+                   <lastname> Smith </lastname></name>
+                   <email> ... </email>
+                 </author>
+               </paper>"#,
+            &pool,
+        )
+        .unwrap();
+        // o1=[paper→o2]; o2=[title→o3, author→o4]; o3 = "A real nice paper";
+        // o4=[name→o5, email→o6]; o5=[firstname→o7, lastname→o8]; …
+        assert_eq!(g.len(), 8);
+        let root = g.root();
+        assert_eq!(g.edges(root).len(), 1);
+        assert_eq!(g.label_name(g.edges(root)[0].label), "paper");
+        let paper = g.edges(root)[0].target;
+        let labels: Vec<String> = g
+            .edges(paper)
+            .iter()
+            .map(|e| g.label_name(e.label))
+            .collect();
+        assert_eq!(labels, vec!["title", "author"]);
+        let title = g.edges(paper)[0].target;
+        assert_eq!(
+            g.node(title).value(),
+            Some(&Value::Str("A real nice paper".into()))
+        );
+    }
+
+    #[test]
+    fn empty_and_self_closing_elements() {
+        let pool = SharedInterner::new();
+        let g = parse_xml("<a><b/><c></c></a>", &pool).unwrap();
+        let a = g.edges(g.root())[0].target;
+        assert_eq!(g.edges(a).len(), 2);
+        for e in g.edges(a) {
+            assert_eq!(g.kind(e.target), NodeKind::Ordered);
+            assert!(g.edges(e.target).is_empty());
+        }
+    }
+
+    #[test]
+    fn entity_unescaping() {
+        let pool = SharedInterner::new();
+        let g = parse_xml("<t>a &lt; b &amp;&amp; c &gt; d</t>", &pool).unwrap();
+        let t = g.edges(g.root())[0].target;
+        assert_eq!(g.node(t).value(), Some(&Value::Str("a < b && c > d".into())));
+    }
+
+    #[test]
+    fn repeated_child_names_keep_order() {
+        let pool = SharedInterner::new();
+        let g = parse_xml("<r><x>1</x><y>2</y><x>3</x></r>", &pool).unwrap();
+        let r = g.edges(g.root())[0].target;
+        let labels: Vec<String> = g.edges(r).iter().map(|e| g.label_name(e.label)).collect();
+        assert_eq!(labels, vec!["x", "y", "x"]);
+    }
+
+    #[test]
+    fn error_cases() {
+        let pool = SharedInterner::new();
+        assert!(parse_xml("", &pool).is_err());
+        assert!(parse_xml("<a>", &pool).is_err());
+        assert!(parse_xml("<a></b>", &pool).is_err());
+        assert!(parse_xml("<a>text<b/></a>", &pool).is_err());
+        assert!(parse_xml("<a></a><b></b>", &pool).is_err());
+        assert!(parse_xml("<a attr=\"x\"></a>", &pool).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! The edge-traversal ADT of Section 4.2, with call counting.
+
+use std::cell::Cell;
+
+use ssd_base::{LabelId, OidId};
+use ssd_model::DataGraph;
+
+/// A handle to one edge of a node (node plus position).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EdgeRef {
+    /// The source node.
+    pub node: OidId,
+    /// The edge's position in the source's (ordered) edge list.
+    pub pos: usize,
+}
+
+/// A data graph wrapped in the paper's computation model: the only ways to
+/// discover edges are `firstEdge` and `nextEdge`, and each call costs one
+/// unit. Reading an already-discovered edge's label/target is free.
+pub struct CostedGraph<'a> {
+    g: &'a DataGraph,
+    cost: Cell<u64>,
+}
+
+impl<'a> CostedGraph<'a> {
+    /// Wraps `g` with a zeroed counter.
+    pub fn new(g: &'a DataGraph) -> Self {
+        CostedGraph {
+            g,
+            cost: Cell::new(0),
+        }
+    }
+
+    /// The underlying graph (free access for labels/targets of edges the
+    /// algorithm has already paid for).
+    pub fn graph(&self) -> &DataGraph {
+        self.g
+    }
+
+    /// The root node.
+    pub fn root(&self) -> OidId {
+        self.g.root()
+    }
+
+    /// `firstEdge(x)`: the left-most edge of `x`, or `None`. Costs 1.
+    pub fn first_edge(&self, node: OidId) -> Option<EdgeRef> {
+        self.cost.set(self.cost.get() + 1);
+        if self.g.edges(node).is_empty() {
+            None
+        } else {
+            Some(EdgeRef { node, pos: 0 })
+        }
+    }
+
+    /// `nextEdge(e)`: the right brother of `e`, or `None`. Costs 1.
+    pub fn next_edge(&self, e: EdgeRef) -> Option<EdgeRef> {
+        self.cost.set(self.cost.get() + 1);
+        let edges = self.g.edges(e.node);
+        if e.pos + 1 < edges.len() {
+            Some(EdgeRef {
+                node: e.node,
+                pos: e.pos + 1,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The label of a discovered edge (free).
+    pub fn label(&self, e: EdgeRef) -> LabelId {
+        self.g.edges(e.node)[e.pos].label
+    }
+
+    /// The target of a discovered edge (free).
+    pub fn target(&self, e: EdgeRef) -> OidId {
+        self.g.edges(e.node)[e.pos].target
+    }
+
+    /// Edges explored so far.
+    pub fn cost(&self) -> u64 {
+        self.cost.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_base::SharedInterner;
+    use ssd_model::parse_data_graph;
+
+    #[test]
+    fn traversal_counts_calls() {
+        let pool = SharedInterner::new();
+        let g = parse_data_graph("o1 = [a -> o2, b -> o3]; o2 = 1; o3 = 2", &pool).unwrap();
+        let cg = CostedGraph::new(&g);
+        let e1 = cg.first_edge(cg.root()).unwrap();
+        assert_eq!(cg.label(e1), pool.get("a").unwrap());
+        let e2 = cg.next_edge(e1).unwrap();
+        assert_eq!(cg.label(e2), pool.get("b").unwrap());
+        assert!(cg.next_edge(e2).is_none());
+        assert_eq!(cg.cost(), 3);
+        // Free reads don't count.
+        let _ = cg.target(e1);
+        assert_eq!(cg.cost(), 3);
+    }
+
+    #[test]
+    fn first_edge_of_leaf_is_none_but_costs() {
+        let pool = SharedInterner::new();
+        let g = parse_data_graph("o1 = [a -> o2]; o2 = 1", &pool).unwrap();
+        let cg = CostedGraph::new(&g);
+        let e = cg.first_edge(cg.root()).unwrap();
+        assert!(cg.first_edge(cg.target(e)).is_none());
+        assert_eq!(cg.cost(), 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! The naive evaluation strategy: depth-first traversal pruned only by
+//! the query's path automata (no schema knowledge).
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use ssd_base::OidId;
+
+use crate::adt::CostedGraph;
+use crate::plan::RootQuery;
+
+/// Per-segment candidate matches: `(root edge position, endpoint)`.
+pub(crate) type Candidates = Vec<BTreeMap<usize, BTreeSet<OidId>>>;
+
+/// Evaluates `rq` naively; returns the result tuples (one endpoint per
+/// segment, with strictly increasing root-edge positions).
+pub fn evaluate_naive(cg: &CostedGraph<'_>, rq: &RootQuery) -> BTreeSet<Vec<OidId>> {
+    let k = rq.len();
+    let mut cands: Candidates = vec![BTreeMap::new(); k];
+
+    // Scan the root's edges left to right.
+    let mut edge = cg.first_edge(cg.root());
+    let mut pos = 0usize;
+    while let Some(e) = edge {
+        let label = cg.label(e);
+        // Live segments after this first edge.
+        let mut live: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (i, nfa) in rq.nfas.iter().enumerate() {
+            let states = nfa.step(&[nfa.start()], &label);
+            if !states.is_empty() {
+                for &q in &states {
+                    if nfa.is_accepting(q) {
+                        cands[i].entry(pos).or_default().insert(cg.target(e));
+                        break;
+                    }
+                }
+                if states
+                    .iter()
+                    .any(|&q| !nfa.edges(q).is_empty())
+                {
+                    live.push((i, states));
+                }
+            }
+        }
+        if !live.is_empty() {
+            let mut visited = HashSet::new();
+            explore(cg, rq, cg.target(e), &live, pos, &mut cands, &mut visited);
+        }
+        edge = cg.next_edge(e);
+        pos += 1;
+    }
+    combine(&cands)
+}
+
+/// DFS below a root edge, advancing all live segment automata at once.
+fn explore(
+    cg: &CostedGraph<'_>,
+    rq: &RootQuery,
+    node: OidId,
+    live: &[(usize, Vec<usize>)],
+    root_pos: usize,
+    cands: &mut Candidates,
+    visited: &mut HashSet<OidId>,
+) {
+    if !visited.insert(node) {
+        return; // cyclic data: each node explored once per root edge
+    }
+    let mut edge = cg.first_edge(node);
+    while let Some(e) = edge {
+        let label = cg.label(e);
+        let mut next_live: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (i, states) in live {
+            let nfa = &rq.nfas[*i];
+            let next = nfa.step(states, &label);
+            if next.is_empty() {
+                continue;
+            }
+            if next.iter().any(|&q| nfa.is_accepting(q)) {
+                cands[*i]
+                    .entry(root_pos)
+                    .or_default()
+                    .insert(cg.target(e));
+            }
+            if next.iter().any(|&q| !nfa.edges(q).is_empty()) {
+                next_live.push((*i, next));
+            }
+        }
+        if !next_live.is_empty() {
+            explore(cg, rq, cg.target(e), &next_live, root_pos, cands, visited);
+        }
+        edge = cg.next_edge(e);
+    }
+}
+
+/// Combines per-segment candidates into tuples with strictly increasing
+/// root positions (Definition 2.2's path order). Costs no edge accesses.
+pub(crate) fn combine(cands: &Candidates) -> BTreeSet<Vec<OidId>> {
+    let mut out = BTreeSet::new();
+    let mut tuple: Vec<OidId> = Vec::new();
+    fn rec(
+        cands: &Candidates,
+        i: usize,
+        min_pos: usize,
+        tuple: &mut Vec<OidId>,
+        out: &mut BTreeSet<Vec<OidId>>,
+    ) {
+        if i == cands.len() {
+            out.insert(tuple.clone());
+            return;
+        }
+        for (&pos, endpoints) in cands[i].range(min_pos..) {
+            for &ep in endpoints {
+                tuple.push(ep);
+                rec(cands, i + 1, pos + 1, tuple, out);
+                tuple.pop();
+            }
+        }
+    }
+    rec(cands, 0, 0, &mut tuple, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_base::SharedInterner;
+    use ssd_model::parse_data_graph;
+    use ssd_query::parse_query;
+
+    fn run(query: &str, data: &str) -> (BTreeSet<Vec<OidId>>, u64) {
+        let pool = SharedInterner::new();
+        let q = parse_query(query, &pool).unwrap();
+        let g = parse_data_graph(data, &pool).unwrap();
+        let rq = RootQuery::compile(&q).unwrap();
+        let cg = CostedGraph::new(&g);
+        let res = evaluate_naive(&cg, &rq);
+        (res, cg.cost())
+    }
+
+    #[test]
+    fn matches_reference_evaluator_semantics() {
+        let (res, _) = run(
+            "SELECT X, Y WHERE Root = [a.b -> X, c -> Y]",
+            "o1 = [a -> o2, c -> o4]; o2 = [b -> o3]; o3 = 1; o4 = 2",
+        );
+        assert_eq!(res.len(), 1);
+    }
+
+    #[test]
+    fn order_of_first_edges_enforced() {
+        let (res, _) = run(
+            "SELECT X, Y WHERE Root = [c -> X, a -> Y]",
+            "o1 = [a -> o2, c -> o3]; o2 = 1; o3 = 2",
+        );
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn cost_counts_full_scan() {
+        // Naive scans every edge it can justify by the query automata.
+        let (_, cost) = run(
+            "SELECT X WHERE Root = [a.c -> X]",
+            "o1 = [a -> o2]; o2 = [d -> o3]; o3 = 1",
+        );
+        // firstEdge(o1)=1, then descend (a matched, c pending):
+        // firstEdge(o2)=2, d kills the automaton (no descend),
+        // nextEdge(d)=3, nextEdge(a)=4.
+        assert_eq!(cost, 4);
+    }
+
+    #[test]
+    fn wildcard_star_explores_everything() {
+        let (res, cost) = run(
+            "SELECT X WHERE Root = [_*.v -> X]",
+            "o1 = [a -> o2, b -> o3]; o2 = [v -> o4]; o3 = [w -> o5]; o4 = 1; o5 = 2",
+        );
+        assert_eq!(res.len(), 1);
+        // Every node fully scanned: o1 (2 edges +1 null), o2 (1+1), o3
+        // (1+1), o4/o5 atomic (firstEdge each → None).
+        assert_eq!(cost, 3 + 2 + 2 + 1 + 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! The optimizer's query class: single-definition root queries
+//! `SELECT X₁,…,Xₖ WHERE Root = [R₁→X₁, …, Rₖ→Xₖ]` (the paper's §4.2
+//! setting; the extension to multiple patterns is orthogonal to the
+//! pruning machinery).
+
+use ssd_automata::glushkov;
+use ssd_automata::{LabelAtom, Nfa};
+use ssd_base::{Error, Result, VarId};
+use ssd_query::{EdgeExpr, PatDef, Query};
+
+/// A compiled single-definition root query.
+pub struct RootQuery {
+    /// Per-segment path automata.
+    pub nfas: Vec<Nfa<LabelAtom>>,
+    /// Per-segment target variables.
+    pub targets: Vec<VarId>,
+}
+
+impl RootQuery {
+    /// Compiles `q`, verifying it is in the supported class.
+    pub fn compile(q: &Query) -> Result<RootQuery> {
+        if q.defs().len() != 1 {
+            return Err(Error::unsupported(
+                "the optimizer handles single-definition queries",
+            ));
+        }
+        let (v, def) = &q.defs()[0];
+        if *v != q.root_var() {
+            return Err(Error::unsupported("the definition must bind the root"));
+        }
+        let PatDef::Ordered(entries) = def else {
+            return Err(Error::unsupported("the optimizer handles ordered patterns"));
+        };
+        let mut nfas = Vec::with_capacity(entries.len());
+        let mut targets = Vec::with_capacity(entries.len());
+        for e in entries {
+            match &e.expr {
+                EdgeExpr::Regex(r) => nfas.push(glushkov::build(r)),
+                EdgeExpr::LabelVar(_) => {
+                    return Err(Error::unsupported("label variables are not supported"))
+                }
+            }
+            targets.push(e.target);
+        }
+        Ok(RootQuery { nfas, targets })
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.nfas.len()
+    }
+
+    /// Whether there are no segments (not produced by `compile`).
+    pub fn is_empty(&self) -> bool {
+        self.nfas.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_base::SharedInterner;
+    use ssd_query::parse_query;
+
+    #[test]
+    fn compiles_single_def_queries() {
+        let pool = SharedInterner::new();
+        let q = parse_query("SELECT X, Y WHERE Root = [a.b -> X, c.d -> Y]", &pool).unwrap();
+        let rq = RootQuery::compile(&q).unwrap();
+        assert_eq!(rq.len(), 2);
+        assert!(!rq.is_empty());
+    }
+
+    #[test]
+    fn rejects_unsupported_forms() {
+        let pool = SharedInterner::new();
+        for bad in [
+            "SELECT X WHERE Root = {a -> X}",
+            "SELECT X WHERE Root = [a -> X]; X = [b -> Y]",
+            "SELECT L WHERE Root = [L -> X]",
+        ] {
+            let q = parse_query(bad, &pool).unwrap();
+            assert!(RootQuery::compile(&q).is_err(), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Variable bindings produced by query evaluation.
+
+use ssd_base::{LabelId, OidId, VarId};
+use ssd_model::Value;
+
+/// What a variable is bound to.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Bound {
+    /// A node of the data graph.
+    Node(OidId),
+    /// An edge label.
+    Label(LabelId),
+    /// An atomic value.
+    Value(Value),
+}
+
+/// A (partial) binding of query variables.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Binding {
+    slots: Vec<Option<Bound>>,
+}
+
+impl Binding {
+    /// An empty binding for `n` variables.
+    pub fn new(n: usize) -> Binding {
+        Binding {
+            slots: vec![None; n],
+        }
+    }
+
+    /// The binding of `v`, if set.
+    pub fn get(&self, v: VarId) -> Option<&Bound> {
+        self.slots[v.index()].as_ref()
+    }
+
+    /// Binds `v`; returns `false` (and leaves the binding unchanged) if `v`
+    /// is already bound to a different value.
+    pub fn bind(&mut self, v: VarId, b: Bound) -> bool {
+        match &self.slots[v.index()] {
+            Some(existing) => *existing == b,
+            None => {
+                self.slots[v.index()] = Some(b);
+                true
+            }
+        }
+    }
+
+    /// Removes the binding of `v` (for backtracking).
+    pub fn unbind(&mut self, v: VarId) {
+        self.slots[v.index()] = None;
+    }
+
+    /// Whether every variable is bound.
+    pub fn is_total(&self) -> bool {
+        self.slots.iter().all(Option::is_some)
+    }
+
+    /// Projects onto `vars`, producing a canonical tuple.
+    pub fn project(&self, vars: &[VarId]) -> Vec<Option<Bound>> {
+        vars.iter().map(|v| self.slots[v.index()].clone()).collect()
+    }
+
+    /// The full slot vector (one entry per variable).
+    pub fn slots(&self) -> &[Option<Bound>] {
+        &self.slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_conflict() {
+        let mut b = Binding::new(2);
+        assert!(b.bind(VarId(0), Bound::Node(OidId(1))));
+        assert!(b.bind(VarId(0), Bound::Node(OidId(1)))); // same value ok
+        assert!(!b.bind(VarId(0), Bound::Node(OidId(2)))); // conflict
+        assert!(!b.is_total());
+        assert!(b.bind(VarId(1), Bound::Value(Value::Int(3))));
+        assert!(b.is_total());
+    }
+
+    #[test]
+    fn unbind_for_backtracking() {
+        let mut b = Binding::new(1);
+        b.bind(VarId(0), Bound::Label(LabelId(5)));
+        b.unbind(VarId(0));
+        assert!(b.get(VarId(0)).is_none());
+        assert!(b.bind(VarId(0), Bound::Label(LabelId(6))));
+    }
+
+    #[test]
+    fn projection() {
+        let mut b = Binding::new(3);
+        b.bind(VarId(2), Bound::Node(OidId(9)));
+        let p = b.project(&[VarId(2), VarId(0)]);
+        assert_eq!(p, vec![Some(Bound::Node(OidId(9))), None]);
+    }
+}

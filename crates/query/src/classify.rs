@@ -1,0 +1,270 @@
+//! Query classification along the axes of Table 2.
+//!
+//! * **Join free**: no variable is referred to multiple times and no
+//!   variable transitively refers to itself.
+//! * **Bounded joins**: the number of join variables is ≤ B.
+//! * **Constant labels**: every edge expression is a single constant label.
+//! * **Constant suffix**: every edge expression is `R.l` for a constant
+//!   label `l` (every word of the language ends with the same label).
+//! * **Projection free**: every variable occurs in the SELECT clause.
+
+use std::collections::HashSet;
+
+use ssd_automata::{LabelAtom, Regex};
+use ssd_base::VarId;
+
+use crate::pattern::{EdgeExpr, PatDef, Query};
+
+/// The classification of a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryClass {
+    /// Variables referred to multiple times or lying on a reference cycle.
+    pub join_vars: Vec<VarId>,
+    /// Every edge expression is one constant label.
+    pub constant_labels: bool,
+    /// Every edge expression has a constant-label suffix.
+    pub constant_suffix: bool,
+    /// All variables occur in the SELECT clause.
+    pub projection_free: bool,
+    /// Whether any label variables occur.
+    pub has_label_vars: bool,
+}
+
+impl QueryClass {
+    /// Classifies `q`.
+    pub fn of(q: &Query) -> QueryClass {
+        let mut refs = vec![0usize; q.num_vars()];
+        for (_, def) in q.defs() {
+            match def {
+                PatDef::ValueVar(vv) => refs[vv.index()] += 1,
+                PatDef::Value(_) => {}
+                PatDef::Unordered(es) | PatDef::Ordered(es) => {
+                    for e in es {
+                        refs[e.target.index()] += 1;
+                        if let EdgeExpr::LabelVar(lv) = e.expr {
+                            refs[lv.index()] += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Cycle detection on the refers-to graph of node variables.
+        let mut on_cycle: HashSet<VarId> = HashSet::new();
+        for v in q.vars() {
+            if reaches_itself(q, v) {
+                on_cycle.insert(v);
+            }
+        }
+
+        let mut join_vars: Vec<VarId> = q
+            .vars()
+            .filter(|v| refs[v.index()] >= 2 || on_cycle.contains(v))
+            .collect();
+        join_vars.dedup();
+
+        let mut constant_labels = true;
+        let mut constant_suffix = true;
+        let mut has_label_vars = false;
+        for (_, def) in q.defs() {
+            for e in def.edges() {
+                match &e.expr {
+                    EdgeExpr::LabelVar(_) => {
+                        has_label_vars = true;
+                        constant_labels = false;
+                        constant_suffix = false;
+                    }
+                    EdgeExpr::Regex(r) => {
+                        if !matches!(r, Regex::Atom(LabelAtom::Label(_))) {
+                            constant_labels = false;
+                        }
+                        if constant_label_suffix(r).is_none() {
+                            constant_suffix = false;
+                        }
+                    }
+                }
+            }
+        }
+
+        let select: HashSet<VarId> = q.select().iter().copied().collect();
+        let projection_free = q.vars().all(|v| select.contains(&v));
+
+        QueryClass {
+            join_vars,
+            constant_labels,
+            constant_suffix,
+            projection_free,
+            has_label_vars,
+        }
+    }
+
+    /// Whether the query is join-free.
+    pub fn join_free(&self) -> bool {
+        self.join_vars.is_empty()
+    }
+
+    /// Whether the query has at most `b` join variables.
+    pub fn bounded_joins(&self, b: usize) -> bool {
+        self.join_vars.len() <= b
+    }
+}
+
+/// Whether node variable `v` transitively refers to itself.
+fn reaches_itself(q: &Query, v: VarId) -> bool {
+    let mut stack: Vec<VarId> = referees(q, v);
+    let mut seen: HashSet<VarId> = stack.iter().copied().collect();
+    while let Some(w) = stack.pop() {
+        if w == v {
+            return true;
+        }
+        for u in referees(q, w) {
+            if seen.insert(u) {
+                stack.push(u);
+            }
+        }
+    }
+    false
+}
+
+/// The variables `v` directly refers to (RHS of its definition).
+fn referees(q: &Query, v: VarId) -> Vec<VarId> {
+    match q.def(v) {
+        None => Vec::new(),
+        Some(PatDef::Value(_)) => Vec::new(),
+        Some(PatDef::ValueVar(vv)) => vec![*vv],
+        Some(PatDef::Unordered(es)) | Some(PatDef::Ordered(es)) => {
+            let mut out = Vec::new();
+            for e in es {
+                out.push(e.target);
+                if let EdgeExpr::LabelVar(lv) = e.expr {
+                    out.push(lv);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// The constant last label of `r`'s language, if every word ends with the
+/// same constant label.
+pub fn constant_label_suffix(r: &Regex<LabelAtom>) -> Option<LabelAtom> {
+    let lasts = last_atoms(r)?;
+    let mut iter = lasts.into_iter();
+    let first = iter.next()?;
+    if !matches!(first, LabelAtom::Label(_)) {
+        return None;
+    }
+    iter.next().is_none().then_some(first)
+}
+
+/// The set of atoms that can end a word, or `None` for ∅/{ε} oddities.
+fn last_atoms(r: &Regex<LabelAtom>) -> Option<HashSet<LabelAtom>> {
+    match r {
+        Regex::Empty | Regex::Epsilon => Some(HashSet::new()),
+        Regex::Atom(a) => Some([*a].into_iter().collect()),
+        Regex::Star(x) | Regex::Plus(x) | Regex::Opt(x) => last_atoms(x),
+        Regex::Alt(parts) => {
+            let mut out = HashSet::new();
+            for p in parts {
+                out.extend(last_atoms(p)?);
+            }
+            Some(out)
+        }
+        Regex::Concat(parts) => {
+            let mut out = HashSet::new();
+            for p in parts.iter().rev() {
+                out.extend(last_atoms(p)?);
+                if !p.nullable() {
+                    return Some(out);
+                }
+            }
+            Some(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use ssd_base::SharedInterner;
+
+    fn classify(src: &str) -> QueryClass {
+        let pool = SharedInterner::new();
+        QueryClass::of(&parse_query(src, &pool).unwrap())
+    }
+
+    #[test]
+    fn join_free_query() {
+        let c = classify(
+            r#"SELECT X1 WHERE Root = [paper -> X1];
+               X1 = [author -> X2]; X2 = "Vianu""#,
+        );
+        assert!(c.join_free());
+        assert!(c.constant_labels);
+        assert!(c.constant_suffix);
+        assert!(!c.projection_free);
+    }
+
+    #[test]
+    fn node_join_detected() {
+        let c = classify("SELECT X WHERE Root = {a -> &X, b -> &X}; &X = 1");
+        assert!(!c.join_free());
+        assert_eq!(c.join_vars.len(), 1);
+        assert!(c.bounded_joins(1));
+        assert!(!c.bounded_joins(0));
+    }
+
+    #[test]
+    fn value_join_detected() {
+        let c = classify("SELECT V WHERE Root = {a -> X, b -> Y}; X = V; Y = V");
+        assert!(!c.join_free());
+    }
+
+    #[test]
+    fn label_join_detected() {
+        let c = classify("SELECT L WHERE Root = {L -> X}; X = {L -> Y}");
+        assert!(!c.join_free());
+        assert!(c.has_label_vars);
+    }
+
+    #[test]
+    fn single_label_var_is_join_free() {
+        let c = classify("SELECT L WHERE Root = {L -> X}");
+        assert!(c.join_free());
+        assert!(c.has_label_vars);
+        assert!(!c.constant_labels);
+    }
+
+    #[test]
+    fn cycle_is_a_join() {
+        let c = classify("SELECT X WHERE Root = {a -> &X}; &X = {b -> &X}");
+        assert!(!c.join_free());
+    }
+
+    #[test]
+    fn constant_suffix_classification() {
+        // _*.name has constant suffix `name`.
+        let c = classify("SELECT X WHERE Root = {_*.name -> X}");
+        assert!(!c.constant_labels);
+        assert!(c.constant_suffix);
+        // (a|b) has two possible last labels.
+        let c2 = classify("SELECT X WHERE Root = {(a|b) -> X}");
+        assert!(!c2.constant_suffix);
+        // a.(b|c).d ends with d.
+        let c3 = classify("SELECT X WHERE Root = {a.(b|c).d -> X}");
+        assert!(c3.constant_suffix);
+        // a._ ends with the wildcard: not constant.
+        let c4 = classify("SELECT X WHERE Root = {a._ -> X}");
+        assert!(!c4.constant_suffix);
+        // a.b* : b* is nullable so last can be a or b.
+        let c5 = classify("SELECT X WHERE Root = {a.b* -> X}");
+        assert!(!c5.constant_suffix);
+    }
+
+    #[test]
+    fn projection_free_query() {
+        let c = classify("SELECT Root, X WHERE Root = {a -> X}");
+        assert!(c.projection_free);
+    }
+}

@@ -1,0 +1,559 @@
+//! Query evaluation over data graphs (Definitions 2.2 and 2.3).
+//!
+//! A binding maps node variables to nodes, label variables to labels, and
+//! value variables to values, such that every pattern definition is
+//! *satisfied* at its node: each entry `L → Y` is witnessed by a path from
+//! the node to `θ(Y)` spelling a word of `lang(L)`; at **ordered** nodes
+//! the entries' first edges must be distinct and in increasing position
+//! order; at **unordered** nodes paths may overlap freely (the paper's
+//! set-like semantics).
+//!
+//! Evaluation is backtracking over pattern definitions with memoized
+//! regular-path reachability; worst-case exponential (the queries express
+//! joins), which is expected — this evaluator is the semantics reference
+//! and the baseline for the optimizer of Section 4.2.
+
+use std::collections::{BTreeSet, HashSet};
+
+use ssd_automata::glushkov;
+use ssd_automata::syntax::Atom as _;
+use ssd_automata::{LabelAtom, Nfa};
+use ssd_base::{OidId, VarId};
+use ssd_model::{DataGraph, Node, NodeKind};
+
+use crate::binding::{Binding, Bound};
+use crate::pattern::{EdgeExpr, PatDef, Query, VarKind};
+
+/// One way to satisfy a pattern entry at a node: the index of the first
+/// edge used, the endpoint reached, and the label bound (for label-variable
+/// entries).
+#[derive(Clone, Debug)]
+struct EntryCand {
+    first_pos: usize,
+    endpoint: OidId,
+    label_var: Option<(VarId, ssd_base::LabelId)>,
+}
+
+/// Evaluates `q` on `g`, returning every total binding (deduplicated).
+pub fn evaluate(q: &Query, g: &DataGraph) -> Vec<Binding> {
+    let mut seen: BTreeSet<Vec<Option<Bound>>> = BTreeSet::new();
+    let mut out = Vec::new();
+    run(q, g, &mut |b| {
+        if seen.insert(b.slots().to_vec()) {
+            out.push(b.clone());
+        }
+        true
+    });
+    out
+}
+
+/// The set of result tuples: bindings projected on the SELECT list.
+pub fn select_results(q: &Query, g: &DataGraph) -> BTreeSet<Vec<Option<Bound>>>
+where
+    Bound: Ord,
+{
+    let mut out = BTreeSet::new();
+    run(q, g, &mut |b| {
+        out.insert(b.project(q.select()));
+        true
+    });
+    out
+}
+
+/// Whether the query has at least one result on `g`.
+pub fn is_nonempty(q: &Query, g: &DataGraph) -> bool {
+    let mut found = false;
+    run(q, g, &mut |_| {
+        found = true;
+        false // stop enumeration
+    });
+    found
+}
+
+/// Core enumeration; `emit` returns `false` to stop early.
+fn run(q: &Query, g: &DataGraph, emit: &mut dyn FnMut(&Binding) -> bool) {
+    // Precompile the regex of each entry.
+    let mut nfas: Vec<Vec<Option<Nfa<LabelAtom>>>> = Vec::with_capacity(q.defs().len());
+    for (_, def) in q.defs() {
+        nfas.push(
+            def.edges()
+                .iter()
+                .map(|e| match &e.expr {
+                    EdgeExpr::Regex(r) => Some(glushkov::build(r)),
+                    EdgeExpr::LabelVar(_) => None,
+                })
+                .collect(),
+        );
+    }
+
+    // Order definitions so each definition's variable is bound before the
+    // definition is processed (root first; processing binds targets).
+    let order = match eval_order(q) {
+        Some(o) => o,
+        None => return,
+    };
+
+    let mut binding = Binding::new(q.num_vars());
+    if !binding.bind(q.root_var(), Bound::Node(g.root())) {
+        return;
+    }
+    if !var_node_ok(q, g, q.root_var(), g.root()) {
+        return;
+    }
+    let mut stop = false;
+    process_defs(q, g, &nfas, &order, 0, &mut binding, emit, &mut stop);
+}
+
+/// Whether binding node variable `v` to node `o` respects referenceability.
+fn var_node_ok(q: &Query, g: &DataGraph, v: VarId, o: OidId) -> bool {
+    match q.kind(v) {
+        VarKind::Node { referenceable } => !referenceable || g.is_referenceable(o),
+        _ => false,
+    }
+}
+
+/// Topological-ish order: defs whose variable is already bound go first.
+fn eval_order(q: &Query) -> Option<Vec<usize>> {
+    let n = q.defs().len();
+    let mut order = Vec::with_capacity(n);
+    let mut done = vec![false; n];
+    let mut bound: HashSet<VarId> = [q.root_var()].into_iter().collect();
+    while order.len() < n {
+        let mut progressed = false;
+        for i in 0..n {
+            if done[i] {
+                continue;
+            }
+            let (v, def) = &q.defs()[i];
+            if bound.contains(v) {
+                done[i] = true;
+                order.push(i);
+                for e in def.edges() {
+                    bound.insert(e.target);
+                }
+                progressed = true;
+            }
+        }
+        if !progressed {
+            // Cannot happen for connected patterns, but guard anyway.
+            return None;
+        }
+    }
+    Some(order)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_defs(
+    q: &Query,
+    g: &DataGraph,
+    nfas: &[Vec<Option<Nfa<LabelAtom>>>],
+    order: &[usize],
+    k: usize,
+    binding: &mut Binding,
+    emit: &mut dyn FnMut(&Binding) -> bool,
+    stop: &mut bool,
+) {
+    if *stop {
+        return;
+    }
+    if k == order.len() {
+        if binding.is_total() && !emit(binding) {
+            *stop = true;
+        }
+        return;
+    }
+    let di = order[k];
+    let (v, def) = &q.defs()[di];
+    let Some(Bound::Node(o)) = binding.get(*v).cloned() else {
+        return;
+    };
+
+    match def {
+        PatDef::Value(val) => {
+            if g.node(o).value() == Some(val) {
+                process_defs(q, g, nfas, order, k + 1, binding, emit, stop);
+            }
+        }
+        PatDef::ValueVar(vv) => {
+            if let Node::Atomic(val) = g.node(o) {
+                let had = binding.get(*vv).is_some();
+                if binding.bind(*vv, Bound::Value(val.clone())) {
+                    process_defs(q, g, nfas, order, k + 1, binding, emit, stop);
+                    if !had {
+                        binding.unbind(*vv);
+                    }
+                }
+            }
+        }
+        PatDef::Unordered(entries) | PatDef::Ordered(entries) => {
+            let need = if def.is_ordered() {
+                NodeKind::Ordered
+            } else {
+                NodeKind::Unordered
+            };
+            if g.kind(o) != need {
+                return;
+            }
+            // Candidates per entry.
+            let mut cands: Vec<Vec<EntryCand>> = Vec::with_capacity(entries.len());
+            for (j, e) in entries.iter().enumerate() {
+                let cs = entry_candidates(q, g, o, &e.expr, nfas[di][j].as_ref(), binding);
+                if cs.is_empty() {
+                    return;
+                }
+                cands.push(cs);
+            }
+            choose_entries(
+                q,
+                g,
+                nfas,
+                order,
+                k,
+                def.is_ordered(),
+                entries,
+                &cands,
+                0,
+                usize::MAX,
+                binding,
+                emit,
+                stop,
+            );
+        }
+    }
+}
+
+/// All ways to satisfy one entry at node `o` under the current binding.
+fn entry_candidates(
+    q: &Query,
+    g: &DataGraph,
+    o: OidId,
+    expr: &EdgeExpr,
+    nfa: Option<&Nfa<LabelAtom>>,
+    binding: &Binding,
+) -> Vec<EntryCand> {
+    match expr {
+        EdgeExpr::LabelVar(lv) => {
+            let required = match binding.get(*lv) {
+                Some(Bound::Label(l)) => Some(*l),
+                _ => None,
+            };
+            g.edges(o)
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| required.is_none_or(|l| e.label == l))
+                .map(|(i, e)| EntryCand {
+                    first_pos: i,
+                    endpoint: e.target,
+                    label_var: Some((*lv, e.label)),
+                })
+                .collect()
+        }
+        EdgeExpr::Regex(_) => {
+            let nfa = nfa.expect("regex entry has nfa");
+            let mut out = Vec::new();
+            for (i, e) in g.edges(o).iter().enumerate() {
+                let starts = nfa.step(&[nfa.start()], &e.label);
+                if starts.is_empty() {
+                    continue;
+                }
+                for endpoint in path_endpoints(g, e.target, nfa, &starts) {
+                    out.push(EntryCand {
+                        first_pos: i,
+                        endpoint,
+                        label_var: None,
+                    });
+                }
+            }
+            let _ = q;
+            out
+        }
+    }
+}
+
+/// Product reachability: from graph node `from` in NFA states `states`,
+/// which nodes can be reached at an accepting state?
+fn path_endpoints(
+    g: &DataGraph,
+    from: OidId,
+    nfa: &Nfa<LabelAtom>,
+    states: &[usize],
+) -> Vec<OidId> {
+    let mut seen: HashSet<(OidId, usize)> = HashSet::new();
+    let mut stack: Vec<(OidId, usize)> = Vec::new();
+    let mut endpoints: BTreeSet<OidId> = BTreeSet::new();
+    for &s in states {
+        if seen.insert((from, s)) {
+            stack.push((from, s));
+        }
+    }
+    while let Some((node, st)) = stack.pop() {
+        if nfa.is_accepting(st) {
+            endpoints.insert(node);
+        }
+        for e in g.edges(node) {
+            for (a, r) in nfa.edges(st) {
+                if a.matches(&e.label) && seen.insert((e.target, *r)) {
+                    stack.push((e.target, *r));
+                }
+            }
+        }
+    }
+    endpoints.into_iter().collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn choose_entries(
+    q: &Query,
+    g: &DataGraph,
+    nfas: &[Vec<Option<Nfa<LabelAtom>>>],
+    order: &[usize],
+    k: usize,
+    ordered: bool,
+    entries: &[crate::pattern::PatEdge],
+    cands: &[Vec<EntryCand>],
+    j: usize,
+    last_pos: usize,
+    binding: &mut Binding,
+    emit: &mut dyn FnMut(&Binding) -> bool,
+    stop: &mut bool,
+) {
+    if *stop {
+        return;
+    }
+    if j == entries.len() {
+        process_defs(q, g, nfas, order, k + 1, binding, emit, stop);
+        return;
+    }
+    for c in &cands[j] {
+        if ordered && last_pos != usize::MAX && c.first_pos <= last_pos {
+            continue;
+        }
+        let target = entries[j].target;
+        if !var_node_ok(q, g, target, c.endpoint) {
+            continue;
+        }
+        let target_had = binding.get(target).is_some();
+        if !binding.bind(target, Bound::Node(c.endpoint)) {
+            continue;
+        }
+        let mut label_bound = false;
+        let mut ok = true;
+        if let Some((lv, l)) = c.label_var {
+            let had = binding.get(lv).is_some();
+            if binding.bind(lv, Bound::Label(l)) {
+                label_bound = !had;
+            } else {
+                ok = false;
+            }
+        }
+        if ok {
+            let next_last = if ordered { c.first_pos } else { last_pos };
+            choose_entries(
+                q, g, nfas, order, k, ordered, entries, cands, j + 1, next_last, binding, emit,
+                stop,
+            );
+        }
+        if label_bound {
+            if let Some((lv, _)) = c.label_var {
+                binding.unbind(lv);
+            }
+        }
+        if !target_had {
+            binding.unbind(target);
+        }
+        if *stop {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use ssd_base::SharedInterner;
+    use ssd_model::parse_data_graph;
+
+    fn setup(query: &str, data: &str) -> (Query, DataGraph) {
+        let pool = SharedInterner::new();
+        let q = parse_query(query, &pool).unwrap();
+        let g = parse_data_graph(data, &pool).unwrap();
+        (q, g)
+    }
+
+    const BIB: &str = r#"
+        o1 = [paper -> o2, paper -> o9];
+        o2 = [title -> o3, author -> o4, author -> o14];
+        o3 = "Traces";
+        o4 = [name -> o5, email -> o6];
+        o5 = [firstname -> o7, lastname -> o8];
+        o6 = "v@x"; o7 = "Victor"; o8 = "Vianu";
+        o9 = [title -> o10, author -> o11];
+        o10 = "Other"; o11 = [name -> o12, email -> o13];
+        o12 = [firstname -> o15, lastname -> o16];
+        o13 = "s@x";
+        o14 = [name -> o17, email -> o18];
+        o17 = [firstname -> o19, lastname -> o20];
+        o18 = "a@x"; o19 = "Serge"; o20 = "Abiteboul";
+        o15 = "John"; o16 = "Smith"
+    "#;
+
+    #[test]
+    fn finds_papers_with_both_authors_in_order() {
+        // Vianu (author 1) before Abiteboul (author 2): o2 qualifies.
+        let (q, g) = setup(
+            r#"SELECT X1
+               WHERE Root = [paper -> X1];
+                     X1 = [author.name._* -> X2, author.name._* -> X3];
+                     X2 = "Vianu"; X3 = "Abiteboul""#,
+            BIB,
+        );
+        let res = select_results(&q, &g);
+        assert_eq!(res.len(), 1);
+        let o2 = g.by_name("o2").unwrap();
+        assert_eq!(
+            res.iter().next().unwrap()[0],
+            Some(Bound::Node(o2))
+        );
+    }
+
+    #[test]
+    fn order_constraint_rejects_swapped_authors() {
+        // Abiteboul before Vianu fails (ordered node, positions must
+        // increase).
+        let (q, g) = setup(
+            r#"SELECT X1
+               WHERE Root = [paper -> X1];
+                     X1 = [author.name._* -> X2, author.name._* -> X3];
+                     X2 = "Abiteboul"; X3 = "Vianu""#,
+            BIB,
+        );
+        assert!(!is_nonempty(&q, &g));
+    }
+
+    #[test]
+    fn wildcard_paths_reach_deep() {
+        let (q, g) = setup(
+            r#"SELECT X WHERE Root = [_*.lastname -> X]"#,
+            BIB,
+        );
+        let res = select_results(&q, &g);
+        assert_eq!(res.len(), 3); // Vianu, Abiteboul, Smith nodes
+    }
+
+    #[test]
+    fn unordered_nodes_allow_overlap() {
+        let (q, g) = setup(
+            "SELECT X, Y WHERE Root = {a -> X, a -> Y}",
+            "o1 = {a -> o2}; o2 = 1",
+        );
+        // Set semantics: both entries may bind the same edge.
+        let res = select_results(&q, &g);
+        assert_eq!(res.len(), 1);
+    }
+
+    #[test]
+    fn ordered_nodes_forbid_overlap() {
+        let (q, g) = setup(
+            "SELECT X, Y WHERE Root = [a -> X, a -> Y]",
+            "o1 = [a -> o2]; o2 = 1",
+        );
+        assert!(!is_nonempty(&q, &g));
+        let (q2, g2) = setup(
+            "SELECT X, Y WHERE Root = [a -> X, a -> Y]",
+            "o1 = [a -> o2, a -> o3]; o2 = 1; o3 = 2",
+        );
+        assert_eq!(select_results(&q2, &g2).len(), 1);
+    }
+
+    #[test]
+    fn label_variable_binds_labels() {
+        let (q, g) = setup(
+            "SELECT L WHERE Root = {L -> X}",
+            "o1 = {a -> o2, b -> o3}; o2 = 1; o3 = 2",
+        );
+        let res = select_results(&q, &g);
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn label_join_requires_same_label() {
+        let (q, g) = setup(
+            "SELECT L WHERE Root = {L -> X}; X = {L -> Y}",
+            "o1 = {a -> o2, b -> o4}; o2 = {a -> o3}; o3 = 1; o4 = {c -> o5}; o5 = 2",
+        );
+        let res = select_results(&q, &g);
+        // Only the a→(a→…) chain matches (b→(c→…) has different labels).
+        assert_eq!(res.len(), 1);
+        let a = g.pool().get("a").unwrap();
+        assert_eq!(res.iter().next().unwrap()[0], Some(Bound::Label(a)));
+    }
+
+    #[test]
+    fn value_join_across_definitions() {
+        let (q, g) = setup(
+            "SELECT V WHERE Root = {a -> X, b -> Y}; X = V; Y = V",
+            r#"o1 = {a -> o2, b -> o3}; o2 = "same"; o3 = "same""#,
+        );
+        assert_eq!(select_results(&q, &g).len(), 1);
+        let (q2, g2) = setup(
+            "SELECT V WHERE Root = {a -> X, b -> Y}; X = V; Y = V",
+            r#"o1 = {a -> o2, b -> o3}; o2 = "one"; o3 = "two""#,
+        );
+        assert!(!is_nonempty(&q2, &g2));
+    }
+
+    #[test]
+    fn node_join_through_referenceable_target() {
+        let (q, g) = setup(
+            "SELECT X WHERE Root = {a -> &X, b -> &X}; &X = 7",
+            "o1 = {a -> &o2, b -> &o2}; &o2 = 7",
+        );
+        assert_eq!(select_results(&q, &g).len(), 1);
+        let (q2, g2) = setup(
+            "SELECT X WHERE Root = {a -> &X, b -> &X}; &X = 7",
+            "o1 = {a -> &o2, b -> &o3}; &o2 = 7; &o3 = 7",
+        );
+        assert!(!is_nonempty(&q2, &g2));
+    }
+
+    #[test]
+    fn referenceable_var_requires_referenceable_node() {
+        let (q, g) = setup(
+            "SELECT X WHERE Root = {a -> &X}",
+            "o1 = {a -> o2}; o2 = 1",
+        );
+        assert!(!is_nonempty(&q, &g));
+    }
+
+    #[test]
+    fn cyclic_data_with_star_paths() {
+        let (q, g) = setup(
+            "SELECT X WHERE Root = {a.a.a.a.a -> X}",
+            "o1 = {a -> &o2}; &o2 = {a -> &o2, stop -> o3}; o3 = 1",
+        );
+        // Path a^5 loops through &o2.
+        assert!(is_nonempty(&q, &g));
+    }
+
+    #[test]
+    fn boolean_query_nonempty() {
+        let (q, g) = setup("SELECT WHERE Root = {_+ -> X}", "o1 = {a -> o2}; o2 = 1");
+        assert!(is_nonempty(&q, &g));
+        let res = select_results(&q, &g);
+        assert_eq!(res.len(), 1); // the empty tuple
+        assert!(res.iter().next().unwrap().is_empty());
+    }
+
+    #[test]
+    fn atomic_root_fails_collection_pattern() {
+        let (q, g) = setup("SELECT X WHERE Root = {a -> X}", "o1 = 5");
+        assert!(!is_nonempty(&q, &g));
+    }
+
+    #[test]
+    fn kind_mismatch_ordered_vs_unordered() {
+        let (q, g) = setup("SELECT X WHERE Root = [a -> X]", "o1 = {a -> o2}; o2 = 1");
+        assert!(!is_nonempty(&q, &g));
+    }
+}

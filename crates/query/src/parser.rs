@@ -1,0 +1,663 @@
+//! Parser for selection queries.
+//!
+//! ```text
+//! Query  ::= SELECT Var, …, Var WHERE PatDef ; … ; PatDef
+//! PatDef ::= NodeVar = value | NodeVar = ValueVar
+//!          | NodeVar = {P} | NodeVar = [P]
+//! P      ::= L -> NodeVar , … , L -> NodeVar
+//! L      ::= path-regex | LabelVar
+//! ```
+//!
+//! Identifiers starting uppercase are variables; lowercase identifiers are
+//! labels. `&X` marks a referenceable node variable. A `SELECT` list may be
+//! empty (a boolean query). Path-expression languages must not contain the
+//! empty word (they describe actual paths — a paper requirement).
+
+use std::collections::HashMap;
+
+use ssd_automata::{LabelAtom, Regex};
+use ssd_base::{Error, Result, SharedInterner, VarId};
+use ssd_model::Value;
+
+use crate::pattern::{EdgeExpr, PatDef, PatEdge, Query, VarKind};
+
+/// Parses a selection query.
+pub fn parse_query(input: &str, pool: &SharedInterner) -> Result<Query> {
+    let mut p = P {
+        input,
+        pos: 0,
+        pool,
+        names: Vec::new(),
+        kinds: Vec::new(),
+        by_name: HashMap::new(),
+    };
+    p.keyword("SELECT")?;
+    let mut select_names: Vec<String> = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.peek_keyword("WHERE") {
+            break;
+        }
+        let (name, _) = p.var_ref()?;
+        select_names.push(name);
+        p.skip_ws();
+        if !p.eat(',') {
+            break;
+        }
+    }
+    p.keyword("WHERE")?;
+
+    let mut defs: Vec<(VarId, PatDef)> = Vec::new();
+    loop {
+        let def = parse_def(&mut p)?;
+        defs.push(def);
+        p.skip_ws();
+        if p.eat(';') {
+            continue;
+        }
+        if p.at_end() {
+            break;
+        }
+        return Err(Error::parse(format!(
+            "expected ';' between pattern definitions at byte {}",
+            p.pos
+        )));
+    }
+    if defs.is_empty() {
+        return Err(Error::parse("a query needs at least one pattern definition"));
+    }
+
+    // Resolve the SELECT list (names must occur in the WHERE clause).
+    let mut select = Vec::with_capacity(select_names.len());
+    for n in &select_names {
+        match p.by_name.get(n) {
+            Some(&v) => select.push(v),
+            None => {
+                return Err(Error::undefined(format!(
+                    "SELECT variable {n} does not occur in the WHERE clause"
+                )))
+            }
+        }
+    }
+
+    // Each node variable defined at most once.
+    {
+        let mut seen = vec![false; p.names.len()];
+        for (v, _) in &defs {
+            if seen[v.index()] {
+                return Err(Error::invalid(format!(
+                    "node variable {} defined twice",
+                    p.names[v.index()]
+                )));
+            }
+            seen[v.index()] = true;
+        }
+    }
+
+    // Path languages must not contain the empty word or be empty.
+    for (_, def) in &defs {
+        for e in def.edges() {
+            if let EdgeExpr::Regex(r) = &e.expr {
+                if r.nullable() {
+                    return Err(Error::invalid(
+                        "path expressions must not accept the empty word",
+                    ));
+                }
+                if r.is_empty_lang() {
+                    return Err(Error::invalid("path expression has an empty language"));
+                }
+            }
+        }
+    }
+
+    let q = Query::from_parts(pool.clone(), p.names, p.kinds, defs, select);
+    check_connected(&q)?;
+    Ok(q)
+}
+
+/// The paper assumes patterns are *connected*: the root variable
+/// transitively refers to every variable.
+fn check_connected(q: &Query) -> Result<()> {
+    let mut seen = vec![false; q.num_vars()];
+    let mut stack = vec![q.root_var()];
+    seen[q.root_var().index()] = true;
+    while let Some(v) = stack.pop() {
+        if let Some(def) = q.def(v) {
+            let touch = |w: VarId, stack: &mut Vec<VarId>, seen: &mut Vec<bool>| {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    stack.push(w);
+                }
+            };
+            match def {
+                PatDef::ValueVar(vv) => touch(*vv, &mut stack, &mut seen),
+                PatDef::Value(_) => {}
+                PatDef::Unordered(es) | PatDef::Ordered(es) => {
+                    for e in es {
+                        touch(e.target, &mut stack, &mut seen);
+                        if let EdgeExpr::LabelVar(lv) = e.expr {
+                            touch(lv, &mut stack, &mut seen);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for v in q.vars() {
+        if !seen[v.index()] {
+            return Err(Error::invalid(format!(
+                "pattern is not connected: variable {} is unreachable from the root",
+                q.var_name(v)
+            )));
+        }
+    }
+    Ok(())
+}
+
+struct P<'a> {
+    input: &'a str,
+    pos: usize,
+    pool: &'a SharedInterner,
+    names: Vec<String>,
+    kinds: Vec<VarKind>,
+    by_name: HashMap<String, VarId>,
+}
+
+fn parse_def(p: &mut P<'_>) -> Result<(VarId, PatDef)> {
+    let (name, referenceable) = p.var_ref()?;
+    let v = p.declare_node(&name, referenceable)?;
+    p.expect('=')?;
+    p.skip_ws();
+    match p.peek() {
+        Some('{') => {
+            p.eat('{');
+            let es = parse_entries(p, '}')?;
+            Ok((v, PatDef::Unordered(es)))
+        }
+        Some('[') => {
+            p.eat('[');
+            let es = parse_entries(p, ']')?;
+            Ok((v, PatDef::Ordered(es)))
+        }
+        Some(c) if c.is_uppercase() => {
+            let (vname, _) = p.var_ref()?;
+            let vv = p.declare(&vname, VarKind::Value)?;
+            Ok((v, PatDef::ValueVar(vv)))
+        }
+        _ => {
+            let val = p.value()?;
+            Ok((v, PatDef::Value(val)))
+        }
+    }
+}
+
+fn parse_entries(p: &mut P<'_>, close: char) -> Result<Vec<PatEdge>> {
+    let mut out = Vec::new();
+    p.skip_ws();
+    if p.eat(close) {
+        return Ok(out);
+    }
+    loop {
+        let expr = parse_edge_expr(p)?;
+        p.arrow()?;
+        let (tname, referenceable) = p.var_ref()?;
+        let target = p.declare_node(&tname, referenceable)?;
+        out.push(PatEdge { expr, target });
+        p.skip_ws();
+        if p.eat(',') {
+            continue;
+        }
+        p.expect(close)?;
+        break;
+    }
+    Ok(out)
+}
+
+/// Parses `L`: either a single uppercase identifier (label variable) or a
+/// regular path expression.
+fn parse_edge_expr(p: &mut P<'_>) -> Result<EdgeExpr> {
+    p.skip_ws();
+    if let Some(c) = p.peek() {
+        if c.is_uppercase() {
+            let (name, _) = p.var_ref()?;
+            let v = p.declare(&name, VarKind::Label)?;
+            // A label variable must stand alone (Table 1: L ::= R | labelVar).
+            p.skip_ws();
+            if matches!(p.peek(), Some('.' | '|' | '*' | '+' | '?')) {
+                return Err(Error::parse(
+                    "a label variable cannot occur inside a path expression",
+                ));
+            }
+            return Ok(EdgeExpr::LabelVar(v));
+        }
+    }
+    let re = regex_alt(p)?;
+    Ok(EdgeExpr::Regex(re))
+}
+
+fn regex_alt(p: &mut P<'_>) -> Result<Regex<LabelAtom>> {
+    let mut parts = vec![regex_concat(p)?];
+    while p.peek() == Some('|') {
+        p.eat('|');
+        parts.push(regex_concat(p)?);
+    }
+    Ok(if parts.len() == 1 {
+        parts.pop().expect("len checked")
+    } else {
+        Regex::alt(parts)
+    })
+}
+
+fn regex_concat(p: &mut P<'_>) -> Result<Regex<LabelAtom>> {
+    let mut parts = vec![regex_postfix(p)?];
+    while p.peek() == Some('.') {
+        p.eat('.');
+        parts.push(regex_postfix(p)?);
+    }
+    Ok(if parts.len() == 1 {
+        parts.pop().expect("len checked")
+    } else {
+        Regex::concat(parts)
+    })
+}
+
+fn regex_postfix(p: &mut P<'_>) -> Result<Regex<LabelAtom>> {
+    let mut re = regex_atom(p)?;
+    loop {
+        match p.peek() {
+            Some('*') => {
+                p.eat('*');
+                re = Regex::star(re);
+            }
+            Some('+') => {
+                p.eat('+');
+                re = Regex::plus(re);
+            }
+            Some('?') => {
+                p.eat('?');
+                re = Regex::opt(re);
+            }
+            _ => break,
+        }
+    }
+    Ok(re)
+}
+
+fn regex_atom(p: &mut P<'_>) -> Result<Regex<LabelAtom>> {
+    match p.peek() {
+        Some('(') => {
+            p.eat('(');
+            if p.peek() == Some(')') {
+                p.eat(')');
+                return Ok(Regex::Epsilon);
+            }
+            let re = regex_alt(p)?;
+            p.expect(')')?;
+            Ok(re)
+        }
+        Some('_') => {
+            p.pos += 1;
+            Ok(Regex::atom(LabelAtom::Any))
+        }
+        Some(c) if c.is_lowercase() => {
+            let word = p.ident()?;
+            if word == "epsilon" {
+                Ok(Regex::Epsilon)
+            } else {
+                Ok(Regex::atom(LabelAtom::Label(p.pool.intern(&word))))
+            }
+        }
+        Some(c) if c.is_uppercase() => Err(Error::parse(
+            "a label variable cannot occur inside a path expression",
+        )),
+        other => Err(Error::parse(format!(
+            "expected path-expression atom at byte {}, found {other:?}",
+            p.pos
+        ))),
+    }
+}
+
+impl<'a> P<'a> {
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.input.len()
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.rest().chars().next()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(Error::parse(format!(
+                "expected '{c}' at byte {} near {:?}",
+                self.pos,
+                self.rest().chars().take(12).collect::<String>()
+            )))
+        }
+    }
+
+    fn peek_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        self.rest().starts_with(kw)
+            && !self.rest()[kw.len()..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric())
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        if self.peek_keyword(kw) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(Error::parse(format!(
+                "expected keyword {kw} at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn arrow(&mut self) -> Result<()> {
+        self.skip_ws();
+        if self.rest().starts_with("->") {
+            self.pos += 2;
+            Ok(())
+        } else if self.rest().starts_with('→') {
+            self.pos += '→'.len_utf8();
+            Ok(())
+        } else {
+            Err(Error::parse(format!("expected '->' at byte {}", self.pos)))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        for c in self.rest().chars() {
+            if c.is_alphanumeric() || c == ':' || c == '-' {
+                if c == '-' {
+                    let after = &self.input[self.pos + 1..];
+                    if self.pos == start || after.starts_with('>') {
+                        break;
+                    }
+                }
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(Error::parse(format!("expected identifier at byte {start}")));
+        }
+        Ok(self.input[start..self.pos].to_owned())
+    }
+
+    fn var_ref(&mut self) -> Result<(String, bool)> {
+        self.skip_ws();
+        let referenceable = self.eat('&');
+        let name = self.ident()?;
+        match name.chars().next() {
+            Some(c) if c.is_uppercase() => Ok((name, referenceable)),
+            _ => Err(Error::parse(format!(
+                "variable names start with an uppercase letter, found {name:?}"
+            ))),
+        }
+    }
+
+    fn declare(&mut self, name: &str, kind: VarKind) -> Result<VarId> {
+        if let Some(&v) = self.by_name.get(name) {
+            let existing = self.kinds[v.index()];
+            let compatible = match (existing, kind) {
+                (VarKind::Node { .. }, VarKind::Node { .. }) => true,
+                (a, b) => a == b,
+            };
+            if !compatible {
+                return Err(Error::invalid(format!(
+                    "variable {name} used with conflicting kinds ({existing:?} vs {kind:?})"
+                )));
+            }
+            if let (
+                VarKind::Node { referenceable: r },
+                VarKind::Node {
+                    referenceable: true,
+                },
+            ) = (existing, kind)
+            {
+                if !r {
+                    self.kinds[v.index()] = VarKind::Node {
+                        referenceable: true,
+                    };
+                }
+            }
+            return Ok(v);
+        }
+        let v = VarId::from_usize(self.names.len());
+        self.names.push(name.to_owned());
+        self.kinds.push(kind);
+        self.by_name.insert(name.to_owned(), v);
+        Ok(v)
+    }
+
+    fn declare_node(&mut self, name: &str, referenceable: bool) -> Result<VarId> {
+        self.declare(name, VarKind::Node { referenceable })
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') => {
+                self.pos += 1;
+                let mut s = String::new();
+                let mut iter = self.rest().char_indices();
+                loop {
+                    match iter.next() {
+                        Some((i, '"')) => {
+                            self.pos += i + 1;
+                            return Ok(Value::Str(s));
+                        }
+                        Some((_, '\\')) => match iter.next() {
+                            Some((_, c)) => s.push(c),
+                            None => break,
+                        },
+                        Some((_, c)) => s.push(c),
+                        None => break,
+                    }
+                }
+                Err(Error::parse("unterminated string literal"))
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let start = self.pos;
+                let mut is_float = false;
+                let mut first = true;
+                for ch in self.rest().chars() {
+                    if ch.is_ascii_digit() || (first && (ch == '-' || ch == '+')) {
+                        self.pos += ch.len_utf8();
+                    } else if ch == '.' || ch == 'e' || ch == 'E' {
+                        is_float = true;
+                        self.pos += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                    first = false;
+                }
+                let text = &self.input[start..self.pos];
+                if is_float {
+                    text.parse::<f64>()
+                        .map(Value::Float)
+                        .map_err(|e| Error::parse(format!("bad float {text:?}: {e}")))
+                } else {
+                    text.parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|e| Error::parse(format!("bad int {text:?}: {e}")))
+                }
+            }
+            _ => {
+                let word = self.ident()?;
+                match word.as_str() {
+                    "true" => Ok(Value::Bool(true)),
+                    "false" => Ok(Value::Bool(false)),
+                    _ => Err(Error::parse(format!("expected a value, found {word:?}"))),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> SharedInterner {
+        SharedInterner::new()
+    }
+
+    #[test]
+    fn parses_the_papers_abiteboul_vianu_query() {
+        let p = pool();
+        let q = parse_query(
+            r#"SELECT X1
+               WHERE Root = [paper -> X1];
+                     X1 = [author.name._* -> X2, author.name._* -> X3];
+                     X2 = "Vianu"; X3 = "Abiteboul""#,
+            &p,
+        )
+        .unwrap();
+        assert_eq!(q.num_vars(), 4);
+        assert_eq!(q.defs().len(), 4);
+        assert_eq!(q.var_name(q.root_var()), "Root");
+    }
+
+    #[test]
+    fn parses_table1_pattern_example() {
+        // X={a*->Y,(b|(c.d))->U}; Y=[a->Z,(c|d)->V]; U=3.14; V=2.71
+        let p = pool();
+        let q = parse_query(
+            "SELECT X WHERE X = {a* -> Y, (b|(c.d)) -> U}; Y = [a -> Z, (c|d) -> V]; U = 3.14; V = 2.71",
+            &p,
+        );
+        // a* is nullable -> must be rejected (paths are non-empty).
+        assert!(q.is_err());
+        let q2 = parse_query(
+            "SELECT X WHERE X = {a+ -> Y, (b|(c.d)) -> U}; Y = [a -> Z, (c|d) -> V]; U = 3.14; V = 2.71",
+            &p,
+        )
+        .unwrap();
+        assert_eq!(q2.defs().len(), 4);
+        assert!(q2.var_by_name("Z").is_some());
+    }
+
+    #[test]
+    fn boolean_query_with_empty_select() {
+        let p = pool();
+        let q = parse_query("SELECT WHERE Root = [a -> X]", &p).unwrap();
+        assert!(q.select().is_empty());
+    }
+
+    #[test]
+    fn label_variables() {
+        let p = pool();
+        let q = parse_query("SELECT L WHERE Root = {L -> X}; X = 1", &p).unwrap();
+        let l = q.var_by_name("L").unwrap();
+        assert_eq!(q.kind(l), VarKind::Label);
+    }
+
+    #[test]
+    fn label_variable_inside_regex_rejected() {
+        let p = pool();
+        assert!(parse_query("SELECT X WHERE Root = {a.L -> X}", &p).is_err());
+        assert!(parse_query("SELECT X WHERE Root = {L.a -> X}", &p).is_err());
+        assert!(parse_query("SELECT X WHERE Root = {L* -> X}", &p).is_err());
+    }
+
+    #[test]
+    fn value_variables_and_joins() {
+        let p = pool();
+        let q = parse_query(
+            "SELECT V WHERE Root = {a -> X, b -> Y}; X = V; Y = V",
+            &p,
+        )
+        .unwrap();
+        let v = q.var_by_name("V").unwrap();
+        assert_eq!(q.kind(v), VarKind::Value);
+    }
+
+    #[test]
+    fn kind_conflicts_rejected() {
+        let p = pool();
+        // V used as node target and as value variable.
+        assert!(parse_query("SELECT V WHERE Root = {a -> V, b -> X}; X = V", &p).is_err());
+        // L used as label variable and as node variable.
+        assert!(parse_query("SELECT L WHERE Root = {L -> X}; L = 1", &p).is_err());
+    }
+
+    #[test]
+    fn referenceable_variables() {
+        let p = pool();
+        let q = parse_query(
+            "SELECT X WHERE Root = {a -> &X, b -> &X}; &X = 1",
+            &p,
+        )
+        .unwrap();
+        let x = q.var_by_name("X").unwrap();
+        assert_eq!(
+            q.kind(x),
+            VarKind::Node {
+                referenceable: true
+            }
+        );
+    }
+
+    #[test]
+    fn double_definition_rejected() {
+        let p = pool();
+        assert!(parse_query("SELECT X WHERE X = 1; X = 2", &p).is_err());
+    }
+
+    #[test]
+    fn disconnected_pattern_rejected() {
+        let p = pool();
+        assert!(parse_query("SELECT X WHERE Root = {a -> X}; Y = 1", &p).is_err());
+    }
+
+    #[test]
+    fn empty_word_paths_rejected() {
+        let p = pool();
+        assert!(parse_query("SELECT X WHERE Root = {_* -> X}", &p).is_err());
+        assert!(parse_query("SELECT X WHERE Root = {a? -> X}", &p).is_err());
+        assert!(parse_query("SELECT X WHERE Root = {_+ -> X}", &p).is_ok());
+    }
+
+    #[test]
+    fn select_variable_must_occur() {
+        let p = pool();
+        assert!(parse_query("SELECT Z WHERE Root = {a -> X}", &p).is_err());
+    }
+
+    #[test]
+    fn lowercase_variable_rejected() {
+        let p = pool();
+        assert!(parse_query("SELECT x WHERE x = 1", &p).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Atomic types: `int`, `float`, `string`, `bool`.
+
+use std::fmt;
+
+use ssd_model::Value;
+
+/// An atomic type of ScmDL. The paper leaves the set of atomic types open
+/// ("int, float, multimedia object, etc."); we provide the four used by its
+/// examples and by DTDs (`#PCDATA` imports as [`AtomicType::Str`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum AtomicType {
+    /// Integers.
+    Int,
+    /// Floating-point numbers.
+    Float,
+    /// Strings (also `#PCDATA`).
+    Str,
+    /// Booleans.
+    Bool,
+}
+
+impl AtomicType {
+    /// Whether `v` belongs to this atomic type.
+    pub fn admits(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (AtomicType::Int, Value::Int(_))
+                | (AtomicType::Float, Value::Float(_))
+                | (AtomicType::Str, Value::Str(_))
+                | (AtomicType::Bool, Value::Bool(_))
+        )
+    }
+
+    /// A canonical inhabitant, used when synthesizing witness databases.
+    pub fn example_value(&self) -> Value {
+        match self {
+            AtomicType::Int => Value::Int(0),
+            AtomicType::Float => Value::Float(0.0),
+            AtomicType::Str => Value::Str("s".to_owned()),
+            AtomicType::Bool => Value::Bool(false),
+        }
+    }
+
+    /// The atomic type of a value.
+    pub fn of(v: &Value) -> AtomicType {
+        match v {
+            Value::Int(_) => AtomicType::Int,
+            Value::Float(_) => AtomicType::Float,
+            Value::Str(_) => AtomicType::Str,
+            Value::Bool(_) => AtomicType::Bool,
+        }
+    }
+
+    /// All atomic types.
+    pub fn all() -> [AtomicType; 4] {
+        [
+            AtomicType::Int,
+            AtomicType::Float,
+            AtomicType::Str,
+            AtomicType::Bool,
+        ]
+    }
+
+    /// Parses the keyword used in ScmDL sources.
+    pub fn from_keyword(s: &str) -> Option<AtomicType> {
+        match s {
+            "int" | "integer" => Some(AtomicType::Int),
+            "float" | "real" => Some(AtomicType::Float),
+            "string" | "str" => Some(AtomicType::Str),
+            "bool" | "boolean" => Some(AtomicType::Bool),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AtomicType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AtomicType::Int => "int",
+            AtomicType::Float => "float",
+            AtomicType::Str => "string",
+            AtomicType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_matching_values_only() {
+        assert!(AtomicType::Int.admits(&Value::Int(3)));
+        assert!(!AtomicType::Int.admits(&Value::Float(3.0)));
+        assert!(AtomicType::Str.admits(&Value::from("x")));
+        assert!(AtomicType::Bool.admits(&Value::Bool(true)));
+        assert!(!AtomicType::Float.admits(&Value::from("x")));
+    }
+
+    #[test]
+    fn examples_inhabit_their_types() {
+        for t in AtomicType::all() {
+            assert!(t.admits(&t.example_value()));
+            assert_eq!(AtomicType::of(&t.example_value()), t);
+        }
+    }
+
+    #[test]
+    fn keyword_round_trip() {
+        for t in AtomicType::all() {
+            assert_eq!(AtomicType::from_keyword(&t.to_string()), Some(t));
+        }
+        assert_eq!(AtomicType::from_keyword("blob"), None);
+    }
+}

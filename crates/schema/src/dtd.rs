@@ -1,0 +1,344 @@
+//! DTD import: `<!ELEMENT …>` declarations → ScmDL schemas.
+//!
+//! The paper observes that DTDs are schemas where (1) all types are
+//! ordered, (2) all types are *tagged* (labels and type ids are in
+//! one-to-one correspondence), and (3) all types are non-referenceable —
+//! the class `DTD−`. This importer produces exactly that: element `e` gets
+//! type `E_e`, and each content-model name `c` becomes the symbol
+//! `c → E_c`.
+//!
+//! Supported content models: `EMPTY`, `#PCDATA` (with or without
+//! parentheses), names, sequences `,`, alternation `|`, grouping, and the
+//! postfix operators `* + ?`.
+
+use std::collections::HashMap;
+
+use ssd_base::{Error, Result, SharedInterner, TypeIdx};
+
+use crate::atomic::AtomicType;
+use crate::schema::{Schema, SchemaBuilder};
+use crate::types::{SchemaAtom, TypeDef};
+use ssd_automata::Regex;
+
+/// Parses a DTD into a schema. The first `<!ELEMENT …>` declaration is the
+/// root type (the paper's convention for schemas).
+pub fn parse_dtd(input: &str, pool: &SharedInterner) -> Result<Schema> {
+    // Pass 1: collect declarations.
+    let mut decls: Vec<(String, String)> = Vec::new();
+    let mut rest = input;
+    loop {
+        let Some(start) = rest.find("<!ELEMENT") else {
+            break;
+        };
+        let after = &rest[start + "<!ELEMENT".len()..];
+        let Some(end) = after.find('>') else {
+            return Err(Error::parse("unterminated <!ELEMENT declaration"));
+        };
+        let body = after[..end].trim();
+        let (name, content) = match body.split_once(char::is_whitespace) {
+            Some((n, c)) => (n.trim().to_owned(), c.trim().to_owned()),
+            None => {
+                return Err(Error::parse(format!(
+                    "malformed <!ELEMENT declaration: {body:?}"
+                )))
+            }
+        };
+        decls.push((name, content));
+        rest = &after[end + 1..];
+    }
+    if decls.is_empty() {
+        return Err(Error::parse("no <!ELEMENT declarations found"));
+    }
+    // Check the remainder holds nothing but ignorable content.
+    if rest.trim().chars().any(|c| !c.is_whitespace()) && rest.contains("<!") {
+        // Other declaration kinds (<!ATTLIST, …) are out of scope.
+        return Err(Error::unsupported(
+            "only <!ELEMENT declarations are supported",
+        ));
+    }
+
+    let mut b = SchemaBuilder::new(pool.clone());
+    let mut type_of: HashMap<String, TypeIdx> = HashMap::new();
+    // Declare element types in order so the first element is the root.
+    for (name, _) in &decls {
+        if type_of.contains_key(name) {
+            return Err(Error::invalid(format!("element {name} declared twice")));
+        }
+        let t = b.declare(&format!("E_{name}"), false);
+        type_of.insert(name.clone(), t);
+    }
+
+    for (name, content) in &decls {
+        let t = type_of[name];
+        let def = parse_content(content, pool, &mut b, &type_of)?;
+        b.define(t, def)?;
+    }
+    b.finish()
+}
+
+fn parse_content(
+    content: &str,
+    pool: &SharedInterner,
+    b: &mut SchemaBuilder,
+    type_of: &HashMap<String, TypeIdx>,
+) -> Result<TypeDef> {
+    let trimmed = content.trim();
+    if trimmed == "EMPTY" {
+        return Ok(TypeDef::Ordered(Regex::Epsilon));
+    }
+    if trimmed == "#PCDATA" || trimmed == "(#PCDATA)" || trimmed == "( #PCDATA )" {
+        return Ok(TypeDef::Atomic(AtomicType::Str));
+    }
+    if trimmed == "ANY" {
+        return Err(Error::unsupported("ANY content models are not supported"));
+    }
+    let mut p = C {
+        input: trimmed,
+        pos: 0,
+    };
+    let re = p.alt(pool, b, type_of)?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(Error::parse(format!(
+            "trailing content in content model {trimmed:?}"
+        )));
+    }
+    Ok(TypeDef::Ordered(re))
+}
+
+struct C<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> C<'a> {
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.rest().chars().next()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn alt(
+        &mut self,
+        pool: &SharedInterner,
+        b: &mut SchemaBuilder,
+        type_of: &HashMap<String, TypeIdx>,
+    ) -> Result<Regex<SchemaAtom>> {
+        let mut parts = vec![self.seq(pool, b, type_of)?];
+        while self.eat('|') {
+            parts.push(self.seq(pool, b, type_of)?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Regex::alt(parts)
+        })
+    }
+
+    fn seq(
+        &mut self,
+        pool: &SharedInterner,
+        b: &mut SchemaBuilder,
+        type_of: &HashMap<String, TypeIdx>,
+    ) -> Result<Regex<SchemaAtom>> {
+        let mut parts = vec![self.postfix(pool, b, type_of)?];
+        while self.eat(',') {
+            parts.push(self.postfix(pool, b, type_of)?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Regex::concat(parts)
+        })
+    }
+
+    fn postfix(
+        &mut self,
+        pool: &SharedInterner,
+        b: &mut SchemaBuilder,
+        type_of: &HashMap<String, TypeIdx>,
+    ) -> Result<Regex<SchemaAtom>> {
+        let mut re = self.atom(pool, b, type_of)?;
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.eat('*');
+                    re = Regex::star(re);
+                }
+                Some('+') => {
+                    self.eat('+');
+                    re = Regex::plus(re);
+                }
+                Some('?') => {
+                    self.eat('?');
+                    re = Regex::opt(re);
+                }
+                _ => break,
+            }
+        }
+        Ok(re)
+    }
+
+    fn atom(
+        &mut self,
+        pool: &SharedInterner,
+        b: &mut SchemaBuilder,
+        type_of: &HashMap<String, TypeIdx>,
+    ) -> Result<Regex<SchemaAtom>> {
+        if self.eat('(') {
+            let re = self.alt(pool, b, type_of)?;
+            if !self.eat(')') {
+                return Err(Error::parse("expected ')' in content model"));
+            }
+            return Ok(re);
+        }
+        self.skip_ws();
+        let start = self.pos;
+        for c in self.rest().chars() {
+            if c.is_alphanumeric() || c == '-' || c == '_' || c == ':' {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(Error::parse(format!(
+                "expected element name at byte {start} of content model {:?}",
+                self.input
+            )));
+        }
+        let name = &self.input[start..self.pos];
+        let t = match type_of.get(name) {
+            Some(&t) => t,
+            None => {
+                // Referencing an undeclared element: declare it implicitly
+                // with #PCDATA? No — DTD validity requires a declaration.
+                let _ = b;
+                return Err(Error::undefined(format!(
+                    "content model references undeclared element {name}"
+                )));
+            }
+        };
+        Ok(Regex::atom(SchemaAtom::new(pool.intern(name), t)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::SchemaClass;
+    use crate::types::TypeKind;
+
+    /// The paper's DTD for the bibliography example (Section 2).
+    pub const PAPER_DTD: &str = r#"
+        <!ELEMENT Document (paper*) >
+        <!ELEMENT paper (title,(author)*) >
+        <!ELEMENT title #PCDATA >
+        <!ELEMENT author (name, email) >
+        <!ELEMENT name (firstname,lastname) >
+        <!ELEMENT firstname #PCDATA >
+        <!ELEMENT lastname #PCDATA >
+        <!ELEMENT email #PCDATA >
+    "#;
+
+    #[test]
+    fn parses_the_papers_dtd() {
+        let pool = SharedInterner::new();
+        let s = parse_dtd(PAPER_DTD, &pool).unwrap();
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.name(s.root()), "E_Document");
+        assert_eq!(s.kind(s.by_name("E_paper").unwrap()), TypeKind::Ordered);
+        assert_eq!(s.kind(s.by_name("E_title").unwrap()), TypeKind::Atomic);
+    }
+
+    #[test]
+    fn dtd_is_dtd_minus_class() {
+        let pool = SharedInterner::new();
+        let s = parse_dtd(PAPER_DTD, &pool).unwrap();
+        let c = SchemaClass::of(&s);
+        assert!(c.is_dtd_minus(), "{c:?}");
+        assert!(c.is_dtd_plus());
+    }
+
+    #[test]
+    fn content_model_operators() {
+        let pool = SharedInterner::new();
+        let s = parse_dtd(
+            r#"<!ELEMENT r ((a|b)+, c?) >
+               <!ELEMENT a EMPTY >
+               <!ELEMENT b EMPTY >
+               <!ELEMENT c #PCDATA >"#,
+            &pool,
+        )
+        .unwrap();
+        let r = s.def(s.root()).regex().unwrap();
+        assert!(!r.nullable()); // (a|b)+ requires at least one element
+        let nfa = s.nfa(s.root()).unwrap();
+        let a = SchemaAtom::new(pool.get("a").unwrap(), s.by_name("E_a").unwrap());
+        let b = SchemaAtom::new(pool.get("b").unwrap(), s.by_name("E_b").unwrap());
+        let c = SchemaAtom::new(pool.get("c").unwrap(), s.by_name("E_c").unwrap());
+        assert!(nfa.accepts(&[a]));
+        assert!(nfa.accepts(&[b, a, c]));
+        assert!(!nfa.accepts(&[c]));
+    }
+
+    #[test]
+    fn pcdata_with_parens() {
+        let pool = SharedInterner::new();
+        let s = parse_dtd("<!ELEMENT t (#PCDATA) >", &pool).unwrap();
+        assert_eq!(s.kind(s.root()), TypeKind::Atomic);
+    }
+
+    #[test]
+    fn empty_content() {
+        let pool = SharedInterner::new();
+        let s = parse_dtd("<!ELEMENT t EMPTY >", &pool).unwrap();
+        assert_eq!(s.kind(s.root()), TypeKind::Ordered);
+        assert!(s.def(s.root()).regex().unwrap().nullable());
+    }
+
+    #[test]
+    fn errors() {
+        let pool = SharedInterner::new();
+        assert!(parse_dtd("", &pool).is_err());
+        assert!(parse_dtd("<!ELEMENT t (undeclared) >", &pool).is_err());
+        assert!(parse_dtd("<!ELEMENT t ANY >", &pool).is_err());
+        assert!(parse_dtd("<!ELEMENT t (a >", &pool).is_err());
+        assert!(
+            parse_dtd("<!ELEMENT t EMPTY > <!ELEMENT t EMPTY >", &pool).is_err(),
+            "duplicate element"
+        );
+    }
+
+    #[test]
+    fn recursive_dtd() {
+        let pool = SharedInterner::new();
+        let s = parse_dtd(
+            "<!ELEMENT tree (leaf | (tree, tree)) > <!ELEMENT leaf #PCDATA >",
+            &pool,
+        )
+        .unwrap();
+        assert_eq!(s.len(), 2);
+    }
+}

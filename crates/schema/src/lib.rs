@@ -1,0 +1,37 @@
+//! ScmDL schemas for semistructured data (Milo & Suciu, PODS 1999, §2).
+//!
+//! A schema is a sequence of type definitions `Tid = atomicType | {R} |
+//! [R]` where `R` is a regular expression over `label→Tid` pairs. This
+//! crate provides:
+//!
+//! * the schema representation with per-type Glushkov automata
+//!   ([`Schema`]);
+//! * the textual ScmDL parser ([`parse_schema`]) and a DTD importer
+//!   ([`dtd::parse_dtd`]) producing the paper's `DTD−` class;
+//! * schema classification (ordered / homogeneous / tagged / tree,
+//!   `DTD−`/`DTD+`) in [`classify`];
+//! * the *type graph* — single-step successor relation, inhabitation, and
+//!   pruned automata — in [`typegraph`];
+//! * conformance checking (Definition 2.1) in [`conform`]: PTIME for
+//!   tagged schemas, candidate-pruned backtracking in general (the problem
+//!   is NP-complete, after [BM99]).
+
+#![deny(missing_docs)]
+
+pub mod atomic;
+pub mod classify;
+pub mod conform;
+pub mod dtd;
+pub mod parser;
+pub mod schema;
+pub mod typegraph;
+pub mod types;
+
+pub use atomic::AtomicType;
+pub use classify::SchemaClass;
+pub use conform::{check_assignment, conforms};
+pub use dtd::parse_dtd;
+pub use parser::parse_schema;
+pub use schema::{Schema, SchemaBuilder};
+pub use typegraph::TypeGraph;
+pub use types::{SchemaAtom, TypeDef, TypeKind};

@@ -1,0 +1,359 @@
+//! Parser for the textual ScmDL syntax (Table 1 of the paper):
+//!
+//! ```text
+//! SchemaDef ::= Tid=Type ; … ; Tid=Type
+//! Type      ::= atomicType | {R} | [R]
+//! R         ::= (R.R) | (R|R) | (R*) | ε | label→Tid
+//! ```
+//!
+//! with conventional precedence, the postfix operators `+`/`?`, and `,`
+//! accepted as a synonym for `.` (the paper itself writes
+//! `T1={(a→T2,b→T3)|(d→T4)}`). Referenceable type ids are `&`-prefixed.
+
+use ssd_base::{Error, Result, SharedInterner};
+
+use crate::atomic::AtomicType;
+use crate::schema::{Schema, SchemaBuilder};
+use crate::types::{SchemaAtom, TypeDef};
+use ssd_automata::Regex;
+
+/// Parses an ScmDL schema. The first definition is the root type.
+pub fn parse_schema(input: &str, pool: &SharedInterner) -> Result<Schema> {
+    let mut p = P {
+        input,
+        pos: 0,
+        pool,
+    };
+    let mut b = SchemaBuilder::new(pool.clone());
+    let mut any = false;
+    loop {
+        p.skip_ws();
+        if p.at_end() {
+            break;
+        }
+        parse_def(&mut p, &mut b)?;
+        any = true;
+        p.skip_ws();
+        if p.eat(';') {
+            continue;
+        }
+        if !p.at_end() {
+            return Err(Error::parse(format!(
+                "expected ';' between type definitions at byte {}",
+                p.pos
+            )));
+        }
+    }
+    if !any {
+        return Err(Error::parse("empty schema"));
+    }
+    b.finish()
+}
+
+struct P<'a> {
+    input: &'a str,
+    pos: usize,
+    pool: &'a SharedInterner,
+}
+
+fn parse_def(p: &mut P<'_>, b: &mut SchemaBuilder) -> Result<()> {
+    let (name, referenceable) = p.tid_ref()?;
+    let t = b.declare(&name, referenceable);
+    p.expect('=')?;
+    p.skip_ws();
+    match p.peek() {
+        Some('{') => {
+            p.eat('{');
+            let r = parse_alt(p, b)?;
+            p.expect('}')?;
+            b.define(t, TypeDef::Unordered(r))
+        }
+        Some('[') => {
+            p.eat('[');
+            let r = parse_alt(p, b)?;
+            p.expect(']')?;
+            b.define(t, TypeDef::Ordered(r))
+        }
+        _ => {
+            let word = p.ident()?;
+            match AtomicType::from_keyword(&word) {
+                Some(a) => b.define(t, TypeDef::Atomic(a)),
+                None => Err(Error::parse(format!(
+                    "expected an atomic type keyword, '{{' or '[', found {word:?}"
+                ))),
+            }
+        }
+    }
+}
+
+fn parse_alt(p: &mut P<'_>, b: &mut SchemaBuilder) -> Result<Regex<SchemaAtom>> {
+    let mut parts = vec![parse_concat(p, b)?];
+    while p.peek() == Some('|') {
+        p.eat('|');
+        parts.push(parse_concat(p, b)?);
+    }
+    Ok(if parts.len() == 1 {
+        parts.pop().expect("len checked")
+    } else {
+        Regex::alt(parts)
+    })
+}
+
+fn parse_concat(p: &mut P<'_>, b: &mut SchemaBuilder) -> Result<Regex<SchemaAtom>> {
+    let mut parts = vec![parse_postfix(p, b)?];
+    loop {
+        match p.peek() {
+            Some('.') | Some(',') => {
+                p.bump();
+                parts.push(parse_postfix(p, b)?);
+            }
+            Some('(') => parts.push(parse_postfix(p, b)?),
+            Some(c) if c.is_alphabetic() => parts.push(parse_postfix(p, b)?),
+            _ => break,
+        }
+    }
+    Ok(if parts.len() == 1 {
+        parts.pop().expect("len checked")
+    } else {
+        Regex::concat(parts)
+    })
+}
+
+fn parse_postfix(p: &mut P<'_>, b: &mut SchemaBuilder) -> Result<Regex<SchemaAtom>> {
+    let mut re = parse_atom(p, b)?;
+    loop {
+        match p.peek() {
+            Some('*') => {
+                p.bump();
+                re = Regex::star(re);
+            }
+            Some('+') => {
+                p.bump();
+                re = Regex::plus(re);
+            }
+            Some('?') => {
+                p.bump();
+                re = Regex::opt(re);
+            }
+            _ => break,
+        }
+    }
+    Ok(re)
+}
+
+fn parse_atom(p: &mut P<'_>, b: &mut SchemaBuilder) -> Result<Regex<SchemaAtom>> {
+    match p.peek() {
+        Some('(') => {
+            p.bump();
+            if p.peek() == Some(')') {
+                p.bump();
+                return Ok(Regex::Epsilon);
+            }
+            let r = parse_alt(p, b)?;
+            p.expect(')')?;
+            Ok(r)
+        }
+        Some(c) if c.is_alphabetic() => {
+            let word = p.ident()?;
+            if word == "epsilon" {
+                return Ok(Regex::Epsilon);
+            }
+            p.arrow()?;
+            let (tname, referenceable) = p.tid_ref()?;
+            let t = b.declare(&tname, referenceable);
+            Ok(Regex::atom(SchemaAtom::new(p.pool.intern(&word), t)))
+        }
+        other => Err(Error::parse(format!(
+            "expected a schema regex atom at byte {}, found {other:?}",
+            p.pos
+        ))),
+    }
+}
+
+impl<'a> P<'a> {
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(Error::parse(format!(
+                "expected '{c}' at byte {} near {:?}",
+                self.pos,
+                self.rest().chars().take(12).collect::<String>()
+            )))
+        }
+    }
+
+    fn arrow(&mut self) -> Result<()> {
+        self.skip_ws();
+        if self.rest().starts_with("->") {
+            self.pos += 2;
+            Ok(())
+        } else if self.rest().starts_with('→') {
+            self.pos += '→'.len_utf8();
+            Ok(())
+        } else {
+            Err(Error::parse(format!("expected '->' at byte {}", self.pos)))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        for c in self.rest().chars() {
+            if c.is_alphanumeric() || c == ':' || c == '-' || c == '_' {
+                if c == '-' {
+                    let after = &self.input[self.pos + 1..];
+                    if self.pos == start || after.starts_with('>') {
+                        break;
+                    }
+                }
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(Error::parse(format!("expected identifier at byte {start}")));
+        }
+        Ok(self.input[start..self.pos].to_owned())
+    }
+
+    fn tid_ref(&mut self) -> Result<(String, bool)> {
+        self.skip_ws();
+        let referenceable = self.eat('&');
+        let name = self.ident()?;
+        Ok((name, referenceable))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TypeKind;
+
+    /// The paper's bibliography schema `S` (Section 2), used throughout the
+    /// test suites of the whole workspace.
+    pub const PAPER_SCHEMA: &str = r#"
+        DOCUMENT = [(paper->PAPER)*];
+        PAPER = [title->TITLE.(author->AUTHOR)*];
+        AUTHOR = [name->NAME.email->EMAIL];
+        NAME = [firstname->FIRSTNAME.lastname->LASTNAME];
+        TITLE = string;
+        FIRSTNAME = string;
+        LASTNAME = string;
+        EMAIL = string
+    "#;
+
+    #[test]
+    fn parses_the_papers_document_schema() {
+        let pool = SharedInterner::new();
+        let s = parse_schema(PAPER_SCHEMA, &pool).unwrap();
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.name(s.root()), "DOCUMENT");
+        assert_eq!(s.kind(s.by_name("PAPER").unwrap()), TypeKind::Ordered);
+        assert_eq!(s.kind(s.by_name("TITLE").unwrap()), TypeKind::Atomic);
+    }
+
+    #[test]
+    fn parses_table1_example_with_commas_and_braces() {
+        let pool = SharedInterner::new();
+        let src = r#"
+            T1 = {(a->T2,b->T3)|(d->T4)};
+            T2 = [a->T5.(c->T6)*];
+            T3 = float; T4 = int; T5 = string; T6 = float
+        "#;
+        let s = parse_schema(src, &pool).unwrap();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.kind(s.by_name("T1").unwrap()), TypeKind::Unordered);
+        assert_eq!(s.kind(s.by_name("T2").unwrap()), TypeKind::Ordered);
+    }
+
+    #[test]
+    fn referenceable_types() {
+        let pool = SharedInterner::new();
+        let src = "DOC = [(author->&AUTHOR)*]; &AUTHOR = string";
+        let s = parse_schema(src, &pool).unwrap();
+        let a = s.by_name("AUTHOR").unwrap();
+        assert!(s.is_referenceable(a));
+        assert!(!s.is_referenceable(s.root()));
+    }
+
+    #[test]
+    fn forward_and_self_references() {
+        let pool = SharedInterner::new();
+        let src = "A = [x->B]; B = [y->&A2]; &A2 = {(z->&A2)*}";
+        let s = parse_schema(src, &pool).unwrap();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let pool = SharedInterner::new();
+        let s = parse_schema(PAPER_SCHEMA, &pool).unwrap();
+        let printed = s.to_string();
+        let s2 = parse_schema(&printed, &pool).unwrap();
+        assert_eq!(s.len(), s2.len());
+        for t in s.types() {
+            let t2 = s2.by_name(s.name(t)).unwrap();
+            assert_eq!(s.kind(t), s2.kind(t2));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_syntax() {
+        let pool = SharedInterner::new();
+        for bad in [
+            "",
+            "T =",
+            "T = [a->]",
+            "T = [->X]; X = int",
+            "T = [a->X", // unclosed
+            "T = blob",
+            "T = [a->X]", // X undefined
+        ] {
+            assert!(parse_schema(bad, &pool).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn epsilon_content() {
+        let pool = SharedInterner::new();
+        let s = parse_schema("EMPTY = [()]", &pool).unwrap();
+        let r = s.def(s.root()).regex().unwrap();
+        assert!(r.nullable());
+        assert_eq!(r.size(), 1);
+    }
+}

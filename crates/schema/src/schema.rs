@@ -1,0 +1,271 @@
+//! The schema container: named type definitions with cached automata.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ssd_automata::display::regex_to_string;
+use ssd_automata::glushkov;
+use ssd_automata::Nfa;
+use ssd_base::{Error, Result, SharedInterner, TypeIdx};
+
+use crate::types::{SchemaAtom, TypeDef, TypeKind};
+
+/// A schema: a sequence of type definitions; the first is the root type.
+///
+/// Collection types carry a Glushkov automaton for their regex, built once
+/// at construction and shared by every algorithm downstream.
+#[derive(Clone)]
+pub struct Schema {
+    pool: SharedInterner,
+    names: Vec<String>,
+    referenceable: Vec<bool>,
+    defs: Vec<TypeDef>,
+    nfas: Vec<Option<Nfa<SchemaAtom>>>,
+    by_name: HashMap<String, TypeIdx>,
+    root: TypeIdx,
+}
+
+impl Schema {
+    /// The label pool.
+    pub fn pool(&self) -> &SharedInterner {
+        &self.pool
+    }
+
+    /// The root type.
+    pub fn root(&self) -> TypeIdx {
+        self.root
+    }
+
+    /// Number of type definitions.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether the schema has no types (never true once built).
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// The definition of `t`.
+    pub fn def(&self, t: TypeIdx) -> &TypeDef {
+        &self.defs[t.index()]
+    }
+
+    /// The kind of `t`.
+    pub fn kind(&self, t: TypeIdx) -> TypeKind {
+        self.defs[t.index()].kind()
+    }
+
+    /// The cached Glushkov automaton of `t`'s regex (collection types only).
+    pub fn nfa(&self, t: TypeIdx) -> Option<&Nfa<SchemaAtom>> {
+        self.nfas[t.index()].as_ref()
+    }
+
+    /// Whether `t` is referenceable (`&`-prefixed name).
+    pub fn is_referenceable(&self, t: TypeIdx) -> bool {
+        self.referenceable[t.index()]
+    }
+
+    /// The source name of `t` (without `&`).
+    pub fn name(&self, t: TypeIdx) -> &str {
+        &self.names[t.index()]
+    }
+
+    /// Looks up a type by name.
+    pub fn by_name(&self, name: &str) -> Option<TypeIdx> {
+        self.by_name.get(name).copied()
+    }
+
+    /// All type ids in definition order.
+    pub fn types(&self) -> impl Iterator<Item = TypeIdx> {
+        (0..self.defs.len()).map(TypeIdx::from_usize)
+    }
+
+    /// Total size (sum of regex sizes plus one per type), the schema size
+    /// measure `|S|` of the combined-complexity experiments.
+    pub fn size(&self) -> usize {
+        self.defs
+            .iter()
+            .map(|d| 1 + d.regex().map_or(0, |r| r.size()))
+            .sum()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, def) in self.defs.iter().enumerate() {
+            if i > 0 {
+                writeln!(f, ";")?;
+            }
+            let amp = if self.referenceable[i] { "&" } else { "" };
+            write!(f, "{amp}{} = ", self.names[i])?;
+            match def {
+                TypeDef::Atomic(a) => write!(f, "{a}")?,
+                TypeDef::Unordered(r) | TypeDef::Ordered(r) => {
+                    let (open, close) = if def.kind() == TypeKind::Unordered {
+                        ('{', '}')
+                    } else {
+                        ('[', ']')
+                    };
+                    let body = regex_to_string(r, &mut |a: &SchemaAtom| {
+                        let amp = if self.referenceable[a.target.index()] {
+                            "&"
+                        } else {
+                            ""
+                        };
+                        format!(
+                            "{}->{amp}{}",
+                            self.pool.resolve(a.label),
+                            self.names[a.target.index()]
+                        )
+                    });
+                    write!(f, "{open}{body}{close}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Two-phase schema construction (declare, then define), mirroring
+/// [`ssd_model::GraphBuilder`].
+pub struct SchemaBuilder {
+    pool: SharedInterner,
+    names: Vec<String>,
+    referenceable: Vec<bool>,
+    defs: Vec<Option<TypeDef>>,
+    by_name: HashMap<String, TypeIdx>,
+}
+
+impl SchemaBuilder {
+    /// Creates a builder over `pool`.
+    pub fn new(pool: SharedInterner) -> Self {
+        SchemaBuilder {
+            pool,
+            names: Vec::new(),
+            referenceable: Vec::new(),
+            defs: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// The builder's label pool.
+    pub fn pool(&self) -> &SharedInterner {
+        &self.pool
+    }
+
+    /// Declares (or retrieves) the type named `name`.
+    pub fn declare(&mut self, name: &str, referenceable: bool) -> TypeIdx {
+        if let Some(&t) = self.by_name.get(name) {
+            if referenceable {
+                self.referenceable[t.index()] = true;
+            }
+            return t;
+        }
+        let t = TypeIdx::from_usize(self.names.len());
+        self.names.push(name.to_owned());
+        self.referenceable.push(referenceable);
+        self.defs.push(None);
+        self.by_name.insert(name.to_owned(), t);
+        t
+    }
+
+    /// Defines type `t`.
+    pub fn define(&mut self, t: TypeIdx, def: TypeDef) -> Result<()> {
+        let slot = &mut self.defs[t.index()];
+        if slot.is_some() {
+            return Err(Error::invalid(format!(
+                "type {} defined twice",
+                self.names[t.index()]
+            )));
+        }
+        *slot = Some(def);
+        Ok(())
+    }
+
+    /// Finalizes the schema; the first declared type is the root.
+    pub fn finish(self) -> Result<Schema> {
+        if self.names.is_empty() {
+            return Err(Error::invalid("a schema needs at least one type"));
+        }
+        let mut defs = Vec::with_capacity(self.defs.len());
+        for (i, d) in self.defs.into_iter().enumerate() {
+            match d {
+                Some(def) => defs.push(def),
+                None => {
+                    return Err(Error::undefined(format!(
+                        "type {} is referenced but never defined",
+                        self.names[i]
+                    )))
+                }
+            }
+        }
+        let nfas = defs
+            .iter()
+            .map(|d| d.regex().map(glushkov::build))
+            .collect();
+        Ok(Schema {
+            pool: self.pool,
+            names: self.names,
+            referenceable: self.referenceable,
+            defs,
+            nfas,
+            by_name: self.by_name,
+            root: TypeIdx(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::AtomicType;
+    use ssd_automata::Regex;
+
+    #[test]
+    fn builder_round_trip() {
+        let pool = SharedInterner::new();
+        let mut b = SchemaBuilder::new(pool.clone());
+        let doc = b.declare("DOC", false);
+        let title = b.declare("TITLE", false);
+        let paper = pool.intern("title");
+        b.define(
+            doc,
+            TypeDef::Ordered(Regex::star(Regex::atom(SchemaAtom::new(paper, title)))),
+        )
+        .unwrap();
+        b.define(title, TypeDef::Atomic(AtomicType::Str)).unwrap();
+        let s = b.finish().unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.root(), doc);
+        assert_eq!(s.kind(doc), TypeKind::Ordered);
+        assert!(s.nfa(doc).is_some());
+        assert!(s.nfa(title).is_none());
+        assert_eq!(s.by_name("TITLE"), Some(title));
+        assert!(s.size() >= 3);
+    }
+
+    #[test]
+    fn missing_definition_rejected() {
+        let pool = SharedInterner::new();
+        let mut b = SchemaBuilder::new(pool.clone());
+        let doc = b.declare("DOC", false);
+        let title = b.declare("TITLE", false);
+        let l = pool.intern("t");
+        b.define(
+            doc,
+            TypeDef::Ordered(Regex::atom(SchemaAtom::new(l, title))),
+        )
+        .unwrap();
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn duplicate_definition_rejected() {
+        let pool = SharedInterner::new();
+        let mut b = SchemaBuilder::new(pool);
+        let t = b.declare("T", false);
+        b.define(t, TypeDef::Atomic(AtomicType::Int)).unwrap();
+        assert!(b.define(t, TypeDef::Atomic(AtomicType::Str)).is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! The *type graph* of a schema: single-step successor relation,
+//! inhabitation, and pruned automata.
+//!
+//! The traces technique reasons about paths through the schema rather than
+//! through any concrete instance. The relevant relation is
+//! `Step(T) = { a→T' | a→T' can occur in the edge list of a node of type
+//! T in some instance }`, which is the set of atoms of `T`'s regex whose
+//! target types are *inhabited* (realizable by some finite data graph —
+//! cycles through referenceable or singly-referenced objects are allowed,
+//! so inhabitation is the greatest fixpoint: repeatedly remove types whose
+//! regex has no word over atoms with still-inhabited targets).
+
+use std::collections::HashSet;
+
+use ssd_automata::ops;
+use ssd_automata::{Nfa, StateId};
+use ssd_base::TypeIdx;
+
+use crate::schema::Schema;
+use crate::types::{SchemaAtom, TypeDef};
+
+/// Precomputed type-graph data for a schema.
+#[derive(Clone, Debug)]
+pub struct TypeGraph {
+    inhabited: Vec<bool>,
+    /// Pruned automaton per collection type: transitions to uninhabited
+    /// targets removed, dead states trimmed.
+    pruned: Vec<Option<Nfa<SchemaAtom>>>,
+    /// Distinct atoms of each pruned automaton.
+    steps: Vec<Vec<SchemaAtom>>,
+}
+
+impl TypeGraph {
+    /// Builds the type graph of `schema`.
+    pub fn new(schema: &Schema) -> TypeGraph {
+        let n = schema.len();
+        let mut inhabited = vec![true; n];
+        // Greatest fixpoint: remove types that cannot produce any node.
+        //
+        // A cycle may justify inhabitation only through *referenceable*
+        // types: a witness cycle needs an entry node with two incoming
+        // references (one from outside, one from the cycle), and only
+        // referenceable objects allow that. Non-referenceable recursion
+        // must therefore be expanded into fresh copies, which the
+        // `on_stack` set cuts off — if the only realization of `T` nests
+        // `T` below itself, the inner realization would already be a
+        // standalone one, so the cutoff loses nothing.
+        loop {
+            let mut changed = false;
+            for t in schema.types() {
+                if !inhabited[t.index()] {
+                    continue;
+                }
+                let mut on_stack = vec![false; n];
+                if !can_realize(schema, t, &inhabited, &mut on_stack) {
+                    inhabited[t.index()] = false;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let mut pruned = Vec::with_capacity(n);
+        let mut steps = Vec::with_capacity(n);
+        for t in schema.types() {
+            match schema.nfa(t) {
+                Some(nfa) if inhabited[t.index()] => {
+                    let p = prune(nfa, &inhabited);
+                    let mut atoms: Vec<SchemaAtom> =
+                        p.all_edges().map(|(_, a, _)| *a).collect();
+                    atoms.sort();
+                    atoms.dedup();
+                    steps.push(atoms);
+                    pruned.push(Some(p));
+                }
+                _ => {
+                    pruned.push(None);
+                    steps.push(Vec::new());
+                }
+            }
+        }
+        TypeGraph {
+            inhabited,
+            pruned,
+            steps,
+        }
+    }
+
+    /// Whether some finite data graph contains a node of type `t`.
+    pub fn is_inhabited(&self, t: TypeIdx) -> bool {
+        self.inhabited[t.index()]
+    }
+
+    /// The pruned automaton of collection type `t` (`None` for atomic or
+    /// uninhabited types).
+    pub fn pruned_nfa(&self, t: TypeIdx) -> Option<&Nfa<SchemaAtom>> {
+        self.pruned[t.index()].as_ref()
+    }
+
+    /// `Step(t)`: the realizable edge symbols of nodes of type `t`.
+    pub fn step(&self, t: TypeIdx) -> &[SchemaAtom] {
+        &self.steps[t.index()]
+    }
+
+    /// Types reachable from `from` in the step relation (including `from`).
+    pub fn reachable_types(&self, from: TypeIdx) -> HashSet<TypeIdx> {
+        let mut seen = HashSet::new();
+        let mut stack = vec![from];
+        seen.insert(from);
+        while let Some(t) = stack.pop() {
+            for a in self.step(t) {
+                if seen.insert(a.target) {
+                    stack.push(a.target);
+                }
+            }
+        }
+        seen
+    }
+
+    /// A shortest word of `t`'s pruned regex (edge list of a minimal node
+    /// of type `t`), used to synthesize witness databases.
+    pub fn example_word(&self, t: TypeIdx) -> Option<Vec<SchemaAtom>> {
+        self.pruned_nfa(t).and_then(ops::shortest_witness)
+    }
+}
+
+/// Whether a node of type `t` can be realized by a finite graph, assuming
+/// the `inhabited` marking for referenceable back-references and expanding
+/// non-referenceable targets recursively (`on_stack` cuts self-nesting).
+fn can_realize(schema: &Schema, t: TypeIdx, inhabited: &[bool], on_stack: &mut [bool]) -> bool {
+    if on_stack[t.index()] {
+        return false;
+    }
+    let nfa = match schema.def(t) {
+        TypeDef::Atomic(_) => return true,
+        _ => schema.nfa(t).expect("collection type has nfa"),
+    };
+    on_stack[t.index()] = true;
+    // DFS over NFA states; a transition is usable if its target type is
+    // realizable (referenceable + inhabited, or recursively realizable).
+    let mut seen = vec![false; nfa.num_states()];
+    let mut stack: Vec<StateId> = vec![nfa.start()];
+    seen[nfa.start()] = true;
+    let mut target_ok = vec![None::<bool>; schema.len()];
+    let mut ok = false;
+    while let Some(q) = stack.pop() {
+        if nfa.is_accepting(q) {
+            ok = true;
+            break;
+        }
+        for (a, r) in nfa.edges(q) {
+            if seen[*r] {
+                continue;
+            }
+            let ti = a.target.index();
+            let usable = *target_ok[ti].get_or_insert_with(|| {
+                inhabited[ti]
+                    && (schema.is_referenceable(a.target)
+                        || can_realize(schema, a.target, inhabited, on_stack))
+            });
+            if usable {
+                seen[*r] = true;
+                stack.push(*r);
+            }
+        }
+    }
+    on_stack[t.index()] = false;
+    ok
+}
+
+/// Removes transitions to uninhabited targets and trims dead states.
+fn prune(nfa: &Nfa<SchemaAtom>, inhabited: &[bool]) -> Nfa<SchemaAtom> {
+    let mut filtered = Nfa::with_states(nfa.num_states(), nfa.start());
+    for (q, a, r) in nfa.all_edges() {
+        if inhabited[a.target.index()] {
+            filtered.add_transition(q, *a, r);
+        }
+    }
+    for q in 0..nfa.num_states() {
+        if nfa.is_accepting(q) {
+            filtered.set_accepting(q, true);
+        }
+    }
+    ops::trim(&filtered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_schema;
+    use ssd_base::SharedInterner;
+
+    fn tg(src: &str) -> (Schema, TypeGraph) {
+        let pool = SharedInterner::new();
+        let s = parse_schema(src, &pool).unwrap();
+        let g = TypeGraph::new(&s);
+        (s, g)
+    }
+
+    #[test]
+    fn atomic_types_are_inhabited() {
+        let (s, g) = tg("T = [a->U]; U = int");
+        assert!(g.is_inhabited(s.by_name("U").unwrap()));
+        assert!(g.is_inhabited(s.by_name("T").unwrap()));
+    }
+
+    #[test]
+    fn mandatory_recursion_is_inhabited_via_cycles() {
+        // T = [a->T] forces an a-child of type T — realizable by a cyclic
+        // instance (the model allows one incoming reference per
+        // non-referenceable object), so T is inhabited.
+        let (s, g) = tg("R = [x->T]; T = [a->&T2]; &T2 = [a->&T2]");
+        assert!(g.is_inhabited(s.by_name("T2").unwrap()));
+        assert!(g.is_inhabited(s.by_name("R").unwrap()));
+    }
+
+    #[test]
+    fn star_breaks_recursion() {
+        let (s, g) = tg("T = [(a->T)*]");
+        assert!(g.is_inhabited(s.by_name("T").unwrap()));
+        assert_eq!(g.example_word(s.by_name("T").unwrap()), Some(vec![]));
+    }
+
+    #[test]
+    fn pure_nonreferenceable_cycle_is_uninhabited() {
+        // A and B force each other with no referenceable entry point: a
+        // witness cycle would need a node with two incoming references.
+        let (s, g) = tg("R = [(x->A)*]; A = [y->B]; B = [y->A]");
+        assert!(!g.is_inhabited(s.by_name("A").unwrap()));
+        assert!(!g.is_inhabited(s.by_name("B").unwrap()));
+        assert!(g.is_inhabited(s.by_name("R").unwrap()));
+        // R's pruned automaton drops the x->A transitions entirely.
+        assert_eq!(g.step(s.by_name("R").unwrap()).len(), 0);
+    }
+
+    #[test]
+    fn nonref_self_recursion_is_uninhabited() {
+        let (s, g) = tg("R = [(x->T)*]; T = [a->T]");
+        assert!(!g.is_inhabited(s.by_name("T").unwrap()));
+    }
+
+    #[test]
+    fn step_lists_realizable_symbols() {
+        let (s, g) = tg("T = [a->U | b->V]; U = int; V = string");
+        let t = s.by_name("T").unwrap();
+        let step = g.step(t);
+        assert_eq!(step.len(), 2);
+        let targets: Vec<TypeIdx> = step.iter().map(|a| a.target).collect();
+        assert!(targets.contains(&s.by_name("U").unwrap()));
+        assert!(targets.contains(&s.by_name("V").unwrap()));
+    }
+
+    #[test]
+    fn reachable_types_closure() {
+        let (s, g) = tg("A = [x->B]; B = [y->C]; C = int; D = int");
+        let reach = g.reachable_types(s.by_name("A").unwrap());
+        assert!(reach.contains(&s.by_name("C").unwrap()));
+        assert!(!reach.contains(&s.by_name("D").unwrap()));
+    }
+
+    #[test]
+    fn example_word_is_shortest() {
+        let (s, g) = tg("T = [a->U.a->U | b->V]; U = int; V = string");
+        let w = g.example_word(s.by_name("T").unwrap()).unwrap();
+        assert_eq!(w.len(), 1); // the b->V branch
+    }
+
+    #[test]
+    fn paper_schema_fully_inhabited() {
+        let (s, g) = tg(
+            r#"DOCUMENT = [(paper->PAPER)*];
+               PAPER = [title->TITLE.(author->AUTHOR)*];
+               AUTHOR = [name->NAME.email->EMAIL];
+               NAME = [firstname->FIRSTNAME.lastname->LASTNAME];
+               TITLE = string; FIRSTNAME = string;
+               LASTNAME = string; EMAIL = string"#,
+        );
+        for t in s.types() {
+            assert!(g.is_inhabited(t), "{}", s.name(t));
+        }
+        let reach = g.reachable_types(s.root());
+        assert_eq!(reach.len(), s.len());
+    }
+}

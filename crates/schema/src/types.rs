@@ -1,0 +1,145 @@
+//! Type definitions and the schema regex alphabet.
+
+use ssd_automata::syntax::Atom;
+use ssd_automata::{dfa::ClassAtom, Regex};
+use ssd_base::{LabelId, TypeIdx};
+
+use crate::atomic::AtomicType;
+
+/// A symbol `label → Tid` of a schema regex. Schema atoms are fully
+/// concrete (the paper defers label predicates to future work), so an atom
+/// matches exactly itself.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SchemaAtom {
+    /// The edge label.
+    pub label: LabelId,
+    /// The required type of the edge target.
+    pub target: TypeIdx,
+}
+
+impl SchemaAtom {
+    /// Constructs a schema symbol.
+    pub fn new(label: LabelId, target: TypeIdx) -> Self {
+        SchemaAtom { label, target }
+    }
+}
+
+impl Atom for SchemaAtom {
+    type Sym = SchemaAtom;
+
+    #[inline]
+    fn matches(&self, s: &SchemaAtom) -> bool {
+        self == s
+    }
+}
+
+impl ClassAtom for SchemaAtom {
+    fn classes(atoms: &[Self]) -> Vec<Self> {
+        let mut v = atoms.to_vec();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    fn matches_class(&self, class: &Self) -> bool {
+        self == class
+    }
+}
+
+/// The kind of a type (mirrors [`ssd_model::NodeKind`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TypeKind {
+    /// An atomic type.
+    Atomic,
+    /// An unordered collection type `{R}`.
+    Unordered,
+    /// An ordered sequence type `[R]`.
+    Ordered,
+}
+
+impl TypeKind {
+    /// Whether a node of kind `nk` can have a type of this kind.
+    pub fn matches_node(&self, nk: ssd_model::NodeKind) -> bool {
+        matches!(
+            (self, nk),
+            (TypeKind::Atomic, ssd_model::NodeKind::Atomic)
+                | (TypeKind::Unordered, ssd_model::NodeKind::Unordered)
+                | (TypeKind::Ordered, ssd_model::NodeKind::Ordered)
+        )
+    }
+}
+
+/// A type definition `Tid = atomicType | {R} | [R]`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TypeDef {
+    /// An atomic type.
+    Atomic(AtomicType),
+    /// An unordered collection whose bag of edges must lie in `ulang(R)`.
+    Unordered(Regex<SchemaAtom>),
+    /// An ordered sequence whose edge word must lie in `lang(R)`.
+    Ordered(Regex<SchemaAtom>),
+}
+
+impl TypeDef {
+    /// This definition's kind.
+    pub fn kind(&self) -> TypeKind {
+        match self {
+            TypeDef::Atomic(_) => TypeKind::Atomic,
+            TypeDef::Unordered(_) => TypeKind::Unordered,
+            TypeDef::Ordered(_) => TypeKind::Ordered,
+        }
+    }
+
+    /// The collection regex, if this is a collection type.
+    pub fn regex(&self) -> Option<&Regex<SchemaAtom>> {
+        match self {
+            TypeDef::Atomic(_) => None,
+            TypeDef::Unordered(r) | TypeDef::Ordered(r) => Some(r),
+        }
+    }
+
+    /// The atomic type, if atomic.
+    pub fn atomic(&self) -> Option<AtomicType> {
+        match self {
+            TypeDef::Atomic(a) => Some(*a),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_model::NodeKind;
+
+    #[test]
+    fn atom_matches_itself_only() {
+        let a = SchemaAtom::new(LabelId(0), TypeIdx(1));
+        let b = SchemaAtom::new(LabelId(0), TypeIdx(2));
+        assert!(a.matches(&a));
+        assert!(!a.matches(&b));
+    }
+
+    #[test]
+    fn kind_node_compatibility() {
+        assert!(TypeKind::Atomic.matches_node(NodeKind::Atomic));
+        assert!(TypeKind::Ordered.matches_node(NodeKind::Ordered));
+        assert!(TypeKind::Unordered.matches_node(NodeKind::Unordered));
+        assert!(!TypeKind::Ordered.matches_node(NodeKind::Unordered));
+        assert!(!TypeKind::Atomic.matches_node(NodeKind::Ordered));
+    }
+
+    #[test]
+    fn def_accessors() {
+        let d = TypeDef::Atomic(AtomicType::Str);
+        assert_eq!(d.kind(), TypeKind::Atomic);
+        assert!(d.regex().is_none());
+        assert_eq!(d.atomic(), Some(AtomicType::Str));
+
+        let r = Regex::atom(SchemaAtom::new(LabelId(0), TypeIdx(0)));
+        let d2 = TypeDef::Ordered(r.clone());
+        assert_eq!(d2.kind(), TypeKind::Ordered);
+        assert_eq!(d2.regex(), Some(&r));
+        assert!(d2.atomic().is_none());
+    }
+}

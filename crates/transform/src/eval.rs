@@ -1,0 +1,229 @@
+//! Transformation evaluation: query bindings → output data graph.
+
+use std::collections::{BTreeSet, HashMap};
+
+use ssd_base::{Error, OidId, Result};
+use ssd_model::{DataGraph, Edge, GraphBuilder, Node, Value};
+use ssd_query::{evaluate, Bound};
+
+use crate::skolem::{SkolemTerm, Target, Transformation};
+
+/// Applies the transformation to `g`, producing the output graph. Output
+/// Skolem nodes are unordered collections (edge emission is set-valued —
+/// duplicate emissions collapse); copied values become atomic nodes.
+pub fn apply(t: &Transformation, g: &DataGraph) -> Result<DataGraph> {
+    t.validate()?;
+    let bindings = evaluate(&t.query, g);
+
+    // Instantiated skolem nodes: (fun, concrete args) → edges.
+    type Key = (String, Vec<Bound>);
+    let mut edges: HashMap<Key, BTreeSet<(ssd_base::LabelId, Key)>> = HashMap::new();
+    let mut copies: HashMap<Key, Value> = HashMap::new();
+
+    let root_key: Key = (t.root_fun.clone(), Vec::new());
+    edges.entry(root_key.clone()).or_default();
+
+    let mut copy_counter = 0usize;
+    for b in &bindings {
+        for rule in &t.rules {
+            let src = instantiate(&rule.source, b)?;
+            let dst: Key = match &rule.target {
+                Target::Term(term) => {
+                    let k = instantiate(term, b)?;
+                    edges.entry(k.clone()).or_default();
+                    k
+                }
+                Target::CopyValue(v) => {
+                    let value = match b.get(*v) {
+                        Some(Bound::Value(val)) => val.clone(),
+                        Some(Bound::Node(o)) => match g.node(*o) {
+                            Node::Atomic(val) => val.clone(),
+                            _ => {
+                                return Err(Error::invalid(
+                                    "copy-value of a non-atomic node",
+                                ))
+                            }
+                        },
+                        _ => return Err(Error::invalid("copy-value of an unbound variable")),
+                    };
+                    // Each emission gets a distinct leaf keyed by the
+                    // (source, label, value) triple so duplicates collapse.
+                    let k: Key = (
+                        format!("copy#{}#{}", copy_counter, "v"),
+                        vec![Bound::Value(value.clone())],
+                    );
+                    copy_counter += 1;
+                    copies.insert(k.clone(), value);
+                    k
+                }
+            };
+            edges.entry(src.clone()).or_default().insert((rule.label, dst));
+        }
+    }
+
+    // Materialize. Skolem nodes may be shared → referenceable (except the
+    // root, which by convention has no incoming edges).
+    let pool = g.pool().clone();
+    let mut b = GraphBuilder::new(pool);
+    let mut oid_of: HashMap<Key, OidId> = HashMap::new();
+    let mut names = 0usize;
+    let mut oid_for = |key: &Key,
+                       b: &mut GraphBuilder,
+                       oid_of: &mut HashMap<Key, OidId>|
+     -> OidId {
+        if let Some(&o) = oid_of.get(key) {
+            return o;
+        }
+        let is_root = key == &root_key;
+        let name = if is_root {
+            "out0".to_owned()
+        } else {
+            names += 1;
+            format!("out{names}")
+        };
+        let o = b.declare(&name, !is_root);
+        oid_of.insert(key.clone(), o);
+        o
+    };
+
+    // Root first so it becomes the graph root.
+    let root_oid = oid_for(&root_key, &mut b, &mut oid_of);
+    debug_assert_eq!(root_oid.index(), 0);
+
+    let mut all_keys: Vec<Key> = edges.keys().cloned().collect();
+    all_keys.extend(copies.keys().cloned());
+    all_keys.sort_by(|a, c| format!("{a:?}").cmp(&format!("{c:?}")));
+    for key in &all_keys {
+        let oid = oid_for(key, &mut b, &mut oid_of);
+        if let Some(v) = copies.get(key) {
+            b.define_atomic(oid, v.clone())?;
+        } else {
+            let mut es = Vec::new();
+            for (label, dst) in &edges[key] {
+                let target = oid_for(dst, &mut b, &mut oid_of);
+                es.push(Edge::new(*label, target));
+            }
+            b.define_unordered(oid, es)?;
+        }
+    }
+    b.finish_with_root(root_oid)
+}
+
+fn instantiate(term: &SkolemTerm, b: &ssd_query::Binding) -> Result<(String, Vec<Bound>)> {
+    let mut args = Vec::with_capacity(term.args.len());
+    for &v in &term.args {
+        match b.get(v) {
+            Some(bound) => args.push(bound.clone()),
+            None => return Err(Error::invalid("skolem argument unbound")),
+        }
+    }
+    Ok((term.fun.clone(), args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skolem::ConstructEdge;
+    use ssd_base::SharedInterner;
+    use ssd_model::parse_data_graph;
+    use ssd_query::parse_query;
+
+    /// Restructure a bibliography: group last names under the output root.
+    fn bib_transform(pool: &SharedInterner) -> Transformation {
+        let q = parse_query(
+            "SELECT X, V WHERE Root = [paper -> P]; P = [_*.lastname -> X]; X = V",
+            pool,
+        )
+        .unwrap();
+        let x = q.var_by_name("X").unwrap();
+        let v = q.var_by_name("V").unwrap();
+        Transformation {
+            query: q,
+            rules: vec![
+                ConstructEdge {
+                    source: SkolemTerm::constant("Names"),
+                    label: pool.intern("person"),
+                    target: Target::Term(SkolemTerm::unary("P", x)),
+                },
+                ConstructEdge {
+                    source: SkolemTerm::unary("P", x),
+                    label: pool.intern("last"),
+                    target: Target::CopyValue(v),
+                },
+            ],
+            root_fun: "Names".to_owned(),
+        }
+    }
+
+    const BIB: &str = r#"
+        o1 = [paper -> o2, paper -> o9];
+        o2 = [title -> o3, author -> o4];
+        o3 = "T1";
+        o4 = [name -> o5, email -> o6];
+        o5 = [firstname -> o7, lastname -> o8];
+        o6 = "e1"; o7 = "Ann"; o8 = "Alpha";
+        o9 = [title -> o10, author -> o11];
+        o10 = "T2";
+        o11 = [name -> o12, email -> o13];
+        o12 = [firstname -> o14, lastname -> o15];
+        o13 = "e2"; o14 = "Bob"; o15 = "Beta"
+    "#;
+
+    #[test]
+    fn groups_last_names() {
+        let pool = SharedInterner::new();
+        let t = bib_transform(&pool);
+        let g = parse_data_graph(BIB, &pool).unwrap();
+        let out = apply(&t, &g).unwrap();
+        // Root has two person edges (two lastname nodes).
+        assert_eq!(out.edges(out.root()).len(), 2);
+        let person = pool.get("person").unwrap();
+        for e in out.edges(out.root()) {
+            assert_eq!(e.label, person);
+            assert_eq!(out.edges(e.target).len(), 1);
+            let leaf = out.edges(e.target)[0].target;
+            assert!(matches!(out.node(leaf), Node::Atomic(Value::Str(_))));
+        }
+    }
+
+    #[test]
+    fn duplicate_bindings_collapse() {
+        // Two paths to the same lastname node yield one skolem node.
+        let pool = SharedInterner::new();
+        let q = parse_query("SELECT X WHERE Root = {_+ -> X}", &pool).unwrap();
+        let x = q.var_by_name("X").unwrap();
+        let t = Transformation {
+            query: q,
+            rules: vec![ConstructEdge {
+                source: SkolemTerm::constant("Out"),
+                label: pool.intern("hit"),
+                target: Target::Term(SkolemTerm::unary("F", x)),
+            }],
+            root_fun: "Out".to_owned(),
+        };
+        let g = parse_data_graph("o1 = {a -> o2}; o2 = {b -> o3}; o3 = 1", &pool).unwrap();
+        let out = apply(&t, &g).unwrap();
+        // X binds o2 and o3: two distinct F nodes.
+        assert_eq!(out.edges(out.root()).len(), 2);
+    }
+
+    #[test]
+    fn empty_result_still_produces_a_root() {
+        let pool = SharedInterner::new();
+        let q = parse_query("SELECT X WHERE Root = [nomatch -> X]", &pool).unwrap();
+        let x = q.var_by_name("X").unwrap();
+        let t = Transformation {
+            query: q,
+            rules: vec![ConstructEdge {
+                source: SkolemTerm::constant("Out"),
+                label: pool.intern("e"),
+                target: Target::Term(SkolemTerm::unary("F", x)),
+            }],
+            root_fun: "Out".to_owned(),
+        };
+        let g = parse_data_graph("o1 = [a -> o2]; o2 = 1", &pool).unwrap();
+        let out = apply(&t, &g).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.edges(out.root()).is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! Skolem-function data transformations (Milo & Suciu, PODS 1999, §4.3).
+//!
+//! A transformation runs a selection query and, for each binding, emits
+//! edges between *Skolem terms* — `F(X)` denotes the output node
+//! identified by the function symbol `F` applied to the binding of `X`.
+//! This abstracts the construct clauses of MSL/StruQL/XML-QL exactly as
+//! the paper prescribes.
+//!
+//! Provided operations:
+//!
+//! * [`Transformation::apply`] — evaluate and build the output graph;
+//! * [`infer_output_schema`] — for transformations whose Skolem functions
+//!   take at most one variable, the most specific description of the
+//!   output the paper's §4.3 promises (per function symbol and feasible
+//!   argument type), derived from type inference over the input schema;
+//! * [`check_output_schema`] — transformation type checking: does every
+//!   output conform to a given target schema? Decided by checking the
+//!   inferred schema against the target (conservative inclusion test),
+//!   with [`spot_check`] sampling as an independent dynamic validation.
+
+#![deny(missing_docs)]
+
+pub mod eval;
+pub mod outschema;
+pub mod skolem;
+
+pub use eval::apply;
+pub use outschema::{check_output_schema, infer_output_schema};
+pub use skolem::{ConstructEdge, SkolemTerm, Transformation};

@@ -1,0 +1,184 @@
+//! The transformation language: Skolem terms and construct rules.
+
+use ssd_base::{Error, LabelId, Result, VarId};
+use ssd_query::{Query, VarKind};
+
+/// A Skolem term: a function symbol applied to query variables. The
+/// nullary term (`args = []`) denotes a single output node per function —
+/// in particular the output root.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SkolemTerm {
+    /// The function symbol.
+    pub fun: String,
+    /// Argument variables (node/value variables of the query).
+    pub args: Vec<VarId>,
+}
+
+impl SkolemTerm {
+    /// A nullary term.
+    pub fn constant(fun: &str) -> SkolemTerm {
+        SkolemTerm {
+            fun: fun.to_owned(),
+            args: Vec::new(),
+        }
+    }
+
+    /// A unary term.
+    pub fn unary(fun: &str, arg: VarId) -> SkolemTerm {
+        SkolemTerm {
+            fun: fun.to_owned(),
+            args: vec![arg],
+        }
+    }
+}
+
+/// What an output edge points at.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Target {
+    /// Another Skolem node.
+    Term(SkolemTerm),
+    /// A fresh atomic node copying the value bound to this (value or
+    /// atomic-node) variable.
+    CopyValue(VarId),
+}
+
+/// One construct rule: for every binding, emit `source --label--> target`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConstructEdge {
+    /// The source Skolem term.
+    pub source: SkolemTerm,
+    /// The edge label.
+    pub label: LabelId,
+    /// The edge target.
+    pub target: Target,
+}
+
+/// A transformation: a selection query plus construct rules. The output
+/// root is the nullary term named by `root_fun`.
+#[derive(Clone, Debug)]
+pub struct Transformation {
+    /// The selection query driving the transformation.
+    pub query: Query,
+    /// The construct rules.
+    pub rules: Vec<ConstructEdge>,
+    /// Function symbol of the output root (must be nullary in the rules).
+    pub root_fun: String,
+}
+
+impl Transformation {
+    /// Validates well-formedness: rule variables exist and have usable
+    /// kinds, and the root function is nullary.
+    pub fn validate(&self) -> Result<()> {
+        let check_term = |t: &SkolemTerm| -> Result<()> {
+            for &v in &t.args {
+                if v.index() >= self.query.num_vars() {
+                    return Err(Error::invalid(format!(
+                        "skolem term {} uses an unknown variable",
+                        t.fun
+                    )));
+                }
+                if self.query.kind(v) == VarKind::Label {
+                    return Err(Error::unsupported(
+                        "label variables as skolem arguments are not supported",
+                    ));
+                }
+            }
+            if t.fun == self.root_fun && !t.args.is_empty() {
+                return Err(Error::invalid(format!(
+                    "root function {} must be nullary",
+                    t.fun
+                )));
+            }
+            Ok(())
+        };
+        for r in &self.rules {
+            check_term(&r.source)?;
+            if let Target::Term(t) = &r.target {
+                check_term(t)?;
+            }
+            if let Target::CopyValue(v) = &r.target {
+                if v.index() >= self.query.num_vars() {
+                    return Err(Error::invalid("copy-value of unknown variable"));
+                }
+            }
+        }
+        if !self
+            .rules
+            .iter()
+            .any(|r| r.source.fun == self.root_fun || matches!(&r.target, Target::Term(t) if t.fun == self.root_fun))
+        {
+            return Err(Error::invalid(format!(
+                "no rule mentions the root function {}",
+                self.root_fun
+            )));
+        }
+        Ok(())
+    }
+
+    /// Whether every Skolem function takes at most one argument (the class
+    /// with an exact most-specific output schema, §4.3).
+    pub fn is_single_variable(&self) -> bool {
+        let ok = |t: &SkolemTerm| t.args.len() <= 1;
+        self.rules.iter().all(|r| {
+            ok(&r.source)
+                && match &r.target {
+                    Target::Term(t) => ok(t),
+                    Target::CopyValue(_) => true,
+                }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_base::SharedInterner;
+    use ssd_query::parse_query;
+
+    fn mini() -> (Transformation, SharedInterner) {
+        let pool = SharedInterner::new();
+        let q = parse_query("SELECT X WHERE Root = [a -> X]", &pool).unwrap();
+        let x = q.var_by_name("X").unwrap();
+        let t = Transformation {
+            query: q,
+            rules: vec![ConstructEdge {
+                source: SkolemTerm::constant("Out"),
+                label: pool.intern("item"),
+                target: Target::Term(SkolemTerm::unary("F", x)),
+            }],
+            root_fun: "Out".to_owned(),
+        };
+        (t, pool)
+    }
+
+    #[test]
+    fn validates_and_classifies() {
+        let (t, _) = mini();
+        t.validate().unwrap();
+        assert!(t.is_single_variable());
+    }
+
+    #[test]
+    fn root_must_be_mentioned() {
+        let (mut t, _) = mini();
+        t.root_fun = "Nowhere".to_owned();
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn multi_arg_terms_flagged() {
+        let (mut t, pool) = mini();
+        let x = t.query.var_by_name("X").unwrap();
+        let root = t.query.root_var();
+        t.rules.push(ConstructEdge {
+            source: SkolemTerm::constant("Out"),
+            label: pool.intern("pair"),
+            target: Target::Term(SkolemTerm {
+                fun: "G".to_owned(),
+                args: vec![x, root],
+            }),
+        });
+        t.validate().unwrap();
+        assert!(!t.is_single_variable());
+    }
+}

@@ -1,0 +1,37 @@
+//! # `ssd` — Type Inference for Queries on Semistructured Data
+//!
+//! A full implementation of Milo & Suciu, *"Type Inference for Queries on
+//! Semistructured Data"*, PODS 1999: the ordered OEM data model, ScmDL
+//! schemas (including DTD import), selection queries with regular path
+//! expressions, the **traces technique**, satisfiability / type checking /
+//! type inference with the paper's complexity classification (Table 2), and
+//! the three applications — feedback queries, adaptive optimal evaluation,
+//! and Skolem-function transformations.
+//!
+//! This crate is a facade that re-exports the workspace crates:
+//!
+//! * [`base`] — interning, ids, multisets;
+//! * [`automata`] — regexes and automata over symbolic alphabets;
+//! * [`model`] — data graphs;
+//! * [`schema`] — ScmDL schemas, DTDs, conformance;
+//! * [`query`] — patterns, selection queries, evaluation;
+//! * [`core`] — the traces technique and the inference problems;
+//! * [`feedback`] — feedback queries (Section 4.1);
+//! * [`optimizer`] — the adaptive optimal evaluator (Section 4.2);
+//! * [`transform`] — Skolem transformations (Section 4.3);
+//! * [`gen`] — workload generators used by the reproduction benchmarks.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+#![deny(missing_docs)]
+
+pub use ssd_automata as automata;
+pub use ssd_base as base;
+pub use ssd_core as core;
+pub use ssd_feedback as feedback;
+pub use ssd_gen as gen;
+pub use ssd_model as model;
+pub use ssd_optimizer as optimizer;
+pub use ssd_query as query;
+pub use ssd_schema as schema;
+pub use ssd_transform as transform;

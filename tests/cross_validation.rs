@@ -1,0 +1,131 @@
+//! Cross-validation between independent implementations: the PTIME
+//! trace-product engine, the literal P-traces construction, the general
+//! solver, and dynamic evaluation on sampled instances.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ssd::base::SharedInterner;
+use ssd::core::feas::{analyze, Constraints};
+use ssd::core::{ptraces, solver};
+use ssd::gen::data_gen::{sample_instance, DataGenConfig};
+use ssd::gen::query_gen::{joinfree_query, QueryGenConfig};
+use ssd::gen::schema_gen::{ordered_schema, SchemaGenConfig};
+use ssd::query::is_nonempty;
+use ssd::schema::{conforms, TypeGraph};
+
+/// On random ordered workloads, the trace-product engine and the general
+/// solver agree; when satisfiable, evaluation on sampled instances never
+/// contradicts an UNSAT verdict.
+#[test]
+fn engines_agree_on_random_ordered_workloads() {
+    for seed in 0..25u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pool = SharedInterner::new();
+        let scfg = SchemaGenConfig {
+            num_types: 4 + (seed % 5) as usize,
+            tagged: seed % 3 == 0,
+            ..Default::default()
+        };
+        let s = ordered_schema(&mut rng, &pool, &scfg);
+        let tg = TypeGraph::new(&s);
+        let qcfg = QueryGenConfig {
+            num_defs: 1 + (seed % 3) as usize,
+            perturb_prob: 0.25,
+            ..Default::default()
+        };
+        let q = joinfree_query(&s, &tg, &mut rng, &qcfg).unwrap();
+
+        let by_feas = analyze(&q, &s, &tg, &Constraints::none()).unwrap().satisfiable;
+        let by_solver = solver::solve(&q, &s).satisfiable;
+        assert_eq!(by_feas, by_solver, "seed {seed}\nschema:\n{s}\nquery:\n{q}");
+
+        // Dynamic check: sampled instances conform, and a match on any
+        // instance implies SAT.
+        for _ in 0..3 {
+            let g = sample_instance(&s, &tg, &mut rng, &DataGenConfig::default()).unwrap();
+            assert!(conforms(&g, &s).is_some(), "seed {seed}");
+            if is_nonempty(&q, &g) {
+                assert!(by_feas, "dynamic witness contradicts UNSAT: seed {seed}");
+            }
+        }
+    }
+}
+
+/// Single-definition queries: the literal P-traces construction agrees
+/// with the trace-product engine.
+#[test]
+fn ptraces_agree_with_feas_on_random_single_defs() {
+    for seed in 100..120u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pool = SharedInterner::new();
+        let s = ordered_schema(&mut rng, &pool, &SchemaGenConfig::default());
+        let tg = TypeGraph::new(&s);
+        let q = joinfree_query(
+            &s,
+            &tg,
+            &mut rng,
+            &QueryGenConfig {
+                num_defs: 1,
+                fanout: 2,
+                perturb_prob: 0.3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let by_feas = analyze(&q, &s, &tg, &Constraints::none()).unwrap().satisfiable;
+        let by_traces = ptraces::satisfiable_ptraces(&q, &s).unwrap();
+        assert_eq!(by_feas, by_traces, "seed {seed}\n{s}\n{q}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Parser round trips: printing a generated query re-parses to the
+    /// same display form.
+    #[test]
+    fn query_display_round_trips(seed in 0u64..5000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pool = SharedInterner::new();
+        let s = ordered_schema(&mut rng, &pool, &SchemaGenConfig::default());
+        let tg = TypeGraph::new(&s);
+        if let Ok(q) = joinfree_query(&s, &tg, &mut rng, &QueryGenConfig::default()) {
+            let printed = q.to_string();
+            let q2 = ssd::query::parse_query(&printed, &pool).unwrap();
+            prop_assert_eq!(printed, q2.to_string());
+        }
+    }
+
+    /// Schema display round trips preserve classification and size.
+    #[test]
+    fn schema_display_round_trips(seed in 0u64..5000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pool = SharedInterner::new();
+        let s = ordered_schema(&mut rng, &pool, &SchemaGenConfig::default());
+        let printed = s.to_string();
+        let s2 = ssd::schema::parse_schema(&printed, &pool).unwrap();
+        prop_assert_eq!(s.len(), s2.len());
+        prop_assert_eq!(
+            ssd::schema::SchemaClass::of(&s),
+            ssd::schema::SchemaClass::of(&s2)
+        );
+    }
+
+    /// Sampled instances always conform to their schema.
+    #[test]
+    fn sampled_instances_conform(seed in 0u64..5000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pool = SharedInterner::new();
+        let s = ordered_schema(&mut rng, &pool, &SchemaGenConfig {
+            num_types: 5,
+            ..Default::default()
+        });
+        let tg = TypeGraph::new(&s);
+        let g = sample_instance(&s, &tg, &mut rng, &DataGenConfig {
+            continue_prob: 0.4,
+            max_nodes: 300,
+        }).unwrap();
+        prop_assert!(conforms(&g, &s).is_some());
+    }
+}

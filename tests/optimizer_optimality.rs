@@ -1,0 +1,95 @@
+//! Empirical validation of Theorem 4.2 on random workloads: A_O never
+//! explores more edges than the naive strategy and always returns the
+//! same answers (which also agree with the reference evaluator).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ssd::base::SharedInterner;
+use ssd::gen::data_gen::{sample_instance, DataGenConfig};
+use ssd::gen::query_gen::{joinfree_query, QueryGenConfig};
+use ssd::gen::schema_gen::{ordered_schema, SchemaGenConfig};
+use ssd::optimizer::compare;
+use ssd::schema::TypeGraph;
+
+#[test]
+fn adaptive_never_worse_on_random_workloads() {
+    let mut improved = 0usize;
+    let mut total = 0usize;
+    for seed in 0..30u64 {
+        let mut rng = StdRng::seed_from_u64(9000 + seed);
+        let pool = SharedInterner::new();
+        let s = ordered_schema(
+            &mut rng,
+            &pool,
+            &SchemaGenConfig {
+                num_types: 5,
+                tagged: seed % 2 == 0,
+                ..Default::default()
+            },
+        );
+        let tg = TypeGraph::new(&s);
+        let q = match joinfree_query(
+            &s,
+            &tg,
+            &mut rng,
+            &QueryGenConfig {
+                num_defs: 1,
+                fanout: 2,
+                ..Default::default()
+            },
+        ) {
+            Ok(q) if q.defs().len() == 1 && !q.defs()[0].1.edges().is_empty() => q,
+            _ => continue,
+        };
+        let g = match sample_instance(
+            &s,
+            &tg,
+            &mut rng,
+            &DataGenConfig {
+                continue_prob: 0.6,
+                max_nodes: 400,
+            },
+        ) {
+            Ok(g) => g,
+            Err(_) => continue,
+        };
+        let c = match compare(&q, &s, &g) {
+            Ok(c) => c,
+            Err(_) => continue, // non-tree data or unsupported query
+        };
+        assert_eq!(
+            c.naive_results, c.adaptive_results,
+            "seed {seed}\nschema:\n{s}\nquery:\n{q}\ndata:\n{g}"
+        );
+        assert!(
+            c.adaptive_cost <= c.naive_cost,
+            "A_O worse on seed {seed}: {} vs {}",
+            c.adaptive_cost,
+            c.naive_cost
+        );
+        total += 1;
+        if c.adaptive_cost < c.naive_cost {
+            improved += 1;
+        }
+        // Cross-check against the reference evaluator: project full
+        // bindings onto the pattern's entry targets (the optimizer's
+        // tuple shape).
+        let targets: Vec<_> = q.defs()[0].1.edges().iter().map(|e| e.target).collect();
+        let reference: std::collections::BTreeSet<Vec<ssd::base::OidId>> =
+            ssd::query::evaluate(&q, &g)
+                .iter()
+                .map(|b| {
+                    targets
+                        .iter()
+                        .map(|&v| match b.get(v) {
+                            Some(ssd::query::Bound::Node(o)) => *o,
+                            other => panic!("target bound to {other:?}"),
+                        })
+                        .collect()
+                })
+                .collect();
+        assert_eq!(reference, c.naive_results, "seed {seed}\n{s}\n{q}\n{g}");
+    }
+    assert!(total >= 10, "enough comparable workloads ({total})");
+    assert!(improved > 0, "schema knowledge should help somewhere");
+}
