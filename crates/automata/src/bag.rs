@@ -83,9 +83,7 @@ pub fn homogeneous_symbol<A: Clone + Eq>(re: &Regex<A>) -> Option<A> {
     fn single_atom<A: Clone + Eq>(re: &Regex<A>) -> Option<A> {
         match re {
             Regex::Atom(a) => Some(a.clone()),
-            Regex::Concat(parts) | Regex::Alt(parts) if parts.len() == 1 => {
-                single_atom(&parts[0])
-            }
+            Regex::Concat(parts) | Regex::Alt(parts) if parts.len() == 1 => single_atom(&parts[0]),
             _ => None,
         }
     }
@@ -197,10 +195,7 @@ mod tests {
     #[test]
     fn bag_matches_agrees_with_permutation_bruteforce() {
         // Cross-check on a nontrivial language: (a.b)* | c
-        let re = Regex::alt(vec![
-            Regex::star(Regex::concat(vec![l(0), l(1)])),
-            l(2),
-        ]);
+        let re = Regex::alt(vec![Regex::star(Regex::concat(vec![l(0), l(1)])), l(2)]);
         let n = build(&re);
         let cases: Vec<Vec<u32>> = vec![
             vec![],

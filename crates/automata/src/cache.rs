@@ -1,0 +1,351 @@
+//! A hash-consed, memoizing cache of automata constructions and language
+//! verdicts.
+//!
+//! The traces engines rebuild the same Glushkov automata, determinized
+//! DFAs, and emptiness/inclusion verdicts over and over: every
+//! satisfiability call re-translates the query's path regexes, and type
+//! inference drives hundreds of such calls against one schema. Regexes are
+//! immutable values, so all of this is safely shareable. This module
+//! provides [`AutomataCache`]:
+//!
+//! * **hash-consing** — [`AutomataCache::intern`] maps structurally equal
+//!   [`Regex`] values to one shared [`HcRegex`] (an `Arc` plus the
+//!   precomputed [`Regex::fingerprint`]), so repeated keys hash in O(1)
+//!   and compare by pointer first;
+//! * **memoized constructions** — [`AutomataCache::nfa`] (Glushkov) and
+//!   [`AutomataCache::dfa`] (determinized + minimized) return shared
+//!   `Arc`s, built at most once per distinct regex;
+//! * **memoized verdicts** — [`AutomataCache::is_empty`],
+//!   [`AutomataCache::included`], and [`AutomataCache::equivalent`] cache
+//!   language emptiness and inclusion per (pair of) interned key(s).
+//!
+//! All maps sit behind [`std::sync::RwLock`]s: reads (the hit path) take
+//! the shared lock, construction takes the exclusive lock with a
+//! double-check so concurrent missers agree on one entry. Entries are
+//! never invalidated — regexes are immutable values and every cached
+//! artifact is a pure function of its key — so the cache only grows, and
+//! verdicts stay bit-identical to what the uncached constructions produce.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::dfa::{self, Dfa};
+use crate::glushkov;
+use crate::nfa::Nfa;
+use crate::ops;
+use crate::syntax::{LabelAtom, Regex};
+
+/// A hash-consed regex: one shared allocation per distinct structure, with
+/// the structural fingerprint precomputed for O(1) hashing.
+#[derive(Clone, Debug)]
+pub struct HcRegex {
+    fp: u64,
+    re: Arc<Regex<LabelAtom>>,
+}
+
+impl HcRegex {
+    /// The underlying regex.
+    pub fn regex(&self) -> &Regex<LabelAtom> {
+        &self.re
+    }
+
+    /// The precomputed structural fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
+    }
+
+    /// Whether both handles share one interned allocation.
+    pub fn same_cons(&self, other: &HcRegex) -> bool {
+        Arc::ptr_eq(&self.re, &other.re)
+    }
+}
+
+impl PartialEq for HcRegex {
+    fn eq(&self, other: &Self) -> bool {
+        // Pointer equality is the common case after interning; the
+        // fingerprint pre-filters, full structure decides collisions.
+        Arc::ptr_eq(&self.re, &other.re) || (self.fp == other.fp && self.re == other.re)
+    }
+}
+
+impl Eq for HcRegex {}
+
+impl Hash for HcRegex {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.fp);
+    }
+}
+
+/// Counters describing cache effectiveness (monotone, point-in-time).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a memo table.
+    pub hits: u64,
+    /// Lookups that had to construct (and insert) their result.
+    pub misses: u64,
+    /// Distinct hash-consed regexes.
+    pub interned: usize,
+    /// Memoized Glushkov NFAs.
+    pub nfas: usize,
+    /// Memoized determinized+minimized DFAs.
+    pub dfas: usize,
+    /// Memoized emptiness + inclusion verdicts.
+    pub verdicts: usize,
+}
+
+/// The shared automata cache. See the module docs for the design.
+#[derive(Default)]
+pub struct AutomataCache {
+    /// Hash-consing table: fingerprint → interned regexes with that
+    /// fingerprint (a bucket list disambiguates collisions structurally).
+    cons: RwLock<HashMap<u64, Vec<Arc<Regex<LabelAtom>>>>>,
+    nfas: RwLock<HashMap<HcRegex, Arc<Nfa<LabelAtom>>>>,
+    dfas: RwLock<HashMap<HcRegex, Arc<Dfa<LabelAtom>>>>,
+    empties: RwLock<HashMap<HcRegex, bool>>,
+    inclusions: RwLock<HashMap<(HcRegex, HcRegex), bool>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Read a lock, recovering from poisoning: every cached value is a pure
+/// function of its key, so a panicked writer cannot leave a map
+/// semantically inconsistent (at worst an entry is absent).
+fn read<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+impl AutomataCache {
+    /// An empty cache.
+    pub fn new() -> AutomataCache {
+        AutomataCache::default()
+    }
+
+    /// Hash-conses `re`: structurally equal regexes map to one shared
+    /// allocation for the lifetime of the cache.
+    pub fn intern(&self, re: &Regex<LabelAtom>) -> HcRegex {
+        let fp = re.fingerprint();
+        if let Some(bucket) = read(&self.cons).get(&fp) {
+            if let Some(found) = bucket.iter().find(|c| ***c == *re) {
+                return HcRegex {
+                    fp,
+                    re: Arc::clone(found),
+                };
+            }
+        }
+        let mut cons = write(&self.cons);
+        let bucket = cons.entry(fp).or_default();
+        // Double-check: another writer may have interned between locks.
+        if let Some(found) = bucket.iter().find(|c| ***c == *re) {
+            return HcRegex {
+                fp,
+                re: Arc::clone(found),
+            };
+        }
+        let arc = Arc::new(re.clone());
+        bucket.push(Arc::clone(&arc));
+        HcRegex { fp, re: arc }
+    }
+
+    /// The Glushkov NFA of `re`, built at most once.
+    pub fn nfa(&self, re: &Regex<LabelAtom>) -> Arc<Nfa<LabelAtom>> {
+        let key = self.intern(re);
+        if let Some(n) = read(&self.nfas).get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(n);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(glushkov::build(key.regex()));
+        let mut map = write(&self.nfas);
+        Arc::clone(map.entry(key).or_insert(built))
+    }
+
+    /// The determinized and minimized DFA of `re`, built at most once.
+    pub fn dfa(&self, re: &Regex<LabelAtom>) -> Arc<Dfa<LabelAtom>> {
+        let key = self.intern(re);
+        if let Some(d) = read(&self.dfas).get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(d);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let nfa = self.nfa(re);
+        let built = Arc::new(dfa::minimize(&dfa::determinize(&nfa)));
+        let mut map = write(&self.dfas);
+        Arc::clone(map.entry(key).or_insert(built))
+    }
+
+    /// Whether `lang(re)` is empty, memoized (decided on the NFA, exactly
+    /// as the uncached path does).
+    pub fn is_empty(&self, re: &Regex<LabelAtom>) -> bool {
+        let key = self.intern(re);
+        if let Some(&v) = read(&self.empties).get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = ops::is_empty_lang(&self.nfa(re));
+        write(&self.empties).insert(key, v);
+        v
+    }
+
+    /// Whether `lang(left) ⊆ lang(right)`, memoized per ordered pair.
+    pub fn included(&self, left: &Regex<LabelAtom>, right: &Regex<LabelAtom>) -> bool {
+        let key = (self.intern(left), self.intern(right));
+        if let Some(&v) = read(&self.inclusions).get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = dfa::included(&self.nfa(left), &self.nfa(right));
+        write(&self.inclusions).insert(key, v);
+        v
+    }
+
+    /// Language equivalence: inclusion both ways (each direction memoized).
+    pub fn equivalent(&self, a: &Regex<LabelAtom>, b: &Regex<LabelAtom>) -> bool {
+        self.included(a, b) && self.included(b, a)
+    }
+
+    /// Point-in-time effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            interned: read(&self.cons).values().map(Vec::len).sum(),
+            nfas: read(&self.nfas).len(),
+            dfas: read(&self.dfas).len(),
+            verdicts: read(&self.empties).len() + read(&self.inclusions).len(),
+        }
+    }
+}
+
+impl std::fmt::Debug for AutomataCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("AutomataCache")
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .field("interned", &s.interned)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_base::LabelId;
+
+    fn l(i: u32) -> Regex<LabelAtom> {
+        Regex::atom(LabelAtom::Label(LabelId(i)))
+    }
+
+    fn sample() -> Regex<LabelAtom> {
+        Regex::concat(vec![l(0), Regex::star(Regex::alt(vec![l(1), l(2)])), l(3)])
+    }
+
+    #[test]
+    fn interning_shares_allocations() {
+        let cache = AutomataCache::new();
+        let a = cache.intern(&sample());
+        let b = cache.intern(&sample());
+        assert!(a.same_cons(&b));
+        assert_eq!(a, b);
+        assert_eq!(cache.stats().interned, 1);
+        let c = cache.intern(&l(9));
+        assert!(!a.same_cons(&c));
+        assert_eq!(cache.stats().interned, 2);
+    }
+
+    #[test]
+    fn cached_nfa_is_bit_identical_to_uncached() {
+        let cache = AutomataCache::new();
+        let re = sample();
+        let cached = cache.nfa(&re);
+        let fresh = glushkov::build(&re);
+        assert_eq!(cached.num_states(), fresh.num_states());
+        assert_eq!(cached.start(), fresh.start());
+        let ce: Vec<_> = cached.all_edges().map(|(a, s, b)| (a, *s, b)).collect();
+        let fe: Vec<_> = fresh.all_edges().map(|(a, s, b)| (a, *s, b)).collect();
+        assert_eq!(ce, fe);
+        for q in 0..fresh.num_states() {
+            assert_eq!(cached.is_accepting(q), fresh.is_accepting(q));
+        }
+    }
+
+    #[test]
+    fn repeated_nfa_lookups_hit() {
+        let cache = AutomataCache::new();
+        let first = cache.nfa(&sample());
+        let second = cache.nfa(&sample());
+        assert!(Arc::ptr_eq(&first, &second));
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.nfas, 1);
+    }
+
+    #[test]
+    fn dfa_accepts_like_nfa() {
+        let cache = AutomataCache::new();
+        let re = sample();
+        let nfa = cache.nfa(&re);
+        let dfa = cache.dfa(&re);
+        for word in [
+            vec![LabelId(0), LabelId(3)],
+            vec![LabelId(0), LabelId(1), LabelId(2), LabelId(3)],
+            vec![LabelId(0)],
+            vec![LabelId(3)],
+        ] {
+            assert_eq!(nfa.accepts(&word), dfa.accepts(&word), "word {word:?}");
+        }
+        assert!(Arc::ptr_eq(&cache.dfa(&re), &dfa));
+    }
+
+    #[test]
+    fn emptiness_verdicts_match_syntax() {
+        let cache = AutomataCache::new();
+        // Built via raw variants so the smart constructors don't simplify
+        // the ∅ factor away.
+        let dead = Regex::Concat(vec![l(0), Regex::Empty]);
+        assert!(cache.is_empty(&dead));
+        assert!(!cache.is_empty(&sample()));
+        assert_eq!(dead.is_empty_lang(), cache.is_empty(&dead));
+        // Second lookups are hits.
+        let before = cache.stats().hits;
+        assert!(cache.is_empty(&dead));
+        assert!(cache.stats().hits > before);
+    }
+
+    #[test]
+    fn inclusion_and_equivalence_are_memoized() {
+        let cache = AutomataCache::new();
+        let star = Regex::star(l(0));
+        let plus = Regex::plus(l(0));
+        assert!(cache.included(&plus, &star));
+        assert!(!cache.included(&star, &plus));
+        assert!(!cache.equivalent(&star, &plus));
+        assert!(cache.equivalent(&star, &Regex::star(Regex::plus(l(0)))));
+        assert!(cache.stats().verdicts >= 3);
+    }
+
+    #[test]
+    fn concurrent_missers_agree() {
+        let cache = Arc::new(AutomataCache::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || cache.nfa(&sample()))
+            })
+            .collect();
+        let nfas: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for n in &nfas[1..] {
+            assert!(Arc::ptr_eq(n, &nfas[0]));
+        }
+        assert_eq!(cache.stats().nfas, 1);
+    }
+}

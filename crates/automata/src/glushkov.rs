@@ -37,11 +37,7 @@ pub fn build<A: Clone>(re: &Regex<A>) -> Nfa<A> {
     let mut follow: Vec<Vec<Pos>> = vec![Vec::new(); n + 1];
     let mut next_pos: Pos = 1;
 
-    fn go<A>(
-        re: &Regex<A>,
-        next_pos: &mut Pos,
-        follow: &mut [Vec<Pos>],
-    ) -> Info {
+    fn go<A>(re: &Regex<A>, next_pos: &mut Pos, follow: &mut [Vec<Pos>]) -> Info {
         match re {
             Regex::Empty => Info {
                 nullable: false,
@@ -146,8 +142,8 @@ pub fn build<A: Clone>(re: &Regex<A>) -> Nfa<A> {
     for &f in &info.first {
         nfa.add_transition(0, atoms[f - 1].clone(), f);
     }
-    for p in 1..=n {
-        for &f in &follow[p] {
+    for (p, follows) in follow.iter().enumerate().take(n + 1).skip(1) {
+        for &f in follows {
             nfa.add_transition(p, atoms[f - 1].clone(), f);
         }
     }

@@ -23,6 +23,7 @@
 #![deny(missing_docs)]
 
 pub mod bag;
+pub mod cache;
 pub mod dfa;
 pub mod display;
 pub mod glushkov;
@@ -33,6 +34,7 @@ pub mod product;
 pub mod regexgen;
 pub mod syntax;
 
+pub use cache::{AutomataCache, CacheStats, HcRegex};
 pub use dfa::Dfa;
 pub use nfa::{Nfa, StateId};
 pub use syntax::{Atom, LabelAtom, Regex};

@@ -31,9 +31,9 @@ pub fn coreachable<A>(nfa: &Nfa<A>) -> Vec<bool> {
     }
     let mut seen = vec![false; n];
     let mut queue = VecDeque::new();
-    for q in 0..n {
+    for (q, s) in seen.iter_mut().enumerate() {
         if nfa.is_accepting(q) {
-            seen[q] = true;
+            *s = true;
             queue.push_back(q);
         }
     }
@@ -52,6 +52,50 @@ pub fn coreachable<A>(nfa: &Nfa<A>) -> Vec<bool> {
 pub fn is_empty_lang<A>(nfa: &Nfa<A>) -> bool {
     let reach = reachable(nfa);
     !(0..nfa.num_states()).any(|q| reach[q] && nfa.is_accepting(q))
+}
+
+/// On-the-fly emptiness of an *implicit* automaton — typically a product
+/// whose states the caller never wants to materialize.
+///
+/// The automaton is given by its start states, an acceptance predicate,
+/// and a successor generator (`successors(&state, &mut out)` pushes every
+/// state reachable in one step). The BFS stops — returning `false` — the
+/// moment any accepting state is found, so a non-empty product costs only
+/// the states on the frontier up to the first witness, not the whole
+/// product. Returns `true` iff no reachable state accepts.
+pub fn is_empty_product<S, I>(
+    starts: I,
+    mut accepting: impl FnMut(&S) -> bool,
+    mut successors: impl FnMut(&S, &mut Vec<S>),
+) -> bool
+where
+    S: Clone + Eq + std::hash::Hash,
+    I: IntoIterator<Item = S>,
+{
+    let mut seen: HashSet<S> = HashSet::new();
+    let mut queue: VecDeque<S> = VecDeque::new();
+    for s in starts {
+        if accepting(&s) {
+            return false;
+        }
+        if seen.insert(s.clone()) {
+            queue.push_back(s);
+        }
+    }
+    let mut buf: Vec<S> = Vec::new();
+    while let Some(s) = queue.pop_front() {
+        buf.clear();
+        successors(&s, &mut buf);
+        for n in buf.drain(..) {
+            if accepting(&n) {
+                return false;
+            }
+            if seen.insert(n.clone()) {
+                queue.push_back(n);
+            }
+        }
+    }
+    true
 }
 
 /// Removes states that are not both reachable and co-reachable, renumbering
@@ -180,7 +224,10 @@ pub fn contains_unordered_selection<A: Clone + Eq + std::hash::Hash>(
     sets: &[HashSet<A>],
 ) -> bool {
     let k = sets.len();
-    assert!(k <= 20, "unordered selection limited to 20 requirement sets");
+    assert!(
+        k <= 20,
+        "unordered selection limited to 20 requirement sets"
+    );
     if sets.iter().any(HashSet::is_empty) {
         return false;
     }
@@ -200,8 +247,8 @@ pub fn contains_unordered_selection<A: Clone + Eq + std::hash::Hash>(
                 queue.push_back((*r, mask));
             }
             // Claim the position for any single unmatched set it satisfies.
-            for i in 0..k {
-                if mask & (1 << i) == 0 && sets[i].contains(a) {
+            for (i, set) in sets.iter().enumerate() {
+                if mask & (1 << i) == 0 && set.contains(a) {
                     let m2 = mask | (1 << i);
                     if !seen[*r][m2 as usize] {
                         seen[*r][m2 as usize] = true;
@@ -225,7 +272,10 @@ pub fn shared_unordered_selection<A: Clone + Eq + std::hash::Hash>(
     sets: &[HashSet<A>],
 ) -> bool {
     let k = sets.len();
-    assert!(k <= 20, "unordered selection limited to 20 requirement sets");
+    assert!(
+        k <= 20,
+        "unordered selection limited to 20 requirement sets"
+    );
     if sets.iter().any(HashSet::is_empty) {
         return false;
     }
@@ -243,8 +293,8 @@ pub fn shared_unordered_selection<A: Clone + Eq + std::hash::Hash>(
             // sets containing `a` — take the maximal such subset (taking
             // more can never hurt: sharing is allowed).
             let mut gain: u32 = 0;
-            for i in 0..k {
-                if mask & (1 << i) == 0 && sets[i].contains(a) {
+            for (i, set) in sets.iter().enumerate() {
+                if mask & (1 << i) == 0 && set.contains(a) {
                     gain |= 1 << i;
                 }
             }
@@ -281,6 +331,44 @@ mod tests {
         assert!(!is_empty_lang(&build(&Regex::<LabelAtom>::Epsilon)));
     }
 
+    /// Lazy pair-product emptiness over concrete labels, for the tests
+    /// below: advances both NFAs on each label the left side can take.
+    fn lazy_pair_empty(left: &Nfa<LabelAtom>, right: &Nfa<LabelAtom>) -> bool {
+        is_empty_product(
+            [(left.start(), right.start())],
+            |&(p, q)| left.is_accepting(p) && right.is_accepting(q),
+            |&(p, q), out| {
+                for (a, p2) in left.edges(p) {
+                    let LabelAtom::Label(lbl) = a else { continue };
+                    for q2 in right.step(&[q], lbl) {
+                        out.push((*p2, q2));
+                    }
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn product_emptiness_agrees_with_materialized_intersection() {
+        // (a|b).c ∩ a.(c|d) is non-empty (a.c); a ∩ b is empty.
+        let r1 = Regex::concat(vec![Regex::alt(vec![l(0), l(1)]), l(2)]);
+        let r2 = Regex::concat(vec![l(0), Regex::alt(vec![l(2), l(3)])]);
+        assert!(!lazy_pair_empty(&build(&r1), &build(&r2)));
+        assert!(lazy_pair_empty(&build(&l(0)), &build(&l(1))));
+        // a* ∩ b+ : both infinite, intersection empty.
+        assert!(lazy_pair_empty(
+            &build(&Regex::star(l(0))),
+            &build(&Regex::plus(l(1)))
+        ));
+    }
+
+    #[test]
+    fn product_emptiness_accepts_at_start() {
+        // ε ∈ both languages: accepting start state short-circuits.
+        let star = build(&Regex::star(l(0)));
+        assert!(!lazy_pair_empty(&star, &star));
+    }
+
     #[test]
     fn witness_is_shortest() {
         // a|b.c — shortest witness has length 1.
@@ -315,7 +403,10 @@ mod tests {
         let n = build(&re);
         assert!(contains_ordered_selection(&n, &[set(&[1]), set(&[2])]));
         assert!(!contains_ordered_selection(&n, &[set(&[2]), set(&[1])]));
-        assert!(contains_ordered_selection(&n, &[set(&[0]), set(&[1]), set(&[2])]));
+        assert!(contains_ordered_selection(
+            &n,
+            &[set(&[0]), set(&[1]), set(&[2])]
+        ));
         assert!(!contains_ordered_selection(&n, &[set(&[0]), set(&[0])]));
     }
 

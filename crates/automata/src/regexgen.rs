@@ -55,11 +55,7 @@ pub fn nfa_to_regex<A: Clone + Eq>(nfa: &Nfa<A>) -> Regex<A> {
         let (idx, &victim) = remaining
             .iter()
             .enumerate()
-            .min_by_key(|(_, &v)| {
-                edge.keys()
-                    .filter(|(s, t)| *s == v || *t == v)
-                    .count()
-            })
+            .min_by_key(|(_, &v)| edge.keys().filter(|(s, t)| *s == v || *t == v).count())
             .expect("nonempty");
         remaining.swap_remove(idx);
 

@@ -206,6 +206,37 @@ impl<A: Clone> Regex<A> {
         v
     }
 
+    /// A deterministic 64-bit structural fingerprint.
+    ///
+    /// Computed by feeding the derived [`Hash`] stream (variant
+    /// discriminants plus atom contents, in AST order) through FNV-1a, so
+    /// it depends only on the expression's structure — not on hasher
+    /// seeding or process state. Structurally equal expressions always
+    /// fingerprint equal; the cache layer uses the fingerprint as the fast
+    /// pre-key for hash-consing (full structural equality disambiguates
+    /// the rare collisions).
+    pub fn fingerprint(&self) -> u64
+    where
+        A: Hash,
+    {
+        /// FNV-1a over the `Hash` byte stream.
+        struct Fnv1a(u64);
+        impl std::hash::Hasher for Fnv1a {
+            fn write(&mut self, bytes: &[u8]) {
+                for &b in bytes {
+                    self.0 ^= u64::from(b);
+                    self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            }
+            fn finish(&self) -> u64 {
+                self.0
+            }
+        }
+        let mut h = Fnv1a(0xCBF2_9CE4_8422_2325);
+        self.hash(&mut h);
+        std::hash::Hasher::finish(&h)
+    }
+
     /// Maps every atom through `f`, preserving structure.
     pub fn map_atoms<B: Clone>(&self, f: &mut impl FnMut(&A) -> Regex<B>) -> Regex<B> {
         match self {
@@ -310,5 +341,28 @@ mod tests {
         let r = Regex::concat(vec![l(1), l(2)]);
         let doubled = r.map_atoms(&mut |a| Regex::concat(vec![Regex::atom(*a), Regex::atom(*a)]));
         assert_eq!(doubled, Regex::Concat(vec![l(1), l(1), l(2), l(2)]));
+    }
+
+    #[test]
+    fn fingerprint_is_structural() {
+        let a = Regex::concat(vec![l(1), Regex::star(l(2))]);
+        let b = Regex::concat(vec![l(1), Regex::star(l(2))]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_structure() {
+        // Same atoms, different operators / nesting.
+        let concat = Regex::concat(vec![l(1), l(2)]);
+        let alt = Regex::alt(vec![l(1), l(2)]);
+        let starred = Regex::star(Regex::concat(vec![l(1), l(2)]));
+        assert_ne!(concat.fingerprint(), alt.fingerprint());
+        assert_ne!(concat.fingerprint(), starred.fingerprint());
+        assert_ne!(l(1).fingerprint(), l(2).fingerprint());
+        assert_ne!(
+            Regex::<LabelAtom>::Empty.fingerprint(),
+            Regex::<LabelAtom>::Epsilon.fingerprint()
+        );
     }
 }

@@ -1,0 +1,114 @@
+//! Property tests for the automata layer, on random regexes:
+//!
+//! * state-elimination reconstruction ([`regexgen::nfa_to_regex`])
+//!   round-trips — the rebuilt regex denotes the same language, checked
+//!   through symbolic DFA inclusion both ways;
+//! * the structural fingerprint and the hash-consing cache respect regex
+//!   equality: equal structure ⇒ equal fingerprint and one shared cons;
+//! * cached equivalence verdicts are identical to uncached ones, cold and
+//!   warm.
+
+use ssd_automata::dfa::equivalent;
+use ssd_automata::{glushkov, regexgen, AutomataCache, LabelAtom, Regex};
+use ssd_base::rng::{Rng, StdRng};
+use ssd_base::LabelId;
+
+/// A random regex over a 4-letter alphabet plus the wildcard, of bounded
+/// depth; biased toward structure (concat/alt/closures) over leaves.
+fn random_regex(rng: &mut StdRng, depth: usize) -> Regex<LabelAtom> {
+    let leaf = depth == 0 || rng.gen_bool(0.3);
+    if leaf {
+        return match rng.gen_range(0..6u32) {
+            0 => Regex::Epsilon,
+            1 => Regex::atom(LabelAtom::Any),
+            n => Regex::atom(LabelAtom::Label(LabelId(n - 2))),
+        };
+    }
+    match rng.gen_range(0..5u32) {
+        0 => {
+            let n = rng.gen_range(2..=3usize);
+            Regex::concat(
+                (0..n)
+                    .map(|_| random_regex(rng, depth - 1))
+                    .collect::<Vec<_>>(),
+            )
+        }
+        1 => {
+            let n = rng.gen_range(2..=3usize);
+            Regex::alt(
+                (0..n)
+                    .map(|_| random_regex(rng, depth - 1))
+                    .collect::<Vec<_>>(),
+            )
+        }
+        2 => Regex::star(random_regex(rng, depth - 1)),
+        3 => Regex::plus(random_regex(rng, depth - 1)),
+        _ => Regex::opt(random_regex(rng, depth - 1)),
+    }
+}
+
+#[test]
+fn state_elimination_round_trips_through_equivalence() {
+    for seed in 0..120u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let re = random_regex(&mut rng, 3);
+        let nfa = glushkov::build(&re);
+        let back = regexgen::nfa_to_regex(&nfa);
+        let back_nfa = glushkov::build(&back);
+        assert!(
+            equivalent(&nfa, &back_nfa),
+            "seed {seed}: round-trip changed the language of {re:?} (rebuilt {back:?})"
+        );
+    }
+}
+
+#[test]
+fn fingerprint_and_cons_respect_structural_equality() {
+    let cache = AutomataCache::new();
+    for seed in 0..120u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let re = random_regex(&mut rng, 3);
+        // An independently constructed structural copy.
+        let mut rng2 = StdRng::seed_from_u64(1000 + seed);
+        let copy = random_regex(&mut rng2, 3);
+        assert_eq!(re, copy, "seed {seed}: generator must be deterministic");
+        assert_eq!(
+            re.fingerprint(),
+            copy.fingerprint(),
+            "seed {seed}: equal structure must fingerprint equally"
+        );
+        let a = cache.intern(&re);
+        let b = cache.intern(&copy);
+        assert!(
+            a.same_cons(&b),
+            "seed {seed}: structural copies must share one cons"
+        );
+        assert_eq!(a, b);
+        // A structurally different regex gets a different cons (its
+        // fingerprint may collide — the cache must still distinguish).
+        let other = Regex::concat(vec![re.clone(), Regex::atom(LabelAtom::Any)]);
+        assert_ne!(re, other);
+        let c = cache.intern(&other);
+        assert!(!a.same_cons(&c), "seed {seed}: distinct regexes, one cons");
+    }
+}
+
+#[test]
+fn cached_equivalence_matches_uncached_cold_and_warm() {
+    let cache = AutomataCache::new();
+    for seed in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        let re = random_regex(&mut rng, 3);
+        let back = regexgen::nfa_to_regex(&glushkov::build(&re));
+        let uncached = equivalent(&glushkov::build(&re), &glushkov::build(&back));
+        let cold = cache.equivalent(&re, &back);
+        let warm = cache.equivalent(&re, &back);
+        assert_eq!(cold, uncached, "seed {seed}: cache changed the verdict");
+        assert_eq!(warm, cold, "seed {seed}: warm verdict drifted");
+        assert!(cold, "seed {seed}: round-trip must stay equivalent");
+        // And an inequivalent pair, for coverage of negative verdicts.
+        let bigger = Regex::concat(vec![re.clone(), Regex::atom(LabelAtom::Any)]);
+        let neg_uncached = equivalent(&glushkov::build(&re), &glushkov::build(&bigger));
+        assert_eq!(cache.equivalent(&re, &bigger), neg_uncached, "seed {seed}");
+    }
+}

@@ -8,9 +8,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
-
-use parking_lot::RwLock;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::ids::LabelId;
 
@@ -84,33 +82,43 @@ impl SharedInterner {
         Self::default()
     }
 
+    /// Read access; recovers from poisoning (the interner is append-only,
+    /// so a panicked writer cannot leave it inconsistent).
+    fn read(&self) -> RwLockReadGuard<'_, Interner> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, Interner> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Interns `s` in the shared pool.
     pub fn intern(&self, s: &str) -> LabelId {
         // Fast path: read lock only.
-        if let Some(id) = self.0.read().get(s) {
+        if let Some(id) = self.read().get(s) {
             return id;
         }
-        self.0.write().intern(s)
+        self.write().intern(s)
     }
 
     /// Looks up `s` without inserting.
     pub fn get(&self, s: &str) -> Option<LabelId> {
-        self.0.read().get(s)
+        self.read().get(s)
     }
 
     /// Resolves `id` to an owned string.
     pub fn resolve(&self, id: LabelId) -> String {
-        self.0.read().resolve(id).to_owned()
+        self.read().resolve(id).to_owned()
     }
 
     /// Number of distinct interned strings.
     pub fn len(&self) -> usize {
-        self.0.read().len()
+        self.read().len()
     }
 
     /// Whether the pool is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.read().is_empty()
+        self.read().is_empty()
     }
 
     /// True if both handles point at the same underlying pool.

@@ -11,8 +11,10 @@ pub mod error;
 pub mod ids;
 pub mod interner;
 pub mod multiset;
+pub mod rng;
 
 pub use error::{Error, Result};
 pub use ids::{LabelId, OidId, TypeIdx, VarId};
 pub use interner::{Interner, SharedInterner};
 pub use multiset::Multiset;
+pub use rng::{Rng, StdRng};

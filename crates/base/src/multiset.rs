@@ -86,7 +86,7 @@ impl<T: Ord> Multiset<T> {
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.counts
             .iter()
-            .flat_map(|(t, &n)| std::iter::repeat(t).take(n))
+            .flat_map(|(t, &n)| std::iter::repeat_n(t, n))
     }
 
     /// Whether `self` is a sub-bag of `other` (pointwise `≤` on counts).

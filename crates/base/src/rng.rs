@@ -1,0 +1,179 @@
+//! A small, dependency-free pseudo-random number generator.
+//!
+//! The workload generators and randomized tests only need reproducible
+//! streams of uniform integers and biased coin flips, so instead of pulling
+//! in an external crate (the build must work fully offline) we ship a
+//! SplitMix64 generator behind a minimal [`Rng`] trait that mirrors the
+//! `rand` API surface the workspace uses: `gen_range` over integer ranges
+//! and `gen_bool`.
+//!
+//! SplitMix64 passes BigCrush for the statistical quality needed here and
+//! is trivially seedable: two generators with the same seed produce the
+//! same stream on every platform, which the cross-validation tests rely on.
+
+use std::ops::{Bound, RangeBounds};
+
+/// Integer types that [`Rng::gen_range`] can sample uniformly.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Widens to `i128` (every supported type fits).
+    fn to_i128(self) -> i128;
+    /// Narrows from `i128` (callers guarantee range).
+    fn from_i128(v: i128) -> Self;
+    /// The inclusive maximum of the type, used for open upper bounds.
+    fn max_value() -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            #[inline]
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn max_value() -> Self {
+                <$t>::MAX
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+/// A source of pseudo-random numbers.
+///
+/// Only the methods the workspace actually uses are provided; they match
+/// the semantics of the equivalently named `rand::Rng` methods.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed integer in `range` (empty ranges panic).
+    fn gen_range<T: UniformInt, R: RangeBounds<T>>(&mut self, range: R) -> T {
+        let lo = match range.start_bound() {
+            Bound::Included(&x) => x.to_i128(),
+            Bound::Excluded(&x) => x.to_i128() + 1,
+            Bound::Unbounded => panic!("gen_range needs a lower bound"),
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&x) => x.to_i128(),
+            Bound::Excluded(&x) => x.to_i128() - 1,
+            Bound::Unbounded => T::max_value().to_i128(),
+        };
+        assert!(lo <= hi, "gen_range called with an empty range");
+        let span = (hi - lo + 1) as u128;
+        // Modulo reduction: the bias is < 2^-64 per sample for the spans
+        // used here (well under any statistical relevance for tests).
+        let x = ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % span;
+        T::from_i128(lo + x as i128)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits give a value in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// The standard workspace generator: SplitMix64.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// A generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        StdRng { state: seed }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea & Flood 2014), public-domain constants.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = r.gen_range(0..10);
+            assert!(x < 10);
+            let y: i64 = r.gen_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+            let z: usize = r.gen_range(3..4);
+            assert_eq!(z, 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_range() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads={heads}");
+    }
+
+    #[test]
+    fn reborrowed_rng_advances_the_source() {
+        let mut r = StdRng::seed_from_u64(5);
+        fn take(rng: &mut impl Rng) -> u64 {
+            rng.next_u64()
+        }
+        let a = take(&mut r);
+        let b = take(&mut r);
+        assert_ne!(a, b);
+    }
+}

@@ -2,8 +2,9 @@
 //! (Definition 2.1, after [BM99]). Sweeps document size against the
 //! paper's bibliography schema.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssd_base::SharedInterner;
+use ssd_bench::harness::{BenchmarkId, Criterion};
+use ssd_bench::{criterion_group, criterion_main};
 use ssd_gen::corpora::{bibliography, PAPER_SCHEMA};
 use ssd_model::parse_data_graph;
 use ssd_schema::{conforms, parse_schema};
@@ -15,11 +16,9 @@ fn conformance(c: &mut Criterion) {
     g.sample_size(20);
     for papers in [10usize, 40, 160, 640] {
         let data = parse_data_graph(&bibliography(papers, 2), &pool).unwrap();
-        g.bench_with_input(
-            BenchmarkId::from_parameter(data.len()),
-            &papers,
-            |b, _| b.iter(|| conforms(&data, &s).is_some()),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(data.len()), &papers, |b, _| {
+            b.iter(|| conforms(&data, &s).is_some())
+        });
     }
     g.finish();
 }

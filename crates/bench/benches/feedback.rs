@@ -2,9 +2,10 @@
 //! (Proposition 4.1). Benchmarks the paper's worked example plus random
 //! sweeps over growing schemas.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssd_base::SharedInterner;
+use ssd_bench::harness::{BenchmarkId, Criterion};
 use ssd_bench::workload;
+use ssd_bench::{criterion_group, criterion_main};
 use ssd_feedback::feedback_query;
 use ssd_gen::corpora::{FEEDBACK_QUERY, PAPER_SCHEMA};
 use ssd_query::parse_query;
@@ -24,9 +25,11 @@ fn random_sweep(c: &mut Criterion) {
     g.sample_size(15);
     for num_types in [4usize, 8, 16] {
         let (s, _tg, q) = workload(500 + num_types as u64, num_types, 3, false, false);
-        g.bench_with_input(BenchmarkId::from_parameter(num_types), &num_types, |b, _| {
-            b.iter(|| feedback_query(&q, &s).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(num_types),
+            &num_types,
+            |b, _| b.iter(|| feedback_query(&q, &s).unwrap()),
+        );
     }
     g.finish();
 }

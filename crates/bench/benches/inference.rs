@@ -2,8 +2,9 @@
 //! classes. A loose schema makes many types feasible; runtime should
 //! scale with input + output size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssd_base::SharedInterner;
+use ssd_bench::harness::{BenchmarkId, Criterion};
+use ssd_bench::{criterion_group, criterion_main};
 use ssd_core::infer;
 use ssd_query::parse_query;
 use ssd_schema::parse_schema;

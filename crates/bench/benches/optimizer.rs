@@ -3,10 +3,10 @@
 //! evaluators; the `experiments` binary prints the edge-count tables
 //! (the paper's cost function).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ssd_base::rng::StdRng;
 use ssd_base::SharedInterner;
+use ssd_bench::harness::{BenchmarkId, Criterion};
+use ssd_bench::{criterion_group, criterion_main};
 use ssd_gen::corpora::{bibliography, PAPER_SCHEMA};
 use ssd_gen::data_gen::{sample_instance, DataGenConfig};
 use ssd_model::parse_data_graph;

@@ -5,10 +5,10 @@
 //! number of propositional variables/clauses, in contrast with the smooth
 //! PTIME sweeps of `table2_ptime.rs`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ssd_base::rng::StdRng;
 use ssd_base::SharedInterner;
+use ssd_bench::harness::{BenchmarkId, Criterion};
+use ssd_bench::{criterion_group, criterion_main};
 use ssd_core::solver;
 use ssd_gen::sat3::Sat3;
 use ssd_query::parse_query;

@@ -6,8 +6,9 @@
 //! paper's claim: polynomial query and combined complexity — runtimes
 //! should grow smoothly, not exponentially, along both axes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssd_bench::harness::{BenchmarkId, Criterion};
 use ssd_bench::workload;
+use ssd_bench::{criterion_group, criterion_main};
 use ssd_core::feas::{analyze, Constraints};
 use ssd_core::tagged::satisfiable_tagged;
 
@@ -17,7 +18,11 @@ fn ordered_joinfree(c: &mut Criterion) {
     for num_defs in [2usize, 4, 8, 16] {
         let (s, tg, q) = workload(100 + num_defs as u64, 10, num_defs, false, false);
         g.bench_with_input(BenchmarkId::from_parameter(num_defs), &num_defs, |b, _| {
-            b.iter(|| analyze(&q, &s, &tg, &Constraints::none()).unwrap().satisfiable)
+            b.iter(|| {
+                analyze(&q, &s, &tg, &Constraints::none())
+                    .unwrap()
+                    .satisfiable
+            })
         });
     }
     g.finish();
@@ -26,9 +31,17 @@ fn ordered_joinfree(c: &mut Criterion) {
     g.sample_size(20);
     for num_types in [4usize, 8, 16, 32] {
         let (s, tg, q) = workload(200 + num_types as u64, num_types, 4, false, false);
-        g.bench_with_input(BenchmarkId::from_parameter(num_types), &num_types, |b, _| {
-            b.iter(|| analyze(&q, &s, &tg, &Constraints::none()).unwrap().satisfiable)
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(num_types),
+            &num_types,
+            |b, _| {
+                b.iter(|| {
+                    analyze(&q, &s, &tg, &Constraints::none())
+                        .unwrap()
+                        .satisfiable
+                })
+            },
+        );
     }
     g.finish();
 }

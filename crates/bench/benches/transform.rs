@@ -1,8 +1,9 @@
 //! Experiment S4.3: Skolem transformations — evaluation throughput and
 //! output-schema inference for single-variable functions.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssd_base::SharedInterner;
+use ssd_bench::harness::{BenchmarkId, Criterion};
+use ssd_bench::{criterion_group, criterion_main};
 use ssd_gen::corpora::{bibliography, PAPER_SCHEMA};
 use ssd_model::parse_data_graph;
 use ssd_query::parse_query;

@@ -3,10 +3,11 @@
 //! present — the cost should stay polynomial even though satisfiability
 //! with joins enumerates.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssd_bench::harness::{BenchmarkId, Criterion};
 use ssd_bench::workload;
-use ssd_core::{total_type_check, TypeAssignment};
+use ssd_bench::{criterion_group, criterion_main};
 use ssd_core::feas::{analyze, Constraints};
+use ssd_core::{total_type_check, TypeAssignment};
 use ssd_query::VarKind;
 
 fn total_check(c: &mut Criterion) {

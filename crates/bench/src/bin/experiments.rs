@@ -12,8 +12,7 @@
 
 use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ssd_base::rng::StdRng;
 use ssd_base::SharedInterner;
 
 use ssd_core::feas::{analyze, Constraints};
@@ -81,7 +80,10 @@ fn table2_shape() {
     }
 
     println!("-- NP cell: 3SAT reduction over unordered rigid types (general solver) --");
-    println!("{:>6} {:>8} {:>12} {:>6}", "vars", "clauses", "time (ms)", "sat");
+    println!(
+        "{:>6} {:>8} {:>12} {:>6}",
+        "vars", "clauses", "time (ms)", "sat"
+    );
     for vars in [3usize, 4, 5, 6] {
         let mut rng = StdRng::seed_from_u64(2000 + vars as u64);
         let f = Sat3::random(&mut rng, vars, vars + 2);
@@ -92,7 +94,11 @@ fn table2_shape() {
         let ms = time_ms(|| {
             sat = solver::solve(&q, &s).satisfiable;
         });
-        assert_eq!(sat, f.brute_force(), "reduction must agree with brute force");
+        assert_eq!(
+            sat,
+            f.brute_force(),
+            "reduction must agree with brute force"
+        );
         println!("{vars:>6} {:>8} {ms:>12.3} {sat:>6}", f.clauses.len());
     }
     println!();
@@ -133,7 +139,10 @@ fn optimizer_tables() {
     let s2 = parse_schema(PAPER_SCHEMA, &pool2).unwrap();
     let q2 = parse_query("SELECT X WHERE Root = [paper.title -> X]", &pool2).unwrap();
     println!("-- bibliography titles scan (paper.title), growing documents --");
-    println!("{:>8} {:>8} {:>8} {:>8}", "papers", "naive", "A_O", "saved%");
+    println!(
+        "{:>8} {:>8} {:>8} {:>8}",
+        "papers", "naive", "A_O", "saved%"
+    );
     for papers in [5usize, 20, 80, 320] {
         let g = parse_data_graph(&bibliography(papers, 3), &pool2).unwrap();
         let c = compare(&q2, &s2, &g).unwrap();

@@ -1,0 +1,218 @@
+//! A dependency-free benchmark harness exposing the subset of the
+//! `criterion` API the bench targets use.
+//!
+//! The build must work fully offline, so instead of the external crate the
+//! bench targets link this shim: same names (`Criterion`, `BenchmarkId`,
+//! `criterion_group!`, `criterion_main!`), same call shapes, plain
+//! wall-clock measurement underneath. Each benchmark is run for a warmup
+//! period, then sampled `sample_size` times with an iteration count chosen
+//! so one sample takes roughly [`TARGET_SAMPLE`]; the median, minimum, and
+//! maximum ns/iter are printed in a stable, greppable format:
+//!
+//! ```text
+//! bench group/id ... median 12345 ns/iter (min 12000, max 13000, N=20)
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock duration of a single sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+
+/// Wall-clock duration spent estimating the per-iteration cost.
+const WARMUP: Duration = Duration::from_millis(50);
+
+/// The top-level harness handle (mirrors `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// A fresh harness.
+    pub fn new() -> Criterion {
+        Criterion::default()
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        run_benchmark(name, 20, &mut f);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labeled by `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.0);
+        run_benchmark(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f`, labeled by `name` within the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_benchmark(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (a no-op; present for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark label (mirrors `criterion::BenchmarkId`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs the measured routine.
+pub struct Bencher {
+    mode: Mode,
+    /// ns per iteration for each completed sample (filled in Measure mode).
+    samples: Vec<f64>,
+    /// Iterations per sample (decided after calibration).
+    iters: u64,
+}
+
+enum Mode {
+    /// Estimate cost: run until WARMUP elapses, record the mean.
+    Calibrate { est_ns: f64 },
+    /// Timed run: execute `iters` iterations, push one sample.
+    Measure,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and measures it (mirrors
+    /// `criterion::Bencher::iter`).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        match self.mode {
+            Mode::Calibrate { ref mut est_ns } => {
+                let start = Instant::now();
+                let mut n = 0u64;
+                while start.elapsed() < WARMUP {
+                    std::hint::black_box(routine());
+                    n += 1;
+                }
+                *est_ns = start.elapsed().as_nanos() as f64 / n.max(1) as f64;
+            }
+            Mode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters {
+                    std::hint::black_box(routine());
+                }
+                let total = start.elapsed().as_nanos() as f64;
+                self.samples.push(total / self.iters.max(1) as f64);
+            }
+        }
+    }
+}
+
+fn run_benchmark(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibration pass.
+    let mut b = Bencher {
+        mode: Mode::Calibrate { est_ns: 0.0 },
+        samples: Vec::new(),
+        iters: 1,
+    };
+    f(&mut b);
+    let est_ns = match b.mode {
+        Mode::Calibrate { est_ns } => est_ns.max(1.0),
+        Mode::Measure => unreachable!(),
+    };
+    let iters = ((TARGET_SAMPLE.as_nanos() as f64 / est_ns).ceil() as u64).max(1);
+
+    // Timed samples.
+    let mut b = Bencher {
+        mode: Mode::Measure,
+        samples: Vec::with_capacity(sample_size),
+        iters,
+    };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    let mut s = b.samples;
+    s.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = s[s.len() / 2];
+    let (min, max) = (s[0], s[s.len() - 1]);
+    println!(
+        "bench {label} ... median {median:.0} ns/iter (min {min:.0}, max {max:.0}, N={})",
+        s.len()
+    );
+}
+
+/// Mirrors `criterion::criterion_group!`: defines a function running each
+/// listed benchmark function against one shared [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::harness::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_prints() {
+        let mut c = Criterion::new();
+        c.bench_function("harness/self_test", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_with_input() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("harness/group");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        g.finish();
+    }
+}

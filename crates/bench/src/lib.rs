@@ -4,8 +4,9 @@
 //! Each bench target regenerates one row of the experiment index in
 //! `DESIGN.md`; `EXPERIMENTS.md` records paper-claim vs measured shape.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+pub mod harness;
+
+use ssd_base::rng::StdRng;
 use ssd_base::SharedInterner;
 use ssd_gen::query_gen::{joinfree_query, QueryGenConfig};
 use ssd_gen::schema_gen::{ordered_schema, SchemaGenConfig};

@@ -10,11 +10,13 @@
 //! | constant-suffix query, tagged ordered schema | forced assignment ([`crate::tagged`]) | PTIME |
 //! | otherwise | complete search ([`crate::solver`]) | exponential (NP-complete problem) |
 
+use ssd_automata::AutomataCache;
 use ssd_base::VarId;
 use ssd_query::{Query, QueryClass, VarKind};
 use ssd_schema::{Schema, SchemaClass, TypeGraph};
 
 use crate::feas::{self, Constraints};
+use crate::session::Session;
 use crate::solver;
 use crate::tagged;
 
@@ -48,27 +50,39 @@ pub fn satisfiable(q: &Query, s: &Schema) -> crate::Result<SatOutcome> {
 
 /// Satisfiability under pinned types/labels (partial type checking).
 pub fn satisfiable_with(q: &Query, s: &Schema, c: &Constraints) -> crate::Result<SatOutcome> {
+    satisfiable_with_in(q, s, c, Session::global())
+}
+
+/// [`satisfiable_with`] through an explicit session's caches: the
+/// schema's `TypeGraph` and every path automaton come from (and are
+/// recorded in) `sess`.
+pub fn satisfiable_with_in(
+    q: &Query,
+    s: &Schema,
+    c: &Constraints,
+    sess: &Session,
+) -> crate::Result<SatOutcome> {
     let qclass = QueryClass::of(q);
     let sclass = SchemaClass::of(s);
 
     if sclass.is_ordered_plus_homogeneous() {
-        let tg = TypeGraph::new(s);
+        let tg = sess.type_graph(s);
         if qclass.join_free() {
-            let a = feas::analyze(q, s, &tg, c)?;
+            let a = feas::analyze_in(q, s, &tg, c, sess.automata())?;
             return Ok(SatOutcome {
                 satisfiable: a.satisfiable,
                 algorithm: Algorithm::TraceProduct,
             });
         }
         if qclass.bounded_joins(MAX_ENUMERATED_JOINS) && sclass.ordered {
-            let sat = bounded_joins(q, s, &tg, c, &qclass.join_vars);
+            let sat = bounded_joins(q, s, &tg, c, &qclass.join_vars, sess.automata());
             return Ok(SatOutcome {
                 satisfiable: sat,
                 algorithm: Algorithm::BoundedJoins,
             });
         }
         if sclass.tagged && qclass.constant_suffix {
-            let sat = tagged::satisfiable_tagged(q, s, &tg, c)?;
+            let sat = tagged::satisfiable_tagged_in(q, s, &tg, c, sess.automata())?;
             return Ok(SatOutcome {
                 satisfiable: sat,
                 algorithm: Algorithm::TaggedSuffix,
@@ -77,7 +91,7 @@ pub fn satisfiable_with(q: &Query, s: &Schema, c: &Constraints) -> crate::Result
     }
 
     Ok(SatOutcome {
-        satisfiable: solver::solve_with(q, s, c).satisfiable,
+        satisfiable: solver::solve_with_in(q, s, c, sess).satisfiable,
         algorithm: Algorithm::GeneralSearch,
     })
 }
@@ -97,10 +111,12 @@ fn bounded_joins(
     tg: &TypeGraph,
     base: &Constraints,
     join_vars: &[VarId],
+    cache: &AutomataCache,
 ) -> bool {
-    enumerate(q, s, tg, base, join_vars, 0)
+    enumerate(q, s, tg, base, join_vars, 0, cache)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn enumerate(
     q: &Query,
     s: &Schema,
@@ -108,6 +124,7 @@ fn enumerate(
     c: &Constraints,
     join_vars: &[VarId],
     i: usize,
+    cache: &AutomataCache,
 ) -> bool {
     if i == join_vars.len() {
         // All join variables pinned: leaf-treat them, check the root tree
@@ -116,8 +133,7 @@ fn enumerate(
         for &v in join_vars {
             leafed.leaf_vars.insert(v);
         }
-        let root_ok = feas::analyze_tree(q, s, tg, &leafed)
-            .satisfiable;
+        let root_ok = feas::analyze_tree_in(q, s, tg, &leafed, cache).satisfiable;
         if !root_ok {
             return false;
         }
@@ -126,7 +142,7 @@ fn enumerate(
                 let t = leafed.var_types[&v];
                 let mut own = leafed.clone();
                 own.leaf_vars.remove(&v);
-                let a = feas::analyze_tree(q, s, tg, &own);
+                let a = feas::analyze_tree_in(q, s, tg, &own, cache);
                 if !a.feas[v.index()].contains(&t) {
                     return false;
                 }
@@ -145,7 +161,7 @@ fn enumerate(
                     continue;
                 }
                 let next = c.clone().pin_type(v, t);
-                if enumerate(q, s, tg, &next, join_vars, i + 1) {
+                if enumerate(q, s, tg, &next, join_vars, i + 1, cache) {
                     return true;
                 }
             }
@@ -159,11 +175,14 @@ fn enumerate(
                 if !seen.insert(a) {
                     continue;
                 }
-                if c.var_types.get(&v).is_some_and(|&p| s.def(p).atomic() != Some(a)) {
+                if c.var_types
+                    .get(&v)
+                    .is_some_and(|&p| s.def(p).atomic() != Some(a))
+                {
                     continue;
                 }
                 let next = c.clone().pin_type(v, t);
-                if enumerate(q, s, tg, &next, join_vars, i + 1) {
+                if enumerate(q, s, tg, &next, join_vars, i + 1, cache) {
                     return true;
                 }
             }
@@ -181,7 +200,7 @@ fn enumerate(
                     continue;
                 }
                 let next = c.clone().pin_label(v, l);
-                if enumerate(q, s, tg, &next, join_vars, i + 1) {
+                if enumerate(q, s, tg, &next, join_vars, i + 1, cache) {
                     return true;
                 }
             }
@@ -281,11 +300,7 @@ mod tests {
         // Join-free, ordered, tagged, constant labels: both PTIME paths and
         // the general solver must agree.
         let pool = SharedInterner::new();
-        let s = parse_schema(
-            "T = [a->U.(b->V)*]; U = [c->W]; V = int; W = string",
-            &pool,
-        )
-        .unwrap();
+        let s = parse_schema("T = [a->U.(b->V)*]; U = [c->W]; V = int; W = string", &pool).unwrap();
         for (query, want) in [
             ("SELECT X WHERE Root = [a.c -> X]", true),
             ("SELECT X WHERE Root = [b -> X, a -> Y]", false), // order

@@ -27,10 +27,9 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 use ssd_automata::bag::homogeneous_symbol;
-use ssd_automata::glushkov;
 use ssd_automata::ops::{contains_ordered_selection, contains_unordered_selection};
 use ssd_automata::syntax::Atom as _;
-use ssd_automata::{LabelAtom, Nfa};
+use ssd_automata::{AutomataCache, LabelAtom, Nfa};
 use ssd_base::{Error, LabelId, Result, TypeIdx, VarId};
 use ssd_query::{EdgeExpr, PatDef, Query, QueryClass, VarKind};
 use ssd_schema::{AtomicType, Schema, SchemaAtom, TypeDef, TypeGraph};
@@ -87,12 +86,21 @@ pub struct FeasAnalysis {
 }
 
 /// Runs the analysis. Requires a join-free query (errors otherwise — use
-/// [`crate::solver`] or the bounded-join wrapper for joins).
-pub fn analyze(
+/// [`crate::solver`] or the bounded-join wrapper for joins). Path automata
+/// come from the global session's cache; pass a cache explicitly with
+/// [`analyze_in`] for isolated sessions.
+pub fn analyze(q: &Query, s: &Schema, tg: &TypeGraph, c: &Constraints) -> Result<FeasAnalysis> {
+    analyze_in(q, s, tg, c, crate::Session::global().automata())
+}
+
+/// Like [`analyze`], with the automata cache the path regexes are
+/// translated through.
+pub fn analyze_in(
     q: &Query,
     s: &Schema,
     tg: &TypeGraph,
     c: &Constraints,
+    cache: &AutomataCache,
 ) -> Result<FeasAnalysis> {
     let class = QueryClass::of(q);
     if !class.join_free() {
@@ -100,18 +108,29 @@ pub fn analyze(
             "the trace-product engine requires a join-free query",
         ));
     }
-    Ok(analyze_tree(q, s, tg, c))
+    Ok(analyze_tree_in(q, s, tg, c, cache))
 }
 
 /// The analysis itself, without the class check (callers that pre-pin all
 /// join variables may use it directly).
 pub fn analyze_tree(q: &Query, s: &Schema, tg: &TypeGraph, c: &Constraints) -> FeasAnalysis {
+    analyze_tree_in(q, s, tg, c, crate::Session::global().automata())
+}
+
+/// [`analyze_tree`] with an explicit automata cache.
+pub fn analyze_tree_in(
+    q: &Query,
+    s: &Schema,
+    tg: &TypeGraph,
+    c: &Constraints,
+    cache: &AutomataCache,
+) -> FeasAnalysis {
     let mut engine = Engine {
         q,
         s,
         tg,
         c,
-        nfa_cache: HashMap::new(),
+        cache,
         feas: vec![None; q.num_vars()],
     };
     let root = q.root_var();
@@ -136,7 +155,7 @@ struct Engine<'a> {
     s: &'a Schema,
     tg: &'a TypeGraph,
     c: &'a Constraints,
-    nfa_cache: HashMap<(VarId, usize), Nfa<LabelAtom>>,
+    cache: &'a AutomataCache,
     feas: Vec<Option<BTreeSet<TypeIdx>>>,
 }
 
@@ -205,7 +224,7 @@ impl<'a> Engine<'a> {
             }
             (PatDef::Value(_) | PatDef::ValueVar(_), _) => false,
             (PatDef::Ordered(entries), TypeDef::Ordered(_)) => {
-                let sets = match self.first_ok_sets(v, entries, t) {
+                let sets = match self.first_ok_sets(entries, t) {
                     Some(s) => s,
                     None => return false,
                 };
@@ -213,7 +232,7 @@ impl<'a> Engine<'a> {
                 contains_ordered_selection(nfa, &sets)
             }
             (PatDef::Unordered(entries), TypeDef::Unordered(r)) => {
-                let sets = match self.first_ok_sets(v, entries, t) {
+                let sets = match self.first_ok_sets(entries, t) {
                     Some(s) => s,
                     None => return false,
                 };
@@ -235,12 +254,11 @@ impl<'a> Engine<'a> {
     /// `t`).
     fn first_ok_sets(
         &mut self,
-        v: VarId,
         entries: &[ssd_query::PatEdge],
         t: TypeIdx,
     ) -> Option<Vec<HashSet<SchemaAtom>>> {
         let mut sets = Vec::with_capacity(entries.len());
-        for (j, e) in entries.iter().enumerate() {
+        for e in entries {
             let target_feas = self.feas_of(e.target);
             let set = match &e.expr {
                 EdgeExpr::LabelVar(lv) => {
@@ -254,11 +272,7 @@ impl<'a> Engine<'a> {
                         .collect::<HashSet<_>>()
                 }
                 EdgeExpr::Regex(r) => {
-                    let key = (v, j);
-                    if !self.nfa_cache.contains_key(&key) {
-                        self.nfa_cache.insert(key, glushkov::build(r));
-                    }
-                    let nfa = self.nfa_cache[&key].clone();
+                    let nfa = self.cache.nfa(r);
                     self.first_ok_regex(&nfa, t, &target_feas)
                 }
             };
@@ -547,10 +561,7 @@ mod tests {
 
     #[test]
     fn deep_wildcard_paths() {
-        assert!(sat(
-            PAPER_SCHEMA,
-            "SELECT X WHERE Root = [_._._._ -> X]",
-        ));
+        assert!(sat(PAPER_SCHEMA, "SELECT X WHERE Root = [_._._._ -> X]",));
         // DOCUMENT→PAPER→AUTHOR→NAME→FIRSTNAME is depth 5; depth 7 exceeds
         // the schema's reach only if no cycles — this schema is acyclic
         // with max depth 5 (root edge + 4).

@@ -18,8 +18,9 @@ use ssd_base::{LabelId, TypeIdx, VarId};
 use ssd_query::{Query, VarKind};
 use ssd_schema::{Schema, TypeGraph};
 
-use crate::dispatch::satisfiable_with;
+use crate::dispatch::satisfiable_with_in;
 use crate::feas::Constraints;
+use crate::session::Session;
 use crate::Result;
 
 /// One inferred assignment for the SELECT variables, in SELECT order.
@@ -41,11 +42,28 @@ pub enum InferredValue {
 
 /// Enumerates all satisfiable SELECT-variable assignments.
 pub fn infer(q: &Query, s: &Schema) -> Result<Vec<InferredAssignment>> {
-    let tg = TypeGraph::new(s);
+    infer_in(q, s, Session::global())
+}
+
+/// [`infer`] through an explicit session's caches. The per-prefix
+/// satisfiability tests of the search all share `sess`, so the path
+/// automata of `q` are built once for the whole enumeration.
+pub fn infer_in(q: &Query, s: &Schema, sess: &Session) -> Result<Vec<InferredAssignment>> {
+    let tg = sess.type_graph(s);
     let select = q.select().to_vec();
     let mut out = Vec::new();
     let mut prefix = Vec::new();
-    search(q, s, &tg, &select, 0, &Constraints::none(), &mut prefix, &mut out)?;
+    search(
+        q,
+        s,
+        &tg,
+        &select,
+        0,
+        &Constraints::none(),
+        &mut prefix,
+        &mut out,
+        sess,
+    )?;
     out.sort();
     out.dedup();
     Ok(out)
@@ -61,9 +79,10 @@ fn search(
     c: &Constraints,
     prefix: &mut Vec<(VarId, InferredValue)>,
     out: &mut Vec<InferredAssignment>,
+    sess: &Session,
 ) -> Result<()> {
     // Prune unsatisfiable prefixes (also handles i == select.len()).
-    if !satisfiable_with(q, s, c)?.satisfiable {
+    if !satisfiable_with_in(q, s, c, sess)?.satisfiable {
         return Ok(());
     }
     if i == select.len() {
@@ -81,7 +100,7 @@ fn search(
                 }
                 let c2 = c.clone().pin_type(v, t);
                 prefix.push((v, InferredValue::Type(t)));
-                search(q, s, tg, select, i + 1, &c2, prefix, out)?;
+                search(q, s, tg, select, i + 1, &c2, prefix, out, sess)?;
                 prefix.pop();
             }
         }
@@ -95,7 +114,7 @@ fn search(
             for l in labels {
                 let c2 = c.clone().pin_label(v, l);
                 prefix.push((v, InferredValue::Label(l)));
-                search(q, s, tg, select, i + 1, &c2, prefix, out)?;
+                search(q, s, tg, select, i + 1, &c2, prefix, out, sess)?;
                 prefix.pop();
             }
         }
@@ -160,9 +179,12 @@ mod tests {
             .collect();
         assert_eq!(
             types,
-            [s.by_name("FIRSTNAME").unwrap(), s.by_name("LASTNAME").unwrap()]
-                .into_iter()
-                .collect()
+            [
+                s.by_name("FIRSTNAME").unwrap(),
+                s.by_name("LASTNAME").unwrap()
+            ]
+            .into_iter()
+            .collect()
         );
     }
 
@@ -195,8 +217,7 @@ mod tests {
             "T = [a->U | b->V]; U = int; V = string",
             "SELECT L WHERE Root = [L -> X]",
         );
-        let pool_labels: BTreeSet<InferredValue> =
-            inf.iter().map(|a| a.entries[0].1).collect();
+        let pool_labels: BTreeSet<InferredValue> = inf.iter().map(|a| a.entries[0].1).collect();
         assert_eq!(pool_labels.len(), 2);
         let _ = s;
     }

@@ -23,6 +23,7 @@ pub mod feas;
 pub mod infer;
 pub mod marker;
 pub mod ptraces;
+pub mod session;
 pub mod solver;
 pub mod tagged;
 pub mod typecheck;
@@ -32,6 +33,7 @@ pub use dispatch::{satisfiable, satisfiable_with, Algorithm, SatOutcome};
 pub use feas::{analyze, Constraints, FeasAnalysis};
 pub use infer::{infer, InferredAssignment};
 pub use marker::{TraceAtom, TraceSym};
+pub use session::{Session, SessionStats};
 pub use typecheck::{partial_type_check, total_type_check, TypeAssignment};
 
 pub use ssd_base::Result;

@@ -51,9 +51,7 @@ pub fn meet(a: &TraceAtom, b: &TraceAtom) -> Option<TraceAtom> {
         (Label(x), Label(y)) if x == y => Some(*a),
         (Label(x), AnyLabel) | (AnyLabel, Label(x)) => Some(Label(*x)),
         (AnyLabel, AnyLabel) => Some(AnyLabel),
-        (Mark(v, None), Mark(w, t)) | (Mark(v, t), Mark(w, None)) if v == w => {
-            Some(Mark(*v, *t))
-        }
+        (Mark(v, None), Mark(w, t)) | (Mark(v, t), Mark(w, None)) if v == w => Some(Mark(*v, *t)),
         (Mark(v, Some(t)), Mark(w, Some(u))) if v == w && t == u => Some(*a),
         _ => None,
     }
@@ -89,10 +87,7 @@ mod tests {
     #[test]
     fn meet_is_intersection() {
         use TraceAtom::*;
-        assert_eq!(
-            meet(&AnyLabel, &Label(LabelId(2))),
-            Some(Label(LabelId(2)))
-        );
+        assert_eq!(meet(&AnyLabel, &Label(LabelId(2))), Some(Label(LabelId(2))));
         assert_eq!(meet(&Label(LabelId(1)), &Label(LabelId(2))), None);
         assert_eq!(meet(&Label(LabelId(1)), &Mark(VarId(0), None)), None);
         assert_eq!(
@@ -100,7 +95,10 @@ mod tests {
             Some(Mark(VarId(0), Some(TypeIdx(1))))
         );
         assert_eq!(
-            meet(&Mark(VarId(0), Some(TypeIdx(1))), &Mark(VarId(0), Some(TypeIdx(2)))),
+            meet(
+                &Mark(VarId(0), Some(TypeIdx(1))),
+                &Mark(VarId(0), Some(TypeIdx(2)))
+            ),
             None
         );
     }

@@ -16,18 +16,22 @@
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use ssd_automata::glushkov;
-use ssd_automata::ops::is_empty_lang;
+use ssd_automata::ops::is_empty_product;
 use ssd_automata::{LabelAtom, Nfa, Regex};
 use ssd_base::{Error, Result, TypeIdx, VarId};
 use ssd_query::{EdgeExpr, PatDef, Query, VarKind};
-use ssd_schema::{Schema, TypeDef, TypeGraph};
+use ssd_schema::{Schema, SchemaAtom, TypeDef, TypeGraph};
 
 use crate::marker::TraceAtom;
+use crate::session::Session;
+
+/// Regex entries of a single pattern definition: `(Rᵢ, Xᵢ)` pairs.
+type DefEntries = Vec<(Regex<LabelAtom>, VarId)>;
 
 /// Extracts the single ordered definition this module handles, with its
 /// regex entries. Errors for multi-definition patterns, unordered roots,
 /// or label variables (use the general engines for those).
-fn single_def(q: &Query) -> Result<(VarId, Vec<(Regex<LabelAtom>, VarId)>)> {
+fn single_def(q: &Query) -> Result<(VarId, DefEntries)> {
     let mut collection_defs = q
         .defs()
         .iter()
@@ -146,17 +150,128 @@ fn union_nfa(a: &Nfa<TraceAtom>, b: &Nfa<TraceAtom>) -> Nfa<TraceAtom> {
         }
     }
     for (x, atom, y) in b.all_edges() {
-        let src = if x == b.start() { a.start() } else { x + offset };
-        let dst = if y == b.start() { a.start() } else { y + offset };
+        let src = if x == b.start() {
+            a.start()
+        } else {
+            x + offset
+        };
+        let dst = if y == b.start() {
+            a.start()
+        } else {
+            y + offset
+        };
         out.add_transition(src, *atom, dst);
     }
     for i in 0..b.num_states() {
         if b.is_accepting(i) {
-            let j = if i == b.start() { a.start() } else { i + offset };
+            let j = if i == b.start() {
+                a.start()
+            } else {
+                i + offset
+            };
             out.set_accepting(j, true);
         }
     }
     out
+}
+
+/// The one-step semantics of the trace product, shared verbatim by the
+/// materialized construction ([`def_trace_automaton_one`]) and the lazy
+/// emptiness check ([`satisfiable_ptraces_in`]), so both decide exactly
+/// the same language.
+struct Stepper<'a> {
+    s: &'a Schema,
+    tg: &'a TypeGraph,
+    /// The root type's pruned content automaton.
+    n0: &'a Nfa<SchemaAtom>,
+    /// `skip[s]` = root-automaton states reachable from `s` in ≥0 steps.
+    skip: &'a [Vec<usize>],
+    entry_nfas: Vec<&'a Nfa<LabelAtom>>,
+    entries: &'a [(Regex<LabelAtom>, VarId)],
+    root_var: VarId,
+    root_t: TypeIdx,
+    leaf_allowed: &'a dyn Fn(VarId, TypeIdx) -> bool,
+}
+
+impl Stepper<'_> {
+    /// Emits every `(label, successor)` of `st`.
+    fn successors(&self, st: &St, emit: &mut dyn FnMut(TraceAtom, St)) {
+        match *st {
+            St::Init => {
+                emit(
+                    TraceAtom::Mark(self.root_var, Some(self.root_t)),
+                    St::Root {
+                        done: 0,
+                        s: self.n0.start(),
+                    },
+                );
+            }
+            St::Root { done, s: rs } => {
+                if done == self.entries.len() {
+                    return; // final segment: only acceptance remains
+                }
+                let seg = done + 1;
+                let nfa_i = self.entry_nfas[seg - 1];
+                // First edge of segment `seg`: skip to any later position,
+                // take one root transition, start the path automaton.
+                for &s2 in &self.skip[rs] {
+                    for (atom, s3) in self.n0.edges(s2) {
+                        for q1 in nfa_i.step(&[nfa_i.start()], &atom.label) {
+                            emit(
+                                TraceAtom::Label(atom.label),
+                                St::Path {
+                                    seg,
+                                    saved: *s3,
+                                    ty: atom.target,
+                                    q: q1,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            St::Path { seg, saved, ty, q } => {
+                let nfa_i = self.entry_nfas[seg - 1];
+                // Continue the path through the type graph.
+                if self.s.def(ty).regex().is_some() {
+                    for atom in self.tg.step(ty) {
+                        for q2 in nfa_i.step(&[q], &atom.label) {
+                            emit(
+                                TraceAtom::Label(atom.label),
+                                St::Path {
+                                    seg,
+                                    saved,
+                                    ty: atom.target,
+                                    q: q2,
+                                },
+                            );
+                        }
+                    }
+                }
+                // Close the segment with a typed marker.
+                if nfa_i.is_accepting(q)
+                    && self.tg.is_inhabited(ty)
+                    && (self.leaf_allowed)(self.entries[seg - 1].1, ty)
+                {
+                    emit(
+                        TraceAtom::Mark(self.entries[seg - 1].1, Some(ty)),
+                        St::Root {
+                            done: seg,
+                            s: saved,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Whether `st` is accepting: all segments closed and the remaining
+    /// root content can finish.
+    fn accepting(&self, st: &St) -> bool {
+        matches!(*st, St::Root { done, s: rs }
+            if done == self.entries.len()
+                && self.skip[rs].iter().any(|&s2| self.n0.is_accepting(s2)))
+    }
 }
 
 fn def_trace_automaton_one(
@@ -171,15 +286,24 @@ fn def_trace_automaton_one(
         // The pattern needs an ordered node; empty language.
         return Nfa::with_states(1, 0);
     }
-    let n0 = tg.pruned_nfa(root_t).expect("inhabited ordered root").clone();
-    let entry_nfas: Vec<Nfa<LabelAtom>> =
-        entries.iter().map(|(r, _)| glushkov::build(r)).collect();
-    let k = entries.len();
+    let n0 = tg.pruned_nfa(root_t).expect("inhabited ordered root");
+    let entry_nfas: Vec<Nfa<LabelAtom>> = entries.iter().map(|(r, _)| glushkov::build(r)).collect();
 
     // Skip closure in the root automaton: states reachable via ≥0 symbols.
-    let skip = reach_closure(&n0);
+    let skip = reach_closure(n0);
+    let stepper = Stepper {
+        s,
+        tg,
+        n0,
+        skip: &skip,
+        entry_nfas: entry_nfas.iter().collect(),
+        entries,
+        root_var,
+        root_t,
+        leaf_allowed,
+    };
 
-    // Lazy BFS over product states.
+    // BFS materialization over product states.
     let mut index: HashMap<St, usize> = HashMap::new();
     let mut states: Vec<St> = Vec::new();
     let mut edges: Vec<(usize, TraceAtom, usize)> = Vec::new();
@@ -202,78 +326,10 @@ fn def_trace_automaton_one(
 
     while let Some(st) = queue.pop_front() {
         let src = index[&st];
-        match st {
-            St::Init => {
-                let dst = intern(
-                    St::Root {
-                        done: 0,
-                        s: n0.start(),
-                    },
-                    &mut index,
-                    &mut states,
-                    &mut queue,
-                );
-                edges.push((src, TraceAtom::Mark(root_var, Some(root_t)), dst));
-            }
-            St::Root { done, s: rs } => {
-                if done == k {
-                    continue; // acceptance handled below
-                }
-                let seg = done + 1;
-                let nfa_i = &entry_nfas[seg - 1];
-                // First edge of segment `seg`: skip to any later position,
-                // take one root transition, start the path automaton.
-                for &s2 in &skip[rs] {
-                    for (atom, s3) in n0.edges(s2) {
-                        for q1 in nfa_i.step(&[nfa_i.start()], &atom.label) {
-                            let dst = intern(
-                                St::Path {
-                                    seg,
-                                    saved: *s3,
-                                    ty: atom.target,
-                                    q: q1,
-                                },
-                                &mut index,
-                                &mut states,
-                                &mut queue,
-                            );
-                            edges.push((src, TraceAtom::Label(atom.label), dst));
-                        }
-                    }
-                }
-            }
-            St::Path { seg, saved, ty, q } => {
-                let nfa_i = &entry_nfas[seg - 1];
-                // Continue the path through the type graph.
-                if let Some(_r) = s.def(ty).regex() {
-                    for atom in tg.step(ty) {
-                        for q2 in nfa_i.step(&[q], &atom.label) {
-                            let dst = intern(
-                                St::Path {
-                                    seg,
-                                    saved,
-                                    ty: atom.target,
-                                    q: q2,
-                                },
-                                &mut index,
-                                &mut states,
-                                &mut queue,
-                            );
-                            edges.push((src, TraceAtom::Label(atom.label), dst));
-                        }
-                    }
-                }
-                // Close the segment with a typed marker (kind/value leaf
-                // filters are applied by `leaf_filter` afterwards).
-                if nfa_i.is_accepting(q) && tg.is_inhabited(ty) && leaf_allowed(entries[seg - 1].1, ty)
-                {
-                    let target = entries[seg - 1].1;
-                    let dst =
-                        intern(St::Root { done: seg, s: saved }, &mut index, &mut states, &mut queue);
-                    edges.push((src, TraceAtom::Mark(target, Some(ty)), dst));
-                }
-            }
-        }
+        stepper.successors(&st, &mut |atom, dst_st| {
+            let dst = intern(dst_st, &mut index, &mut states, &mut queue);
+            edges.push((src, atom, dst));
+        });
     }
 
     let mut nfa = Nfa::with_states(states.len().max(1), 0);
@@ -281,10 +337,8 @@ fn def_trace_automaton_one(
         nfa.add_transition(a, atom, b);
     }
     for (i, st) in states.iter().enumerate() {
-        if let St::Root { done, s: rs } = st {
-            if *done == k && skip[*rs].iter().any(|&s2| n0.is_accepting(s2)) {
-                nfa.set_accepting(i, true);
-            }
+        if stepper.accepting(st) {
+            nfa.set_accepting(i, true);
         }
     }
     // Keep only useful states.
@@ -297,9 +351,7 @@ fn leaf_filter(q: &Query, s: &Schema, nfa: &Nfa<TraceAtom>) -> Nfa<TraceAtom> {
     let mut out = Nfa::with_states(nfa.num_states(), nfa.start());
     for (a, atom, b) in nfa.all_edges() {
         let keep = match atom {
-            TraceAtom::Mark(v, Some(t)) if *v != q.root_var() => {
-                leaf_type_ok(q, s, *v, *t)
-            }
+            TraceAtom::Mark(v, Some(t)) if *v != q.root_var() => leaf_type_ok(q, s, *v, *t),
             _ => true,
         };
         if keep {
@@ -340,18 +392,54 @@ pub fn trace_language(q: &Query, s: &Schema, tg: &TypeGraph) -> Result<Nfa<Trace
 /// Satisfiability by the literal traces construction:
 /// `Tr(P) ∩ Tr(S) ≠ ∅`.
 pub fn satisfiable_ptraces(q: &Query, s: &Schema) -> Result<bool> {
-    let tg = TypeGraph::new(s);
-    let lang = trace_language(q, s, &tg)?;
-    Ok(!is_empty_lang(&lang))
+    satisfiable_ptraces_in(q, s, Session::global())
+}
+
+/// [`satisfiable_ptraces`] through a session, with the product emptiness
+/// decided *lazily*: instead of materializing (and trimming) the whole
+/// `Tr(P) ∩ Tr(S)` automaton and then testing it, the product state space
+/// is explored on the fly ([`is_empty_product`]) with the leaf filters
+/// folded into the step relation, returning at the first accepting state.
+/// The one-step semantics is [`Stepper`] — the same code the materialized
+/// construction runs — so the verdict is identical by construction; path
+/// automata come from the session's cache.
+pub fn satisfiable_ptraces_in(q: &Query, s: &Schema, sess: &Session) -> Result<bool> {
+    let (root_var, entries) = single_def(q)?;
+    let tg = sess.type_graph(s);
+    let root_t = s.root();
+    if !matches!(s.def(root_t), TypeDef::Ordered(_)) || !tg.is_inhabited(root_t) {
+        return Ok(false);
+    }
+    let n0 = tg.pruned_nfa(root_t).expect("inhabited ordered root");
+    let skip = reach_closure(n0);
+    let cache = sess.automata();
+    let entry_arcs: Vec<_> = entries.iter().map(|(r, _)| cache.nfa(r)).collect();
+    // Fold the post-pass leaf filter into the step relation (the root
+    // marker is emitted only for the root variable, which it never drops).
+    let leaf_allowed = |v: VarId, t: TypeIdx| v == root_var || leaf_type_ok(q, s, v, t);
+    let stepper = Stepper {
+        s,
+        tg: &tg,
+        n0,
+        skip: &skip,
+        entry_nfas: entry_arcs.iter().map(|a| a.as_ref()).collect(),
+        entries: &entries,
+        root_var,
+        root_t,
+        leaf_allowed: &leaf_allowed,
+    };
+    let empty = is_empty_product(
+        [St::Init],
+        |st| stepper.accepting(st),
+        |st, buf| stepper.successors(st, &mut |_, dst| buf.push(dst)),
+    );
+    Ok(!empty)
 }
 
 /// Enumerates the marker tuples (type assignments of all pattern
 /// variables) of the trace language — the paper's "erase the other
 /// symbols" projection.
-pub fn marker_assignments(
-    q: &Query,
-    s: &Schema,
-) -> Result<BTreeSet<Vec<(VarId, TypeIdx)>>> {
+pub fn marker_assignments(q: &Query, s: &Schema) -> Result<BTreeSet<Vec<(VarId, TypeIdx)>>> {
     let tg = TypeGraph::new(s);
     let lang = trace_language(q, s, &tg)?;
     // suffixes[state] = set of marker tuples readable from `state` to
@@ -359,9 +447,9 @@ pub fn marker_assignments(
     // nothing new, so it converges).
     let n = lang.num_states();
     let mut suffixes: Vec<BTreeSet<Vec<(VarId, TypeIdx)>>> = vec![BTreeSet::new(); n];
-    for st in 0..n {
+    for (st, suf) in suffixes.iter_mut().enumerate() {
         if lang.is_accepting(st) {
-            suffixes[st].insert(Vec::new());
+            suf.insert(Vec::new());
         }
     }
     loop {
@@ -456,11 +544,7 @@ mod tests {
             ("SELECT X WHERE Root = [d -> X]", false),
         ] {
             let (q, s) = setup(query);
-            assert_eq!(
-                satisfiable_ptraces(&q, &s).unwrap(),
-                want,
-                "query {query}"
-            );
+            assert_eq!(satisfiable_ptraces(&q, &s).unwrap(), want, "query {query}");
         }
     }
 
@@ -491,12 +575,7 @@ mod tests {
         let x = q.var_by_name("X").unwrap();
         let types: BTreeSet<TypeIdx> = tuples
             .iter()
-            .map(|t| {
-                t.iter()
-                    .find(|(v, _)| *v == x)
-                    .map(|(_, ty)| *ty)
-                    .unwrap()
-            })
+            .map(|t| t.iter().find(|(v, _)| *v == x).map(|(_, ty)| *ty).unwrap())
             .collect();
         // First edges can be a→U, b→V, or c→W.
         assert_eq!(

@@ -1,0 +1,195 @@
+//! The incremental-analysis session: shared caches threaded through every
+//! engine.
+//!
+//! A [`Session`] owns
+//!
+//! * an [`AutomataCache`] — hash-consed path regexes with memoized
+//!   Glushkov NFAs, DFAs, and emptiness/inclusion verdicts — shared by the
+//!   trace-product engine, the P-traces construction, and the general
+//!   solver; and
+//! * a per-schema [`TypeGraph`] cache, keyed by [`Schema::uid`], so
+//!   repeated queries against one schema reuse its inhabitation analysis
+//!   and pruned automata instead of recomputing them per call.
+//!
+//! Both caches only ever grow: schemas are immutable once parsed and
+//! regexes are immutable values, so keys never dangle and cached results
+//! never need invalidation — warm answers are bit-identical to cold ones.
+//!
+//! The classic free functions ([`crate::satisfiable`], [`crate::infer`],
+//! …) remain available as thin wrappers over a process-wide default
+//! session ([`Session::global`]), so existing callers get incrementality
+//! without any source change; callers that want isolated or bounded cache
+//! lifetimes create their own `Session`.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use ssd_automata::{AutomataCache, CacheStats};
+use ssd_query::Query;
+use ssd_schema::{Schema, TypeGraph};
+
+use crate::dispatch::{self, SatOutcome};
+use crate::feas::Constraints;
+use crate::infer::{self, InferredAssignment};
+use crate::ptraces;
+use crate::typecheck::{self, TypeAssignment};
+use crate::Result;
+
+/// A handle to shared analysis caches. See the module docs.
+#[derive(Default)]
+pub struct Session {
+    automata: AutomataCache,
+    type_graphs: RwLock<HashMap<u64, Arc<TypeGraph>>>,
+}
+
+impl Session {
+    /// A fresh session with cold caches.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// The process-wide default session backing the classic free-function
+    /// entry points. Its caches are never invalidated — sound because
+    /// every cached artifact is a pure function of immutable keys.
+    pub fn global() -> &'static Session {
+        static GLOBAL: OnceLock<Session> = OnceLock::new();
+        GLOBAL.get_or_init(Session::new)
+    }
+
+    /// The shared automata cache.
+    pub fn automata(&self) -> &AutomataCache {
+        &self.automata
+    }
+
+    /// The `TypeGraph` of `s`, computed once per schema per session.
+    pub fn type_graph(&self, s: &Schema) -> Arc<TypeGraph> {
+        if let Some(tg) = self
+            .type_graphs
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&s.uid())
+        {
+            return Arc::clone(tg);
+        }
+        let mut map = self.type_graphs.write().unwrap_or_else(|e| e.into_inner());
+        // Double-check under the exclusive lock.
+        Arc::clone(
+            map.entry(s.uid())
+                .or_insert_with(|| Arc::new(TypeGraph::new(s))),
+        )
+    }
+
+    /// Satisfiability (type correctness) through this session's caches.
+    pub fn satisfiable(&self, q: &Query, s: &Schema) -> Result<SatOutcome> {
+        dispatch::satisfiable_with_in(q, s, &Constraints::none(), self)
+    }
+
+    /// Satisfiability under pinned types/labels.
+    pub fn satisfiable_with(&self, q: &Query, s: &Schema, c: &Constraints) -> Result<SatOutcome> {
+        dispatch::satisfiable_with_in(q, s, c, self)
+    }
+
+    /// Type inference (all satisfiable SELECT assignments).
+    pub fn infer(&self, q: &Query, s: &Schema) -> Result<Vec<InferredAssignment>> {
+        infer::infer_in(q, s, self)
+    }
+
+    /// Total type checking of a full assignment.
+    pub fn total_type_check(&self, q: &Query, s: &Schema, a: &TypeAssignment) -> Result<bool> {
+        typecheck::total_type_check_in(q, s, a, self)
+    }
+
+    /// The literal P-traces satisfiability check, with the product
+    /// emptiness decided lazily (early exit on the first witness).
+    pub fn satisfiable_ptraces(&self, q: &Query, s: &Schema) -> Result<bool> {
+        ptraces::satisfiable_ptraces_in(q, s, self)
+    }
+
+    /// Effectiveness counters of the automata cache, plus the number of
+    /// cached type graphs.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            automata: self.automata.stats(),
+            type_graphs: self
+                .type_graphs
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .len(),
+        }
+    }
+}
+
+/// Point-in-time cache counters of a [`Session`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionStats {
+    /// Automata-cache counters.
+    pub automata: CacheStats,
+    /// Number of schemas with a cached `TypeGraph`.
+    pub type_graphs: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_base::SharedInterner;
+    use ssd_query::parse_query;
+    use ssd_schema::parse_schema;
+
+    fn setup() -> (Query, Schema) {
+        let pool = SharedInterner::new();
+        let s = parse_schema(
+            "T = [a->U.(b->V)*.c->W]; U = [x->P]; V = int; W = string; P = int",
+            &pool,
+        )
+        .unwrap();
+        let q = parse_query("SELECT X WHERE Root = [a.x -> X, c -> Y]", &pool).unwrap();
+        (q, s)
+    }
+
+    #[test]
+    fn type_graph_is_computed_once_per_schema() {
+        let (_, s) = setup();
+        let sess = Session::new();
+        let a = sess.type_graph(&s);
+        let b = sess.type_graph(&s);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(sess.stats().type_graphs, 1);
+        // A clone shares the uid, hence the cached graph.
+        let c = sess.type_graph(&s.clone());
+        assert!(Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn warm_answers_match_cold_and_legacy() {
+        let (q, s) = setup();
+        let sess = Session::new();
+        let cold = sess.satisfiable(&q, &s).unwrap();
+        let warm = sess.satisfiable(&q, &s).unwrap();
+        let legacy = crate::satisfiable(&q, &s).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(cold, legacy);
+        assert!(cold.satisfiable);
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_automata_cache() {
+        let (q, s) = setup();
+        let sess = Session::new();
+        sess.satisfiable(&q, &s).unwrap();
+        let after_first = sess.stats().automata;
+        sess.satisfiable(&q, &s).unwrap();
+        let after_second = sess.stats().automata;
+        assert!(
+            after_second.hits > after_first.hits,
+            "second run should hit: {after_first:?} -> {after_second:?}"
+        );
+        assert_eq!(after_first.misses, after_second.misses);
+    }
+
+    #[test]
+    fn infer_through_session_matches_legacy() {
+        let (q, s) = setup();
+        let sess = Session::new();
+        assert_eq!(sess.infer(&q, &s).unwrap(), crate::infer(&q, &s).unwrap());
+    }
+}

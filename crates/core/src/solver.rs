@@ -26,14 +26,15 @@
 //! join by collapsing distinct variables onto one node are not explored.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
-use ssd_automata::glushkov;
-use ssd_automata::{LabelAtom, Nfa};
+use ssd_automata::{AutomataCache, LabelAtom, Nfa};
 use ssd_base::{LabelId, TypeIdx, VarId};
 use ssd_query::{EdgeExpr, PatDef, Query, QueryClass, VarKind};
 use ssd_schema::{Schema, TypeDef, TypeGraph};
 
 use crate::feas::Constraints;
+use crate::session::Session;
 
 /// The outcome of the general search.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -55,9 +56,15 @@ pub fn solve(q: &Query, s: &Schema) -> SolveResult {
 /// Like [`solve`], with pinned variable types / labels (used for partial
 /// type checking and inference in the general case).
 pub fn solve_with(q: &Query, s: &Schema, c: &Constraints) -> SolveResult {
-    let tg = TypeGraph::new(s);
+    solve_with_in(q, s, c, Session::global())
+}
+
+/// [`solve_with`] through an explicit session: the schema's `TypeGraph`
+/// and the per-entry path automata come from the session's caches.
+pub fn solve_with_in(q: &Query, s: &Schema, c: &Constraints, sess: &Session) -> SolveResult {
+    let tg = sess.type_graph(s);
     let class = QueryClass::of(q);
-    let mut ctx = Ctx::new(q, s, &tg, c);
+    let mut ctx = Ctx::new(q, s, &tg, c, sess.automata());
 
     // Domains for join variables.
     let join_vars: Vec<VarId> = class.join_vars.clone();
@@ -146,8 +153,9 @@ struct Ctx<'a> {
     s: &'a Schema,
     tg: &'a TypeGraph,
     base: &'a Constraints,
-    /// Glushkov automata per (def, entry), `None` for label variables.
-    entry_nfas: Vec<Vec<Option<Nfa<LabelAtom>>>>,
+    /// Glushkov automata per (def, entry), `None` for label variables;
+    /// shared with (and memoized by) the session's automata cache.
+    entry_nfas: Vec<Vec<Option<Arc<Nfa<LabelAtom>>>>>,
     join_set: HashSet<VarId>,
     /// Current enumeration state (types of join + pinned vars, labels).
     types: HashMap<VarId, TypeIdx>,
@@ -158,7 +166,13 @@ struct Ctx<'a> {
 }
 
 impl<'a> Ctx<'a> {
-    fn new(q: &'a Query, s: &'a Schema, tg: &'a TypeGraph, base: &'a Constraints) -> Ctx<'a> {
+    fn new(
+        q: &'a Query,
+        s: &'a Schema,
+        tg: &'a TypeGraph,
+        base: &'a Constraints,
+        cache: &AutomataCache,
+    ) -> Ctx<'a> {
         let entry_nfas = q
             .defs()
             .iter()
@@ -166,7 +180,7 @@ impl<'a> Ctx<'a> {
                 def.edges()
                     .iter()
                     .map(|e| match &e.expr {
-                        EdgeExpr::Regex(r) => Some(glushkov::build(r)),
+                        EdgeExpr::Regex(r) => Some(cache.nfa(r)),
                         EdgeExpr::LabelVar(_) => None,
                     })
                     .collect()
@@ -196,11 +210,7 @@ impl<'a> Ctx<'a> {
                     .filter(|&t| {
                         self.tg.is_inhabited(t)
                             && self.s.is_referenceable(t)
-                            && self
-                                .base
-                                .var_types
-                                .get(&v)
-                                .is_none_or(|&p| p == t)
+                            && self.base.var_types.get(&v).is_none_or(|&p| p == t)
                     })
                     .map(JoinChoice::Type)
                     .collect()
@@ -305,7 +315,7 @@ impl<'a> Ctx<'a> {
             return self.anchor_and_route(t, continuing, anchors.to_vec());
         }
         let req = arriving[i].clone();
-        let (can_finish, is_regex) = match self.entry_nfas[req.def_idx][req.entry_idx].as_ref() {
+        let (can_finish, is_regex) = match self.entry_nfas[req.def_idx][req.entry_idx].as_deref() {
             Some(n) => (req.states.iter().any(|&q| n.is_accepting(q)), true),
             // Label-variable paths have length exactly 1 and always finish
             // on arrival (states is empty sentinel).
@@ -324,9 +334,7 @@ impl<'a> Ctx<'a> {
                     }
                     _ => self.types.get(&target) == Some(&t),
                 };
-                if matches
-                    && self.finish_split(t, arriving, anchors, i + 1, continuing.clone())
-                {
+                if matches && self.finish_split(t, arriving, anchors, i + 1, continuing.clone()) {
                     return true;
                 }
             } else {
@@ -385,12 +393,7 @@ impl<'a> Ctx<'a> {
                     return false;
                 }
             }
-            let Some(def_idx) = self
-                .q
-                .defs()
-                .iter()
-                .position(|(dv, _)| *dv == v)
-            else {
+            let Some(def_idx) = self.q.defs().iter().position(|(dv, _)| *dv == v) else {
                 continue; // leaf variable: any node
             };
             let (_, def) = &self.q.defs()[def_idx];
@@ -452,7 +455,13 @@ impl<'a> Ctx<'a> {
         }
 
         let mut seen_route: HashSet<(usize, Vec<usize>)> = HashSet::new();
-        self.route(&nfa, nfa.start(), &pending, &mut vec![false; pending.len()], &mut seen_route)
+        self.route(
+            &nfa,
+            nfa.start(),
+            &pending,
+            &mut vec![false; pending.len()],
+            &mut seen_route,
+        )
     }
 
     /// DFS over the node regex's NFA, assigning pending items to positions.
@@ -481,8 +490,17 @@ impl<'a> Ctx<'a> {
                 }
             }
             // Choose a subset of compatible items to share this position.
-            if self.choose_group(nfa, &atom, next_state, pending, routed, seen, &options, 0, Vec::new())
-            {
+            if self.choose_group(
+                nfa,
+                &atom,
+                next_state,
+                pending,
+                routed,
+                seen,
+                &options,
+                0,
+                Vec::new(),
+            ) {
                 return true;
             }
         }
@@ -499,7 +517,7 @@ impl<'a> Ctx<'a> {
         match item {
             PendingItem::Cont(req) => {
                 let nfa = self.entry_nfas[req.def_idx][req.entry_idx]
-                    .as_ref()
+                    .as_deref()
                     .expect("continuing reqs are regex entries");
                 let next = nfa.step(&req.states, &atom.label);
                 if next.is_empty() {
@@ -554,7 +572,7 @@ impl<'a> Ctx<'a> {
                     }
                     EdgeExpr::Regex(_) => {
                         let nfa = self.entry_nfas[*def_idx][*entry_idx]
-                            .as_ref()
+                            .as_deref()
                             .expect("regex entry");
                         let next = nfa.step(&[nfa.start()], &atom.label);
                         if next.is_empty() {
@@ -594,8 +612,7 @@ impl<'a> Ctx<'a> {
                 routed[*i] = true;
             }
             let child_reqs: Vec<Req> = group.iter().map(|(_, r)| r.clone()).collect();
-            let ok = (group.is_empty()
-                || self.sat_node(atom.target, child_reqs, Vec::new()))
+            let ok = (group.is_empty() || self.sat_node(atom.target, child_reqs, Vec::new()))
                 && self.route(nfa, next_state, pending, routed, seen);
             for (i, _) in &group {
                 routed[*i] = false;
@@ -604,7 +621,15 @@ impl<'a> Ctx<'a> {
         }
         // Skip this option.
         if self.choose_group(
-            nfa, atom, next_state, pending, routed, seen, options, oi + 1, group.clone(),
+            nfa,
+            atom,
+            next_state,
+            pending,
+            routed,
+            seen,
+            options,
+            oi + 1,
+            group.clone(),
         ) {
             return true;
         }
@@ -612,7 +637,11 @@ impl<'a> Ctx<'a> {
         let (i, adv) = &options[oi];
         let req = adv.clone().expect("advance returns Some(req)");
         let compatible = match &pending[*i] {
-            PendingItem::Entry { ordered: true, def_idx, .. } => !group.iter().any(|(gi, _)| {
+            PendingItem::Entry {
+                ordered: true,
+                def_idx,
+                ..
+            } => !group.iter().any(|(gi, _)| {
                 matches!(
                     &pending[*gi],
                     PendingItem::Entry { ordered: true, def_idx: d2, .. } if d2 == def_idx
@@ -624,7 +653,15 @@ impl<'a> Ctx<'a> {
             let mut g2 = group;
             g2.push((*i, req));
             return self.choose_group(
-                nfa, atom, next_state, pending, routed, seen, options, oi + 1, g2,
+                nfa,
+                atom,
+                next_state,
+                pending,
+                routed,
+                seen,
+                options,
+                oi + 1,
+                g2,
             );
         }
         false

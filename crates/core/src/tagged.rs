@@ -11,12 +11,12 @@
 
 use std::collections::HashMap;
 
+use ssd_automata::LabelAtom;
 use ssd_base::{Error, Result, TypeIdx, VarId};
 use ssd_query::classify::constant_label_suffix;
 use ssd_query::{EdgeExpr, Query, QueryClass, VarKind};
 use ssd_schema::classify::tag_map;
 use ssd_schema::{Schema, SchemaClass, TypeGraph};
-use ssd_automata::LabelAtom;
 
 use crate::feas::Constraints;
 use crate::typecheck::{total_check_ordered, TypeAssignment};
@@ -24,6 +24,18 @@ use crate::typecheck::{total_check_ordered, TypeAssignment};
 /// Decides satisfiability for a constant-suffix query over a tagged,
 /// ordered schema, in PTIME. Errors if the inputs are outside the class.
 pub fn satisfiable_tagged(q: &Query, s: &Schema, tg: &TypeGraph, c: &Constraints) -> Result<bool> {
+    satisfiable_tagged_in(q, s, tg, c, crate::Session::global().automata())
+}
+
+/// [`satisfiable_tagged`] with an explicit automata cache for the final
+/// total check.
+pub fn satisfiable_tagged_in(
+    q: &Query,
+    s: &Schema,
+    tg: &TypeGraph,
+    c: &Constraints,
+    cache: &ssd_automata::AutomataCache,
+) -> Result<bool> {
     let sclass = SchemaClass::of(s);
     if !(sclass.ordered && sclass.tagged) {
         return Err(Error::unsupported(
@@ -113,7 +125,7 @@ pub fn satisfiable_tagged(q: &Query, s: &Schema, tg: &TypeGraph, c: &Constraints
         }
     }
 
-    Ok(total_check_ordered(q, s, tg, &assignment))
+    Ok(total_check_ordered(q, s, tg, &assignment, cache))
 }
 
 #[cfg(test)]
@@ -162,20 +174,16 @@ mod tests {
     fn value_joins_are_ptime_here() {
         // Two string leaves joined on the same value: types agree (string),
         // so the forced assignment checks out.
-        assert!(sat(
-            r#"SELECT V WHERE Root = [paper -> P];
-               P = [title -> T, _*.lastname -> X]; T = V; X = V"#
-        ));
+        assert!(sat(r#"SELECT V WHERE Root = [paper -> P];
+               P = [title -> T, _*.lastname -> X]; T = V; X = V"#));
     }
 
     #[test]
     fn node_joins_on_trees_are_unsatisfiable() {
         // DTD− instances are trees: a node join from two distinct entries
         // cannot be realized (the paper's observation).
-        assert!(!sat(
-            r#"SELECT X WHERE Root = [paper -> P];
-               P = [_*.firstname -> &X, _*.lastname -> &X]"#
-        ));
+        assert!(!sat(r#"SELECT X WHERE Root = [paper -> P];
+               P = [_*.firstname -> &X, _*.lastname -> &X]"#));
     }
 
     #[test]

@@ -21,6 +21,7 @@ use ssd_schema::{Schema, SchemaClass, TypeGraph};
 
 use crate::dispatch::{satisfiable_with, SatOutcome};
 use crate::feas::{self, Constraints};
+use crate::session::Session;
 use crate::solver;
 
 /// A (total or partial) assignment: types for node/value variables, labels
@@ -64,6 +65,16 @@ impl TypeAssignment {
 /// Total type checking: is there a database conforming to `s` and a
 /// binding realizing exactly this assignment for **all** variables?
 pub fn total_type_check(q: &Query, s: &Schema, a: &TypeAssignment) -> Result<bool> {
+    total_type_check_in(q, s, a, Session::global())
+}
+
+/// [`total_type_check`] through an explicit session's caches.
+pub fn total_type_check_in(
+    q: &Query,
+    s: &Schema,
+    a: &TypeAssignment,
+    sess: &Session,
+) -> Result<bool> {
     // Coverage validation.
     for v in q.vars() {
         match q.kind(v) {
@@ -90,12 +101,12 @@ pub fn total_type_check(q: &Query, s: &Schema, a: &TypeAssignment) -> Result<boo
     if !sclass.is_ordered_plus_homogeneous() {
         // NP in general: run the complete search with everything pinned.
         let c = a.to_constraints();
-        return Ok(solver::solve_with(q, s, &c).satisfiable);
+        return Ok(solver::solve_with_in(q, s, &c, sess).satisfiable);
     }
 
     // PTIME path (Proposition 3.2).
-    let tg = TypeGraph::new(s);
-    Ok(total_check_ordered(q, s, &tg, a))
+    let tg = sess.type_graph(s);
+    Ok(total_check_ordered(q, s, &tg, a, sess.automata()))
 }
 
 /// The PTIME total check for ordered (+ homogeneous) schemas.
@@ -104,6 +115,7 @@ pub(crate) fn total_check_ordered(
     s: &Schema,
     tg: &TypeGraph,
     a: &TypeAssignment,
+    cache: &ssd_automata::AutomataCache,
 ) -> bool {
     // Root variable binds the root node, which carries the root type.
     if a.types.get(&q.root_var()) != Some(&s.root()) {
@@ -112,19 +124,16 @@ pub(crate) fn total_check_ordered(
     // Multiply-referenced variables need referenceable types (exact for
     // ordered schemas: distinct first edges prevent path sharing).
     let class = QueryClass::of(q);
+    // (Value and label joins are consistent by construction — one pinned
+    // value/label per variable — so only node joins are checked.)
     for &jv in &class.join_vars {
-        match q.kind(jv) {
-            VarKind::Node { .. } => {
-                let Some(&t) = a.types.get(&jv) else {
-                    return false;
-                };
-                if !s.is_referenceable(t) || !tg.is_inhabited(t) {
-                    return false;
-                }
+        if let VarKind::Node { .. } = q.kind(jv) {
+            let Some(&t) = a.types.get(&jv) else {
+                return false;
+            };
+            if !s.is_referenceable(t) || !tg.is_inhabited(t) {
+                return false;
             }
-            // Value and label joins are consistent by construction (one
-            // pinned value/label per variable).
-            _ => {}
         }
     }
 
@@ -142,7 +151,7 @@ pub(crate) fn total_check_ordered(
         let mut c = base.clone();
         c.leaf_vars.remove(v);
         let t = a.types[v];
-        let feas = feas::analyze_tree(q, s, tg, &c);
+        let feas = feas::analyze_tree_in(q, s, tg, &c, cache);
         if !feas.feas[v.index()].contains(&t) {
             return false;
         }
@@ -152,7 +161,7 @@ pub(crate) fn total_check_ordered(
     for v in q.vars() {
         if matches!(q.kind(v), VarKind::Node { .. } | VarKind::Value) && q.def(v).is_none() {
             let t = a.types[&v];
-            let feas = feas::analyze_tree(q, s, tg, &base);
+            let feas = feas::analyze_tree_in(q, s, tg, &base, cache);
             if !feas.feas[v.index()].contains(&t) {
                 return false;
             }

@@ -90,11 +90,7 @@ impl<'a> Witness<'a> {
 
     /// A shortest word whose targets are all realizable in the current
     /// expansion context (referenceable-or-off-stack).
-    fn realizable_word(
-        &self,
-        nfa: &Nfa<SchemaAtom>,
-        stack: &[bool],
-    ) -> Option<Vec<SchemaAtom>> {
+    fn realizable_word(&self, nfa: &Nfa<SchemaAtom>, stack: &[bool]) -> Option<Vec<SchemaAtom>> {
         // Filter transitions whose target would recurse into an on-stack
         // non-referenceable type.
         let mut filtered = Nfa::with_states(nfa.num_states(), nfa.start());

@@ -37,7 +37,9 @@ use ssd_schema::{Schema, SchemaClass, TypeGraph};
 pub fn feedback_query(q: &Query, s: &Schema) -> Result<Query> {
     let qclass = QueryClass::of(q);
     if !qclass.join_free() {
-        return Err(Error::unsupported("feedback queries need join-free queries"));
+        return Err(Error::unsupported(
+            "feedback queries need join-free queries",
+        ));
     }
     let sclass = SchemaClass::of(s);
     if !sclass.ordered {
@@ -96,11 +98,7 @@ pub fn feedback_query(q: &Query, s: &Schema) -> Result<Query> {
 /// Extracts segment language: label words readable between the marker of
 /// `prev_var` and the marker of `end_var` in the (trimmed) trace
 /// automaton.
-pub fn segment_language(
-    trace: &Nfa<TraceAtom>,
-    prev_var: VarId,
-    end_var: VarId,
-) -> Nfa<LabelAtom> {
+pub fn segment_language(trace: &Nfa<TraceAtom>, prev_var: VarId, end_var: VarId) -> Nfa<LabelAtom> {
     let n = trace.num_states();
     // Fresh start state n; copy label transitions.
     let mut out = Nfa::with_states(n + 1, n);
@@ -205,11 +203,8 @@ mod tests {
         ));
 
         // X1's first entry becomes name.(firstname|lastname).
-        let want = ssd_automata::parser::parse_path_regex(
-            "name.(firstname|lastname)",
-            &pool,
-        )
-        .unwrap();
+        let want =
+            ssd_automata::parser::parse_path_regex("name.(firstname|lastname)", &pool).unwrap();
         let got = entry_regex(&fb, 1, 0);
         assert!(
             equivalent(&glushkov::build(&got), &glushkov::build(&want)),
@@ -231,11 +226,7 @@ mod tests {
     fn feedback_is_a_sublanguage() {
         let pool = SharedInterner::new();
         let s = parse_schema(PAPER_SCHEMA, &pool).unwrap();
-        let q = parse_query(
-            "SELECT X WHERE Root = [_+ -> P]; P = [_._ -> X]",
-            &pool,
-        )
-        .unwrap();
+        let q = parse_query("SELECT X WHERE Root = [_+ -> P]; P = [_._ -> X]", &pool).unwrap();
         let fb = feedback_query(&q, &s).unwrap();
         for (di, (_, def)) in q.defs().iter().enumerate() {
             for (ei, _) in def.edges().iter().enumerate() {

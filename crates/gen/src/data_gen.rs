@@ -5,8 +5,8 @@
 //! otherwise steer towards acceptance (shortest path out). Star loops thus
 //! expand geometrically, giving instances of controllable expected size.
 
-use rand::Rng;
 use ssd_automata::ops::coreachable;
+use ssd_base::rng::Rng;
 use ssd_base::{Error, OidId, Result, TypeIdx};
 use ssd_model::{DataGraph, Edge, GraphBuilder};
 use ssd_schema::{Schema, SchemaAtom, TypeDef, TypeGraph};
@@ -110,9 +110,8 @@ impl<'a> Sampler<'a> {
             .pruned_nfa(t)
             .ok_or_else(|| Error::invalid("uninhabited collection type"))?;
         // Usable transitions: target realizable in this context.
-        let usable = |a: &SchemaAtom| {
-            self.schema.is_referenceable(a.target) || !stack[a.target.index()]
-        };
+        let usable =
+            |a: &SchemaAtom| self.schema.is_referenceable(a.target) || !stack[a.target.index()];
         // Pre-compute acceptance-reachability over usable transitions.
         let mut filtered = ssd_automata::Nfa::with_states(nfa.num_states(), nfa.start());
         for (q, a, r) in nfa.all_edges() {
@@ -134,14 +133,10 @@ impl<'a> Sampler<'a> {
         loop {
             let stop_allowed = filtered.is_accepting(q);
             let over_budget = self.nodes + word.len() >= self.cfg.max_nodes;
-            let candidates: Vec<&(SchemaAtom, usize)> = filtered
-                .edges(q)
-                .iter()
-                .filter(|(_, r)| good[*r])
-                .collect();
+            let candidates: Vec<&(SchemaAtom, usize)> =
+                filtered.edges(q).iter().filter(|(_, r)| good[*r]).collect();
             let must_stop = candidates.is_empty();
-            if must_stop
-                || (stop_allowed && (over_budget || !rng.gen_bool(self.cfg.continue_prob)))
+            if must_stop || (stop_allowed && (over_budget || !rng.gen_bool(self.cfg.continue_prob)))
             {
                 if stop_allowed {
                     return Ok(word);
@@ -164,8 +159,7 @@ impl<'a> Sampler<'a> {
 mod tests {
     use super::*;
     use crate::schema_gen::{ordered_schema, unordered_schema, SchemaGenConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ssd_base::rng::StdRng;
     use ssd_base::SharedInterner;
     use ssd_schema::conforms;
 
@@ -208,11 +202,7 @@ mod tests {
     fn size_scales_with_continue_probability() {
         let mut rng = StdRng::seed_from_u64(13);
         let pool = SharedInterner::new();
-        let s = ssd_schema::parse_schema(
-            "T = [(item->U)*]; U = int",
-            &pool,
-        )
-        .unwrap();
+        let s = ssd_schema::parse_schema("T = [(item->U)*]; U = int", &pool).unwrap();
         let tg = ssd_schema::TypeGraph::new(&s);
         let mut small_total = 0;
         let mut big_total = 0;

@@ -6,10 +6,10 @@
 //! alien labels); a configurable fraction of entries is perturbed with
 //! off-schema labels to exercise the unsatisfiable side too.
 
-use rand::Rng;
-use ssd_base::{Result, TypeIdx};
+use ssd_base::rng::Rng;
 #[cfg(test)]
 use ssd_base::SharedInterner;
+use ssd_base::{Result, TypeIdx};
 use ssd_query::{parse_query, Query};
 use ssd_schema::{Schema, TypeGraph};
 
@@ -78,7 +78,11 @@ pub fn joinfree_query(
             // Extend the path below the first edge.
             let (mut path, endpoint) = sample_path(schema, tg, rng, first.target, cfg.path_len - 1);
             path.insert(0, first.label);
-            let endpoint = if cfg.path_len <= 1 { first.target } else { endpoint };
+            let endpoint = if cfg.path_len <= 1 {
+                first.target
+            } else {
+                endpoint
+            };
             let target = format!("X{var_counter}");
             var_counter += 1;
             let expr = if rng.gen_bool(cfg.perturb_prob) {
@@ -131,8 +135,7 @@ fn sample_word(
         let can_stop = nfa.is_accepting(q);
         let candidates: Vec<&(ssd_schema::SchemaAtom, usize)> =
             nfa.edges(q).iter().filter(|(_, r)| good[*r]).collect();
-        if candidates.is_empty() || (can_stop && (word.len() >= max_len || rng.gen_bool(0.35)))
-        {
+        if candidates.is_empty() || (can_stop && (word.len() >= max_len || rng.gen_bool(0.35))) {
             if can_stop {
                 return word;
             }
@@ -206,8 +209,7 @@ pub fn with_node_join(
 mod tests {
     use super::*;
     use crate::schema_gen::{ordered_schema, SchemaGenConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ssd_base::rng::StdRng;
     use ssd_query::QueryClass;
 
     #[test]
@@ -241,7 +243,10 @@ mod tests {
                 sat_count += 1;
             }
         }
-        assert!(sat_count >= trials / 2, "only {sat_count}/{trials} satisfiable");
+        assert!(
+            sat_count >= trials / 2,
+            "only {sat_count}/{trials} satisfiable"
+        );
     }
 
     #[test]

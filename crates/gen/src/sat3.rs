@@ -19,7 +19,7 @@
 //! satisfiable. The general solver therefore exhibits the expected
 //! exponential behaviour on this family (`benches/table2_np.rs`).
 
-use rand::Rng;
+use ssd_base::rng::Rng;
 
 /// A literal: variable index and polarity (`true` = positive).
 pub type Lit = (usize, bool);
@@ -68,9 +68,7 @@ impl Sat3 {
         assert!(self.num_vars <= 24, "brute force limited to 24 variables");
         'assignments: for bits in 0u64..(1 << self.num_vars) {
             for clause in &self.clauses {
-                let sat = clause
-                    .iter()
-                    .any(|&(v, pos)| ((bits >> v) & 1 == 1) == pos);
+                let sat = clause.iter().any(|&(v, pos)| ((bits >> v) & 1 == 1) == pos);
                 if !sat {
                     continue 'assignments;
                 }
@@ -118,8 +116,7 @@ impl Sat3 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ssd_base::rng::StdRng;
     use ssd_base::SharedInterner;
     use ssd_core::solver;
     use ssd_query::parse_query;
@@ -148,11 +145,7 @@ mod tests {
         // sign patterns = unsatisfiable.
         let mut clauses = Vec::new();
         for bits in 0..8u8 {
-            clauses.push([
-                (0, bits & 1 != 0),
-                (1, bits & 2 != 0),
-                (2, bits & 4 != 0),
-            ]);
+            clauses.push([(0, bits & 1 != 0), (1, bits & 2 != 0), (2, bits & 4 != 0)]);
         }
         let f2 = Sat3 {
             num_vars: 3,
@@ -167,11 +160,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         for trial in 0..12 {
             let f = Sat3::random(&mut rng, 4, 6 + trial % 4);
-            assert_eq!(
-                reduce_and_solve(&f),
-                f.brute_force(),
-                "instance {f:?}"
-            );
+            assert_eq!(reduce_and_solve(&f), f.brute_force(), "instance {f:?}");
         }
     }
 

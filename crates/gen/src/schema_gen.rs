@@ -1,7 +1,7 @@
 //! Random schema generation, parameterized along the axes of Table 2.
 
-use rand::Rng;
 use ssd_automata::Regex;
+use ssd_base::rng::Rng;
 use ssd_base::{SharedInterner, TypeIdx};
 use ssd_schema::{AtomicType, Schema, SchemaAtom, SchemaBuilder, TypeDef};
 
@@ -117,8 +117,7 @@ fn remap(r: &Regex<SchemaAtom>, ids: &[TypeIdx]) -> Regex<SchemaAtom> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ssd_base::rng::StdRng;
     use ssd_schema::{SchemaClass, TypeGraph};
 
     #[test]

@@ -145,7 +145,8 @@ mod tests {
         let root = b.declare("o1", false);
         let dangling = b.declare("o2", false);
         let a = pool.intern("a");
-        b.define_ordered(root, vec![Edge::new(a, dangling)]).unwrap();
+        b.define_ordered(root, vec![Edge::new(a, dangling)])
+            .unwrap();
         assert!(b.finish().is_err());
     }
 

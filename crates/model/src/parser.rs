@@ -176,9 +176,7 @@ impl<'a> Lexer<'a> {
             }
         }
         if self.pos == start {
-            return Err(Error::parse(format!(
-                "expected identifier at byte {start}"
-            )));
+            return Err(Error::parse(format!("expected identifier at byte {start}")));
         }
         Ok(self.input[start..self.pos].to_owned())
     }

@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// An atomic object value.
 ///
 /// Floats are compared bitwise (via `to_bits`) so that `Value` can be `Eq`,
 /// `Ord`, and `Hash` — the data model never needs IEEE comparison, only
 /// identity of stored constants.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum Value {
     /// An integer.
     Int(i64),
@@ -155,7 +153,7 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(Value::Int(42).to_string(), "42");
-        assert_eq!(Value::Float(3.14).to_string(), "3.14");
+        assert_eq!(Value::Float(2.75).to_string(), "2.75");
         assert_eq!(Value::Float(2.0).to_string(), "2.0");
         assert_eq!(Value::from("hi").to_string(), "\"hi\"");
         assert_eq!(Value::Bool(true).to_string(), "true");
@@ -163,7 +161,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
+        let mut v = [
             Value::from("b"),
             Value::Int(2),
             Value::Bool(false),

@@ -23,10 +23,7 @@ use crate::value::Value;
 /// Parses an XML fragment (a single root element) into a data graph whose
 /// root is an ordered node with one edge labeled by the element's name.
 pub fn parse_xml(input: &str, pool: &SharedInterner) -> Result<DataGraph> {
-    let mut p = Xml {
-        input,
-        pos: 0,
-    };
+    let mut p = Xml { input, pos: 0 };
     p.skip_ws();
     let mut b = GraphBuilder::new(pool.clone());
     let root = b.declare_fresh(false);
@@ -212,7 +209,10 @@ mod tests {
         let pool = SharedInterner::new();
         let g = parse_xml("<t>a &lt; b &amp;&amp; c &gt; d</t>", &pool).unwrap();
         let t = g.edges(g.root())[0].target;
-        assert_eq!(g.node(t).value(), Some(&Value::Str("a < b && c > d".into())));
+        assert_eq!(
+            g.node(t).value(),
+            Some(&Value::Str("a < b && c > d".into()))
+        );
     }
 
     #[test]

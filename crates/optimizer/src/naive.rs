@@ -33,10 +33,7 @@ pub fn evaluate_naive(cg: &CostedGraph<'_>, rq: &RootQuery) -> BTreeSet<Vec<OidI
                         break;
                     }
                 }
-                if states
-                    .iter()
-                    .any(|&q| !nfa.edges(q).is_empty())
-                {
+                if states.iter().any(|&q| !nfa.edges(q).is_empty()) {
                     live.push((i, states));
                 }
             }
@@ -75,10 +72,7 @@ fn explore(
                 continue;
             }
             if next.iter().any(|&q| nfa.is_accepting(q)) {
-                cands[*i]
-                    .entry(root_pos)
-                    .or_default()
-                    .insert(cg.target(e));
+                cands[*i].entry(root_pos).or_default().insert(cg.target(e));
             }
             if next.iter().any(|&q| !nfa.edges(q).is_empty()) {
                 next_live.push((*i, next));

@@ -247,9 +247,7 @@ impl<'a, 'b> Walker<'a, 'b> {
             let kinded: BTreeSet<TypeIdx> = child_types
                 .iter()
                 .copied()
-                .filter(|&t| {
-                    matches!(self.oracle.s.def(t), TypeDef::Atomic(_)) == child_is_atomic
-                })
+                .filter(|&t| matches!(self.oracle.s.def(t), TypeDef::Atomic(_)) == child_is_atomic)
                 .collect();
 
             // Descend only when useful (downward pruning).
@@ -320,9 +318,10 @@ impl<'a, 'b> Walker<'a, 'b> {
                             continue;
                         }
                         let good = &self.oracle.good[*i];
-                        if next.iter().any(|&q2s| {
-                            nfa.is_accepting(q2s) || good.contains(&(a.target, q2s))
-                        }) {
+                        if next
+                            .iter()
+                            .any(|&q2s| nfa.is_accepting(q2s) || good.contains(&(a.target, q2s)))
+                        {
                             return true;
                         }
                     }
@@ -353,7 +352,6 @@ impl<'a, 'b> Walker<'a, 'b> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::compare::compare;
     use ssd_base::SharedInterner;
     use ssd_model::parse_data_graph;

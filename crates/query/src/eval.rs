@@ -120,13 +120,13 @@ fn eval_order(q: &Query) -> Option<Vec<usize>> {
     let mut bound: HashSet<VarId> = [q.root_var()].into_iter().collect();
     while order.len() < n {
         let mut progressed = false;
-        for i in 0..n {
-            if done[i] {
+        for (i, d) in done.iter_mut().enumerate() {
+            if *d {
                 continue;
             }
             let (v, def) = &q.defs()[i];
             if bound.contains(v) {
-                done[i] = true;
+                *d = true;
                 order.push(i);
                 for e in def.edges() {
                     bound.insert(e.target);
@@ -349,7 +349,18 @@ fn choose_entries(
         if ok {
             let next_last = if ordered { c.first_pos } else { last_pos };
             choose_entries(
-                q, g, nfas, order, k, ordered, entries, cands, j + 1, next_last, binding, emit,
+                q,
+                g,
+                nfas,
+                order,
+                k,
+                ordered,
+                entries,
+                cands,
+                j + 1,
+                next_last,
+                binding,
+                emit,
                 stop,
             );
         }
@@ -411,10 +422,7 @@ mod tests {
         let res = select_results(&q, &g);
         assert_eq!(res.len(), 1);
         let o2 = g.by_name("o2").unwrap();
-        assert_eq!(
-            res.iter().next().unwrap()[0],
-            Some(Bound::Node(o2))
-        );
+        assert_eq!(res.iter().next().unwrap()[0], Some(Bound::Node(o2)));
     }
 
     #[test]
@@ -433,10 +441,7 @@ mod tests {
 
     #[test]
     fn wildcard_paths_reach_deep() {
-        let (q, g) = setup(
-            r#"SELECT X WHERE Root = [_*.lastname -> X]"#,
-            BIB,
-        );
+        let (q, g) = setup(r#"SELECT X WHERE Root = [_*.lastname -> X]"#, BIB);
         let res = select_results(&q, &g);
         assert_eq!(res.len(), 3); // Vianu, Abiteboul, Smith nodes
     }
@@ -519,10 +524,7 @@ mod tests {
 
     #[test]
     fn referenceable_var_requires_referenceable_node() {
-        let (q, g) = setup(
-            "SELECT X WHERE Root = {a -> &X}",
-            "o1 = {a -> o2}; o2 = 1",
-        );
+        let (q, g) = setup("SELECT X WHERE Root = {a -> &X}", "o1 = {a -> o2}; o2 = 1");
         assert!(!is_nonempty(&q, &g));
     }
 

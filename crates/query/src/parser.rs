@@ -64,7 +64,9 @@ pub fn parse_query(input: &str, pool: &SharedInterner) -> Result<Query> {
         )));
     }
     if defs.is_empty() {
-        return Err(Error::parse("a query needs at least one pattern definition"));
+        return Err(Error::parse(
+            "a query needs at least one pattern definition",
+        ));
     }
 
     // Resolve the SELECT list (names must occur in the WHERE clause).
@@ -594,11 +596,7 @@ mod tests {
     #[test]
     fn value_variables_and_joins() {
         let p = pool();
-        let q = parse_query(
-            "SELECT V WHERE Root = {a -> X, b -> Y}; X = V; Y = V",
-            &p,
-        )
-        .unwrap();
+        let q = parse_query("SELECT V WHERE Root = {a -> X, b -> Y}; X = V; Y = V", &p).unwrap();
         let v = q.var_by_name("V").unwrap();
         assert_eq!(q.kind(v), VarKind::Value);
     }
@@ -615,11 +613,7 @@ mod tests {
     #[test]
     fn referenceable_variables() {
         let p = pool();
-        let q = parse_query(
-            "SELECT X WHERE Root = {a -> &X, b -> &X}; &X = 1",
-            &p,
-        )
-        .unwrap();
+        let q = parse_query("SELECT X WHERE Root = {a -> &X, b -> &X}; &X = 1", &p).unwrap();
         let x = q.var_by_name("X").unwrap();
         assert_eq!(
             q.kind(x),

@@ -210,7 +210,9 @@ impl fmt::Display for Query {
                 write!(f, ";\n      ")?;
             }
             let amp = match self.var_kinds[v.index()] {
-                VarKind::Node { referenceable: true } => "&",
+                VarKind::Node {
+                    referenceable: true,
+                } => "&",
                 _ => "",
             };
             write!(f, "{amp}{} = ", self.var_names[v.index()])?;
@@ -236,12 +238,12 @@ impl fmt::Display for Query {
                                 });
                                 write!(f, "{s}")?;
                             }
-                            EdgeExpr::LabelVar(lv) => {
-                                write!(f, "{}", self.var_names[lv.index()])?
-                            }
+                            EdgeExpr::LabelVar(lv) => write!(f, "{}", self.var_names[lv.index()])?,
                         }
                         let tamp = match self.var_kinds[e.target.index()] {
-                            VarKind::Node { referenceable: true } => "&",
+                            VarKind::Node {
+                                referenceable: true,
+                            } => "&",
                             _ => "",
                         };
                         write!(f, " -> {tamp}{}", self.var_names[e.target.index()])?;

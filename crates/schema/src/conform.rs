@@ -28,7 +28,8 @@ pub fn check_assignment(g: &DataGraph, s: &Schema, assignment: &[TypeIdx]) -> bo
     if assignment[g.root().index()] != s.root() {
         return false;
     }
-    g.oids().all(|o| node_ok(g, s, o, assignment[o.index()], assignment))
+    g.oids()
+        .all(|o| node_ok(g, s, o, assignment[o.index()], assignment))
 }
 
 /// Local check for one node, given a full assignment of its successors.
@@ -340,10 +341,7 @@ mod tests {
 
     #[test]
     fn cyclic_data_against_recursive_schema() {
-        let (g, s) = setup(
-            "R = [x->&T]; &T = [a->&T]",
-            "o1 = [x->&o2]; &o2 = [a->&o2]",
-        );
+        let (g, s) = setup("R = [x->&T]; &T = [a->&T]", "o1 = [x->&o2]; &o2 = [a->&o2]");
         assert!(conforms(&g, &s).is_some());
     }
 
@@ -369,7 +367,7 @@ mod tests {
         let mut bad = good.clone();
         bad[g.root().index()] = s.by_name("U").unwrap();
         assert!(!check_assignment(&g, &s, &bad));
-        assert!(!check_assignment(&g, &s, &good[..1].to_vec()));
+        assert!(!check_assignment(&g, &s, &good[..1]));
     }
 
     #[test]

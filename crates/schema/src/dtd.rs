@@ -26,10 +26,7 @@ pub fn parse_dtd(input: &str, pool: &SharedInterner) -> Result<Schema> {
     // Pass 1: collect declarations.
     let mut decls: Vec<(String, String)> = Vec::new();
     let mut rest = input;
-    loop {
-        let Some(start) = rest.find("<!ELEMENT") else {
-            break;
-        };
+    while let Some(start) = rest.find("<!ELEMENT") {
         let after = &rest[start + "<!ELEMENT".len()..];
         let Some(end) = after.find('>') else {
             return Err(Error::parse("unterminated <!ELEMENT declaration"));

@@ -23,12 +23,23 @@ pub struct Schema {
     nfas: Vec<Option<Nfa<SchemaAtom>>>,
     by_name: HashMap<String, TypeIdx>,
     root: TypeIdx,
+    /// Process-unique identity, minted once at construction. Schemas are
+    /// immutable after `finish()`, so the uid is a sound memoization key
+    /// for derived structures (e.g. a session's `TypeGraph` cache); clones
+    /// share it, as they share the same content.
+    uid: u64,
 }
 
 impl Schema {
     /// The label pool.
     pub fn pool(&self) -> &SharedInterner {
         &self.pool
+    }
+
+    /// A process-unique identity for this schema (shared by clones).
+    /// Sound as a cache key because schemas are immutable once built.
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// The root type.
@@ -204,6 +215,7 @@ impl SchemaBuilder {
             .iter()
             .map(|d| d.regex().map(glushkov::build))
             .collect();
+        static NEXT_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         Ok(Schema {
             pool: self.pool,
             names: self.names,
@@ -212,6 +224,7 @@ impl SchemaBuilder {
             nfas,
             by_name: self.by_name,
             root: TypeIdx(0),
+            uid: NEXT_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         })
     }
 }

@@ -68,8 +68,7 @@ impl TypeGraph {
             match schema.nfa(t) {
                 Some(nfa) if inhabited[t.index()] => {
                     let p = prune(nfa, &inhabited);
-                    let mut atoms: Vec<SchemaAtom> =
-                        p.all_edges().map(|(_, a, _)| *a).collect();
+                    let mut atoms: Vec<SchemaAtom> = p.all_edges().map(|(_, a, _)| *a).collect();
                     atoms.sort();
                     atoms.dedup();
                     steps.push(atoms);
@@ -269,14 +268,12 @@ mod tests {
 
     #[test]
     fn paper_schema_fully_inhabited() {
-        let (s, g) = tg(
-            r#"DOCUMENT = [(paper->PAPER)*];
+        let (s, g) = tg(r#"DOCUMENT = [(paper->PAPER)*];
                PAPER = [title->TITLE.(author->AUTHOR)*];
                AUTHOR = [name->NAME.email->EMAIL];
                NAME = [firstname->FIRSTNAME.lastname->LASTNAME];
                TITLE = string; FIRSTNAME = string;
-               LASTNAME = string; EMAIL = string"#,
-        );
+               LASTNAME = string; EMAIL = string"#);
         for t in s.types() {
             assert!(g.is_inhabited(t), "{}", s.name(t));
         }

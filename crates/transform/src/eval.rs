@@ -38,11 +38,7 @@ pub fn apply(t: &Transformation, g: &DataGraph) -> Result<DataGraph> {
                         Some(Bound::Value(val)) => val.clone(),
                         Some(Bound::Node(o)) => match g.node(*o) {
                             Node::Atomic(val) => val.clone(),
-                            _ => {
-                                return Err(Error::invalid(
-                                    "copy-value of a non-atomic node",
-                                ))
-                            }
+                            _ => return Err(Error::invalid("copy-value of a non-atomic node")),
                         },
                         _ => return Err(Error::invalid("copy-value of an unbound variable")),
                     };
@@ -57,7 +53,10 @@ pub fn apply(t: &Transformation, g: &DataGraph) -> Result<DataGraph> {
                     k
                 }
             };
-            edges.entry(src.clone()).or_default().insert((rule.label, dst));
+            edges
+                .entry(src.clone())
+                .or_default()
+                .insert((rule.label, dst));
         }
     }
 
@@ -67,24 +66,22 @@ pub fn apply(t: &Transformation, g: &DataGraph) -> Result<DataGraph> {
     let mut b = GraphBuilder::new(pool);
     let mut oid_of: HashMap<Key, OidId> = HashMap::new();
     let mut names = 0usize;
-    let mut oid_for = |key: &Key,
-                       b: &mut GraphBuilder,
-                       oid_of: &mut HashMap<Key, OidId>|
-     -> OidId {
-        if let Some(&o) = oid_of.get(key) {
-            return o;
-        }
-        let is_root = key == &root_key;
-        let name = if is_root {
-            "out0".to_owned()
-        } else {
-            names += 1;
-            format!("out{names}")
+    let mut oid_for =
+        |key: &Key, b: &mut GraphBuilder, oid_of: &mut HashMap<Key, OidId>| -> OidId {
+            if let Some(&o) = oid_of.get(key) {
+                return o;
+            }
+            let is_root = key == &root_key;
+            let name = if is_root {
+                "out0".to_owned()
+            } else {
+                names += 1;
+                format!("out{names}")
+            };
+            let o = b.declare(&name, !is_root);
+            oid_of.insert(key.clone(), o);
+            o
         };
-        let o = b.declare(&name, !is_root);
-        oid_of.insert(key.clone(), o);
-        o
-    };
 
     // Root first so it becomes the graph root.
     let root_oid = oid_for(&root_key, &mut b, &mut oid_of);

@@ -17,12 +17,12 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use ssd_automata::glushkov;
 use ssd_automata::dfa::included;
+use ssd_automata::glushkov;
 use ssd_automata::Regex;
 use ssd_base::{Error, Result, TypeIdx, VarId};
-use ssd_core::feas::Constraints;
 use ssd_core::dispatch::satisfiable_with;
+use ssd_core::feas::Constraints;
 use ssd_schema::{AtomicType, Schema, SchemaAtom, SchemaBuilder, TypeDef};
 
 use crate::skolem::{Target, Transformation};
@@ -138,10 +138,7 @@ pub fn infer_output_schema(t: &Transformation, s: &Schema) -> Result<Schema> {
         }
     };
     // Root declared first.
-    idx_of.insert(
-        root_key.clone(),
-        b.declare(&name_of(&root_key, s), false),
-    );
+    idx_of.insert(root_key.clone(), b.declare(&name_of(&root_key, s), false));
     for k in edge_sets.keys() {
         if *k == root_key {
             continue;
@@ -167,10 +164,7 @@ pub fn infer_output_schema(t: &Transformation, s: &Schema) -> Result<Schema> {
     b.finish()
 }
 
-fn pin_opt(
-    pin: Option<(VarId, TypeIdx)>,
-    _st: Option<TypeIdx>,
-) -> Option<(VarId, TypeIdx)> {
+fn pin_opt(pin: Option<(VarId, TypeIdx)>, _st: Option<TypeIdx>) -> Option<(VarId, TypeIdx)> {
     pin
 }
 
@@ -216,8 +210,7 @@ fn simulates(
             for sym in &symbols {
                 let mut found = None;
                 for tsym in rb.atoms() {
-                    if tsym.label == sym.label
-                        && simulates(a, b, sym.target, tsym.target, assumed)
+                    if tsym.label == sym.label && simulates(a, b, sym.target, tsym.target, assumed)
                     {
                         found = Some(tsym);
                         break;
@@ -230,9 +223,7 @@ fn simulates(
             }
             // The target's language must include Σ_mapped* (arbitrary
             // multiplicities of the mapped symbols).
-            let star = Regex::star(Regex::alt(
-                mapped.iter().map(|&m| Regex::atom(m)).collect(),
-            ));
+            let star = Regex::star(Regex::alt(mapped.iter().map(|&m| Regex::atom(m)).collect()));
             included(&glushkov::build(&star), &glushkov::build(rb))
         }
         _ => false,
@@ -335,11 +326,8 @@ mod tests {
         .unwrap();
         assert!(check_output_schema(&t, &s, &good).unwrap());
         // Restrictive target: last names must be ints.
-        let bad = parse_schema(
-            "ROOT = {(person->&P)*}; &P = {(last->L)*}; L = int",
-            &pool,
-        )
-        .unwrap();
+        let bad =
+            parse_schema("ROOT = {(person->&P)*}; &P = {(last->L)*}; L = int", &pool).unwrap();
         assert!(!check_output_schema(&t, &s, &bad).unwrap());
         // Wrong label.
         let bad2 = parse_schema(
@@ -354,11 +342,7 @@ mod tests {
     fn multi_variable_functions_are_rejected() {
         let pool = SharedInterner::new();
         let s = parse_schema(BIB_SCHEMA, &pool).unwrap();
-        let q = parse_query(
-            "SELECT X, Y WHERE Root = [paper -> X, paper -> Y]",
-            &pool,
-        )
-        .unwrap();
+        let q = parse_query("SELECT X, Y WHERE Root = [paper -> X, paper -> Y]", &pool).unwrap();
         let x = q.var_by_name("X").unwrap();
         let y = q.var_by_name("Y").unwrap();
         let t = Transformation {

@@ -102,11 +102,10 @@ impl Transformation {
                 }
             }
         }
-        if !self
-            .rules
-            .iter()
-            .any(|r| r.source.fun == self.root_fun || matches!(&r.target, Target::Term(t) if t.fun == self.root_fun))
-        {
+        if !self.rules.iter().any(|r| {
+            r.source.fun == self.root_fun
+                || matches!(&r.target, Target::Term(t) if t.fun == self.root_fun)
+        }) {
             return Err(Error::invalid(format!(
                 "no rule mentions the root function {}",
                 self.root_fun

@@ -23,9 +23,18 @@ fn main() {
     let q = parse_query("SELECT X WHERE Root = [a.c -> X]", &pool).unwrap();
     println!("query: SELECT X WHERE Root = [a.c -> X]");
     for (name, data) in [
-        ("DB1 = [a→[c→[]]]", "o1 = [a -> o2]; o2 = [c -> o3]; o3 = []"),
-        ("DB2 = [a→[d→[]]]", "o1 = [a -> o2]; o2 = [d -> o3]; o3 = []"),
-        ("DB3 = [b→[d→[]]]", "o1 = [b -> o2]; o2 = [d -> o3]; o3 = []"),
+        (
+            "DB1 = [a→[c→[]]]",
+            "o1 = [a -> o2]; o2 = [c -> o3]; o3 = []",
+        ),
+        (
+            "DB2 = [a→[d→[]]]",
+            "o1 = [a -> o2]; o2 = [d -> o3]; o3 = []",
+        ),
+        (
+            "DB3 = [b→[d→[]]]",
+            "o1 = [b -> o2]; o2 = [d -> o3]; o3 = []",
+        ),
     ] {
         let g = parse_data_graph(data, &pool).unwrap();
         let c = compare(&q, &schema, &g).unwrap();

@@ -11,7 +11,9 @@ use ssd::model::parse_data_graph;
 use ssd::query::parse_query;
 use ssd::schema::{conforms, parse_schema};
 use ssd::transform::skolem::Target;
-use ssd::transform::{apply, check_output_schema, infer_output_schema, ConstructEdge, SkolemTerm, Transformation};
+use ssd::transform::{
+    apply, check_output_schema, infer_output_schema, ConstructEdge, SkolemTerm, Transformation,
+};
 
 fn main() {
     let pool = SharedInterner::new();
@@ -44,7 +46,11 @@ fn main() {
 
     let input = parse_data_graph(&bibliography(3, 2), &pool).unwrap();
     let output = apply(&t, &input).unwrap();
-    println!("transformed {} input nodes into {} output nodes", input.len(), output.len());
+    println!(
+        "transformed {} input nodes into {} output nodes",
+        input.len(),
+        output.len()
+    );
 
     // Output-schema inference (single-variable Skolem functions).
     let out_schema = infer_output_schema(&t, &schema).unwrap();

@@ -43,11 +43,8 @@ fn main() {
     let doc = parse_xml(xml, &pool).expect("XML parses");
     // The importer wraps the root element; validate against a wrapper
     // schema whose root points at E_paper.
-    let wrapped = parse_schema(
-        &format!("WRAP = [paper->E_paper]; {dtd_schema}"),
-        &pool,
-    )
-    .expect("wrapper schema parses");
+    let wrapped = parse_schema(&format!("WRAP = [paper->E_paper]; {dtd_schema}"), &pool)
+        .expect("wrapper schema parses");
     assert!(conforms(&doc, &wrapped).is_some());
     println!("the XML fragment validates against the DTD");
 

@@ -2,9 +2,7 @@
 //! trace-product engine, the literal P-traces construction, the general
 //! solver, and dynamic evaluation on sampled instances.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ssd::base::rng::StdRng;
 use ssd::base::SharedInterner;
 use ssd::core::feas::{analyze, Constraints};
 use ssd::core::{ptraces, solver};
@@ -36,7 +34,9 @@ fn engines_agree_on_random_ordered_workloads() {
         };
         let q = joinfree_query(&s, &tg, &mut rng, &qcfg).unwrap();
 
-        let by_feas = analyze(&q, &s, &tg, &Constraints::none()).unwrap().satisfiable;
+        let by_feas = analyze(&q, &s, &tg, &Constraints::none())
+            .unwrap()
+            .satisfiable;
         let by_solver = solver::solve(&q, &s).satisfiable;
         assert_eq!(by_feas, by_solver, "seed {seed}\nschema:\n{s}\nquery:\n{q}");
 
@@ -73,59 +73,74 @@ fn ptraces_agree_with_feas_on_random_single_defs() {
             },
         )
         .unwrap();
-        let by_feas = analyze(&q, &s, &tg, &Constraints::none()).unwrap().satisfiable;
+        let by_feas = analyze(&q, &s, &tg, &Constraints::none())
+            .unwrap()
+            .satisfiable;
         let by_traces = ptraces::satisfiable_ptraces(&q, &s).unwrap();
         assert_eq!(by_feas, by_traces, "seed {seed}\n{s}\n{q}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Parser round trips: printing a generated query re-parses to the
-    /// same display form.
-    #[test]
-    fn query_display_round_trips(seed in 0u64..5000) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Hand-rolled property test (32 random cases, deterministic seeds):
+/// printing a generated query re-parses to the same display form.
+#[test]
+fn query_display_round_trips() {
+    for seed in 0u64..32 {
+        let mut rng = StdRng::seed_from_u64(seed * 157 + 1);
         let pool = SharedInterner::new();
         let s = ordered_schema(&mut rng, &pool, &SchemaGenConfig::default());
         let tg = TypeGraph::new(&s);
         if let Ok(q) = joinfree_query(&s, &tg, &mut rng, &QueryGenConfig::default()) {
             let printed = q.to_string();
             let q2 = ssd::query::parse_query(&printed, &pool).unwrap();
-            prop_assert_eq!(printed, q2.to_string());
+            assert_eq!(printed, q2.to_string(), "seed {seed}");
         }
     }
+}
 
-    /// Schema display round trips preserve classification and size.
-    #[test]
-    fn schema_display_round_trips(seed in 0u64..5000) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Schema display round trips preserve classification and size.
+#[test]
+fn schema_display_round_trips() {
+    for seed in 0u64..32 {
+        let mut rng = StdRng::seed_from_u64(seed * 157 + 2);
         let pool = SharedInterner::new();
         let s = ordered_schema(&mut rng, &pool, &SchemaGenConfig::default());
         let printed = s.to_string();
         let s2 = ssd::schema::parse_schema(&printed, &pool).unwrap();
-        prop_assert_eq!(s.len(), s2.len());
-        prop_assert_eq!(
+        assert_eq!(s.len(), s2.len(), "seed {seed}");
+        assert_eq!(
             ssd::schema::SchemaClass::of(&s),
-            ssd::schema::SchemaClass::of(&s2)
+            ssd::schema::SchemaClass::of(&s2),
+            "seed {seed}"
         );
     }
+}
 
-    /// Sampled instances always conform to their schema.
-    #[test]
-    fn sampled_instances_conform(seed in 0u64..5000) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Sampled instances always conform to their schema.
+#[test]
+fn sampled_instances_conform() {
+    for seed in 0u64..32 {
+        let mut rng = StdRng::seed_from_u64(seed * 157 + 3);
         let pool = SharedInterner::new();
-        let s = ordered_schema(&mut rng, &pool, &SchemaGenConfig {
-            num_types: 5,
-            ..Default::default()
-        });
+        let s = ordered_schema(
+            &mut rng,
+            &pool,
+            &SchemaGenConfig {
+                num_types: 5,
+                ..Default::default()
+            },
+        );
         let tg = TypeGraph::new(&s);
-        let g = sample_instance(&s, &tg, &mut rng, &DataGenConfig {
-            continue_prob: 0.4,
-            max_nodes: 300,
-        }).unwrap();
-        prop_assert!(conforms(&g, &s).is_some());
+        let g = sample_instance(
+            &s,
+            &tg,
+            &mut rng,
+            &DataGenConfig {
+                continue_prob: 0.4,
+                max_nodes: 300,
+            },
+        )
+        .unwrap();
+        assert!(conforms(&g, &s).is_some(), "seed {seed}");
     }
 }

@@ -2,8 +2,7 @@
 //! explores more edges than the naive strategy and always returns the
 //! same answers (which also agree with the reference evaluator).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ssd::base::rng::StdRng;
 use ssd::base::SharedInterner;
 use ssd::gen::data_gen::{sample_instance, DataGenConfig};
 use ssd::gen::query_gen::{joinfree_query, QueryGenConfig};
