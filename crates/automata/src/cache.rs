@@ -28,8 +28,10 @@
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use ssd_obs::{names, Recorder};
 
 use crate::dfa::{self, Dfa};
 use crate::glushkov;
@@ -78,13 +80,52 @@ impl Hash for HcRegex {
     }
 }
 
-/// Counters describing cache effectiveness (monotone, point-in-time).
+/// Hit/miss counters for one memo table (monotone, point-in-time).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Lookups answered from a memo table.
+pub struct TableStats {
+    /// Lookups answered from the table.
     pub hits: u64,
     /// Lookups that had to construct (and insert) their result.
     pub misses: u64,
+}
+
+impl TableStats {
+    /// Hits as a fraction of all lookups — `0.0` with no lookups yet.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total lookups against the table.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// Counters describing cache effectiveness (monotone, point-in-time).
+///
+/// `hits`/`misses` aggregate across all memo tables (the pre-breakdown
+/// interface); the per-table [`TableStats`] fields say *which* table the
+/// traffic went to, which is what the ROADMAP's eviction/sharding work
+/// needs to see.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from any memo table (sum over tables).
+    pub hits: u64,
+    /// Lookups that had to construct their result (sum over tables).
+    pub misses: u64,
+    /// regex→NFA table traffic.
+    pub nfa_table: TableStats,
+    /// NFA→DFA table traffic.
+    pub dfa_table: TableStats,
+    /// Emptiness-verdict table traffic.
+    pub emptiness_table: TableStats,
+    /// Inclusion-verdict table traffic.
+    pub inclusion_table: TableStats,
     /// Distinct hash-consed regexes.
     pub interned: usize,
     /// Memoized Glushkov NFAs.
@@ -93,6 +134,17 @@ pub struct CacheStats {
     pub dfas: usize,
     /// Memoized emptiness + inclusion verdicts.
     pub verdicts: usize,
+}
+
+impl CacheStats {
+    /// Aggregate hit ratio across every memo table.
+    pub fn hit_ratio(&self) -> f64 {
+        TableStats {
+            hits: self.hits,
+            misses: self.misses,
+        }
+        .hit_ratio()
+    }
 }
 
 /// The shared automata cache. See the module docs for the design.
@@ -105,8 +157,62 @@ pub struct AutomataCache {
     dfas: RwLock<HashMap<HcRegex, Arc<Dfa<LabelAtom>>>>,
     empties: RwLock<HashMap<HcRegex, bool>>,
     inclusions: RwLock<HashMap<(HcRegex, HcRegex), bool>>,
+    tables: [Table; 4],
+    /// Optional observability sink: when set, every hit/miss also bumps
+    /// the matching `ssd_obs::names::counter` and constructions run under
+    /// spans. `rec_on` mirrors `rec.is_some()` so the disabled hot path
+    /// pays one relaxed atomic load, not a lock.
+    rec_on: AtomicBool,
+    rec: RwLock<Option<Arc<dyn Recorder>>>,
+}
+
+/// Indices into `AutomataCache::tables`, one per memo table.
+#[derive(Clone, Copy)]
+enum TableId {
+    Nfa = 0,
+    Dfa = 1,
+    Emptiness = 2,
+    Inclusion = 3,
+}
+
+impl TableId {
+    /// The `(hit, miss)` counter names this table reports under.
+    fn counter_names(self) -> (&'static str, &'static str) {
+        match self {
+            TableId::Nfa => (
+                names::counter::CACHE_NFA_HIT,
+                names::counter::CACHE_NFA_MISS,
+            ),
+            TableId::Dfa => (
+                names::counter::CACHE_DFA_HIT,
+                names::counter::CACHE_DFA_MISS,
+            ),
+            TableId::Emptiness => (
+                names::counter::CACHE_EMPTINESS_HIT,
+                names::counter::CACHE_EMPTINESS_MISS,
+            ),
+            TableId::Inclusion => (
+                names::counter::CACHE_INCLUSION_HIT,
+                names::counter::CACHE_INCLUSION_MISS,
+            ),
+        }
+    }
+}
+
+/// One memo table's live hit/miss counters.
+#[derive(Default)]
+struct Table {
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl Table {
+    fn snapshot(&self) -> TableStats {
+        TableStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Read a lock, recovering from poisoning: every cached value is a pure
@@ -124,6 +230,38 @@ impl AutomataCache {
     /// An empty cache.
     pub fn new() -> AutomataCache {
         AutomataCache::default()
+    }
+
+    /// Attaches (or with `None`, detaches) an observability sink. While
+    /// set, every memo-table hit/miss is mirrored to the recorder's
+    /// counters and cache-miss constructions run under spans.
+    pub fn set_recorder(&self, rec: Option<Arc<dyn Recorder>>) {
+        self.rec_on.store(rec.is_some(), Ordering::Relaxed);
+        *write(&self.rec) = rec;
+    }
+
+    /// The active recorder, if observation is on (fast `None` otherwise).
+    fn active_recorder(&self) -> Option<Arc<dyn Recorder>> {
+        if self.rec_on.load(Ordering::Relaxed) {
+            read(&self.rec).clone()
+        } else {
+            None
+        }
+    }
+
+    /// Bumps the table's hit or miss counter, mirroring to the recorder
+    /// when one is attached.
+    fn note(&self, table: TableId, hit: bool) {
+        let t = &self.tables[table as usize];
+        if hit {
+            t.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            t.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(rec) = self.active_recorder() {
+            let (hit_name, miss_name) = table.counter_names();
+            rec.add(if hit { hit_name } else { miss_name }, 1);
+        }
     }
 
     /// Hash-conses `re`: structurally equal regexes map to one shared
@@ -156,11 +294,15 @@ impl AutomataCache {
     pub fn nfa(&self, re: &Regex<LabelAtom>) -> Arc<Nfa<LabelAtom>> {
         let key = self.intern(re);
         if let Some(n) = read(&self.nfas).get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.note(TableId::Nfa, true);
             return Arc::clone(n);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(glushkov::build(key.regex()));
+        self.note(TableId::Nfa, false);
+        let rec = self.active_recorder();
+        let built = Arc::new(glushkov::build_rec(
+            key.regex(),
+            rec.as_deref().unwrap_or(ssd_obs::noop()),
+        ));
         let mut map = write(&self.nfas);
         Arc::clone(map.entry(key).or_insert(built))
     }
@@ -169,12 +311,14 @@ impl AutomataCache {
     pub fn dfa(&self, re: &Regex<LabelAtom>) -> Arc<Dfa<LabelAtom>> {
         let key = self.intern(re);
         if let Some(d) = read(&self.dfas).get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.note(TableId::Dfa, true);
             return Arc::clone(d);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.note(TableId::Dfa, false);
         let nfa = self.nfa(re);
-        let built = Arc::new(dfa::minimize(&dfa::determinize(&nfa)));
+        let rec = self.active_recorder();
+        let r = rec.as_deref().unwrap_or(ssd_obs::noop());
+        let built = Arc::new(dfa::minimize_rec(&dfa::determinize_rec(&nfa, r), r));
         let mut map = write(&self.dfas);
         Arc::clone(map.entry(key).or_insert(built))
     }
@@ -184,10 +328,10 @@ impl AutomataCache {
     pub fn is_empty(&self, re: &Regex<LabelAtom>) -> bool {
         let key = self.intern(re);
         if let Some(&v) = read(&self.empties).get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.note(TableId::Emptiness, true);
             return v;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.note(TableId::Emptiness, false);
         let v = ops::is_empty_lang(&self.nfa(re));
         write(&self.empties).insert(key, v);
         v
@@ -197,10 +341,10 @@ impl AutomataCache {
     pub fn included(&self, left: &Regex<LabelAtom>, right: &Regex<LabelAtom>) -> bool {
         let key = (self.intern(left), self.intern(right));
         if let Some(&v) = read(&self.inclusions).get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.note(TableId::Inclusion, true);
             return v;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.note(TableId::Inclusion, false);
         let v = dfa::included(&self.nfa(left), &self.nfa(right));
         write(&self.inclusions).insert(key, v);
         v
@@ -213,9 +357,18 @@ impl AutomataCache {
 
     /// Point-in-time effectiveness counters.
     pub fn stats(&self) -> CacheStats {
+        let nfa_table = self.tables[TableId::Nfa as usize].snapshot();
+        let dfa_table = self.tables[TableId::Dfa as usize].snapshot();
+        let emptiness_table = self.tables[TableId::Emptiness as usize].snapshot();
+        let inclusion_table = self.tables[TableId::Inclusion as usize].snapshot();
+        let tables = [nfa_table, dfa_table, emptiness_table, inclusion_table];
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: tables.iter().map(|t| t.hits).sum(),
+            misses: tables.iter().map(|t| t.misses).sum(),
+            nfa_table,
+            dfa_table,
+            emptiness_table,
+            inclusion_table,
             interned: read(&self.cons).values().map(Vec::len).sum(),
             nfas: read(&self.nfas).len(),
             dfas: read(&self.dfas).len(),
@@ -331,6 +484,45 @@ mod tests {
         assert!(!cache.equivalent(&star, &plus));
         assert!(cache.equivalent(&star, &Regex::star(Regex::plus(l(0)))));
         assert!(cache.stats().verdicts >= 3);
+    }
+
+    #[test]
+    fn per_table_stats_break_down_the_aggregate() {
+        let cache = AutomataCache::new();
+        cache.nfa(&sample());
+        cache.nfa(&sample());
+        cache.is_empty(&sample());
+        let s = cache.stats();
+        // The emptiness miss re-queries the NFA table (a hit), so: 2 hits.
+        assert_eq!(s.nfa_table, TableStats { hits: 2, misses: 1 });
+        assert_eq!(s.emptiness_table, TableStats { hits: 0, misses: 1 });
+        assert_eq!(s.dfa_table.lookups(), 0);
+        assert_eq!(s.hits, s.nfa_table.hits + s.emptiness_table.hits);
+        assert_eq!(
+            s.misses,
+            s.nfa_table.misses + s.dfa_table.misses + s.emptiness_table.misses
+        );
+        assert!((s.nfa_table.hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(TableStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn recorder_mirrors_hits_and_misses() {
+        let cache = AutomataCache::new();
+        let rec = Arc::new(ssd_obs::TraceRecorder::new());
+        cache.set_recorder(Some(rec.clone()));
+        cache.dfa(&sample());
+        cache.dfa(&sample());
+        assert_eq!(rec.counter(names::counter::CACHE_DFA_MISS), 1);
+        assert_eq!(rec.counter(names::counter::CACHE_DFA_HIT), 1);
+        assert_eq!(rec.counter(names::counter::CACHE_NFA_MISS), 1);
+        // Constructions on the miss path ran under spans.
+        let report = rec.report();
+        assert!(report.span(&[ssd_obs::names::span::GLUSHKOV]).is_some());
+        assert!(report.span(&[ssd_obs::names::span::DETERMINIZE]).is_some());
+        cache.set_recorder(None);
+        cache.dfa(&sample());
+        assert_eq!(rec.counter(names::counter::CACHE_DFA_HIT), 1, "detached");
     }
 
     #[test]

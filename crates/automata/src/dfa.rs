@@ -11,6 +11,7 @@ use std::collections::{HashMap, VecDeque};
 
 use crate::nfa::{Nfa, StateId};
 use crate::syntax::{Atom, LabelAtom};
+use ssd_obs::{names, Recorder};
 
 /// Atoms that can partition the alphabet into finitely many classes.
 pub trait ClassAtom: Atom {
@@ -144,6 +145,18 @@ pub fn determinize<A: ClassAtom>(nfa: &Nfa<A>) -> Dfa<A> {
     determinize_with_classes(nfa, classes)
 }
 
+/// [`determinize`] with instrumentation: wraps the subset construction in
+/// a `determinize` span and reports the resulting DFA state count.
+pub fn determinize_rec<A: ClassAtom>(nfa: &Nfa<A>, rec: &dyn Recorder) -> Dfa<A> {
+    let _span = ssd_obs::span(rec, names::span::DETERMINIZE);
+    let dfa = determinize(nfa);
+    if rec.enabled() {
+        rec.add(names::counter::DFA_STATES, dfa.num_states() as u64);
+        rec.observe(names::counter::DFA_STATES, dfa.num_states() as u64);
+    }
+    dfa
+}
+
 /// Determinizes with a caller-supplied class partition (needed when
 /// comparing two automata, whose classes must be computed jointly).
 pub fn determinize_with_classes<A: ClassAtom>(nfa: &Nfa<A>, classes: Vec<A>) -> Dfa<A> {
@@ -192,6 +205,13 @@ pub fn determinize_with_classes<A: ClassAtom>(nfa: &Nfa<A>, classes: Vec<A>) -> 
         start: 0,
         accepting,
     }
+}
+
+/// [`minimize`] with instrumentation: wraps the refinement in a
+/// `minimize` span.
+pub fn minimize_rec<A: ClassAtom>(dfa: &Dfa<A>, rec: &dyn Recorder) -> Dfa<A> {
+    let _span = ssd_obs::span(rec, names::span::MINIMIZE);
+    minimize(dfa)
 }
 
 /// Minimizes a DFA by Moore partition refinement. Missing transitions are

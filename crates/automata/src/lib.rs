@@ -34,7 +34,7 @@ pub mod product;
 pub mod regexgen;
 pub mod syntax;
 
-pub use cache::{AutomataCache, CacheStats, HcRegex};
+pub use cache::{AutomataCache, CacheStats, HcRegex, TableStats};
 pub use dfa::Dfa;
 pub use nfa::{Nfa, StateId};
 pub use syntax::{Atom, LabelAtom, Regex};

@@ -84,6 +84,20 @@ impl<A> Nfa<A> {
     pub fn num_transitions(&self) -> usize {
         self.transitions.iter().map(Vec::len).sum()
     }
+
+    /// Approximate heap bytes retained by this automaton (capacities of
+    /// the owned vectors; atoms counted at their inline size, so any
+    /// atom-owned heap data is an undercount).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.transitions.capacity() * std::mem::size_of::<Vec<(A, StateId)>>()
+            + self
+                .transitions
+                .iter()
+                .map(|es| es.capacity() * std::mem::size_of::<(A, StateId)>())
+                .sum::<usize>()
+            + self.accepting.capacity() * std::mem::size_of::<bool>()
+    }
 }
 
 impl<A: Atom> Nfa<A> {

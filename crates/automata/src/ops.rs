@@ -3,6 +3,8 @@
 
 use std::collections::{HashSet, VecDeque};
 
+use ssd_obs::{names, Recorder};
+
 use crate::nfa::{Nfa, StateId};
 
 /// States reachable from the start state.
@@ -65,37 +67,74 @@ pub fn is_empty_lang<A>(nfa: &Nfa<A>) -> bool {
 /// product. Returns `true` iff no reachable state accepts.
 pub fn is_empty_product<S, I>(
     starts: I,
-    mut accepting: impl FnMut(&S) -> bool,
-    mut successors: impl FnMut(&S, &mut Vec<S>),
+    accepting: impl FnMut(&S) -> bool,
+    successors: impl FnMut(&S, &mut Vec<S>),
 ) -> bool
 where
     S: Clone + Eq + std::hash::Hash,
     I: IntoIterator<Item = S>,
 {
-    let mut seen: HashSet<S> = HashSet::new();
-    let mut queue: VecDeque<S> = VecDeque::new();
-    for s in starts {
-        if accepting(&s) {
-            return false;
-        }
-        if seen.insert(s.clone()) {
-            queue.push_back(s);
-        }
-    }
-    let mut buf: Vec<S> = Vec::new();
-    while let Some(s) = queue.pop_front() {
-        buf.clear();
-        successors(&s, &mut buf);
-        for n in buf.drain(..) {
-            if accepting(&n) {
-                return false;
+    is_empty_product_rec(starts, accepting, successors, ssd_obs::noop())
+}
+
+/// [`is_empty_product`] with instrumentation: wraps the BFS in a
+/// `product_bfs` span and reports how many product-state visits the BFS
+/// made before the first accepting state (or exhaustion) — the
+/// paper's key cost measure for the lazy traces product. The count is a
+/// local integer; the recorder is consulted only at entry and exit, so
+/// the disabled path costs one `enabled()` check.
+pub fn is_empty_product_rec<S, I>(
+    starts: I,
+    mut accepting: impl FnMut(&S) -> bool,
+    mut successors: impl FnMut(&S, &mut Vec<S>),
+    rec: &dyn Recorder,
+) -> bool
+where
+    S: Clone + Eq + std::hash::Hash,
+    I: IntoIterator<Item = S>,
+{
+    let _span = ssd_obs::span(rec, names::span::PRODUCT_BFS);
+    let mut explored: u64 = 0;
+    let empty = {
+        let mut seen: HashSet<S> = HashSet::new();
+        let mut queue: VecDeque<S> = VecDeque::new();
+        let mut verdict = None;
+        for s in starts {
+            explored += 1;
+            if accepting(&s) {
+                verdict = Some(false);
+                break;
             }
-            if seen.insert(n.clone()) {
-                queue.push_back(n);
+            if seen.insert(s.clone()) {
+                queue.push_back(s);
             }
         }
+        let mut buf: Vec<S> = Vec::new();
+        while verdict.is_none() {
+            let Some(s) = queue.pop_front() else {
+                verdict = Some(true);
+                break;
+            };
+            buf.clear();
+            successors(&s, &mut buf);
+            for n in buf.drain(..) {
+                explored += 1;
+                if accepting(&n) {
+                    verdict = Some(false);
+                    break;
+                }
+                if seen.insert(n.clone()) {
+                    queue.push_back(n);
+                }
+            }
+        }
+        verdict.unwrap_or(true)
+    };
+    if rec.enabled() {
+        rec.add(names::counter::PRODUCT_STATES_EXPLORED, explored);
+        rec.observe(names::counter::PRODUCT_STATES_EXPLORED, explored);
     }
-    true
+    empty
 }
 
 /// Removes states that are not both reachable and co-reachable, renumbering

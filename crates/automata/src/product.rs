@@ -10,6 +10,8 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
+use ssd_obs::{names, Recorder};
+
 use crate::nfa::{Nfa, StateId};
 
 /// Builds the product automaton of `left` and `right`, restricted to the
@@ -21,8 +23,20 @@ use crate::nfa::{Nfa, StateId};
 pub fn product<A, B, C>(
     left: &Nfa<A>,
     right: &Nfa<B>,
-    mut combine: impl FnMut(&A, &B) -> Option<C>,
+    combine: impl FnMut(&A, &B) -> Option<C>,
 ) -> Nfa<C> {
+    product_rec(left, right, combine, ssd_obs::noop())
+}
+
+/// [`product`] with instrumentation: wraps the construction in a
+/// `product` span and reports how many product states were materialized.
+pub fn product_rec<A, B, C>(
+    left: &Nfa<A>,
+    right: &Nfa<B>,
+    mut combine: impl FnMut(&A, &B) -> Option<C>,
+    rec: &dyn Recorder,
+) -> Nfa<C> {
+    let _span = ssd_obs::span(rec, names::span::PRODUCT);
     let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
     let mut pairs: Vec<(StateId, StateId)> = Vec::new();
     let mut queue = VecDeque::new();
@@ -58,6 +72,16 @@ pub fn product<A, B, C>(
         if left.is_accepting(p) && right.is_accepting(q) {
             out.set_accepting(i, true);
         }
+    }
+    if rec.enabled() {
+        rec.add(
+            names::counter::PRODUCT_STATES_MATERIALIZED,
+            out.num_states() as u64,
+        );
+        rec.observe(
+            names::counter::PRODUCT_STATES_MATERIALIZED,
+            out.num_states() as u64,
+        );
     }
     out
 }

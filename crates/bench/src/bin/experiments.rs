@@ -9,7 +9,16 @@
 //! 4. the §4.3 transformation example — inferred output schema.
 //!
 //! Run with `cargo run --release -p ssd-bench --bin experiments`.
+//!
+//! Pass `--telemetry[=PATH]` (or set `SSD_TELEMETRY`) to additionally run
+//! one instrumented pass of the whole pipeline — parse → type-graph →
+//! Glushkov → determinize → product BFS → verdict — under a recording
+//! [`ssd_obs::TraceRecorder`], print the per-phase timing tree plus the
+//! session cache report, and write the machine-readable trace to `PATH`
+//! (default `BENCH_traces.json`).
 
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 use ssd_base::rng::StdRng;
@@ -17,10 +26,12 @@ use ssd_base::SharedInterner;
 
 use ssd_core::feas::{analyze, Constraints};
 use ssd_core::solver;
+use ssd_core::Session;
 use ssd_feedback::feedback_query;
 use ssd_gen::corpora::{bibliography, FEEDBACK_QUERY, PAPER_SCHEMA};
 use ssd_gen::sat3::Sat3;
 use ssd_model::parse_data_graph;
+use ssd_obs::{names, TraceRecorder};
 use ssd_optimizer::compare;
 use ssd_query::parse_query;
 use ssd_schema::parse_schema;
@@ -33,10 +44,99 @@ fn time_ms(f: impl FnOnce()) -> f64 {
 }
 
 fn main() {
+    let telemetry = telemetry_path();
     table2_shape();
     optimizer_tables();
     feedback_example();
     transform_example();
+    if let Some(path) = telemetry {
+        telemetry_run(&path);
+    }
+}
+
+/// Where to write the trace artifact, if telemetry was requested:
+/// `--telemetry` / `--telemetry=PATH` on the command line, or the
+/// `SSD_TELEMETRY` environment variable (`1` selects the default path).
+fn telemetry_path() -> Option<PathBuf> {
+    const DEFAULT: &str = "BENCH_traces.json";
+    for arg in std::env::args().skip(1) {
+        if arg == "--telemetry" {
+            return Some(PathBuf::from(DEFAULT));
+        }
+        if let Some(path) = arg.strip_prefix("--telemetry=") {
+            return Some(PathBuf::from(path));
+        }
+    }
+    match std::env::var("SSD_TELEMETRY").ok()?.as_str() {
+        "" | "0" => None,
+        "1" => Some(PathBuf::from(DEFAULT)),
+        path => Some(PathBuf::from(path)),
+    }
+}
+
+/// One instrumented pass over each pipeline family — the dispatched
+/// trace-product cell, lazy P-traces emptiness, the NP solver cell, and
+/// type inference — all against a single recording [`Session`], so the
+/// exported trace covers every phase and cache table at once.
+fn telemetry_run(out: &Path) {
+    println!("== Telemetry: instrumented pipeline pass ==");
+    let rec = Arc::new(TraceRecorder::new());
+    let sess = Session::with_recorder(rec.clone());
+    let pool = SharedInterner::new();
+
+    // Parse the paper corpus under a `parse` span.
+    let (s, q) = {
+        let _parse = ssd_obs::span(rec.as_ref(), names::span::PARSE);
+        let s = parse_schema(PAPER_SCHEMA, &pool).unwrap();
+        let q = parse_query(FEEDBACK_QUERY, &pool).unwrap();
+        (s, q)
+    };
+    let worked = sess.satisfiable(&q, &s).unwrap();
+
+    // Join-free ordered workload: dispatch routes it to the PTIME
+    // trace-product analysis (`feas`), and the same query runs through
+    // the lazy P-traces product BFS.
+    let (ps, _, pq) = ssd_bench::workload(7001, 12, 1, false, true);
+    let feas_sat = sess.satisfiable(&pq, &ps).unwrap();
+    let ptraces_sat = sess
+        .satisfiable_ptraces(&pq, &ps)
+        .map(|sat| sat.to_string())
+        .unwrap_or_else(|_| "outside class".to_owned());
+    // Re-run warm so the trace also exhibits cache hits.
+    let _ = sess.satisfiable(&pq, &ps).unwrap();
+
+    // A small 3SAT instance exercises the general solver cell.
+    let mut rng = StdRng::seed_from_u64(2003);
+    let f = Sat3::random(&mut rng, 3, 5);
+    let (s3, q3) = {
+        let _parse = ssd_obs::span(rec.as_ref(), names::span::PARSE);
+        let pool3 = SharedInterner::new();
+        (
+            parse_schema(&f.schema_text(), &pool3).unwrap(),
+            parse_query(&f.query_text(), &pool3).unwrap(),
+        )
+    };
+    let np_sat = sess.satisfiable(&q3, &s3).unwrap();
+
+    // Type inference over the paper schema.
+    let qi = parse_query("SELECT X WHERE Root = [paper -> X]", &pool).unwrap();
+    let inferred = sess.infer(&qi, &s).unwrap();
+
+    println!(
+        "verdicts: worked-example {:?}, trace-product {:?}, ptraces {}, 3SAT {:?}, \
+         inferred assignments {}",
+        worked.satisfiable,
+        feas_sat.satisfiable,
+        ptraces_sat,
+        np_sat.satisfiable,
+        inferred.len()
+    );
+
+    let report = rec.report();
+    print!("{}", report.render_tree());
+    println!("{}", sess.stats());
+    std::fs::write(out, report.to_json_string()).expect("telemetry artifact is writable");
+    println!("telemetry written to {}", out.display());
 }
 
 fn table2_shape() {

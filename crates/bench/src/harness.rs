@@ -13,7 +13,10 @@
 //! bench group/id ... median 12345 ns/iter (min 12000, max 13000, N=20)
 //! ```
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use ssd_obs::json::JsonValue;
 
 /// Target wall-clock duration of a single sample.
 const TARGET_SAMPLE: Duration = Duration::from_millis(25);
@@ -140,6 +143,76 @@ impl Bencher {
     }
 }
 
+/// One finished benchmark's summary statistics, kept for telemetry export.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Full `group/function/parameter` label.
+    pub label: String,
+    /// Median ns per iteration across the timed samples.
+    pub median_ns: f64,
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, ns per iteration.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Every benchmark completed in this process, in execution order.
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn push_record(record: BenchRecord) {
+    RECORDS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(record);
+}
+
+/// All benchmark records collected so far, in execution order.
+pub fn records() -> Vec<BenchRecord> {
+    RECORDS.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Serializes the collected [`BenchRecord`]s as a machine-readable JSON
+/// document (the bench half of `BENCH_traces.json`).
+pub fn records_json() -> String {
+    let benches = records()
+        .into_iter()
+        .map(|r| {
+            JsonValue::obj(vec![
+                ("label", JsonValue::str(r.label)),
+                ("median_ns", JsonValue::Num(r.median_ns)),
+                ("min_ns", JsonValue::Num(r.min_ns)),
+                ("max_ns", JsonValue::Num(r.max_ns)),
+                ("samples", JsonValue::num(r.samples as u64)),
+            ])
+        })
+        .collect();
+    JsonValue::obj(vec![
+        ("version", JsonValue::num(1)),
+        ("benches", JsonValue::Arr(benches)),
+    ])
+    .to_json_string()
+}
+
+/// When `SSD_BENCH_TELEMETRY` is set, writes [`records_json`] to the path
+/// it names (`1` or empty selects `BENCH_traces.json`). Called by
+/// [`criterion_main!`](crate::criterion_main) after every group has run,
+/// so plain bench runs stay file-free.
+pub fn flush_telemetry() {
+    let Ok(dest) = std::env::var("SSD_BENCH_TELEMETRY") else {
+        return;
+    };
+    let path = match dest.as_str() {
+        "" | "1" => "BENCH_traces.json",
+        other => other,
+    };
+    match std::fs::write(path, records_json()) {
+        Ok(()) => println!("bench telemetry written to {path}"),
+        Err(e) => eprintln!("bench telemetry write to {path} failed: {e}"),
+    }
+}
+
 fn run_benchmark(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
     // Calibration pass.
     let mut b = Bencher {
@@ -171,6 +244,13 @@ fn run_benchmark(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher
         "bench {label} ... median {median:.0} ns/iter (min {min:.0}, max {max:.0}, N={})",
         s.len()
     );
+    push_record(BenchRecord {
+        label: label.to_owned(),
+        median_ns: median,
+        min_ns: min,
+        max_ns: max,
+        samples: s.len(),
+    });
 }
 
 /// Mirrors `criterion::criterion_group!`: defines a function running each
@@ -191,6 +271,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::harness::flush_telemetry();
         }
     };
 }
@@ -203,6 +284,27 @@ mod tests {
     fn bench_function_runs_and_prints() {
         let mut c = Criterion::new();
         c.bench_function("harness/self_test", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn completed_benchmarks_are_recorded_as_json() {
+        let mut c = Criterion::new();
+        c.bench_function("harness/telemetry_probe", |b| b.iter(|| 2 * 2));
+        let recs = records();
+        let probe = recs
+            .iter()
+            .find(|r| r.label == "harness/telemetry_probe")
+            .expect("bench run leaves a record");
+        assert!(probe.samples >= 2);
+        assert!(probe.min_ns <= probe.median_ns && probe.median_ns <= probe.max_ns);
+        let parsed = JsonValue::parse(&records_json()).expect("records serialize to valid JSON");
+        let benches = parsed.get("benches").unwrap().as_array().unwrap();
+        assert!(
+            benches
+                .iter()
+                .any(|b| b.get("label").and_then(JsonValue::as_str)
+                    == Some("harness/telemetry_probe"))
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use ssd_automata::AutomataCache;
 use ssd_base::VarId;
+use ssd_obs::{names, Recorder};
 use ssd_query::{Query, QueryClass, VarKind};
 use ssd_schema::{Schema, SchemaClass, TypeGraph};
 
@@ -62,26 +63,52 @@ pub fn satisfiable_with_in(
     c: &Constraints,
     sess: &Session,
 ) -> crate::Result<SatOutcome> {
+    let rec = sess.recorder();
+    let _span = ssd_obs::span(rec, names::span::DISPATCH);
+    let outcome = dispatch_inner(q, s, c, sess, rec)?;
+    if rec.enabled() {
+        rec.add(
+            if outcome.satisfiable {
+                names::counter::VERDICT_SAT
+            } else {
+                names::counter::VERDICT_UNSAT
+            },
+            1,
+        );
+    }
+    Ok(outcome)
+}
+
+fn dispatch_inner(
+    q: &Query,
+    s: &Schema,
+    c: &Constraints,
+    sess: &Session,
+    rec: &dyn Recorder,
+) -> crate::Result<SatOutcome> {
     let qclass = QueryClass::of(q);
     let sclass = SchemaClass::of(s);
 
     if sclass.is_ordered_plus_homogeneous() {
         let tg = sess.type_graph(s);
         if qclass.join_free() {
-            let a = feas::analyze_in(q, s, &tg, c, sess.automata())?;
+            let _span = ssd_obs::span(rec, names::span::FEAS);
+            let a = feas::analyze_obs(q, s, &tg, c, sess.automata(), rec)?;
             return Ok(SatOutcome {
                 satisfiable: a.satisfiable,
                 algorithm: Algorithm::TraceProduct,
             });
         }
         if qclass.bounded_joins(MAX_ENUMERATED_JOINS) && sclass.ordered {
-            let sat = bounded_joins(q, s, &tg, c, &qclass.join_vars, sess.automata());
+            let _span = ssd_obs::span(rec, names::span::BOUNDED_JOINS);
+            let sat = bounded_joins(q, s, &tg, c, &qclass.join_vars, sess.automata(), rec);
             return Ok(SatOutcome {
                 satisfiable: sat,
                 algorithm: Algorithm::BoundedJoins,
             });
         }
         if sclass.tagged && qclass.constant_suffix {
+            let _span = ssd_obs::span(rec, names::span::TAGGED);
             let sat = tagged::satisfiable_tagged_in(q, s, &tg, c, sess.automata())?;
             return Ok(SatOutcome {
                 satisfiable: sat,
@@ -90,6 +117,7 @@ pub fn satisfiable_with_in(
         }
     }
 
+    let _span = ssd_obs::span(rec, names::span::SOLVER);
     Ok(SatOutcome {
         satisfiable: solver::solve_with_in(q, s, c, sess).satisfiable,
         algorithm: Algorithm::GeneralSearch,
@@ -105,6 +133,7 @@ pub const MAX_ENUMERATED_JOINS: usize = 4;
 /// distinct first edges prevent path sharing), treat their reference
 /// occurrences as pinned leaves, and check each join variable's own
 /// definition separately.
+#[allow(clippy::too_many_arguments)]
 fn bounded_joins(
     q: &Query,
     s: &Schema,
@@ -112,8 +141,9 @@ fn bounded_joins(
     base: &Constraints,
     join_vars: &[VarId],
     cache: &AutomataCache,
+    rec: &dyn Recorder,
 ) -> bool {
-    enumerate(q, s, tg, base, join_vars, 0, cache)
+    enumerate(q, s, tg, base, join_vars, 0, cache, rec)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -125,6 +155,7 @@ fn enumerate(
     join_vars: &[VarId],
     i: usize,
     cache: &AutomataCache,
+    rec: &dyn Recorder,
 ) -> bool {
     if i == join_vars.len() {
         // All join variables pinned: leaf-treat them, check the root tree
@@ -133,7 +164,7 @@ fn enumerate(
         for &v in join_vars {
             leafed.leaf_vars.insert(v);
         }
-        let root_ok = feas::analyze_tree_in(q, s, tg, &leafed, cache).satisfiable;
+        let root_ok = feas::analyze_tree_obs(q, s, tg, &leafed, cache, rec).satisfiable;
         if !root_ok {
             return false;
         }
@@ -142,7 +173,7 @@ fn enumerate(
                 let t = leafed.var_types[&v];
                 let mut own = leafed.clone();
                 own.leaf_vars.remove(&v);
-                let a = feas::analyze_tree_in(q, s, tg, &own, cache);
+                let a = feas::analyze_tree_obs(q, s, tg, &own, cache, rec);
                 if !a.feas[v.index()].contains(&t) {
                     return false;
                 }
@@ -161,7 +192,7 @@ fn enumerate(
                     continue;
                 }
                 let next = c.clone().pin_type(v, t);
-                if enumerate(q, s, tg, &next, join_vars, i + 1, cache) {
+                if enumerate(q, s, tg, &next, join_vars, i + 1, cache, rec) {
                     return true;
                 }
             }
@@ -182,7 +213,7 @@ fn enumerate(
                     continue;
                 }
                 let next = c.clone().pin_type(v, t);
-                if enumerate(q, s, tg, &next, join_vars, i + 1, cache) {
+                if enumerate(q, s, tg, &next, join_vars, i + 1, cache, rec) {
                     return true;
                 }
             }
@@ -200,7 +231,7 @@ fn enumerate(
                     continue;
                 }
                 let next = c.clone().pin_label(v, l);
-                if enumerate(q, s, tg, &next, join_vars, i + 1, cache) {
+                if enumerate(q, s, tg, &next, join_vars, i + 1, cache, rec) {
                     return true;
                 }
             }

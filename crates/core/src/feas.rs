@@ -31,6 +31,7 @@ use ssd_automata::ops::{contains_ordered_selection, contains_unordered_selection
 use ssd_automata::syntax::Atom as _;
 use ssd_automata::{AutomataCache, LabelAtom, Nfa};
 use ssd_base::{Error, LabelId, Result, TypeIdx, VarId};
+use ssd_obs::{names, Recorder};
 use ssd_query::{EdgeExpr, PatDef, Query, QueryClass, VarKind};
 use ssd_schema::{AtomicType, Schema, SchemaAtom, TypeDef, TypeGraph};
 
@@ -102,13 +103,26 @@ pub fn analyze_in(
     c: &Constraints,
     cache: &AutomataCache,
 ) -> Result<FeasAnalysis> {
+    analyze_obs(q, s, tg, c, cache, ssd_obs::noop())
+}
+
+/// [`analyze_in`] with instrumentation: `(variable, type)` feasibility
+/// checks are counted on `rec` (`feas_types_checked`).
+pub fn analyze_obs(
+    q: &Query,
+    s: &Schema,
+    tg: &TypeGraph,
+    c: &Constraints,
+    cache: &AutomataCache,
+    rec: &dyn Recorder,
+) -> Result<FeasAnalysis> {
     let class = QueryClass::of(q);
     if !class.join_free() {
         return Err(Error::unsupported(
             "the trace-product engine requires a join-free query",
         ));
     }
-    Ok(analyze_tree_in(q, s, tg, c, cache))
+    Ok(analyze_tree_obs(q, s, tg, c, cache, rec))
 }
 
 /// The analysis itself, without the class check (callers that pre-pin all
@@ -125,12 +139,25 @@ pub fn analyze_tree_in(
     c: &Constraints,
     cache: &AutomataCache,
 ) -> FeasAnalysis {
+    analyze_tree_obs(q, s, tg, c, cache, ssd_obs::noop())
+}
+
+/// [`analyze_tree_in`] with instrumentation (see [`analyze_obs`]).
+pub fn analyze_tree_obs(
+    q: &Query,
+    s: &Schema,
+    tg: &TypeGraph,
+    c: &Constraints,
+    cache: &AutomataCache,
+    rec: &dyn Recorder,
+) -> FeasAnalysis {
     let mut engine = Engine {
         q,
         s,
         tg,
         c,
         cache,
+        rec,
         feas: vec![None; q.num_vars()],
     };
     let root = q.root_var();
@@ -156,6 +183,7 @@ struct Engine<'a> {
     tg: &'a TypeGraph,
     c: &'a Constraints,
     cache: &'a AutomataCache,
+    rec: &'a dyn Recorder,
     feas: Vec<Option<BTreeSet<TypeIdx>>>,
 }
 
@@ -197,6 +225,7 @@ impl<'a> Engine<'a> {
     }
 
     fn type_feasible(&mut self, v: VarId, t: TypeIdx) -> bool {
+        self.rec.add(names::counter::FEAS_TYPES_CHECKED, 1);
         match self.q.kind(v) {
             VarKind::Value => {
                 // A value variable's "type" is the atomic type of its value.

@@ -15,6 +15,7 @@
 use std::collections::BTreeSet;
 
 use ssd_base::{LabelId, TypeIdx, VarId};
+use ssd_obs::names;
 use ssd_query::{Query, VarKind};
 use ssd_schema::{Schema, TypeGraph};
 
@@ -49,6 +50,7 @@ pub fn infer(q: &Query, s: &Schema) -> Result<Vec<InferredAssignment>> {
 /// satisfiability tests of the search all share `sess`, so the path
 /// automata of `q` are built once for the whole enumeration.
 pub fn infer_in(q: &Query, s: &Schema, sess: &Session) -> Result<Vec<InferredAssignment>> {
+    let _span = ssd_obs::span(sess.recorder(), names::span::INFER);
     let tg = sess.type_graph(s);
     let select = q.select().to_vec();
     let mut out = Vec::new();
@@ -82,6 +84,7 @@ fn search(
     sess: &Session,
 ) -> Result<()> {
     // Prune unsatisfiable prefixes (also handles i == select.len()).
+    sess.recorder().add(names::counter::INFER_PREFIXES, 1);
     if !satisfiable_with_in(q, s, c, sess)?.satisfiable {
         return Ok(());
     }

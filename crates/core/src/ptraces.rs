@@ -16,9 +16,10 @@
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use ssd_automata::glushkov;
-use ssd_automata::ops::is_empty_product;
+use ssd_automata::ops::is_empty_product_rec;
 use ssd_automata::{LabelAtom, Nfa, Regex};
 use ssd_base::{Error, Result, TypeIdx, VarId};
+use ssd_obs::names;
 use ssd_query::{EdgeExpr, PatDef, Query, VarKind};
 use ssd_schema::{Schema, SchemaAtom, TypeDef, TypeGraph};
 
@@ -398,12 +399,14 @@ pub fn satisfiable_ptraces(q: &Query, s: &Schema) -> Result<bool> {
 /// [`satisfiable_ptraces`] through a session, with the product emptiness
 /// decided *lazily*: instead of materializing (and trimming) the whole
 /// `Tr(P) ∩ Tr(S)` automaton and then testing it, the product state space
-/// is explored on the fly ([`is_empty_product`]) with the leaf filters
+/// is explored on the fly ([`is_empty_product_rec`]) with the leaf filters
 /// folded into the step relation, returning at the first accepting state.
 /// The one-step semantics is [`Stepper`] — the same code the materialized
 /// construction runs — so the verdict is identical by construction; path
 /// automata come from the session's cache.
 pub fn satisfiable_ptraces_in(q: &Query, s: &Schema, sess: &Session) -> Result<bool> {
+    let rec = sess.recorder();
+    let _span = ssd_obs::span(rec, names::span::PTRACES);
     let (root_var, entries) = single_def(q)?;
     let tg = sess.type_graph(s);
     let root_t = s.root();
@@ -428,11 +431,22 @@ pub fn satisfiable_ptraces_in(q: &Query, s: &Schema, sess: &Session) -> Result<b
         root_t,
         leaf_allowed: &leaf_allowed,
     };
-    let empty = is_empty_product(
+    let empty = is_empty_product_rec(
         [St::Init],
         |st| stepper.accepting(st),
         |st, buf| stepper.successors(st, &mut |_, dst| buf.push(dst)),
+        rec,
     );
+    if rec.enabled() {
+        rec.add(
+            if empty {
+                names::counter::VERDICT_UNSAT
+            } else {
+                names::counter::VERDICT_SAT
+            },
+            1,
+        );
+    }
     Ok(!empty)
 }
 

@@ -22,9 +22,11 @@
 //! lifetimes create their own `Session`.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
-use ssd_automata::{AutomataCache, CacheStats};
+use ssd_automata::{AutomataCache, CacheStats, TableStats};
+use ssd_obs::{names, Recorder};
 use ssd_query::Query;
 use ssd_schema::{Schema, TypeGraph};
 
@@ -40,12 +42,36 @@ use crate::Result;
 pub struct Session {
     automata: AutomataCache,
     type_graphs: RwLock<HashMap<u64, Arc<TypeGraph>>>,
+    /// Observability sink, fixed at construction ([`Session::with_recorder`]).
+    /// `None` means the engines run against the shared no-op recorder.
+    recorder: Option<Arc<dyn Recorder>>,
+    tg_hits: AtomicU64,
+    tg_misses: AtomicU64,
 }
 
 impl Session {
     /// A fresh session with cold caches.
     pub fn new() -> Session {
         Session::default()
+    }
+
+    /// A fresh session whose engines report spans and counters into
+    /// `rec` — the pipeline phases (`dispatch`, `feas`, `product_bfs`, …)
+    /// and the per-table cache traffic of both the automata cache and the
+    /// type-graph cache.
+    pub fn with_recorder(rec: Arc<dyn Recorder>) -> Session {
+        let sess = Session {
+            recorder: Some(Arc::clone(&rec)),
+            ..Session::default()
+        };
+        sess.automata.set_recorder(Some(rec));
+        sess
+    }
+
+    /// The session's recorder (the shared no-op recorder when tracing is
+    /// off, so instrumented code never branches on `Option`).
+    pub fn recorder(&self) -> &dyn Recorder {
+        self.recorder.as_deref().unwrap_or(ssd_obs::noop())
     }
 
     /// The process-wide default session backing the classic free-function
@@ -69,14 +95,19 @@ impl Session {
             .unwrap_or_else(|e| e.into_inner())
             .get(&s.uid())
         {
+            self.tg_hits.fetch_add(1, Ordering::Relaxed);
+            self.recorder().add(names::counter::CACHE_TYPE_GRAPH_HIT, 1);
             return Arc::clone(tg);
         }
+        self.tg_misses.fetch_add(1, Ordering::Relaxed);
+        let rec = self.recorder();
+        rec.add(names::counter::CACHE_TYPE_GRAPH_MISS, 1);
         let mut map = self.type_graphs.write().unwrap_or_else(|e| e.into_inner());
         // Double-check under the exclusive lock.
-        Arc::clone(
-            map.entry(s.uid())
-                .or_insert_with(|| Arc::new(TypeGraph::new(s))),
-        )
+        Arc::clone(map.entry(s.uid()).or_insert_with(|| {
+            let _span = ssd_obs::span(rec, names::span::TYPE_GRAPH);
+            Arc::new(TypeGraph::new(s))
+        }))
     }
 
     /// Satisfiability (type correctness) through this session's caches.
@@ -105,16 +136,19 @@ impl Session {
         ptraces::satisfiable_ptraces_in(q, s, self)
     }
 
-    /// Effectiveness counters of the automata cache, plus the number of
-    /// cached type graphs.
+    /// Effectiveness counters of the automata cache (with the per-table
+    /// breakdown), plus type-graph cache traffic, entry count, and
+    /// approximate retained bytes.
     pub fn stats(&self) -> SessionStats {
+        let map = self.type_graphs.read().unwrap_or_else(|e| e.into_inner());
         SessionStats {
             automata: self.automata.stats(),
-            type_graphs: self
-                .type_graphs
-                .read()
-                .unwrap_or_else(|e| e.into_inner())
-                .len(),
+            type_graphs: map.len(),
+            type_graph_bytes: map.values().map(|tg| tg.approx_bytes()).sum(),
+            type_graph_table: TableStats {
+                hits: self.tg_hits.load(Ordering::Relaxed),
+                misses: self.tg_misses.load(Ordering::Relaxed),
+            },
         }
     }
 }
@@ -126,6 +160,49 @@ pub struct SessionStats {
     pub automata: CacheStats,
     /// Number of schemas with a cached `TypeGraph`.
     pub type_graphs: usize,
+    /// Approximate heap bytes retained by the cached type graphs.
+    pub type_graph_bytes: usize,
+    /// Type-graph cache traffic.
+    pub type_graph_table: TableStats,
+}
+
+impl std::fmt::Display for SessionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let a = &self.automata;
+        writeln!(
+            f,
+            "automata cache: {} hits / {} misses ({:.1}% hit ratio)",
+            a.hits,
+            a.misses,
+            a.hit_ratio() * 100.0
+        )?;
+        for (name, t) in [
+            ("regex->nfa", a.nfa_table),
+            ("nfa->dfa", a.dfa_table),
+            ("emptiness", a.emptiness_table),
+            ("inclusion", a.inclusion_table),
+            ("type-graph", self.type_graph_table),
+        ] {
+            writeln!(
+                f,
+                "  {name:<12} {:>8} hits {:>8} misses  ({:.1}%)",
+                t.hits,
+                t.misses,
+                t.hit_ratio() * 100.0
+            )?;
+        }
+        writeln!(
+            f,
+            "  entries: {} nfas, {} dfas, {} verdicts, {} interned regexes",
+            a.nfas, a.dfas, a.verdicts, a.interned
+        )?;
+        write!(
+            f,
+            "type-graph cache: {} schemas, ~{} KiB retained",
+            self.type_graphs,
+            self.type_graph_bytes / 1024
+        )
+    }
 }
 
 #[cfg(test)]

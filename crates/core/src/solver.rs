@@ -30,6 +30,7 @@ use std::sync::Arc;
 
 use ssd_automata::{AutomataCache, LabelAtom, Nfa};
 use ssd_base::{LabelId, TypeIdx, VarId};
+use ssd_obs::{names, Recorder};
 use ssd_query::{EdgeExpr, PatDef, Query, QueryClass, VarKind};
 use ssd_schema::{Schema, TypeDef, TypeGraph};
 
@@ -64,7 +65,7 @@ pub fn solve_with(q: &Query, s: &Schema, c: &Constraints) -> SolveResult {
 pub fn solve_with_in(q: &Query, s: &Schema, c: &Constraints, sess: &Session) -> SolveResult {
     let tg = sess.type_graph(s);
     let class = QueryClass::of(q);
-    let mut ctx = Ctx::new(q, s, &tg, c, sess.automata());
+    let mut ctx = Ctx::new(q, s, &tg, c, sess.automata(), sess.recorder());
 
     // Domains for join variables.
     let join_vars: Vec<VarId> = class.join_vars.clone();
@@ -163,6 +164,7 @@ struct Ctx<'a> {
     /// Memoized successes of `sat_node` and the recursion stack.
     memo_true: HashSet<(TypeIdx, Vec<Req>, Vec<VarId>)>,
     on_stack: Vec<(TypeIdx, Vec<Req>, Vec<VarId>)>,
+    rec: &'a dyn Recorder,
 }
 
 impl<'a> Ctx<'a> {
@@ -172,6 +174,7 @@ impl<'a> Ctx<'a> {
         tg: &'a TypeGraph,
         base: &'a Constraints,
         cache: &AutomataCache,
+        rec: &'a dyn Recorder,
     ) -> Ctx<'a> {
         let entry_nfas = q
             .defs()
@@ -198,6 +201,7 @@ impl<'a> Ctx<'a> {
             labels: HashMap::new(),
             memo_true: HashSet::new(),
             on_stack: Vec::new(),
+            rec,
         }
     }
 
@@ -277,6 +281,7 @@ impl<'a> Ctx<'a> {
     /// Can a node of type `t` absorb the arriving requirements and anchor
     /// the given variables, in some instance?
     fn sat_node(&mut self, t: TypeIdx, arriving: Vec<Req>, anchors: Vec<VarId>) -> bool {
+        self.rec.add(names::counter::SOLVER_NODES, 1);
         if !self.tg.is_inhabited(t) {
             return false;
         }

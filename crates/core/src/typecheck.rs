@@ -75,6 +75,7 @@ pub fn total_type_check_in(
     a: &TypeAssignment,
     sess: &Session,
 ) -> Result<bool> {
+    let _span = ssd_obs::span(sess.recorder(), ssd_obs::names::span::TYPECHECK);
     // Coverage validation.
     for v in q.vars() {
         match q.kind(v) {

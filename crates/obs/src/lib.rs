@@ -1,0 +1,42 @@
+//! Zero-dependency observability for the traces engine: span-based
+//! tracing, per-phase counters, and fixed-bucket latency histograms.
+//!
+//! The ROADMAP's perf items (memoizing `feas`, sharding cache locks,
+//! eviction policy) all need per-phase evidence of where time and states
+//! go, and the paper's central claims are complexity-shaped (Table 2
+//! PTIME vs NP), so the reproduction records *states explored*, *automaton
+//! sizes*, and *phase timings* per decision. This crate provides the
+//! measurement substrate, built from scratch like `ssd_base::rng` so the
+//! workspace stays fully offline:
+//!
+//! * [`Recorder`] — the sink trait every engine layer reports into:
+//!   nested spans ([`Recorder::span_start`]/[`Recorder::span_end`], or the
+//!   RAII helper [`span`]), monotone counters ([`Recorder::add`]), and
+//!   histogram observations ([`Recorder::observe`]);
+//! * [`NoopRecorder`] / [`noop`] — the disabled implementation: every
+//!   method is an empty inline body, so instrumented hot paths cost one
+//!   predictable [`Recorder::enabled`] check when tracing is off;
+//! * [`TraceRecorder`] — the collecting implementation: a span tree with
+//!   monotonic timestamps, `&'static str`-keyed counters, and log₂-bucket
+//!   latency [`Histogram`]s (span durations are recorded automatically);
+//! * [`TraceReport`] — a point-in-time snapshot with two exporters: a
+//!   human-readable tree ([`TraceReport::render_tree`]) and a
+//!   hand-rolled JSON serializer ([`TraceReport::to_json`], no serde);
+//! * [`json`] — the minimal JSON value model backing the serializer,
+//!   with a parser so telemetry artifacts can be validated round-trip;
+//! * [`names`] — the canonical span/counter taxonomy shared by
+//!   `ssd-automata`, `ssd-core`, and the bench harness (CI greps
+//!   telemetry artifacts for these names, so instrumentation cannot
+//!   silently rot).
+
+#![deny(missing_docs)]
+
+pub mod json;
+pub mod names;
+pub mod recorder;
+pub mod report;
+pub mod tracer;
+
+pub use recorder::{noop, span, NoopRecorder, Recorder, Span, SpanId};
+pub use report::{ReportSpan, TraceReport};
+pub use tracer::{Histogram, TraceRecorder};

@@ -1,0 +1,91 @@
+//! The canonical span, counter, and histogram taxonomy.
+//!
+//! Every instrumented layer reports under these names so telemetry
+//! artifacts are greppable and stable: CI runs the `experiments` binary
+//! with telemetry on and checks the emitted JSON for the span names below,
+//! so renaming one here without updating `.github/workflows/ci.yml` (and
+//! DESIGN.md §9) is a breaking change.
+
+/// Span names — one per pipeline phase, nested in call order:
+/// `parse → type_graph → glushkov → determinize → product_bfs → verdict`
+/// on the automata side, and the engine phases (`dispatch`, `feas`, …)
+/// above them.
+pub mod span {
+    /// Schema/query text parsing (emitted by drivers around parser calls).
+    pub const PARSE: &str = "parse";
+    /// `TypeGraph` construction on a session type-graph cache miss.
+    pub const TYPE_GRAPH: &str = "type_graph";
+    /// Glushkov (position) NFA construction.
+    pub const GLUSHKOV: &str = "glushkov";
+    /// Subset-construction determinization.
+    pub const DETERMINIZE: &str = "determinize";
+    /// DFA minimization.
+    pub const MINIMIZE: &str = "minimize";
+    /// Materializing product construction (`ssd_automata::product`).
+    pub const PRODUCT: &str = "product";
+    /// Lazy on-the-fly product emptiness BFS
+    /// (`ssd_automata::ops::is_empty_product`).
+    pub const PRODUCT_BFS: &str = "product_bfs";
+    /// Algorithm selection + verdict (`ssd_core::dispatch`).
+    pub const DISPATCH: &str = "dispatch";
+    /// The trace-product feasible-set engine (`ssd_core::feas`).
+    pub const FEAS: &str = "feas";
+    /// Bounded-join enumeration on top of the trace product.
+    pub const BOUNDED_JOINS: &str = "bounded_joins";
+    /// The tagged/constant-suffix PTIME algorithm (`ssd_core::tagged`).
+    pub const TAGGED: &str = "tagged";
+    /// The complete exponential search (`ssd_core::solver`).
+    pub const SOLVER: &str = "solver";
+    /// Total/partial type checking (`ssd_core::typecheck`).
+    pub const TYPECHECK: &str = "typecheck";
+    /// Type-inference enumeration (`ssd_core::infer`).
+    pub const INFER: &str = "infer";
+    /// The literal P-traces satisfiability check (`ssd_core::ptraces`).
+    pub const PTRACES: &str = "ptraces";
+}
+
+/// Counter names. Cache counters come in `_hit`/`_miss` pairs, one pair
+/// per memo table.
+pub mod counter {
+    /// NFA states produced by Glushkov constructions.
+    pub const NFA_STATES: &str = "nfa_states_built";
+    /// DFA states produced by determinization.
+    pub const DFA_STATES: &str = "dfa_states_built";
+    /// Product states explored by the lazy emptiness BFS before the first
+    /// accepting state (or exhaustion).
+    pub const PRODUCT_STATES_EXPLORED: &str = "product_states_explored";
+    /// Product states materialized by the eager product construction.
+    pub const PRODUCT_STATES_MATERIALIZED: &str = "product_states_materialized";
+    /// regex→NFA memo table hit.
+    pub const CACHE_NFA_HIT: &str = "cache_nfa_hit";
+    /// regex→NFA memo table miss (construction).
+    pub const CACHE_NFA_MISS: &str = "cache_nfa_miss";
+    /// NFA→DFA memo table hit.
+    pub const CACHE_DFA_HIT: &str = "cache_dfa_hit";
+    /// NFA→DFA memo table miss.
+    pub const CACHE_DFA_MISS: &str = "cache_dfa_miss";
+    /// Emptiness-verdict memo table hit.
+    pub const CACHE_EMPTINESS_HIT: &str = "cache_emptiness_hit";
+    /// Emptiness-verdict memo table miss.
+    pub const CACHE_EMPTINESS_MISS: &str = "cache_emptiness_miss";
+    /// Inclusion-verdict memo table hit.
+    pub const CACHE_INCLUSION_HIT: &str = "cache_inclusion_hit";
+    /// Inclusion-verdict memo table miss.
+    pub const CACHE_INCLUSION_MISS: &str = "cache_inclusion_miss";
+    /// Per-schema type-graph cache hit.
+    pub const CACHE_TYPE_GRAPH_HIT: &str = "cache_type_graph_hit";
+    /// Per-schema type-graph cache miss.
+    pub const CACHE_TYPE_GRAPH_MISS: &str = "cache_type_graph_miss";
+    /// `(variable, type)` feasibility checks performed by the feas engine.
+    pub const FEAS_TYPES_CHECKED: &str = "feas_types_checked";
+    /// Requirement-routing nodes expanded by the general solver.
+    pub const SOLVER_NODES: &str = "solver_nodes_expanded";
+    /// Pin prefixes tested during inference enumeration.
+    pub const INFER_PREFIXES: &str = "infer_prefixes_tested";
+    /// Satisfiable verdicts produced by the dispatcher / ptraces.
+    pub const VERDICT_SAT: &str = "verdict_sat";
+    /// Unsatisfiable verdicts produced by the dispatcher / ptraces.
+    pub const VERDICT_UNSAT: &str = "verdict_unsat";
+    /// Spans dropped because the recorder's span table was full.
+    pub const SPANS_DROPPED: &str = "obs_spans_dropped";
+}

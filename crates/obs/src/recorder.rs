@@ -1,0 +1,157 @@
+//! The [`Recorder`] sink trait, its no-op implementation, and the RAII
+//! span guard.
+//!
+//! Engines are instrumented against `&dyn Recorder`; when tracing is off
+//! they receive [`NoopRecorder`], whose methods are empty inline bodies —
+//! the instrumentation then costs one virtual `enabled()` check per span,
+//! which is noise next to any automaton construction it wraps.
+
+/// An opaque handle to an open span, returned by
+/// [`Recorder::span_start`] and consumed by [`Recorder::span_end`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The null handle: ending it is a no-op. Returned by disabled
+    /// recorders and by recorders that hit their span capacity.
+    pub const NONE: SpanId = SpanId(u64::MAX);
+
+    /// Whether this is the null handle.
+    pub fn is_none(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// The span's index in the recorder's span table, if any.
+    pub fn index(self) -> Option<usize> {
+        if self.is_none() {
+            None
+        } else {
+            Some(self.0 as usize)
+        }
+    }
+
+    /// Wraps a span-table index.
+    pub fn from_index(i: usize) -> SpanId {
+        debug_assert!((i as u64) < u64::MAX);
+        SpanId(i as u64)
+    }
+}
+
+/// A sink for structured observations: nested spans, monotone counters,
+/// and histogram samples.
+///
+/// All methods take `&self` — implementations use interior mutability so
+/// one recorder can be shared by a whole analysis session and its caches.
+/// Counter and histogram names are `&'static str` drawn from
+/// [`crate::names`], so recording never allocates on the caller side.
+pub trait Recorder: Send + Sync {
+    /// Whether observations are collected at all. Instrumented code may
+    /// use this to skip preparing expensive arguments.
+    fn enabled(&self) -> bool;
+
+    /// Opens a span named `name`, nested under the innermost span that is
+    /// still open. Returns a handle for [`Recorder::span_end`].
+    fn span_start(&self, name: &'static str) -> SpanId;
+
+    /// Closes the span `id`, recording its wall-clock duration.
+    fn span_end(&self, id: SpanId);
+
+    /// Adds `delta` to the counter `name`.
+    fn add(&self, name: &'static str, delta: u64);
+
+    /// Records one sample of `value` into the histogram `name`.
+    fn observe(&self, name: &'static str, value: u64);
+}
+
+/// The disabled recorder: every method is an empty inline body.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn span_start(&self, _name: &'static str) -> SpanId {
+        SpanId::NONE
+    }
+
+    #[inline]
+    fn span_end(&self, _id: SpanId) {}
+
+    #[inline]
+    fn add(&self, _name: &'static str, _delta: u64) {}
+
+    #[inline]
+    fn observe(&self, _name: &'static str, _value: u64) {}
+}
+
+/// The shared disabled recorder (a zero-sized static — no allocation).
+pub fn noop() -> &'static dyn Recorder {
+    static NOOP: NoopRecorder = NoopRecorder;
+    &NOOP
+}
+
+/// An open span that closes itself on drop. Created by [`span`].
+pub struct Span<'a> {
+    rec: Option<&'a dyn Recorder>,
+    id: SpanId,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(rec) = self.rec {
+            rec.span_end(self.id);
+        }
+    }
+}
+
+/// Opens a span on `rec`, returning a guard that closes it when dropped.
+/// When `rec` is disabled this does no work beyond the `enabled()` check.
+pub fn span<'a>(rec: &'a dyn Recorder, name: &'static str) -> Span<'a> {
+    if rec.enabled() {
+        Span {
+            id: rec.span_start(name),
+            rec: Some(rec),
+        }
+    } else {
+        Span {
+            rec: None,
+            id: SpanId::NONE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_and_inert() {
+        let rec = noop();
+        assert!(!rec.enabled());
+        let id = rec.span_start("x");
+        assert!(id.is_none());
+        rec.span_end(id);
+        rec.add("c", 1);
+        rec.observe("h", 2);
+    }
+
+    #[test]
+    fn span_guard_on_noop_does_nothing() {
+        let rec = noop();
+        let g = span(rec, "phase");
+        assert!(g.id.is_none());
+        drop(g);
+    }
+
+    #[test]
+    fn span_id_roundtrip() {
+        let id = SpanId::from_index(7);
+        assert_eq!(id.index(), Some(7));
+        assert!(!id.is_none());
+        assert_eq!(SpanId::NONE.index(), None);
+    }
+}

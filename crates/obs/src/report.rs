@@ -1,0 +1,313 @@
+//! Point-in-time snapshots of a [`crate::TraceRecorder`], with a
+//! human-readable tree renderer and a hand-rolled JSON exporter.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::JsonValue;
+use crate::tracer::{Histogram, SpanRec};
+
+/// One node of the aggregated span tree: all raw spans with the same name
+/// under the same parent node are merged, so the report stays bounded no
+/// matter how many times a phase ran.
+#[derive(Clone, Debug)]
+pub struct ReportSpan {
+    /// Span name (from [`crate::names::span`]).
+    pub name: String,
+    /// How many raw spans were merged into this node.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across the merged spans.
+    pub total_ns: u64,
+    /// Aggregated child phases, in first-seen order.
+    pub children: Vec<ReportSpan>,
+}
+
+/// A snapshot of everything a recorder collected: the aggregated span
+/// tree, all counters, and all histograms.
+#[derive(Clone, Debug, Default)]
+pub struct TraceReport {
+    /// Top-level aggregated spans, in first-seen order.
+    pub roots: Vec<ReportSpan>,
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+/// Aggregation node used while folding raw spans into the tree.
+#[derive(Default)]
+struct Agg {
+    count: u64,
+    total_ns: u64,
+    /// child name → index into `order`/`children`, preserving first-seen
+    /// order for stable output.
+    index: BTreeMap<&'static str, usize>,
+    order: Vec<&'static str>,
+    children: Vec<Agg>,
+}
+
+impl Agg {
+    fn child(&mut self, name: &'static str) -> &mut Agg {
+        let idx = *self.index.entry(name).or_insert_with(|| {
+            self.order.push(name);
+            self.children.push(Agg::default());
+            self.children.len() - 1
+        });
+        &mut self.children[idx]
+    }
+
+    fn into_spans(self) -> Vec<ReportSpan> {
+        self.order
+            .into_iter()
+            .zip(self.children)
+            .map(|(name, agg)| ReportSpan {
+                name: name.to_owned(),
+                count: agg.count,
+                total_ns: agg.total_ns,
+                children: agg.into_spans(),
+            })
+            .collect()
+    }
+}
+
+impl TraceReport {
+    /// Folds the raw span table into the aggregated tree. Spans still
+    /// open get `now_ns − start` as their duration.
+    pub(crate) fn build(
+        spans: &[SpanRec],
+        counters: &BTreeMap<&'static str, u64>,
+        hists: &BTreeMap<&'static str, Histogram>,
+        now_ns: u64,
+    ) -> TraceReport {
+        // Path from each raw span to the root, so every span lands under
+        // the aggregation node matching its ancestor-name chain.
+        let mut root = Agg::default();
+        let mut path = Vec::new();
+        for span in spans {
+            path.clear();
+            path.push(span.name);
+            let mut cur = span.parent;
+            while let Some(p) = cur {
+                path.push(spans[p].name);
+                cur = spans[p].parent;
+            }
+            let mut node = &mut root;
+            for &name in path.iter().rev() {
+                node = node.child(name);
+            }
+            node.count += 1;
+            node.total_ns += span
+                .dur_ns
+                .unwrap_or_else(|| now_ns.saturating_sub(span.start_ns));
+        }
+        TraceReport {
+            roots: root.into_spans(),
+            counters: counters
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), *v))
+                .collect(),
+            histograms: hists
+                .iter()
+                .map(|(k, h)| ((*k).to_owned(), h.clone()))
+                .collect(),
+        }
+    }
+
+    /// Looks up an aggregated span by its root-to-node name path.
+    pub fn span(&self, path: &[&str]) -> Option<&ReportSpan> {
+        let (first, rest) = path.split_first()?;
+        let mut node = self.roots.iter().find(|s| s.name == *first)?;
+        for name in rest {
+            node = node.children.iter().find(|s| s.name == *name)?;
+        }
+        Some(node)
+    }
+
+    /// Counter value by name (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Human-readable indented tree: per-phase wall time, call counts,
+    /// then counters and histogram summaries.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        out.push_str("phase timings:\n");
+        for root in &self.roots {
+            render_span(root, 1, &mut out);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<32} {value}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms (ns unless noted):\n");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<32} n={} mean={} p50<={} max<={}",
+                    h.count,
+                    h.mean(),
+                    h.quantile_upper(0.5),
+                    h.quantile_upper(1.0),
+                );
+            }
+        }
+        out
+    }
+
+    /// The machine-readable export: a compact JSON document with
+    /// `version`, `spans` (the aggregated tree), `counters`, and
+    /// `histograms`. Parse it back with [`JsonValue::parse`].
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("version", JsonValue::num(1)),
+            (
+                "spans",
+                JsonValue::Arr(self.roots.iter().map(span_json).collect()),
+            ),
+            (
+                "counters",
+                JsonValue::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                JsonValue::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| {
+                            (
+                                k.clone(),
+                                JsonValue::obj(vec![
+                                    ("count", JsonValue::num(h.count)),
+                                    ("sum", JsonValue::num(h.sum)),
+                                    ("mean", JsonValue::num(h.mean())),
+                                    ("p50_upper", JsonValue::num(h.quantile_upper(0.5))),
+                                    ("p90_upper", JsonValue::num(h.quantile_upper(0.9))),
+                                    ("max_upper", JsonValue::num(h.quantile_upper(1.0))),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// [`TraceReport::to_json`] serialized to a compact string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_json_string()
+    }
+}
+
+fn render_span(span: &ReportSpan, depth: usize, out: &mut String) {
+    let _ = writeln!(
+        out,
+        "{:indent$}{:<width$} {:>12} ns  x{}",
+        "",
+        span.name,
+        span.total_ns,
+        span.count,
+        indent = depth * 2,
+        width = 34usize.saturating_sub(depth * 2),
+    );
+    for child in &span.children {
+        render_span(child, depth + 1, out);
+    }
+}
+
+fn span_json(span: &ReportSpan) -> JsonValue {
+    JsonValue::obj(vec![
+        ("name", JsonValue::str(span.name.clone())),
+        ("count", JsonValue::num(span.count)),
+        ("total_ns", JsonValue::num(span.total_ns)),
+        (
+            "children",
+            JsonValue::Arr(span.children.iter().map(span_json).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{span, Recorder};
+    use crate::tracer::TraceRecorder;
+
+    fn sample_recorder() -> TraceRecorder {
+        let rec = TraceRecorder::new();
+        for _ in 0..3 {
+            let _outer = span(&rec, "dispatch");
+            let _inner = span(&rec, "feas");
+        }
+        {
+            let _other = span(&rec, "infer");
+        }
+        rec.add("verdict_sat", 2);
+        rec.observe("nfa_states_built", 17);
+        rec
+    }
+
+    #[test]
+    fn aggregates_by_name_under_parent() {
+        let report = sample_recorder().report();
+        assert_eq!(report.roots.len(), 2);
+        let dispatch = report.span(&["dispatch"]).unwrap();
+        assert_eq!(dispatch.count, 3);
+        assert_eq!(report.span(&["dispatch", "feas"]).unwrap().count, 3);
+        assert_eq!(report.span(&["infer"]).unwrap().count, 1);
+        assert!(report.span(&["feas"]).is_none(), "feas is nested, not root");
+        assert_eq!(report.counter("verdict_sat"), 2);
+        assert_eq!(report.counter("missing"), 0);
+    }
+
+    #[test]
+    fn open_spans_report_elapsed() {
+        let rec = TraceRecorder::new();
+        let _id = rec.span_start("open_phase");
+        let report = rec.report();
+        let node = report.span(&["open_phase"]).unwrap();
+        assert_eq!(node.count, 1);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_structure() {
+        let report = sample_recorder().report();
+        let text = report.to_json_string();
+        let parsed = JsonValue::parse(&text).expect("valid JSON");
+        assert_eq!(parsed.get("version").unwrap().as_u64(), Some(1));
+        let spans = parsed.get("spans").unwrap().as_array().unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].get("name").unwrap().as_str(), Some("dispatch"));
+        assert_eq!(spans[0].get("count").unwrap().as_u64(), Some(3));
+        let kids = spans[0].get("children").unwrap().as_array().unwrap();
+        assert_eq!(kids[0].get("name").unwrap().as_str(), Some("feas"));
+        let counters = parsed.get("counters").unwrap();
+        assert_eq!(counters.get("verdict_sat").unwrap().as_u64(), Some(2));
+        let hists = parsed.get("histograms").unwrap();
+        let nfa = hists.get("nfa_states_built").unwrap();
+        assert_eq!(nfa.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(nfa.get("sum").unwrap().as_u64(), Some(17));
+        // the greppable shape CI relies on
+        assert!(text.contains(r#""name":"dispatch""#));
+    }
+
+    #[test]
+    fn tree_renderer_mentions_each_phase() {
+        let rendered = sample_recorder().report().render_tree();
+        for needle in ["dispatch", "feas", "infer", "verdict_sat", "x3"] {
+            assert!(rendered.contains(needle), "missing {needle}:\n{rendered}");
+        }
+    }
+}

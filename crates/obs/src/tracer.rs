@@ -1,0 +1,311 @@
+//! The collecting [`Recorder`]: a span table with monotonic timestamps,
+//! counters, and log₂-bucket latency histograms.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::names;
+use crate::recorder::{Recorder, SpanId};
+use crate::report::TraceReport;
+
+/// Hard cap on raw spans kept per recorder. Past it, `span_start` returns
+/// [`SpanId::NONE`] and bumps [`names::counter::SPANS_DROPPED`], so a
+/// pathological workload degrades to counters instead of exhausting
+/// memory. 2²⁰ spans ≈ 40 MB.
+const MAX_SPANS: usize = 1 << 20;
+
+/// A fixed-size latency histogram with one bucket per power of two.
+///
+/// Bucket `i` holds samples whose value has bit-length `i` (so bucket 0 is
+/// `v == 0`, bucket 1 is `v == 1`, bucket 2 is `2..=3`, …). 64 buckets
+/// cover the whole `u64` range with no allocation and no configuration.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples (saturating).
+    pub sum: u64,
+    /// Per-bucket sample counts, indexed by the sample's bit-length.
+    pub buckets: [u64; 64],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            buckets: [0; 64],
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// The bucket index a value falls into: its bit-length.
+    pub fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+    pub fn bucket_upper(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else if i == 0 {
+            0
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Mean sample value, or 0 with no samples.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound of the smallest bucket prefix holding ≥ `q` of the
+    /// samples (`q` in `0.0..=1.0`) — a coarse quantile, exact up to the
+    /// power-of-two bucketing.
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_upper(i);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// One raw span record in the table.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SpanRec {
+    pub(crate) name: &'static str,
+    pub(crate) parent: Option<usize>,
+    pub(crate) start_ns: u64,
+    /// `None` while the span is still open.
+    pub(crate) dur_ns: Option<u64>,
+}
+
+#[derive(Default)]
+struct Inner {
+    spans: Vec<SpanRec>,
+    /// Indices of currently-open spans, innermost last.
+    stack: Vec<usize>,
+    counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Histogram>,
+}
+
+/// The collecting [`Recorder`].
+///
+/// Timestamps are nanoseconds since the recorder's creation, read from a
+/// monotonic [`Instant`]. Interior mutability is a single [`Mutex`] —
+/// tracing is for diagnosis runs, not for the disabled hot path, so lock
+/// simplicity beats lock-freedom here. A poisoned lock (a panic while
+/// recording) is recovered: telemetry must never turn a diagnosable crash
+/// into a second one.
+pub struct TraceRecorder {
+    origin: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceRecorder {
+    /// A fresh, empty recorder; its clock starts now.
+    pub fn new() -> Self {
+        TraceRecorder {
+            origin: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Number of raw spans recorded so far (open and closed).
+    pub fn span_count(&self) -> usize {
+        self.lock().spans.len()
+    }
+
+    /// Current value of counter `name` (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A point-in-time [`TraceReport`]: the span tree aggregated by name,
+    /// all counters, and all histograms. Spans still open are reported
+    /// with their elapsed-so-far duration.
+    pub fn report(&self) -> TraceReport {
+        let now = self.now_ns();
+        let inner = self.lock();
+        TraceReport::build(&inner.spans, &inner.counters, &inner.hists, now)
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_start(&self, name: &'static str) -> SpanId {
+        let start_ns = self.now_ns();
+        let mut inner = self.lock();
+        if inner.spans.len() >= MAX_SPANS {
+            *inner
+                .counters
+                .entry(names::counter::SPANS_DROPPED)
+                .or_insert(0) += 1;
+            return SpanId::NONE;
+        }
+        let idx = inner.spans.len();
+        let parent = inner.stack.last().copied();
+        inner.spans.push(SpanRec {
+            name,
+            parent,
+            start_ns,
+            dur_ns: None,
+        });
+        inner.stack.push(idx);
+        SpanId::from_index(idx)
+    }
+
+    fn span_end(&self, id: SpanId) {
+        let Some(idx) = id.index() else { return };
+        let end_ns = self.now_ns();
+        let mut inner = self.lock();
+        let Some(pos) = inner.stack.iter().rposition(|&i| i == idx) else {
+            return; // already closed (double-end) — ignore
+        };
+        // Closing an outer span implicitly closes anything still open
+        // inside it (a leaked guard), so nesting stays a tree.
+        let to_close = inner.stack.split_off(pos);
+        for open in to_close {
+            let start = inner.spans[open].start_ns;
+            inner.spans[open].dur_ns = Some(end_ns.saturating_sub(start));
+        }
+        let name = inner.spans[idx].name;
+        let dur = inner.spans[idx].dur_ns.unwrap_or(0);
+        inner.hists.entry(name).or_default().record(dur);
+    }
+
+    fn add(&self, name: &'static str, delta: u64) {
+        let mut inner = self.lock();
+        let slot = inner.counters.entry(name).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        self.lock().hists.entry(name).or_default().record(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::span;
+
+    #[test]
+    fn spans_nest_and_close() {
+        let rec = TraceRecorder::new();
+        let a = rec.span_start("outer");
+        let b = rec.span_start("inner");
+        rec.span_end(b);
+        rec.span_end(a);
+        let inner = rec.lock();
+        assert_eq!(inner.spans.len(), 2);
+        assert_eq!(inner.spans[0].parent, None);
+        assert_eq!(inner.spans[1].parent, Some(0));
+        assert!(inner.spans.iter().all(|s| s.dur_ns.is_some()));
+        assert!(inner.stack.is_empty());
+    }
+
+    #[test]
+    fn outer_end_closes_leaked_inner() {
+        let rec = TraceRecorder::new();
+        let a = rec.span_start("outer");
+        let _leaked = rec.span_start("inner");
+        rec.span_end(a);
+        let inner = rec.lock();
+        assert!(inner.stack.is_empty());
+        assert!(inner.spans[1].dur_ns.is_some());
+    }
+
+    #[test]
+    fn double_end_is_ignored() {
+        let rec = TraceRecorder::new();
+        let a = rec.span_start("x");
+        rec.span_end(a);
+        rec.span_end(a);
+        assert_eq!(rec.lock().hists.get("x").unwrap().count, 1);
+    }
+
+    #[test]
+    fn raii_guard_records() {
+        let rec = TraceRecorder::new();
+        {
+            let _g = span(&rec, "phase");
+        }
+        assert_eq!(rec.span_count(), 1);
+        assert_eq!(rec.lock().hists.get("phase").unwrap().count, 1);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let rec = TraceRecorder::new();
+        rec.add("c", 2);
+        rec.add("c", 3);
+        assert_eq!(rec.counter("c"), 5);
+        assert_eq!(rec.counter("absent"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1006);
+        assert_eq!(h.mean(), 201);
+        assert_eq!(h.quantile_upper(0.5), 3);
+        assert_eq!(h.quantile_upper(1.0), 1023);
+        assert_eq!(Histogram::default().quantile_upper(0.5), 0);
+    }
+
+    #[test]
+    fn ending_the_null_span_is_inert() {
+        let rec = TraceRecorder::new();
+        rec.span_end(SpanId::NONE);
+        assert_eq!(rec.span_count(), 0);
+    }
+}

@@ -87,6 +87,30 @@ impl TypeGraph {
         }
     }
 
+    /// Approximate heap bytes retained by this type graph: the pruned
+    /// automata (dominant), step-atom lists, and inhabitation flags.
+    /// Session caches report this so cache growth is observable.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.inhabited.capacity() * std::mem::size_of::<bool>()
+            + self
+                .pruned
+                .iter()
+                .map(|p| {
+                    std::mem::size_of::<Option<Nfa<SchemaAtom>>>()
+                        + p.as_ref().map_or(0, Nfa::approx_bytes)
+                })
+                .sum::<usize>()
+            + self
+                .steps
+                .iter()
+                .map(|s| {
+                    std::mem::size_of::<Vec<SchemaAtom>>()
+                        + s.capacity() * std::mem::size_of::<SchemaAtom>()
+                })
+                .sum::<usize>()
+    }
+
     /// Whether some finite data graph contains a node of type `t`.
     pub fn is_inhabited(&self, t: TypeIdx) -> bool {
         self.inhabited[t.index()]

@@ -16,6 +16,7 @@
 //! * [`schema`] — ScmDL schemas, DTDs, conformance;
 //! * [`query`] — patterns, selection queries, evaluation;
 //! * [`core`] — the traces technique and the inference problems;
+//! * [`obs`] — zero-dependency tracing, counters, and telemetry export;
 //! * [`feedback`] — feedback queries (Section 4.1);
 //! * [`optimizer`] — the adaptive optimal evaluator (Section 4.2);
 //! * [`transform`] — Skolem transformations (Section 4.3);
@@ -31,6 +32,7 @@ pub use ssd_core as core;
 pub use ssd_feedback as feedback;
 pub use ssd_gen as gen;
 pub use ssd_model as model;
+pub use ssd_obs as obs;
 pub use ssd_optimizer as optimizer;
 pub use ssd_query as query;
 pub use ssd_schema as schema;

@@ -1,0 +1,149 @@
+//! Differential testing of the observability layer (tier-1): attaching a
+//! recording [`TraceRecorder`] to a session must never change a verdict
+//! relative to the default no-op recorder, and the traces it collects
+//! must nest correctly and survive a JSON round-trip.
+
+use std::sync::Arc;
+
+use ssd::base::rng::StdRng;
+use ssd::base::SharedInterner;
+use ssd::core::Session;
+use ssd::gen::query_gen::{joinfree_query, QueryGenConfig};
+use ssd::gen::schema_gen::{ordered_schema, unordered_schema, SchemaGenConfig};
+use ssd::obs::json::JsonValue;
+use ssd::obs::{names, TraceRecorder};
+use ssd::query::Query;
+use ssd::schema::{Schema, TypeGraph};
+
+/// The same deterministic random corpus as `cache_differential.rs`: even
+/// seeds are ordered schemas, odd seeds unordered (routing through the
+/// general solver as well as the PTIME analyses).
+fn workload(seed: u64) -> (Query, Schema) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = SharedInterner::new();
+    let scfg = SchemaGenConfig {
+        num_types: 3 + (seed % 5) as usize,
+        tagged: seed.is_multiple_of(3),
+        ..Default::default()
+    };
+    let s = if seed.is_multiple_of(2) {
+        ordered_schema(&mut rng, &pool, &scfg)
+    } else {
+        unordered_schema(&mut rng, &pool, &scfg)
+    };
+    let tg = TypeGraph::new(&s);
+    let qcfg = QueryGenConfig {
+        num_defs: 1 + (seed % 3) as usize,
+        perturb_prob: 0.25,
+        ..Default::default()
+    };
+    let q = joinfree_query(&s, &tg, &mut rng, &qcfg).unwrap();
+    (q, s)
+}
+
+/// Recording must be semantically invisible: `satisfiable`, `infer`, and
+/// `satisfiable_ptraces` agree between a plain session and one carrying a
+/// [`TraceRecorder`], on every seed of the random corpus.
+#[test]
+fn recording_changes_no_verdicts() {
+    for seed in 0..30u64 {
+        let (q, s) = workload(seed);
+        let plain = Session::new();
+        let rec = Arc::new(TraceRecorder::new());
+        let traced = Session::with_recorder(rec.clone());
+
+        let sat_plain = plain.satisfiable(&q, &s).unwrap();
+        let sat_traced = traced.satisfiable(&q, &s).unwrap();
+        assert_eq!(
+            sat_traced, sat_plain,
+            "seed {seed}\nschema:\n{s}\nquery:\n{q}"
+        );
+
+        let inf_plain = plain.infer(&q, &s).unwrap();
+        let inf_traced = traced.infer(&q, &s).unwrap();
+        assert_eq!(
+            inf_traced, inf_plain,
+            "seed {seed}\nschema:\n{s}\nquery:\n{q}"
+        );
+
+        match (
+            plain.satisfiable_ptraces(&q, &s),
+            traced.satisfiable_ptraces(&q, &s),
+        ) {
+            (Ok(p), Ok(t)) => {
+                assert_eq!(t, p, "seed {seed}\nschema:\n{s}\nquery:\n{q}")
+            }
+            (Err(_), Err(_)) => {} // outside the P-traces class either way
+            (p, t) => panic!("divergent class at seed {seed}: plain={p:?} traced={t:?}"),
+        }
+
+        // The traced session actually recorded the work it did.
+        assert!(rec.span_count() > 0, "seed {seed}: no spans recorded");
+        let report = rec.report();
+        assert!(
+            report.span(&[names::span::DISPATCH]).is_some(),
+            "seed {seed}: no dispatch span"
+        );
+    }
+}
+
+/// On a fixed pipeline run, spans nest by phase (feas under dispatch,
+/// product BFS under ptraces) and the exported JSON parses back to the
+/// same structure, counters included.
+#[test]
+fn spans_nest_and_json_round_trips() {
+    // Seed 0 is an ordered single-definition workload: it routes through
+    // the PTIME trace-product analysis and is in the P-traces class.
+    let (q, s) = workload(0);
+    let rec = Arc::new(TraceRecorder::new());
+    let sess = Session::with_recorder(rec.clone());
+    sess.satisfiable(&q, &s).unwrap();
+    sess.satisfiable_ptraces(&q, &s).unwrap();
+
+    let report = rec.report();
+    let dispatch = report
+        .span(&[names::span::DISPATCH])
+        .expect("dispatch span at the root");
+    assert!(dispatch.count >= 1);
+    assert!(
+        report
+            .span(&[names::span::DISPATCH, names::span::FEAS])
+            .is_some(),
+        "feas nests under dispatch"
+    );
+    assert!(
+        report
+            .span(&[names::span::PTRACES, names::span::PRODUCT_BFS])
+            .is_some(),
+        "product BFS nests under ptraces"
+    );
+    assert!(report.counter(names::counter::PRODUCT_STATES_EXPLORED) > 0);
+
+    // Round-trip: serialize, parse, and compare the shapes CI greps for.
+    let text = report.to_json_string();
+    let parsed = JsonValue::parse(&text).expect("telemetry JSON parses");
+    assert_eq!(parsed.get("version").and_then(JsonValue::as_u64), Some(1));
+    let roots = parsed.get("spans").unwrap().as_array().unwrap();
+    assert_eq!(roots.len(), report.roots.len());
+    for (json, span) in roots.iter().zip(&report.roots) {
+        assert_eq!(
+            json.get("name").and_then(JsonValue::as_str),
+            Some(span.name.as_str())
+        );
+        assert_eq!(
+            json.get("count").and_then(JsonValue::as_u64),
+            Some(span.count)
+        );
+        assert_eq!(
+            json.get("total_ns").and_then(JsonValue::as_u64),
+            Some(span.total_ns)
+        );
+    }
+    let counters = parsed.get("counters").unwrap();
+    for (name, value) in &report.counters {
+        assert_eq!(counters.get(name).and_then(JsonValue::as_u64), Some(*value));
+    }
+    // The compact greppable form the CI telemetry step relies on.
+    assert!(text.contains(r#""name":"dispatch""#));
+    assert!(text.contains(r#""name":"ptraces""#));
+}
