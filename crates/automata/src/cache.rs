@@ -19,19 +19,22 @@
 //!   [`AutomataCache::included`], and [`AutomataCache::equivalent`] cache
 //!   language emptiness and inclusion per (pair of) interned key(s).
 //!
-//! All maps sit behind [`std::sync::RwLock`]s: reads (the hit path) take
-//! the shared lock, construction takes the exclusive lock with a
-//! double-check so concurrent missers agree on one entry. Entries are
-//! never invalidated — regexes are immutable values and every cached
-//! artifact is a pure function of its key — so the cache only grows, and
-//! verdicts stay bit-identical to what the uncached constructions produce.
+//! Every memo table is an N-way [`ShardedMap`] (see [`crate::shard`]):
+//! reads (the hit path) take one shard's shared lock, construction takes
+//! that shard's exclusive lock with a double-check so concurrent missers
+//! agree on one entry — and cold misses on *different* keys no longer
+//! serialize on a single map-wide lock. Entries are never invalidated —
+//! regexes are immutable values and every cached artifact is a pure
+//! function of its key — so the cache only grows, and verdicts stay
+//! bit-identical to what the uncached constructions produce.
 
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, RwLock};
 
 use ssd_obs::{names, Recorder};
+
+use crate::shard::{read, write, ShardedMap};
 
 use crate::dfa::{self, Dfa};
 use crate::glushkov;
@@ -134,6 +137,9 @@ pub struct CacheStats {
     pub dfas: usize,
     /// Memoized emptiness + inclusion verdicts.
     pub verdicts: usize,
+    /// Shard-lock acquisitions across all memo tables that found the lock
+    /// held and had to block (the contention the sharding work spreads).
+    pub contended: u64,
 }
 
 impl CacheStats {
@@ -152,11 +158,11 @@ impl CacheStats {
 pub struct AutomataCache {
     /// Hash-consing table: fingerprint → interned regexes with that
     /// fingerprint (a bucket list disambiguates collisions structurally).
-    cons: RwLock<HashMap<u64, Vec<Arc<Regex<LabelAtom>>>>>,
-    nfas: RwLock<HashMap<HcRegex, Arc<Nfa<LabelAtom>>>>,
-    dfas: RwLock<HashMap<HcRegex, Arc<Dfa<LabelAtom>>>>,
-    empties: RwLock<HashMap<HcRegex, bool>>,
-    inclusions: RwLock<HashMap<(HcRegex, HcRegex), bool>>,
+    cons: ShardedMap<u64, Vec<Arc<Regex<LabelAtom>>>>,
+    nfas: ShardedMap<HcRegex, Arc<Nfa<LabelAtom>>>,
+    dfas: ShardedMap<HcRegex, Arc<Dfa<LabelAtom>>>,
+    empties: ShardedMap<HcRegex, bool>,
+    inclusions: ShardedMap<(HcRegex, HcRegex), bool>,
     tables: [Table; 4],
     /// Optional observability sink: when set, every hit/miss also bumps
     /// the matching `ssd_obs::names::counter` and constructions run under
@@ -215,17 +221,6 @@ impl Table {
     }
 }
 
-/// Read a lock, recovering from poisoning: every cached value is a pure
-/// function of its key, so a panicked writer cannot leave a map
-/// semantically inconsistent (at worst an entry is absent).
-fn read<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
-    lock.read().unwrap_or_else(|e| e.into_inner())
-}
-
-fn write<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
-    lock.write().unwrap_or_else(|e| e.into_inner())
-}
-
 impl AutomataCache {
     /// An empty cache.
     pub fn new() -> AutomataCache {
@@ -268,34 +263,32 @@ impl AutomataCache {
     /// allocation for the lifetime of the cache.
     pub fn intern(&self, re: &Regex<LabelAtom>) -> HcRegex {
         let fp = re.fingerprint();
-        if let Some(bucket) = read(&self.cons).get(&fp) {
+        let hit = self.cons.read_with(&fp, |bucket| {
+            bucket.and_then(|b| b.iter().find(|c| ***c == *re).map(Arc::clone))
+        });
+        if let Some(found) = hit {
+            return HcRegex { fp, re: found };
+        }
+        self.cons.write_with(fp, |bucket| {
+            // Double-check: another writer may have interned between locks.
             if let Some(found) = bucket.iter().find(|c| ***c == *re) {
                 return HcRegex {
                     fp,
                     re: Arc::clone(found),
                 };
             }
-        }
-        let mut cons = write(&self.cons);
-        let bucket = cons.entry(fp).or_default();
-        // Double-check: another writer may have interned between locks.
-        if let Some(found) = bucket.iter().find(|c| ***c == *re) {
-            return HcRegex {
-                fp,
-                re: Arc::clone(found),
-            };
-        }
-        let arc = Arc::new(re.clone());
-        bucket.push(Arc::clone(&arc));
-        HcRegex { fp, re: arc }
+            let arc = Arc::new(re.clone());
+            bucket.push(Arc::clone(&arc));
+            HcRegex { fp, re: arc }
+        })
     }
 
     /// The Glushkov NFA of `re`, built at most once.
     pub fn nfa(&self, re: &Regex<LabelAtom>) -> Arc<Nfa<LabelAtom>> {
         let key = self.intern(re);
-        if let Some(n) = read(&self.nfas).get(&key) {
+        if let Some(n) = self.nfas.get(&key) {
             self.note(TableId::Nfa, true);
-            return Arc::clone(n);
+            return n;
         }
         self.note(TableId::Nfa, false);
         let rec = self.active_recorder();
@@ -303,51 +296,47 @@ impl AutomataCache {
             key.regex(),
             rec.as_deref().unwrap_or(ssd_obs::noop()),
         ));
-        let mut map = write(&self.nfas);
-        Arc::clone(map.entry(key).or_insert(built))
+        self.nfas.insert_if_absent(key, built)
     }
 
     /// The determinized and minimized DFA of `re`, built at most once.
     pub fn dfa(&self, re: &Regex<LabelAtom>) -> Arc<Dfa<LabelAtom>> {
         let key = self.intern(re);
-        if let Some(d) = read(&self.dfas).get(&key) {
+        if let Some(d) = self.dfas.get(&key) {
             self.note(TableId::Dfa, true);
-            return Arc::clone(d);
+            return d;
         }
         self.note(TableId::Dfa, false);
         let nfa = self.nfa(re);
         let rec = self.active_recorder();
         let r = rec.as_deref().unwrap_or(ssd_obs::noop());
         let built = Arc::new(dfa::minimize_rec(&dfa::determinize_rec(&nfa, r), r));
-        let mut map = write(&self.dfas);
-        Arc::clone(map.entry(key).or_insert(built))
+        self.dfas.insert_if_absent(key, built)
     }
 
     /// Whether `lang(re)` is empty, memoized (decided on the NFA, exactly
     /// as the uncached path does).
     pub fn is_empty(&self, re: &Regex<LabelAtom>) -> bool {
         let key = self.intern(re);
-        if let Some(&v) = read(&self.empties).get(&key) {
+        if let Some(v) = self.empties.get(&key) {
             self.note(TableId::Emptiness, true);
             return v;
         }
         self.note(TableId::Emptiness, false);
         let v = ops::is_empty_lang(&self.nfa(re));
-        write(&self.empties).insert(key, v);
-        v
+        self.empties.insert_if_absent(key, v)
     }
 
     /// Whether `lang(left) ⊆ lang(right)`, memoized per ordered pair.
     pub fn included(&self, left: &Regex<LabelAtom>, right: &Regex<LabelAtom>) -> bool {
         let key = (self.intern(left), self.intern(right));
-        if let Some(&v) = read(&self.inclusions).get(&key) {
+        if let Some(v) = self.inclusions.get(&key) {
             self.note(TableId::Inclusion, true);
             return v;
         }
         self.note(TableId::Inclusion, false);
         let v = dfa::included(&self.nfa(left), &self.nfa(right));
-        write(&self.inclusions).insert(key, v);
-        v
+        self.inclusions.insert_if_absent(key, v)
     }
 
     /// Language equivalence: inclusion both ways (each direction memoized).
@@ -369,10 +358,15 @@ impl AutomataCache {
             dfa_table,
             emptiness_table,
             inclusion_table,
-            interned: read(&self.cons).values().map(Vec::len).sum(),
-            nfas: read(&self.nfas).len(),
-            dfas: read(&self.dfas).len(),
-            verdicts: read(&self.empties).len() + read(&self.inclusions).len(),
+            interned: self.cons.fold_values(0, |n, bucket| n + bucket.len()),
+            nfas: self.nfas.len(),
+            dfas: self.dfas.len(),
+            verdicts: self.empties.len() + self.inclusions.len(),
+            contended: self.cons.contended()
+                + self.nfas.contended()
+                + self.dfas.contended()
+                + self.empties.contended()
+                + self.inclusions.contended(),
         }
     }
 }

@@ -32,9 +32,11 @@ pub mod ops;
 pub mod parser;
 pub mod product;
 pub mod regexgen;
+pub mod shard;
 pub mod syntax;
 
 pub use cache::{AutomataCache, CacheStats, HcRegex, TableStats};
 pub use dfa::Dfa;
 pub use nfa::{Nfa, StateId};
+pub use shard::{ShardedMap, SHARDS};
 pub use syntax::{Atom, LabelAtom, Regex};

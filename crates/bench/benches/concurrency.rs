@@ -1,0 +1,216 @@
+//! Experiment CONC.r1: multi-threaded throughput of one shared session.
+//!
+//! The session caches (automata tables, type graphs, and the feas memo)
+//! are N-way sharded; this bench measures what that buys under real
+//! parallelism:
+//!
+//! * **warm-read scaling** — a fixed batch of repeated `satisfiable`
+//!   calls (a mixed workload: several schemas, join-free and tagged
+//!   queries, plain and pinned constraints) is split across 1/2/4/8
+//!   threads sharing one pre-warmed [`Session`]. Every query is answered
+//!   from the feas memo, so ideal scaling divides the per-iteration time
+//!   by the thread count; the printed summary reports queries/second and
+//!   the measured speedup per thread count.
+//! * **cold-miss scaling** — the same split against a fresh shared
+//!   session per iteration, where every thread inserts into the caches:
+//!   misses on different keys land on different shards and need not
+//!   serialize on one exclusive lock.
+//!
+//! Verdicts are asserted inside the measured loops: the concurrent warm
+//! runs must reproduce the single-threaded cold verdicts exactly, and the
+//! per-shard blocked-acquisition counts of the hottest table (the feas
+//! memo) are printed at the end as the contention report.
+//!
+//! `SSD_BENCH_QUICK=1` shrinks the workload, thread list, and sample
+//! count for CI smoke runs; `SSD_BENCH_TELEMETRY` additionally writes the
+//! per-thread-count rows to the bench telemetry JSON.
+
+use ssd_bench::harness::{BenchmarkId, Criterion};
+use ssd_bench::workload;
+use ssd_bench::{criterion_group, criterion_main};
+use ssd_core::{Constraints, Session};
+use ssd_query::Query;
+use ssd_schema::Schema;
+
+fn quick() -> bool {
+    std::env::var_os("SSD_BENCH_QUICK").is_some()
+}
+
+/// Thread counts under test.
+fn thread_counts() -> Vec<usize> {
+    if quick() {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 4, 8]
+    }
+}
+
+/// Passes over the full item list per benchmark iteration (split across
+/// threads; every count in [`thread_counts`] divides it).
+fn total_rounds() -> usize {
+    if quick() {
+        16
+    } else {
+        256
+    }
+}
+
+/// A mixed workload: ordered and tagged schemas of several sizes, each
+/// with a plain and a pinned-constraint variant (the pin targets the
+/// first SELECT variable, so some verdicts flip to unsat — the memo must
+/// keep the variants apart).
+fn mixed_workload() -> Vec<(Schema, Query, Constraints)> {
+    let specs: &[(u64, usize, usize, bool)] = &[
+        (1100, 6, 1, false),
+        (1101, 6, 2, false),
+        (1102, 12, 2, false),
+        (1103, 12, 4, false),
+        (1104, 24, 2, false),
+        (1105, 24, 4, false),
+        (1106, 12, 2, true),
+        (1107, 48, 4, false),
+    ];
+    let n = if quick() { 4 } else { specs.len() };
+    let mut items = Vec::new();
+    for &(seed, num_types, num_defs, tagged) in &specs[..n] {
+        let (s, _tg, q) = workload(seed, num_types, num_defs, tagged, false);
+        let pinned = Constraints::none().pin_type(q.select()[0], s.root());
+        items.push((s.clone(), q.clone(), pinned));
+        items.push((s, q, Constraints::none()));
+    }
+    items
+}
+
+/// Runs `rounds` passes over the items through `sess`, returning the
+/// number of satisfiable verdicts (checked by the caller).
+fn run_queries(sess: &Session, items: &[(Schema, Query, Constraints)], rounds: usize) -> usize {
+    let mut sat = 0;
+    for _ in 0..rounds {
+        for (s, q, c) in items {
+            if sess.satisfiable_with(q, s, c).unwrap().satisfiable {
+                sat += 1;
+            }
+        }
+    }
+    sat
+}
+
+fn warm_scaling(c: &mut Criterion) {
+    let items = mixed_workload();
+    let sess = Session::new();
+    // Warm the shared session and pin down the expected verdicts against
+    // a fresh (cold) session: warmth must not change a single bit.
+    let want: Vec<bool> = items
+        .iter()
+        .map(|(s, q, con)| sess.satisfiable_with(q, s, con).unwrap().satisfiable)
+        .collect();
+    let fresh = Session::new();
+    let cold: Vec<bool> = items
+        .iter()
+        .map(|(s, q, con)| fresh.satisfiable_with(q, s, con).unwrap().satisfiable)
+        .collect();
+    assert_eq!(want, cold, "warm verdicts must match cold verdicts");
+    let sat_per_pass = want.iter().filter(|&&b| b).count();
+    let rounds = total_rounds();
+
+    let mut g = c.benchmark_group("concurrency/warm_satisfiable");
+    g.sample_size(if quick() { 5 } else { 15 });
+    for &t in &thread_counts() {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                // Fixed total work split evenly across t threads.
+                let sat: usize = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..t)
+                        .map(|_| scope.spawn(|| run_queries(&sess, &items, rounds / t)))
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).sum()
+                });
+                assert_eq!(sat, rounds * sat_per_pass, "concurrent verdicts drifted");
+                sat
+            })
+        });
+    }
+    g.finish();
+
+    report_scaling("concurrency/warm_satisfiable", rounds * items.len());
+    let stats = sess.stats();
+    println!(
+        "concurrency contention: automata_total={} session_total={} \
+         feas_memo_hits={} feas_memo_misses={}",
+        stats.automata.contended,
+        stats.contended,
+        stats.feas_memo_table.hits,
+        stats.feas_memo_table.misses
+    );
+    println!(
+        "concurrency feas-memo per-shard blocked acquisitions: {:?}",
+        stats.feas_memo_contention
+    );
+}
+
+fn cold_scaling(c: &mut Criterion) {
+    let items = mixed_workload();
+    let mut g = c.benchmark_group("concurrency/cold_satisfiable");
+    g.sample_size(if quick() { 5 } else { 10 });
+    for &t in &thread_counts() {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                // A fresh shared session per iteration: every thread takes
+                // a disjoint slice of the items, so all cache traffic is
+                // misses on distinct keys — the sharded maps' cold path.
+                let sess = Session::new();
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..t)
+                        .map(|k| {
+                            let sess = &sess;
+                            let items = &items;
+                            scope.spawn(move || {
+                                items
+                                    .iter()
+                                    .skip(k)
+                                    .step_by(t)
+                                    .filter(|(s, q, c)| {
+                                        sess.satisfiable_with(q, s, c).unwrap().satisfiable
+                                    })
+                                    .count()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().unwrap())
+                        .sum::<usize>()
+                })
+            })
+        });
+    }
+    g.finish();
+    report_scaling("concurrency/cold_satisfiable", mixed_workload().len());
+}
+
+/// Prints queries/second and measured-vs-ideal speedup per thread count,
+/// computed from the recorded medians of `group`.
+fn report_scaling(group: &str, ops_per_iter: usize) {
+    let recs = ssd_bench::harness::records();
+    let median = |t: usize| {
+        recs.iter()
+            .find(|r| r.label == format!("{group}/{t}"))
+            .map(|r| r.median_ns)
+    };
+    let threads = thread_counts();
+    let Some(base) = median(threads[0]) else {
+        return;
+    };
+    for &t in &threads {
+        if let Some(m) = median(t) {
+            println!(
+                "concurrency summary {group}: threads={t} throughput {:.0} q/s speedup {:.2}x (ideal {t}.00x)",
+                ops_per_iter as f64 / (m / 1e9),
+                base / m
+            );
+        }
+    }
+}
+
+criterion_group!(benches, warm_scaling, cold_scaling);
+criterion_main!(benches);

@@ -105,6 +105,27 @@ fn telemetry_run(out: &Path) {
     // Re-run warm so the trace also exhibits cache hits.
     let _ = sess.satisfiable(&pq, &ps).unwrap();
 
+    // Feas-memo family: a batch of repeat dispatches over mixed
+    // workloads — the first pass per workload populates the memo
+    // (`feas_memo` span + `cache_feas_memo_miss`), every repeat is a
+    // whole-table hit answered without running the engine.
+    let mut memo_dispatches = 0u64;
+    for seed in [7101u64, 7102, 7103] {
+        let (ms, _, mq) = ssd_bench::workload(seed, 10, 2, false, false);
+        for _ in 0..4 {
+            let _ = sess.satisfiable(&mq, &ms).unwrap();
+            memo_dispatches += 1;
+        }
+    }
+    let memo = sess.stats().feas_memo_table;
+    println!(
+        "feas-memo family: {memo_dispatches} repeat dispatches, {} hits / {} misses \
+         ({:.1}% hit ratio)",
+        memo.hits,
+        memo.misses,
+        memo.hit_ratio() * 100.0
+    );
+
     // A small 3SAT instance exercises the general solver cell.
     let mut rng = StdRng::seed_from_u64(2003);
     let f = Sat3::random(&mut rng, 3, 5);

@@ -10,13 +10,12 @@
 //! | constant-suffix query, tagged ordered schema | forced assignment ([`crate::tagged`]) | PTIME |
 //! | otherwise | complete search ([`crate::solver`]) | exponential (NP-complete problem) |
 
-use ssd_automata::AutomataCache;
 use ssd_base::VarId;
 use ssd_obs::{names, Recorder};
 use ssd_query::{Query, QueryClass, VarKind};
 use ssd_schema::{Schema, SchemaClass, TypeGraph};
 
-use crate::feas::{self, Constraints};
+use crate::feas::Constraints;
 use crate::session::Session;
 use crate::solver;
 use crate::tagged;
@@ -93,7 +92,7 @@ fn dispatch_inner(
         let tg = sess.type_graph(s);
         if qclass.join_free() {
             let _span = ssd_obs::span(rec, names::span::FEAS);
-            let a = feas::analyze_obs(q, s, &tg, c, sess.automata(), rec)?;
+            let a = sess.feas_analysis(q, s, &tg, c);
             return Ok(SatOutcome {
                 satisfiable: a.satisfiable,
                 algorithm: Algorithm::TraceProduct,
@@ -101,7 +100,7 @@ fn dispatch_inner(
         }
         if qclass.bounded_joins(MAX_ENUMERATED_JOINS) && sclass.ordered {
             let _span = ssd_obs::span(rec, names::span::BOUNDED_JOINS);
-            let sat = bounded_joins(q, s, &tg, c, &qclass.join_vars, sess.automata(), rec);
+            let sat = bounded_joins(q, s, &tg, c, &qclass.join_vars, sess);
             return Ok(SatOutcome {
                 satisfiable: sat,
                 algorithm: Algorithm::BoundedJoins,
@@ -109,7 +108,7 @@ fn dispatch_inner(
         }
         if sclass.tagged && qclass.constant_suffix {
             let _span = ssd_obs::span(rec, names::span::TAGGED);
-            let sat = tagged::satisfiable_tagged_in(q, s, &tg, c, sess.automata())?;
+            let sat = tagged::satisfiable_tagged_in(q, s, &tg, c, sess)?;
             return Ok(SatOutcome {
                 satisfiable: sat,
                 algorithm: Algorithm::TaggedSuffix,
@@ -132,18 +131,18 @@ pub const MAX_ENUMERATED_JOINS: usize = 4;
 /// the join variables (referenceable — exact for ordered schemas, where
 /// distinct first edges prevent path sharing), treat their reference
 /// occurrences as pinned leaves, and check each join variable's own
-/// definition separately.
-#[allow(clippy::too_many_arguments)]
+/// definition separately. Every per-pin analysis goes through the
+/// session's feas memo, so enumeration prefixes shared across calls are
+/// answered from cache.
 fn bounded_joins(
     q: &Query,
     s: &Schema,
     tg: &TypeGraph,
     base: &Constraints,
     join_vars: &[VarId],
-    cache: &AutomataCache,
-    rec: &dyn Recorder,
+    sess: &Session,
 ) -> bool {
-    enumerate(q, s, tg, base, join_vars, 0, cache, rec)
+    enumerate(q, s, tg, base, join_vars, 0, sess)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -154,8 +153,7 @@ fn enumerate(
     c: &Constraints,
     join_vars: &[VarId],
     i: usize,
-    cache: &AutomataCache,
-    rec: &dyn Recorder,
+    sess: &Session,
 ) -> bool {
     if i == join_vars.len() {
         // All join variables pinned: leaf-treat them, check the root tree
@@ -164,7 +162,7 @@ fn enumerate(
         for &v in join_vars {
             leafed.leaf_vars.insert(v);
         }
-        let root_ok = feas::analyze_tree_obs(q, s, tg, &leafed, cache, rec).satisfiable;
+        let root_ok = sess.feas_analysis(q, s, tg, &leafed).satisfiable;
         if !root_ok {
             return false;
         }
@@ -173,7 +171,7 @@ fn enumerate(
                 let t = leafed.var_types[&v];
                 let mut own = leafed.clone();
                 own.leaf_vars.remove(&v);
-                let a = feas::analyze_tree_obs(q, s, tg, &own, cache, rec);
+                let a = sess.feas_analysis(q, s, tg, &own);
                 if !a.feas[v.index()].contains(&t) {
                     return false;
                 }
@@ -192,7 +190,7 @@ fn enumerate(
                     continue;
                 }
                 let next = c.clone().pin_type(v, t);
-                if enumerate(q, s, tg, &next, join_vars, i + 1, cache, rec) {
+                if enumerate(q, s, tg, &next, join_vars, i + 1, sess) {
                     return true;
                 }
             }
@@ -213,7 +211,7 @@ fn enumerate(
                     continue;
                 }
                 let next = c.clone().pin_type(v, t);
-                if enumerate(q, s, tg, &next, join_vars, i + 1, cache, rec) {
+                if enumerate(q, s, tg, &next, join_vars, i + 1, sess) {
                     return true;
                 }
             }
@@ -231,7 +229,7 @@ fn enumerate(
                     continue;
                 }
                 let next = c.clone().pin_label(v, l);
-                if enumerate(q, s, tg, &next, join_vars, i + 1, cache, rec) {
+                if enumerate(q, s, tg, &next, join_vars, i + 1, sess) {
                     return true;
                 }
             }
@@ -340,7 +338,7 @@ mod tests {
         ] {
             let q = parse_query(query, &pool).unwrap();
             let tg = TypeGraph::new(&s);
-            let by_feas = feas::analyze(&q, &s, &tg, &Constraints::none())
+            let by_feas = crate::feas::analyze(&q, &s, &tg, &Constraints::none())
                 .unwrap()
                 .satisfiable;
             let by_solver = solver::solve(&q, &s).satisfiable;

@@ -76,7 +76,7 @@ impl Constraints {
 }
 
 /// The result of the feasible-set analysis.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FeasAnalysis {
     /// `feas[v]` = feasible types of variable `v` (node and value
     /// variables; empty for label variables).

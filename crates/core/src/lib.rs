@@ -22,6 +22,7 @@ pub mod dispatch;
 pub mod feas;
 pub mod infer;
 pub mod marker;
+pub mod memo;
 pub mod ptraces;
 pub mod session;
 pub mod solver;
@@ -33,6 +34,7 @@ pub use dispatch::{satisfiable, satisfiable_with, Algorithm, SatOutcome};
 pub use feas::{analyze, Constraints, FeasAnalysis};
 pub use infer::{infer, InferredAssignment};
 pub use marker::{TraceAtom, TraceSym};
+pub use memo::FeasKey;
 pub use session::{Session, SessionStats};
 pub use typecheck::{partial_type_check, total_type_check, TypeAssignment};
 

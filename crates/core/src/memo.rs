@@ -1,0 +1,316 @@
+//! Canonical structural fingerprints for queries and constraints — the
+//! keys of the session-level feas-analysis memo.
+//!
+//! The trace-product analysis ([`crate::feas`]) is a pure function of
+//! `(schema, query structure, constraints)`: it reads variable kinds,
+//! pattern definitions (with their path regexes as `LabelId` structures),
+//! and the pinned types/labels/leaves — never variable names, interner
+//! pools, or any ambient state. [`FeasKey`] captures exactly that input as
+//! an injective byte encoding (every variable-length field is
+//! length-prefixed, every enum case tagged, so decoding is unambiguous),
+//! plus an FNV-1a fingerprint of the bytes for O(1) hashing.
+//!
+//! Like [`ssd_automata::HcRegex`], the fingerprint is only the fast
+//! pre-key: map lookups compare the stored canonical bytes, so a 64-bit
+//! collision can never alias two structurally distinct queries — it only
+//! costs a bucket walk. `tests/feas_memo_prop.rs` checks injectivity (and
+//! collision-freedom in practice) on random corpora.
+
+use ssd_automata::{LabelAtom, Regex};
+use ssd_model::Value;
+use ssd_query::{EdgeExpr, PatDef, Query, VarKind};
+use std::sync::Arc;
+
+use crate::feas::Constraints;
+
+/// A canonical, structural memo key for `(query, constraints)`.
+///
+/// `Hash` writes only the precomputed fingerprint; `Eq` compares the full
+/// canonical encoding, so hash collisions are disambiguated by stored key
+/// equality exactly as in the hash-consing table.
+#[derive(Clone, Debug)]
+pub struct FeasKey {
+    fp: u64,
+    bytes: Arc<[u8]>,
+}
+
+impl FeasKey {
+    /// The canonical key of `q` under `c`.
+    pub fn new(q: &Query, c: &Constraints) -> FeasKey {
+        let mut bytes = Vec::with_capacity(64 + 8 * q.size());
+        encode_query(q, &mut bytes);
+        encode_constraints(c, &mut bytes);
+        FeasKey {
+            fp: fnv1a(&bytes),
+            bytes: bytes.into(),
+        }
+    }
+
+    /// The 64-bit FNV-1a fingerprint of the canonical bytes.
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
+    }
+
+    /// The canonical byte encoding (injective on query/constraint
+    /// structure).
+    pub fn canonical_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl PartialEq for FeasKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.fp == other.fp && self.bytes == other.bytes
+    }
+}
+
+impl Eq for FeasKey {}
+
+impl std::hash::Hash for FeasKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.fp);
+    }
+}
+
+/// FNV-1a over a byte slice (the same stream hash the regex fingerprint
+/// uses, applied to the canonical encoding).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_usize(buf: &mut Vec<u8>, v: usize) {
+    put_u32(buf, u32::try_from(v).expect("encoding length overflow"));
+}
+
+/// Encodes everything the engines read from a query: variable kinds (by
+/// index), the definitions in source order, and the SELECT list. Variable
+/// *names* are deliberately excluded — the analysis never reads them, so
+/// alpha-renamed queries share one memo entry.
+fn encode_query(q: &Query, buf: &mut Vec<u8>) {
+    put_usize(buf, q.num_vars());
+    for v in q.vars() {
+        buf.push(match q.kind(v) {
+            VarKind::Node {
+                referenceable: false,
+            } => 0,
+            VarKind::Node {
+                referenceable: true,
+            } => 1,
+            VarKind::Label => 2,
+            VarKind::Value => 3,
+        });
+    }
+    put_usize(buf, q.defs().len());
+    for (v, def) in q.defs() {
+        put_usize(buf, v.index());
+        match def {
+            PatDef::Value(val) => {
+                buf.push(0);
+                encode_value(val, buf);
+            }
+            PatDef::ValueVar(vv) => {
+                buf.push(1);
+                put_usize(buf, vv.index());
+            }
+            PatDef::Unordered(entries) | PatDef::Ordered(entries) => {
+                buf.push(if def.is_ordered() { 3 } else { 2 });
+                put_usize(buf, entries.len());
+                for e in entries {
+                    match &e.expr {
+                        EdgeExpr::Regex(r) => {
+                            buf.push(0);
+                            encode_regex(r, buf);
+                        }
+                        EdgeExpr::LabelVar(lv) => {
+                            buf.push(1);
+                            put_usize(buf, lv.index());
+                        }
+                    }
+                    put_usize(buf, e.target.index());
+                }
+            }
+        }
+    }
+    put_usize(buf, q.select().len());
+    for v in q.select() {
+        put_usize(buf, v.index());
+    }
+}
+
+/// Preorder structural encoding of a path regex. Tags disambiguate every
+/// variant and n-ary nodes carry their arity, so the encoding is injective.
+fn encode_regex(r: &Regex<LabelAtom>, buf: &mut Vec<u8>) {
+    match r {
+        Regex::Empty => buf.push(0),
+        Regex::Epsilon => buf.push(1),
+        Regex::Atom(LabelAtom::Any) => buf.push(2),
+        Regex::Atom(LabelAtom::Label(l)) => {
+            buf.push(3);
+            put_u32(buf, l.0);
+        }
+        Regex::Star(inner) => {
+            buf.push(4);
+            encode_regex(inner, buf);
+        }
+        Regex::Plus(inner) => {
+            buf.push(5);
+            encode_regex(inner, buf);
+        }
+        Regex::Opt(inner) => {
+            buf.push(6);
+            encode_regex(inner, buf);
+        }
+        Regex::Concat(parts) => {
+            buf.push(7);
+            put_usize(buf, parts.len());
+            for p in parts {
+                encode_regex(p, buf);
+            }
+        }
+        Regex::Alt(parts) => {
+            buf.push(8);
+            put_usize(buf, parts.len());
+            for p in parts {
+                encode_regex(p, buf);
+            }
+        }
+    }
+}
+
+/// Encodes a constant value with bitwise identity semantics (floats by
+/// bits, matching the engine's `Value` equality).
+fn encode_value(v: &Value, buf: &mut Vec<u8>) {
+    match v {
+        Value::Int(i) => {
+            buf.push(0);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            buf.push(1);
+            buf.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            buf.push(2);
+            put_usize(buf, s.len());
+            buf.extend_from_slice(s.as_bytes());
+        }
+        Value::Bool(b) => {
+            buf.push(3);
+            buf.push(u8::from(*b));
+        }
+    }
+}
+
+/// Encodes the pins in a canonical (sorted) order, so structurally equal
+/// constraint sets encode identically regardless of map iteration order.
+fn encode_constraints(c: &Constraints, buf: &mut Vec<u8>) {
+    let mut types: Vec<_> = c.var_types.iter().map(|(v, t)| (v.0, t.0)).collect();
+    types.sort_unstable();
+    put_usize(buf, types.len());
+    for (v, t) in types {
+        put_u32(buf, v);
+        put_u32(buf, t);
+    }
+    let mut labels: Vec<_> = c.label_vars.iter().map(|(v, l)| (v.0, l.0)).collect();
+    labels.sort_unstable();
+    put_usize(buf, labels.len());
+    for (v, l) in labels {
+        put_u32(buf, v);
+        put_u32(buf, l);
+    }
+    let mut leaves: Vec<_> = c.leaf_vars.iter().map(|v| v.0).collect();
+    leaves.sort_unstable();
+    put_usize(buf, leaves.len());
+    for v in leaves {
+        put_u32(buf, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_base::SharedInterner;
+    use ssd_query::parse_query;
+
+    // Labels are encoded as `LabelId`s, which only carry meaning relative
+    // to an interner pool (queries and schemas must share one for the
+    // engine to compare them at all — and the schema uid is part of the
+    // memo key), so all corpus queries here go through one shared pool.
+    fn key_in(pool: &SharedInterner, src: &str) -> FeasKey {
+        let q = parse_query(src, pool).unwrap();
+        FeasKey::new(&q, &Constraints::none())
+    }
+
+    #[test]
+    fn equal_structure_encodes_equal() {
+        let pool = SharedInterner::new();
+        let a = key_in(&pool, "SELECT X WHERE Root = [a.b* -> X, c -> Y]");
+        let b = key_in(&pool, "SELECT X WHERE Root = [a.b* -> X, c -> Y]");
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn alpha_renaming_shares_a_key() {
+        // Names are not part of the analysis input; only indices/kinds are.
+        let pool = SharedInterner::new();
+        let a = key_in(&pool, "SELECT X WHERE Root = [a -> X, b -> Y]");
+        let b = key_in(&pool, "SELECT P WHERE Start = [a -> P, b -> Q]");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn structural_differences_change_the_key() {
+        let pool = SharedInterner::new();
+        let base = key_in(&pool, "SELECT X WHERE Root = [a.b -> X]");
+        for other in [
+            "SELECT X WHERE Root = [a.c -> X]",  // label
+            "SELECT X WHERE Root = [a.b* -> X]", // closure
+            "SELECT X WHERE Root = {a.b -> X}",  // unordered
+            "SELECT X WHERE Root = [a.b -> &X]", // referenceable
+            "SELECT X WHERE Root = [a.b -> X, a.b -> Y]",
+            "SELECT X, Y WHERE Root = [a.b -> X, _ -> Y]",
+        ] {
+            let k = key_in(&pool, other);
+            assert_ne!(base.canonical_bytes(), k.canonical_bytes(), "{other}");
+            assert_ne!(base, k, "{other}");
+        }
+    }
+
+    #[test]
+    fn select_list_and_constraints_are_part_of_the_key() {
+        let pool = SharedInterner::new();
+        let q = parse_query("SELECT X WHERE Root = [a -> X, b -> Y]", &pool).unwrap();
+        let x = q.var_by_name("X").unwrap();
+        let plain = FeasKey::new(&q, &Constraints::none());
+        let pinned = FeasKey::new(&q, &Constraints::none().pin_type(x, ssd_base::TypeIdx(1)));
+        let leafed = FeasKey::new(&q, &Constraints::none().leaf(x));
+        assert_ne!(plain, pinned);
+        assert_ne!(plain, leafed);
+        assert_ne!(pinned, leafed);
+
+        let q2 = parse_query("SELECT Y WHERE Root = [a -> X, b -> Y]", &pool).unwrap();
+        assert_ne!(plain, FeasKey::new(&q2, &Constraints::none()));
+    }
+
+    #[test]
+    fn constraint_insertion_order_is_canonicalized() {
+        let pool = SharedInterner::new();
+        let q = parse_query("SELECT X, Y WHERE Root = [a -> X, b -> Y]", &pool).unwrap();
+        let x = q.var_by_name("X").unwrap();
+        let y = q.var_by_name("Y").unwrap();
+        let (t1, t2) = (ssd_base::TypeIdx(1), ssd_base::TypeIdx(2));
+        let ab = Constraints::none().pin_type(x, t1).pin_type(y, t2);
+        let ba = Constraints::none().pin_type(y, t2).pin_type(x, t1);
+        assert_eq!(FeasKey::new(&q, &ab), FeasKey::new(&q, &ba));
+    }
+}

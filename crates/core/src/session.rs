@@ -9,11 +9,20 @@
 //!   solver; and
 //! * a per-schema [`TypeGraph`] cache, keyed by [`Schema::uid`], so
 //!   repeated queries against one schema reuse its inhabitation analysis
-//!   and pruned automata instead of recomputing them per call.
+//!   and pruned automata instead of recomputing them per call; and
+//! * a **feas-analysis memo** — whole [`FeasAnalysis`] results (`Feas(X)`
+//!   tables plus the satisfiability verdict) keyed by
+//!   `(schema uid, canonical query fingerprint, constraint key)`
+//!   ([`crate::memo::FeasKey`]), so warm repeat queries skip the
+//!   trace-product engine entirely.
 //!
-//! Both caches only ever grow: schemas are immutable once parsed and
-//! regexes are immutable values, so keys never dangle and cached results
-//! never need invalidation — warm answers are bit-identical to cold ones.
+//! All caches only ever grow: schemas are immutable once parsed, regexes
+//! and queries are immutable values, so keys never dangle and cached
+//! results never need invalidation — warm answers are bit-identical to
+//! cold ones. The session maps are N-way sharded
+//! ([`ssd_automata::ShardedMap`], with poison-recovering lock helpers), so
+//! concurrent cold misses on different keys do not serialize and a
+//! panicking caller thread cannot poison the caches for later callers.
 //!
 //! The classic free functions ([`crate::satisfiable`], [`crate::infer`],
 //! …) remain available as thin wrappers over a process-wide default
@@ -21,32 +30,50 @@
 //! without any source change; callers that want isolated or bounded cache
 //! lifetimes create their own `Session`.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock};
 
-use ssd_automata::{AutomataCache, CacheStats, TableStats};
+use ssd_automata::{AutomataCache, CacheStats, ShardedMap, TableStats};
 use ssd_obs::{names, Recorder};
 use ssd_query::Query;
 use ssd_schema::{Schema, TypeGraph};
 
 use crate::dispatch::{self, SatOutcome};
-use crate::feas::Constraints;
+use crate::feas::{self, Constraints, FeasAnalysis};
 use crate::infer::{self, InferredAssignment};
+use crate::memo::FeasKey;
 use crate::ptraces;
 use crate::typecheck::{self, TypeAssignment};
 use crate::Result;
+
+/// The full memo key of one feas-analysis result: which schema, plus the
+/// canonical query/constraint fingerprint. `Hash` mixes the schema uid
+/// into the key's fingerprint; `Eq` compares the stored canonical bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct FeasMemoKey {
+    schema: u64,
+    key: FeasKey,
+}
+
+impl std::hash::Hash for FeasMemoKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.schema ^ self.key.fingerprint());
+    }
+}
 
 /// A handle to shared analysis caches. See the module docs.
 #[derive(Default)]
 pub struct Session {
     automata: AutomataCache,
-    type_graphs: RwLock<HashMap<u64, Arc<TypeGraph>>>,
+    type_graphs: ShardedMap<u64, Arc<TypeGraph>>,
+    feas_memo: ShardedMap<FeasMemoKey, Arc<FeasAnalysis>>,
     /// Observability sink, fixed at construction ([`Session::with_recorder`]).
     /// `None` means the engines run against the shared no-op recorder.
     recorder: Option<Arc<dyn Recorder>>,
     tg_hits: AtomicU64,
     tg_misses: AtomicU64,
+    fm_hits: AtomicU64,
+    fm_misses: AtomicU64,
 }
 
 impl Session {
@@ -89,25 +116,57 @@ impl Session {
 
     /// The `TypeGraph` of `s`, computed once per schema per session.
     pub fn type_graph(&self, s: &Schema) -> Arc<TypeGraph> {
-        if let Some(tg) = self
-            .type_graphs
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(&s.uid())
-        {
+        if let Some(tg) = self.type_graphs.get(&s.uid()) {
             self.tg_hits.fetch_add(1, Ordering::Relaxed);
             self.recorder().add(names::counter::CACHE_TYPE_GRAPH_HIT, 1);
-            return Arc::clone(tg);
+            return tg;
         }
         self.tg_misses.fetch_add(1, Ordering::Relaxed);
         let rec = self.recorder();
         rec.add(names::counter::CACHE_TYPE_GRAPH_MISS, 1);
-        let mut map = self.type_graphs.write().unwrap_or_else(|e| e.into_inner());
-        // Double-check under the exclusive lock.
-        Arc::clone(map.entry(s.uid()).or_insert_with(|| {
+        // Double-checked construction under the key's shard lock.
+        self.type_graphs.get_or_insert_with(s.uid(), || {
             let _span = ssd_obs::span(rec, names::span::TYPE_GRAPH);
             Arc::new(TypeGraph::new(s))
-        }))
+        })
+    }
+
+    /// The trace-product analysis of `(q, c)` against `s`, memoized per
+    /// `(schema uid, canonical query fingerprint, constraint key)`. A warm
+    /// hit returns the shared [`FeasAnalysis`] — `Feas(X)` tables and the
+    /// satisfiability verdict — without running the engine at all.
+    ///
+    /// Soundness matches the other caches: the analysis is a pure function
+    /// of the canonical key (it reads variable kinds/indices, definitions,
+    /// path regexes over `LabelId`s, and pins — never names or pools), the
+    /// key is collision-checked by stored-bytes equality, and entries are
+    /// grow-only over immutable inputs, so warm answers are bit-identical
+    /// to cold ones.
+    pub fn feas_analysis(
+        &self,
+        q: &Query,
+        s: &Schema,
+        tg: &TypeGraph,
+        c: &Constraints,
+    ) -> Arc<FeasAnalysis> {
+        let rec = self.recorder();
+        let _span = ssd_obs::span(rec, names::span::FEAS_MEMO);
+        let key = FeasMemoKey {
+            schema: s.uid(),
+            key: FeasKey::new(q, c),
+        };
+        if let Some(a) = self.feas_memo.get(&key) {
+            self.fm_hits.fetch_add(1, Ordering::Relaxed);
+            rec.add(names::counter::CACHE_FEAS_MEMO_HIT, 1);
+            return a;
+        }
+        self.fm_misses.fetch_add(1, Ordering::Relaxed);
+        rec.add(names::counter::CACHE_FEAS_MEMO_MISS, 1);
+        // Compute outside the shard lock (the analysis can be slow; a
+        // racing duplicate is rare and both sides produce equal values),
+        // then publish with a double-checked insert.
+        let built = Arc::new(feas::analyze_tree_obs(q, s, tg, c, self.automata(), rec));
+        self.feas_memo.insert_if_absent(key, built)
     }
 
     /// Satisfiability (type correctness) through this session's caches.
@@ -137,18 +196,26 @@ impl Session {
     }
 
     /// Effectiveness counters of the automata cache (with the per-table
-    /// breakdown), plus type-graph cache traffic, entry count, and
-    /// approximate retained bytes.
+    /// breakdown), plus type-graph and feas-memo cache traffic, entry
+    /// counts, approximate retained bytes, and shard-lock contention.
     pub fn stats(&self) -> SessionStats {
-        let map = self.type_graphs.read().unwrap_or_else(|e| e.into_inner());
         SessionStats {
             automata: self.automata.stats(),
-            type_graphs: map.len(),
-            type_graph_bytes: map.values().map(|tg| tg.approx_bytes()).sum(),
+            type_graphs: self.type_graphs.len(),
+            type_graph_bytes: self
+                .type_graphs
+                .fold_values(0, |acc, tg| acc + tg.approx_bytes()),
             type_graph_table: TableStats {
                 hits: self.tg_hits.load(Ordering::Relaxed),
                 misses: self.tg_misses.load(Ordering::Relaxed),
             },
+            feas_memos: self.feas_memo.len(),
+            feas_memo_table: TableStats {
+                hits: self.fm_hits.load(Ordering::Relaxed),
+                misses: self.fm_misses.load(Ordering::Relaxed),
+            },
+            contended: self.type_graphs.contended() + self.feas_memo.contended(),
+            feas_memo_contention: self.feas_memo.contention_by_shard(),
         }
     }
 }
@@ -164,6 +231,16 @@ pub struct SessionStats {
     pub type_graph_bytes: usize,
     /// Type-graph cache traffic.
     pub type_graph_table: TableStats,
+    /// Number of memoized feas-analysis results.
+    pub feas_memos: usize,
+    /// Feas-analysis memo traffic.
+    pub feas_memo_table: TableStats,
+    /// Shard-lock acquisitions on the session maps (type graphs +
+    /// feas memo) that found the lock held and had to block.
+    pub contended: u64,
+    /// Blocked acquisitions per shard of the feas memo (the table the
+    /// concurrency bench hammers), in shard order.
+    pub feas_memo_contention: [u64; ssd_automata::SHARDS],
 }
 
 impl std::fmt::Display for SessionStats {
@@ -182,6 +259,7 @@ impl std::fmt::Display for SessionStats {
             ("emptiness", a.emptiness_table),
             ("inclusion", a.inclusion_table),
             ("type-graph", self.type_graph_table),
+            ("feas-memo", self.feas_memo_table),
         ] {
             writeln!(
                 f,
@@ -196,11 +274,16 @@ impl std::fmt::Display for SessionStats {
             "  entries: {} nfas, {} dfas, {} verdicts, {} interned regexes",
             a.nfas, a.dfas, a.verdicts, a.interned
         )?;
-        write!(
+        writeln!(
             f,
             "type-graph cache: {} schemas, ~{} KiB retained",
             self.type_graphs,
             self.type_graph_bytes / 1024
+        )?;
+        write!(
+            f,
+            "feas memo: {} entries; session shard contention: {} blocked acquisitions",
+            self.feas_memos, self.contended
         )
     }
 }
@@ -249,18 +332,42 @@ mod tests {
     }
 
     #[test]
-    fn repeated_queries_hit_the_automata_cache() {
+    fn repeated_queries_hit_the_feas_memo() {
         let (q, s) = setup();
         let sess = Session::new();
         sess.satisfiable(&q, &s).unwrap();
-        let after_first = sess.stats().automata;
+        let after_first = sess.stats();
+        assert_eq!(after_first.feas_memo_table.hits, 0);
+        assert_eq!(after_first.feas_memo_table.misses, 1);
+        assert_eq!(after_first.feas_memos, 1);
         sess.satisfiable(&q, &s).unwrap();
-        let after_second = sess.stats().automata;
-        assert!(
-            after_second.hits > after_first.hits,
-            "second run should hit: {after_first:?} -> {after_second:?}"
-        );
-        assert_eq!(after_first.misses, after_second.misses);
+        let after_second = sess.stats();
+        // The warm run is answered entirely from the feas memo: no new
+        // automata-cache traffic at all, one memo hit, no new entries.
+        assert_eq!(after_second.feas_memo_table.hits, 1);
+        assert_eq!(after_second.feas_memo_table.misses, 1);
+        assert_eq!(after_second.feas_memos, 1);
+        assert_eq!(after_first.automata.hits, after_second.automata.hits);
+        assert_eq!(after_first.automata.misses, after_second.automata.misses);
+    }
+
+    #[test]
+    fn feas_memo_distinguishes_constraints_and_schemas() {
+        let (q, s) = setup();
+        let pool = SharedInterner::new();
+        let s2 = parse_schema("T = [a->U.c->W]; U = [x->P]; W = string; P = int", &pool).unwrap();
+        let q2 = parse_query("SELECT X WHERE Root = [a.x -> X, c -> Y]", &pool).unwrap();
+        let sess = Session::new();
+        sess.satisfiable(&q, &s).unwrap();
+        // Same query structure against a different schema: separate entry.
+        sess.satisfiable(&q2, &s2).unwrap();
+        // Same query/schema under a pin: separate entry again.
+        let x = q.var_by_name("X").unwrap();
+        let pinned = Constraints::none().pin_type(x, s.by_name("P").unwrap());
+        sess.satisfiable_with(&q, &s, &pinned).unwrap();
+        let stats = sess.stats();
+        assert_eq!(stats.feas_memos, 3);
+        assert_eq!(stats.feas_memo_table.hits, 0);
     }
 
     #[test]

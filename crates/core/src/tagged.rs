@@ -24,17 +24,17 @@ use crate::typecheck::{total_check_ordered, TypeAssignment};
 /// Decides satisfiability for a constant-suffix query over a tagged,
 /// ordered schema, in PTIME. Errors if the inputs are outside the class.
 pub fn satisfiable_tagged(q: &Query, s: &Schema, tg: &TypeGraph, c: &Constraints) -> Result<bool> {
-    satisfiable_tagged_in(q, s, tg, c, crate::Session::global().automata())
+    satisfiable_tagged_in(q, s, tg, c, crate::Session::global())
 }
 
-/// [`satisfiable_tagged`] with an explicit automata cache for the final
-/// total check.
+/// [`satisfiable_tagged`] with an explicit session, whose caches (automata
+/// tables and the feas memo) back the final total check.
 pub fn satisfiable_tagged_in(
     q: &Query,
     s: &Schema,
     tg: &TypeGraph,
     c: &Constraints,
-    cache: &ssd_automata::AutomataCache,
+    sess: &crate::Session,
 ) -> Result<bool> {
     let sclass = SchemaClass::of(s);
     if !(sclass.ordered && sclass.tagged) {
@@ -125,7 +125,7 @@ pub fn satisfiable_tagged_in(
         }
     }
 
-    Ok(total_check_ordered(q, s, tg, &assignment, cache))
+    Ok(total_check_ordered(q, s, tg, &assignment, sess))
 }
 
 #[cfg(test)]

@@ -20,7 +20,7 @@ use ssd_query::{Query, QueryClass, VarKind};
 use ssd_schema::{Schema, SchemaClass, TypeGraph};
 
 use crate::dispatch::{satisfiable_with, SatOutcome};
-use crate::feas::{self, Constraints};
+use crate::feas::Constraints;
 use crate::session::Session;
 use crate::solver;
 
@@ -107,16 +107,18 @@ pub fn total_type_check_in(
 
     // PTIME path (Proposition 3.2).
     let tg = sess.type_graph(s);
-    Ok(total_check_ordered(q, s, &tg, a, sess.automata()))
+    Ok(total_check_ordered(q, s, &tg, a, sess))
 }
 
-/// The PTIME total check for ordered (+ homogeneous) schemas.
+/// The PTIME total check for ordered (+ homogeneous) schemas. Each local
+/// definition check runs through the session's feas memo, so repeated
+/// total checks of one assignment are answered from cache.
 pub(crate) fn total_check_ordered(
     q: &Query,
     s: &Schema,
     tg: &TypeGraph,
     a: &TypeAssignment,
-    cache: &ssd_automata::AutomataCache,
+    sess: &Session,
 ) -> bool {
     // Root variable binds the root node, which carries the root type.
     if a.types.get(&q.root_var()) != Some(&s.root()) {
@@ -152,7 +154,7 @@ pub(crate) fn total_check_ordered(
         let mut c = base.clone();
         c.leaf_vars.remove(v);
         let t = a.types[v];
-        let feas = feas::analyze_tree_in(q, s, tg, &c, cache);
+        let feas = sess.feas_analysis(q, s, tg, &c);
         if !feas.feas[v.index()].contains(&t) {
             return false;
         }
@@ -162,7 +164,7 @@ pub(crate) fn total_check_ordered(
     for v in q.vars() {
         if matches!(q.kind(v), VarKind::Node { .. } | VarKind::Value) && q.def(v).is_none() {
             let t = a.types[&v];
-            let feas = feas::analyze_tree_in(q, s, tg, &base, cache);
+            let feas = sess.feas_analysis(q, s, tg, &base);
             if !feas.feas[v.index()].contains(&t) {
                 return false;
             }

@@ -42,6 +42,9 @@ pub mod span {
     pub const INFER: &str = "infer";
     /// The literal P-traces satisfiability check (`ssd_core::ptraces`).
     pub const PTRACES: &str = "ptraces";
+    /// Feas-memo lookup + (on miss) trace-product analysis
+    /// (`ssd_core::Session::feas_analysis`).
+    pub const FEAS_MEMO: &str = "feas_memo";
 }
 
 /// Counter names. Cache counters come in `_hit`/`_miss` pairs, one pair
@@ -76,6 +79,13 @@ pub mod counter {
     pub const CACHE_TYPE_GRAPH_HIT: &str = "cache_type_graph_hit";
     /// Per-schema type-graph cache miss.
     pub const CACHE_TYPE_GRAPH_MISS: &str = "cache_type_graph_miss";
+    /// Feas-analysis memo hit (whole `Feas(X)` table + verdict reused).
+    pub const CACHE_FEAS_MEMO_HIT: &str = "cache_feas_memo_hit";
+    /// Feas-analysis memo miss (trace-product analysis ran).
+    pub const CACHE_FEAS_MEMO_MISS: &str = "cache_feas_memo_miss";
+    /// Shard-lock acquisitions that found the lock held and blocked
+    /// (reported by the concurrency bench from the sharded-map counters).
+    pub const SHARD_CONTENDED: &str = "shard_lock_contended";
     /// `(variable, type)` feasibility checks performed by the feas engine.
     pub const FEAS_TYPES_CHECKED: &str = "feas_types_checked";
     /// Requirement-routing nodes expanded by the general solver.

@@ -116,6 +116,74 @@ fn total_type_check_identical_cold_warm_legacy() {
     }
 }
 
+/// The feas-analysis memo must be invisible in results across every entry
+/// point it backs — `satisfiable`, `total_type_check`, and `infer` — on
+/// random corpora: a session's warm pass (memo hits) must reproduce its
+/// cold pass, and a fresh session must reproduce both. Ordered (even)
+/// seeds route through the trace-product engine and must actually hit the
+/// memo on the warm pass.
+#[test]
+fn feas_memo_identical_cold_warm_fresh() {
+    for seed in 0..30u64 {
+        let (q, s) = workload(seed);
+        let sess = Session::new();
+
+        let cold_sat = sess.satisfiable(&q, &s).unwrap();
+        let cold_inf = sess.infer(&q, &s).unwrap();
+        let memos_after_cold = sess.stats().feas_memo_table;
+
+        let warm_sat = sess.satisfiable(&q, &s).unwrap();
+        let warm_inf = sess.infer(&q, &s).unwrap();
+        assert_eq!(warm_sat, cold_sat, "seed {seed}\nschema:\n{s}\nquery:\n{q}");
+        assert_eq!(warm_inf, cold_inf, "seed {seed}\nschema:\n{s}\nquery:\n{q}");
+        let memos_after_warm = sess.stats().feas_memo_table;
+        assert_eq!(
+            memos_after_warm.misses, memos_after_cold.misses,
+            "warm repeats must not add memo entries (seed {seed})"
+        );
+        if seed.is_multiple_of(2) {
+            // Ordered schema + join-free query: the dispatcher routes
+            // through the trace product, so the repeats must be memo hits.
+            assert!(
+                memos_after_warm.hits > memos_after_cold.hits,
+                "warm ordered run should hit the feas memo (seed {seed}): \
+                 {memos_after_cold:?} -> {memos_after_warm:?}"
+            );
+        }
+
+        let fresh = Session::new();
+        assert_eq!(fresh.satisfiable(&q, &s).unwrap(), cold_sat, "seed {seed}");
+        assert_eq!(fresh.infer(&q, &s).unwrap(), cold_inf, "seed {seed}");
+
+        // Total type checking (which also runs through the memo on the
+        // ordered path): repeated checks on the warm session and a fresh
+        // session agree on random full assignments.
+        let mut rng = StdRng::seed_from_u64(4000 + seed);
+        let types: Vec<_> = s.types().collect();
+        for _ in 0..4 {
+            let mut a = TypeAssignment::new();
+            for v in q.vars() {
+                if matches!(q.kind(v), VarKind::Node { .. } | VarKind::Value) {
+                    a = a.with_type(v, types[rng.gen_range(0..types.len())]);
+                }
+            }
+            let warm_check = sess.total_type_check(&q, &s, &a);
+            let repeat_check = sess.total_type_check(&q, &s, &a);
+            let fresh_check = Session::new().total_type_check(&q, &s, &a);
+            match (warm_check, repeat_check, fresh_check) {
+                (Ok(w), Ok(r), Ok(f)) => {
+                    assert_eq!(w, r, "seed {seed}");
+                    assert_eq!(w, f, "seed {seed}");
+                }
+                (Err(_), Err(_), Err(_)) => {}
+                (w, r, f) => {
+                    panic!("divergent errors at seed {seed}: warm={w:?} repeat={r:?} fresh={f:?}")
+                }
+            }
+        }
+    }
+}
+
 /// The lazy P-traces emptiness check (sessions) agrees with independently
 /// materializing `Tr(P) ∩ Tr(S)` and testing it — the tentpole's
 /// semantics-preservation guarantee, on random single-definition corpora.
