@@ -140,6 +140,9 @@ pub struct CacheStats {
     /// Shard-lock acquisitions across all memo tables that found the lock
     /// held and had to block (the contention the sharding work spreads).
     pub contended: u64,
+    /// Entries dropped by epoch flushes ([`AutomataCache::flush`]),
+    /// cumulative over the cache's lifetime.
+    pub evicted: u64,
 }
 
 impl CacheStats {
@@ -170,6 +173,8 @@ pub struct AutomataCache {
     /// pays one relaxed atomic load, not a lock.
     rec_on: AtomicBool,
     rec: RwLock<Option<Arc<dyn Recorder>>>,
+    /// Entries dropped by epoch flushes, cumulative.
+    evicted: AtomicU64,
 }
 
 /// Indices into `AutomataCache::tables`, one per memo table.
@@ -301,17 +306,75 @@ impl AutomataCache {
 
     /// The determinized and minimized DFA of `re`, built at most once.
     pub fn dfa(&self, re: &Regex<LabelAtom>) -> Arc<Dfa<LabelAtom>> {
+        self.dfa_b(re, ssd_base::Budget::unlimited_ref())
+            .expect("unlimited budget never trips")
+    }
+
+    /// [`AutomataCache::dfa`] under a [`ssd_base::Budget`]: a cache hit
+    /// is free, a miss runs determinization + minimization under the
+    /// budget. A trip leaves the table unchanged (nothing partial is
+    /// cached), so a later call with more budget rebuilds from scratch.
+    pub fn dfa_b(
+        &self,
+        re: &Regex<LabelAtom>,
+        budget: &ssd_base::Budget,
+    ) -> ssd_base::BudgetResult<Arc<Dfa<LabelAtom>>> {
         let key = self.intern(re);
         if let Some(d) = self.dfas.get(&key) {
             self.note(TableId::Dfa, true);
-            return d;
+            return Ok(d);
         }
         self.note(TableId::Dfa, false);
         let nfa = self.nfa(re);
         let rec = self.active_recorder();
         let r = rec.as_deref().unwrap_or(ssd_obs::noop());
-        let built = Arc::new(dfa::minimize_rec(&dfa::determinize_rec(&nfa, r), r));
-        self.dfas.insert_if_absent(key, built)
+        let built = Arc::new(dfa::minimize_rec_b(
+            &dfa::determinize_rec_b(&nfa, r, budget)?,
+            r,
+            budget,
+        )?);
+        Ok(self.dfas.insert_if_absent(key, built))
+    }
+
+    /// Entries across the artifact and verdict tables (NFAs, DFAs,
+    /// emptiness + inclusion verdicts, hash-cons allocations) — the
+    /// number the session's `max_automata_entries` cap is checked
+    /// against.
+    pub fn artifact_entries(&self) -> usize {
+        self.cons.fold_values(0, |n, bucket| n + bucket.len())
+            + self.nfas.len()
+            + self.dfas.len()
+            + self.empties.len()
+            + self.inclusions.len()
+    }
+
+    /// Epoch flush: drops every memoized artifact and verdict (and the
+    /// hash-cons table), returning how many entries were evicted.
+    /// Sound because each entry is a pure function of its immutable
+    /// key — a future miss rebuilds an identical value — so flushing
+    /// costs recomputation, never correctness. Hit/miss counters are
+    /// *not* reset (they are monotone lifetime totals).
+    pub fn flush(&self) -> u64 {
+        let evicted = self
+            .cons
+            .fold_values(0u64, |n, bucket| n + bucket.len() as u64)
+            + self.nfas.clear()
+            + self.dfas.clear()
+            + self.empties.clear()
+            + self.inclusions.clear();
+        self.cons.clear();
+        self.evicted.fetch_add(evicted, Ordering::Relaxed);
+        if evicted > 0 {
+            if let Some(rec) = self.active_recorder() {
+                rec.add(names::counter::CACHE_EVICTED, evicted);
+            }
+        }
+        evicted
+    }
+
+    /// Entries dropped by epoch flushes over this cache's lifetime.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
     }
 
     /// Whether `lang(re)` is empty, memoized (decided on the NFA, exactly
@@ -367,6 +430,7 @@ impl AutomataCache {
                 + self.dfas.contended()
                 + self.empties.contended()
                 + self.inclusions.contended(),
+            evicted: self.evicted.load(Ordering::Relaxed),
         }
     }
 }
@@ -517,6 +581,39 @@ mod tests {
         cache.set_recorder(None);
         cache.dfa(&sample());
         assert_eq!(rec.counter(names::counter::CACHE_DFA_HIT), 1, "detached");
+    }
+
+    #[test]
+    fn flush_drops_entries_but_keeps_verdicts_stable() {
+        let cache = AutomataCache::new();
+        let star = Regex::star(l(0));
+        let plus = Regex::plus(l(0));
+        let before_nfa = cache.nfa(&sample());
+        assert!(cache.included(&plus, &star));
+        assert!(!cache.is_empty(&sample()));
+        assert!(cache.artifact_entries() > 0);
+        let evicted = cache.flush();
+        assert!(evicted > 0);
+        assert_eq!(cache.evicted(), evicted);
+        assert_eq!(cache.artifact_entries(), 0);
+        // Recomputed artifacts and verdicts are identical (fresh Arcs).
+        let after_nfa = cache.nfa(&sample());
+        assert!(!Arc::ptr_eq(&before_nfa, &after_nfa));
+        assert_eq!(before_nfa.num_states(), after_nfa.num_states());
+        assert!(cache.included(&plus, &star));
+        assert!(!cache.is_empty(&sample()));
+        assert_eq!(cache.stats().evicted, evicted);
+    }
+
+    #[test]
+    fn budgeted_dfa_trips_without_caching_partial_work() {
+        let cache = AutomataCache::new();
+        let re = sample();
+        let tiny = ssd_base::Budget::unlimited().with_fuel(0);
+        assert!(cache.dfa_b(&re, &tiny).is_err());
+        // Nothing partial was cached; an unlimited retry succeeds.
+        let dfa = cache.dfa(&re);
+        assert!(dfa.num_states() > 0);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::collections::{HashMap, VecDeque};
 
 use crate::nfa::{Nfa, StateId};
 use crate::syntax::{Atom, LabelAtom};
+use ssd_base::budget::{Budget, BudgetResult};
 use ssd_obs::{names, Recorder};
 
 /// Atoms that can partition the alphabet into finitely many classes.
@@ -140,37 +141,74 @@ fn class_contains<A: ClassAtom>(class: &A, s: &A::Sym) -> bool {
 
 /// Determinizes `nfa` by the subset construction over alphabet classes.
 pub fn determinize<A: ClassAtom>(nfa: &Nfa<A>) -> Dfa<A> {
+    determinize_b(nfa, Budget::unlimited_ref()).expect("unlimited budget never trips")
+}
+
+/// [`determinize`] under a [`Budget`]: the subset construction ticks the
+/// meter once per subset state it pops, so an exponential blow-up trips
+/// the budget instead of hanging.
+pub fn determinize_b<A: ClassAtom>(nfa: &Nfa<A>, budget: &Budget) -> BudgetResult<Dfa<A>> {
     let atoms: Vec<A> = nfa.all_edges().map(|(_, a, _)| a.clone()).collect();
     let classes = A::classes(&atoms);
-    determinize_with_classes(nfa, classes)
+    determinize_with_classes_b(nfa, classes, budget)
 }
 
 /// [`determinize`] with instrumentation: wraps the subset construction in
 /// a `determinize` span and reports the resulting DFA state count.
 pub fn determinize_rec<A: ClassAtom>(nfa: &Nfa<A>, rec: &dyn Recorder) -> Dfa<A> {
+    determinize_rec_b(nfa, rec, Budget::unlimited_ref()).expect("unlimited budget never trips")
+}
+
+/// [`determinize_rec`] under a [`Budget`].
+pub fn determinize_rec_b<A: ClassAtom>(
+    nfa: &Nfa<A>,
+    rec: &dyn Recorder,
+    budget: &Budget,
+) -> BudgetResult<Dfa<A>> {
     let _span = ssd_obs::span(rec, names::span::DETERMINIZE);
-    let dfa = determinize(nfa);
+    let dfa = determinize_b(nfa, budget)?;
     if rec.enabled() {
         rec.add(names::counter::DFA_STATES, dfa.num_states() as u64);
         rec.observe(names::counter::DFA_STATES, dfa.num_states() as u64);
     }
-    dfa
+    Ok(dfa)
 }
 
 /// Determinizes with a caller-supplied class partition (needed when
 /// comparing two automata, whose classes must be computed jointly).
 pub fn determinize_with_classes<A: ClassAtom>(nfa: &Nfa<A>, classes: Vec<A>) -> Dfa<A> {
+    determinize_with_classes_b(nfa, classes, Budget::unlimited_ref())
+        .expect("unlimited budget never trips")
+}
+
+/// [`determinize_with_classes`] under a [`Budget`]. One fuel unit per
+/// subset state popped from the worklist; the retained-bytes estimate
+/// covers the subset table, so a byte ceiling bounds the table size.
+pub fn determinize_with_classes_b<A: ClassAtom>(
+    nfa: &Nfa<A>,
+    classes: Vec<A>,
+    budget: &Budget,
+) -> BudgetResult<Dfa<A>> {
+    let mut meter = budget.meter("determinize");
     let mut index: HashMap<Vec<StateId>, usize> = HashMap::new();
     let mut sets: Vec<Vec<StateId>> = Vec::new();
     let mut queue = VecDeque::new();
+    // Rough bytes per stored subset: two copies (index key + sets entry)
+    // of the state vector plus map/vec bookkeeping.
+    let mut retained = 0usize;
+    let set_bytes = |set: &[StateId]| 2 * set.len() * std::mem::size_of::<StateId>() + 96usize;
 
     let start_set = vec![nfa.start()];
+    retained += set_bytes(&start_set);
     index.insert(start_set.clone(), 0);
     sets.push(start_set.clone());
     queue.push_back(start_set);
 
     let mut trans: Vec<Vec<Option<usize>>> = Vec::new();
     while let Some(set) = queue.pop_front() {
+        meter.set_frontier(queue.len());
+        meter.set_retained(retained);
+        meter.tick()?;
         let mut row = vec![None; classes.len()];
         for (c, class) in classes.iter().enumerate() {
             let mut next: Vec<StateId> = Vec::new();
@@ -186,6 +224,7 @@ pub fn determinize_with_classes<A: ClassAtom>(nfa: &Nfa<A>, classes: Vec<A>) -> 
             }
             next.sort_unstable();
             let id = *index.entry(next.clone()).or_insert_with(|| {
+                retained += set_bytes(&next);
                 sets.push(next.clone());
                 queue.push_back(next.clone());
                 sets.len() - 1
@@ -199,12 +238,12 @@ pub fn determinize_with_classes<A: ClassAtom>(nfa: &Nfa<A>, classes: Vec<A>) -> 
         .iter()
         .map(|set| set.iter().any(|&q| nfa.is_accepting(q)))
         .collect();
-    Dfa {
+    Ok(Dfa {
         classes,
         trans,
         start: 0,
         accepting,
-    }
+    })
 }
 
 /// [`minimize`] with instrumentation: wraps the refinement in a
@@ -214,9 +253,27 @@ pub fn minimize_rec<A: ClassAtom>(dfa: &Dfa<A>, rec: &dyn Recorder) -> Dfa<A> {
     minimize(dfa)
 }
 
+/// [`minimize_rec`] under a [`Budget`].
+pub fn minimize_rec_b<A: ClassAtom>(
+    dfa: &Dfa<A>,
+    rec: &dyn Recorder,
+    budget: &Budget,
+) -> BudgetResult<Dfa<A>> {
+    let _span = ssd_obs::span(rec, names::span::MINIMIZE);
+    minimize_b(dfa, budget)
+}
+
 /// Minimizes a DFA by Moore partition refinement. Missing transitions are
 /// treated as moves to an implicit dead state.
 pub fn minimize<A: ClassAtom>(dfa: &Dfa<A>) -> Dfa<A> {
+    minimize_b(dfa, Budget::unlimited_ref()).expect("unlimited budget never trips")
+}
+
+/// [`minimize`] under a [`Budget`]: one fuel unit per state signature
+/// recomputed (states × refinement rounds — quadratic worst case on
+/// large determinization outputs).
+pub fn minimize_b<A: ClassAtom>(dfa: &Dfa<A>, budget: &Budget) -> BudgetResult<Dfa<A>> {
+    let mut meter = budget.meter("minimize");
     let n = dfa.num_states();
     // Block id per state; the implicit dead state is block usize::MAX.
     let mut block: Vec<usize> = (0..n).map(|q| usize::from(dfa.accepting[q])).collect();
@@ -225,6 +282,7 @@ pub fn minimize<A: ClassAtom>(dfa: &Dfa<A>) -> Dfa<A> {
         let mut sig_index: HashMap<(usize, Vec<Option<usize>>), usize> = HashMap::new();
         let mut next_block = vec![0usize; n];
         for q in 0..n {
+            meter.tick()?;
             let succ: Vec<Option<usize>> = (0..dfa.classes.len())
                 .map(|c| dfa.trans[q][c].map(|r| block[r]))
                 .collect();
@@ -233,6 +291,7 @@ pub fn minimize<A: ClassAtom>(dfa: &Dfa<A>) -> Dfa<A> {
             let b = *sig_index.entry(key).or_insert(id);
             next_block[q] = b;
         }
+        meter.set_frontier(sig_index.len());
         if next_block == block {
             break;
         }
@@ -254,12 +313,12 @@ pub fn minimize<A: ClassAtom>(dfa: &Dfa<A>) -> Dfa<A> {
         })
         .collect();
     let accepting = (0..num_blocks).map(|b| dfa.accepting[repr[b]]).collect();
-    Dfa {
+    Ok(Dfa {
         classes: dfa.classes.clone(),
         trans,
         start: block[dfa.start],
         accepting,
-    }
+    })
 }
 
 /// Whether `L(left) ⊆ L(right)`, decided by an on-the-fly subset-pair walk

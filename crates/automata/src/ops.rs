@@ -3,6 +3,7 @@
 
 use std::collections::{HashSet, VecDeque};
 
+use ssd_base::budget::{Budget, BudgetResult};
 use ssd_obs::{names, Recorder};
 
 use crate::nfa::{Nfa, StateId};
@@ -85,56 +86,76 @@ where
 /// the disabled path costs one `enabled()` check.
 pub fn is_empty_product_rec<S, I>(
     starts: I,
-    mut accepting: impl FnMut(&S) -> bool,
-    mut successors: impl FnMut(&S, &mut Vec<S>),
+    accepting: impl FnMut(&S) -> bool,
+    successors: impl FnMut(&S, &mut Vec<S>),
     rec: &dyn Recorder,
 ) -> bool
 where
     S: Clone + Eq + std::hash::Hash,
     I: IntoIterator<Item = S>,
 {
+    is_empty_product_b(starts, accepting, successors, rec, Budget::unlimited_ref())
+        .expect("unlimited budget never trips")
+}
+
+/// [`is_empty_product_rec`] under a [`Budget`]: one fuel unit per
+/// product-state visit, the frontier is the BFS queue, and the
+/// retained-bytes estimate covers the `seen` set — the structure that
+/// actually grows without bound on an exponential product.
+pub fn is_empty_product_b<S, I>(
+    starts: I,
+    mut accepting: impl FnMut(&S) -> bool,
+    mut successors: impl FnMut(&S, &mut Vec<S>),
+    rec: &dyn Recorder,
+    budget: &Budget,
+) -> BudgetResult<bool>
+where
+    S: Clone + Eq + std::hash::Hash,
+    I: IntoIterator<Item = S>,
+{
     let _span = ssd_obs::span(rec, names::span::PRODUCT_BFS);
+    let mut meter = budget.meter("product_bfs");
+    // Rough bytes per remembered product state: the state itself in the
+    // seen-set plus (transiently) the queue, with hash-table overhead.
+    let state_bytes = 2 * std::mem::size_of::<S>() + 48;
     let mut explored: u64 = 0;
-    let empty = {
+    let result = (|| {
         let mut seen: HashSet<S> = HashSet::new();
         let mut queue: VecDeque<S> = VecDeque::new();
-        let mut verdict = None;
         for s in starts {
             explored += 1;
+            meter.tick()?;
             if accepting(&s) {
-                verdict = Some(false);
-                break;
+                return Ok(false);
             }
             if seen.insert(s.clone()) {
                 queue.push_back(s);
             }
         }
         let mut buf: Vec<S> = Vec::new();
-        while verdict.is_none() {
-            let Some(s) = queue.pop_front() else {
-                verdict = Some(true);
-                break;
-            };
+        while let Some(s) = queue.pop_front() {
+            meter.set_frontier(queue.len());
+            meter.set_retained(seen.len() * state_bytes);
             buf.clear();
             successors(&s, &mut buf);
             for n in buf.drain(..) {
                 explored += 1;
+                meter.tick()?;
                 if accepting(&n) {
-                    verdict = Some(false);
-                    break;
+                    return Ok(false);
                 }
                 if seen.insert(n.clone()) {
                     queue.push_back(n);
                 }
             }
         }
-        verdict.unwrap_or(true)
-    };
+        Ok(true)
+    })();
     if rec.enabled() {
         rec.add(names::counter::PRODUCT_STATES_EXPLORED, explored);
         rec.observe(names::counter::PRODUCT_STATES_EXPLORED, explored);
     }
-    empty
+    result
 }
 
 /// Removes states that are not both reachable and co-reachable, renumbering
@@ -258,6 +279,16 @@ pub fn contains_ordered_selection<A: Clone + Eq + std::hash::Hash>(
 /// Explored by BFS over `(state, matched-subset-mask)`; exponential in `k`
 /// (this is the source of the paper's NP-completeness for unordered types),
 /// but `k` is the fan-out of a single pattern node, small in practice.
+///
+/// # Panics
+///
+/// Panics if `sets.len() > 20` (the subset mask is a `u32` and the BFS
+/// table has `2^k` columns). This is an internal invariant, not a
+/// user-reachable path: the query front-end rejects unordered pattern
+/// definitions with more than 20 entries at parse time
+/// (`Error::Limit`), so every query object built from text satisfies
+/// the bound. Callers constructing queries programmatically must
+/// enforce it themselves.
 pub fn contains_unordered_selection<A: Clone + Eq + std::hash::Hash>(
     nfa: &Nfa<A>,
     sets: &[HashSet<A>],
@@ -306,6 +337,12 @@ pub fn contains_unordered_selection<A: Clone + Eq + std::hash::Hash>(
 /// in their first edge). Returns, additionally to feasibility, one witness
 /// grouping: for each set, the index of the group (claimed position) it was
 /// satisfied by — `None` if infeasible.
+///
+/// # Panics
+///
+/// Panics if `sets.len() > 20` — same internal invariant as
+/// [`contains_unordered_selection`], guaranteed by the query
+/// front-end's entry cap.
 pub fn shared_unordered_selection<A: Clone + Eq + std::hash::Hash>(
     nfa: &Nfa<A>,
     sets: &[HashSet<A>],

@@ -13,12 +13,18 @@
 //! Labels are identifiers (`author`, `first-name`, …) and are interned via
 //! the shared interner so that data, schema, and query agree on label ids.
 
-use ssd_base::{Error, Result, SharedInterner};
+use ssd_base::{limits, Error, Result, SharedInterner};
 
 use crate::syntax::{LabelAtom, Regex};
 
 /// Parses a regular path expression, interning labels in `pool`.
+///
+/// Hardened against pathological input: inputs longer than
+/// [`limits::MAX_INPUT_LEN`] bytes or nesting parentheses deeper than
+/// [`limits::MAX_NEST_DEPTH`] are rejected with [`Error::Limit`]
+/// instead of risking a stack overflow in the recursive descent.
 pub fn parse_path_regex(input: &str, pool: &SharedInterner) -> Result<Regex<LabelAtom>> {
+    limits::check_input_len("path regex", input.len())?;
     let mut p = Parser::new(input, pool);
     let re = p.alt()?;
     p.skip_ws();
@@ -35,6 +41,9 @@ struct Parser<'a> {
     input: &'a str,
     pos: usize,
     pool: &'a SharedInterner,
+    /// Current parenthesis nesting depth — the only recursion in the
+    /// grammar (`atom → alt`), bounded by [`limits::MAX_NEST_DEPTH`].
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -43,6 +52,7 @@ impl<'a> Parser<'a> {
             input,
             pos: 0,
             pool,
+            depth: 0,
         }
     }
 
@@ -148,7 +158,10 @@ impl<'a> Parser<'a> {
                     self.bump();
                     return Ok(Regex::Epsilon);
                 }
+                self.depth += 1;
+                limits::check_depth("path regex", self.depth)?;
                 let re = self.alt()?;
+                self.depth -= 1;
                 self.expect(')')?;
                 Ok(re)
             }
@@ -283,6 +296,29 @@ mod tests {
         assert!(parse_path_regex("(a", &p).is_err());
         assert!(parse_path_regex("*a", &p).is_err());
         assert!(parse_path_regex("a)", &p).is_err());
+    }
+
+    #[test]
+    fn pathological_nesting_is_rejected_not_overflowed() {
+        let p = pool();
+        let deep = format!("{}a{}", "(".repeat(50_000), ")".repeat(50_000));
+        let err = parse_path_regex(&deep, &p).unwrap_err();
+        assert!(matches!(err, Error::Limit(_)), "{err}");
+        // Unclosed variant (no matching ')') must also be rejected early.
+        let open = "(".repeat(50_000);
+        assert!(parse_path_regex(&open, &p).is_err());
+        // At the limit boundary it still parses.
+        let ok_depth = ssd_base::limits::MAX_NEST_DEPTH;
+        let shallow = format!("{}a{}", "(".repeat(ok_depth), ")".repeat(ok_depth));
+        assert!(parse_path_regex(&shallow, &p).is_ok());
+    }
+
+    #[test]
+    fn oversized_input_is_rejected() {
+        let p = pool();
+        let huge = "a|".repeat(ssd_base::limits::MAX_INPUT_LEN / 2 + 1);
+        let err = parse_path_regex(&huge, &p).unwrap_err();
+        assert!(matches!(err, Error::Limit(_)));
     }
 
     #[test]

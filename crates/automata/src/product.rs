@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
+use ssd_base::budget::{Budget, BudgetResult};
 use ssd_obs::{names, Recorder};
 
 use crate::nfa::{Nfa, StateId};
@@ -33,10 +34,27 @@ pub fn product<A, B, C>(
 pub fn product_rec<A, B, C>(
     left: &Nfa<A>,
     right: &Nfa<B>,
-    mut combine: impl FnMut(&A, &B) -> Option<C>,
+    combine: impl FnMut(&A, &B) -> Option<C>,
     rec: &dyn Recorder,
 ) -> Nfa<C> {
+    product_b(left, right, combine, rec, Budget::unlimited_ref())
+        .expect("unlimited budget never trips")
+}
+
+/// [`product_rec`] under a [`Budget`]: one fuel unit per product state
+/// popped from the worklist, with the retained-bytes estimate covering
+/// the materialized pairs and edges.
+pub fn product_b<A, B, C>(
+    left: &Nfa<A>,
+    right: &Nfa<B>,
+    mut combine: impl FnMut(&A, &B) -> Option<C>,
+    rec: &dyn Recorder,
+    budget: &Budget,
+) -> BudgetResult<Nfa<C>> {
     let _span = ssd_obs::span(rec, names::span::PRODUCT);
+    let mut meter = budget.meter("product");
+    let pair_bytes = 3 * std::mem::size_of::<(StateId, StateId)>() + 64;
+    let edge_bytes = std::mem::size_of::<(StateId, StateId)>() + std::mem::size_of::<C>();
     let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
     let mut pairs: Vec<(StateId, StateId)> = Vec::new();
     let mut queue = VecDeque::new();
@@ -48,6 +66,9 @@ pub fn product_rec<A, B, C>(
 
     let mut edges: Vec<(StateId, C, StateId)> = Vec::new();
     while let Some((p, q)) = queue.pop_front() {
+        meter.set_frontier(queue.len());
+        meter.set_retained(pairs.len() * pair_bytes + edges.len() * edge_bytes);
+        meter.tick()?;
         let src = index[&(p, q)];
         for (a, p2) in left.edges(p) {
             for (b, q2) in right.edges(q) {
@@ -83,7 +104,7 @@ pub fn product_rec<A, B, C>(
             out.num_states() as u64,
         );
     }
-    out
+    Ok(out)
 }
 
 /// Intersection of two automata over the *same* atom type, where atoms are

@@ -51,9 +51,11 @@ pub fn write<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
 
 /// A hash map split into [`SHARDS`] independently locked shards.
 ///
-/// The API is deliberately narrow — lookup, double-checked insertion, and
-/// whole-map folds — because the cache layer only ever grows maps and
-/// reads them back; there is no removal and no invalidation.
+/// The API is deliberately narrow — lookup, double-checked insertion,
+/// whole-map folds, and bulk eviction ([`ShardedMap::retain`] /
+/// [`ShardedMap::clear`], used only by the session eviction policy).
+/// There is no per-key removal and no in-place invalidation: between
+/// eviction passes the maps are grow-only.
 pub struct ShardedMap<K, V> {
     shards: [RwLock<HashMap<K, V>>; SHARDS],
     contended: [AtomicU64; SHARDS],
@@ -188,6 +190,39 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         acc
     }
 
+    /// Removes every entry `f` returns `false` for, returning how many
+    /// were evicted. Shards are swept one at a time under their
+    /// exclusive lock, so readers of other shards are never blocked.
+    ///
+    /// This is the one departure from the grow-only contract, reserved
+    /// for the session eviction policy: it is sound because every
+    /// cached value is a pure function of its immutable key, so a
+    /// future miss recomputes an identical value (evict-then-recompute
+    /// ≡ never-evicted, up to allocation identity).
+    pub fn retain(&self, mut f: impl FnMut(&K, &V) -> bool) -> u64 {
+        let mut evicted = 0u64;
+        for idx in 0..SHARDS {
+            let mut shard = self.write_shard(idx);
+            let before = shard.len();
+            shard.retain(|k, v| f(k, v));
+            evicted += (before - shard.len()) as u64;
+        }
+        evicted
+    }
+
+    /// Removes every entry, returning how many there were. Same
+    /// soundness argument as [`Self::retain`] — an epoch flush only
+    /// costs recomputation, never correctness.
+    pub fn clear(&self) -> u64 {
+        let mut evicted = 0u64;
+        for idx in 0..SHARDS {
+            let mut shard = self.write_shard(idx);
+            evicted += shard.len() as u64;
+            shard.clear();
+        }
+        evicted
+    }
+
     /// Lock acquisitions (read or write) that found the shard lock held
     /// and had to block, summed over all shards.
     pub fn contended(&self) -> u64 {
@@ -259,6 +294,21 @@ mod tests {
             }
         }
         assert_eq!(m.len(), 64);
+    }
+
+    #[test]
+    fn retain_and_clear_count_evictions() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new();
+        for k in 0..100u64 {
+            m.insert_if_absent(k, k);
+        }
+        let evicted = m.retain(|&k, _| k % 2 == 0);
+        assert_eq!(evicted, 50);
+        assert_eq!(m.len(), 50);
+        assert_eq!(m.get(&2), Some(2));
+        assert_eq!(m.get(&3), None);
+        assert_eq!(m.clear(), 50);
+        assert!(m.is_empty());
     }
 
     #[test]

@@ -1,0 +1,594 @@
+//! Resource governance for the exponential engines.
+//!
+//! Table 2 of the paper is explicit that general satisfiability and
+//! type checking are exponential, so a long-running session serving
+//! adversarial (or merely large) inputs can disappear into
+//! determinization, product construction, or solver enumeration for an
+//! unbounded amount of time and memory. A [`Budget`] bounds that work:
+//! it carries optional *fuel* (a state/work-unit allowance), a
+//! wall-clock *deadline*, a *retained-bytes ceiling*, and a cooperative
+//! *cancellation* flag. Engines check it at their hot-loop frontiers
+//! through a [`Meter`] and, when the budget trips, unwind with an
+//! [`Exhausted`] diagnostic carrying partial progress instead of
+//! hanging or aborting.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **The unlimited budget must be free.** Every legacy entry point
+//!    delegates to a budgeted variant with [`Budget::unlimited`], so
+//!    the per-iteration cost on the unbudgeted path is a single
+//!    `Option` discriminant test (no atomics, no clock reads).
+//! 2. **Fuel trips are exact.** The meter flushes its local tick count
+//!    into the shared ledger at an adaptive quota — at most
+//!    [`CHECK_INTERVAL`] ticks, but never more than the remaining fuel
+//!    — so a budget of `n` units trips on tick `n + 1`, not at the
+//!    next round multiple of the flush interval. Deadline and
+//!    cancellation checks ride the same flush (amortized: one
+//!    `Instant::now()` per ≤ 256 ticks).
+//! 3. **Clones share one ledger.** `Budget` is an `Option<Arc<_>>`;
+//!    clones are cheap, fuel spent through any clone counts against
+//!    the same allowance, and [`Budget::cancel`] on one clone is
+//!    observed by meters on every other thread.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many ticks a [`Meter`] accumulates locally before flushing into
+/// the shared ledger and re-checking deadline/cancellation.
+pub const CHECK_INTERVAL: u64 = 256;
+
+/// Shared mutable state behind a governed [`Budget`]. All clones of
+/// one budget point at the same `Ledger`.
+#[derive(Debug)]
+struct Ledger {
+    /// Total fuel allowance (work units across all engines), if any.
+    fuel: Option<u64>,
+    /// Absolute wall-clock deadline, if any.
+    deadline: Option<Instant>,
+    /// Ceiling on bytes retained by a single engine's working set.
+    max_retained_bytes: Option<usize>,
+    /// Work units spent so far, across every meter and clone.
+    spent: AtomicU64,
+    /// Cooperative cancellation flag, settable from any clone.
+    cancelled: AtomicBool,
+}
+
+/// A cheap, cloneable resource budget.
+///
+/// The default ([`Budget::unlimited`]) carries no allocation and makes
+/// every check a no-op. Governed budgets are built fluently:
+///
+/// ```
+/// use ssd_base::budget::Budget;
+/// use std::time::Duration;
+///
+/// let b = Budget::unlimited()
+///     .with_fuel(100_000)
+///     .with_deadline_in(Duration::from_millis(50));
+/// assert!(!b.is_unlimited());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    ledger: Option<Arc<Ledger>>,
+}
+
+impl Budget {
+    /// The no-op budget: never trips, costs one branch per check.
+    pub fn unlimited() -> Budget {
+        Budget { ledger: None }
+    }
+
+    /// A shared reference to the no-op budget, for delegating legacy
+    /// entry points without constructing anything.
+    pub fn unlimited_ref() -> &'static Budget {
+        static UNLIMITED: Budget = Budget { ledger: None };
+        &UNLIMITED
+    }
+
+    /// A governed budget with no numeric limits — useful when only
+    /// cooperative cancellation ([`Budget::cancel`]) is wanted.
+    pub fn cancellable() -> Budget {
+        Budget::unlimited().governed()
+    }
+
+    /// Materialize the ledger so limits can be recorded. Keeps the
+    /// already-spent count when rebuilding.
+    fn governed(self) -> Budget {
+        if self.ledger.is_some() {
+            return self;
+        }
+        Budget {
+            ledger: Some(Arc::new(Ledger {
+                fuel: None,
+                deadline: None,
+                max_retained_bytes: None,
+                spent: AtomicU64::new(0),
+                cancelled: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// Rebuild the ledger with one field changed. Spent fuel and a
+    /// pending cancellation are carried over; other clones of the old
+    /// budget keep observing the *old* ledger (builder methods are for
+    /// configuration time, before the budget is shared).
+    fn rebuild(self, f: impl FnOnce(&mut LedgerConfig)) -> Budget {
+        let this = self.governed();
+        let ledger = this.ledger.as_ref().expect("governed() materialized");
+        let mut cfg = LedgerConfig {
+            fuel: ledger.fuel,
+            deadline: ledger.deadline,
+            max_retained_bytes: ledger.max_retained_bytes,
+        };
+        f(&mut cfg);
+        Budget {
+            ledger: Some(Arc::new(Ledger {
+                fuel: cfg.fuel,
+                deadline: cfg.deadline,
+                max_retained_bytes: cfg.max_retained_bytes,
+                spent: AtomicU64::new(ledger.spent.load(Ordering::Relaxed)),
+                cancelled: AtomicBool::new(ledger.cancelled.load(Ordering::Relaxed)),
+            })),
+        }
+    }
+
+    /// Limit total work to `fuel` units (states explored, assignments
+    /// tried, …) summed across every engine the budget is threaded
+    /// through.
+    pub fn with_fuel(self, fuel: u64) -> Budget {
+        self.rebuild(|c| c.fuel = Some(fuel))
+    }
+
+    /// Set an absolute wall-clock deadline.
+    pub fn with_deadline(self, deadline: Instant) -> Budget {
+        self.rebuild(|c| c.deadline = Some(deadline))
+    }
+
+    /// Set a wall-clock deadline `d` from now.
+    pub fn with_deadline_in(self, d: Duration) -> Budget {
+        self.rebuild(|c| c.deadline = Some(Instant::now() + d))
+    }
+
+    /// Cap the bytes an engine may retain in its working set (frontier
+    /// queues, subset tables, seen sets). Checked against the
+    /// engine-reported [`Meter::set_retained`] estimate.
+    pub fn with_byte_ceiling(self, bytes: usize) -> Budget {
+        self.rebuild(|c| c.max_retained_bytes = Some(bytes))
+    }
+
+    /// True for the no-op budget.
+    pub fn is_unlimited(&self) -> bool {
+        self.ledger.is_none()
+    }
+
+    /// Request cooperative cancellation. Meters on every clone observe
+    /// it at their next flush (≤ [`CHECK_INTERVAL`] ticks). A no-op on
+    /// an unlimited budget — build with [`Budget::cancellable`] (or any
+    /// limit) first.
+    pub fn cancel(&self) {
+        if let Some(l) = &self.ledger {
+            l.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Work units spent so far across all meters and clones.
+    pub fn spent(&self) -> u64 {
+        self.ledger
+            .as_ref()
+            .map_or(0, |l| l.spent.load(Ordering::Relaxed))
+    }
+
+    /// Remaining fuel, or `None` when fuel is not limited.
+    pub fn remaining_fuel(&self) -> Option<u64> {
+        let l = self.ledger.as_ref()?;
+        let fuel = l.fuel?;
+        Some(fuel.saturating_sub(l.spent.load(Ordering::Relaxed)))
+    }
+
+    /// Create a [`Meter`] for one engine invocation. The `engine` name
+    /// is carried into the [`Exhausted`] diagnostic on a trip.
+    pub fn meter(&self, engine: &'static str) -> Meter<'_> {
+        let mut m = Meter {
+            budget: self,
+            engine,
+            work: 0,
+            since_flush: 0,
+            quota: u64::MAX,
+            frontier: 0,
+            retained: 0,
+        };
+        if self.ledger.is_some() {
+            m.quota = 0; // force limit checks on the first tick
+        }
+        m
+    }
+}
+
+/// Mutable view of the configurable ledger fields, used by the fluent
+/// builder methods.
+struct LedgerConfig {
+    fuel: Option<u64>,
+    deadline: Option<Instant>,
+    max_retained_bytes: Option<usize>,
+}
+
+/// Which limit a budget trip hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TripReason {
+    /// The work-unit (fuel) allowance ran out.
+    Fuel,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The engine's retained working set exceeded the byte ceiling.
+    Memory,
+    /// [`Budget::cancel`] was called.
+    Cancelled,
+}
+
+impl fmt::Display for TripReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TripReason::Fuel => write!(f, "fuel exhausted"),
+            TripReason::Deadline => write!(f, "deadline passed"),
+            TripReason::Memory => write!(f, "retained-bytes ceiling exceeded"),
+            TripReason::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// Diagnostic returned when a budget trips: which engine, why, and how
+/// far it got.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exhausted {
+    /// The engine whose meter tripped (e.g. `"determinize"`,
+    /// `"solver"`, `"product_bfs"`).
+    pub engine: &'static str,
+    /// Which limit was hit.
+    pub reason: TripReason,
+    /// Work units (states explored, assignments tried, …) performed by
+    /// the tripping meter before the trip.
+    pub work_done: u64,
+    /// Size of the engine's frontier (queue, candidate set) at the
+    /// trip, as last reported via [`Meter::set_frontier`].
+    pub frontier: usize,
+    /// Bytes the engine estimated it had retained, as last reported
+    /// via [`Meter::set_retained`].
+    pub retained_bytes: usize,
+}
+
+impl fmt::Display for Exhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "budget exhausted in {}: {} after {} work units (frontier {}, ~{} bytes retained)",
+            self.engine, self.reason, self.work_done, self.frontier, self.retained_bytes
+        )
+    }
+}
+
+impl std::error::Error for Exhausted {}
+
+/// Result alias used by budgeted engine internals.
+pub type BudgetResult<T> = std::result::Result<T, Exhausted>;
+
+/// A three-valued outcome: the computation either ran to completion or
+/// gave up when its [`Budget`] tripped.
+///
+/// Budgeted entry points return `Result<Verdict<T>>` — structural
+/// errors (parse failures, unsupported classes) stay in the `Err`
+/// channel, while resource exhaustion is an *answer*, not an error:
+/// the session remains fully usable afterward.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict<T> {
+    /// The computation finished with this value.
+    Done(T),
+    /// The budget tripped before the computation finished.
+    Exhausted(Exhausted),
+}
+
+impl<T> Verdict<T> {
+    /// The completed value, if the computation finished.
+    pub fn done(self) -> Option<T> {
+        match self {
+            Verdict::Done(v) => Some(v),
+            Verdict::Exhausted(_) => None,
+        }
+    }
+
+    /// True when the budget tripped.
+    pub fn is_exhausted(&self) -> bool {
+        matches!(self, Verdict::Exhausted(_))
+    }
+
+    /// The trip diagnostic, if the budget tripped.
+    pub fn exhausted(&self) -> Option<&Exhausted> {
+        match self {
+            Verdict::Done(_) => None,
+            Verdict::Exhausted(e) => Some(e),
+        }
+    }
+
+    /// Map the completed value, preserving an exhaustion verdict.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Verdict<U> {
+        match self {
+            Verdict::Done(v) => Verdict::Done(f(v)),
+            Verdict::Exhausted(e) => Verdict::Exhausted(e),
+        }
+    }
+
+    /// Unwrap the completed value.
+    ///
+    /// # Panics
+    ///
+    /// Panics with `msg` if the verdict is [`Verdict::Exhausted`].
+    /// Intended for callers that passed [`Budget::unlimited`], which
+    /// structurally cannot trip.
+    pub fn expect_done(self, msg: &str) -> T {
+        match self {
+            Verdict::Done(v) => v,
+            Verdict::Exhausted(e) => panic!("{msg}: {e}"),
+        }
+    }
+}
+
+impl<T> From<BudgetResult<T>> for Verdict<T> {
+    fn from(r: BudgetResult<T>) -> Verdict<T> {
+        match r {
+            Ok(v) => Verdict::Done(v),
+            Err(e) => Verdict::Exhausted(e),
+        }
+    }
+}
+
+/// Per-engine-invocation tick counter over a [`Budget`].
+///
+/// Engines call [`Meter::tick`] once per unit of work (a state popped,
+/// an assignment tried). On the unlimited budget a tick is a single
+/// branch. On a governed budget, ticks accumulate locally and flush
+/// into the shared ledger at an adaptive quota that makes fuel trips
+/// exact while amortizing clock reads and atomics.
+pub struct Meter<'a> {
+    budget: &'a Budget,
+    engine: &'static str,
+    /// Total ticks by this meter (reported as `work_done` on a trip).
+    work: u64,
+    /// Ticks accumulated since the last ledger flush.
+    since_flush: u64,
+    /// Ticks allowed before the next flush; `u64::MAX` when unlimited.
+    quota: u64,
+    /// Caller-reported frontier size (diagnostic only).
+    frontier: usize,
+    /// Caller-reported retained-bytes estimate (checked against the
+    /// ceiling at each flush).
+    retained: usize,
+}
+
+impl Meter<'_> {
+    /// Record one unit of work; trips when a limit is exceeded.
+    #[inline]
+    pub fn tick(&mut self) -> BudgetResult<()> {
+        if self.budget.ledger.is_none() {
+            return Ok(());
+        }
+        self.work += 1;
+        self.since_flush += 1;
+        if self.since_flush > self.quota {
+            self.flush()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Report the current frontier size (queue length, candidate-set
+    /// size) for trip diagnostics.
+    #[inline]
+    pub fn set_frontier(&mut self, frontier: usize) {
+        self.frontier = frontier;
+    }
+
+    /// Report the engine's current retained-bytes estimate; checked
+    /// against the budget's byte ceiling at the next flush.
+    #[inline]
+    pub fn set_retained(&mut self, bytes: usize) {
+        self.retained = bytes;
+    }
+
+    /// Force a flush and limit check now, regardless of the quota.
+    /// Useful before committing to an expensive indivisible step.
+    pub fn checkpoint(&mut self) -> BudgetResult<()> {
+        if self.budget.ledger.is_none() {
+            return Ok(());
+        }
+        self.flush()
+    }
+
+    /// Total ticks recorded by this meter.
+    pub fn work(&self) -> u64 {
+        self.work
+    }
+
+    /// Engine name this meter reports as.
+    pub fn engine(&self) -> &'static str {
+        self.engine
+    }
+
+    /// Flush local ticks into the shared ledger, check every limit,
+    /// and compute the next quota.
+    #[cold]
+    fn flush(&mut self) -> BudgetResult<()> {
+        let ledger = self
+            .budget
+            .ledger
+            .as_ref()
+            .expect("flush is only reached on governed budgets");
+        let spent = ledger.spent.fetch_add(self.since_flush, Ordering::Relaxed) + self.since_flush;
+        self.since_flush = 0;
+        if ledger.cancelled.load(Ordering::Relaxed) {
+            return Err(self.trip(TripReason::Cancelled));
+        }
+        if let Some(deadline) = ledger.deadline {
+            if Instant::now() >= deadline {
+                return Err(self.trip(TripReason::Deadline));
+            }
+        }
+        if let Some(ceiling) = ledger.max_retained_bytes {
+            if self.retained > ceiling {
+                return Err(self.trip(TripReason::Memory));
+            }
+        }
+        let mut quota = CHECK_INTERVAL;
+        if let Some(fuel) = ledger.fuel {
+            if spent > fuel {
+                return Err(self.trip(TripReason::Fuel));
+            }
+            quota = quota.min(fuel - spent);
+        }
+        self.quota = quota;
+        Ok(())
+    }
+
+    fn trip(&self, reason: TripReason) -> Exhausted {
+        Exhausted {
+            engine: self.engine,
+            reason,
+            work_done: self.work,
+            frontier: self.frontier,
+            retained_bytes: self.retained,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = Budget::unlimited();
+        let mut m = b.meter("test");
+        for _ in 0..1_000_000 {
+            m.tick().expect("unlimited budget never trips");
+        }
+        assert_eq!(b.spent(), 0, "unlimited budget keeps no ledger");
+        assert_eq!(m.work(), 0, "unlimited meters skip even local counting");
+    }
+
+    #[test]
+    fn fuel_trip_is_exact() {
+        for fuel in [0u64, 1, 7, 255, 256, 257, 1000] {
+            let b = Budget::unlimited().with_fuel(fuel);
+            let mut m = b.meter("exact");
+            let mut ok_ticks = 0u64;
+            let trip = loop {
+                match m.tick() {
+                    Ok(()) => ok_ticks += 1,
+                    Err(e) => break e,
+                }
+                assert!(ok_ticks <= fuel + 1, "ran past the allowance");
+            };
+            assert_eq!(trip.reason, TripReason::Fuel);
+            // The tick that observes spent >= fuel trips; every earlier
+            // tick succeeds. Allowance n => exactly n successful ticks
+            // (n+1 for fuel 0 edge handled below).
+            assert!(
+                ok_ticks == fuel || (fuel == 0 && ok_ticks == 0),
+                "fuel {fuel}: {ok_ticks} successful ticks"
+            );
+            assert_eq!(trip.engine, "exact");
+        }
+    }
+
+    #[test]
+    fn fuel_is_shared_across_clones_and_meters() {
+        let b = Budget::unlimited().with_fuel(100);
+        let b2 = b.clone();
+        let mut m1 = b.meter("m1");
+        for _ in 0..60 {
+            m1.tick().expect("within allowance");
+        }
+        m1.checkpoint().expect("flush m1 ticks to the ledger");
+        let mut m2 = b2.meter("m2");
+        let mut trips = 0;
+        for _ in 0..60 {
+            if m2.tick().is_err() {
+                trips += 1;
+                break;
+            }
+        }
+        assert_eq!(trips, 1, "the clone sees fuel spent by the original");
+        assert!(b.spent() >= 100);
+    }
+
+    #[test]
+    fn deadline_trips() {
+        let b = Budget::unlimited().with_deadline_in(Duration::from_millis(0));
+        let mut m = b.meter("deadline");
+        let e = m.tick().expect_err("deadline already passed");
+        assert_eq!(e.reason, TripReason::Deadline);
+    }
+
+    #[test]
+    fn cancellation_is_observed_by_clones() {
+        let b = Budget::cancellable();
+        let handle = b.clone();
+        let mut m = b.meter("cancel");
+        m.tick().expect("not yet cancelled");
+        handle.cancel();
+        let e = m.checkpoint().expect_err("cancel observed at flush");
+        assert_eq!(e.reason, TripReason::Cancelled);
+    }
+
+    #[test]
+    fn byte_ceiling_trips_with_diagnostics() {
+        let b = Budget::unlimited().with_byte_ceiling(1024);
+        let mut m = b.meter("bytes");
+        m.set_retained(512);
+        m.set_frontier(3);
+        m.checkpoint().expect("under the ceiling");
+        m.set_retained(4096);
+        m.set_frontier(7);
+        let e = m.checkpoint().expect_err("over the ceiling");
+        assert_eq!(e.reason, TripReason::Memory);
+        assert_eq!(e.frontier, 7);
+        assert_eq!(e.retained_bytes, 4096);
+        let msg = e.to_string();
+        assert!(msg.contains("bytes"), "display names the limit: {msg}");
+    }
+
+    #[test]
+    fn verdict_maps_and_unwraps() {
+        let v: Verdict<u32> = Verdict::Done(2);
+        assert_eq!(v.clone().map(|x| x * 2).done(), Some(4));
+        assert!(!v.is_exhausted());
+        let e = Exhausted {
+            engine: "t",
+            reason: TripReason::Fuel,
+            work_done: 9,
+            frontier: 1,
+            retained_bytes: 0,
+        };
+        let x: Verdict<u32> = Verdict::Exhausted(e.clone());
+        assert!(x.is_exhausted());
+        assert_eq!(x.exhausted(), Some(&e));
+        assert_eq!(x.map(|v| v + 1).done(), None);
+    }
+
+    #[test]
+    fn builder_composes_limits() {
+        let b = Budget::unlimited()
+            .with_fuel(10)
+            .with_byte_ceiling(1 << 20)
+            .with_deadline_in(Duration::from_secs(3600));
+        assert!(!b.is_unlimited());
+        assert_eq!(b.remaining_fuel(), Some(10));
+        let mut m = b.meter("combo");
+        let e = loop {
+            if let Err(e) = m.tick() {
+                break e;
+            }
+        };
+        assert_eq!(e.reason, TripReason::Fuel, "fuel is the tightest limit");
+    }
+}

@@ -17,6 +17,11 @@ pub enum Error {
     /// An operation was applied to inputs outside its supported class
     /// (e.g. the PTIME algorithm invoked on an unordered schema).
     Unsupported(String),
+    /// An input exceeded a hard resource limit of a front-end
+    /// (input length, nesting depth) and was rejected before any
+    /// unbounded work could start. Distinct from budget exhaustion
+    /// ([`crate::budget::Exhausted`]), which bounds *engine* work.
+    Limit(String),
 }
 
 impl fmt::Display for Error {
@@ -26,6 +31,7 @@ impl fmt::Display for Error {
             Error::Invalid(m) => write!(f, "invalid input: {m}"),
             Error::Undefined(m) => write!(f, "undefined name: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Limit(m) => write!(f, "limit exceeded: {m}"),
         }
     }
 }
@@ -54,6 +60,11 @@ impl Error {
     /// Convenience constructor for unsupported-class errors.
     pub fn unsupported(msg: impl Into<String>) -> Self {
         Error::Unsupported(msg.into())
+    }
+
+    /// Convenience constructor for front-end resource-limit errors.
+    pub fn limit(msg: impl Into<String>) -> Self {
+        Error::Limit(msg.into())
     }
 }
 

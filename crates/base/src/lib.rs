@@ -7,12 +7,15 @@
 
 #![deny(missing_docs)]
 
+pub mod budget;
 pub mod error;
 pub mod ids;
 pub mod interner;
+pub mod limits;
 pub mod multiset;
 pub mod rng;
 
+pub use budget::{Budget, BudgetResult, Exhausted, Meter, TripReason, Verdict};
 pub use error::{Error, Result};
 pub use ids::{LabelId, OidId, TypeIdx, VarId};
 pub use interner::{Interner, SharedInterner};

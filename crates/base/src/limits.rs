@@ -1,0 +1,78 @@
+//! Hard limits shared by the textual front-ends.
+//!
+//! Every recursive-descent parser in the workspace (path regexes,
+//! ScmDL schemas, DTDs, data graphs, queries) enforces these before
+//! and during parsing so pathological input — megabytes of `(`s, a
+//! million postfix stars — produces a structured
+//! [`Error::Limit`](crate::Error::Limit) instead of a stack overflow
+//! or an unbounded allocation.
+
+/// Maximum accepted input length, in bytes, for any textual front-end.
+pub const MAX_INPUT_LEN: usize = 1 << 20;
+
+/// Maximum nesting depth (parenthesized groups, DTD content groups)
+/// a recursive-descent front-end will follow. Chosen so the deepest
+/// legal parse stays far inside the default thread stack.
+pub const MAX_NEST_DEPTH: usize = 128;
+
+/// Maximum number of entries in a single *unordered* pattern
+/// definition. The unordered-selection engine enumerates subsets of a
+/// definition's entries with a `u32` bitmask (`2^k` BFS columns), so
+/// the query front-end rejects definitions past this bound — they
+/// would be intractable to solve anyway.
+pub const MAX_UNORDERED_ENTRIES: usize = 20;
+
+/// Checks an input's length against [`MAX_INPUT_LEN`], naming the
+/// front-end in the error.
+pub fn check_input_len(front_end: &str, len: usize) -> crate::Result<()> {
+    if len > MAX_INPUT_LEN {
+        return Err(crate::Error::limit(format!(
+            "{front_end} input is {len} bytes; the front-end accepts at most {MAX_INPUT_LEN}"
+        )));
+    }
+    Ok(())
+}
+
+/// Checks a recursion depth against [`MAX_NEST_DEPTH`], naming the
+/// front-end in the error.
+pub fn check_depth(front_end: &str, depth: usize) -> crate::Result<()> {
+    if depth > MAX_NEST_DEPTH {
+        return Err(crate::Error::limit(format!(
+            "{front_end} input nests deeper than {MAX_NEST_DEPTH} levels"
+        )));
+    }
+    Ok(())
+}
+
+/// Checks an unordered pattern definition's entry count against
+/// [`MAX_UNORDERED_ENTRIES`].
+pub fn check_unordered_entries(count: usize) -> crate::Result<()> {
+    if count > MAX_UNORDERED_ENTRIES {
+        return Err(crate::Error::limit(format!(
+            "unordered pattern definition has {count} entries; the engine \
+             supports at most {MAX_UNORDERED_ENTRIES}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_guard() {
+        assert!(check_input_len("regex", 10).is_ok());
+        assert!(check_input_len("regex", MAX_INPUT_LEN).is_ok());
+        let err = check_input_len("regex", MAX_INPUT_LEN + 1).unwrap_err();
+        assert!(matches!(err, crate::Error::Limit(_)));
+        assert!(err.to_string().contains("regex"));
+    }
+
+    #[test]
+    fn depth_guard() {
+        assert!(check_depth("schema", MAX_NEST_DEPTH).is_ok());
+        let err = check_depth("schema", MAX_NEST_DEPTH + 1).unwrap_err();
+        assert!(matches!(err, crate::Error::Limit(_)));
+    }
+}

@@ -1,0 +1,110 @@
+//! Experiment EVICT.r1: cache eviction under memory pressure.
+//!
+//! A fixed cycle of distinct (schema, query) pairs is answered
+//! repeatedly through one session, once with unlimited caches and once
+//! under `SessionLimits` ceilings tight enough that the working set
+//! cannot be fully retained. Measured:
+//!
+//! * **throughput** — wall-clock per full cycle, capped vs unlimited
+//!   (the price of recomputing evicted entries);
+//! * **warm-hit ratio** — the feas-memo and type-graph hit ratios of
+//!   each configuration, printed as a report after timing;
+//! * **invariance** — every verdict under the caps is asserted equal to
+//!   the unlimited session's before timing (eviction must never change
+//!   an answer), and the capped session's `evicted` counter is asserted
+//!   nonzero (the ceilings really bind).
+//!
+//! `SSD_BENCH_QUICK=1` shrinks the cycle and sample count for CI smoke
+//! runs; `SSD_BENCH_TELEMETRY` writes the timing rows to the bench
+//! telemetry JSON.
+
+use ssd_bench::harness::{BenchmarkId, Criterion};
+use ssd_bench::workload;
+use ssd_bench::{criterion_group, criterion_main};
+use ssd_core::{Session, SessionLimits};
+use ssd_query::Query;
+use ssd_schema::Schema;
+
+fn quick() -> bool {
+    std::env::var_os("SSD_BENCH_QUICK").is_some()
+}
+
+/// Distinct workloads forming one repeated cycle (distinct schemas, so
+/// each carries its own type graph and feas entries).
+fn cycle(n: usize) -> Vec<(Schema, Query)> {
+    (0..n)
+        .map(|i| {
+            let (s, _tg, q) = workload(4200 + i as u64, 8 + (i % 5), 1 + (i % 3), false, false);
+            (s, q)
+        })
+        .collect()
+}
+
+/// Ceilings sized so roughly half the cycle's working set fits.
+fn binding_limits() -> SessionLimits {
+    SessionLimits::unlimited()
+        .max_type_graph_bytes(16 * 1024)
+        .max_feas_memo_entries(4)
+        .max_automata_entries(256)
+}
+
+fn run_cycle(sess: &Session, pairs: &[(Schema, Query)]) -> usize {
+    pairs
+        .iter()
+        .filter(|(s, q)| sess.satisfiable(q, s).unwrap().satisfiable)
+        .count()
+}
+
+fn eviction_throughput(c: &mut Criterion) {
+    let n = if quick() { 6 } else { 16 };
+    let pairs = cycle(n);
+
+    // Invariance gate: a capped session must agree with an unlimited one
+    // on every pair, cold and warm.
+    let capped = Session::with_limits(binding_limits());
+    let free = Session::new();
+    for round in 0..3 {
+        for (s, q) in &pairs {
+            assert_eq!(
+                capped.satisfiable(q, s).unwrap(),
+                free.satisfiable(q, s).unwrap(),
+                "round {round}: eviction changed a verdict"
+            );
+        }
+    }
+    assert!(
+        capped.stats().evicted > 0 || capped.stats().automata.evicted > 0,
+        "the ceilings are sized to bind on this cycle: {}",
+        capped.stats()
+    );
+
+    let mut g = c.benchmark_group("eviction/satisfiable_cycle");
+    g.sample_size(if quick() { 5 } else { 20 });
+    let unlimited = Session::new();
+    g.bench_with_input(BenchmarkId::new("unlimited", n), &n, |b, _| {
+        b.iter(|| run_cycle(&unlimited, &pairs))
+    });
+    let bounded = Session::with_limits(binding_limits());
+    g.bench_with_input(BenchmarkId::new("capped", n), &n, |b, _| {
+        b.iter(|| run_cycle(&bounded, &pairs))
+    });
+    g.finish();
+
+    // Warm-hit-ratio report (after timing, so the counters reflect the
+    // measured traffic).
+    for (name, sess) in [("unlimited", &unlimited), ("capped", &bounded)] {
+        let st = sess.stats();
+        println!(
+            "eviction report [{name}]: feas-memo hit ratio {:.1}%, type-graph hit ratio {:.1}%, \
+             {} session entries evicted, {} automata entries evicted, ~{} KiB type graphs retained",
+            st.feas_memo_table.hit_ratio() * 100.0,
+            st.type_graph_table.hit_ratio() * 100.0,
+            st.evicted,
+            st.automata.evicted,
+            st.type_graph_bytes / 1024,
+        );
+    }
+}
+
+criterion_group!(benches, eviction_throughput);
+criterion_main!(benches);

@@ -21,12 +21,13 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
+use ssd_base::budget::Budget;
 use ssd_base::rng::StdRng;
 use ssd_base::SharedInterner;
 
 use ssd_core::feas::{analyze, Constraints};
 use ssd_core::solver;
-use ssd_core::Session;
+use ssd_core::{Session, SessionLimits};
 use ssd_feedback::feedback_query;
 use ssd_gen::corpora::{bibliography, FEEDBACK_QUERY, PAPER_SCHEMA};
 use ssd_gen::sat3::Sat3;
@@ -142,6 +143,39 @@ fn telemetry_run(out: &Path) {
     // Type inference over the paper schema.
     let qi = parse_query("SELECT X WHERE Root = [paper -> X]", &pool).unwrap();
     let inferred = sess.infer(&qi, &s).unwrap();
+
+    // Resource-governance family: a deliberately under-fueled dispatch on
+    // an exponential 3SAT instance trips the budget (`budget_check` span,
+    // `budget_exhausted` counter), and a ceiling-bounded session replays
+    // mixed workloads until its caches shed entries (`cache_evicted`).
+    let mut grng = StdRng::seed_from_u64(2004);
+    let fg = Sat3::random(&mut grng, 8, 16);
+    let (sg, qg) = {
+        let poolg = SharedInterner::new();
+        (
+            parse_schema(&fg.schema_text(), &poolg).unwrap(),
+            parse_query(&fg.query_text(), &poolg).unwrap(),
+        )
+    };
+    let budget = Budget::unlimited().with_fuel(2_000);
+    let verdict = sess.satisfiable_budgeted(&qg, &sg, &budget).unwrap();
+    let trip = verdict
+        .exhausted()
+        .expect("2k fuel cannot finish the 2^8 family");
+    let mut evict_sess = Session::with_recorder(rec.clone());
+    evict_sess.set_limits(SessionLimits::unlimited().max_feas_memo_entries(1));
+    for seed in [7201u64, 7202, 7203, 7204] {
+        let (es, _, eq) = ssd_bench::workload(seed, 8, 2, false, false);
+        let _ = evict_sess.satisfiable(&eq, &es).unwrap();
+    }
+    println!(
+        "governance family: budget trip in `{}` ({}) after {} work units; \
+         {} cache entries evicted under a 1-entry memo ceiling",
+        trip.engine,
+        trip.reason,
+        trip.work_done,
+        evict_sess.stats().evicted
+    );
 
     println!(
         "verdicts: worked-example {:?}, trace-product {:?}, ptraces {}, 3SAT {:?}, \

@@ -10,6 +10,7 @@
 //! | constant-suffix query, tagged ordered schema | forced assignment ([`crate::tagged`]) | PTIME |
 //! | otherwise | complete search ([`crate::solver`]) | exponential (NP-complete problem) |
 
+use ssd_base::budget::{Budget, BudgetResult, Meter, Verdict};
 use ssd_base::VarId;
 use ssd_obs::{names, Recorder};
 use ssd_query::{Query, QueryClass, VarKind};
@@ -62,9 +63,39 @@ pub fn satisfiable_with_in(
     c: &Constraints,
     sess: &Session,
 ) -> crate::Result<SatOutcome> {
+    Ok(
+        satisfiable_with_in_b(q, s, c, sess, Budget::unlimited_ref())?
+            .expect_done("unlimited budget never trips"),
+    )
+}
+
+/// [`satisfiable_with_in`] under a [`Budget`]: the exponential engines
+/// (bounded-join enumeration, the general search) check the budget at
+/// their loop frontiers and, instead of hanging on an oversized
+/// instance, return [`Verdict::Exhausted`] with a diagnostic. The
+/// session remains fully usable afterward: partial engine state is
+/// never cached. Structural errors stay in the `Err` channel.
+pub fn satisfiable_with_in_b(
+    q: &Query,
+    s: &Schema,
+    c: &Constraints,
+    sess: &Session,
+    budget: &Budget,
+) -> crate::Result<Verdict<SatOutcome>> {
     let rec = sess.recorder();
     let _span = ssd_obs::span(rec, names::span::DISPATCH);
-    let outcome = dispatch_inner(q, s, c, sess, rec)?;
+    let _budget_span = if budget.is_unlimited() {
+        None
+    } else {
+        Some(ssd_obs::span(rec, names::span::BUDGET_CHECK))
+    };
+    let outcome = match dispatch_inner(q, s, c, sess, rec, budget)? {
+        Verdict::Done(o) => o,
+        Verdict::Exhausted(e) => {
+            rec.add(names::counter::BUDGET_EXHAUSTED, 1);
+            return Ok(Verdict::Exhausted(e));
+        }
+    };
     if rec.enabled() {
         rec.add(
             if outcome.satisfiable {
@@ -75,7 +106,7 @@ pub fn satisfiable_with_in(
             1,
         );
     }
-    Ok(outcome)
+    Ok(Verdict::Done(outcome))
 }
 
 fn dispatch_inner(
@@ -84,43 +115,52 @@ fn dispatch_inner(
     c: &Constraints,
     sess: &Session,
     rec: &dyn Recorder,
-) -> crate::Result<SatOutcome> {
+    budget: &Budget,
+) -> crate::Result<Verdict<SatOutcome>> {
     let qclass = QueryClass::of(q);
     let sclass = SchemaClass::of(s);
 
     if sclass.is_ordered_plus_homogeneous() {
         let tg = sess.type_graph(s);
         if qclass.join_free() {
+            // PTIME: runs to completion without budget checks.
             let _span = ssd_obs::span(rec, names::span::FEAS);
             let a = sess.feas_analysis(q, s, &tg, c);
-            return Ok(SatOutcome {
+            return Ok(Verdict::Done(SatOutcome {
                 satisfiable: a.satisfiable,
                 algorithm: Algorithm::TraceProduct,
-            });
+            }));
         }
         if qclass.bounded_joins(MAX_ENUMERATED_JOINS) && sclass.ordered {
             let _span = ssd_obs::span(rec, names::span::BOUNDED_JOINS);
-            let sat = bounded_joins(q, s, &tg, c, &qclass.join_vars, sess);
-            return Ok(SatOutcome {
-                satisfiable: sat,
-                algorithm: Algorithm::BoundedJoins,
+            let mut meter = budget.meter("bounded_joins");
+            let sat = bounded_joins(q, s, &tg, c, &qclass.join_vars, sess, &mut meter);
+            return Ok(match sat {
+                Ok(sat) => Verdict::Done(SatOutcome {
+                    satisfiable: sat,
+                    algorithm: Algorithm::BoundedJoins,
+                }),
+                Err(e) => Verdict::Exhausted(e),
             });
         }
         if sclass.tagged && qclass.constant_suffix {
+            // PTIME: runs to completion without budget checks.
             let _span = ssd_obs::span(rec, names::span::TAGGED);
             let sat = tagged::satisfiable_tagged_in(q, s, &tg, c, sess)?;
-            return Ok(SatOutcome {
+            return Ok(Verdict::Done(SatOutcome {
                 satisfiable: sat,
                 algorithm: Algorithm::TaggedSuffix,
-            });
+            }));
         }
     }
 
     let _span = ssd_obs::span(rec, names::span::SOLVER);
-    Ok(SatOutcome {
-        satisfiable: solver::solve_with_in(q, s, c, sess).satisfiable,
-        algorithm: Algorithm::GeneralSearch,
-    })
+    Ok(solver::solve_with_in_b(q, s, c, sess, budget)
+        .map(|r| SatOutcome {
+            satisfiable: r.satisfiable,
+            algorithm: Algorithm::GeneralSearch,
+        })
+        .into())
 }
 
 /// The bound `B` up to which join enumeration is treated as "bounded"
@@ -141,8 +181,9 @@ fn bounded_joins(
     base: &Constraints,
     join_vars: &[VarId],
     sess: &Session,
-) -> bool {
-    enumerate(q, s, tg, base, join_vars, 0, sess)
+    meter: &mut Meter<'_>,
+) -> BudgetResult<bool> {
+    enumerate(q, s, tg, base, join_vars, 0, sess, meter)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -154,7 +195,12 @@ fn enumerate(
     join_vars: &[VarId],
     i: usize,
     sess: &Session,
-) -> bool {
+    meter: &mut Meter<'_>,
+) -> BudgetResult<bool> {
+    // One fuel unit per enumeration node — the tree has `O(|S|^B)` leaves
+    // and each leaf runs a PTIME (but not free) feas analysis.
+    meter.set_frontier(join_vars.len() - i);
+    meter.tick()?;
     if i == join_vars.len() {
         // All join variables pinned: leaf-treat them, check the root tree
         // plus each join variable's own definition.
@@ -164,7 +210,7 @@ fn enumerate(
         }
         let root_ok = sess.feas_analysis(q, s, tg, &leafed).satisfiable;
         if !root_ok {
-            return false;
+            return Ok(false);
         }
         for &v in join_vars {
             if matches!(q.kind(v), VarKind::Node { .. }) {
@@ -173,11 +219,11 @@ fn enumerate(
                 own.leaf_vars.remove(&v);
                 let a = sess.feas_analysis(q, s, tg, &own);
                 if !a.feas[v.index()].contains(&t) {
-                    return false;
+                    return Ok(false);
                 }
             }
         }
-        return true;
+        return Ok(true);
     }
     let v = join_vars[i];
     match q.kind(v) {
@@ -190,11 +236,11 @@ fn enumerate(
                     continue;
                 }
                 let next = c.clone().pin_type(v, t);
-                if enumerate(q, s, tg, &next, join_vars, i + 1, sess) {
-                    return true;
+                if enumerate(q, s, tg, &next, join_vars, i + 1, sess, meter)? {
+                    return Ok(true);
                 }
             }
-            false
+            Ok(false)
         }
         VarKind::Value => {
             // One representative type per atomic kind.
@@ -211,11 +257,11 @@ fn enumerate(
                     continue;
                 }
                 let next = c.clone().pin_type(v, t);
-                if enumerate(q, s, tg, &next, join_vars, i + 1, sess) {
-                    return true;
+                if enumerate(q, s, tg, &next, join_vars, i + 1, sess, meter)? {
+                    return Ok(true);
                 }
             }
-            false
+            Ok(false)
         }
         VarKind::Label => {
             let mut labels = std::collections::BTreeSet::new();
@@ -229,11 +275,11 @@ fn enumerate(
                     continue;
                 }
                 let next = c.clone().pin_label(v, l);
-                if enumerate(q, s, tg, &next, join_vars, i + 1, sess) {
-                    return true;
+                if enumerate(q, s, tg, &next, join_vars, i + 1, sess, meter)? {
+                    return Ok(true);
                 }
             }
-            false
+            Ok(false)
         }
     }
 }

@@ -86,6 +86,21 @@ pub struct FeasAnalysis {
     pub satisfiable: bool,
 }
 
+impl FeasAnalysis {
+    /// Rough retained heap size of this analysis, for cache accounting.
+    /// Counts each feasible-set entry plus per-set and per-analysis node
+    /// overhead; the constants approximate `BTreeSet` internals and only
+    /// need to be stable, not exact.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .feas
+                .iter()
+                .map(|s| s.len() * (std::mem::size_of::<TypeIdx>() + 32) + 48)
+                .sum::<usize>()
+    }
+}
+
 /// Runs the analysis. Requires a join-free query (errors otherwise — use
 /// [`crate::solver`] or the bounded-join wrapper for joins). Path automata
 /// come from the global session's cache; pass a cache explicitly with
@@ -257,6 +272,8 @@ impl<'a> Engine<'a> {
                     Some(s) => s,
                     None => return false,
                 };
+                // Invariant: `compute_feas` skips uninhabited types, and
+                // every inhabited collection type has a pruned NFA.
                 let nfa = self.tg.pruned_nfa(t).expect("inhabited collection");
                 contains_ordered_selection(nfa, &sets)
             }
@@ -270,6 +287,8 @@ impl<'a> Engine<'a> {
                     // nonempty first-edge sets suffice.
                     sets.iter().all(|f| !f.is_empty())
                 } else {
+                    // Invariant: same as the ordered arm — `t` passed the
+                    // inhabitedness filter in `compute_feas`.
                     let nfa = self.tg.pruned_nfa(t).expect("inhabited collection");
                     contains_unordered_selection(nfa, &sets)
                 }

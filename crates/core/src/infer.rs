@@ -14,12 +14,13 @@
 
 use std::collections::BTreeSet;
 
+use ssd_base::budget::{Budget, Exhausted, Verdict};
 use ssd_base::{LabelId, TypeIdx, VarId};
 use ssd_obs::names;
 use ssd_query::{Query, VarKind};
 use ssd_schema::{Schema, TypeGraph};
 
-use crate::dispatch::satisfiable_with_in;
+use crate::dispatch::satisfiable_with_in_b;
 use crate::feas::Constraints;
 use crate::session::Session;
 use crate::Result;
@@ -50,12 +51,28 @@ pub fn infer(q: &Query, s: &Schema) -> Result<Vec<InferredAssignment>> {
 /// satisfiability tests of the search all share `sess`, so the path
 /// automata of `q` are built once for the whole enumeration.
 pub fn infer_in(q: &Query, s: &Schema, sess: &Session) -> Result<Vec<InferredAssignment>> {
+    Ok(
+        infer_in_b(q, s, sess, Budget::unlimited_ref())?
+            .expect_done("unlimited budget never trips"),
+    )
+}
+
+/// [`infer_in`] under a [`Budget`]: every per-prefix satisfiability
+/// test shares the budget, so an oversized enumeration returns
+/// [`Verdict::Exhausted`] (partial assignments are discarded — an
+/// incomplete inference is not an answer) instead of hanging.
+pub fn infer_in_b(
+    q: &Query,
+    s: &Schema,
+    sess: &Session,
+    budget: &Budget,
+) -> Result<Verdict<Vec<InferredAssignment>>> {
     let _span = ssd_obs::span(sess.recorder(), names::span::INFER);
     let tg = sess.type_graph(s);
     let select = q.select().to_vec();
     let mut out = Vec::new();
     let mut prefix = Vec::new();
-    search(
+    if let Some(e) = search(
         q,
         s,
         &tg,
@@ -65,12 +82,17 @@ pub fn infer_in(q: &Query, s: &Schema, sess: &Session) -> Result<Vec<InferredAss
         &mut prefix,
         &mut out,
         sess,
-    )?;
+        budget,
+    )? {
+        return Ok(Verdict::Exhausted(e));
+    }
     out.sort();
     out.dedup();
-    Ok(out)
+    Ok(Verdict::Done(out))
 }
 
+/// One step of the pruned DFS. `Ok(Some(e))` means the budget tripped
+/// somewhere below — unwind immediately.
 #[allow(clippy::too_many_arguments)]
 fn search(
     q: &Query,
@@ -82,17 +104,20 @@ fn search(
     prefix: &mut Vec<(VarId, InferredValue)>,
     out: &mut Vec<InferredAssignment>,
     sess: &Session,
-) -> Result<()> {
+    budget: &Budget,
+) -> Result<Option<Exhausted>> {
     // Prune unsatisfiable prefixes (also handles i == select.len()).
     sess.recorder().add(names::counter::INFER_PREFIXES, 1);
-    if !satisfiable_with_in(q, s, c, sess)?.satisfiable {
-        return Ok(());
+    match satisfiable_with_in_b(q, s, c, sess, budget)? {
+        Verdict::Exhausted(e) => return Ok(Some(e)),
+        Verdict::Done(o) if !o.satisfiable => return Ok(None),
+        Verdict::Done(_) => {}
     }
     if i == select.len() {
         out.push(InferredAssignment {
             entries: prefix.clone(),
         });
-        return Ok(());
+        return Ok(None);
     }
     let v = select[i];
     match q.kind(v) {
@@ -103,8 +128,11 @@ fn search(
                 }
                 let c2 = c.clone().pin_type(v, t);
                 prefix.push((v, InferredValue::Type(t)));
-                search(q, s, tg, select, i + 1, &c2, prefix, out, sess)?;
+                let tripped = search(q, s, tg, select, i + 1, &c2, prefix, out, sess, budget)?;
                 prefix.pop();
+                if tripped.is_some() {
+                    return Ok(tripped);
+                }
             }
         }
         VarKind::Label => {
@@ -117,12 +145,15 @@ fn search(
             for l in labels {
                 let c2 = c.clone().pin_label(v, l);
                 prefix.push((v, InferredValue::Label(l)));
-                search(q, s, tg, select, i + 1, &c2, prefix, out, sess)?;
+                let tripped = search(q, s, tg, select, i + 1, &c2, prefix, out, sess, budget)?;
                 prefix.pop();
+                if tripped.is_some() {
+                    return Ok(tripped);
+                }
             }
         }
     }
-    Ok(())
+    Ok(None)
 }
 
 #[cfg(test)]

@@ -16,8 +16,9 @@
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use ssd_automata::glushkov;
-use ssd_automata::ops::is_empty_product_rec;
+use ssd_automata::ops::is_empty_product_b;
 use ssd_automata::{LabelAtom, Nfa, Regex};
+use ssd_base::budget::{Budget, Verdict};
 use ssd_base::{Error, Result, TypeIdx, VarId};
 use ssd_obs::names;
 use ssd_query::{EdgeExpr, PatDef, Query, VarKind};
@@ -287,6 +288,8 @@ fn def_trace_automaton_one(
         // The pattern needs an ordered node; empty language.
         return Nfa::with_states(1, 0);
     }
+    // Invariant: the early return above guarantees an inhabited ordered
+    // type, and every such type has a pruned content automaton.
     let n0 = tg.pruned_nfa(root_t).expect("inhabited ordered root");
     let entry_nfas: Vec<Nfa<LabelAtom>> = entries.iter().map(|(r, _)| glushkov::build(r)).collect();
 
@@ -399,20 +402,39 @@ pub fn satisfiable_ptraces(q: &Query, s: &Schema) -> Result<bool> {
 /// [`satisfiable_ptraces`] through a session, with the product emptiness
 /// decided *lazily*: instead of materializing (and trimming) the whole
 /// `Tr(P) ∩ Tr(S)` automaton and then testing it, the product state space
-/// is explored on the fly ([`is_empty_product_rec`]) with the leaf filters
+/// is explored on the fly ([`is_empty_product_b`]) with the leaf filters
 /// folded into the step relation, returning at the first accepting state.
 /// The one-step semantics is [`Stepper`] — the same code the materialized
 /// construction runs — so the verdict is identical by construction; path
 /// automata come from the session's cache.
 pub fn satisfiable_ptraces_in(q: &Query, s: &Schema, sess: &Session) -> Result<bool> {
+    Ok(
+        satisfiable_ptraces_in_b(q, s, sess, Budget::unlimited_ref())?
+            .expect_done("unlimited budget never trips"),
+    )
+}
+
+/// [`satisfiable_ptraces_in`] under a [`Budget`]: the lazy product BFS
+/// ticks the budget per explored state and returns
+/// [`Verdict::Exhausted`] instead of completing an oversized
+/// exploration. Structural errors (multi-definition queries, label
+/// variables) stay in the `Err` channel.
+pub fn satisfiable_ptraces_in_b(
+    q: &Query,
+    s: &Schema,
+    sess: &Session,
+    budget: &Budget,
+) -> Result<Verdict<bool>> {
     let rec = sess.recorder();
     let _span = ssd_obs::span(rec, names::span::PTRACES);
     let (root_var, entries) = single_def(q)?;
     let tg = sess.type_graph(s);
     let root_t = s.root();
     if !matches!(s.def(root_t), TypeDef::Ordered(_)) || !tg.is_inhabited(root_t) {
-        return Ok(false);
+        return Ok(Verdict::Done(false));
     }
+    // Invariant: `is_inhabited(root_t)` was just checked, and every
+    // inhabited collection type has a pruned content automaton.
     let n0 = tg.pruned_nfa(root_t).expect("inhabited ordered root");
     let skip = reach_closure(n0);
     let cache = sess.automata();
@@ -431,12 +453,19 @@ pub fn satisfiable_ptraces_in(q: &Query, s: &Schema, sess: &Session) -> Result<b
         root_t,
         leaf_allowed: &leaf_allowed,
     };
-    let empty = is_empty_product_rec(
+    let empty = match is_empty_product_b(
         [St::Init],
         |st| stepper.accepting(st),
         |st, buf| stepper.successors(st, &mut |_, dst| buf.push(dst)),
         rec,
-    );
+        budget,
+    ) {
+        Ok(empty) => empty,
+        Err(e) => {
+            rec.add(names::counter::BUDGET_EXHAUSTED, 1);
+            return Ok(Verdict::Exhausted(e));
+        }
+    };
     if rec.enabled() {
         rec.add(
             if empty {
@@ -447,7 +476,7 @@ pub fn satisfiable_ptraces_in(q: &Query, s: &Schema, sess: &Session) -> Result<b
             1,
         );
     }
-    Ok(!empty)
+    Ok(Verdict::Done(!empty))
 }
 
 /// Enumerates the marker tuples (type assignments of all pattern

@@ -34,6 +34,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use ssd_automata::{AutomataCache, CacheStats, ShardedMap, TableStats};
+use ssd_base::budget::{Budget, Verdict};
 use ssd_obs::{names, Recorder};
 use ssd_query::Query;
 use ssd_schema::{Schema, TypeGraph};
@@ -61,12 +62,117 @@ impl std::hash::Hash for FeasMemoKey {
     }
 }
 
+/// A cached value plus its last-touch epoch stamp, for second-chance
+/// eviction. Clones share the stamp, so touching a returned handle
+/// refreshes the entry still sitting in the map.
+#[derive(Clone)]
+struct Tracked<T> {
+    value: T,
+    stamp: Arc<AtomicU64>,
+}
+
+impl<T> Tracked<T> {
+    fn new(value: T, epoch: u64) -> Tracked<T> {
+        Tracked {
+            value,
+            stamp: Arc::new(AtomicU64::new(epoch)),
+        }
+    }
+
+    fn touch(&self, epoch: u64) {
+        self.stamp.store(epoch, Ordering::Relaxed);
+    }
+}
+
+/// Approximate per-entry key/bookkeeping overhead of one feas-memo entry
+/// (the canonical key bytes plus map and stamp overhead), added on top of
+/// [`FeasAnalysis::approx_bytes`] when checking the byte ceiling.
+const FEAS_ENTRY_OVERHEAD_BYTES: usize = 96;
+
+/// Optional ceilings on a [`Session`]'s retained caches (ROADMAP:
+/// "bounded cache lifetimes"). All fields default to `None` — unlimited,
+/// the historical behavior. When a ceiling is exceeded after a miss, the
+/// session runs a *second-chance* eviction pass over the offending table:
+/// entries not touched since the previous pass are dropped; if the table
+/// is still over its ceiling, a hard-cap pass keeps roughly half the
+/// entries. Eviction is always sound — every cached value is a pure
+/// function of immutable keys, so evict-then-recompute returns
+/// bit-identical answers (the eviction-invariance differential test
+/// pins this down) — it costs recomputation, never correctness.
+///
+/// Size the ceilings from [`SessionStats`]: run a representative warm
+/// workload unlimited, read `type_graph_bytes` / `feas_memos` /
+/// `automata.nfas + automata.dfas + automata.verdicts`, and set ceilings
+/// at the steady-state working set (plus headroom) so only cold entries
+/// are shed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionLimits {
+    /// Ceiling on approximate heap bytes retained by cached type graphs.
+    pub max_type_graph_bytes: Option<usize>,
+    /// Ceiling on approximate heap bytes retained by the feas-analysis
+    /// memo (values plus per-entry key overhead).
+    pub max_feas_memo_bytes: Option<usize>,
+    /// Ceiling on the number of memoized feas-analysis entries.
+    pub max_feas_memo_entries: Option<usize>,
+    /// Ceiling on entries across the automata cache's artifact and
+    /// verdict tables ([`AutomataCache::artifact_entries`]); exceeding it
+    /// triggers a whole-cache epoch flush ([`AutomataCache::flush`]).
+    pub max_automata_entries: Option<usize>,
+}
+
+impl SessionLimits {
+    /// No ceilings at all (the default: caches only grow).
+    pub fn unlimited() -> SessionLimits {
+        SessionLimits::default()
+    }
+
+    /// Sets the type-graph byte ceiling.
+    pub fn max_type_graph_bytes(mut self, bytes: usize) -> SessionLimits {
+        self.max_type_graph_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the feas-memo byte ceiling.
+    pub fn max_feas_memo_bytes(mut self, bytes: usize) -> SessionLimits {
+        self.max_feas_memo_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the feas-memo entry ceiling.
+    pub fn max_feas_memo_entries(mut self, entries: usize) -> SessionLimits {
+        self.max_feas_memo_entries = Some(entries);
+        self
+    }
+
+    /// Sets the automata-cache entry ceiling.
+    pub fn max_automata_entries(mut self, entries: usize) -> SessionLimits {
+        self.max_automata_entries = Some(entries);
+        self
+    }
+
+    /// Whether any ceiling is set.
+    fn any(&self) -> bool {
+        self.max_type_graph_bytes.is_some()
+            || self.max_feas_memo_bytes.is_some()
+            || self.max_feas_memo_entries.is_some()
+            || self.max_automata_entries.is_some()
+    }
+}
+
 /// A handle to shared analysis caches. See the module docs.
 #[derive(Default)]
 pub struct Session {
     automata: AutomataCache,
-    type_graphs: ShardedMap<u64, Arc<TypeGraph>>,
-    feas_memo: ShardedMap<FeasMemoKey, Arc<FeasAnalysis>>,
+    type_graphs: ShardedMap<u64, Tracked<Arc<TypeGraph>>>,
+    feas_memo: ShardedMap<FeasMemoKey, Tracked<Arc<FeasAnalysis>>>,
+    /// Cache ceilings; all-`None` (the default) disables eviction.
+    limits: SessionLimits,
+    /// Second-chance clocks, one per governed table.
+    tg_epoch: AtomicU64,
+    fm_epoch: AtomicU64,
+    /// Session-table entries dropped by eviction passes (the automata
+    /// cache counts its own flushes separately).
+    evicted: AtomicU64,
     /// Observability sink, fixed at construction ([`Session::with_recorder`]).
     /// `None` means the engines run against the shared no-op recorder.
     recorder: Option<Arc<dyn Recorder>>,
@@ -80,6 +186,26 @@ impl Session {
     /// A fresh session with cold caches.
     pub fn new() -> Session {
         Session::default()
+    }
+
+    /// A fresh session whose caches are bounded by `limits` (see
+    /// [`SessionLimits`] for the eviction policy).
+    pub fn with_limits(limits: SessionLimits) -> Session {
+        Session {
+            limits,
+            ..Session::default()
+        }
+    }
+
+    /// Replaces the cache ceilings. Requires exclusive access; takes
+    /// effect at the next miss (no eager eviction pass).
+    pub fn set_limits(&mut self, limits: SessionLimits) {
+        self.limits = limits;
+    }
+
+    /// The session's cache ceilings.
+    pub fn limits(&self) -> SessionLimits {
+        self.limits
     }
 
     /// A fresh session whose engines report spans and counters into
@@ -114,21 +240,30 @@ impl Session {
         &self.automata
     }
 
-    /// The `TypeGraph` of `s`, computed once per schema per session.
+    /// The `TypeGraph` of `s`, computed once per schema per session (and
+    /// recomputed after an eviction, which yields an identical graph).
     pub fn type_graph(&self, s: &Schema) -> Arc<TypeGraph> {
         if let Some(tg) = self.type_graphs.get(&s.uid()) {
+            tg.touch(self.tg_epoch.load(Ordering::Relaxed));
             self.tg_hits.fetch_add(1, Ordering::Relaxed);
             self.recorder().add(names::counter::CACHE_TYPE_GRAPH_HIT, 1);
-            return tg;
+            return tg.value;
         }
         self.tg_misses.fetch_add(1, Ordering::Relaxed);
         let rec = self.recorder();
         rec.add(names::counter::CACHE_TYPE_GRAPH_MISS, 1);
         // Double-checked construction under the key's shard lock.
-        self.type_graphs.get_or_insert_with(s.uid(), || {
+        let entry = self.type_graphs.get_or_insert_with(s.uid(), || {
             let _span = ssd_obs::span(rec, names::span::TYPE_GRAPH);
-            Arc::new(TypeGraph::new(s))
-        })
+            Tracked::new(
+                Arc::new(TypeGraph::new(s)),
+                self.tg_epoch.load(Ordering::Relaxed),
+            )
+        });
+        if self.limits.max_type_graph_bytes.is_some() {
+            self.enforce_type_graph_limit();
+        }
+        entry.value
     }
 
     /// The trace-product analysis of `(q, c)` against `s`, memoized per
@@ -156,9 +291,10 @@ impl Session {
             key: FeasKey::new(q, c),
         };
         if let Some(a) = self.feas_memo.get(&key) {
+            a.touch(self.fm_epoch.load(Ordering::Relaxed));
             self.fm_hits.fetch_add(1, Ordering::Relaxed);
             rec.add(names::counter::CACHE_FEAS_MEMO_HIT, 1);
-            return a;
+            return a.value;
         }
         self.fm_misses.fetch_add(1, Ordering::Relaxed);
         rec.add(names::counter::CACHE_FEAS_MEMO_MISS, 1);
@@ -166,12 +302,166 @@ impl Session {
         // racing duplicate is rare and both sides produce equal values),
         // then publish with a double-checked insert.
         let built = Arc::new(feas::analyze_tree_obs(q, s, tg, c, self.automata(), rec));
-        self.feas_memo.insert_if_absent(key, built)
+        let entry = self.feas_memo.insert_if_absent(
+            key,
+            Tracked::new(built, self.fm_epoch.load(Ordering::Relaxed)),
+        );
+        if self.limits.any() {
+            self.enforce_feas_memo_limits();
+            self.enforce_automata_limit();
+        }
+        entry.value
+    }
+
+    /// Books `dropped` evicted entries into the session counter and the
+    /// recorder's `cache_evicted` telemetry.
+    fn note_evicted(&self, dropped: u64) {
+        if dropped > 0 {
+            self.evicted.fetch_add(dropped, Ordering::Relaxed);
+            self.recorder().add(names::counter::CACHE_EVICTED, dropped);
+        }
+    }
+
+    fn type_graph_bytes(&self) -> usize {
+        self.type_graphs
+            .fold_values(0, |n, t| n + t.value.approx_bytes())
+    }
+
+    /// Second-chance (then hard-cap) eviction over the type-graph cache.
+    fn enforce_type_graph_limit(&self) {
+        let Some(max) = self.limits.max_type_graph_bytes else {
+            return;
+        };
+        if self.type_graph_bytes() <= max {
+            return;
+        }
+        // Second chance: drop entries not touched since the last pass
+        // (freshly inserted or re-read entries carry the current epoch
+        // and survive), then open a new epoch.
+        let e = self.tg_epoch.load(Ordering::Relaxed);
+        let mut dropped = self
+            .type_graphs
+            .retain(|_, v| v.stamp.load(Ordering::Relaxed) >= e);
+        self.tg_epoch.store(e + 1, Ordering::Relaxed);
+        if self.type_graph_bytes() > max {
+            // Everything is hot and the table is still over its ceiling:
+            // hard cap at roughly half the entries (possibly zero — a
+            // single over-ceiling graph is shed and recomputed on demand).
+            let keep = self.type_graphs.len() / 2;
+            let mut seen = 0usize;
+            dropped += self.type_graphs.retain(|_, _| {
+                seen += 1;
+                seen <= keep
+            });
+        }
+        self.note_evicted(dropped);
+    }
+
+    /// Whether the feas memo exceeds its entry or byte ceiling.
+    fn feas_memo_over(&self) -> bool {
+        if let Some(max) = self.limits.max_feas_memo_entries {
+            if self.feas_memo.len() > max {
+                return true;
+            }
+        }
+        if let Some(max) = self.limits.max_feas_memo_bytes {
+            let bytes = self.feas_memo.fold_values(0, |n, t| {
+                n + t.value.approx_bytes() + FEAS_ENTRY_OVERHEAD_BYTES
+            });
+            if bytes > max {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Second-chance (then hard-cap) eviction over the feas memo.
+    fn enforce_feas_memo_limits(&self) {
+        if self.limits.max_feas_memo_bytes.is_none() && self.limits.max_feas_memo_entries.is_none()
+        {
+            return;
+        }
+        if !self.feas_memo_over() {
+            return;
+        }
+        let e = self.fm_epoch.load(Ordering::Relaxed);
+        let mut dropped = self
+            .feas_memo
+            .retain(|_, v| v.stamp.load(Ordering::Relaxed) >= e);
+        self.fm_epoch.store(e + 1, Ordering::Relaxed);
+        if self.feas_memo_over() {
+            let keep = self.feas_memo.len() / 2;
+            let mut seen = 0usize;
+            dropped += self.feas_memo.retain(|_, _| {
+                seen += 1;
+                seen <= keep
+            });
+        }
+        self.note_evicted(dropped);
+    }
+
+    /// Whole-cache epoch flush of the automata cache when its artifact
+    /// count exceeds the ceiling (the cache has no per-entry stamps; its
+    /// flush counts its own evictions into [`CacheStats::evicted`] and
+    /// `cache_evicted`).
+    fn enforce_automata_limit(&self) {
+        let Some(max) = self.limits.max_automata_entries else {
+            return;
+        };
+        if self.automata.artifact_entries() > max {
+            self.automata.flush();
+        }
     }
 
     /// Satisfiability (type correctness) through this session's caches.
     pub fn satisfiable(&self, q: &Query, s: &Schema) -> Result<SatOutcome> {
         dispatch::satisfiable_with_in(q, s, &Constraints::none(), self)
+    }
+
+    /// [`Session::satisfiable`] under a [`Budget`]: returns
+    /// [`Verdict::Exhausted`] instead of running past the budget's fuel,
+    /// deadline, or memory ceiling. The session stays fully usable after
+    /// a trip — partial work is discarded, caches keep only completed
+    /// artifacts.
+    pub fn satisfiable_budgeted(
+        &self,
+        q: &Query,
+        s: &Schema,
+        budget: &Budget,
+    ) -> Result<Verdict<SatOutcome>> {
+        dispatch::satisfiable_with_in_b(q, s, &Constraints::none(), self, budget)
+    }
+
+    /// [`Session::satisfiable_with`] under a [`Budget`].
+    pub fn satisfiable_with_budgeted(
+        &self,
+        q: &Query,
+        s: &Schema,
+        c: &Constraints,
+        budget: &Budget,
+    ) -> Result<Verdict<SatOutcome>> {
+        dispatch::satisfiable_with_in_b(q, s, c, self, budget)
+    }
+
+    /// [`Session::infer`] under a [`Budget`] (shared by every per-prefix
+    /// satisfiability probe of the enumeration).
+    pub fn infer_budgeted(
+        &self,
+        q: &Query,
+        s: &Schema,
+        budget: &Budget,
+    ) -> Result<Verdict<Vec<InferredAssignment>>> {
+        infer::infer_in_b(q, s, self, budget)
+    }
+
+    /// [`Session::satisfiable_ptraces`] under a [`Budget`].
+    pub fn satisfiable_ptraces_budgeted(
+        &self,
+        q: &Query,
+        s: &Schema,
+        budget: &Budget,
+    ) -> Result<Verdict<bool>> {
+        ptraces::satisfiable_ptraces_in_b(q, s, self, budget)
     }
 
     /// Satisfiability under pinned types/labels.
@@ -201,10 +491,10 @@ impl Session {
     pub fn stats(&self) -> SessionStats {
         SessionStats {
             automata: self.automata.stats(),
+            limits: self.limits,
+            evicted: self.evicted.load(Ordering::Relaxed),
             type_graphs: self.type_graphs.len(),
-            type_graph_bytes: self
-                .type_graphs
-                .fold_values(0, |acc, tg| acc + tg.approx_bytes()),
+            type_graph_bytes: self.type_graph_bytes(),
             type_graph_table: TableStats {
                 hits: self.tg_hits.load(Ordering::Relaxed),
                 misses: self.tg_misses.load(Ordering::Relaxed),
@@ -225,6 +515,12 @@ impl Session {
 pub struct SessionStats {
     /// Automata-cache counters.
     pub automata: CacheStats,
+    /// The cache ceilings in force when the snapshot was taken.
+    pub limits: SessionLimits,
+    /// Session-table entries (type graphs + feas memos) dropped by
+    /// eviction passes, cumulative; automata-cache flush evictions are in
+    /// [`CacheStats::evicted`].
+    pub evicted: u64,
     /// Number of schemas with a cached `TypeGraph`.
     pub type_graphs: usize,
     /// Approximate heap bytes retained by the cached type graphs.
@@ -280,10 +576,25 @@ impl std::fmt::Display for SessionStats {
             self.type_graphs,
             self.type_graph_bytes / 1024
         )?;
-        write!(
+        writeln!(
             f,
             "feas memo: {} entries; session shard contention: {} blocked acquisitions",
             self.feas_memos, self.contended
+        )?;
+        let fmt_limit = |l: Option<usize>| match l {
+            Some(n) => n.to_string(),
+            None => "unlimited".to_string(),
+        };
+        write!(
+            f,
+            "limits: type-graph bytes {}, feas-memo bytes {}, feas-memo entries {}, \
+             automata entries {}; evicted: {} session entries, {} automata entries",
+            fmt_limit(self.limits.max_type_graph_bytes),
+            fmt_limit(self.limits.max_feas_memo_bytes),
+            fmt_limit(self.limits.max_feas_memo_entries),
+            fmt_limit(self.limits.max_automata_entries),
+            self.evicted,
+            self.automata.evicted,
         )
     }
 }
@@ -375,5 +686,72 @@ mod tests {
         let (q, s) = setup();
         let sess = Session::new();
         assert_eq!(sess.infer(&q, &s).unwrap(), crate::infer(&q, &s).unwrap());
+    }
+
+    #[test]
+    fn unlimited_session_never_evicts() {
+        let (q, s) = setup();
+        let sess = Session::new();
+        for _ in 0..3 {
+            sess.satisfiable(&q, &s).unwrap();
+        }
+        let stats = sess.stats();
+        assert_eq!(stats.evicted, 0);
+        assert_eq!(stats.automata.evicted, 0);
+    }
+
+    #[test]
+    fn byte_cap_evicts_without_changing_verdicts() {
+        let (q, s) = setup();
+        // A 1-byte ceiling forces eviction after every miss; repeated
+        // queries then alternate miss/evict but always agree with an
+        // unlimited session.
+        let sess = Session::with_limits(
+            SessionLimits::unlimited()
+                .max_type_graph_bytes(1)
+                .max_feas_memo_bytes(1),
+        );
+        let free = Session::new();
+        for _ in 0..4 {
+            let bounded = sess.satisfiable(&q, &s).unwrap();
+            let unlimited = free.satisfiable(&q, &s).unwrap();
+            assert_eq!(bounded, unlimited);
+        }
+        let stats = sess.stats();
+        assert!(stats.evicted > 0, "byte ceiling must shed entries");
+        // The hard cap floors at len/2 = 0 for single-entry tables, so
+        // nothing over-ceiling lingers.
+        assert_eq!(stats.type_graph_bytes, 0);
+    }
+
+    #[test]
+    fn entry_cap_bounds_the_feas_memo() {
+        let pool = SharedInterner::new();
+        let s = parse_schema("T = [a->U.b->V]; U = int; V = string", &pool).unwrap();
+        let sess = Session::with_limits(SessionLimits::unlimited().max_feas_memo_entries(2));
+        // Distinct pins create distinct memo entries.
+        let q = parse_query("SELECT X WHERE Root = [_ -> X]", &pool).unwrap();
+        let x = q.var_by_name("X").unwrap();
+        for t in s.types() {
+            let c = Constraints::none().pin_type(x, t);
+            sess.satisfiable_with(&q, &s, &c).unwrap();
+        }
+        let stats = sess.stats();
+        assert!(stats.evicted > 0);
+        assert!(stats.feas_memos <= 3, "cap plus at most one fresh insert");
+    }
+
+    #[test]
+    fn automata_cap_flushes_the_shared_cache() {
+        let pool = SharedInterner::new();
+        let s = parse_schema("T = [a->U.b->V]; U = int; V = string", &pool).unwrap();
+        let sess = Session::with_limits(SessionLimits::unlimited().max_automata_entries(1));
+        let q = parse_query("SELECT X WHERE Root = [a.b?.(a|b)* -> X]", &pool).unwrap();
+        sess.satisfiable(&q, &s).unwrap();
+        let stats = sess.stats();
+        assert!(stats.automata.evicted > 0, "cap of 1 must trigger a flush");
+        // And the flushed session still answers correctly.
+        let again = sess.satisfiable(&q, &s).unwrap();
+        assert_eq!(again, Session::new().satisfiable(&q, &s).unwrap());
     }
 }

@@ -29,6 +29,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 use ssd_automata::{AutomataCache, LabelAtom, Nfa};
+use ssd_base::budget::{Budget, BudgetResult, Exhausted, Meter};
 use ssd_base::{LabelId, TypeIdx, VarId};
 use ssd_obs::{names, Recorder};
 use ssd_query::{EdgeExpr, PatDef, Query, QueryClass, VarKind};
@@ -63,9 +64,24 @@ pub fn solve_with(q: &Query, s: &Schema, c: &Constraints) -> SolveResult {
 /// [`solve_with`] through an explicit session: the schema's `TypeGraph`
 /// and the per-entry path automata come from the session's caches.
 pub fn solve_with_in(q: &Query, s: &Schema, c: &Constraints, sess: &Session) -> SolveResult {
+    solve_with_in_b(q, s, c, sess, Budget::unlimited_ref()).expect("unlimited budget never trips")
+}
+
+/// [`solve_with_in`] under a [`Budget`]: one fuel unit per search node
+/// expanded ([`Ctx::sat_node`]) and per join assignment tried, with the
+/// retained-bytes estimate covering the success memo. An `Err` means
+/// the budget tripped before the search finished; the session's caches
+/// remain valid (the solver memoizes per call, not per session).
+pub fn solve_with_in_b(
+    q: &Query,
+    s: &Schema,
+    c: &Constraints,
+    sess: &Session,
+    budget: &Budget,
+) -> BudgetResult<SolveResult> {
     let tg = sess.type_graph(s);
     let class = QueryClass::of(q);
-    let mut ctx = Ctx::new(q, s, &tg, c, sess.automata(), sess.recorder());
+    let mut ctx = Ctx::new(q, s, &tg, c, sess.automata(), sess.recorder(), budget);
 
     // Domains for join variables.
     let join_vars: Vec<VarId> = class.join_vars.clone();
@@ -73,10 +89,10 @@ pub fn solve_with_in(q: &Query, s: &Schema, c: &Constraints, sess: &Session) -> 
     for &v in &join_vars {
         let dom = ctx.join_domain(v);
         if dom.is_empty() {
-            return SolveResult {
+            return Ok(SolveResult {
                 satisfiable: false,
                 join_assignment: None,
-            };
+            });
         }
         domains.push(dom);
     }
@@ -84,6 +100,7 @@ pub fn solve_with_in(q: &Query, s: &Schema, c: &Constraints, sess: &Session) -> 
     // Enumerate the product of join domains.
     let mut pick = vec![0usize; join_vars.len()];
     loop {
+        ctx.meter.tick()?;
         let mut types = c.var_types.clone();
         let mut labels = c.label_vars.clone();
         let mut consistent = true;
@@ -102,19 +119,24 @@ pub fn solve_with_in(q: &Query, s: &Schema, c: &Constraints, sess: &Session) -> 
             }
         }
         if consistent && ctx.check_assignment(&join_vars, &types, &labels) {
-            return SolveResult {
+            return Ok(SolveResult {
                 satisfiable: true,
                 join_assignment: Some((types, labels)),
-            };
+            });
+        }
+        // A trip inside the recursive search surfaces as `false` above;
+        // re-raise it instead of moving on to the next assignment.
+        if let Some(e) = ctx.tripped.take() {
+            return Err(e);
         }
         // Advance the odometer.
         let mut i = 0;
         loop {
             if i == pick.len() {
-                return SolveResult {
+                return Ok(SolveResult {
                     satisfiable: false,
                     join_assignment: None,
-                };
+                });
             }
             pick[i] += 1;
             if pick[i] < domains[i].len() {
@@ -125,10 +147,10 @@ pub fn solve_with_in(q: &Query, s: &Schema, c: &Constraints, sess: &Session) -> 
         }
         if pick.is_empty() {
             // No join variables: single iteration.
-            return SolveResult {
+            return Ok(SolveResult {
                 satisfiable: false,
                 join_assignment: None,
-            };
+            });
         }
     }
 }
@@ -165,7 +187,16 @@ struct Ctx<'a> {
     memo_true: HashSet<(TypeIdx, Vec<Req>, Vec<VarId>)>,
     on_stack: Vec<(TypeIdx, Vec<Req>, Vec<VarId>)>,
     rec: &'a dyn Recorder,
+    /// Budget meter: one tick per search node / join assignment.
+    meter: Meter<'a>,
+    /// Set when the meter trips inside the boolean recursion; the
+    /// nearest fallible caller re-raises it as an `Err`.
+    tripped: Option<Exhausted>,
 }
+
+/// Rough heap footprint of one success-memo entry, for the budget's
+/// retained-bytes diagnostic.
+const MEMO_ENTRY_BYTES: usize = 160;
 
 impl<'a> Ctx<'a> {
     fn new(
@@ -175,6 +206,7 @@ impl<'a> Ctx<'a> {
         base: &'a Constraints,
         cache: &AutomataCache,
         rec: &'a dyn Recorder,
+        budget: &'a Budget,
     ) -> Ctx<'a> {
         let entry_nfas = q
             .defs()
@@ -202,6 +234,8 @@ impl<'a> Ctx<'a> {
             memo_true: HashSet::new(),
             on_stack: Vec::new(),
             rec,
+            meter: budget.meter("solver"),
+            tripped: None,
         }
     }
 
@@ -280,7 +314,21 @@ impl<'a> Ctx<'a> {
 
     /// Can a node of type `t` absorb the arriving requirements and anchor
     /// the given variables, in some instance?
+    ///
+    /// A budget trip inside this boolean recursion is recorded in
+    /// `self.tripped` and surfaces as `false` (the search unwinds
+    /// without exploring further); [`solve_with_in_b`] re-raises it.
     fn sat_node(&mut self, t: TypeIdx, arriving: Vec<Req>, anchors: Vec<VarId>) -> bool {
+        if self.tripped.is_some() {
+            return false;
+        }
+        self.meter.set_frontier(self.on_stack.len());
+        self.meter
+            .set_retained(self.memo_true.len() * MEMO_ENTRY_BYTES);
+        if let Err(e) = self.meter.tick() {
+            self.tripped = Some(e);
+            return false;
+        }
         self.rec.add(names::counter::SOLVER_NODES, 1);
         if !self.tg.is_inhabited(t) {
             return false;
@@ -521,6 +569,10 @@ impl<'a> Ctx<'a> {
     ) -> Option<Option<Req>> {
         match item {
             PendingItem::Cont(req) => {
+                // Invariant, not input-reachable: label-variable entries
+                // always finish on arrival (`finish_split` never pushes
+                // them into `continuing`), so a continuing requirement
+                // always has a regex NFA.
                 let nfa = self.entry_nfas[req.def_idx][req.entry_idx]
                     .as_deref()
                     .expect("continuing reqs are regex entries");
@@ -576,6 +628,8 @@ impl<'a> Ctx<'a> {
                         }))
                     }
                     EdgeExpr::Regex(_) => {
+                        // Invariant: `entry_nfas` is built index-aligned
+                        // with the defs, `Some` exactly for regex entries.
                         let nfa = self.entry_nfas[*def_idx][*entry_idx]
                             .as_deref()
                             .expect("regex entry");
@@ -638,7 +692,9 @@ impl<'a> Ctx<'a> {
         ) {
             return true;
         }
-        // Take this option, if compatible with the group.
+        // Take this option, if compatible with the group. Invariant: every
+        // element of `options` came from a successful `advance`, which
+        // always wraps a concrete `Req` for both entry kinds.
         let (i, adv) = &options[oi];
         let req = adv.clone().expect("advance returns Some(req)");
         let compatible = match &pending[*i] {

@@ -10,7 +10,7 @@
 //! integers, floats, `"strings"`, and booleans. The first definition is the
 //! root. `→` is accepted as a synonym for `->`.
 
-use ssd_base::{Error, Result, SharedInterner};
+use ssd_base::{limits, Error, Result, SharedInterner};
 
 use crate::builder::GraphBuilder;
 use crate::graph::DataGraph;
@@ -18,7 +18,13 @@ use crate::node::Edge;
 use crate::value::Value;
 
 /// Parses a data graph from the textual syntax.
+///
+/// Hardened against pathological input: inputs longer than
+/// [`limits::MAX_INPUT_LEN`] bytes are rejected with [`Error::Limit`].
+/// The grammar itself is non-recursive (edge lists are flat), so no
+/// nesting-depth guard is needed.
 pub fn parse_data_graph(input: &str, pool: &SharedInterner) -> Result<DataGraph> {
+    limits::check_input_len("data graph", input.len())?;
     let mut p = Lexer::new(input);
     let mut b = GraphBuilder::new(pool.clone());
     let mut any = false;
@@ -357,6 +363,14 @@ mod tests {
         assert!(parse_data_graph("o1 = {a -> }", &p).is_err());
         assert!(parse_data_graph("o1 = [a -> o2", &p).is_err());
         assert!(parse_data_graph("o1 = \"unterminated", &p).is_err());
+    }
+
+    #[test]
+    fn oversized_input_is_rejected() {
+        let p = pool();
+        let huge = " ".repeat(ssd_base::limits::MAX_INPUT_LEN + 1);
+        let err = parse_data_graph(&huge, &p).unwrap_err();
+        assert!(matches!(err, Error::Limit(_)), "{err}");
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub mod span {
     /// Feas-memo lookup + (on miss) trace-product analysis
     /// (`ssd_core::Session::feas_analysis`).
     pub const FEAS_MEMO: &str = "feas_memo";
+    /// Budget-governed dispatch wrapper: covers the budgeted engine run
+    /// plus the meter flushes inside it (`ssd_core::dispatch`).
+    pub const BUDGET_CHECK: &str = "budget_check";
 }
 
 /// Counter names. Cache counters come in `_hit`/`_miss` pairs, one pair
@@ -98,4 +101,10 @@ pub mod counter {
     pub const VERDICT_UNSAT: &str = "verdict_unsat";
     /// Spans dropped because the recorder's span table was full.
     pub const SPANS_DROPPED: &str = "obs_spans_dropped";
+    /// Budgeted runs that returned `Verdict::Exhausted` (a fuel,
+    /// deadline, memory, or cancellation trip).
+    pub const BUDGET_EXHAUSTED: &str = "budget_exhausted";
+    /// Entries evicted from session-owned caches by the
+    /// `SessionLimits` epoch/second-chance policy.
+    pub const CACHE_EVICTED: &str = "cache_evicted";
 }

@@ -16,13 +16,21 @@
 use std::collections::HashMap;
 
 use ssd_automata::{LabelAtom, Regex};
-use ssd_base::{Error, Result, SharedInterner, VarId};
+use ssd_base::{limits, Error, Result, SharedInterner, VarId};
 use ssd_model::Value;
 
 use crate::pattern::{EdgeExpr, PatDef, PatEdge, Query, VarKind};
 
 /// Parses a selection query.
+///
+/// Hardened against pathological input: inputs longer than
+/// [`limits::MAX_INPUT_LEN`] bytes, path expressions nesting
+/// parentheses deeper than [`limits::MAX_NEST_DEPTH`], and unordered
+/// pattern definitions with more than [`limits::MAX_UNORDERED_ENTRIES`]
+/// entries (the unordered-selection engine's `u32` subset-mask bound)
+/// are all rejected with [`Error::Limit`].
 pub fn parse_query(input: &str, pool: &SharedInterner) -> Result<Query> {
+    limits::check_input_len("query", input.len())?;
     let mut p = P {
         input,
         pos: 0,
@@ -30,6 +38,7 @@ pub fn parse_query(input: &str, pool: &SharedInterner) -> Result<Query> {
         names: Vec::new(),
         kinds: Vec::new(),
         by_name: HashMap::new(),
+        depth: 0,
     };
     p.keyword("SELECT")?;
     let mut select_names: Vec<String> = Vec::new();
@@ -163,6 +172,9 @@ struct P<'a> {
     names: Vec<String>,
     kinds: Vec<VarKind>,
     by_name: HashMap<String, VarId>,
+    /// Parenthesis nesting depth inside path expressions — the only
+    /// recursion in the grammar, bounded by [`limits::MAX_NEST_DEPTH`].
+    depth: usize,
 }
 
 fn parse_def(p: &mut P<'_>) -> Result<(VarId, PatDef)> {
@@ -174,6 +186,10 @@ fn parse_def(p: &mut P<'_>) -> Result<(VarId, PatDef)> {
         Some('{') => {
             p.eat('{');
             let es = parse_entries(p, '}')?;
+            // The unordered-selection engine enumerates entry subsets with
+            // a u32 bitmask; reject definitions past that bound here so
+            // the engine's invariant holds for every parsed query.
+            limits::check_unordered_entries(es.len())?;
             Ok((v, PatDef::Unordered(es)))
         }
         Some('[') => {
@@ -293,7 +309,10 @@ fn regex_atom(p: &mut P<'_>) -> Result<Regex<LabelAtom>> {
                 p.eat(')');
                 return Ok(Regex::Epsilon);
             }
+            p.depth += 1;
+            limits::check_depth("query path expression", p.depth)?;
             let re = regex_alt(p)?;
+            p.depth -= 1;
             p.expect(')')?;
             Ok(re)
         }
@@ -647,6 +666,47 @@ mod tests {
     fn select_variable_must_occur() {
         let p = pool();
         assert!(parse_query("SELECT Z WHERE Root = {a -> X}", &p).is_err());
+    }
+
+    #[test]
+    fn oversized_unordered_definition_rejected() {
+        let p = pool();
+        let n = ssd_base::limits::MAX_UNORDERED_ENTRIES;
+        let entries = |k: usize| {
+            (0..k)
+                .map(|i| format!("l{i} -> X{i}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let too_many = format!("SELECT WHERE Root = {{{}}}", entries(n + 1));
+        let err = parse_query(&too_many, &p).unwrap_err();
+        assert!(matches!(err, Error::Limit(_)), "{err}");
+        // Exactly at the bound is fine.
+        let at_bound = format!("SELECT WHERE Root = {{{}}}", entries(n));
+        assert!(parse_query(&at_bound, &p).is_ok());
+        // Ordered definitions are not subject to the bound.
+        let ordered = format!("SELECT WHERE Root = [{}]", entries(n + 1));
+        assert!(parse_query(&ordered, &p).is_ok());
+    }
+
+    #[test]
+    fn pathological_nesting_is_rejected_not_overflowed() {
+        let p = pool();
+        let deep = format!(
+            "SELECT WHERE Root = {{{}a{} -> X}}",
+            "(".repeat(50_000),
+            ")".repeat(50_000)
+        );
+        let err = parse_query(&deep, &p).unwrap_err();
+        assert!(matches!(err, Error::Limit(_)), "{err}");
+    }
+
+    #[test]
+    fn oversized_input_is_rejected() {
+        let p = pool();
+        let huge = " ".repeat(ssd_base::limits::MAX_INPUT_LEN + 1);
+        let err = parse_query(&huge, &p).unwrap_err();
+        assert!(matches!(err, Error::Limit(_)));
     }
 
     #[test]

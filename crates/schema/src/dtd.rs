@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 
-use ssd_base::{Error, Result, SharedInterner, TypeIdx};
+use ssd_base::{limits, Error, Result, SharedInterner, TypeIdx};
 
 use crate::atomic::AtomicType;
 use crate::schema::{Schema, SchemaBuilder};
@@ -22,7 +22,13 @@ use ssd_automata::Regex;
 
 /// Parses a DTD into a schema. The first `<!ELEMENT …>` declaration is the
 /// root type (the paper's convention for schemas).
+///
+/// Hardened against pathological input: inputs longer than
+/// [`limits::MAX_INPUT_LEN`] bytes or content groups nested deeper than
+/// [`limits::MAX_NEST_DEPTH`] are rejected with [`Error::Limit`]
+/// instead of risking a stack overflow in the recursive descent.
 pub fn parse_dtd(input: &str, pool: &SharedInterner) -> Result<Schema> {
+    limits::check_input_len("DTD", input.len())?;
     // Pass 1: collect declarations.
     let mut decls: Vec<(String, String)> = Vec::new();
     let mut rest = input;
@@ -92,6 +98,7 @@ fn parse_content(
     let mut p = C {
         input: trimmed,
         pos: 0,
+        depth: 0,
     };
     let re = p.alt(pool, b, type_of)?;
     p.skip_ws();
@@ -106,6 +113,9 @@ fn parse_content(
 struct C<'a> {
     input: &'a str,
     pos: usize,
+    /// Group nesting depth — the only recursion in the grammar
+    /// (`atom → alt`), bounded by [`limits::MAX_NEST_DEPTH`].
+    depth: usize,
 }
 
 impl<'a> C<'a> {
@@ -204,7 +214,10 @@ impl<'a> C<'a> {
         type_of: &HashMap<String, TypeIdx>,
     ) -> Result<Regex<SchemaAtom>> {
         if self.eat('(') {
+            self.depth += 1;
+            limits::check_depth("DTD content model", self.depth)?;
             let re = self.alt(pool, b, type_of)?;
+            self.depth -= 1;
             if !self.eat(')') {
                 return Err(Error::parse("expected ')' in content model"));
             }
@@ -326,6 +339,34 @@ mod tests {
             parse_dtd("<!ELEMENT t EMPTY > <!ELEMENT t EMPTY >", &pool).is_err(),
             "duplicate element"
         );
+    }
+
+    #[test]
+    fn pathological_nesting_is_rejected_not_overflowed() {
+        let pool = SharedInterner::new();
+        let deep = format!(
+            "<!ELEMENT t {}a{} > <!ELEMENT a EMPTY >",
+            "(".repeat(50_000),
+            ")".repeat(50_000)
+        );
+        let err = parse_dtd(&deep, &pool).err().expect("deep nesting");
+        assert!(matches!(err, Error::Limit(_)), "{err}");
+        // At the limit boundary it still parses.
+        let d = ssd_base::limits::MAX_NEST_DEPTH;
+        let shallow = format!(
+            "<!ELEMENT t {}a{} > <!ELEMENT a EMPTY >",
+            "(".repeat(d),
+            ")".repeat(d)
+        );
+        assert!(parse_dtd(&shallow, &pool).is_ok());
+    }
+
+    #[test]
+    fn oversized_input_is_rejected() {
+        let pool = SharedInterner::new();
+        let huge = " ".repeat(ssd_base::limits::MAX_INPUT_LEN + 1);
+        let err = parse_dtd(&huge, &pool).err().expect("oversized");
+        assert!(matches!(err, Error::Limit(_)));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! accepted as a synonym for `.` (the paper itself writes
 //! `T1={(a→T2,b→T3)|(d→T4)}`). Referenceable type ids are `&`-prefixed.
 
-use ssd_base::{Error, Result, SharedInterner};
+use ssd_base::{limits, Error, Result, SharedInterner};
 
 use crate::atomic::AtomicType;
 use crate::schema::{Schema, SchemaBuilder};
@@ -18,11 +18,18 @@ use crate::types::{SchemaAtom, TypeDef};
 use ssd_automata::Regex;
 
 /// Parses an ScmDL schema. The first definition is the root type.
+///
+/// Hardened against pathological input: inputs longer than
+/// [`limits::MAX_INPUT_LEN`] bytes or nesting groups deeper than
+/// [`limits::MAX_NEST_DEPTH`] are rejected with [`Error::Limit`]
+/// instead of risking a stack overflow in the recursive descent.
 pub fn parse_schema(input: &str, pool: &SharedInterner) -> Result<Schema> {
+    limits::check_input_len("ScmDL schema", input.len())?;
     let mut p = P {
         input,
         pos: 0,
         pool,
+        depth: 0,
     };
     let mut b = SchemaBuilder::new(pool.clone());
     let mut any = false;
@@ -54,6 +61,9 @@ struct P<'a> {
     input: &'a str,
     pos: usize,
     pool: &'a SharedInterner,
+    /// Parenthesis nesting depth — the only recursion in the grammar
+    /// (`atom → alt`), bounded by [`limits::MAX_NEST_DEPTH`].
+    depth: usize,
 }
 
 fn parse_def(p: &mut P<'_>, b: &mut SchemaBuilder) -> Result<()> {
@@ -149,7 +159,10 @@ fn parse_atom(p: &mut P<'_>, b: &mut SchemaBuilder) -> Result<Regex<SchemaAtom>>
                 p.bump();
                 return Ok(Regex::Epsilon);
             }
+            p.depth += 1;
+            limits::check_depth("ScmDL schema", p.depth)?;
             let r = parse_alt(p, b)?;
+            p.depth -= 1;
             p.expect(')')?;
             Ok(r)
         }
@@ -346,6 +359,30 @@ mod tests {
         ] {
             assert!(parse_schema(bad, &pool).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn pathological_nesting_is_rejected_not_overflowed() {
+        let pool = SharedInterner::new();
+        let deep = format!(
+            "T = [{}a->X{}]; X = int",
+            "(".repeat(50_000),
+            ")".repeat(50_000)
+        );
+        let err = parse_schema(&deep, &pool).err().expect("deep nesting");
+        assert!(matches!(err, Error::Limit(_)), "{err}");
+        // At the limit boundary it still parses.
+        let d = ssd_base::limits::MAX_NEST_DEPTH;
+        let shallow = format!("T = [{}a->X{}]; X = int", "(".repeat(d), ")".repeat(d));
+        assert!(parse_schema(&shallow, &pool).is_ok());
+    }
+
+    #[test]
+    fn oversized_input_is_rejected() {
+        let pool = SharedInterner::new();
+        let huge = " ".repeat(ssd_base::limits::MAX_INPUT_LEN + 1);
+        let err = parse_schema(&huge, &pool).err().expect("oversized");
+        assert!(matches!(err, Error::Limit(_)));
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Seeded fuzzing of every textual front-end (tier-1 robustness):
+//! random byte soup and mutated valid inputs are fed through the regex,
+//! ScmDL schema, DTD, data-graph, and query parsers, asserting the
+//! parsers **return** — `Ok` or a structured `Err` — and never panic,
+//! overflow the stack, or hang on the depth/length limits.
+//!
+//! Deterministic by construction (`ssd_base::rng::StdRng`): a failure
+//! reproduces from its printed seed.
+
+use ssd::base::rng::{Rng, StdRng};
+use ssd::base::SharedInterner;
+
+/// Valid exemplars per front-end, used both directly and as mutation
+/// seeds (mutations of valid inputs probe deeper grammar states than
+/// byte soup alone).
+const REGEXES: &[&str] = &[
+    "a.b.c",
+    "(a|b)*.c?",
+    "_+.(x.y)*",
+    "a.b|c.d",
+    "((a|b).(c|d))*",
+];
+
+const SCHEMAS: &[&str] = &[
+    "T = [a->U.(b->V)*.c->W]; U = [x->P]; V = int; W = string; P = int",
+    "DOC = [(paper->PAPER)*]; PAPER = [title->T.(author->A)*]; T = string; A = string",
+    "T = {(item->U)*}; U = [a->W.b->W2]; W = int; W2 = string",
+    "T = [a->U | b->B]; U = int; B = [x->B]",
+];
+
+const DTDS: &[&str] = &[
+    "<!ELEMENT doc (title, (author)*) > <!ELEMENT title (#PCDATA) > <!ELEMENT author (#PCDATA) >",
+    "<!ELEMENT a (b | c)+ > <!ELEMENT b EMPTY > <!ELEMENT c (#PCDATA) >",
+];
+
+const DATA_GRAPHS: &[&str] = &[
+    "root = [a -> n1, b -> n2]; n1 = {x -> n3}; n2 = \"hello\"; n3 = 42",
+    "root = [paper -> p]; p = [title -> t]; t = \"T1\"",
+];
+
+const QUERIES: &[&str] = &[
+    "SELECT X WHERE Root = [a.x -> X, c -> Y]",
+    r#"SELECT X1 WHERE Root = [paper -> X1]; X1 = [author.name._+ -> X2]; X2 = "V""#,
+    "SELECT L WHERE Root = [L -> X]",
+    "SELECT X WHERE Root = {a -> &X, b -> &X}",
+    "SELECT X WHERE Root = [(a|b)*.c -> X]",
+];
+
+/// Random printable-biased byte soup: mostly ASCII the grammars react
+/// to, with occasional arbitrary unicode to probe decoding paths.
+fn byte_soup(rng: &mut StdRng, len: usize) -> String {
+    const ALPHABET: &[u8] = b"abcxyzRSTUVW0123456789 \t\n.,;|*+?&%$#@!\"'()[]{}<>=->_";
+    let mut out = String::with_capacity(len);
+    for _ in 0..len {
+        if rng.gen_bool(0.02) {
+            out.push(char::from_u32(rng.gen_range(0x80u32..0x2FFF)).unwrap_or('\u{FFFD}'));
+        } else {
+            out.push(ALPHABET[rng.gen_range(0..ALPHABET.len())] as char);
+        }
+    }
+    out
+}
+
+/// Mutate a valid input: splice, duplicate, delete, and flip characters
+/// while keeping most of the structure intact.
+fn mutate(rng: &mut StdRng, input: &str) -> String {
+    let mut chars: Vec<char> = input.chars().collect();
+    let edits = 1 + rng.gen_range(0..4usize);
+    for _ in 0..edits {
+        if chars.is_empty() {
+            break;
+        }
+        let i = rng.gen_range(0..chars.len());
+        match rng.gen_range(0..4u8) {
+            0 => {
+                chars.remove(i);
+            }
+            1 => {
+                let c = chars[i];
+                chars.insert(i, c);
+            }
+            2 => {
+                let j = rng.gen_range(0..chars.len());
+                chars.swap(i, j);
+            }
+            _ => {
+                const REPL: &[char] = &['(', ')', '[', ']', '{', '}', '|', '*', '.', '-', '>'];
+                chars[i] = REPL[rng.gen_range(0..REPL.len())];
+            }
+        }
+    }
+    chars.into_iter().collect()
+}
+
+/// Run one input through every parser; the only acceptable outcomes are
+/// `Ok` and a structured error.
+fn feed_all(input: &str) {
+    let pool = SharedInterner::new();
+    let _ = ssd::automata::parser::parse_path_regex(input, &pool);
+    let _ = ssd::schema::parse_schema(input, &pool);
+    let _ = ssd::schema::parse_dtd(input, &pool);
+    let _ = ssd::model::parse_data_graph(input, &pool);
+    let _ = ssd::query::parse_query(input, &pool);
+}
+
+#[test]
+fn byte_soup_never_panics() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = rng.gen_range(0..512usize);
+        let input = byte_soup(&mut rng, len);
+        feed_all(&input);
+    }
+}
+
+#[test]
+fn mutated_valid_inputs_never_panic() {
+    let corpora: &[&[&str]] = &[REGEXES, SCHEMAS, DTDS, DATA_GRAPHS, QUERIES];
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0xF00D + seed);
+        for corpus in corpora {
+            for base in *corpus {
+                let input = mutate(&mut rng, base);
+                feed_all(&input);
+            }
+        }
+    }
+}
+
+#[test]
+fn valid_exemplars_still_parse() {
+    // Guards the corpus itself: mutations of garbage fuzz nothing.
+    let pool = SharedInterner::new();
+    for r in REGEXES {
+        ssd::automata::parser::parse_path_regex(r, &pool).expect(r);
+    }
+    for s in SCHEMAS {
+        ssd::schema::parse_schema(s, &pool).expect(s);
+    }
+    for d in DTDS {
+        ssd::schema::parse_dtd(d, &pool).expect(d);
+    }
+    for g in DATA_GRAPHS {
+        ssd::model::parse_data_graph(g, &pool).expect(g);
+    }
+    for q in QUERIES {
+        ssd::query::parse_query(q, &pool).expect(q);
+    }
+}
+
+#[test]
+fn adversarial_depth_and_length_are_rejected_structurally() {
+    let pool = SharedInterner::new();
+    // Deep nesting: a structured `Err`, not a stack overflow.
+    let deep = format!("{}a{}", "(".repeat(60_000), ")".repeat(60_000));
+    assert!(ssd::automata::parser::parse_path_regex(&deep, &pool).is_err());
+    let deep_schema = format!(
+        "T = [{}a->U{}]; U = int",
+        "(".repeat(60_000),
+        ")".repeat(60_000)
+    );
+    assert!(ssd::schema::parse_schema(&deep_schema, &pool)
+        .err()
+        .is_some());
+    let deep_query = format!(
+        "SELECT X WHERE Root = [{}a{} -> X]",
+        "(".repeat(60_000),
+        ")".repeat(60_000)
+    );
+    assert!(ssd::query::parse_query(&deep_query, &pool).is_err());
+    // Oversized input: rejected up front.
+    let huge = "a".repeat((1 << 20) + 1);
+    assert!(ssd::model::parse_data_graph(&huge, &pool).is_err());
+    assert!(ssd::schema::parse_dtd(&huge, &pool).err().is_some());
+}
