@@ -113,6 +113,47 @@ impl<A: ClassAtom> Dfa<A> {
         self.accepting[q]
     }
 
+    /// Checks structural invariants: the start state is in range, every
+    /// state has exactly one transition row with one slot per alphabet
+    /// class (the determinism invariant, given that classes partition the
+    /// alphabet), every present target is in range, and the accepting
+    /// table covers every state. Panics on violation in debug builds;
+    /// compiles to a no-op in release.
+    pub fn debug_validate(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let n = self.num_states();
+            assert!(
+                self.start < n,
+                "DFA start state {} out of range (num_states = {n})",
+                self.start
+            );
+            assert_eq!(
+                self.accepting.len(),
+                n,
+                "DFA accepting table does not cover every state"
+            );
+            for (q, row) in self.trans.iter().enumerate() {
+                assert_eq!(
+                    row.len(),
+                    self.classes.len(),
+                    "DFA state {q} has {} transition slots for {} alphabet classes",
+                    row.len(),
+                    self.classes.len()
+                );
+                for (c, tgt) in row.iter().enumerate() {
+                    if let Some(r) = tgt {
+                        assert!(
+                            *r < n,
+                            "DFA transition {q} --class {c}--> {r} targets a state \
+                             out of range (num_states = {n})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     /// Converts back to an NFA (used by regex reconstruction).
     pub fn to_nfa(&self) -> Nfa<A> {
         let mut n = Nfa::with_states(self.num_states(), self.start);
@@ -126,6 +167,7 @@ impl<A: ClassAtom> Dfa<A> {
                 n.set_accepting(q, true);
             }
         }
+        n.debug_validate();
         n
     }
 }
@@ -238,12 +280,14 @@ pub fn determinize_with_classes_b<A: ClassAtom>(
         .iter()
         .map(|set| set.iter().any(|&q| nfa.is_accepting(q)))
         .collect();
-    Ok(Dfa {
+    let dfa = Dfa {
         classes,
         trans,
         start: 0,
         accepting,
-    })
+    };
+    dfa.debug_validate();
+    Ok(dfa)
 }
 
 /// [`minimize`] with instrumentation: wraps the refinement in a
@@ -313,12 +357,14 @@ pub fn minimize_b<A: ClassAtom>(dfa: &Dfa<A>, budget: &Budget) -> BudgetResult<D
         })
         .collect();
     let accepting = (0..num_blocks).map(|b| dfa.accepting[repr[b]]).collect();
-    Ok(Dfa {
+    let min = Dfa {
         classes: dfa.classes.clone(),
         trans,
         start: block[dfa.start],
         accepting,
-    })
+    };
+    min.debug_validate();
+    Ok(min)
 }
 
 /// Whether `L(left) ⊆ L(right)`, decided by an on-the-fly subset-pair walk
@@ -461,5 +507,19 @@ mod tests {
         let nfa = build(&re);
         let back = minimize(&determinize(&nfa)).to_nfa();
         assert!(equivalent(&nfa, &back));
+    }
+
+    #[test]
+    fn constructions_yield_well_formed_automata() {
+        // Each construction already self-checks under debug_assertions;
+        // this exercises the external entry points explicitly.
+        let re = Regex::concat(vec![Regex::star(Regex::alt(vec![l(0), l(1)])), l(2)]);
+        let nfa = build(&re);
+        nfa.debug_validate();
+        let dfa = determinize(&nfa);
+        dfa.debug_validate();
+        let min = minimize(&dfa);
+        min.debug_validate();
+        min.to_nfa().debug_validate();
     }
 }

@@ -166,6 +166,7 @@ pub fn build<A: Clone>(re: &Regex<A>) -> Nfa<A> {
     if info.nullable {
         nfa.set_accepting(0, true);
     }
+    nfa.debug_validate();
     nfa
 }
 

@@ -85,6 +85,39 @@ impl<A> Nfa<A> {
         self.transitions.iter().map(Vec::len).sum()
     }
 
+    /// Checks structural invariants: the start state and every transition
+    /// target are in range, and the accepting table covers every state.
+    /// Panics on violation in debug builds; compiles to a no-op in release.
+    ///
+    /// [`Nfa::add_transition`] deliberately does not bounds-check its
+    /// target (the constructions guarantee validity by design and run in
+    /// hot paths), so builders call this once after assembly to catch
+    /// malformed automata early instead of as a latent index panic later.
+    pub fn debug_validate(&self) {
+        #[cfg(debug_assertions)]
+        {
+            assert!(
+                self.start < self.num_states(),
+                "NFA start state {} out of range (num_states = {})",
+                self.start,
+                self.num_states()
+            );
+            assert_eq!(
+                self.accepting.len(),
+                self.transitions.len(),
+                "NFA accepting table does not cover every state"
+            );
+            for (q, _, r) in self.all_edges() {
+                assert!(
+                    r < self.num_states(),
+                    "NFA transition {q} -> {r} targets a state out of range \
+                     (num_states = {})",
+                    self.num_states()
+                );
+            }
+        }
+    }
+
     /// Approximate heap bytes retained by this automaton (capacities of
     /// the owned vectors; atoms counted at their inline size, so any
     /// atom-owned heap data is an undercount).
@@ -195,5 +228,19 @@ mod tests {
         assert_eq!(n.num_states(), 3);
         assert_eq!(n.num_transitions(), 2);
         assert_eq!(n.accepting_states(), vec![2]);
+    }
+
+    #[test]
+    fn debug_validate_accepts_well_formed_nfa() {
+        ab_nfa().debug_validate();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of range")]
+    fn debug_validate_catches_dangling_transition_target() {
+        let mut n = ab_nfa();
+        n.add_transition(0, LabelAtom::Any, 17);
+        n.debug_validate();
     }
 }

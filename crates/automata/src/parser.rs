@@ -13,6 +13,8 @@
 //! Labels are identifiers (`author`, `first-name`, …) and are interned via
 //! the shared interner so that data, schema, and query agree on label ids.
 
+use std::fmt;
+
 use ssd_base::{limits, Error, Result, SharedInterner};
 
 use crate::syntax::{LabelAtom, Regex};
@@ -29,10 +31,7 @@ pub fn parse_path_regex(input: &str, pool: &SharedInterner) -> Result<Regex<Labe
     let re = p.alt()?;
     p.skip_ws();
     if !p.at_end() {
-        return Err(Error::parse(format!(
-            "unexpected trailing input at byte {} in regex {input:?}",
-            p.pos
-        )));
+        return Err(p.err(format!("unexpected trailing input in regex {input:?}")));
     }
     Ok(re)
 }
@@ -60,6 +59,11 @@ impl<'a> Parser<'a> {
         &self.input[self.pos..]
     }
 
+    /// A parse error located at the current position.
+    fn err(&self, msg: impl fmt::Display) -> Error {
+        Error::parse_at(msg, self.input, self.pos)
+    }
+
     fn at_end(&self) -> bool {
         self.pos >= self.input.len()
     }
@@ -82,12 +86,15 @@ impl<'a> Parser<'a> {
     }
 
     fn expect(&mut self, c: char) -> Result<()> {
+        self.skip_ws();
+        let at = self.pos;
         match self.bump() {
             Some(got) if got == c => Ok(()),
-            other => Err(Error::parse(format!(
-                "expected '{c}' at byte {} of {:?}, found {other:?}",
-                self.pos, self.input
-            ))),
+            other => Err(Error::parse_at(
+                format!("expected '{c}', found {other:?}"),
+                self.input,
+                at,
+            )),
         }
     }
 
@@ -177,10 +184,7 @@ impl<'a> Parser<'a> {
                     Ok(Regex::atom(LabelAtom::Label(self.pool.intern(&word))))
                 }
             }
-            other => Err(Error::parse(format!(
-                "expected regex atom at byte {} of {:?}, found {other:?}",
-                self.pos, self.input
-            ))),
+            other => Err(self.err(format!("expected regex atom, found {other:?}"))),
         }
     }
 
@@ -296,6 +300,22 @@ mod tests {
         assert!(parse_path_regex("(a", &p).is_err());
         assert!(parse_path_regex("*a", &p).is_err());
         assert!(parse_path_regex("a)", &p).is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        let p = pool();
+        let err = parse_path_regex("a|\n*b", &p).unwrap_err();
+        let msg = err.to_string();
+        let loc = ssd_base::span::extract_location(&msg);
+        assert_eq!(loc, Some((2, 1)), "{msg}");
+        let err = parse_path_regex("a b )", &p).unwrap_err();
+        let msg = err.to_string();
+        assert_eq!(
+            ssd_base::span::extract_location(&msg),
+            Some((1, 5)),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -94,6 +94,7 @@ pub fn product_b<A, B, C>(
             out.set_accepting(i, true);
         }
     }
+    out.debug_validate();
     if rec.enabled() {
         rec.add(
             names::counter::PRODUCT_STATES_MATERIALIZED,

@@ -66,6 +66,16 @@ impl Error {
     pub fn limit(msg: impl Into<String>) -> Self {
         Error::Limit(msg.into())
     }
+
+    /// A parse error located at byte `pos` of `src`, rendered with the
+    /// canonical `line L, column C` suffix all front-ends share (see
+    /// [`crate::span::format_location`]).
+    pub fn parse_at(msg: impl fmt::Display, src: &str, pos: usize) -> Self {
+        Error::Parse(format!(
+            "{msg} at {}",
+            crate::span::format_location(src, pos)
+        ))
+    }
 }
 
 #[cfg(test)]

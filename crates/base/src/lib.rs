@@ -14,6 +14,7 @@ pub mod interner;
 pub mod limits;
 pub mod multiset;
 pub mod rng;
+pub mod span;
 
 pub use budget::{Budget, BudgetResult, Exhausted, Meter, TripReason, Verdict};
 pub use error::{Error, Result};
@@ -21,3 +22,4 @@ pub use ids::{LabelId, OidId, TypeIdx, VarId};
 pub use interner::{Interner, SharedInterner};
 pub use multiset::Multiset;
 pub use rng::{Rng, StdRng};
+pub use span::{LineMap, Span, Spanned};

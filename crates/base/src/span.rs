@@ -1,0 +1,293 @@
+//! Source spans: byte ranges into front-end input text, with
+//! `line:column` derivation.
+//!
+//! Every textual front-end (queries, ScmDL schemas, DTDs, data graphs,
+//! path regexes) reports error locations — and, for queries and schemas,
+//! records where each construct came from — as a [`Span`]: a half-open
+//! byte range `[start, end)` into the original source string. Spans are
+//! deliberately *just* byte offsets: they stay valid under slicing
+//! (`&src[span.start..span.end]` is the spanned text) and convert to
+//! human `line:column` pairs on demand via [`LineMap`] or
+//! [`Span::line_col`].
+//!
+//! Lines and columns are 1-based; the column counts Unicode scalar
+//! values (chars), not bytes, so editors agree with what we print.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into some source string.
+///
+/// An empty span (`start == end`) is a caret position — used for
+/// end-of-input errors and for constructs synthesized without source
+/// text. [`Span::DUMMY`] (`0..0`) marks programmatically built ASTs;
+/// consumers should treat it as "no location".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// Byte offset of the first spanned byte.
+    pub start: usize,
+    /// Byte offset one past the last spanned byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// The "no location" span used by programmatic AST construction.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// A span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Span {
+        debug_assert!(start <= end, "span start {start} past end {end}");
+        Span { start, end }
+    }
+
+    /// A zero-width caret at `pos`.
+    pub fn caret(pos: usize) -> Span {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+
+    /// Whether this is the dummy "no location" span.
+    pub fn is_dummy(&self) -> bool {
+        *self == Span::DUMMY
+    }
+
+    /// The smallest span covering both `self` and `other`. A dummy span
+    /// is the identity, so joins over partially-located constructs keep
+    /// whatever location exists.
+    pub fn join(self, other: Span) -> Span {
+        if self.is_dummy() {
+            other
+        } else if other.is_dummy() {
+            self
+        } else {
+            Span {
+                start: self.start.min(other.start),
+                end: self.end.max(other.end),
+            }
+        }
+    }
+
+    /// The number of spanned bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span is zero-width.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The spanned slice of `src`, if the span is in bounds and on char
+    /// boundaries.
+    pub fn slice<'s>(&self, src: &'s str) -> Option<&'s str> {
+        src.get(self.start..self.end)
+    }
+
+    /// The 1-based `(line, column)` of the span start in `src`.
+    /// Convenience for one-shot use; building a [`LineMap`] is cheaper
+    /// when resolving many spans against the same source.
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        line_col(src, self.start)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A value paired with the source span it came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Spanned<T> {
+    /// The value.
+    pub value: T,
+    /// Where it came from.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Pairs `value` with `span`.
+    pub fn new(value: T, span: Span) -> Spanned<T> {
+        Spanned { value, span }
+    }
+
+    /// Maps the value, keeping the span.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Spanned<U> {
+        Spanned {
+            value: f(self.value),
+            span: self.span,
+        }
+    }
+}
+
+/// The 1-based `(line, column)` of byte offset `pos` in `src`.
+///
+/// Columns count chars, not bytes. A `pos` past the end of `src` (or in
+/// the middle of a multi-byte char) clamps to the nearest valid
+/// position at or before it, so error carets at end-of-input resolve to
+/// the line after the last newline.
+pub fn line_col(src: &str, pos: usize) -> (usize, usize) {
+    let pos = pos.min(src.len());
+    let before = &src.as_bytes()[..pos];
+    let line = 1 + before.iter().filter(|&&b| b == b'\n').count();
+    let line_start = before
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |i| i + 1);
+    // Count chars between the line start and pos; `get` fails only if
+    // pos splits a multi-byte char, in which case we clamp byte-wise.
+    let col = match src.get(line_start..pos) {
+        Some(s) => 1 + s.chars().count(),
+        None => 1 + (pos - line_start),
+    };
+    (line, col)
+}
+
+/// Precomputed newline index for resolving many spans against one
+/// source string in `O(log lines)` each.
+#[derive(Clone, Debug)]
+pub struct LineMap {
+    /// Byte offset of the start of each line (line 1 starts at 0).
+    starts: Vec<usize>,
+    len: usize,
+}
+
+impl LineMap {
+    /// Indexes `src`.
+    pub fn new(src: &str) -> LineMap {
+        let mut starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineMap {
+            starts,
+            len: src.len(),
+        }
+    }
+
+    /// The 1-based `(line, column)` of byte offset `pos`, clamped to the
+    /// source length. Columns are byte-based here (the map does not keep
+    /// the text); use [`line_col`] when char-exact columns matter.
+    pub fn line_col(&self, pos: usize) -> (usize, usize) {
+        let pos = pos.min(self.len);
+        let line = match self.starts.binary_search(&pos) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        (line, pos - self.starts[line - 1] + 1)
+    }
+
+    /// Number of lines in the indexed source (at least 1).
+    pub fn num_lines(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Byte length of the indexed source.
+    pub fn source_len(&self) -> usize {
+        self.len
+    }
+}
+
+/// Renders the canonical location suffix embedded in front-end parse
+/// errors: `"line L, column C"`. All five parsers use this exact shape,
+/// and [`extract_location`] parses it back out — the fuzz suite relies
+/// on the round trip to assert every parse error carries a valid
+/// location.
+pub fn format_location(src: &str, pos: usize) -> String {
+    let (line, col) = line_col(src, pos);
+    format!("line {line}, column {col}")
+}
+
+/// Extracts the last `"line L, column C"` location from an error
+/// message, if present. Returns the 1-based pair.
+pub fn extract_location(msg: &str) -> Option<(usize, usize)> {
+    let at = msg.rfind("line ")?;
+    let rest = &msg[at + "line ".len()..];
+    let (line_digits, rest) = split_digits(rest)?;
+    let rest = rest.strip_prefix(", column ")?;
+    let (col_digits, _) = split_digits(rest)?;
+    Some((line_digits, col_digits))
+}
+
+/// Splits a leading run of ASCII digits off `s`, parsing it.
+fn split_digits(s: &str) -> Option<(usize, &str)> {
+    let end = s
+        .bytes()
+        .position(|b| !b.is_ascii_digit())
+        .unwrap_or(s.len());
+    if end == 0 {
+        return None;
+    }
+    s[..end].parse().ok().map(|n| (n, &s[end..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_basics() {
+        let src = "ab\ncd\ne";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 1), (1, 2));
+        assert_eq!(line_col(src, 2), (1, 3)); // at the newline itself
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 6), (3, 1));
+        assert_eq!(line_col(src, 7), (3, 2)); // end of input
+        assert_eq!(line_col(src, 999), (3, 2)); // clamped
+    }
+
+    #[test]
+    fn line_col_counts_chars_not_bytes() {
+        let src = "αβ\nγx";
+        // 'α' and 'β' are 2 bytes each.
+        assert_eq!(line_col(src, 4), (1, 3));
+        assert_eq!(line_col(src, 5), (2, 1));
+        assert_eq!(line_col(src, 7), (2, 2));
+    }
+
+    #[test]
+    fn line_map_agrees_with_line_col_on_ascii() {
+        let src = "SELECT X\nWHERE Root = [a -> X]\n";
+        let map = LineMap::new(src);
+        for pos in 0..=src.len() {
+            assert_eq!(map.line_col(pos), line_col(src, pos), "pos {pos}");
+        }
+        assert_eq!(map.num_lines(), 3);
+    }
+
+    #[test]
+    fn span_join_and_slice() {
+        let src = "hello world";
+        let a = Span::new(0, 5);
+        let b = Span::new(6, 11);
+        assert_eq!(a.slice(src), Some("hello"));
+        assert_eq!(a.join(b), Span::new(0, 11));
+        assert_eq!(Span::DUMMY.join(b), b);
+        assert_eq!(b.join(Span::DUMMY), b);
+        assert!(Span::caret(3).is_empty());
+    }
+
+    #[test]
+    fn location_round_trip() {
+        let src = "a\nbb\nccc";
+        for pos in 0..=src.len() {
+            let rendered = format_location(src, pos);
+            let msg = format!("expected ']' at {rendered} (found 'x')");
+            assert_eq!(extract_location(&msg), Some(line_col(src, pos)));
+        }
+        assert_eq!(extract_location("no location here"), None);
+    }
+
+    #[test]
+    fn spanned_map_keeps_span() {
+        let s = Spanned::new(7u32, Span::new(2, 4));
+        let t = s.map(|v| v * 2);
+        assert_eq!(t.value, 14);
+        assert_eq!(t.span, Span::new(2, 4));
+    }
+}

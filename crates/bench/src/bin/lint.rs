@@ -1,0 +1,302 @@
+//! `lint` — the command-line front end of `ssd-lint`.
+//!
+//! Lints a query against a schema and prints annotated human-readable
+//! diagnostics (or machine JSON with `--json`). Runs under a
+//! [`ssd_core::Session`] so repeated invocations in `--demo` mode share
+//! automata and feas-memo caches, respects `--fuel` budgets, and records
+//! `lint_*` spans via `ssd-obs` when `--telemetry` is given.
+//!
+//! ```text
+//! lint --schema FILE [--dtd] --query FILE [--json] [--pin VAR=TYPE]...
+//!      [--pin-label VAR=LABEL]... [--fuel N] [--telemetry[=PATH]]
+//! lint --demo[=DIR] [--json] [--telemetry[=PATH]]
+//! ```
+//!
+//! Exit status: 0 when no error-level diagnostics were found, 1 when at
+//! least one error was reported, 2 on usage or parse failures. `--demo`
+//! runs the bundled corpus under `examples/lint/` (each scenario
+//! demonstrating one diagnostic kind) and always exits 0.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use ssd_base::budget::Budget;
+use ssd_base::SharedInterner;
+use ssd_core::{Constraints, Session};
+use ssd_lint::lint_with;
+use ssd_obs::TraceRecorder;
+use ssd_query::{parse_query, Query};
+use ssd_schema::{parse_dtd, parse_schema, Schema};
+
+struct Opts {
+    schema: Option<PathBuf>,
+    dtd: bool,
+    query: Option<PathBuf>,
+    json: bool,
+    pins: Vec<(String, String)>,
+    pin_labels: Vec<(String, String)>,
+    fuel: Option<u64>,
+    telemetry: Option<PathBuf>,
+    demo: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lint --schema FILE [--dtd] --query FILE [--json] \
+         [--pin VAR=TYPE]... [--pin-label VAR=LABEL]... [--fuel N] \
+         [--telemetry[=PATH]]\n       lint --demo[=DIR] [--json] [--telemetry[=PATH]]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        schema: None,
+        dtd: false,
+        query: None,
+        json: false,
+        pins: Vec::new(),
+        pin_labels: Vec::new(),
+        fuel: None,
+        telemetry: None,
+        demo: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let take = |args: &mut dyn Iterator<Item = String>| -> String {
+            args.next().unwrap_or_else(|| usage())
+        };
+        match a.as_str() {
+            "--schema" => o.schema = Some(PathBuf::from(take(&mut args))),
+            "--dtd" => o.dtd = true,
+            "--query" => o.query = Some(PathBuf::from(take(&mut args))),
+            "--json" => o.json = true,
+            "--pin" => o.pins.push(split_eq(&take(&mut args))),
+            "--pin-label" => o.pin_labels.push(split_eq(&take(&mut args))),
+            "--fuel" => {
+                o.fuel = Some(take(&mut args).parse().unwrap_or_else(|_| usage()));
+            }
+            "--telemetry" => o.telemetry = Some(PathBuf::from("LINT_traces.json")),
+            "--demo" => o.demo = Some(PathBuf::from("examples/lint")),
+            _ if a.starts_with("--telemetry=") => {
+                o.telemetry = Some(PathBuf::from(&a["--telemetry=".len()..]));
+            }
+            _ if a.starts_with("--demo=") => {
+                o.demo = Some(PathBuf::from(&a["--demo=".len()..]));
+            }
+            _ => usage(),
+        }
+    }
+    o
+}
+
+fn split_eq(s: &str) -> (String, String) {
+    match s.split_once('=') {
+        Some((k, v)) if !k.is_empty() && !v.is_empty() => (k.to_owned(), v.to_owned()),
+        _ => usage(),
+    }
+}
+
+fn read(path: &PathBuf) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("lint: cannot read {}: {e}", path.display());
+        std::process::exit(2);
+    })
+}
+
+fn parse_inputs(
+    schema_src: &str,
+    dtd: bool,
+    query_src: &str,
+    pool: &SharedInterner,
+) -> Result<(Schema, Query), String> {
+    let s = if dtd {
+        parse_dtd(schema_src, pool)
+    } else {
+        parse_schema(schema_src, pool)
+    }
+    .map_err(|e| format!("schema: {e}"))?;
+    let q = parse_query(query_src, pool).map_err(|e| format!("query: {e}"))?;
+    Ok((s, q))
+}
+
+fn constraints(
+    q: &Query,
+    s: &Schema,
+    pool: &SharedInterner,
+    o: &Opts,
+) -> Result<Constraints, String> {
+    let mut c = Constraints::none();
+    for (var, ty) in &o.pins {
+        let v = q
+            .var_by_name(var)
+            .ok_or_else(|| format!("--pin: unknown variable `{var}`"))?;
+        let t = s
+            .by_name(ty)
+            .ok_or_else(|| format!("--pin: unknown type `{ty}`"))?;
+        c = c.pin_type(v, t);
+    }
+    for (var, label) in &o.pin_labels {
+        let v = q
+            .var_by_name(var)
+            .ok_or_else(|| format!("--pin-label: unknown variable `{var}`"))?;
+        c = c.pin_label(v, pool.intern(label));
+    }
+    Ok(c)
+}
+
+/// Lints one (schema, query) pair and prints the report. Returns whether
+/// any error-level diagnostic was produced.
+#[allow(clippy::too_many_arguments)]
+fn run_one(
+    sess: &Session,
+    schema_src: &str,
+    dtd: bool,
+    query_src: &str,
+    origin: &str,
+    o: &Opts,
+    budget: &Budget,
+) -> Result<bool, String> {
+    let pool = SharedInterner::new();
+    let (s, q) = parse_inputs(schema_src, dtd, query_src, &pool)?;
+    let c = constraints(&q, &s, &pool, o)?;
+    let report = lint_with(&q, &s, &c, sess, budget).map_err(|e| e.to_string())?;
+    if o.json {
+        println!("{}", report.to_json(query_src));
+    } else {
+        print!("{}", report.render_human(query_src, origin));
+    }
+    Ok(report.has_errors())
+}
+
+/// One demo scenario: `(title, schema file, query file, pin, fuel)`.
+type Scenario = (
+    &'static str,
+    &'static str,
+    &'static str,
+    Option<(&'static str, &'static str)>,
+    Option<u64>,
+);
+
+/// The bundled demo corpus: one scenario per diagnostic kind (plus a
+/// clean query), all run through one shared session.
+const DEMO: &[Scenario] = &[
+    ("clean query", "bib.scmdl", "clean.ssq", None, None),
+    ("unsatisfiable query", "bib.scmdl", "unsat.ssq", None, None),
+    ("dead branch", "bib.scmdl", "dead_branch.ssq", None, None),
+    (
+        "unknown label",
+        "bib.scmdl",
+        "unknown_label.ssq",
+        None,
+        None,
+    ),
+    (
+        "redundant constraint",
+        "bib.scmdl",
+        "pin.ssq",
+        Some(("X", "PAPER")),
+        None,
+    ),
+    ("budget exhausted", "refs.scmdl", "joins.ssq", None, Some(1)),
+];
+
+fn run_demo(sess: &Session, dir: &Path, o: &Opts) {
+    for (title, schema, query, pin, fuel) in DEMO {
+        let schema_path = dir.join(schema);
+        let query_path = dir.join(query);
+        let mut scenario = Opts {
+            pins: pin
+                .map(|(v, t)| vec![(v.to_owned(), t.to_owned())])
+                .unwrap_or_default(),
+            ..parse_opts_empty(o)
+        };
+        scenario.json = o.json;
+        let budget = match fuel {
+            Some(f) => Budget::unlimited().with_fuel(*f),
+            None => Budget::unlimited(),
+        };
+        if !o.json {
+            println!("== {title} ({}) ==", query_path.display());
+        }
+        let outcome = run_one(
+            sess,
+            &read(&schema_path),
+            false,
+            &read(&query_path),
+            &query_path.display().to_string(),
+            &scenario,
+            &budget,
+        );
+        if let Err(e) = outcome {
+            eprintln!("lint: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// A fresh option set inheriting only the output mode (demo scenarios
+/// must not inherit file paths or pins from the command line).
+fn parse_opts_empty(o: &Opts) -> Opts {
+    Opts {
+        schema: None,
+        dtd: false,
+        query: None,
+        json: o.json,
+        pins: Vec::new(),
+        pin_labels: Vec::new(),
+        fuel: None,
+        telemetry: None,
+        demo: None,
+    }
+}
+
+fn main() -> ExitCode {
+    let o = parse_opts();
+    let rec = o.telemetry.as_ref().map(|_| Arc::new(TraceRecorder::new()));
+    let sess = match &rec {
+        Some(r) => Session::with_recorder(r.clone()),
+        None => Session::new(),
+    };
+
+    let code = if let Some(dir) = &o.demo {
+        run_demo(&sess, dir, &o);
+        ExitCode::SUCCESS
+    } else {
+        let (Some(schema), Some(query)) = (&o.schema, &o.query) else {
+            usage();
+        };
+        let budget = match o.fuel {
+            Some(f) => Budget::unlimited().with_fuel(f),
+            None => Budget::unlimited(),
+        };
+        let origin = query.display().to_string();
+        match run_one(
+            &sess,
+            &read(schema),
+            o.dtd,
+            &read(query),
+            &origin,
+            &o,
+            &budget,
+        ) {
+            Ok(true) => ExitCode::FAILURE,
+            Ok(false) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("lint: {e}");
+                ExitCode::from(2)
+            }
+        }
+    };
+
+    if let (Some(path), Some(rec)) = (&o.telemetry, &rec) {
+        let report = rec.report();
+        std::fs::write(path, report.to_json_string()).unwrap_or_else(|e| {
+            eprintln!("lint: cannot write telemetry to {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        eprintln!("telemetry written to {}", path.display());
+    }
+    code
+}

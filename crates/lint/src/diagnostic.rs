@@ -1,0 +1,370 @@
+//! Diagnostic values and their two renderings (annotated human output and
+//! machine-readable JSON).
+//!
+//! A [`Diagnostic`] is a *claim about the query* anchored to a source
+//! [`Span`]: error-level diagnostics are backed by a decided emptiness
+//! fact (see DESIGN.md §12), warnings may rest on weaker evidence (an
+//! exhausted budget, an unchanged-verdict comparison). Where the claim is
+//! an emptiness fact, the diagnostic carries the witness that decides it:
+//! a shortest trace and, when the type graph permits, a synthesized
+//! minimal database.
+
+use std::fmt;
+
+use ssd_base::span::line_col;
+use ssd_base::Span;
+
+/// Diagnostic severity, ordered most-severe-first so that sorting a
+/// report puts errors ahead of warnings.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// The claim is a decided fact about the query/schema pair.
+    Error,
+    /// The claim is advisory or rests on incomplete analysis.
+    Warning,
+    /// Informational only.
+    Info,
+}
+
+impl Severity {
+    /// The lowercase name used in both renderings.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The closed set of diagnostic codes the linter emits.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Code {
+    /// `Tr(P) ∩ Tr(S) = ∅`: no database conforming to the schema makes
+    /// the query return a non-empty result.
+    UnsatQuery,
+    /// A pattern alternative whose trace language is empty against the
+    /// schema even though the whole query is satisfiable.
+    DeadBranch,
+    /// A label used in the query that no type of the schema can ever
+    /// emit (the typo case).
+    UnknownLabel,
+    /// A pinned constraint whose removal leaves the feasibility analysis
+    /// unchanged.
+    RedundantConstraint,
+    /// The analysis budget tripped before a check could be decided;
+    /// never surfaced as an error.
+    BudgetExhausted,
+}
+
+impl Code {
+    /// The stable kebab-case code used in both renderings (and grepped by
+    /// CI).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UnsatQuery => "unsat-query",
+            Code::DeadBranch => "dead-branch",
+            Code::UnknownLabel => "unknown-label",
+            Code::RedundantConstraint => "redundant-constraint",
+            Code::BudgetExhausted => "budget-exhausted",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One ranked finding of the lint pass.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// The diagnostic code.
+    pub code: Code,
+    /// How severe the finding is (errors are decided facts).
+    pub severity: Severity,
+    /// One-line human message.
+    pub message: String,
+    /// The source span the finding anchors to ([`Span::DUMMY`] when the
+    /// query was built programmatically and carries no spans).
+    pub span: Span,
+    /// A shortest trace deciding the underlying emptiness fact, rendered
+    /// over labels and `<Var>` markers.
+    pub trace_witness: Option<String>,
+    /// A synthesized minimal database conforming to the schema,
+    /// demonstrating what the schema *does* admit.
+    pub witness_db: Option<String>,
+    /// Free-form follow-up notes.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A new diagnostic with no witnesses or notes.
+    pub fn new(code: Code, severity: Severity, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            span,
+            trace_witness: None,
+            witness_db: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attaches a trace witness.
+    pub fn with_trace_witness(mut self, w: impl Into<String>) -> Self {
+        self.trace_witness = Some(w.into());
+        self
+    }
+
+    /// Attaches a synthesized witness database.
+    pub fn with_witness_db(mut self, db: impl Into<String>) -> Self {
+        self.witness_db = Some(db.into());
+        self
+    }
+
+    /// Appends a note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+/// The ranked findings of one lint pass.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// Diagnostics, most severe first, then by source position.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Whether the pass found nothing at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether any error-level diagnostic was produced.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of diagnostics carrying `code`.
+    pub fn count(&self, code: Code) -> usize {
+        self.diagnostics.iter().filter(|d| d.code == code).count()
+    }
+
+    /// Sorts diagnostics most-severe-first, then by span start, then code.
+    pub fn rank(&mut self) {
+        self.diagnostics
+            .sort_by_key(|d| (d.severity, d.span.start, d.code));
+    }
+
+    /// Renders the report as annotated human-readable text: each
+    /// diagnostic shows its source line from `source` with a caret
+    /// underline, locations are reported against `origin` (a file name or
+    /// `"query"`).
+    pub fn render_human(&self, source: &str, origin: &str) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            render_one(&mut out, d, source, origin);
+        }
+        if self.is_clean() {
+            out.push_str("no diagnostics\n");
+        }
+        out
+    }
+
+    /// Renders the report as a single JSON object (machine output: stable
+    /// codes, byte spans, 1-based line/column).
+    pub fn to_json(&self, source: &str) -> String {
+        let mut out = String::from("{\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_diag(&mut out, d, source);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn render_one(out: &mut String, d: &Diagnostic, source: &str, origin: &str) {
+    use fmt::Write as _;
+    let _ = writeln!(out, "{}[{}]: {}", d.severity, d.code, d.message);
+    if !d.span.is_dummy() {
+        let (line, col) = line_col(source, d.span.start);
+        let _ = writeln!(out, "  --> {origin}:{line}:{col}");
+        if let Some(text) = source.lines().nth(line - 1) {
+            let _ = writeln!(out, "   |");
+            let _ = writeln!(out, "{line:>3}| {text}");
+            // Caret run covering the span, clamped to the shown line.
+            let width = d
+                .span
+                .len()
+                .min(text.chars().count().saturating_sub(col - 1))
+                .max(1);
+            let _ = writeln!(out, "   | {}{}", " ".repeat(col - 1), "^".repeat(width));
+        }
+    } else {
+        let _ = writeln!(out, "  --> {origin}");
+    }
+    if let Some(w) = &d.trace_witness {
+        let _ = writeln!(out, "   = witness trace: {w}");
+    }
+    if let Some(db) = &d.witness_db {
+        let _ = writeln!(out, "   = minimal conforming database: {}", flatten(db));
+    }
+    for n in &d.notes {
+        let _ = writeln!(out, "   = note: {n}");
+    }
+    out.push('\n');
+}
+
+/// Collapses a multi-line rendering onto one line for the `=` gutter.
+fn flatten(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+fn json_diag(out: &mut String, d: &Diagnostic, source: &str) {
+    use fmt::Write as _;
+    out.push_str("{\"code\":");
+    json_str(out, d.code.as_str());
+    out.push_str(",\"severity\":");
+    json_str(out, d.severity.as_str());
+    out.push_str(",\"message\":");
+    json_str(out, &d.message);
+    if d.span.is_dummy() {
+        out.push_str(",\"span\":null");
+    } else {
+        let (line, col) = line_col(source, d.span.start);
+        let _ = write!(
+            out,
+            ",\"span\":{{\"start\":{},\"end\":{},\"line\":{line},\"column\":{col}}}",
+            d.span.start, d.span.end
+        );
+    }
+    out.push_str(",\"trace_witness\":");
+    json_opt(out, d.trace_witness.as_deref());
+    out.push_str(",\"witness_db\":");
+    json_opt(out, d.witness_db.as_deref());
+    out.push_str(",\"notes\":[");
+    for (i, n) in d.notes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_str(out, n);
+    }
+    out.push_str("]}");
+}
+
+fn json_opt(out: &mut String, v: Option<&str>) {
+    match v {
+        Some(s) => json_str(out, s),
+        None => out.push_str("null"),
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+fn json_str(out: &mut String, s: &str) {
+    use fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic::new(
+            Code::UnsatQuery,
+            Severity::Error,
+            "no conforming database satisfies this query",
+            Span::new(6, 21),
+        )
+        .with_trace_witness("<Root> paper <X1>")
+        .with_note("a \"quoted\" note\nwith a newline")
+    }
+
+    #[test]
+    fn human_rendering_shows_caret_under_span() {
+        let src = "WHERE Root = [a -> X]";
+        let mut r = LintReport {
+            diagnostics: vec![sample()],
+        };
+        r.rank();
+        let text = r.render_human(src, "query");
+        assert!(text.contains("error[unsat-query]:"), "{text}");
+        assert!(text.contains("--> query:1:7"), "{text}");
+        assert!(text.contains("^^^^^^^^^^^^^^^"), "{text}");
+        assert!(text.contains("witness trace: <Root> paper <X1>"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_locates() {
+        let src = "WHERE Root = [a -> X]";
+        let r = LintReport {
+            diagnostics: vec![sample()],
+        };
+        let json = r.to_json(src);
+        assert!(json.contains("\"code\":\"unsat-query\""), "{json}");
+        assert!(json.contains("\"line\":1,\"column\":7"), "{json}");
+        assert!(json.contains("\\\"quoted\\\""), "{json}");
+        assert!(json.contains("\\n"), "{json}");
+        assert!(json.contains("\"witness_db\":null"), "{json}");
+    }
+
+    #[test]
+    fn ranking_puts_errors_first_then_position() {
+        let mut r = LintReport {
+            diagnostics: vec![
+                Diagnostic::new(
+                    Code::BudgetExhausted,
+                    Severity::Warning,
+                    "w",
+                    Span::new(0, 1),
+                ),
+                Diagnostic::new(Code::DeadBranch, Severity::Error, "later", Span::new(9, 10)),
+                Diagnostic::new(Code::UnsatQuery, Severity::Error, "early", Span::new(2, 3)),
+            ],
+        };
+        r.rank();
+        assert_eq!(r.diagnostics[0].message, "early");
+        assert_eq!(r.diagnostics[1].message, "later");
+        assert_eq!(r.diagnostics[2].severity, Severity::Warning);
+        assert!(r.has_errors());
+        assert_eq!(r.count(Code::UnsatQuery), 1);
+    }
+
+    #[test]
+    fn clean_report_renders_no_diagnostics() {
+        let r = LintReport::default();
+        assert!(r.is_clean());
+        assert_eq!(r.render_human("", "q"), "no diagnostics\n");
+        assert_eq!(r.to_json(""), "{\"diagnostics\":[]}");
+    }
+}

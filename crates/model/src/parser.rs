@@ -10,6 +10,8 @@
 //! integers, floats, `"strings"`, and booleans. The first definition is the
 //! root. `→` is accepted as a synonym for `->`.
 
+use std::fmt;
+
 use ssd_base::{limits, Error, Result, SharedInterner};
 
 use crate::builder::GraphBuilder;
@@ -40,14 +42,11 @@ pub fn parse_data_graph(input: &str, pool: &SharedInterner) -> Result<DataGraph>
             continue;
         }
         if !p.at_end() {
-            return Err(Error::parse(format!(
-                "expected ';' between definitions at byte {}",
-                p.pos
-            )));
+            return Err(p.err("expected ';' between definitions"));
         }
     }
     if !any {
-        return Err(Error::parse("empty data graph"));
+        return Err(p.err("empty data graph"));
     }
     b.finish()
 }
@@ -116,6 +115,16 @@ impl<'a> Lexer<'a> {
         &self.input[self.pos..]
     }
 
+    /// A parse error located at the current position.
+    fn err(&self, msg: impl fmt::Display) -> Error {
+        Error::parse_at(msg, self.input, self.pos)
+    }
+
+    /// A parse error located at `pos`.
+    fn err_at(&self, msg: impl fmt::Display, pos: usize) -> Error {
+        Error::parse_at(msg, self.input, pos)
+    }
+
     fn at_end(&self) -> bool {
         self.pos >= self.input.len()
     }
@@ -143,9 +152,8 @@ impl<'a> Lexer<'a> {
         if self.eat(c) {
             Ok(())
         } else {
-            Err(Error::parse(format!(
-                "expected '{c}' at byte {} near {:?}",
-                self.pos,
+            Err(self.err(format!(
+                "expected '{c}' near {:?}",
                 self.rest().chars().take(12).collect::<String>()
             )))
         }
@@ -160,7 +168,7 @@ impl<'a> Lexer<'a> {
             self.pos += '→'.len_utf8();
             Ok(())
         } else {
-            Err(Error::parse(format!("expected '->' at byte {}", self.pos)))
+            Err(self.err("expected '->'"))
         }
     }
 
@@ -182,7 +190,7 @@ impl<'a> Lexer<'a> {
             }
         }
         if self.pos == start {
-            return Err(Error::parse(format!("expected identifier at byte {start}")));
+            return Err(self.err_at("expected identifier", start));
         }
         Ok(self.input[start..self.pos].to_owned())
     }
@@ -198,6 +206,7 @@ impl<'a> Lexer<'a> {
         self.skip_ws();
         match self.peek() {
             Some('"') => {
+                let open = self.pos;
                 self.pos += 1;
                 let mut s = String::new();
                 let mut chars = self.rest().char_indices();
@@ -215,7 +224,7 @@ impl<'a> Lexer<'a> {
                         None => break,
                     }
                 }
-                Err(Error::parse("unterminated string literal"))
+                Err(self.err_at("unterminated string literal", open))
             }
             Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => {
                 let start = self.pos;
@@ -236,19 +245,20 @@ impl<'a> Lexer<'a> {
                 if is_float {
                     text.parse::<f64>()
                         .map(Value::Float)
-                        .map_err(|e| Error::parse(format!("bad float {text:?}: {e}")))
+                        .map_err(|e| self.err_at(format!("bad float {text:?}: {e}"), start))
                 } else {
                     text.parse::<i64>()
                         .map(Value::Int)
-                        .map_err(|e| Error::parse(format!("bad int {text:?}: {e}")))
+                        .map_err(|e| self.err_at(format!("bad int {text:?}: {e}"), start))
                 }
             }
             _ => {
+                let start = self.pos;
                 let word = self.ident()?;
                 match word.as_str() {
                     "true" => Ok(Value::Bool(true)),
                     "false" => Ok(Value::Bool(false)),
-                    _ => Err(Error::parse(format!("expected a value, found {word:?}"))),
+                    _ => Err(self.err_at(format!("expected a value, found {word:?}"), start)),
                 }
             }
         }
@@ -363,6 +373,22 @@ mod tests {
         assert!(parse_data_graph("o1 = {a -> }", &p).is_err());
         assert!(parse_data_graph("o1 = [a -> o2", &p).is_err());
         assert!(parse_data_graph("o1 = \"unterminated", &p).is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        let p = pool();
+        let err = parse_data_graph("o1 = {a -> o2};\no2 = {b  }", &p).unwrap_err();
+        let msg = err.to_string();
+        let loc = ssd_base::span::extract_location(&msg);
+        assert_eq!(loc, Some((2, 10)), "{msg}");
+        let err = parse_data_graph("o1 = \"unterminated", &p).unwrap_err();
+        let msg = err.to_string();
+        assert_eq!(
+            ssd_base::span::extract_location(&msg),
+            Some((1, 6)),
+            "{msg}"
+        );
     }
 
     #[test]

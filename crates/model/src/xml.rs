@@ -13,6 +13,8 @@
 //! attributes, no mixed content, no entities beyond `&lt; &gt; &amp;
 //! &quot; &apos;`).
 
+use std::fmt;
+
 use ssd_base::{Error, OidId, Result, SharedInterner};
 
 use crate::builder::GraphBuilder;
@@ -30,10 +32,7 @@ pub fn parse_xml(input: &str, pool: &SharedInterner) -> Result<DataGraph> {
     let (name, child) = p.element(&mut b, pool)?;
     p.skip_ws();
     if !p.at_end() {
-        return Err(Error::parse(format!(
-            "trailing content after root element at byte {}",
-            p.pos
-        )));
+        return Err(p.err("trailing content after root element"));
     }
     b.define_ordered(root, vec![Edge::new(pool.intern(&name), child)])?;
     b.finish()
@@ -47,6 +46,11 @@ struct Xml<'a> {
 impl<'a> Xml<'a> {
     fn rest(&self) -> &'a str {
         &self.input[self.pos..]
+    }
+
+    /// A parse error located at the current position.
+    fn err(&self, msg: impl fmt::Display) -> Error {
+        Error::parse_at(msg, self.input, self.pos)
     }
 
     fn at_end(&self) -> bool {
@@ -68,7 +72,7 @@ impl<'a> Xml<'a> {
             }
         }
         if self.pos == start {
-            return Err(Error::parse(format!("expected tag name at byte {start}")));
+            return Err(self.err("expected tag name"));
         }
         Ok(self.input[start..self.pos].to_owned())
     }
@@ -77,7 +81,7 @@ impl<'a> Xml<'a> {
     fn element(&mut self, b: &mut GraphBuilder, pool: &SharedInterner) -> Result<(String, OidId)> {
         self.skip_ws();
         if !self.rest().starts_with('<') {
-            return Err(Error::parse(format!("expected '<' at byte {}", self.pos)));
+            return Err(self.err("expected '<'"));
         }
         self.pos += 1;
         let name = self.tag_name()?;
@@ -90,10 +94,7 @@ impl<'a> Xml<'a> {
             return Ok((name, oid));
         }
         if !self.rest().starts_with('>') {
-            return Err(Error::parse(format!(
-                "expected '>' after tag name at byte {} (attributes are not supported)",
-                self.pos
-            )));
+            return Err(self.err("expected '>' after tag name (attributes are not supported)"));
         }
         self.pos += 1;
 
@@ -104,13 +105,11 @@ impl<'a> Xml<'a> {
                 self.pos += 2;
                 let close = self.tag_name()?;
                 if close != name {
-                    return Err(Error::parse(format!(
-                        "mismatched closing tag </{close}> for <{name}>"
-                    )));
+                    return Err(self.err(format!("mismatched closing tag </{close}> for <{name}>")));
                 }
                 self.skip_ws();
                 if !self.rest().starts_with('>') {
-                    return Err(Error::parse("expected '>' in closing tag"));
+                    return Err(self.err("expected '>' in closing tag"));
                 }
                 self.pos += 1;
                 break;
@@ -118,7 +117,7 @@ impl<'a> Xml<'a> {
                 let (cname, coid) = self.element(b, pool)?;
                 children.push((cname, coid));
             } else if self.at_end() {
-                return Err(Error::parse(format!("unclosed element <{name}>")));
+                return Err(self.err(format!("unclosed element <{name}>")));
             } else {
                 // Text run up to the next '<'.
                 let upto = self.rest().find('<').unwrap_or(self.rest().len());
@@ -132,9 +131,7 @@ impl<'a> Xml<'a> {
         if children.is_empty() && !trimmed.is_empty() {
             b.define_atomic(oid, Value::Str(unescape(trimmed)))?;
         } else if !children.is_empty() && !trimmed.is_empty() {
-            return Err(Error::parse(format!(
-                "mixed content in <{name}> is not supported"
-            )));
+            return Err(self.err(format!("mixed content in <{name}> is not supported")));
         } else {
             let edges = children
                 .into_iter()
@@ -222,6 +219,15 @@ mod tests {
         let r = g.edges(g.root())[0].target;
         let labels: Vec<String> = g.edges(r).iter().map(|e| g.label_name(e.label)).collect();
         assert_eq!(labels, vec!["x", "y", "x"]);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        let pool = SharedInterner::new();
+        let err = parse_xml("<a>\n  <b attr=\"x\"/>\n</a>", &pool).unwrap_err();
+        let msg = err.to_string();
+        let loc = ssd_base::span::extract_location(&msg);
+        assert_eq!(loc, Some((2, 6)), "{msg}");
     }
 
     #[test]

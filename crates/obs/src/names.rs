@@ -48,6 +48,16 @@ pub mod span {
     /// Budget-governed dispatch wrapper: covers the budgeted engine run
     /// plus the meter flushes inside it (`ssd_core::dispatch`).
     pub const BUDGET_CHECK: &str = "budget_check";
+    /// The whole static-analysis pass (`ssd_lint::lint_with`).
+    pub const LINT: &str = "lint";
+    /// Lint phase: whole-query satisfiability (unsat-query detection).
+    pub const LINT_SAT: &str = "lint_sat";
+    /// Lint phase: per-branch dead-code analysis.
+    pub const LINT_DEAD_BRANCH: &str = "lint_dead_branch";
+    /// Lint phase: unknown-label detection against the type graph.
+    pub const LINT_LABELS: &str = "lint_labels";
+    /// Lint phase: redundant-constraint detection.
+    pub const LINT_REDUNDANT: &str = "lint_redundant";
 }
 
 /// Counter names. Cache counters come in `_hit`/`_miss` pairs, one pair
@@ -107,4 +117,6 @@ pub mod counter {
     /// Entries evicted from session-owned caches by the
     /// `SessionLimits` epoch/second-chance policy.
     pub const CACHE_EVICTED: &str = "cache_evicted";
+    /// Diagnostics produced by a lint pass (all severities).
+    pub const LINT_DIAGNOSTICS: &str = "lint_diagnostics";
 }

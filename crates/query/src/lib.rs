@@ -15,4 +15,4 @@ pub use binding::{Binding, Bound};
 pub use classify::QueryClass;
 pub use eval::{evaluate, is_nonempty, select_results};
 pub use parser::parse_query;
-pub use pattern::{EdgeExpr, PatDef, PatEdge, Query, VarKind};
+pub use pattern::{DefSpans, EdgeExpr, EdgeSpans, PatDef, PatEdge, Query, QuerySpans, VarKind};

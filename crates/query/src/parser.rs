@@ -12,14 +12,20 @@
 //! labels. `&X` marks a referenceable node variable. A `SELECT` list may be
 //! empty (a boolean query). Path-expression languages must not contain the
 //! empty word (they describe actual paths — a paper requirement).
+//!
+//! The parser records a [`QuerySpans`] side table (definition, entry, and
+//! variable spans plus the original source) on the returned [`Query`], and
+//! every diagnostic it emits carries a `line:column` location.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use ssd_automata::{LabelAtom, Regex};
-use ssd_base::{limits, Error, Result, SharedInterner, VarId};
+use ssd_base::span::format_location;
+use ssd_base::{limits, Error, Result, SharedInterner, Span, VarId};
 use ssd_model::Value;
 
-use crate::pattern::{EdgeExpr, PatDef, PatEdge, Query, VarKind};
+use crate::pattern::{DefSpans, EdgeExpr, EdgeSpans, PatDef, PatEdge, Query, QuerySpans, VarKind};
 
 /// Parses a selection query.
 ///
@@ -37,18 +43,19 @@ pub fn parse_query(input: &str, pool: &SharedInterner) -> Result<Query> {
         pool,
         names: Vec::new(),
         kinds: Vec::new(),
+        var_spans: Vec::new(),
         by_name: HashMap::new(),
         depth: 0,
     };
     p.keyword("SELECT")?;
-    let mut select_names: Vec<String> = Vec::new();
+    let mut select_names: Vec<(String, Span)> = Vec::new();
     loop {
         p.skip_ws();
         if p.peek_keyword("WHERE") {
             break;
         }
-        let (name, _) = p.var_ref()?;
-        select_names.push(name);
+        let (name, _, span) = p.var_ref()?;
+        select_names.push((name, span));
         p.skip_ws();
         if !p.eat(',') {
             break;
@@ -57,9 +64,11 @@ pub fn parse_query(input: &str, pool: &SharedInterner) -> Result<Query> {
     p.keyword("WHERE")?;
 
     let mut defs: Vec<(VarId, PatDef)> = Vec::new();
+    let mut def_spans: Vec<DefSpans> = Vec::new();
     loop {
-        let def = parse_def(&mut p)?;
-        defs.push(def);
+        let (v, def, spans) = parse_def(&mut p)?;
+        defs.push((v, def));
+        def_spans.push(spans);
         p.skip_ws();
         if p.eat(';') {
             continue;
@@ -67,25 +76,21 @@ pub fn parse_query(input: &str, pool: &SharedInterner) -> Result<Query> {
         if p.at_end() {
             break;
         }
-        return Err(Error::parse(format!(
-            "expected ';' between pattern definitions at byte {}",
-            p.pos
-        )));
+        return Err(p.err("expected ';' between pattern definitions"));
     }
     if defs.is_empty() {
-        return Err(Error::parse(
-            "a query needs at least one pattern definition",
-        ));
+        return Err(p.err("a query needs at least one pattern definition"));
     }
 
     // Resolve the SELECT list (names must occur in the WHERE clause).
     let mut select = Vec::with_capacity(select_names.len());
-    for n in &select_names {
+    for (n, span) in &select_names {
         match p.by_name.get(n) {
             Some(&v) => select.push(v),
             None => {
                 return Err(Error::undefined(format!(
-                    "SELECT variable {n} does not occur in the WHERE clause"
+                    "SELECT variable {n} does not occur in the WHERE clause at {}",
+                    format_location(input, span.start)
                 )))
             }
         }
@@ -94,11 +99,12 @@ pub fn parse_query(input: &str, pool: &SharedInterner) -> Result<Query> {
     // Each node variable defined at most once.
     {
         let mut seen = vec![false; p.names.len()];
-        for (v, _) in &defs {
+        for (i, (v, _)) in defs.iter().enumerate() {
             if seen[v.index()] {
                 return Err(Error::invalid(format!(
-                    "node variable {} defined twice",
-                    p.names[v.index()]
+                    "node variable {} defined twice at {}",
+                    p.names[v.index()],
+                    format_location(input, def_spans[i].var.start)
                 )));
             }
             seen[v.index()] = true;
@@ -106,22 +112,38 @@ pub fn parse_query(input: &str, pool: &SharedInterner) -> Result<Query> {
     }
 
     // Path languages must not contain the empty word or be empty.
-    for (_, def) in &defs {
-        for e in def.edges() {
+    for (i, (_, def)) in defs.iter().enumerate() {
+        for (j, e) in def.edges().iter().enumerate() {
             if let EdgeExpr::Regex(r) = &e.expr {
+                let loc = || {
+                    def_spans[i]
+                        .edges
+                        .get(j)
+                        .map(|es| es.expr.start)
+                        .unwrap_or(0)
+                };
                 if r.nullable() {
-                    return Err(Error::invalid(
-                        "path expressions must not accept the empty word",
-                    ));
+                    return Err(Error::invalid(format!(
+                        "path expressions must not accept the empty word at {}",
+                        format_location(input, loc())
+                    )));
                 }
                 if r.is_empty_lang() {
-                    return Err(Error::invalid("path expression has an empty language"));
+                    return Err(Error::invalid(format!(
+                        "path expression has an empty language at {}",
+                        format_location(input, loc())
+                    )));
                 }
             }
         }
     }
 
-    let q = Query::from_parts(pool.clone(), p.names, p.kinds, defs, select);
+    let mut q = Query::from_parts(pool.clone(), p.names, p.kinds, defs, select);
+    q.set_spans(QuerySpans {
+        source: input.to_owned(),
+        var_decls: p.var_spans,
+        defs: def_spans,
+    });
     check_connected(&q)?;
     Ok(q)
 }
@@ -156,8 +178,13 @@ fn check_connected(q: &Query) -> Result<()> {
     }
     for v in q.vars() {
         if !seen[v.index()] {
+            let loc = q
+                .spans()
+                .and_then(|sp| sp.var_decls.get(v.index()).map(|s| (sp, *s)))
+                .map(|(sp, s)| format!(" at {}", format_location(&sp.source, s.start)))
+                .unwrap_or_default();
             return Err(Error::invalid(format!(
-                "pattern is not connected: variable {} is unreachable from the root",
+                "pattern is not connected: variable {} is unreachable from the root{loc}",
                 q.var_name(v)
             )));
         }
@@ -171,56 +198,74 @@ struct P<'a> {
     pool: &'a SharedInterner,
     names: Vec<String>,
     kinds: Vec<VarKind>,
+    /// First-occurrence span per variable, aligned with `names`.
+    var_spans: Vec<Span>,
     by_name: HashMap<String, VarId>,
     /// Parenthesis nesting depth inside path expressions — the only
     /// recursion in the grammar, bounded by [`limits::MAX_NEST_DEPTH`].
     depth: usize,
 }
 
-fn parse_def(p: &mut P<'_>) -> Result<(VarId, PatDef)> {
-    let (name, referenceable) = p.var_ref()?;
-    let v = p.declare_node(&name, referenceable)?;
+fn parse_def(p: &mut P<'_>) -> Result<(VarId, PatDef, DefSpans)> {
+    p.skip_ws();
+    let def_start = p.pos;
+    let (name, referenceable, var_span) = p.var_ref()?;
+    let v = p.declare_node(&name, referenceable, var_span)?;
     p.expect('=')?;
     p.skip_ws();
-    match p.peek() {
+    let (def, edges) = match p.peek() {
         Some('{') => {
             p.eat('{');
-            let es = parse_entries(p, '}')?;
+            let (es, spans) = parse_entries(p, '}')?;
             // The unordered-selection engine enumerates entry subsets with
             // a u32 bitmask; reject definitions past that bound here so
             // the engine's invariant holds for every parsed query.
             limits::check_unordered_entries(es.len())?;
-            Ok((v, PatDef::Unordered(es)))
+            (PatDef::Unordered(es), spans)
         }
         Some('[') => {
             p.eat('[');
-            let es = parse_entries(p, ']')?;
-            Ok((v, PatDef::Ordered(es)))
+            let (es, spans) = parse_entries(p, ']')?;
+            (PatDef::Ordered(es), spans)
         }
         Some(c) if c.is_uppercase() => {
-            let (vname, _) = p.var_ref()?;
-            let vv = p.declare(&vname, VarKind::Value)?;
-            Ok((v, PatDef::ValueVar(vv)))
+            let (vname, _, vspan) = p.var_ref()?;
+            let vv = p.declare(&vname, VarKind::Value, vspan)?;
+            (PatDef::ValueVar(vv), Vec::new())
         }
         _ => {
             let val = p.value()?;
-            Ok((v, PatDef::Value(val)))
+            (PatDef::Value(val), Vec::new())
         }
-    }
+    };
+    let spans = DefSpans {
+        whole: p.span_from(def_start),
+        var: var_span,
+        edges,
+    };
+    Ok((v, def, spans))
 }
 
-fn parse_entries(p: &mut P<'_>, close: char) -> Result<Vec<PatEdge>> {
+fn parse_entries(p: &mut P<'_>, close: char) -> Result<(Vec<PatEdge>, Vec<EdgeSpans>)> {
     let mut out = Vec::new();
+    let mut spans = Vec::new();
     p.skip_ws();
     if p.eat(close) {
-        return Ok(out);
+        return Ok((out, spans));
     }
     loop {
-        let expr = parse_edge_expr(p)?;
+        p.skip_ws();
+        let entry_start = p.pos;
+        let (expr, expr_span, branches) = parse_edge_expr(p)?;
         p.arrow()?;
-        let (tname, referenceable) = p.var_ref()?;
-        let target = p.declare_node(&tname, referenceable)?;
+        let (tname, referenceable, tspan) = p.var_ref()?;
+        let target = p.declare_node(&tname, referenceable, tspan)?;
         out.push(PatEdge { expr, target });
+        spans.push(EdgeSpans {
+            entry: p.span_from(entry_start),
+            expr: expr_span,
+            branches,
+        });
         p.skip_ws();
         if p.eat(',') {
             continue;
@@ -228,29 +273,49 @@ fn parse_entries(p: &mut P<'_>, close: char) -> Result<Vec<PatEdge>> {
         p.expect(close)?;
         break;
     }
-    Ok(out)
+    Ok((out, spans))
 }
 
 /// Parses `L`: either a single uppercase identifier (label variable) or a
-/// regular path expression.
-fn parse_edge_expr(p: &mut P<'_>) -> Result<EdgeExpr> {
+/// regular path expression. Returns the expression, its span, and the
+/// spans of its top-level `|` branches (empty for label variables).
+fn parse_edge_expr(p: &mut P<'_>) -> Result<(EdgeExpr, Span, Vec<Span>)> {
     p.skip_ws();
+    let start = p.pos;
     if let Some(c) = p.peek() {
         if c.is_uppercase() {
-            let (name, _) = p.var_ref()?;
-            let v = p.declare(&name, VarKind::Label)?;
+            let (name, _, vspan) = p.var_ref()?;
+            let v = p.declare(&name, VarKind::Label, vspan)?;
             // A label variable must stand alone (Table 1: L ::= R | labelVar).
             p.skip_ws();
             if matches!(p.peek(), Some('.' | '|' | '*' | '+' | '?')) {
-                return Err(Error::parse(
-                    "a label variable cannot occur inside a path expression",
-                ));
+                return Err(p.err("a label variable cannot occur inside a path expression"));
             }
-            return Ok(EdgeExpr::LabelVar(v));
+            return Ok((EdgeExpr::LabelVar(v), vspan, Vec::new()));
         }
     }
-    let re = regex_alt(p)?;
-    Ok(EdgeExpr::Regex(re))
+    // The top-level alternation is parsed here (rather than delegating to
+    // `regex_alt`) so each branch's span is recorded — the lint's
+    // dead-branch diagnostics point at individual branches.
+    let mut parts = Vec::new();
+    let mut branches = Vec::new();
+    loop {
+        p.skip_ws();
+        let bstart = p.pos;
+        parts.push(regex_concat(p)?);
+        branches.push(p.span_from(bstart));
+        if p.peek() == Some('|') {
+            p.eat('|');
+        } else {
+            break;
+        }
+    }
+    let re = if parts.len() == 1 {
+        parts.pop().expect("len checked")
+    } else {
+        Regex::alt(parts)
+    };
+    Ok((EdgeExpr::Regex(re), p.span_from(start), branches))
 }
 
 fn regex_alt(p: &mut P<'_>) -> Result<Regex<LabelAtom>> {
@@ -328,19 +393,33 @@ fn regex_atom(p: &mut P<'_>) -> Result<Regex<LabelAtom>> {
                 Ok(Regex::atom(LabelAtom::Label(p.pool.intern(&word))))
             }
         }
-        Some(c) if c.is_uppercase() => Err(Error::parse(
-            "a label variable cannot occur inside a path expression",
-        )),
-        other => Err(Error::parse(format!(
-            "expected path-expression atom at byte {}, found {other:?}",
-            p.pos
-        ))),
+        Some(c) if c.is_uppercase() => {
+            Err(p.err("a label variable cannot occur inside a path expression"))
+        }
+        other => Err(p.err(format!("expected path-expression atom, found {other:?}"))),
     }
 }
 
 impl<'a> P<'a> {
     fn rest(&self) -> &'a str {
         &self.input[self.pos..]
+    }
+
+    /// A parse error located at the current position.
+    fn err(&self, msg: impl fmt::Display) -> Error {
+        Error::parse_at(msg, self.input, self.pos)
+    }
+
+    /// A parse error located at `pos`.
+    fn err_at(&self, msg: impl fmt::Display, pos: usize) -> Error {
+        Error::parse_at(msg, self.input, pos)
+    }
+
+    /// The span from `start` to the current position, with trailing
+    /// whitespace (skipped by lookahead) trimmed off.
+    fn span_from(&self, start: usize) -> Span {
+        let text = &self.input[start..self.pos];
+        Span::new(start, start + text.trim_end().len())
     }
 
     fn at_end(&mut self) -> bool {
@@ -371,9 +450,8 @@ impl<'a> P<'a> {
         if self.eat(c) {
             Ok(())
         } else {
-            Err(Error::parse(format!(
-                "expected '{c}' at byte {} near {:?}",
-                self.pos,
+            Err(self.err(format!(
+                "expected '{c}' near {:?}",
                 self.rest().chars().take(12).collect::<String>()
             )))
         }
@@ -393,10 +471,7 @@ impl<'a> P<'a> {
             self.pos += kw.len();
             Ok(())
         } else {
-            Err(Error::parse(format!(
-                "expected keyword {kw} at byte {}",
-                self.pos
-            )))
+            Err(self.err(format!("expected keyword {kw}")))
         }
     }
 
@@ -409,7 +484,7 @@ impl<'a> P<'a> {
             self.pos += '→'.len_utf8();
             Ok(())
         } else {
-            Err(Error::parse(format!("expected '->' at byte {}", self.pos)))
+            Err(self.err("expected '->'"))
         }
     }
 
@@ -430,24 +505,26 @@ impl<'a> P<'a> {
             }
         }
         if self.pos == start {
-            return Err(Error::parse(format!("expected identifier at byte {start}")));
+            return Err(self.err_at("expected identifier", start));
         }
         Ok(self.input[start..self.pos].to_owned())
     }
 
-    fn var_ref(&mut self) -> Result<(String, bool)> {
+    fn var_ref(&mut self) -> Result<(String, bool, Span)> {
         self.skip_ws();
+        let start = self.pos;
         let referenceable = self.eat('&');
         let name = self.ident()?;
         match name.chars().next() {
-            Some(c) if c.is_uppercase() => Ok((name, referenceable)),
-            _ => Err(Error::parse(format!(
-                "variable names start with an uppercase letter, found {name:?}"
-            ))),
+            Some(c) if c.is_uppercase() => Ok((name, referenceable, self.span_from(start))),
+            _ => Err(self.err_at(
+                format!("variable names start with an uppercase letter, found {name:?}"),
+                start,
+            )),
         }
     }
 
-    fn declare(&mut self, name: &str, kind: VarKind) -> Result<VarId> {
+    fn declare(&mut self, name: &str, kind: VarKind, span: Span) -> Result<VarId> {
         if let Some(&v) = self.by_name.get(name) {
             let existing = self.kinds[v.index()];
             let compatible = match (existing, kind) {
@@ -456,7 +533,8 @@ impl<'a> P<'a> {
             };
             if !compatible {
                 return Err(Error::invalid(format!(
-                    "variable {name} used with conflicting kinds ({existing:?} vs {kind:?})"
+                    "variable {name} used with conflicting kinds ({existing:?} vs {kind:?}) at {}",
+                    format_location(self.input, span.start)
                 )));
             }
             if let (
@@ -477,18 +555,20 @@ impl<'a> P<'a> {
         let v = VarId::from_usize(self.names.len());
         self.names.push(name.to_owned());
         self.kinds.push(kind);
+        self.var_spans.push(span);
         self.by_name.insert(name.to_owned(), v);
         Ok(v)
     }
 
-    fn declare_node(&mut self, name: &str, referenceable: bool) -> Result<VarId> {
-        self.declare(name, VarKind::Node { referenceable })
+    fn declare_node(&mut self, name: &str, referenceable: bool, span: Span) -> Result<VarId> {
+        self.declare(name, VarKind::Node { referenceable }, span)
     }
 
     fn value(&mut self) -> Result<Value> {
         self.skip_ws();
         match self.peek() {
             Some('"') => {
+                let open = self.pos;
                 self.pos += 1;
                 let mut s = String::new();
                 let mut iter = self.rest().char_indices();
@@ -506,7 +586,7 @@ impl<'a> P<'a> {
                         None => break,
                     }
                 }
-                Err(Error::parse("unterminated string literal"))
+                Err(self.err_at("unterminated string literal", open))
             }
             Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => {
                 let start = self.pos;
@@ -527,19 +607,20 @@ impl<'a> P<'a> {
                 if is_float {
                     text.parse::<f64>()
                         .map(Value::Float)
-                        .map_err(|e| Error::parse(format!("bad float {text:?}: {e}")))
+                        .map_err(|e| self.err_at(format!("bad float {text:?}: {e}"), start))
                 } else {
                     text.parse::<i64>()
                         .map(Value::Int)
-                        .map_err(|e| Error::parse(format!("bad int {text:?}: {e}")))
+                        .map_err(|e| self.err_at(format!("bad int {text:?}: {e}"), start))
                 }
             }
             _ => {
+                let start = self.pos;
                 let word = self.ident()?;
                 match word.as_str() {
                     "true" => Ok(Value::Bool(true)),
                     "false" => Ok(Value::Bool(false)),
-                    _ => Err(Error::parse(format!("expected a value, found {word:?}"))),
+                    _ => Err(self.err_at(format!("expected a value, found {word:?}"), start)),
                 }
             }
         }
@@ -713,5 +794,59 @@ mod tests {
     fn lowercase_variable_rejected() {
         let p = pool();
         assert!(parse_query("SELECT x WHERE x = 1", &p).is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        let p = pool();
+        let err = parse_query("SELECT X WHERE\nRoot = [a ->\n%]", &p).unwrap_err();
+        let msg = err.to_string();
+        let (line, col) = ssd_base::span::extract_location(&msg)
+            .unwrap_or_else(|| panic!("no location in {msg:?}"));
+        assert_eq!((line, col), (3, 1), "{msg}");
+    }
+
+    #[test]
+    fn spans_resolve_to_source_text() {
+        let p = pool();
+        let src = "SELECT X WHERE Root = [paper.(a|b) -> X, c -> Y]; X = 1; Y = 2";
+        let q = parse_query(src, &p).unwrap();
+        let spans = q.spans().expect("parsed queries carry spans");
+        assert_eq!(spans.source, src);
+        assert_eq!(spans.defs.len(), 3);
+        assert_eq!(spans.slice(spans.defs[0].var), Some("Root"));
+        assert_eq!(
+            spans.slice(spans.defs[0].edges[0].expr),
+            Some("paper.(a|b)")
+        );
+        assert_eq!(
+            spans.slice(spans.defs[0].edges[0].entry),
+            Some("paper.(a|b) -> X")
+        );
+        assert_eq!(spans.slice(spans.defs[0].edges[1].expr), Some("c"));
+        assert_eq!(spans.slice(spans.defs[1].whole), Some("X = 1"));
+        // Variable first-occurrence spans.
+        let y = q.var_by_name("Y").unwrap();
+        assert_eq!(spans.slice(spans.var_decls[y.index()]), Some("Y"));
+    }
+
+    #[test]
+    fn top_level_branch_spans_recorded() {
+        let p = pool();
+        let src = "SELECT X WHERE Root = [a.b | c.d | e -> X]";
+        let q = parse_query(src, &p).unwrap();
+        let spans = q.spans().unwrap();
+        let branches = &spans.defs[0].edges[0].branches;
+        let texts: Vec<_> = branches.iter().map(|b| spans.slice(*b).unwrap()).collect();
+        assert_eq!(texts, ["a.b", "c.d", "e"]);
+    }
+
+    #[test]
+    fn programmatic_rewrites_drop_spans() {
+        let p = pool();
+        let q = parse_query("SELECT X WHERE Root = [a -> X]", &p).unwrap();
+        assert!(q.spans().is_some());
+        let q2 = q.with_def_replaced(0, q.defs()[0].1.clone());
+        assert!(q2.spans().is_none());
     }
 }

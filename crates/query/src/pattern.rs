@@ -11,10 +11,11 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use ssd_automata::display::regex_to_string;
 use ssd_automata::{LabelAtom, Regex};
-use ssd_base::{SharedInterner, VarId};
+use ssd_base::{SharedInterner, Span, VarId};
 use ssd_model::Value;
 
 /// The kind of a variable, inferred from its syntactic positions.
@@ -77,6 +78,52 @@ impl PatDef {
     }
 }
 
+/// Source spans of one `L → nodeVar` entry of a collection definition.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeSpans {
+    /// The whole entry, `L -> Var`.
+    pub entry: Span,
+    /// The edge expression `L` alone.
+    pub expr: Span,
+    /// The top-level `|` branches of `L` (a single span when there is no
+    /// top-level alternation; empty for label variables).
+    pub branches: Vec<Span>,
+}
+
+/// Source spans of one pattern definition.
+#[derive(Clone, Debug, Default)]
+pub struct DefSpans {
+    /// The whole definition, `Var = rhs`.
+    pub whole: Span,
+    /// The defined variable's occurrence on the left-hand side.
+    pub var: Span,
+    /// Per-entry spans (empty for value / value-variable definitions).
+    pub edges: Vec<EdgeSpans>,
+}
+
+/// Source locations for a parsed [`Query`], kept as a side table so the
+/// AST itself stays comparable and programmatically constructible
+/// (generated queries simply have no spans).
+///
+/// Indices align with the query: `defs[i]` locates `query.defs()[i]`,
+/// and `var_decls[v.index()]` locates variable `v`'s first occurrence.
+#[derive(Clone, Debug, Default)]
+pub struct QuerySpans {
+    /// The original source text the spans index into.
+    pub source: String,
+    /// First-occurrence span per variable.
+    pub var_decls: Vec<Span>,
+    /// Per-definition spans, in `defs()` order.
+    pub defs: Vec<DefSpans>,
+}
+
+impl QuerySpans {
+    /// The spanned slice of the stored source, if in bounds.
+    pub fn slice(&self, span: Span) -> Option<&str> {
+        span.slice(&self.source)
+    }
+}
+
 /// A selection query.
 #[derive(Clone, Debug)]
 pub struct Query {
@@ -89,6 +136,10 @@ pub struct Query {
     def_of: Vec<Option<usize>>,
     select: Vec<VarId>,
     by_name: HashMap<String, VarId>,
+    /// Source spans, when the query came from text (see [`QuerySpans`]).
+    /// Deliberately not part of any equality or memoization key: spans
+    /// never affect semantics.
+    spans: Option<Arc<QuerySpans>>,
 }
 
 impl Query {
@@ -116,7 +167,21 @@ impl Query {
             def_of,
             select,
             by_name,
+            spans: None,
         }
+    }
+
+    /// Attaches parser-recorded source spans (parser only).
+    pub(crate) fn set_spans(&mut self, spans: QuerySpans) {
+        self.spans = Some(Arc::new(spans));
+    }
+
+    /// The source spans recorded by the parser, if this query came from
+    /// text. Programmatically built or rewritten queries return `None`
+    /// (spans are dropped by [`Query::with_def_replaced`], which changes
+    /// the AST out from under them).
+    pub fn spans(&self) -> Option<&QuerySpans> {
+        self.spans.as_deref()
     }
 
     /// The label pool.
@@ -188,9 +253,11 @@ impl Query {
     }
 
     /// Rewrites the definition at index `i` (used by feedback queries).
+    /// Spans are dropped: they would no longer describe the rewritten AST.
     pub fn with_def_replaced(&self, i: usize, def: PatDef) -> Query {
         let mut q = self.clone();
         q.defs[i].1 = def;
+        q.spans = None;
         q
     }
 }

@@ -12,13 +12,26 @@
 //! postfix operators `* + ?`.
 
 use std::collections::HashMap;
+use std::fmt;
 
-use ssd_base::{limits, Error, Result, SharedInterner, TypeIdx};
+use ssd_base::span::format_location;
+use ssd_base::{limits, Error, Result, SharedInterner, Span, TypeIdx};
 
 use crate::atomic::AtomicType;
 use crate::schema::{Schema, SchemaBuilder};
 use crate::types::{SchemaAtom, TypeDef};
 use ssd_automata::Regex;
+
+/// One collected `<!ELEMENT …>` declaration with its source offsets
+/// (absolute byte positions in the full DTD input, so content-model
+/// errors report real `line:column` locations).
+struct Decl {
+    name: String,
+    content: String,
+    name_off: usize,
+    content_off: usize,
+    span: Span,
+}
 
 /// Parses a DTD into a schema. The first `<!ELEMENT …>` declaration is the
 /// root type (the paper's convention for schemas).
@@ -29,28 +42,44 @@ use ssd_automata::Regex;
 /// instead of risking a stack overflow in the recursive descent.
 pub fn parse_dtd(input: &str, pool: &SharedInterner) -> Result<Schema> {
     limits::check_input_len("DTD", input.len())?;
+    // Absolute byte offset of a subslice of `input` (all pass-1 pieces
+    // are subslices, so pointer arithmetic recovers their position).
+    let off = |s: &str| s.as_ptr() as usize - input.as_ptr() as usize;
     // Pass 1: collect declarations.
-    let mut decls: Vec<(String, String)> = Vec::new();
+    let mut decls: Vec<Decl> = Vec::new();
     let mut rest = input;
     while let Some(start) = rest.find("<!ELEMENT") {
+        let decl_start = off(&rest[start..]);
         let after = &rest[start + "<!ELEMENT".len()..];
         let Some(end) = after.find('>') else {
-            return Err(Error::parse("unterminated <!ELEMENT declaration"));
+            return Err(Error::parse_at(
+                "unterminated <!ELEMENT declaration",
+                input,
+                decl_start,
+            ));
         };
         let body = after[..end].trim();
         let (name, content) = match body.split_once(char::is_whitespace) {
-            Some((n, c)) => (n.trim().to_owned(), c.trim().to_owned()),
+            Some((n, c)) => (n.trim(), c.trim()),
             None => {
-                return Err(Error::parse(format!(
-                    "malformed <!ELEMENT declaration: {body:?}"
-                )))
+                return Err(Error::parse_at(
+                    format!("malformed <!ELEMENT declaration: {body:?}"),
+                    input,
+                    off(body),
+                ))
             }
         };
-        decls.push((name, content));
+        decls.push(Decl {
+            name: name.to_owned(),
+            content: content.to_owned(),
+            name_off: off(name),
+            content_off: off(content),
+            span: Span::new(decl_start, off(after) + end + 1),
+        });
         rest = &after[end + 1..];
     }
     if decls.is_empty() {
-        return Err(Error::parse("no <!ELEMENT declarations found"));
+        return Err(Error::parse_at("no <!ELEMENT declarations found", input, 0));
     }
     // Check the remainder holds nothing but ignorable content.
     if rest.trim().chars().any(|c| !c.is_whitespace()) && rest.contains("<!") {
@@ -61,19 +90,26 @@ pub fn parse_dtd(input: &str, pool: &SharedInterner) -> Result<Schema> {
     }
 
     let mut b = SchemaBuilder::new(pool.clone());
+    b.attach_source(input);
     let mut type_of: HashMap<String, TypeIdx> = HashMap::new();
     // Declare element types in order so the first element is the root.
-    for (name, _) in &decls {
-        if type_of.contains_key(name) {
-            return Err(Error::invalid(format!("element {name} declared twice")));
+    for d in &decls {
+        if type_of.contains_key(&d.name) {
+            return Err(Error::invalid(format!(
+                "element {} declared twice at {}",
+                d.name,
+                format_location(input, d.name_off)
+            )));
         }
-        let t = b.declare(&format!("E_{name}"), false);
-        type_of.insert(name.clone(), t);
+        let t = b.declare(&format!("E_{}", d.name), false);
+        b.note_name_span(t, Span::new(d.name_off, d.name_off + d.name.len()));
+        b.note_def_span(t, d.span);
+        type_of.insert(d.name.clone(), t);
     }
 
-    for (name, content) in &decls {
-        let t = type_of[name];
-        let def = parse_content(content, pool, &mut b, &type_of)?;
+    for d in &decls {
+        let t = type_of[&d.name];
+        let def = parse_content(&d.content, input, d.content_off, pool, &mut b, &type_of)?;
         b.define(t, def)?;
     }
     b.finish()
@@ -81,6 +117,8 @@ pub fn parse_dtd(input: &str, pool: &SharedInterner) -> Result<Schema> {
 
 fn parse_content(
     content: &str,
+    full: &str,
+    offset: usize,
     pool: &SharedInterner,
     b: &mut SchemaBuilder,
     type_of: &HashMap<String, TypeIdx>,
@@ -97,21 +135,25 @@ fn parse_content(
     }
     let mut p = C {
         input: trimmed,
+        full,
+        offset,
         pos: 0,
         depth: 0,
     };
     let re = p.alt(pool, b, type_of)?;
     p.skip_ws();
     if !p.at_end() {
-        return Err(Error::parse(format!(
-            "trailing content in content model {trimmed:?}"
-        )));
+        return Err(p.err(format!("trailing content in content model {trimmed:?}")));
     }
     Ok(TypeDef::Ordered(re))
 }
 
 struct C<'a> {
     input: &'a str,
+    /// The full DTD source and the absolute offset of `input` within it,
+    /// for `line:column` error locations.
+    full: &'a str,
+    offset: usize,
     pos: usize,
     /// Group nesting depth — the only recursion in the grammar
     /// (`atom → alt`), bounded by [`limits::MAX_NEST_DEPTH`].
@@ -121,6 +163,16 @@ struct C<'a> {
 impl<'a> C<'a> {
     fn rest(&self) -> &'a str {
         &self.input[self.pos..]
+    }
+
+    /// A parse error located at the current position (in the full input).
+    fn err(&self, msg: impl fmt::Display) -> Error {
+        Error::parse_at(msg, self.full, self.offset + self.pos)
+    }
+
+    /// A parse error located at content-model position `pos`.
+    fn err_at(&self, msg: impl fmt::Display, pos: usize) -> Error {
+        Error::parse_at(msg, self.full, self.offset + pos)
     }
 
     fn at_end(&self) -> bool {
@@ -219,7 +271,7 @@ impl<'a> C<'a> {
             let re = self.alt(pool, b, type_of)?;
             self.depth -= 1;
             if !self.eat(')') {
-                return Err(Error::parse("expected ')' in content model"));
+                return Err(self.err("expected ')' in content model"));
             }
             return Ok(re);
         }
@@ -233,10 +285,10 @@ impl<'a> C<'a> {
             }
         }
         if self.pos == start {
-            return Err(Error::parse(format!(
-                "expected element name at byte {start} of content model {:?}",
-                self.input
-            )));
+            return Err(self.err_at(
+                format!("expected element name in content model {:?}", self.input),
+                start,
+            ));
         }
         let name = &self.input[start..self.pos];
         let t = match type_of.get(name) {
@@ -246,7 +298,8 @@ impl<'a> C<'a> {
                 // with #PCDATA? No — DTD validity requires a declaration.
                 let _ = b;
                 return Err(Error::undefined(format!(
-                    "content model references undeclared element {name}"
+                    "content model references undeclared element {name} at {}",
+                    format_location(self.full, self.offset + start)
                 )));
             }
         };
@@ -367,6 +420,26 @@ mod tests {
         let huge = " ".repeat(ssd_base::limits::MAX_INPUT_LEN + 1);
         let err = parse_dtd(&huge, &pool).err().expect("oversized");
         assert!(matches!(err, Error::Limit(_)));
+    }
+
+    #[test]
+    fn content_model_errors_locate_in_full_input() {
+        let pool = SharedInterner::new();
+        let src = "<!ELEMENT a EMPTY >\n<!ELEMENT t (a, %) >";
+        let err = parse_dtd(src, &pool).err().expect("bad DTD");
+        let msg = err.to_string();
+        let (line, _col) = ssd_base::span::extract_location(&msg)
+            .unwrap_or_else(|| panic!("no location in {msg:?}"));
+        assert_eq!(line, 2, "{msg}");
+        // Spans resolve to real element names.
+        let s = parse_dtd("<!ELEMENT doc (x*) >\n<!ELEMENT x EMPTY >", &pool).unwrap();
+        let spans = s.spans().expect("DTD schemas carry spans");
+        let x = s.by_name("E_x").unwrap();
+        assert_eq!(spans.slice(spans.names[x.index()]), Some("x"));
+        assert_eq!(
+            spans.slice(spans.defs[x.index()]),
+            Some("<!ELEMENT x EMPTY >")
+        );
     }
 
     #[test]

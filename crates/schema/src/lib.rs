@@ -32,6 +32,6 @@ pub use classify::SchemaClass;
 pub use conform::{check_assignment, conforms};
 pub use dtd::parse_dtd;
 pub use parser::parse_schema;
-pub use schema::{Schema, SchemaBuilder};
+pub use schema::{Schema, SchemaBuilder, SchemaSpans};
 pub use typegraph::TypeGraph;
 pub use types::{SchemaAtom, TypeDef, TypeKind};

@@ -10,7 +10,9 @@
 //! accepted as a synonym for `.` (the paper itself writes
 //! `T1={(a→T2,b→T3)|(d→T4)}`). Referenceable type ids are `&`-prefixed.
 
-use ssd_base::{limits, Error, Result, SharedInterner};
+use std::fmt;
+
+use ssd_base::{limits, Error, Result, SharedInterner, Span};
 
 use crate::atomic::AtomicType;
 use crate::schema::{Schema, SchemaBuilder};
@@ -32,6 +34,7 @@ pub fn parse_schema(input: &str, pool: &SharedInterner) -> Result<Schema> {
         depth: 0,
     };
     let mut b = SchemaBuilder::new(pool.clone());
+    b.attach_source(input);
     let mut any = false;
     loop {
         p.skip_ws();
@@ -45,14 +48,11 @@ pub fn parse_schema(input: &str, pool: &SharedInterner) -> Result<Schema> {
             continue;
         }
         if !p.at_end() {
-            return Err(Error::parse(format!(
-                "expected ';' between type definitions at byte {}",
-                p.pos
-            )));
+            return Err(p.err("expected ';' between type definitions"));
         }
     }
     if !any {
-        return Err(Error::parse("empty schema"));
+        return Err(p.err("empty schema"));
     }
     b.finish()
 }
@@ -67,11 +67,14 @@ struct P<'a> {
 }
 
 fn parse_def(p: &mut P<'_>, b: &mut SchemaBuilder) -> Result<()> {
-    let (name, referenceable) = p.tid_ref()?;
+    p.skip_ws();
+    let def_start = p.pos;
+    let (name, referenceable, name_span) = p.tid_ref()?;
     let t = b.declare(&name, referenceable);
+    b.note_name_span(t, name_span);
     p.expect('=')?;
     p.skip_ws();
-    match p.peek() {
+    let result = match p.peek() {
         Some('{') => {
             p.eat('{');
             let r = parse_alt(p, b)?;
@@ -85,15 +88,19 @@ fn parse_def(p: &mut P<'_>, b: &mut SchemaBuilder) -> Result<()> {
             b.define(t, TypeDef::Ordered(r))
         }
         _ => {
+            let word_start = p.pos;
             let word = p.ident()?;
             match AtomicType::from_keyword(&word) {
                 Some(a) => b.define(t, TypeDef::Atomic(a)),
-                None => Err(Error::parse(format!(
-                    "expected an atomic type keyword, '{{' or '[', found {word:?}"
-                ))),
+                None => Err(p.err_at(
+                    format!("expected an atomic type keyword, '{{' or '[', found {word:?}"),
+                    word_start,
+                )),
             }
         }
-    }
+    };
+    b.note_def_span(t, p.span_from(def_start));
+    result
 }
 
 fn parse_alt(p: &mut P<'_>, b: &mut SchemaBuilder) -> Result<Regex<SchemaAtom>> {
@@ -172,20 +179,35 @@ fn parse_atom(p: &mut P<'_>, b: &mut SchemaBuilder) -> Result<Regex<SchemaAtom>>
                 return Ok(Regex::Epsilon);
             }
             p.arrow()?;
-            let (tname, referenceable) = p.tid_ref()?;
+            let (tname, referenceable, tspan) = p.tid_ref()?;
             let t = b.declare(&tname, referenceable);
+            b.note_name_span(t, tspan);
             Ok(Regex::atom(SchemaAtom::new(p.pool.intern(&word), t)))
         }
-        other => Err(Error::parse(format!(
-            "expected a schema regex atom at byte {}, found {other:?}",
-            p.pos
-        ))),
+        other => Err(p.err(format!("expected a schema regex atom, found {other:?}"))),
     }
 }
 
 impl<'a> P<'a> {
     fn rest(&self) -> &'a str {
         &self.input[self.pos..]
+    }
+
+    /// A parse error located at the current position.
+    fn err(&self, msg: impl fmt::Display) -> Error {
+        Error::parse_at(msg, self.input, self.pos)
+    }
+
+    /// A parse error located at `pos`.
+    fn err_at(&self, msg: impl fmt::Display, pos: usize) -> Error {
+        Error::parse_at(msg, self.input, pos)
+    }
+
+    /// The span from `start` to the current position, with trailing
+    /// whitespace (skipped by lookahead) trimmed off.
+    fn span_from(&self, start: usize) -> Span {
+        let text = &self.input[start..self.pos];
+        Span::new(start, start + text.trim_end().len())
     }
 
     fn at_end(&self) -> bool {
@@ -221,9 +243,8 @@ impl<'a> P<'a> {
         if self.eat(c) {
             Ok(())
         } else {
-            Err(Error::parse(format!(
-                "expected '{c}' at byte {} near {:?}",
-                self.pos,
+            Err(self.err(format!(
+                "expected '{c}' near {:?}",
                 self.rest().chars().take(12).collect::<String>()
             )))
         }
@@ -238,7 +259,7 @@ impl<'a> P<'a> {
             self.pos += '→'.len_utf8();
             Ok(())
         } else {
-            Err(Error::parse(format!("expected '->' at byte {}", self.pos)))
+            Err(self.err("expected '->'"))
         }
     }
 
@@ -259,16 +280,17 @@ impl<'a> P<'a> {
             }
         }
         if self.pos == start {
-            return Err(Error::parse(format!("expected identifier at byte {start}")));
+            return Err(self.err_at("expected identifier", start));
         }
         Ok(self.input[start..self.pos].to_owned())
     }
 
-    fn tid_ref(&mut self) -> Result<(String, bool)> {
+    fn tid_ref(&mut self) -> Result<(String, bool, Span)> {
         self.skip_ws();
+        let start = self.pos;
         let referenceable = self.eat('&');
         let name = self.ident()?;
-        Ok((name, referenceable))
+        Ok((name, referenceable, self.span_from(start)))
     }
 }
 
@@ -383,6 +405,37 @@ mod tests {
         let huge = " ".repeat(ssd_base::limits::MAX_INPUT_LEN + 1);
         let err = parse_schema(&huge, &pool).err().expect("oversized");
         assert!(matches!(err, Error::Limit(_)));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        let pool = SharedInterner::new();
+        let err = parse_schema("T = [a->U];\nU = %", &pool)
+            .err()
+            .expect("bad schema");
+        let msg = err.to_string();
+        let (line, col) = ssd_base::span::extract_location(&msg)
+            .unwrap_or_else(|| panic!("no location in {msg:?}"));
+        assert_eq!((line, col), (2, 5), "{msg}");
+    }
+
+    #[test]
+    fn spans_resolve_to_source_text() {
+        let pool = SharedInterner::new();
+        let src = "DOC = [(paper->PAPER)*];\nPAPER = [title->T];\nT = string";
+        let s = parse_schema(src, &pool).unwrap();
+        let spans = s.spans().expect("parsed schemas carry spans");
+        let doc = s.by_name("DOC").unwrap();
+        let paper = s.by_name("PAPER").unwrap();
+        assert_eq!(spans.slice(spans.names[doc.index()]), Some("DOC"));
+        assert_eq!(
+            spans.slice(spans.defs[doc.index()]),
+            Some("DOC = [(paper->PAPER)*]")
+        );
+        assert_eq!(
+            spans.slice(spans.defs[paper.index()]),
+            Some("PAPER = [title->T]")
+        );
     }
 
     #[test]

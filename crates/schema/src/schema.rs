@@ -2,13 +2,36 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use ssd_automata::display::regex_to_string;
 use ssd_automata::glushkov;
 use ssd_automata::Nfa;
-use ssd_base::{Error, Result, SharedInterner, TypeIdx};
+use ssd_base::span::format_location;
+use ssd_base::{Error, Result, SharedInterner, Span, TypeIdx};
 
 use crate::types::{SchemaAtom, TypeDef, TypeKind};
+
+/// Source locations for a parsed [`Schema`], kept as a side table so the
+/// schema itself stays programmatically constructible (built schemas
+/// simply have no spans). Indices align with [`Schema::types`].
+#[derive(Clone, Debug, Default)]
+pub struct SchemaSpans {
+    /// The original source text the spans index into.
+    pub source: String,
+    /// Span of each type's defining name occurrence ([`Span::DUMMY`] when
+    /// the type was only referenced, never textually defined).
+    pub names: Vec<Span>,
+    /// Span of each whole type definition (`Tid = Type`).
+    pub defs: Vec<Span>,
+}
+
+impl SchemaSpans {
+    /// The spanned slice of the stored source, if in bounds.
+    pub fn slice(&self, span: Span) -> Option<&str> {
+        span.slice(&self.source)
+    }
+}
 
 /// A schema: a sequence of type definitions; the first is the root type.
 ///
@@ -28,6 +51,9 @@ pub struct Schema {
     /// for derived structures (e.g. a session's `TypeGraph` cache); clones
     /// share it, as they share the same content.
     uid: u64,
+    /// Source spans, when the schema came from text. Never part of any
+    /// equality or memoization key: spans do not affect semantics.
+    spans: Option<Arc<SchemaSpans>>,
 }
 
 impl Schema {
@@ -85,6 +111,12 @@ impl Schema {
     /// Looks up a type by name.
     pub fn by_name(&self, name: &str) -> Option<TypeIdx> {
         self.by_name.get(name).copied()
+    }
+
+    /// The source spans recorded by the parser, if this schema came from
+    /// text. Programmatically built schemas return `None`.
+    pub fn spans(&self) -> Option<&SchemaSpans> {
+        self.spans.as_deref()
     }
 
     /// All type ids in definition order.
@@ -146,6 +178,10 @@ pub struct SchemaBuilder {
     referenceable: Vec<bool>,
     defs: Vec<Option<TypeDef>>,
     by_name: HashMap<String, TypeIdx>,
+    /// Source text + per-type spans when building from text (parsers only).
+    source: Option<String>,
+    name_spans: Vec<Span>,
+    def_spans: Vec<Span>,
 }
 
 impl SchemaBuilder {
@@ -157,7 +193,30 @@ impl SchemaBuilder {
             referenceable: Vec::new(),
             defs: Vec::new(),
             by_name: HashMap::new(),
+            source: None,
+            name_spans: Vec::new(),
+            def_spans: Vec::new(),
         }
+    }
+
+    /// Records the source text being parsed; enables span recording, and
+    /// the finished schema will carry a [`SchemaSpans`] table.
+    pub fn attach_source(&mut self, source: &str) {
+        self.source = Some(source.to_owned());
+    }
+
+    /// Records the span of `t`'s defining name occurrence (first recorded
+    /// occurrence wins).
+    pub fn note_name_span(&mut self, t: TypeIdx, span: Span) {
+        let slot = &mut self.name_spans[t.index()];
+        if slot.is_dummy() {
+            *slot = span;
+        }
+    }
+
+    /// Records the span of `t`'s whole definition (`Tid = Type`).
+    pub fn note_def_span(&mut self, t: TypeIdx, span: Span) {
+        self.def_spans[t.index()] = span;
     }
 
     /// The builder's label pool.
@@ -177,6 +236,8 @@ impl SchemaBuilder {
         self.names.push(name.to_owned());
         self.referenceable.push(referenceable);
         self.defs.push(None);
+        self.name_spans.push(Span::DUMMY);
+        self.def_spans.push(Span::DUMMY);
         self.by_name.insert(name.to_owned(), t);
         t
     }
@@ -204,10 +265,17 @@ impl SchemaBuilder {
             match d {
                 Some(def) => defs.push(def),
                 None => {
+                    let loc = self
+                        .source
+                        .as_deref()
+                        .map(|src| {
+                            format!(" at {}", format_location(src, self.name_spans[i].start))
+                        })
+                        .unwrap_or_default();
                     return Err(Error::undefined(format!(
-                        "type {} is referenced but never defined",
+                        "type {} is referenced but never defined{loc}",
                         self.names[i]
-                    )))
+                    )));
                 }
             }
         }
@@ -216,6 +284,13 @@ impl SchemaBuilder {
             .map(|d| d.regex().map(glushkov::build))
             .collect();
         static NEXT_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let spans = self.source.map(|source| {
+            Arc::new(SchemaSpans {
+                source,
+                names: self.name_spans,
+                defs: self.def_spans,
+            })
+        });
         Ok(Schema {
             pool: self.pool,
             names: self.names,
@@ -225,6 +300,7 @@ impl SchemaBuilder {
             by_name: self.by_name,
             root: TypeIdx(0),
             uid: NEXT_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            spans,
         })
     }
 }

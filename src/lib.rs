@@ -16,6 +16,8 @@
 //! * [`schema`] — ScmDL schemas, DTDs, conformance;
 //! * [`query`] — patterns, selection queries, evaluation;
 //! * [`core`] — the traces technique and the inference problems;
+//! * [`lint`] — span-aware static analysis with witness-carrying
+//!   diagnostics;
 //! * [`obs`] — zero-dependency tracing, counters, and telemetry export;
 //! * [`feedback`] — feedback queries (Section 4.1);
 //! * [`optimizer`] — the adaptive optimal evaluator (Section 4.2);
@@ -31,6 +33,7 @@ pub use ssd_base as base;
 pub use ssd_core as core;
 pub use ssd_feedback as feedback;
 pub use ssd_gen as gen;
+pub use ssd_lint as lint;
 pub use ssd_model as model;
 pub use ssd_obs as obs;
 pub use ssd_optimizer as optimizer;

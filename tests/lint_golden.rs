@@ -1,0 +1,207 @@
+//! Golden-diagnostics corpus for `ssd-lint`: every bundled example under
+//! `examples/lint/` must produce exactly its expected diagnostic codes —
+//! including the clean query, which must produce none — with every
+//! error-level diagnostic anchored to a span that resolves to the
+//! expected source text and, for the emptiness-fact diagnostics
+//! (`unsat-query`, `dead-branch`), a trace witness attached.
+
+use std::path::PathBuf;
+
+use ssd::base::budget::Budget;
+use ssd::base::SharedInterner;
+use ssd::core::{Constraints, Session};
+use ssd::lint::{lint_with, Code, LintReport, Severity};
+
+fn example(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/lint")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+#[derive(Clone, Copy)]
+struct Golden {
+    schema: &'static str,
+    query: &'static str,
+    /// `--pin VAR=TYPE` applied before linting, if any.
+    pin: Option<(&'static str, &'static str)>,
+    /// Fuel cap, if the scenario is meant to exhaust the budget.
+    fuel: Option<u64>,
+    /// Expected codes in rank order, each with the source text its span
+    /// must resolve to (`None` for diagnostics without a location).
+    expected: &'static [(Code, Option<&'static str>)],
+}
+
+const GOLDEN: &[Golden] = &[
+    Golden {
+        schema: "bib.scmdl",
+        query: "clean.ssq",
+        pin: None,
+        fuel: None,
+        expected: &[],
+    },
+    Golden {
+        schema: "bib.scmdl",
+        query: "unsat.ssq",
+        pin: None,
+        fuel: None,
+        expected: &[(Code::UnsatQuery, Some("Root = [title -> X]"))],
+    },
+    Golden {
+        schema: "bib.scmdl",
+        query: "dead_branch.ssq",
+        pin: None,
+        fuel: None,
+        expected: &[(Code::DeadBranch, Some("paper.email"))],
+    },
+    Golden {
+        schema: "bib.scmdl",
+        query: "unknown_label.ssq",
+        pin: None,
+        fuel: None,
+        // The typo makes the whole query unsatisfiable too; ranking puts
+        // the wider root-definition span first.
+        expected: &[
+            (Code::UnsatQuery, Some("Root = [paper.titel -> X]")),
+            (Code::UnknownLabel, Some("paper.titel")),
+        ],
+    },
+    Golden {
+        schema: "bib.scmdl",
+        query: "pin.ssq",
+        pin: Some(("X", "PAPER")),
+        fuel: None,
+        expected: &[(Code::RedundantConstraint, Some("X"))],
+    },
+    Golden {
+        schema: "refs.scmdl",
+        query: "joins.ssq",
+        pin: None,
+        fuel: Some(1),
+        expected: &[(Code::BudgetExhausted, None)],
+    },
+];
+
+fn run(case: &Golden, sess: &Session) -> (LintReport, String) {
+    let pool = SharedInterner::new();
+    let schema_src = example(case.schema);
+    let query_src = example(case.query);
+    let s = ssd::schema::parse_schema(&schema_src, &pool)
+        .unwrap_or_else(|e| panic!("{}: {e}", case.schema));
+    let q = ssd::query::parse_query(&query_src, &pool)
+        .unwrap_or_else(|e| panic!("{}: {e}", case.query));
+    let mut c = Constraints::none();
+    if let Some((var, ty)) = case.pin {
+        let v = q.var_by_name(var).expect("pinned variable exists");
+        let t = s.by_name(ty).expect("pinned type exists");
+        c = c.pin_type(v, t);
+    }
+    let budget = match case.fuel {
+        Some(f) => Budget::unlimited().with_fuel(f),
+        None => Budget::unlimited(),
+    };
+    let report = lint_with(&q, &s, &c, sess, &budget).expect("lint runs");
+    (report, query_src)
+}
+
+#[test]
+fn golden_corpus_produces_expected_diagnostics() {
+    let sess = Session::new();
+    for case in GOLDEN {
+        let (report, query_src) = run(case, &sess);
+        let got: Vec<Code> = report.diagnostics.iter().map(|d| d.code).collect();
+        let want: Vec<Code> = case.expected.iter().map(|(c, _)| *c).collect();
+        assert_eq!(got, want, "{}: wrong diagnostic codes", case.query);
+
+        for (diag, (_, text)) in report.diagnostics.iter().zip(case.expected) {
+            match text {
+                Some(text) => {
+                    let sliced = diag
+                        .span
+                        .slice(&query_src)
+                        .unwrap_or_else(|| panic!("{}: span out of bounds", case.query));
+                    assert!(
+                        sliced.contains(text),
+                        "{}: span for {:?} resolves to {sliced:?}, expected it to \
+                         contain {text:?}",
+                        case.query,
+                        diag.code
+                    );
+                }
+                None => assert!(
+                    diag.span.is_dummy(),
+                    "{}: {:?} unexpectedly carries a span",
+                    case.query,
+                    diag.code
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn clean_case_is_reported_clean() {
+    let sess = Session::new();
+    let (report, _) = run(&GOLDEN[0], &sess);
+    assert!(report.is_clean());
+    assert!(!report.has_errors());
+}
+
+#[test]
+fn error_diagnostics_carry_resolving_spans_and_witnesses() {
+    let sess = Session::new();
+    for case in GOLDEN {
+        let (report, query_src) = run(case, &sess);
+        for diag in &report.diagnostics {
+            if diag.severity != Severity::Error {
+                continue;
+            }
+            assert!(
+                !diag.span.is_dummy(),
+                "{}: error {:?} lacks a span",
+                case.query,
+                diag.code
+            );
+            let sliced = diag.span.slice(&query_src).expect("span in bounds");
+            assert!(
+                !sliced.trim().is_empty(),
+                "{}: error {:?} spans only whitespace",
+                case.query,
+                diag.code
+            );
+            if matches!(diag.code, Code::UnsatQuery | Code::DeadBranch) {
+                assert!(
+                    diag.trace_witness.is_some(),
+                    "{}: {:?} lacks a trace witness",
+                    case.query,
+                    diag.code
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn budget_exhaustion_never_produces_errors() {
+    let sess = Session::new();
+    // Run every scenario under a tiny budget: whatever is reported must
+    // be warnings or decided facts, never a budget trip escalated to an
+    // error-level diagnostic.
+    for case in GOLDEN {
+        let tight = Golden {
+            fuel: Some(1),
+            ..*case
+        };
+        let (report, _) = run(&tight, &sess);
+        for diag in &report.diagnostics {
+            if diag.code == Code::BudgetExhausted {
+                assert_eq!(
+                    diag.severity,
+                    Severity::Warning,
+                    "{}: budget exhaustion must stay a warning",
+                    case.query
+                );
+            }
+        }
+    }
+}

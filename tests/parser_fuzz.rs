@@ -8,7 +8,8 @@
 //! reproduces from its printed seed.
 
 use ssd::base::rng::{Rng, StdRng};
-use ssd::base::SharedInterner;
+use ssd::base::span::extract_location;
+use ssd::base::{Error, SharedInterner};
 
 /// Valid exemplars per front-end, used both directly and as mutation
 /// seeds (mutations of valid inputs probe deeper grammar states than
@@ -92,15 +93,53 @@ fn mutate(rng: &mut StdRng, input: &str) -> String {
     chars.into_iter().collect()
 }
 
+/// Every syntax error (`Error::Parse`) from a front-end must embed the
+/// canonical `line L, column C` suffix, and the location must resolve to
+/// a real position of the input: `1 <= line <= #lines`, and the column
+/// within the line (one past the end marks end-of-line carets). Other
+/// error kinds (`Limit`, `Invalid`, ...) are structural, not positional,
+/// and are exempt.
+fn check_location(err: &Error, input: &str, front_end: &str) {
+    let Error::Parse(msg) = err else { return };
+    let (line, col) = extract_location(msg).unwrap_or_else(|| {
+        panic!("{front_end}: parse error without location: {msg:?}\ninput: {input:?}")
+    });
+    let lines: Vec<&str> = input.split('\n').collect();
+    assert!(
+        (1..=lines.len()).contains(&line),
+        "{front_end}: line {line} out of bounds (input has {} lines): {msg:?}\ninput: {input:?}",
+        lines.len()
+    );
+    // Columns count chars (bytes only when clamped mid-char), so bound
+    // by the byte width of the line plus the end-of-line caret slot.
+    let width = lines[line - 1].len();
+    assert!(
+        (1..=width + 1).contains(&col),
+        "{front_end}: column {col} out of bounds (line {line} is {width} bytes): \
+         {msg:?}\ninput: {input:?}"
+    );
+}
+
 /// Run one input through every parser; the only acceptable outcomes are
-/// `Ok` and a structured error.
+/// `Ok` and a structured error — and every *parse* error must carry a
+/// valid in-bounds source location.
 fn feed_all(input: &str) {
     let pool = SharedInterner::new();
-    let _ = ssd::automata::parser::parse_path_regex(input, &pool);
-    let _ = ssd::schema::parse_schema(input, &pool);
-    let _ = ssd::schema::parse_dtd(input, &pool);
-    let _ = ssd::model::parse_data_graph(input, &pool);
-    let _ = ssd::query::parse_query(input, &pool);
+    if let Err(e) = ssd::automata::parser::parse_path_regex(input, &pool) {
+        check_location(&e, input, "path regex");
+    }
+    if let Some(e) = ssd::schema::parse_schema(input, &pool).err() {
+        check_location(&e, input, "ScmDL schema");
+    }
+    if let Some(e) = ssd::schema::parse_dtd(input, &pool).err() {
+        check_location(&e, input, "DTD");
+    }
+    if let Err(e) = ssd::model::parse_data_graph(input, &pool) {
+        check_location(&e, input, "data graph");
+    }
+    if let Err(e) = ssd::query::parse_query(input, &pool) {
+        check_location(&e, input, "query");
+    }
 }
 
 #[test]

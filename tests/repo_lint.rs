@@ -1,0 +1,140 @@
+//! A hand-rolled repository lint (no external tooling): walks every
+//! crate's `src/` tree and ratchets the number of `.unwrap()` /
+//! `.expect(` calls in non-test code.
+//!
+//! Panicking extractors in library code turn recoverable conditions into
+//! aborts, so new ones need a conscious decision: the allowlist below
+//! pins the audited count per file. The test fails when a file *exceeds*
+//! its pinned count (new panics crept in) and when it drops *below*
+//! (the pin is stale — tighten it so the ratchet keeps holding).
+//!
+//! Heuristics, matching this repo's conventions:
+//! - everything from the first `#[cfg(test)]` line to end-of-file is
+//!   test code (test modules sit at the bottom of each file);
+//! - comment lines (`//`, `///`, `//!`) are skipped, so doc examples
+//!   and prose mentioning `unwrap` don't count;
+//! - only the exact panicking forms `.unwrap()` and `.expect(` match —
+//!   `unwrap_or`, `unwrap_or_else`, `expected`, etc. do not.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Audited `.unwrap()`/`.expect(` counts per file, relative to the repo
+/// root. Most entries are infallible-by-construction cases (lock
+/// poisoning, `expect("unlimited budget never trips")`, writes to
+/// `String`); `experiments.rs` is a CLI whose top-level error handling
+/// is intentionally panic-based.
+const ALLOWLIST: &[(&str, usize)] = &[
+    ("crates/automata/src/cache.rs", 1),
+    ("crates/automata/src/dfa.rs", 4),
+    ("crates/automata/src/ops.rs", 1),
+    ("crates/automata/src/parser.rs", 3),
+    ("crates/automata/src/product.rs", 1),
+    ("crates/automata/src/regexgen.rs", 1),
+    ("crates/automata/src/syntax.rs", 2),
+    ("crates/base/src/budget.rs", 2),
+    ("crates/base/src/ids.rs", 1),
+    ("crates/bench/src/bin/experiments.rs", 37),
+    ("crates/bench/src/harness.rs", 1),
+    ("crates/bench/src/lib.rs", 1),
+    ("crates/core/src/feas.rs", 2),
+    ("crates/core/src/memo.rs", 1),
+    ("crates/core/src/ptraces.rs", 2),
+    ("crates/core/src/solver.rs", 4),
+    ("crates/core/src/tagged.rs", 1),
+    ("crates/gen/src/schema_gen.rs", 5),
+    ("crates/model/src/parser.rs", 3),
+    ("crates/obs/src/json.rs", 1),
+    ("crates/query/src/eval.rs", 1),
+    ("crates/query/src/parser.rs", 6),
+    ("crates/schema/src/conform.rs", 3),
+    ("crates/schema/src/dtd.rs", 2),
+    ("crates/schema/src/parser.rs", 6),
+    ("crates/schema/src/typegraph.rs", 1),
+    ("crates/transform/src/outschema.rs", 5),
+];
+
+/// Recursively collects `.rs` files under `dir`.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Counts `.unwrap()` / `.expect(` occurrences in the non-test,
+/// non-comment portion of `source`.
+fn count_panicking_calls(source: &str) -> usize {
+    let mut count = 0;
+    for line in source.lines() {
+        if line.contains("#[cfg(test)]") {
+            break;
+        }
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        count += line.matches(".unwrap()").count();
+        count += line.matches(".expect(").count();
+    }
+    count
+}
+
+#[test]
+fn no_new_unwraps_in_library_code() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let allow: BTreeMap<&str, usize> = ALLOWLIST.iter().copied().collect();
+
+    let mut files = Vec::new();
+    rust_files(&root.join("crates"), &mut files);
+    rust_files(&root.join("src"), &mut files);
+    files.sort();
+    assert!(
+        files.len() > 20,
+        "repo lint walked only {} files — wrong root?",
+        files.len()
+    );
+
+    let mut violations = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .expect("walked file outside repo root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        // Only library/binary sources are ratcheted; per-crate tests/
+        // and benches/ directories are free to unwrap.
+        if !rel.contains("/src/") && !rel.starts_with("src/") {
+            continue;
+        }
+        let source = std::fs::read_to_string(path).expect("readable source file");
+        let count = count_panicking_calls(&source);
+        let allowed = allow.get(rel.as_str()).copied().unwrap_or(0);
+        if count > allowed {
+            violations.push(format!(
+                "{rel}: {count} panicking call(s) in non-test code (allowed {allowed}) — \
+                 return a Result or, if infallible by construction, ratchet the \
+                 allowlist in tests/repo_lint.rs with a justification"
+            ));
+        } else if count < allowed {
+            violations.push(format!(
+                "{rel}: allowlist is stale ({allowed} pinned, {count} found) — \
+                 tighten the entry in tests/repo_lint.rs"
+            ));
+        }
+    }
+
+    assert!(
+        violations.is_empty(),
+        "repo lint failed:\n  {}",
+        violations.join("\n  ")
+    );
+}
