@@ -348,6 +348,19 @@ impl AutomataCache {
             + self.inclusions.len()
     }
 
+    /// Per-shard entry counts summed across the artifact and verdict
+    /// tables, in shard order — the registry's per-shard automata
+    /// occupancy gauge (shard `i` of each table contributes to slot `i`).
+    pub fn occupancy_by_shard(&self) -> [usize; crate::shard::SHARDS] {
+        let tables = [
+            self.nfas.len_by_shard(),
+            self.dfas.len_by_shard(),
+            self.empties.len_by_shard(),
+            self.inclusions.len_by_shard(),
+        ];
+        std::array::from_fn(|i| tables.iter().map(|t| t[i]).sum())
+    }
+
     /// Epoch flush: drops every memoized artifact and verdict (and the
     /// hash-cons table), returning how many entries were evicted.
     /// Sound because each entry is a pure function of its immutable

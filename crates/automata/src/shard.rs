@@ -174,6 +174,14 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         self.shards.iter().map(|s| read(s).len()).sum()
     }
 
+    /// The entry count of each individual shard, in shard order — the
+    /// occupancy gauges behind the metrics registry's per-shard export
+    /// (a skewed distribution here means the key hash is clumping and
+    /// misses are serializing on few locks).
+    pub fn len_by_shard(&self) -> [usize; SHARDS] {
+        std::array::from_fn(|i| read(&self.shards[i]).len())
+    }
+
     /// Whether the map holds no entries (point-in-time).
     pub fn is_empty(&self) -> bool {
         self.shards.iter().all(|s| read(s).is_empty())

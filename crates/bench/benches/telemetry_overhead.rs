@@ -1,0 +1,141 @@
+//! Experiment OBS.r1: the cost of always-on telemetry.
+//!
+//! The production claim is that a [`SamplingRecorder`] feeding a
+//! [`MetricsRegistry`] can stay permanently attached: at the default
+//! sampling rate the warm `dispatch::satisfiable` path must stay within
+//! 5% of the noop-recorder baseline. Four recorder configurations run
+//! the identical warm workload (every call is a feas-memo hit):
+//!
+//! * `noop` — `Session::new()`, the recorder-free baseline;
+//! * `registry` — a bare [`MetricsRegistry`] (every span timed, no
+//!   sampling decision);
+//! * `sampled` — [`SamplingRecorder`] at [`DEFAULT_SAMPLE_RATE`] over
+//!   the registry: the shipping configuration;
+//! * `sampled_hot` — the same sampler at rate 1.0 (every trace pays the
+//!   full forwarding cost), the worst case.
+//!
+//! The measured overhead ratios are published into `BENCH_summary.json`
+//! as metrics (`telemetry_overhead_sampled`, …) so `bench-compare` and
+//! CI can gate on them; verdict equality across configurations is
+//! asserted before timing.
+
+use std::sync::Arc;
+
+use ssd_bench::harness::{BenchmarkId, Criterion};
+use ssd_bench::summary::set_metric;
+use ssd_bench::workload;
+use ssd_bench::{criterion_group, criterion_main};
+use ssd_core::Session;
+use ssd_obs::{MetricsRegistry, Recorder, SamplingRecorder, DEFAULT_SAMPLE_RATE};
+
+fn quick() -> bool {
+    std::env::var_os("SSD_BENCH_QUICK").is_some()
+}
+
+/// The four recorder configurations under test. The registry handle is
+/// kept so the bench can report cache/sampler stats afterwards.
+fn configs() -> Vec<(&'static str, Session, Option<Arc<SamplingRecorder>>)> {
+    let mut out = Vec::new();
+    out.push(("noop", Session::new(), None));
+
+    let registry = Arc::new(MetricsRegistry::new());
+    out.push((
+        "registry",
+        Session::with_recorder(registry as Arc<dyn Recorder>),
+        None,
+    ));
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let sampled = Arc::new(SamplingRecorder::new(
+        registry as Arc<dyn Recorder>,
+        DEFAULT_SAMPLE_RATE,
+    ));
+    out.push((
+        "sampled",
+        Session::with_recorder(Arc::clone(&sampled) as Arc<dyn Recorder>),
+        Some(sampled),
+    ));
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let hot = Arc::new(SamplingRecorder::new(registry as Arc<dyn Recorder>, 1.0));
+    out.push((
+        "sampled_hot",
+        Session::with_recorder(Arc::clone(&hot) as Arc<dyn Recorder>),
+        Some(hot),
+    ));
+    out
+}
+
+fn warm_satisfiable_overhead(c: &mut Criterion) {
+    let (s, _tg, q) = workload(902, 12, 2, false, false);
+    let configs = configs();
+
+    // Every configuration must produce the identical verdict, warm and
+    // cold — telemetry must never change an answer.
+    let want = Session::new().satisfiable(&q, &s).unwrap().satisfiable;
+    for (name, sess, _) in &configs {
+        assert_eq!(
+            sess.satisfiable(&q, &s).unwrap().satisfiable,
+            want,
+            "{name} changed the verdict"
+        );
+        // Warm the caches so the timed loop is pure feas-memo hits.
+        for _ in 0..8 {
+            sess.satisfiable(&q, &s).unwrap();
+        }
+    }
+
+    let mut g = c.benchmark_group("telemetry/warm_satisfiable");
+    g.sample_size(if quick() { 10 } else { 30 });
+    for (name, sess, _) in &configs {
+        g.bench_with_input(BenchmarkId::from_parameter(name), sess, |b, sess| {
+            b.iter(|| sess.satisfiable(&q, &s).unwrap().satisfiable)
+        });
+    }
+    g.finish();
+
+    // Publish overhead ratios vs the noop baseline into the summary.
+    let recs = ssd_bench::harness::records();
+    let median = |name: &str| {
+        recs.iter()
+            .find(|r| r.label == format!("telemetry/warm_satisfiable/{name}"))
+            .map(|r| r.median_ns)
+    };
+    if let Some(base) = median("noop") {
+        for (name, _, _) in &configs {
+            if let Some(m) = median(name) {
+                let ratio = m / base;
+                set_metric(&format!("telemetry_overhead_{name}"), ratio);
+                println!(
+                    "telemetry overhead {name}: {m:.0} ns vs {base:.0} ns baseline ({ratio:.3}x)"
+                );
+            }
+        }
+    }
+    for (name, sess, sampler) in &configs {
+        let stats = sess.stats();
+        set_metric(
+            &format!("telemetry_{name}_feas_memo_hit_ratio"),
+            stats.feas_memo_table.hit_ratio(),
+        );
+        if let Some(sampler) = sampler {
+            println!(
+                "telemetry {name}: traces started={} sampled={} promoted={}",
+                sampler.traces_started(),
+                sampler.traces_sampled(),
+                sampler.traces_promoted()
+            );
+            set_metric(
+                &format!("telemetry_{name}_traces_started"),
+                sampler.traces_started() as f64,
+            );
+            set_metric(
+                &format!("telemetry_{name}_traces_sampled"),
+                sampler.traces_sampled() as f64,
+            );
+        }
+    }
+}
+
+criterion_group!(benches, warm_satisfiable_overhead);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! `bench_compare` — diff two `BENCH_summary.json` files and fail on
+//! perf regressions.
+//!
+//! ```text
+//! bench_compare [FLAGS] BASELINE.json CANDIDATE.json
+//!
+//!   --threshold R        regression ratio gate (default 1.30)
+//!   --noise-floor-ns N   skip baselines with median < N ns (default 1000)
+//!   --allow-missing      benches absent from the candidate are non-fatal
+//!   --inject FACTOR      multiply candidate timings by FACTOR before
+//!                        comparing (CI self-test: a synthetic regression
+//!                        must make the exit code nonzero)
+//! ```
+//!
+//! Exit codes: `0` clean, `1` regression (or missing bench without
+//! `--allow-missing`), `2` usage or I/O error.
+
+use std::process::ExitCode;
+
+use ssd_bench::summary::{compare, parse_summary, CompareConfig, Summary};
+
+struct Args {
+    cfg: CompareConfig,
+    inject: f64,
+    baseline: String,
+    candidate: String,
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("bench_compare: {msg}");
+    eprintln!(
+        "usage: bench_compare [--threshold R] [--noise-floor-ns N] \
+         [--allow-missing] [--inject FACTOR] BASELINE.json CANDIDATE.json"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut cfg = CompareConfig::default();
+    let mut inject = 1.0f64;
+    let mut positional = Vec::new();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| -> Result<f64, String> {
+            let raw = it.next().ok_or_else(|| format!("{name} needs a value"))?;
+            raw.parse::<f64>()
+                .map_err(|_| format!("{name}: not a number: {raw}"))
+        };
+        match arg.as_str() {
+            "--threshold" => cfg.threshold = flag_value("--threshold")?,
+            "--noise-floor-ns" => cfg.noise_floor_ns = flag_value("--noise-floor-ns")?,
+            "--inject" => inject = flag_value("--inject")?,
+            "--allow-missing" => cfg.allow_missing = true,
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => positional.push(other.to_owned()),
+        }
+    }
+    if cfg.threshold <= 1.0 || !cfg.threshold.is_finite() {
+        return Err("--threshold must be a finite ratio > 1.0".to_owned());
+    }
+    if positional.len() != 2 {
+        return Err(format!(
+            "expected exactly 2 summary paths, got {}",
+            positional.len()
+        ));
+    }
+    let mut drain = positional.into_iter();
+    let (baseline, candidate) = match (drain.next(), drain.next()) {
+        (Some(b), Some(c)) => (b, c),
+        _ => return Err("expected exactly 2 summary paths".to_owned()),
+    };
+    Ok(Args {
+        cfg,
+        inject,
+        baseline,
+        candidate,
+    })
+}
+
+fn load(path: &str) -> Result<Summary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_summary(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => return usage(&e),
+    };
+    let old = match load(&args.baseline) {
+        Ok(s) => s,
+        Err(e) => return usage(&e),
+    };
+    let mut new = match load(&args.candidate) {
+        Ok(s) => s,
+        Err(e) => return usage(&e),
+    };
+    if args.inject != 1.0 {
+        println!(
+            "bench-compare: injecting synthetic {:.2}x slowdown into candidate",
+            args.inject
+        );
+        for b in &mut new.benches {
+            b.median_ns *= args.inject;
+            b.p99_ns *= args.inject;
+            b.min_ns *= args.inject;
+            b.max_ns *= args.inject;
+        }
+    }
+    let report = compare(&old, &new, &args.cfg);
+    print!("{}", report.render(&args.cfg));
+    if report.is_clean(&args.cfg) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

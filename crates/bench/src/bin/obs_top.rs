@@ -1,0 +1,353 @@
+//! `obs_top` — a live terminal dashboard over the production telemetry
+//! stack.
+//!
+//! Worker threads drive a mixed satisfiability workload through one
+//! shared [`Session`] whose recorder is a [`SamplingRecorder`] feeding a
+//! [`MetricsRegistry`]; the main thread refreshes a dashboard frame from
+//! registry snapshots (throughput, verdict mix, dispatch latency
+//! quantiles, cache hit ratios, shard occupancy, trace sampling).
+//!
+//! ```text
+//! obs_top [FLAGS]
+//!
+//!   --once            render a single final frame instead of refreshing
+//!   --plain           no ANSI control codes (CI logs)
+//!   --interval MS     refresh period (default 1000)
+//!   --duration S      run time in seconds; 0 = until killed (default 10)
+//!   --threads N       worker threads (default 4)
+//!   --rate F          trace sampling rate in [0,1] (default 0.01)
+//!   --expose PATH     write final Prometheus exposition to PATH
+//!   --json PATH       write final JSON metrics snapshot to PATH
+//! ```
+//!
+//! Exit codes: `0` on success, `2` on usage or I/O error.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ssd_base::budget::Budget;
+use ssd_bench::workload;
+use ssd_core::{Constraints, Session};
+use ssd_obs::{expose, names, MetricsRegistry, MetricsSnapshot, SamplingRecorder};
+use ssd_query::Query;
+use ssd_schema::Schema;
+
+struct Opts {
+    once: bool,
+    plain: bool,
+    interval: Duration,
+    duration: Duration,
+    threads: usize,
+    rate: f64,
+    expose: Option<String>,
+    json: Option<String>,
+}
+
+impl Default for Opts {
+    fn default() -> Opts {
+        Opts {
+            once: false,
+            plain: false,
+            interval: Duration::from_millis(1000),
+            duration: Duration::from_secs(10),
+            threads: 4,
+            rate: ssd_obs::DEFAULT_SAMPLE_RATE,
+            expose: None,
+            json: None,
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("obs_top: {msg}");
+    eprintln!(
+        "usage: obs_top [--once] [--plain] [--interval MS] [--duration S] \
+         [--threads N] [--rate F] [--expose PATH] [--json PATH]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_opts(argv: &[String]) -> Result<Opts, String> {
+    let mut o = Opts::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--once" => o.once = true,
+            "--plain" => o.plain = true,
+            "--interval" => {
+                let ms: u64 = value("--interval")?
+                    .parse()
+                    .map_err(|_| "--interval: not an integer".to_owned())?;
+                o.interval = Duration::from_millis(ms.max(50));
+            }
+            "--duration" => {
+                let s: f64 = value("--duration")?
+                    .parse()
+                    .map_err(|_| "--duration: not a number".to_owned())?;
+                if !s.is_finite() || s < 0.0 {
+                    return Err("--duration: must be >= 0".to_owned());
+                }
+                o.duration = Duration::from_secs_f64(s);
+            }
+            "--threads" => {
+                o.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads: not an integer".to_owned())?;
+                o.threads = o.threads.clamp(1, 64);
+            }
+            "--rate" => {
+                o.rate = value("--rate")?
+                    .parse()
+                    .map_err(|_| "--rate: not a number".to_owned())?;
+            }
+            "--expose" => o.expose = Some(value("--expose")?),
+            "--json" => o.json = Some(value("--json")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(o)
+}
+
+/// The driven workload: several schema sizes, join-free and tagged
+/// queries, plain and pinned constraints (same shape as the concurrency
+/// bench's mix).
+fn mixed_items() -> Vec<(Schema, Query, Constraints)> {
+    let specs: &[(u64, usize, usize, bool)] = &[
+        (1100, 6, 1, false),
+        (1102, 12, 2, false),
+        (1104, 24, 2, false),
+        (1106, 12, 2, true),
+    ];
+    let mut items = Vec::new();
+    for &(seed, num_types, num_defs, tagged) in specs {
+        let (s, _tg, q) = workload(seed, num_types, num_defs, tagged, false);
+        let pinned = Constraints::none().pin_type(q.select()[0], s.root());
+        items.push((s.clone(), q.clone(), pinned));
+        items.push((s, q, Constraints::none()));
+    }
+    items
+}
+
+/// One worker: loops the mixed items through the shared session until
+/// `stop`, occasionally under a starvation budget so exhausted requests
+/// (and their always-sampled traces) show up on the dashboard.
+fn worker(
+    sess: &Session,
+    items: &[(Schema, Query, Constraints)],
+    stop: &AtomicBool,
+    errs: &AtomicU64,
+) {
+    let mut round = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        for (s, q, c) in items {
+            round += 1;
+            let r = if round.is_multiple_of(64) {
+                let tiny = Budget::cancellable().with_fuel(1);
+                sess.satisfiable_budgeted(q, s, &tiny).map(|_| ())
+            } else {
+                sess.satisfiable_with(q, s, c).map(|_| ())
+            };
+            if r.is_err() {
+                errs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn ratio_pct(v: Option<f64>) -> String {
+    match v {
+        Some(r) => format!("{:.1}%", r * 100.0),
+        None => "-".to_owned(),
+    }
+}
+
+/// Renders one dashboard frame from a snapshot.
+fn render(snap: &MetricsSnapshot, errs: u64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ssd obs-top | uptime {:.1}s | epoch {} | window {}x{}ms",
+        snap.uptime.as_secs_f64(),
+        snap.epoch,
+        snap.window,
+        snap.epoch_len.as_millis()
+    );
+    let sat = snap.counter_total(names::counter::VERDICT_SAT);
+    let unsat = snap.counter_total(names::counter::VERDICT_UNSAT);
+    let exhausted = snap.counter_total(names::counter::BUDGET_EXHAUSTED);
+    let rate: f64 = snap
+        .counters
+        .iter()
+        .filter(|c| {
+            c.name == names::counter::VERDICT_SAT || c.name == names::counter::VERDICT_UNSAT
+        })
+        .map(|c| c.rate)
+        .sum();
+    let _ = writeln!(
+        out,
+        "requests  {} verdicts ({} sat / {} unsat), {:.0}/s | {} exhausted | {} errors",
+        sat + unsat,
+        sat,
+        unsat,
+        rate,
+        exhausted,
+        errs
+    );
+    let _ = writeln!(
+        out,
+        "traces    {} started, {} sampled, {} promoted (on exhaustion)",
+        snap.gauge(names::gauge::OBS_TRACES_TOTAL).unwrap_or(0.0),
+        snap.gauge(names::gauge::OBS_TRACES_SAMPLED).unwrap_or(0.0),
+        snap.gauge(names::gauge::OBS_TRACES_PROMOTED).unwrap_or(0.0),
+    );
+    for span in [
+        names::span::DISPATCH,
+        names::span::FEAS_MEMO,
+        names::span::PTRACES,
+    ] {
+        if let Some(h) = snap.histogram(span) {
+            if h.count > 0 {
+                let _ = writeln!(
+                    out,
+                    "latency   {span:<12} p50 {:>8}  p95 {:>8}  p99 {:>8}  (window n={})",
+                    fmt_ns(h.quantile_upper(0.5)),
+                    fmt_ns(h.quantile_upper(0.95)),
+                    fmt_ns(h.quantile_upper(0.99)),
+                    h.count
+                );
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "caches    feas memo {} hit ({} entries) | type graph {} ({}) | automata {} ({})",
+        ratio_pct(snap.gauge(names::gauge::HIT_RATIO_FEAS_MEMO)),
+        snap.gauge(names::gauge::FEAS_MEMO_ENTRIES).unwrap_or(0.0),
+        ratio_pct(snap.gauge(names::gauge::HIT_RATIO_TYPE_GRAPH)),
+        snap.gauge(names::gauge::TYPE_GRAPH_ENTRIES).unwrap_or(0.0),
+        ratio_pct(snap.gauge(names::gauge::HIT_RATIO_AUTOMATA)),
+        snap.gauge(names::gauge::AUTOMATA_ENTRIES).unwrap_or(0.0),
+    );
+    let _ = writeln!(
+        out,
+        "memory    {} type-graph bytes | {} evicted | {} blocked lock acquisitions",
+        snap.gauge(names::gauge::SESSION_CACHE_BYTES).unwrap_or(0.0),
+        snap.gauge(names::gauge::EVICTED_SESSION).unwrap_or(0.0),
+        snap.gauge(names::gauge::SHARD_CONTENTION).unwrap_or(0.0),
+    );
+    for (label, name) in [
+        ("feas memo", names::gauge::SHARD_OCCUPANCY_FEAS_MEMO),
+        ("type graph", names::gauge::SHARD_OCCUPANCY_TYPE_GRAPH),
+        ("automata", names::gauge::SHARD_OCCUPANCY_AUTOMATA),
+    ] {
+        if let Some(g) = snap.gauges.iter().find(|g| g.name == name) {
+            if !g.slots.is_empty() {
+                let cells: Vec<String> = g
+                    .slots
+                    .iter()
+                    .map(|(i, v)| format!("{i}:{}", *v as u64))
+                    .collect();
+                let _ = writeln!(out, "shards    {label:<11} {}", cells.join(" "));
+            }
+        }
+    }
+    out
+}
+
+fn write_file(path: &str, contents: &str, what: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("writing {what} to {path}: {e}"))?;
+    println!("obs-top: {what} written to {path}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_opts(&argv) {
+        Ok(o) => o,
+        Err(e) => return usage(&e),
+    };
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let sampler = Arc::new(SamplingRecorder::new(
+        Arc::clone(&registry) as Arc<dyn ssd_obs::Recorder>,
+        opts.rate,
+    ));
+    let sess = Session::with_recorder(Arc::clone(&sampler) as Arc<dyn ssd_obs::Recorder>);
+    let items = mixed_items();
+    let stop = AtomicBool::new(false);
+    let errs = AtomicU64::new(0);
+
+    let exit = std::thread::scope(|scope| {
+        for _ in 0..opts.threads {
+            scope.spawn(|| worker(&sess, &items, &stop, &errs));
+        }
+        let started = Instant::now();
+        loop {
+            let sleep = if opts.duration.is_zero() {
+                opts.interval
+            } else {
+                opts.interval
+                    .min(opts.duration.saturating_sub(started.elapsed()))
+            };
+            std::thread::sleep(sleep.max(Duration::from_millis(10)));
+            let done = !opts.duration.is_zero() && started.elapsed() >= opts.duration;
+            // Publish pull-style gauges, then snapshot.
+            sess.publish_gauges(&registry);
+            sampler.publish(&registry);
+            let snap = registry.snapshot();
+            if !opts.once || done {
+                let frame = render(&snap, errs.load(Ordering::Relaxed));
+                if opts.plain {
+                    print!("{frame}");
+                } else {
+                    // Clear screen, home cursor, repaint.
+                    print!("\x1b[2J\x1b[H{frame}");
+                }
+            }
+            if done {
+                stop.store(true, Ordering::Relaxed);
+                let mut result = Ok(());
+                if let Some(path) = &opts.expose {
+                    result = result.and(write_file(
+                        path,
+                        &expose::to_prometheus(&snap),
+                        "exposition",
+                    ));
+                }
+                if let Some(path) = &opts.json {
+                    result = result.and(write_file(
+                        path,
+                        &expose::to_json_string(&snap),
+                        "json snapshot",
+                    ));
+                }
+                break match result {
+                    Ok(()) => ExitCode::SUCCESS,
+                    Err(e) => {
+                        eprintln!("obs-top: {e}");
+                        ExitCode::from(2)
+                    }
+                };
+            }
+        }
+    });
+    exit
+}

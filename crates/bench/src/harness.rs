@@ -150,6 +150,8 @@ pub struct BenchRecord {
     pub label: String,
     /// Median ns per iteration across the timed samples.
     pub median_ns: f64,
+    /// 99th-percentile sample (nearest-rank), ns per iteration.
+    pub p99_ns: f64,
     /// Fastest sample, ns per iteration.
     pub min_ns: f64,
     /// Slowest sample, ns per iteration.
@@ -182,6 +184,7 @@ pub fn records_json() -> String {
             JsonValue::obj(vec![
                 ("label", JsonValue::str(r.label)),
                 ("median_ns", JsonValue::Num(r.median_ns)),
+                ("p99_ns", JsonValue::Num(r.p99_ns)),
                 ("min_ns", JsonValue::Num(r.min_ns)),
                 ("max_ns", JsonValue::Num(r.max_ns)),
                 ("samples", JsonValue::num(r.samples as u64)),
@@ -239,6 +242,8 @@ fn run_benchmark(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher
     let mut s = b.samples;
     s.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     let median = s[s.len() / 2];
+    // Nearest-rank p99: index ⌈0.99·N⌉-1, clamped into range.
+    let p99 = s[(((s.len() as f64) * 0.99).ceil() as usize).clamp(1, s.len()) - 1];
     let (min, max) = (s[0], s[s.len() - 1]);
     println!(
         "bench {label} ... median {median:.0} ns/iter (min {min:.0}, max {max:.0}, N={})",
@@ -247,6 +252,7 @@ fn run_benchmark(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher
     push_record(BenchRecord {
         label: label.to_owned(),
         median_ns: median,
+        p99_ns: p99,
         min_ns: min,
         max_ns: max,
         samples: s.len(),
@@ -272,6 +278,7 @@ macro_rules! criterion_main {
         fn main() {
             $($group();)+
             $crate::harness::flush_telemetry();
+            $crate::summary::flush_summary();
         }
     };
 }

@@ -5,6 +5,7 @@
 //! `DESIGN.md`; `EXPERIMENTS.md` records paper-claim vs measured shape.
 
 pub mod harness;
+pub mod summary;
 
 use ssd_base::rng::StdRng;
 use ssd_base::SharedInterner;

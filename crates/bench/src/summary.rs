@@ -1,0 +1,452 @@
+//! Canonical benchmark summaries (`BENCH_summary.json`) and the
+//! noise-aware regression comparator behind the `bench-compare` binary.
+//!
+//! A summary is the machine-readable residue of one bench run:
+//!
+//! * every [`BenchRecord`](crate::harness::BenchRecord) (label, median,
+//!   p99, min, max, sample count), and
+//! * a flat map of named scalar metrics (cache hit ratios, telemetry
+//!   overhead ratios, contention counts) published by the bench targets
+//!   via [`set_metric`].
+//!
+//! [`compare`] diffs two summaries. A bench regresses only when the
+//! evidence survives both noise gates: the old median must clear the
+//! configured noise floor (sub-microsecond benches jitter too much for a
+//! ratio test), the new median must exceed `old_median × threshold`,
+//! *and* the sample ranges must be disjoint (`new_min > old_max`) so a
+//! single loaded-machine outlier cannot fail CI. Benches present in the
+//! baseline but absent from the candidate are reported as missing —
+//! silently dropping a bench is how regressions hide.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::harness::{records, BenchRecord};
+use ssd_obs::json::JsonValue;
+
+/// Scalar metrics published by bench targets for the current process.
+static METRICS: Mutex<Option<BTreeMap<String, f64>>> = Mutex::new(None);
+
+/// Publishes a named scalar metric (hit ratio, overhead ratio, …) into
+/// the summary produced by [`summary_json`] / [`flush_summary`].
+pub fn set_metric(name: &str, value: f64) {
+    let mut guard = METRICS.lock().unwrap_or_else(|e| e.into_inner());
+    guard
+        .get_or_insert_with(BTreeMap::new)
+        .insert(name.to_owned(), value);
+}
+
+/// A snapshot of the metrics published so far.
+pub fn metrics() -> BTreeMap<String, f64> {
+    METRICS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+        .unwrap_or_default()
+}
+
+/// One bench's row in a summary document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SummaryBench {
+    /// Full `group/function/parameter` label.
+    pub label: String,
+    /// Median ns per iteration.
+    pub median_ns: f64,
+    /// 99th-percentile sample, ns per iteration.
+    pub p99_ns: f64,
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, ns per iteration.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: u64,
+}
+
+/// A parsed `BENCH_summary.json`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Bench rows, in file order.
+    pub benches: Vec<SummaryBench>,
+    /// Named scalar metrics.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl Summary {
+    /// Looks up a bench row by label.
+    pub fn bench(&self, label: &str) -> Option<&SummaryBench> {
+        self.benches.iter().find(|b| b.label == label)
+    }
+}
+
+fn bench_to_json(b: &SummaryBench) -> JsonValue {
+    JsonValue::obj(vec![
+        ("label", JsonValue::str(b.label.clone())),
+        ("median_ns", JsonValue::Num(b.median_ns)),
+        ("p99_ns", JsonValue::Num(b.p99_ns)),
+        ("min_ns", JsonValue::Num(b.min_ns)),
+        ("max_ns", JsonValue::Num(b.max_ns)),
+        ("samples", JsonValue::num(b.samples)),
+    ])
+}
+
+fn record_to_bench(r: &BenchRecord) -> SummaryBench {
+    SummaryBench {
+        label: r.label.clone(),
+        median_ns: r.median_ns,
+        p99_ns: r.p99_ns,
+        min_ns: r.min_ns,
+        max_ns: r.max_ns,
+        samples: r.samples as u64,
+    }
+}
+
+/// Serializes a [`Summary`] as a version-1 document.
+pub fn to_json_string(summary: &Summary) -> String {
+    JsonValue::obj(vec![
+        ("version", JsonValue::num(1)),
+        (
+            "benches",
+            JsonValue::Arr(summary.benches.iter().map(bench_to_json).collect()),
+        ),
+        (
+            "metrics",
+            JsonValue::Obj(
+                summary
+                    .metrics
+                    .iter()
+                    .map(|(k, v)| (k.clone(), JsonValue::Num(*v)))
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_json_string()
+}
+
+/// The current process's summary: every completed bench plus all
+/// published metrics.
+pub fn current_summary() -> Summary {
+    Summary {
+        benches: records().iter().map(record_to_bench).collect(),
+        metrics: metrics(),
+    }
+}
+
+/// Serialized [`current_summary`] — the canonical `BENCH_summary.json`.
+pub fn summary_json() -> String {
+    to_json_string(&current_summary())
+}
+
+/// When `SSD_BENCH_SUMMARY` is set, writes [`summary_json`] to the path
+/// it names (`1` or empty selects `BENCH_summary.json`). Called by
+/// [`criterion_main!`](crate::criterion_main) after every group has run.
+pub fn flush_summary() {
+    let Ok(dest) = std::env::var("SSD_BENCH_SUMMARY") else {
+        return;
+    };
+    let path = match dest.as_str() {
+        "" | "1" => "BENCH_summary.json",
+        other => other,
+    };
+    match std::fs::write(path, summary_json()) {
+        Ok(()) => println!("bench summary written to {path}"),
+        Err(e) => eprintln!("bench summary write to {path} failed: {e}"),
+    }
+}
+
+fn field_f64(v: &JsonValue, key: &str) -> Option<f64> {
+    v.get(key).and_then(JsonValue::as_f64)
+}
+
+/// Parses a summary document produced by [`to_json_string`] (or by the
+/// `p99`-less version-1 telemetry export; a missing `p99_ns` falls back
+/// to `max_ns`). Returns a description of the first malformed field.
+pub fn parse_summary(text: &str) -> Result<Summary, String> {
+    let doc = JsonValue::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let benches_json = doc
+        .get("benches")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing \"benches\" array")?;
+    let mut benches = Vec::with_capacity(benches_json.len());
+    for (i, b) in benches_json.iter().enumerate() {
+        let label = b
+            .get("label")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("bench #{i}: missing \"label\""))?
+            .to_owned();
+        let median_ns =
+            field_f64(b, "median_ns").ok_or_else(|| format!("bench {label}: missing median_ns"))?;
+        let min_ns =
+            field_f64(b, "min_ns").ok_or_else(|| format!("bench {label}: missing min_ns"))?;
+        let max_ns =
+            field_f64(b, "max_ns").ok_or_else(|| format!("bench {label}: missing max_ns"))?;
+        let p99_ns = field_f64(b, "p99_ns").unwrap_or(max_ns);
+        let samples = b
+            .get("samples")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_default();
+        benches.push(SummaryBench {
+            label,
+            median_ns,
+            p99_ns,
+            min_ns,
+            max_ns,
+            samples,
+        });
+    }
+    let mut metrics = BTreeMap::new();
+    if let Some(JsonValue::Obj(fields)) = doc.get("metrics") {
+        for (k, v) in fields {
+            if let Some(f) = v.as_f64() {
+                metrics.insert(k.clone(), f);
+            }
+        }
+    }
+    Ok(Summary { benches, metrics })
+}
+
+/// Knobs for [`compare`].
+#[derive(Clone, Copy, Debug)]
+pub struct CompareConfig {
+    /// Candidate median must exceed `baseline_median × threshold` to count
+    /// as a regression.
+    pub threshold: f64,
+    /// Baselines with a median below this are skipped (too noisy for a
+    /// ratio test).
+    pub noise_floor_ns: f64,
+    /// When false, a bench present in the baseline but missing from the
+    /// candidate fails the comparison.
+    pub allow_missing: bool,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            threshold: 1.30,
+            noise_floor_ns: 1_000.0,
+            allow_missing: false,
+        }
+    }
+}
+
+/// One bench that regressed past every noise gate.
+#[derive(Clone, Debug)]
+pub struct Regression {
+    /// The regressed bench's label.
+    pub label: String,
+    /// Baseline median, ns.
+    pub old_median_ns: f64,
+    /// Candidate median, ns.
+    pub new_median_ns: f64,
+    /// `new_median / old_median`.
+    pub ratio: f64,
+}
+
+/// The outcome of diffing a candidate summary against a baseline.
+#[derive(Clone, Debug, Default)]
+pub struct CompareReport {
+    /// Benches that regressed (all noise gates passed).
+    pub regressions: Vec<Regression>,
+    /// Benches slower than threshold but with overlapping sample ranges
+    /// (reported, never fatal).
+    pub suspects: Vec<Regression>,
+    /// Baseline labels absent from the candidate.
+    pub missing: Vec<String>,
+    /// Number of labels compared.
+    pub compared: usize,
+    /// Number of baselines skipped under the noise floor.
+    pub skipped_noisy: usize,
+}
+
+impl CompareReport {
+    /// True when the comparison should pass CI.
+    pub fn is_clean(&self, cfg: &CompareConfig) -> bool {
+        self.regressions.is_empty() && (cfg.allow_missing || self.missing.is_empty())
+    }
+
+    /// Human-readable multi-line report.
+    pub fn render(&self, cfg: &CompareConfig) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bench-compare: {} compared, {} under noise floor ({} ns), threshold {:.2}x",
+            self.compared, self.skipped_noisy, cfg.noise_floor_ns, cfg.threshold
+        );
+        for r in &self.regressions {
+            let _ = writeln!(
+                out,
+                "  REGRESSION {}: median {:.0} ns -> {:.0} ns ({:.2}x, ranges disjoint)",
+                r.label, r.old_median_ns, r.new_median_ns, r.ratio
+            );
+        }
+        for r in &self.suspects {
+            let _ = writeln!(
+                out,
+                "  suspect    {}: median {:.0} ns -> {:.0} ns ({:.2}x, ranges overlap - not fatal)",
+                r.label, r.old_median_ns, r.new_median_ns, r.ratio
+            );
+        }
+        for m in &self.missing {
+            let tag = if cfg.allow_missing {
+                "missing    "
+            } else {
+                "MISSING    "
+            };
+            let _ = writeln!(out, "  {tag}{m}: present in baseline, absent in candidate");
+        }
+        if self.regressions.is_empty() && self.missing.is_empty() {
+            let _ = writeln!(out, "  ok: no regressions");
+        }
+        out
+    }
+}
+
+/// Diffs `new` against the `old` baseline under `cfg`. See the
+/// [module docs](self) for the exact regression rule.
+pub fn compare(old: &Summary, new: &Summary, cfg: &CompareConfig) -> CompareReport {
+    let mut report = CompareReport::default();
+    for ob in &old.benches {
+        let Some(nb) = new.bench(&ob.label) else {
+            report.missing.push(ob.label.clone());
+            continue;
+        };
+        report.compared += 1;
+        if ob.median_ns < cfg.noise_floor_ns {
+            report.skipped_noisy += 1;
+            continue;
+        }
+        let ratio = nb.median_ns / ob.median_ns.max(f64::MIN_POSITIVE);
+        if ratio <= cfg.threshold {
+            continue;
+        }
+        let finding = Regression {
+            label: ob.label.clone(),
+            old_median_ns: ob.median_ns,
+            new_median_ns: nb.median_ns,
+            ratio,
+        };
+        // Disjoint sample ranges mean no single outlier explains the
+        // slowdown; overlapping ranges stay advisory.
+        if nb.min_ns > ob.max_ns {
+            report.regressions.push(finding);
+        } else {
+            report.suspects.push(finding);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench(label: &str, median: f64, min: f64, max: f64) -> SummaryBench {
+        SummaryBench {
+            label: label.to_owned(),
+            median_ns: median,
+            p99_ns: max,
+            min_ns: min,
+            max_ns: max,
+            samples: 20,
+        }
+    }
+
+    fn summary(benches: Vec<SummaryBench>) -> Summary {
+        Summary {
+            benches,
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_json() {
+        let mut s = summary(vec![bench("g/a", 5000.0, 4800.0, 5600.0)]);
+        s.metrics.insert("hit_ratio".to_owned(), 0.93);
+        let text = to_json_string(&s);
+        let parsed = parse_summary(&text).expect("own output parses");
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn missing_p99_falls_back_to_max() {
+        let text = r#"{"version":1,"benches":[{"label":"x","median_ns":10,"min_ns":9,"max_ns":20,"samples":3}]}"#;
+        let parsed = parse_summary(text).expect("parses");
+        assert_eq!(parsed.benches[0].p99_ns, 20.0);
+    }
+
+    #[test]
+    fn malformed_summary_is_rejected() {
+        assert!(parse_summary("{").is_err());
+        assert!(parse_summary(r#"{"version":1}"#).is_err());
+        assert!(parse_summary(r#"{"benches":[{"median_ns":1}]}"#).is_err());
+    }
+
+    #[test]
+    fn clean_self_compare() {
+        let s = summary(vec![
+            bench("g/a", 5000.0, 4800.0, 5600.0),
+            bench("g/b", 120.0, 100.0, 150.0),
+        ]);
+        let cfg = CompareConfig::default();
+        let report = compare(&s, &s, &cfg);
+        assert!(report.is_clean(&cfg), "{}", report.render(&cfg));
+        assert_eq!(report.compared, 2);
+        assert_eq!(report.skipped_noisy, 1); // g/b is under the floor
+    }
+
+    #[test]
+    fn disjoint_slowdown_regresses() {
+        let old = summary(vec![bench("g/a", 5000.0, 4800.0, 5600.0)]);
+        let new = summary(vec![bench("g/a", 9000.0, 8700.0, 9400.0)]);
+        let cfg = CompareConfig::default();
+        let report = compare(&old, &new, &cfg);
+        assert_eq!(report.regressions.len(), 1);
+        assert!(!report.is_clean(&cfg));
+        assert!(report.render(&cfg).contains("REGRESSION g/a"));
+    }
+
+    #[test]
+    fn overlapping_slowdown_is_only_suspect() {
+        let old = summary(vec![bench("g/a", 5000.0, 4800.0, 9100.0)]);
+        let new = summary(vec![bench("g/a", 9000.0, 8700.0, 9400.0)]);
+        let cfg = CompareConfig::default();
+        let report = compare(&old, &new, &cfg);
+        assert!(report.regressions.is_empty());
+        assert_eq!(report.suspects.len(), 1);
+        assert!(report.is_clean(&cfg));
+    }
+
+    #[test]
+    fn noisy_baseline_is_skipped() {
+        let old = summary(vec![bench("g/tiny", 100.0, 90.0, 110.0)]);
+        let new = summary(vec![bench("g/tiny", 400.0, 380.0, 420.0)]);
+        let cfg = CompareConfig::default();
+        let report = compare(&old, &new, &cfg);
+        assert!(report.regressions.is_empty());
+        assert_eq!(report.skipped_noisy, 1);
+    }
+
+    #[test]
+    fn missing_bench_fails_unless_allowed() {
+        let old = summary(vec![bench("g/a", 5000.0, 4800.0, 5600.0)]);
+        let new = summary(vec![]);
+        let strict = CompareConfig::default();
+        let report = compare(&old, &new, &strict);
+        assert_eq!(report.missing, vec!["g/a".to_owned()]);
+        assert!(!report.is_clean(&strict));
+        let lax = CompareConfig {
+            allow_missing: true,
+            ..strict
+        };
+        assert!(compare(&old, &new, &lax).is_clean(&lax));
+    }
+
+    #[test]
+    fn published_metrics_land_in_summary() {
+        set_metric("test_summary_metric", 42.5);
+        let s = current_summary();
+        assert_eq!(s.metrics.get("test_summary_metric"), Some(&42.5));
+        let parsed = parse_summary(&summary_json()).expect("parses");
+        assert_eq!(parsed.metrics.get("test_summary_metric"), Some(&42.5));
+    }
+}

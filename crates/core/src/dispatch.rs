@@ -82,6 +82,10 @@ pub fn satisfiable_with_in_b(
     sess: &Session,
     budget: &Budget,
 ) -> crate::Result<Verdict<SatOutcome>> {
+    // One ambient request id for the whole dispatch (nested engine calls
+    // join it), so the sampler makes a single coherent decision per
+    // request instead of one per span.
+    let _req = ssd_obs::begin_request();
     let rec = sess.recorder();
     let _span = ssd_obs::span(rec, names::span::DISPATCH);
     let _budget_span = if budget.is_unlimited() {

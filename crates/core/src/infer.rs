@@ -67,6 +67,8 @@ pub fn infer_in_b(
     sess: &Session,
     budget: &Budget,
 ) -> Result<Verdict<Vec<InferredAssignment>>> {
+    // Nested satisfiability probes join this enumeration's trace id.
+    let _req = ssd_obs::begin_request();
     let _span = ssd_obs::span(sess.recorder(), names::span::INFER);
     let tg = sess.type_graph(s);
     let select = q.select().to_vec();

@@ -425,6 +425,8 @@ pub fn satisfiable_ptraces_in_b(
     sess: &Session,
     budget: &Budget,
 ) -> Result<Verdict<bool>> {
+    // Top-level entry: one trace id per ptraces request.
+    let _req = ssd_obs::begin_request();
     let rec = sess.recorder();
     let _span = ssd_obs::span(rec, names::span::PTRACES);
     let (root_var, entries) = single_def(q)?;

@@ -227,6 +227,57 @@ impl Session {
         self.recorder.as_deref().unwrap_or(ssd_obs::noop())
     }
 
+    /// A fresh session wired for *always-on* production telemetry:
+    /// counters and observations stream into `registry` exactly, while
+    /// span timing goes through a [`ssd_obs::SamplingRecorder`] at
+    /// `rate` (plus always-on sampling of budget-exhausted traces), so
+    /// the warm dispatch path keeps its bounded overhead. Pair with
+    /// [`Session::publish_gauges`] from the exporter loop.
+    pub fn with_telemetry(registry: Arc<ssd_obs::MetricsRegistry>, rate: f64) -> Session {
+        Session::with_recorder(Arc::new(ssd_obs::SamplingRecorder::new(registry, rate)))
+    }
+
+    /// Publishes this session's point-in-time cache state into `registry`
+    /// as gauges: per-shard occupancy of the feas memo, type-graph cache,
+    /// and automata tables, entry totals, lifetime hit ratios, retained
+    /// bytes, eviction and contention totals. Cheap (a shared lock per
+    /// shard); call it from the exporter/dashboard loop, not per query.
+    pub fn publish_gauges(&self, registry: &ssd_obs::MetricsRegistry) {
+        use ssd_obs::names::gauge;
+        let stats = self.stats();
+        let a = &stats.automata;
+        registry.set_gauge(gauge::FEAS_MEMO_ENTRIES, stats.feas_memos as f64);
+        registry.set_gauge(gauge::TYPE_GRAPH_ENTRIES, stats.type_graphs as f64);
+        registry.set_gauge(gauge::SESSION_CACHE_BYTES, stats.type_graph_bytes as f64);
+        registry.set_gauge(
+            gauge::AUTOMATA_ENTRIES,
+            (a.nfas + a.dfas + a.verdicts + a.interned) as f64,
+        );
+        registry.set_gauge(
+            gauge::HIT_RATIO_FEAS_MEMO,
+            stats.feas_memo_table.hit_ratio(),
+        );
+        registry.set_gauge(
+            gauge::HIT_RATIO_TYPE_GRAPH,
+            stats.type_graph_table.hit_ratio(),
+        );
+        registry.set_gauge(gauge::HIT_RATIO_AUTOMATA, a.hit_ratio());
+        registry.set_gauge(gauge::EVICTED_SESSION, (stats.evicted + a.evicted) as f64);
+        registry.set_gauge(
+            gauge::SHARD_CONTENTION,
+            (stats.contended + a.contended) as f64,
+        );
+        for (i, n) in self.feas_memo.len_by_shard().iter().enumerate() {
+            registry.set_gauge_slot(gauge::SHARD_OCCUPANCY_FEAS_MEMO, i, *n as f64);
+        }
+        for (i, n) in self.type_graphs.len_by_shard().iter().enumerate() {
+            registry.set_gauge_slot(gauge::SHARD_OCCUPANCY_TYPE_GRAPH, i, *n as f64);
+        }
+        for (i, n) in self.automata.occupancy_by_shard().iter().enumerate() {
+            registry.set_gauge_slot(gauge::SHARD_OCCUPANCY_AUTOMATA, i, *n as f64);
+        }
+    }
+
     /// The process-wide default session backing the classic free-function
     /// entry points. Its caches are never invalidated — sound because
     /// every cached artifact is a pure function of immutable keys.

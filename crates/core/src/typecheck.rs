@@ -75,6 +75,8 @@ pub fn total_type_check_in(
     a: &TypeAssignment,
     sess: &Session,
 ) -> Result<bool> {
+    // The pinned search underneath shares this check's trace id.
+    let _req = ssd_obs::begin_request();
     let _span = ssd_obs::span(sess.recorder(), ssd_obs::names::span::TYPECHECK);
     // Coverage validation.
     for v in q.vars() {

@@ -1,0 +1,252 @@
+//! Exporters for [`MetricsSnapshot`]: Prometheus-style text exposition
+//! and a JSON document, both hand-rolled so the workspace stays
+//! dependency-free.
+//!
+//! ## Exposition format
+//!
+//! Every metric is prefixed `ssd_` and sanitized to `[a-zA-Z0-9_:]`.
+//!
+//! * counters → `ssd_<name>_total` (exact lifetime count) and
+//!   `ssd_<name>_rate` (a gauge: windowed count per second);
+//! * scalar gauges → `ssd_<name>`;
+//! * indexed gauges → `ssd_<name>{shard="<i>"}` per set member;
+//! * histograms → summary quantiles over the sliding window:
+//!   `ssd_<name>{quantile="0.5"|"0.95"|"0.99"}` (log₂-bucket upper
+//!   bounds) plus `ssd_<name>_count` and `ssd_<name>_sum`.
+//!
+//! The JSON export carries the same data keyed by raw metric name, plus
+//! the snapshot's epoch geometry; parse it back with
+//! [`crate::json::JsonValue::parse`].
+
+use std::fmt::Write as _;
+
+use crate::json::JsonValue;
+use crate::registry::MetricsSnapshot;
+
+/// Quantiles extracted from every histogram.
+const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")];
+
+/// Sanitizes a metric name into the Prometheus charset and prepends the
+/// `ssd_` namespace.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("ssd_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Writes an f64 the way Prometheus expects (plain decimal; non-finite
+/// values become 0, which cannot occur from our registries).
+fn prom_value(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+/// Renders a snapshot as Prometheus-style text exposition. See the
+/// [module docs](self) for the exact shape of each family.
+pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# ssd metrics: epoch={} window={}x{}ms uptime_ms={}",
+        snap.epoch,
+        snap.window,
+        snap.epoch_len.as_millis(),
+        snap.uptime.as_millis(),
+    );
+    for c in &snap.counters {
+        let base = prom_name(&c.name);
+        let _ = writeln!(out, "# TYPE {base}_total counter");
+        let _ = writeln!(out, "{base}_total {}", c.total);
+        let _ = writeln!(out, "# TYPE {base}_rate gauge");
+        let _ = writeln!(out, "{base}_rate {}", prom_value(c.rate));
+    }
+    for g in &snap.gauges {
+        let base = prom_name(&g.name);
+        let _ = writeln!(out, "# TYPE {base} gauge");
+        if let Some(v) = g.value {
+            let _ = writeln!(out, "{base} {}", prom_value(v));
+        }
+        for (i, v) in &g.slots {
+            let _ = writeln!(out, "{base}{{shard=\"{i}\"}} {}", prom_value(*v));
+        }
+    }
+    for h in &snap.histograms {
+        let base = prom_name(&h.name);
+        let _ = writeln!(out, "# TYPE {base} summary");
+        for (q, label) in QUANTILES {
+            let _ = writeln!(
+                out,
+                "{base}{{quantile=\"{label}\"}} {}",
+                h.window.quantile_upper(q)
+            );
+        }
+        let _ = writeln!(out, "{base}_count {}", h.window.count);
+        let _ = writeln!(out, "{base}_sum {}", h.window.sum);
+    }
+    out
+}
+
+/// Renders a snapshot as a JSON document (version 1).
+pub fn to_json(snap: &MetricsSnapshot) -> JsonValue {
+    JsonValue::obj(vec![
+        ("version", JsonValue::num(1)),
+        ("epoch", JsonValue::num(snap.epoch)),
+        ("window_epochs", JsonValue::num(snap.window as u64)),
+        (
+            "epoch_len_ms",
+            JsonValue::num(snap.epoch_len.as_millis().min(u128::from(u64::MAX)) as u64),
+        ),
+        (
+            "uptime_ms",
+            JsonValue::num(snap.uptime.as_millis().min(u128::from(u64::MAX)) as u64),
+        ),
+        (
+            "counters",
+            JsonValue::Obj(
+                snap.counters
+                    .iter()
+                    .map(|c| {
+                        (
+                            c.name.clone(),
+                            JsonValue::obj(vec![
+                                ("total", JsonValue::num(c.total)),
+                                ("window", JsonValue::num(c.window)),
+                                ("rate", JsonValue::Num(c.rate)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges",
+            JsonValue::Obj(
+                snap.gauges
+                    .iter()
+                    .map(|g| {
+                        let mut fields = Vec::new();
+                        if let Some(v) = g.value {
+                            fields.push(("value".to_owned(), JsonValue::Num(v)));
+                        }
+                        if !g.slots.is_empty() {
+                            fields.push((
+                                "shards".to_owned(),
+                                JsonValue::Obj(
+                                    g.slots
+                                        .iter()
+                                        .map(|(i, v)| (i.to_string(), JsonValue::Num(*v)))
+                                        .collect(),
+                                ),
+                            ));
+                        }
+                        (g.name.clone(), JsonValue::Obj(fields))
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms",
+            JsonValue::Obj(
+                snap.histograms
+                    .iter()
+                    .map(|h| {
+                        (
+                            h.name.clone(),
+                            JsonValue::obj(vec![
+                                ("count", JsonValue::num(h.window.count)),
+                                ("sum", JsonValue::num(h.window.sum)),
+                                ("mean", JsonValue::num(h.window.mean())),
+                                ("p50_upper", JsonValue::num(h.window.quantile_upper(0.5))),
+                                ("p95_upper", JsonValue::num(h.window.quantile_upper(0.95))),
+                                ("p99_upper", JsonValue::num(h.window.quantile_upper(0.99))),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// [`to_json`] serialized to a compact string.
+pub fn to_json_string(snap: &MetricsSnapshot) -> String {
+    to_json(snap).to_json_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::registry::MetricsRegistry;
+    use std::time::Duration;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let reg = MetricsRegistry::with_epoch(Duration::from_secs(3600), 8);
+        reg.add("verdict_sat", 3);
+        reg.set_gauge("hit_ratio_feas_memo", 0.75);
+        reg.set_gauge_slot("shard_occupancy_feas_memo", 0, 5.0);
+        reg.set_gauge_slot("shard_occupancy_feas_memo", 2, 7.0);
+        reg.observe("feas_types_checked", 100);
+        let s = reg.span_start("dispatch");
+        reg.span_end(s);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn prometheus_text_has_all_families() {
+        let text = to_prometheus(&sample_snapshot());
+        assert!(text.contains("ssd_verdict_sat_total 3"), "{text}");
+        assert!(text.contains("ssd_verdict_sat_rate "), "{text}");
+        assert!(text.contains("ssd_hit_ratio_feas_memo 0.75"), "{text}");
+        assert!(
+            text.contains("ssd_shard_occupancy_feas_memo{shard=\"2\"} 7"),
+            "{text}"
+        );
+        assert!(text.contains("ssd_dispatch{quantile=\"0.99\"}"), "{text}");
+        assert!(text.contains("ssd_feas_types_checked_count 1"), "{text}");
+        assert!(text.contains("# TYPE ssd_dispatch summary"), "{text}");
+    }
+
+    #[test]
+    fn json_roundtrips_and_matches_snapshot() {
+        let snap = sample_snapshot();
+        let text = to_json_string(&snap);
+        let parsed = JsonValue::parse(&text).unwrap();
+        assert_eq!(parsed.get("version").and_then(JsonValue::as_u64), Some(1));
+        let counters = parsed.get("counters").unwrap();
+        assert_eq!(
+            counters
+                .get("verdict_sat")
+                .and_then(|c| c.get("total"))
+                .and_then(JsonValue::as_u64),
+            Some(3)
+        );
+        let gauges = parsed.get("gauges").unwrap();
+        assert_eq!(
+            gauges
+                .get("shard_occupancy_feas_memo")
+                .and_then(|g| g.get("shards"))
+                .and_then(|s| s.get("0"))
+                .and_then(JsonValue::as_f64),
+            Some(5.0)
+        );
+        let hists = parsed.get("histograms").unwrap();
+        assert!(hists.get("dispatch").is_some());
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(prom_name("a b-c/d"), "ssd_a_b_c_d");
+        assert_eq!(prom_name("ok_name:x9"), "ssd_ok_name:x9");
+    }
+}

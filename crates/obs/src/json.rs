@@ -361,6 +361,73 @@ mod tests {
     }
 
     #[test]
+    fn adversarial_strings_roundtrip() {
+        // Every control character, alone and embedded.
+        for cp in 0u32..0x20 {
+            let c = char::from_u32(cp).unwrap();
+            for s in [format!("{c}"), format!("a{c}b"), format!("{c}{c}{c}")] {
+                let v = JsonValue::str(s.clone());
+                let text = v.to_json_string();
+                assert_eq!(JsonValue::parse(&text).unwrap(), v, "cp {cp:#x}: {text}");
+            }
+        }
+        // Pathological quote/backslash runs, including trailing ones.
+        for s in [
+            r#"""#,
+            r"\",
+            r#"\""#,
+            r#""\"#,
+            r"\\\\",
+            r#"\"\"\"#,
+            "ends with backslash\\",
+            "\\starts",
+            "\"all\"quoted\"",
+        ] {
+            let v = JsonValue::str(s);
+            let text = v.to_json_string();
+            assert_eq!(JsonValue::parse(&text).unwrap(), v, "input {s:?}: {text}");
+        }
+        // Non-ASCII: multibyte UTF-8, astral plane, combining marks, RTL.
+        for s in [
+            "π≠∅",
+            "日本語テスト",
+            "👩‍🔬🚀",
+            "e\u{301}tude",
+            "שָׁלוֹם",
+            "\u{2028}\u{2029}",
+        ] {
+            let v = JsonValue::str(s);
+            assert_eq!(JsonValue::parse(&v.to_json_string()).unwrap(), v, "{s:?}");
+        }
+        // Adversarial object keys survive too (keys share the writer).
+        let v = JsonValue::Obj(vec![
+            ("a\"b\\c".to_owned(), JsonValue::num(1)),
+            ("\u{7}\u{0}".to_owned(), JsonValue::str("bell+nul")),
+        ]);
+        assert_eq!(JsonValue::parse(&v.to_json_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn parser_escape_forms() {
+        // All single-char escapes plus \u forms.
+        assert_eq!(
+            JsonValue::parse(r#""\"\\\/\n\r\t\b\f""#).unwrap(),
+            JsonValue::str("\"\\/\n\r\t\u{8}\u{c}")
+        );
+        assert_eq!(JsonValue::parse(r#""Aé☃""#).unwrap(), JsonValue::str("Aé☃"));
+        // Lone surrogates map to U+FFFD instead of breaking the string.
+        assert_eq!(
+            JsonValue::parse(r#""\ud800x""#).unwrap(),
+            JsonValue::str("\u{fffd}x")
+        );
+        // Truncated/bad escapes are rejected, not mangled.
+        assert!(JsonValue::parse(r#""\u00""#).is_err());
+        assert!(JsonValue::parse(r#""\uzzzz""#).is_err());
+        assert!(JsonValue::parse(r#""\q""#).is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!(JsonValue::parse("{").is_err());
         assert!(JsonValue::parse("[1,]").is_err());

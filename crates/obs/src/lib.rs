@@ -24,19 +24,45 @@
 //!   hand-rolled JSON serializer ([`TraceReport::to_json`], no serde);
 //! * [`json`] — the minimal JSON value model backing the serializer,
 //!   with a parser so telemetry artifacts can be validated round-trip;
-//! * [`names`] — the canonical span/counter taxonomy shared by
+//! * [`names`] — the canonical span/counter/gauge taxonomy shared by
 //!   `ssd-automata`, `ssd-core`, and the bench harness (CI greps
 //!   telemetry artifacts for these names, so instrumentation cannot
 //!   silently rot).
+//!
+//! On top of the one-shot collector sits the **production telemetry**
+//! layer, cheap enough to stay attached to a long-running session fleet:
+//!
+//! * [`MetricsRegistry`] — an always-on sharded sink: windowed counters,
+//!   gauges (scalar and per-shard), and log₂ histograms whose rates and
+//!   p50/p95/p99 reflect the last N epochs ([`window`]), not process
+//!   lifetime;
+//! * [`SamplingRecorder`] — wraps any recorder with per-request trace
+//!   ids ([`begin_request`]) and probabilistic +
+//!   always-sample-on-`Exhausted` span sampling, bounding span-timing
+//!   overhead on the warm dispatch path;
+//! * [`expose`] — Prometheus-style text exposition and JSON snapshots
+//!   of a registry.
 
 #![deny(missing_docs)]
 
+pub mod expose;
 pub mod json;
 pub mod names;
 pub mod recorder;
+pub mod registry;
 pub mod report;
+pub mod sampler;
 pub mod tracer;
+pub mod window;
 
 pub use recorder::{noop, span, NoopRecorder, Recorder, Span, SpanId};
+pub use registry::{
+    CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    GAUGE_SLOTS,
+};
 pub use report::{ReportSpan, TraceReport};
+pub use sampler::{
+    begin_request, begin_request_with_id, current_request_id, RequestScope, SamplingRecorder,
+    DEFAULT_SAMPLE_RATE,
+};
 pub use tracer::{Histogram, TraceRecorder};

@@ -120,3 +120,40 @@ pub mod counter {
     /// Diagnostics produced by a lint pass (all severities).
     pub const LINT_DIAGNOSTICS: &str = "lint_diagnostics";
 }
+
+/// Gauge names: point-in-time values published into a
+/// [`crate::MetricsRegistry`] by `Session::publish_gauges` and the
+/// sampler's `publish`. The `shard_occupancy_*` families are *indexed*
+/// gauges (one member per cache shard); the rest are scalars.
+pub mod gauge {
+    /// Entries in the session's feas-analysis memo, per shard.
+    pub const SHARD_OCCUPANCY_FEAS_MEMO: &str = "shard_occupancy_feas_memo";
+    /// Entries in the session's type-graph cache, per shard.
+    pub const SHARD_OCCUPANCY_TYPE_GRAPH: &str = "shard_occupancy_type_graph";
+    /// Entries across the automata cache's memo tables, per shard.
+    pub const SHARD_OCCUPANCY_AUTOMATA: &str = "shard_occupancy_automata";
+    /// Total entries in the feas-analysis memo.
+    pub const FEAS_MEMO_ENTRIES: &str = "feas_memo_entries";
+    /// Total entries in the type-graph cache.
+    pub const TYPE_GRAPH_ENTRIES: &str = "type_graph_entries";
+    /// Estimated resident bytes of session-owned caches.
+    pub const SESSION_CACHE_BYTES: &str = "session_cache_bytes";
+    /// Total entries across the automata cache's memo tables.
+    pub const AUTOMATA_ENTRIES: &str = "automata_entries";
+    /// Lifetime hit ratio of the feas-analysis memo (0..=1).
+    pub const HIT_RATIO_FEAS_MEMO: &str = "hit_ratio_feas_memo";
+    /// Lifetime hit ratio of the type-graph cache (0..=1).
+    pub const HIT_RATIO_TYPE_GRAPH: &str = "hit_ratio_type_graph";
+    /// Lifetime hit ratio across the automata memo tables (0..=1).
+    pub const HIT_RATIO_AUTOMATA: &str = "hit_ratio_automata";
+    /// Entries evicted from session-owned caches so far.
+    pub const EVICTED_SESSION: &str = "evicted_session_entries";
+    /// Shard-lock acquisitions that blocked, across all sharded maps.
+    pub const SHARD_CONTENTION: &str = "shard_contention_total";
+    /// Top-level spans (traces) seen by the sampler.
+    pub const OBS_TRACES_TOTAL: &str = "obs_traces_total";
+    /// Traces whose spans were forwarded by the probabilistic decision.
+    pub const OBS_TRACES_SAMPLED: &str = "obs_traces_sampled";
+    /// Unsampled traces promoted by a budget exhaustion.
+    pub const OBS_TRACES_PROMOTED: &str = "obs_traces_promoted";
+}

@@ -1,0 +1,673 @@
+//! The always-on, sharded [`MetricsRegistry`]: counters, gauges, and
+//! log₂ histograms with sliding-window aggregation, cheap enough to leave
+//! attached to a production `Session` fleet.
+//!
+//! The registry implements [`Recorder`], so every existing `cache_*` /
+//! `budget_*` / `lint_*` instrumentation point feeds it unchanged:
+//! [`Recorder::add`] lands in a [`WindowedCounter`], [`Recorder::observe`]
+//! in a [`WindowedHistogram`], and spans are timed into per-span-name
+//! duration histograms (attach a [`crate::SamplingRecorder`] in front to
+//! keep span timing at a bounded sampling rate).
+//!
+//! ## Storage
+//!
+//! Metric names are `&'static str`s from [`crate::names`], so the hot
+//! path hashes the name's *address* (one multiply) and linear-probes a
+//! fixed table of `OnceLock<Arc<_>>` slots — lock-free reads, no
+//! allocation after first touch. Two distinct statics with equal content
+//! get distinct cells; [`MetricsRegistry::snapshot`] merges cells by name
+//! so the export is still keyed by content. A full table (hundreds of
+//! distinct names) falls back to a mutexed overflow list rather than
+//! dropping data.
+//!
+//! ## Time
+//!
+//! The registry quantizes its monotonic clock into fixed-length epochs.
+//! Writers only *load* the current epoch; someone (the exporter loop, a
+//! dashboard, a test) calls [`MetricsRegistry::tick`] to advance it.
+//! [`MetricsRegistry::advance_epochs`] advances the counter by hand for
+//! deterministic rollover tests — `tick` is monotone against both.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::recorder::{Recorder, SpanId};
+use crate::tracer::Histogram;
+use crate::window::{clamp_window, WindowedCounter, WindowedHistogram, RING};
+
+/// Slots in an indexed (per-shard) gauge, matching the cache shard count.
+pub const GAUGE_SLOTS: usize = 16;
+
+/// Fixed probe-table size (power of two).
+const TABLE: usize = 512;
+/// Probe length before falling back to the overflow list.
+const PROBE: usize = 32;
+
+/// Recovers a poisoned mutex guard: metrics must never compound a panic.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Mixes a name's address into a table index (splitmix-style finalizer).
+fn name_hash(name: &'static str) -> usize {
+    let mut x = name.as_ptr() as u64;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d049bb133111eb);
+    (x ^ (x >> 31)) as usize
+}
+
+/// A named metric cell.
+struct Cell<T> {
+    name: &'static str,
+    body: T,
+}
+
+/// Lock-free-read probe table of metric cells keyed by `&'static str`.
+struct Table<T> {
+    slots: Box<[OnceLock<Arc<Cell<T>>>]>,
+    overflow: Mutex<Vec<Arc<Cell<T>>>>,
+}
+
+impl<T> Table<T> {
+    fn new() -> Table<T> {
+        Table {
+            slots: (0..TABLE).map(|_| OnceLock::new()).collect(),
+            overflow: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The cell for `name`, created with `init` on first touch. The fast
+    /// path is one address hash plus a pointer compare per probe step.
+    fn get_with(&self, name: &'static str, init: impl Fn() -> T) -> Arc<Cell<T>> {
+        let h = name_hash(name);
+        for i in 0..PROBE {
+            let slot = &self.slots[(h + i) & (TABLE - 1)];
+            if let Some(cell) = slot.get() {
+                if std::ptr::eq(cell.name.as_ptr(), name.as_ptr()) {
+                    return cell.clone();
+                }
+                continue;
+            }
+            let fresh = Arc::new(Cell { name, body: init() });
+            if slot.set(fresh.clone()).is_ok() {
+                return fresh;
+            }
+            // Lost the race for this slot; re-check what landed there.
+            if let Some(cell) = slot.get() {
+                if std::ptr::eq(cell.name.as_ptr(), name.as_ptr()) {
+                    return cell.clone();
+                }
+            }
+        }
+        let mut ov = lock(&self.overflow);
+        if let Some(cell) = ov
+            .iter()
+            .find(|c| std::ptr::eq(c.name.as_ptr(), name.as_ptr()))
+        {
+            return cell.clone();
+        }
+        let fresh = Arc::new(Cell { name, body: init() });
+        ov.push(fresh.clone());
+        fresh
+    }
+
+    /// Runs `f` against the cell for `name` without touching its
+    /// refcount: a probe hit passes the slot's cell straight through,
+    /// so the warm path does zero atomic RMWs beyond the metric update
+    /// itself. Misses fall back to the allocating [`Table::get_with`].
+    fn with<R>(
+        &self,
+        name: &'static str,
+        init: impl Fn() -> T,
+        f: impl FnOnce(&Cell<T>) -> R,
+    ) -> R {
+        let h = name_hash(name);
+        for i in 0..PROBE {
+            let slot = &self.slots[(h + i) & (TABLE - 1)];
+            match slot.get() {
+                Some(cell) if std::ptr::eq(cell.name.as_ptr(), name.as_ptr()) => return f(cell),
+                Some(_) => continue,
+                None => break,
+            }
+        }
+        f(&self.get_with(name, init))
+    }
+
+    /// Visits every populated cell (table slots, then overflow).
+    fn for_each(&self, mut f: impl FnMut(&Cell<T>)) {
+        for slot in self.slots.iter() {
+            if let Some(cell) = slot.get() {
+                f(cell);
+            }
+        }
+        for cell in lock(&self.overflow).iter() {
+            f(cell);
+        }
+    }
+}
+
+/// An f64 gauge stored as atomic bits.
+struct Gauge(AtomicU64);
+
+impl Gauge {
+    fn new() -> Gauge {
+        Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+
+    fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A gauge cell: one scalar plus an indexed vector (per-shard values),
+/// with presence bitmasks so unset members stay out of exports.
+struct GaugeCell {
+    scalar: Gauge,
+    scalar_set: AtomicU64,
+    slots: [Gauge; GAUGE_SLOTS],
+    slot_mask: AtomicU64,
+}
+
+impl GaugeCell {
+    fn new() -> GaugeCell {
+        GaugeCell {
+            scalar: Gauge::new(),
+            scalar_set: AtomicU64::new(0),
+            slots: std::array::from_fn(|_| Gauge::new()),
+            slot_mask: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Per-thread stack of spans opened directly on a registry, for timing
+/// span durations without a global lock. Entries are tagged with the
+/// owning registry's id so two registries on one thread stay separate.
+struct OpenSpan {
+    registry: u64,
+    name: &'static str,
+    start: Instant,
+}
+
+thread_local! {
+    static SPAN_STACK: std::cell::RefCell<Vec<OpenSpan>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Distinguishes registries sharing a thread's span stack.
+static NEXT_REGISTRY_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The always-on metrics sink. See the [module docs](self) for the
+/// storage and windowing model; construct with [`MetricsRegistry::new`]
+/// (1-second epochs, full [`RING`]-epoch window) or
+/// [`MetricsRegistry::with_epoch`] and attach to a session directly or
+/// behind a [`crate::SamplingRecorder`].
+pub struct MetricsRegistry {
+    id: u64,
+    origin: Instant,
+    epoch_len: Duration,
+    window: usize,
+    cur_epoch: AtomicU64,
+    counters: Table<WindowedCounter>,
+    hists: Table<WindowedHistogram>,
+    gauges: Table<GaugeCell>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// A registry with 1-second epochs and a [`RING`]-epoch window.
+    pub fn new() -> MetricsRegistry {
+        Self::with_epoch(Duration::from_secs(1), RING)
+    }
+
+    /// A registry with a custom epoch length and aggregation window (in
+    /// epochs, clamped to `1..=RING`).
+    pub fn with_epoch(epoch_len: Duration, window: usize) -> MetricsRegistry {
+        MetricsRegistry {
+            id: NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed),
+            origin: Instant::now(),
+            epoch_len: epoch_len.max(Duration::from_millis(1)),
+            window: clamp_window(window),
+            cur_epoch: AtomicU64::new(0),
+            counters: Table::new(),
+            hists: Table::new(),
+            gauges: Table::new(),
+        }
+    }
+
+    /// The current epoch number (as last ticked or advanced).
+    pub fn epoch(&self) -> u64 {
+        self.cur_epoch.load(Ordering::Relaxed)
+    }
+
+    /// The configured epoch length.
+    pub fn epoch_len(&self) -> Duration {
+        self.epoch_len
+    }
+
+    /// The configured aggregation window, in epochs.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Advances the epoch from the wall clock (monotone: never moves
+    /// backwards past a manual [`MetricsRegistry::advance_epochs`]).
+    /// Writers never tick — call this from the exporter/dashboard loop.
+    pub fn tick(&self) -> u64 {
+        let elapsed = self.origin.elapsed().as_nanos();
+        let computed =
+            (elapsed / self.epoch_len.as_nanos().max(1)).min(u128::from(u64::MAX)) as u64;
+        self.cur_epoch.fetch_max(computed, Ordering::Relaxed);
+        self.epoch()
+    }
+
+    /// Advances the epoch counter by `n` directly — deterministic epoch
+    /// rollover for tests (pair with a long epoch so `tick` stays below).
+    pub fn advance_epochs(&self, n: u64) -> u64 {
+        self.cur_epoch.fetch_add(n, Ordering::Relaxed);
+        self.epoch()
+    }
+
+    /// Sets the scalar gauge `name`.
+    pub fn set_gauge(&self, name: &'static str, value: f64) {
+        self.gauges.with(name, GaugeCell::new, |cell| {
+            cell.body.scalar.set(value);
+            cell.body.scalar_set.store(1, Ordering::Release);
+        });
+    }
+
+    /// Sets member `index` of the indexed gauge `name` (per-shard
+    /// values). Indexes at or past [`GAUGE_SLOTS`] are ignored.
+    pub fn set_gauge_slot(&self, name: &'static str, index: usize, value: f64) {
+        if index >= GAUGE_SLOTS {
+            return;
+        }
+        self.gauges.with(name, GaugeCell::new, |cell| {
+            cell.body.slots[index].set(value);
+            cell.body.slot_mask.fetch_or(1 << index, Ordering::Release);
+        });
+    }
+
+    /// Exact lifetime total of counter `name` (0 if never bumped).
+    pub fn counter_total(&self, name: &'static str) -> u64 {
+        self.counters
+            .with(name, WindowedCounter::new, |c| c.body.total())
+    }
+
+    /// Windowed total of counter `name` over the configured window.
+    pub fn counter_window(&self, name: &'static str) -> u64 {
+        let epoch = self.epoch();
+        self.counters.with(name, WindowedCounter::new, |c| {
+            c.body.window_total(epoch, self.window)
+        })
+    }
+
+    /// Scalar gauge value, if set.
+    pub fn gauge(&self, name: &'static str) -> Option<f64> {
+        self.gauges.with(name, GaugeCell::new, |cell| {
+            if cell.body.scalar_set.load(Ordering::Acquire) != 0 {
+                Some(cell.body.scalar.get())
+            } else {
+                None
+            }
+        })
+    }
+
+    /// A point-in-time [`MetricsSnapshot`]: ticks the clock, then merges
+    /// all cells by *content* name, sorted for stable export order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let epoch = self.tick();
+        let window = self.window;
+
+        let mut counters: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        self.counters.for_each(|cell| {
+            let e = counters.entry(cell.name.to_owned()).or_insert((0, 0));
+            e.0 = e.0.saturating_add(cell.body.total());
+            e.1 = e.1.saturating_add(cell.body.window_total(epoch, window));
+        });
+
+        let mut hists: BTreeMap<String, Histogram> = BTreeMap::new();
+        self.hists.for_each(|cell| {
+            let merged = cell.body.merged(epoch, window);
+            let e = hists.entry(cell.name.to_owned()).or_default();
+            e.count += merged.count;
+            e.sum = e.sum.saturating_add(merged.sum);
+            for (o, b) in e.buckets.iter_mut().zip(&merged.buckets) {
+                *o += b;
+            }
+        });
+
+        type GaugeAcc = (Option<f64>, Vec<(usize, f64)>);
+        let mut gauges: BTreeMap<String, GaugeAcc> = BTreeMap::new();
+        self.gauges.for_each(|cell| {
+            let e = gauges
+                .entry(cell.name.to_owned())
+                .or_insert((None, Vec::new()));
+            if cell.body.scalar_set.load(Ordering::Acquire) != 0 {
+                e.0 = Some(cell.body.scalar.get());
+            }
+            let mask = cell.body.slot_mask.load(Ordering::Acquire);
+            for (i, g) in cell.body.slots.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    e.1.push((i, g.get()));
+                }
+            }
+        });
+
+        let uptime = self.origin.elapsed();
+        // Rates divide by the *covered* span: the window, unless the
+        // process is younger than that.
+        let covered = self
+            .epoch_len
+            .saturating_mul(window as u32)
+            .min(uptime.max(self.epoch_len))
+            .as_secs_f64()
+            .max(1e-9);
+
+        MetricsSnapshot {
+            epoch,
+            epoch_len: self.epoch_len,
+            window,
+            uptime,
+            counters: counters
+                .into_iter()
+                .map(|(name, (total, win))| CounterSnapshot {
+                    name,
+                    total,
+                    window: win,
+                    rate: win as f64 / covered,
+                })
+                .collect(),
+            gauges: gauges
+                .into_iter()
+                .map(|(name, (value, mut slots))| {
+                    slots.sort_unstable_by_key(|&(i, _)| i);
+                    GaugeSnapshot { name, value, slots }
+                })
+                .collect(),
+            histograms: hists
+                .into_iter()
+                .map(|(name, window)| HistogramSnapshot { name, window })
+                .collect(),
+        }
+    }
+}
+
+impl Recorder for MetricsRegistry {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_start(&self, name: &'static str) -> SpanId {
+        SPAN_STACK.with_borrow_mut(|stack| {
+            let idx = stack.len();
+            stack.push(OpenSpan {
+                registry: self.id,
+                name,
+                start: Instant::now(),
+            });
+            SpanId::from_index(idx)
+        })
+    }
+
+    fn span_end(&self, id: SpanId) {
+        let Some(idx) = id.index() else { return };
+        SPAN_STACK.with_borrow_mut(|stack| {
+            if idx >= stack.len() {
+                return; // double-end or cross-thread id — ignore
+            }
+            // Closing an outer span implicitly closes leaked inner ones.
+            while stack.len() > idx {
+                if let Some(open) = stack.pop() {
+                    if open.registry != self.id {
+                        continue; // another registry's leak — not ours to time
+                    }
+                    let dur = open.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                    let epoch = self.epoch();
+                    self.hists.with(open.name, WindowedHistogram::new, |c| {
+                        c.body.record(dur, epoch)
+                    });
+                }
+            }
+        });
+    }
+
+    fn add(&self, name: &'static str, delta: u64) {
+        let epoch = self.epoch();
+        self.counters
+            .with(name, WindowedCounter::new, |c| c.body.add(delta, epoch));
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        let epoch = self.epoch();
+        self.hists.with(name, WindowedHistogram::new, |c| {
+            c.body.record(value, epoch)
+        });
+    }
+}
+
+/// One counter in a [`MetricsSnapshot`].
+#[derive(Clone, Debug)]
+pub struct CounterSnapshot {
+    /// Metric name (from [`crate::names::counter`]).
+    pub name: String,
+    /// Exact lifetime total.
+    pub total: u64,
+    /// Total over the snapshot's aggregation window.
+    pub window: u64,
+    /// Windowed total divided by the covered window seconds.
+    pub rate: f64,
+}
+
+/// One gauge in a [`MetricsSnapshot`].
+#[derive(Clone, Debug)]
+pub struct GaugeSnapshot {
+    /// Metric name (from [`crate::names::gauge`]).
+    pub name: String,
+    /// The scalar value, if ever set.
+    pub value: Option<f64>,
+    /// Set members of the indexed (per-shard) vector, sorted by index.
+    pub slots: Vec<(usize, f64)>,
+}
+
+/// One histogram in a [`MetricsSnapshot`].
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Metric name (a span name or a [`crate::names::counter`]-style
+    /// observation name).
+    pub name: String,
+    /// Buckets merged over the aggregation window.
+    pub window: Histogram,
+}
+
+/// A point-in-time export of a [`MetricsRegistry`], merged by metric
+/// name and sorted, ready for [`crate::expose`].
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Epoch the snapshot was taken at.
+    pub epoch: u64,
+    /// The registry's epoch length.
+    pub epoch_len: Duration,
+    /// Aggregation window, in epochs.
+    pub window: usize,
+    /// Time since the registry was created.
+    pub uptime: Duration,
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter lifetime total by name (0 if absent).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.total)
+            .unwrap_or(0)
+    }
+
+    /// Scalar gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name)
+            .and_then(|g| g.value)
+    }
+
+    /// Windowed histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name)
+            .map(|h| &h.window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A registry whose wall clock never advances an epoch on its own.
+    fn frozen() -> MetricsRegistry {
+        MetricsRegistry::with_epoch(Duration::from_secs(3600), 4)
+    }
+
+    #[test]
+    fn counters_window_across_epochs() {
+        let reg = frozen();
+        reg.add("c", 5);
+        reg.advance_epochs(1);
+        reg.add("c", 7);
+        assert_eq!(reg.counter_total("c"), 12);
+        assert_eq!(reg.counter_window("c"), 12);
+        reg.advance_epochs(10);
+        assert_eq!(reg.counter_window("c"), 0, "window expired");
+        assert_eq!(reg.counter_total("c"), 12);
+    }
+
+    #[test]
+    fn distinct_statics_same_content_merge_in_snapshot() {
+        // Two statics with equal content but (likely) distinct addresses.
+        static A: &str = "dup_metric";
+        let b: &'static str = String::leak(String::from("dup_metric"));
+        let reg = frozen();
+        reg.add(A, 1);
+        reg.add(b, 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_total("dup_metric"), 3);
+        assert_eq!(
+            snap.counters
+                .iter()
+                .filter(|c| c.name == "dup_metric")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn gauges_scalar_and_indexed() {
+        let reg = frozen();
+        reg.set_gauge("g", 1.5);
+        reg.set_gauge_slot("occ", 0, 10.0);
+        reg.set_gauge_slot("occ", 3, 30.0);
+        reg.set_gauge_slot("occ", GAUGE_SLOTS, 99.0); // ignored
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("g"), Some(1.5));
+        let occ = snap
+            .gauges
+            .iter()
+            .find(|g| g.name == "occ")
+            .map(|g| g.slots.clone());
+        assert_eq!(occ, Some(vec![(0, 10.0), (3, 30.0)]));
+        assert_eq!(reg.gauge("unset"), None);
+    }
+
+    #[test]
+    fn spans_time_into_histograms() {
+        let reg = frozen();
+        let a = reg.span_start("outer");
+        let b = reg.span_start("inner");
+        reg.span_end(b);
+        reg.span_end(a);
+        let snap = reg.snapshot();
+        let outer = snap.histogram("outer").cloned();
+        assert_eq!(outer.map(|h| h.count), Some(1));
+        assert_eq!(snap.histogram("inner").map(|h| h.count), Some(1));
+    }
+
+    #[test]
+    fn outer_span_end_closes_leaked_inner() {
+        let reg = frozen();
+        let a = reg.span_start("outer");
+        let _leak = reg.span_start("inner");
+        reg.span_end(a);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("inner").map(|h| h.count), Some(1));
+        SPAN_STACK.with_borrow(|s| assert!(s.is_empty()));
+    }
+
+    #[test]
+    fn observations_land_in_windowed_histograms() {
+        let reg = frozen();
+        reg.observe("sizes", 100);
+        reg.advance_epochs(1);
+        reg.observe("sizes", 200);
+        let snap = reg.snapshot();
+        let h = snap.histogram("sizes").cloned();
+        assert_eq!(h.as_ref().map(|h| h.count), Some(2));
+        reg.advance_epochs(10);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("sizes").map(|h| h.count), Some(0));
+    }
+
+    #[test]
+    fn snapshot_rates_use_window_coverage() {
+        let reg = MetricsRegistry::with_epoch(Duration::from_millis(100), 4);
+        reg.add("r", 40);
+        let snap = reg.snapshot();
+        let c = snap.counters.iter().find(|c| c.name == "r");
+        assert!(c.is_some_and(|c| c.rate > 0.0));
+    }
+
+    #[test]
+    fn overflow_table_still_counts() {
+        let reg = frozen();
+        // Far more distinct names than the probe table can be expected
+        // to hold without collisions; leak them to get 'static strs.
+        let names: Vec<&'static str> = (0..2 * TABLE)
+            .map(|i| -> &'static str { String::leak(format!("m{i}")) })
+            .collect();
+        for (i, n) in names.iter().enumerate() {
+            reg.add(n, i as u64 + 1);
+        }
+        for (i, n) in names.iter().enumerate() {
+            assert_eq!(reg.counter_total(n), i as u64 + 1, "metric {n}");
+        }
+    }
+
+    #[test]
+    fn tick_is_monotone_with_manual_advance() {
+        let reg = frozen();
+        reg.advance_epochs(5);
+        assert_eq!(reg.tick(), 5, "wall clock far below manual epoch");
+    }
+}

@@ -32,6 +32,9 @@ pub struct TraceReport {
     pub counters: Vec<(String, u64)>,
     /// Histograms, sorted by name.
     pub histograms: Vec<(String, Histogram)>,
+    /// Spans dropped by the recorder's capacity cap — when nonzero, the
+    /// span tree is a *truncated* view of the run.
+    pub spans_dropped: u64,
 }
 
 /// Aggregation node used while folding raw spans into the tree.
@@ -102,6 +105,10 @@ impl TraceReport {
         }
         TraceReport {
             roots: root.into_spans(),
+            spans_dropped: counters
+                .get(crate::names::counter::SPANS_DROPPED)
+                .copied()
+                .unwrap_or(0),
             counters: counters
                 .iter()
                 .map(|(k, v)| ((*k).to_owned(), *v))
@@ -140,6 +147,13 @@ impl TraceReport {
         for root in &self.roots {
             render_span(root, 1, &mut out);
         }
+        if self.spans_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "  !! {} span(s) dropped at capacity — tree is truncated",
+                self.spans_dropped
+            );
+        }
         if !self.counters.is_empty() {
             out.push_str("counters:\n");
             for (name, value) in &self.counters {
@@ -168,6 +182,7 @@ impl TraceReport {
     pub fn to_json(&self) -> JsonValue {
         JsonValue::obj(vec![
             ("version", JsonValue::num(1)),
+            ("spans_dropped", JsonValue::num(self.spans_dropped)),
             (
                 "spans",
                 JsonValue::Arr(self.roots.iter().map(span_json).collect()),
@@ -301,6 +316,28 @@ mod tests {
         assert_eq!(nfa.get("sum").unwrap().as_u64(), Some(17));
         // the greppable shape CI relies on
         assert!(text.contains(r#""name":"dispatch""#));
+    }
+
+    #[test]
+    fn dropped_spans_surface_in_tree_and_json() {
+        let rec = TraceRecorder::with_span_capacity(1);
+        let a = rec.span_start("kept");
+        let b = rec.span_start("lost");
+        rec.span_end(b);
+        rec.span_end(a);
+        let report = rec.report();
+        assert_eq!(report.spans_dropped, 1);
+        let tree = report.render_tree();
+        assert!(tree.contains("1 span(s) dropped"), "{tree}");
+        let parsed = JsonValue::parse(&report.to_json_string()).unwrap();
+        assert_eq!(
+            parsed.get("spans_dropped").and_then(JsonValue::as_u64),
+            Some(1)
+        );
+        // A clean run reports zero and renders no warning.
+        let clean = sample_recorder().report();
+        assert_eq!(clean.spans_dropped, 0);
+        assert!(!clean.render_tree().contains("dropped"));
     }
 
     #[test]

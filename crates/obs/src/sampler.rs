@@ -1,0 +1,431 @@
+//! Probabilistic span sampling with trace-context propagation, so span
+//! *timing* can stay enabled in production at a bounded overhead while
+//! counters and observations stay exact.
+//!
+//! [`SamplingRecorder`] wraps any inner [`Recorder`]:
+//!
+//! * counters ([`Recorder::add`]) and observations ([`Recorder::observe`])
+//!   are **always** forwarded — metrics never sample;
+//! * spans are forwarded only for **sampled traces**. A trace is the
+//!   dynamic extent of a top-level span on a thread; the decision is a
+//!   deterministic hash of the trace id against the configured rate, so
+//!   every span of one request shares one coherent decision;
+//! * a trace that trips a budget (an [`names::counter::BUDGET_EXHAUSTED`]
+//!   bump) is **promoted** mid-flight: its still-open ancestry is
+//!   replayed into the inner recorder and the rest of the trace records
+//!   normally, so the interesting tail is never lost to sampling.
+//!
+//! Unsampled spans cost a thread-local stack push/pop — no timestamp, no
+//! lock, no allocation after warm-up — which is what keeps the warm
+//! `dispatch::satisfiable` path within the ≤5% overhead budget.
+//!
+//! ## Request ids
+//!
+//! The `*_in` pipeline entry points open an ambient [`RequestScope`];
+//! nested engine calls (inference probing satisfiability, lint running
+//! the dispatcher) then share the outermost request's trace id instead of
+//! deciding per call. Callers with their own correlation ids can pin one
+//! with [`begin_request_with_id`].
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::names;
+use crate::recorder::{Recorder, SpanId};
+
+/// The default sampling rate: 1 trace in 100.
+pub const DEFAULT_SAMPLE_RATE: f64 = 0.01;
+
+/// splitmix64 finalizer — decorrelates sequential ids before the
+/// sampling threshold compare.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Seeds per-thread id generators; never zero.
+static NEXT_THREAD_SEED: AtomicU64 = AtomicU64::new(0x1234_5678_9abc_def1);
+
+thread_local! {
+    /// xorshift64* state for locally generated trace ids.
+    static TRACE_RNG: Cell<u64> = Cell::new(mix(
+        NEXT_THREAD_SEED.fetch_add(0x9e3779b97f4a7c15, Ordering::Relaxed),
+    ) | 1);
+
+    /// Ambient request context: `(id, nesting depth)`; depth 0 = none.
+    static REQUEST: Cell<(u64, u32)> = const { Cell::new((0, 0)) };
+
+    /// The sampler's per-thread trace state: the open-span stack and the
+    /// current trace's sampling decision.
+    static TRACE: RefCell<TraceState> = const {
+        RefCell::new(TraceState {
+            open: Vec::new(),
+            sampled: false,
+            trace_id: 0,
+        })
+    };
+}
+
+/// Generates a fresh trace id on this thread (xorshift64*).
+fn gen_id() -> u64 {
+    TRACE_RNG.with(|c| {
+        let mut x = c.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        c.set(x);
+        x.wrapping_mul(0x2545f491_4f6cdd1d)
+    })
+}
+
+/// An ambient request scope: while alive, samplers on this thread tag
+/// every trace with the scope's id (outermost scope wins). Created by
+/// [`begin_request`] / [`begin_request_with_id`]; ends on drop.
+pub struct RequestScope {
+    outermost: bool,
+}
+
+/// Opens a request scope with a freshly generated id, or joins the
+/// already-open outermost scope.
+pub fn begin_request() -> RequestScope {
+    begin_scope(None)
+}
+
+/// Opens a request scope pinned to `id` (a caller-provided correlation
+/// id), or joins the already-open outermost scope — an outer request's
+/// id always wins over a nested one.
+pub fn begin_request_with_id(id: u64) -> RequestScope {
+    begin_scope(Some(id))
+}
+
+fn begin_scope(id: Option<u64>) -> RequestScope {
+    REQUEST.with(|r| {
+        let (cur, depth) = r.get();
+        if depth > 0 {
+            r.set((cur, depth + 1));
+            RequestScope { outermost: false }
+        } else {
+            r.set((id.unwrap_or_else(gen_id), 1));
+            RequestScope { outermost: true }
+        }
+    })
+}
+
+/// The ambient request id, if a [`RequestScope`] is open on this thread.
+pub fn current_request_id() -> Option<u64> {
+    REQUEST.with(|r| {
+        let (id, depth) = r.get();
+        (depth > 0).then_some(id)
+    })
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        REQUEST.with(|r| {
+            let (id, depth) = r.get();
+            if self.outermost {
+                r.set((0, 0));
+            } else {
+                r.set((id, depth.saturating_sub(1)));
+            }
+        });
+    }
+}
+
+/// One entry of the sampler's open-span stack.
+struct OpenSpan {
+    name: &'static str,
+    /// The inner recorder's handle, [`SpanId::NONE`] while unsampled.
+    fwd: SpanId,
+}
+
+/// Per-thread trace state. One sampler per execution path is assumed
+/// (the supported deployment is a single process-wide sampler); see
+/// [`SamplingRecorder::span_end`] for how stray entries are handled.
+struct TraceState {
+    open: Vec<OpenSpan>,
+    sampled: bool,
+    trace_id: u64,
+}
+
+/// The sampling [`Recorder`] wrapper. See the [module docs](self).
+pub struct SamplingRecorder {
+    inner: Arc<dyn Recorder>,
+    /// Sample iff `mix(trace_id) < threshold`.
+    threshold: u64,
+    /// Rate ≥ 1.0: bypass the hash and sample everything.
+    always: bool,
+    traces_started: AtomicU64,
+    traces_sampled: AtomicU64,
+    traces_promoted: AtomicU64,
+}
+
+impl SamplingRecorder {
+    /// Wraps `inner`, sampling the given fraction of traces (clamped to
+    /// `0.0..=1.0`).
+    pub fn new(inner: Arc<dyn Recorder>, rate: f64) -> SamplingRecorder {
+        let rate = if rate.is_finite() {
+            rate.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        SamplingRecorder {
+            inner,
+            threshold: (rate * u64::MAX as f64) as u64,
+            always: rate >= 1.0,
+            traces_started: AtomicU64::new(0),
+            traces_sampled: AtomicU64::new(0),
+            traces_promoted: AtomicU64::new(0),
+        }
+    }
+
+    /// Wraps `inner` at [`DEFAULT_SAMPLE_RATE`].
+    pub fn with_default_rate(inner: Arc<dyn Recorder>) -> SamplingRecorder {
+        Self::new(inner, DEFAULT_SAMPLE_RATE)
+    }
+
+    /// The wrapped recorder.
+    pub fn inner(&self) -> &Arc<dyn Recorder> {
+        &self.inner
+    }
+
+    /// Top-level spans (traces) seen so far.
+    pub fn traces_started(&self) -> u64 {
+        self.traces_started.load(Ordering::Relaxed)
+    }
+
+    /// Traces whose spans were forwarded by the probabilistic decision.
+    pub fn traces_sampled(&self) -> u64 {
+        self.traces_sampled.load(Ordering::Relaxed)
+    }
+
+    /// Unsampled traces promoted mid-flight by a budget exhaustion.
+    pub fn traces_promoted(&self) -> u64 {
+        self.traces_promoted.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the sampler's own counters as gauges on `registry`
+    /// (they are kept out of the per-trace hot path on purpose).
+    pub fn publish(&self, registry: &crate::MetricsRegistry) {
+        registry.set_gauge(names::gauge::OBS_TRACES_TOTAL, self.traces_started() as f64);
+        registry.set_gauge(
+            names::gauge::OBS_TRACES_SAMPLED,
+            self.traces_sampled() as f64,
+        );
+        registry.set_gauge(
+            names::gauge::OBS_TRACES_PROMOTED,
+            self.traces_promoted() as f64,
+        );
+    }
+
+    fn decide(&self, trace_id: u64) -> bool {
+        self.always || mix(trace_id) < self.threshold
+    }
+
+    /// Replays the open ancestry into the inner recorder and marks the
+    /// trace sampled. Promoted spans time from the moment of promotion —
+    /// the tail of the failing request, which is the part worth keeping.
+    fn promote(&self, t: &mut TraceState) {
+        t.sampled = true;
+        self.traces_promoted.fetch_add(1, Ordering::Relaxed);
+        for span in t.open.iter_mut() {
+            if span.fwd.is_none() {
+                span.fwd = self.inner.span_start(span.name);
+            }
+        }
+    }
+}
+
+impl Recorder for SamplingRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_start(&self, name: &'static str) -> SpanId {
+        TRACE.with_borrow_mut(|t| {
+            if t.open.is_empty() {
+                t.trace_id = current_request_id().unwrap_or_else(gen_id);
+                t.sampled = self.decide(t.trace_id);
+                self.traces_started.fetch_add(1, Ordering::Relaxed);
+                if t.sampled {
+                    self.traces_sampled.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let fwd = if t.sampled {
+                self.inner.span_start(name)
+            } else {
+                SpanId::NONE
+            };
+            let idx = t.open.len();
+            t.open.push(OpenSpan { name, fwd });
+            SpanId::from_index(idx)
+        })
+    }
+
+    fn span_end(&self, id: SpanId) {
+        let Some(idx) = id.index() else { return };
+        TRACE.with_borrow_mut(|t| {
+            if idx >= t.open.len() {
+                return; // double-end — ignore
+            }
+            // Pop innermost-first so the inner recorder sees a proper
+            // nesting order; entries above `idx` are leaked guards (or a
+            // second sampler's strays) and close implicitly.
+            while t.open.len() > idx {
+                if let Some(span) = t.open.pop() {
+                    if !span.fwd.is_none() {
+                        self.inner.span_end(span.fwd);
+                    }
+                }
+            }
+        });
+    }
+
+    fn add(&self, name: &'static str, delta: u64) {
+        self.inner.add(name, delta);
+        // Pointer compare first: `names::counter::BUDGET_EXHAUSTED` is a
+        // single static, so the content compare almost never runs.
+        let exhausted = names::counter::BUDGET_EXHAUSTED;
+        if std::ptr::eq(name.as_ptr(), exhausted.as_ptr()) || name == exhausted {
+            TRACE.with_borrow_mut(|t| {
+                if !t.open.is_empty() && !t.sampled {
+                    self.promote(t);
+                }
+            });
+        }
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        self.inner.observe(name, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::TraceRecorder;
+
+    fn traced_sampler(rate: f64) -> (SamplingRecorder, Arc<TraceRecorder>) {
+        let inner = Arc::new(TraceRecorder::new());
+        (SamplingRecorder::new(inner.clone(), rate), inner)
+    }
+
+    #[test]
+    fn rate_one_forwards_all_spans() {
+        let (s, inner) = traced_sampler(1.0);
+        let a = s.span_start("outer");
+        let b = s.span_start("inner");
+        s.span_end(b);
+        s.span_end(a);
+        assert_eq!(inner.span_count(), 2);
+        assert_eq!(s.traces_started(), 1);
+        assert_eq!(s.traces_sampled(), 1);
+        let report = inner.report();
+        assert!(report.span(&["outer", "inner"]).is_some(), "nesting kept");
+    }
+
+    #[test]
+    fn rate_zero_forwards_no_spans_but_all_counters() {
+        let (s, inner) = traced_sampler(0.0);
+        let a = s.span_start("outer");
+        s.add("c", 3);
+        s.observe("h", 9);
+        s.span_end(a);
+        assert_eq!(inner.span_count(), 0);
+        assert_eq!(inner.counter("c"), 3);
+        assert_eq!(s.traces_started(), 1);
+        assert_eq!(s.traces_sampled(), 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_promotes_open_trace() {
+        let (s, inner) = traced_sampler(0.0);
+        let a = s.span_start("dispatch");
+        let b = s.span_start("budget_check");
+        s.add(names::counter::BUDGET_EXHAUSTED, 1);
+        s.span_end(b);
+        s.span_end(a);
+        assert_eq!(s.traces_promoted(), 1);
+        assert_eq!(inner.span_count(), 2, "ancestry replayed on promotion");
+        let report = inner.report();
+        assert!(report.span(&["dispatch", "budget_check"]).is_some());
+        assert_eq!(report.counter(names::counter::BUDGET_EXHAUSTED), 1);
+    }
+
+    #[test]
+    fn exhaustion_outside_any_trace_is_counted_only() {
+        let (s, inner) = traced_sampler(0.0);
+        s.add(names::counter::BUDGET_EXHAUSTED, 1);
+        assert_eq!(s.traces_promoted(), 0);
+        assert_eq!(inner.counter(names::counter::BUDGET_EXHAUSTED), 1);
+    }
+
+    #[test]
+    fn request_scope_pins_one_decision_per_request() {
+        // With an ambient request id, every top-level span in the scope
+        // shares the id — so the decision matches across traces.
+        let (s, inner) = traced_sampler(0.5);
+        for _ in 0..16 {
+            let _req = begin_request();
+            let counts: Vec<usize> = (0..4)
+                .map(|_| {
+                    let before = inner.span_count();
+                    let a = s.span_start("dispatch");
+                    s.span_end(a);
+                    inner.span_count() - before
+                })
+                .collect();
+            assert!(
+                counts.iter().all(|&c| c == counts[0]),
+                "one request, mixed decisions: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_request_scopes_share_the_outer_id() {
+        let _outer = begin_request_with_id(42);
+        assert_eq!(current_request_id(), Some(42));
+        {
+            let _inner = begin_request_with_id(7);
+            assert_eq!(current_request_id(), Some(42), "outermost wins");
+        }
+        assert_eq!(current_request_id(), Some(42));
+    }
+
+    #[test]
+    fn request_scope_clears_on_drop() {
+        {
+            let _req = begin_request();
+            assert!(current_request_id().is_some());
+        }
+        assert_eq!(current_request_id(), None);
+    }
+
+    #[test]
+    fn sampling_rate_is_roughly_honored() {
+        let (s, _inner) = traced_sampler(0.25);
+        for _ in 0..4000 {
+            let a = s.span_start("t");
+            s.span_end(a);
+        }
+        let frac = s.traces_sampled() as f64 / s.traces_started() as f64;
+        assert!((0.15..0.35).contains(&frac), "sampled fraction {frac}");
+    }
+
+    #[test]
+    fn publish_exports_trace_gauges() {
+        let (s, _inner) = traced_sampler(1.0);
+        let a = s.span_start("t");
+        s.span_end(a);
+        let reg = crate::MetricsRegistry::new();
+        s.publish(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge(names::gauge::OBS_TRACES_TOTAL), Some(1.0));
+        assert_eq!(snap.gauge(names::gauge::OBS_TRACES_SAMPLED), Some(1.0));
+        assert_eq!(snap.gauge(names::gauge::OBS_TRACES_PROMOTED), Some(0.0));
+    }
+}

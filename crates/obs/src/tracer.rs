@@ -9,10 +9,11 @@ use crate::names;
 use crate::recorder::{Recorder, SpanId};
 use crate::report::TraceReport;
 
-/// Hard cap on raw spans kept per recorder. Past it, `span_start` returns
-/// [`SpanId::NONE`] and bumps [`names::counter::SPANS_DROPPED`], so a
-/// pathological workload degrades to counters instead of exhausting
-/// memory. 2²⁰ spans ≈ 40 MB.
+/// Default cap on raw spans kept per recorder. Past it, `span_start`
+/// returns [`SpanId::NONE`] and bumps [`names::counter::SPANS_DROPPED`],
+/// so a pathological workload degrades to counters instead of exhausting
+/// memory. 2²⁰ spans ≈ 40 MB. Override with
+/// [`TraceRecorder::with_span_capacity`].
 const MAX_SPANS: usize = 1 << 20;
 
 /// A fixed-size latency histogram with one bucket per power of two.
@@ -70,17 +71,36 @@ impl Histogram {
     }
 
     /// Upper bound of the smallest bucket prefix holding ≥ `q` of the
-    /// samples (`q` in `0.0..=1.0`) — a coarse quantile, exact up to the
-    /// power-of-two bucketing.
+    /// samples — a coarse quantile.
+    ///
+    /// ## Error bound
+    ///
+    /// Buckets are powers of two, so the returned bound overshoots the
+    /// true quantile by strictly less than 2× (the true value `v` and the
+    /// reported `bucket_upper` share a bit-length: `v ≤ upper < 2v`).
+    /// Rank is exact — only the value is quantized.
+    ///
+    /// ## Edge cases (documented, not surprises)
+    ///
+    /// * empty histogram → 0, for any `q`;
+    /// * `q ≤ 0.0` (and NaN) → the smallest recorded sample's bucket
+    ///   upper bound (rank-1 target, never an empty-prefix artifact);
+    /// * `q ≥ 1.0` → the largest recorded sample's bucket upper bound;
+    /// * a single bucket → that bucket's upper bound, for any `q`.
     pub fn quantile_upper(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = (q * self.count as f64).ceil() as u64;
+        let q = if q.is_finite() {
+            q.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
-            if seen >= target {
+            if n > 0 && seen >= target {
                 return Self::bucket_upper(i);
             }
         }
@@ -117,6 +137,7 @@ struct Inner {
 /// into a second one.
 pub struct TraceRecorder {
     origin: Instant,
+    capacity: usize,
     inner: Mutex<Inner>,
 }
 
@@ -129,8 +150,16 @@ impl Default for TraceRecorder {
 impl TraceRecorder {
     /// A fresh, empty recorder; its clock starts now.
     pub fn new() -> Self {
+        Self::with_span_capacity(MAX_SPANS)
+    }
+
+    /// A recorder whose span table holds at most `capacity` raw spans;
+    /// spans past the cap are dropped (counted, never silently — see
+    /// [`TraceRecorder::spans_dropped`]).
+    pub fn with_span_capacity(capacity: usize) -> Self {
         TraceRecorder {
             origin: Instant::now(),
+            capacity,
             inner: Mutex::new(Inner::default()),
         }
     }
@@ -156,6 +185,13 @@ impl TraceRecorder {
         self.lock().counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Spans dropped because the span table hit its capacity. Also
+    /// available as the [`names::counter::SPANS_DROPPED`] counter and
+    /// surfaced by [`TraceReport`] (tree and JSON).
+    pub fn spans_dropped(&self) -> u64 {
+        self.counter(names::counter::SPANS_DROPPED)
+    }
+
     /// A point-in-time [`TraceReport`]: the span tree aggregated by name,
     /// all counters, and all histograms. Spans still open are reported
     /// with their elapsed-so-far duration.
@@ -174,7 +210,7 @@ impl Recorder for TraceRecorder {
     fn span_start(&self, name: &'static str) -> SpanId {
         let start_ns = self.now_ns();
         let mut inner = self.lock();
-        if inner.spans.len() >= MAX_SPANS {
+        if inner.spans.len() >= self.capacity {
             *inner
                 .counters
                 .entry(names::counter::SPANS_DROPPED)
@@ -300,6 +336,46 @@ mod tests {
         assert_eq!(h.quantile_upper(0.5), 3);
         assert_eq!(h.quantile_upper(1.0), 1023);
         assert_eq!(Histogram::default().quantile_upper(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_edge_cases_are_documented_values() {
+        // Empty: 0 for any q.
+        let empty = Histogram::default();
+        for q in [0.0, 0.5, 1.0, f64::NAN] {
+            assert_eq!(empty.quantile_upper(q), 0);
+        }
+        // q=0.0 is the *smallest sample's* bucket, not bucket 0's bound.
+        let mut h = Histogram::default();
+        h.record(4);
+        h.record(1000);
+        assert_eq!(h.quantile_upper(0.0), 7);
+        assert_eq!(h.quantile_upper(-3.0), 7);
+        assert_eq!(h.quantile_upper(f64::NAN), 7);
+        // q=1.0 (and out-of-range above) is the largest sample's bucket.
+        assert_eq!(h.quantile_upper(1.0), 1023);
+        assert_eq!(h.quantile_upper(2.0), 1023);
+        // Single bucket: that bucket's bound for every q.
+        let mut single = Histogram::default();
+        single.record(5);
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(single.quantile_upper(q), 7);
+        }
+    }
+
+    #[test]
+    fn span_capacity_drops_are_counted() {
+        let rec = TraceRecorder::with_span_capacity(2);
+        let a = rec.span_start("a");
+        let b = rec.span_start("b");
+        let c = rec.span_start("c");
+        assert!(c.is_none(), "past-capacity span gets the null handle");
+        rec.span_end(c);
+        rec.span_end(b);
+        rec.span_end(a);
+        assert_eq!(rec.span_count(), 2);
+        assert_eq!(rec.spans_dropped(), 1);
+        assert_eq!(rec.counter(names::counter::SPANS_DROPPED), 1);
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! Sliding-window aggregation primitives: a ring of epoch-tagged buckets
+//! per metric, so rates and quantiles reflect the *last N windows* rather
+//! than process lifetime.
+//!
+//! Time is quantized into **epochs** (the [`crate::MetricsRegistry`]
+//! advances an epoch counter off its monotonic clock; tests advance it by
+//! hand). Each windowed metric keeps a fixed ring of [`RING`] slots,
+//! indexed by `epoch % RING` and tagged with the epoch that last owned
+//! them. A write to a slot whose tag is stale atomically re-claims it
+//! (swap the tag, zero the value), so old windows expire lazily with no
+//! background thread and no allocation.
+//!
+//! ## Precision
+//!
+//! Lifetime totals are exact. Windowed values are exact except at an
+//! epoch boundary: when two threads race to re-claim the same slot, the
+//! loser's increments between the tag swap and the zeroing store can be
+//! lost from that *window* (never from the total). The error is bounded
+//! by the handful of in-flight operations at the instant of rollover —
+//! acceptable for rate/quantile dashboards, which is all windows feed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::tracer::Histogram;
+
+/// Number of epoch slots in every ring. Aggregation windows are clamped
+/// to at most this many epochs.
+pub const RING: usize = 8;
+
+/// Slot tag meaning "never written".
+const EMPTY: u64 = u64::MAX;
+
+/// Whether the slot-tag `e` falls inside the last `window` epochs ending
+/// at `now` (inclusive).
+fn in_window(e: u64, now: u64, window: usize) -> bool {
+    e != EMPTY && e <= now && now - e < window as u64
+}
+
+/// Clamps a requested window length to `1..=RING`.
+pub fn clamp_window(window: usize) -> usize {
+    window.clamp(1, RING)
+}
+
+/// One epoch bucket of a windowed counter.
+struct Slot {
+    epoch: AtomicU64,
+    value: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            epoch: AtomicU64::new(EMPTY),
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Re-claims the slot for `epoch` if its tag is stale. Exactly one
+    /// racing claimer wins the swap and zeroes the value.
+    fn claim(&self, epoch: u64) {
+        if self.epoch.load(Ordering::Acquire) != epoch
+            && self.epoch.swap(epoch, Ordering::AcqRel) != epoch
+        {
+            self.value.store(0, Ordering::Release);
+        }
+    }
+}
+
+/// A monotone counter with an exact lifetime total and a ring of
+/// per-epoch buckets for sliding-window rates.
+pub struct WindowedCounter {
+    total: AtomicU64,
+    slots: [Slot; RING],
+}
+
+impl Default for WindowedCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WindowedCounter {
+    /// A zeroed counter.
+    pub fn new() -> WindowedCounter {
+        WindowedCounter {
+            total: AtomicU64::new(0),
+            slots: std::array::from_fn(|_| Slot::new()),
+        }
+    }
+
+    /// Adds `delta` at `epoch`: bumps the exact total and the epoch's
+    /// ring bucket (re-claiming it if a stale window still owns it).
+    pub fn add(&self, delta: u64, epoch: u64) {
+        self.total.fetch_add(delta, Ordering::Relaxed);
+        let slot = &self.slots[(epoch % RING as u64) as usize];
+        slot.claim(epoch);
+        slot.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Exact lifetime total.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum over the last `window` epochs ending at `now` (inclusive).
+    pub fn window_total(&self, now: u64, window: usize) -> u64 {
+        let window = clamp_window(window);
+        let mut sum = 0u64;
+        for slot in &self.slots {
+            if in_window(slot.epoch.load(Ordering::Acquire), now, window) {
+                sum = sum.saturating_add(slot.value.load(Ordering::Relaxed));
+            }
+        }
+        sum
+    }
+}
+
+/// One epoch bucket of a windowed histogram: the same log₂ layout as
+/// [`Histogram`], with atomic cells.
+struct HistSlot {
+    epoch: AtomicU64,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; 64],
+}
+
+impl HistSlot {
+    fn new() -> HistSlot {
+        HistSlot {
+            epoch: AtomicU64::new(EMPTY),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn claim(&self, epoch: u64) {
+        if self.epoch.load(Ordering::Acquire) != epoch
+            && self.epoch.swap(epoch, Ordering::AcqRel) != epoch
+        {
+            self.count.store(0, Ordering::Relaxed);
+            self.sum.store(0, Ordering::Relaxed);
+            for b in &self.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A log₂-bucket histogram with a ring of per-epoch buckets, so merged
+/// quantiles reflect the last N windows only.
+pub struct WindowedHistogram {
+    slots: [HistSlot; RING],
+}
+
+impl Default for WindowedHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WindowedHistogram {
+    /// An empty histogram ring.
+    pub fn new() -> WindowedHistogram {
+        WindowedHistogram {
+            slots: std::array::from_fn(|_| HistSlot::new()),
+        }
+    }
+
+    /// Records one sample at `epoch`.
+    pub fn record(&self, value: u64, epoch: u64) {
+        let slot = &self.slots[(epoch % RING as u64) as usize];
+        slot.claim(epoch);
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        slot.sum.fetch_add(value, Ordering::Relaxed);
+        slot.buckets[Histogram::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Merges the buckets of the last `window` epochs ending at `now`
+    /// into a plain [`Histogram`] for quantile extraction.
+    pub fn merged(&self, now: u64, window: usize) -> Histogram {
+        let window = clamp_window(window);
+        let mut out = Histogram::default();
+        for slot in &self.slots {
+            if !in_window(slot.epoch.load(Ordering::Acquire), now, window) {
+                continue;
+            }
+            out.count += slot.count.load(Ordering::Relaxed);
+            out.sum = out.sum.saturating_add(slot.sum.load(Ordering::Relaxed));
+            for (o, b) in out.buckets.iter_mut().zip(&slot.buckets) {
+                *o += b.load(Ordering::Relaxed);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_tracks_recent_epochs_only() {
+        let c = WindowedCounter::new();
+        c.add(10, 0);
+        c.add(20, 1);
+        c.add(30, 2);
+        assert_eq!(c.total(), 60);
+        assert_eq!(c.window_total(2, 8), 60);
+        assert_eq!(c.window_total(2, 2), 50, "epoch 0 outside a 2-window");
+        assert_eq!(c.window_total(2, 1), 30);
+        // Far in the future every bucket is stale, but the total holds.
+        assert_eq!(c.window_total(100, 8), 0);
+        assert_eq!(c.total(), 60);
+    }
+
+    #[test]
+    fn ring_slot_reuse_resets_stale_buckets() {
+        let c = WindowedCounter::new();
+        c.add(7, 1);
+        // Epoch 1+RING maps to the same slot; the write must re-claim it.
+        c.add(5, 1 + RING as u64);
+        assert_eq!(c.window_total(1 + RING as u64, 1), 5);
+        assert_eq!(c.total(), 12);
+    }
+
+    #[test]
+    fn future_tagged_slots_are_excluded() {
+        let c = WindowedCounter::new();
+        c.add(9, 5);
+        // A snapshot taken at an older "now" must not see epoch 5.
+        assert_eq!(c.window_total(4, 8), 0);
+    }
+
+    #[test]
+    fn histogram_window_merges_and_rolls_over() {
+        let h = WindowedHistogram::new();
+        for v in [1u64, 2, 3] {
+            h.record(v, 0);
+        }
+        h.record(1000, 1);
+        let recent = h.merged(1, 1);
+        assert_eq!(recent.count, 1);
+        assert_eq!(recent.quantile_upper(0.5), 1023);
+        let both = h.merged(1, 8);
+        assert_eq!(both.count, 4);
+        assert_eq!(both.sum, 1006);
+        assert_eq!(both.quantile_upper(0.5), 3);
+        // Rollover: the slot for epoch 0 is re-claimed at epoch RING.
+        h.record(4, RING as u64);
+        let rolled = h.merged(RING as u64, RING);
+        assert_eq!(rolled.count, 2, "epoch-0 samples expired: {rolled:?}");
+    }
+
+    #[test]
+    fn window_clamping() {
+        assert_eq!(clamp_window(0), 1);
+        assert_eq!(clamp_window(3), 3);
+        assert_eq!(clamp_window(100), RING);
+    }
+}

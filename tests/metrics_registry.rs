@@ -1,0 +1,252 @@
+//! End-to-end tests of the production telemetry stack (tier-1): a
+//! [`MetricsRegistry`] attached to a live [`Session`] through a
+//! [`SamplingRecorder`] must aggregate real engine traffic into windowed
+//! snapshots, survive epoch rollover, export every promised metric, and
+//! promote exhausted traces even at sampling rate zero.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ssd::base::rng::StdRng;
+use ssd::base::SharedInterner;
+use ssd::core::{Budget, Session};
+use ssd::gen::query_gen::{joinfree_query, QueryGenConfig};
+use ssd::gen::schema_gen::{ordered_schema, SchemaGenConfig};
+use ssd::obs::json::JsonValue;
+use ssd::obs::{expose, names, MetricsRegistry, Recorder, SamplingRecorder, TraceRecorder};
+use ssd::query::Query;
+use ssd::schema::Schema;
+
+fn workload(seed: u64, num_types: usize, num_defs: usize) -> (Query, Schema) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = SharedInterner::new();
+    let scfg = SchemaGenConfig {
+        num_types,
+        ..Default::default()
+    };
+    let s = ordered_schema(&mut rng, &pool, &scfg);
+    let tg = ssd::schema::TypeGraph::new(&s);
+    let qcfg = QueryGenConfig {
+        num_defs,
+        ..Default::default()
+    };
+    let q = joinfree_query(&s, &tg, &mut rng, &qcfg).unwrap();
+    (q, s)
+}
+
+/// A registry whose epochs only move when the test says so.
+fn frozen_registry() -> MetricsRegistry {
+    MetricsRegistry::with_epoch(Duration::from_secs(3600), 4)
+}
+
+/// Windowed aggregation across epoch rollover: counts age out of the
+/// window as epochs advance past them, while lifetime totals stay exact.
+#[test]
+fn window_ages_out_across_epoch_rollover() {
+    let reg = frozen_registry();
+    reg.add("verdict_sat", 10);
+    assert_eq!(reg.counter_total("verdict_sat"), 10);
+    assert_eq!(reg.counter_window("verdict_sat"), 10);
+
+    // Still inside the 4-epoch window after 3 advances.
+    reg.advance_epochs(3);
+    reg.add("verdict_sat", 5);
+    assert_eq!(reg.counter_window("verdict_sat"), 15);
+
+    // One more advance pushes the first batch out of the window.
+    reg.advance_epochs(1);
+    assert_eq!(reg.counter_window("verdict_sat"), 5);
+    assert_eq!(reg.counter_total("verdict_sat"), 15);
+
+    // Far past everything: the window drains, the total never does.
+    reg.advance_epochs(16);
+    assert_eq!(reg.counter_window("verdict_sat"), 0);
+    assert_eq!(reg.counter_total("verdict_sat"), 15);
+
+    // Histograms age out the same way (slot ring reuse across rollover).
+    let span = reg.span_start("dispatch");
+    reg.span_end(span);
+    let snap = reg.snapshot();
+    assert_eq!(snap.histogram("dispatch").map(|h| h.count), Some(1));
+    reg.advance_epochs(8);
+    let snap = reg.snapshot();
+    assert_eq!(snap.histogram("dispatch").map(|h| h.count), Some(0));
+}
+
+/// Live traffic end-to-end: a session dispatching real queries through a
+/// sampler-over-registry recorder lands its counters, span timings, and
+/// published gauges in one snapshot; the exporters carry all of it.
+#[test]
+fn session_traffic_lands_in_snapshot_and_exports() {
+    let registry = Arc::new(frozen_registry());
+    let sampler = Arc::new(SamplingRecorder::new(
+        Arc::clone(&registry) as Arc<dyn Recorder>,
+        1.0,
+    ));
+    let sess = Session::with_recorder(Arc::clone(&sampler) as Arc<dyn Recorder>);
+
+    let mut dispatches = 0u64;
+    for seed in 0..4u64 {
+        let (q, s) = workload(40 + seed, 6 + seed as usize, 1 + (seed % 2) as usize);
+        for _ in 0..3 {
+            sess.satisfiable(&q, &s).unwrap();
+            dispatches += 1;
+        }
+    }
+
+    sess.publish_gauges(&registry);
+    sampler.publish(&registry);
+    let snap = registry.snapshot();
+
+    // Counters: every dispatch produced exactly one verdict.
+    let verdicts = snap.counter_total(names::counter::VERDICT_SAT)
+        + snap.counter_total(names::counter::VERDICT_UNSAT);
+    assert_eq!(verdicts, dispatches);
+
+    // Span histograms: every dispatch was timed (rate 1.0 samples all).
+    let h = snap.histogram(names::span::DISPATCH).unwrap();
+    assert_eq!(h.count, dispatches);
+    assert!(h.quantile_upper(0.99) >= h.quantile_upper(0.5));
+
+    // Published gauges agree with the session's own stats.
+    let stats = sess.stats();
+    assert_eq!(
+        snap.gauge(names::gauge::FEAS_MEMO_ENTRIES),
+        Some(stats.feas_memos as f64)
+    );
+    assert_eq!(
+        snap.gauge(names::gauge::TYPE_GRAPH_ENTRIES),
+        Some(stats.type_graphs as f64)
+    );
+    assert_eq!(
+        snap.gauge(names::gauge::OBS_TRACES_TOTAL),
+        Some(sampler.traces_started() as f64)
+    );
+    assert_eq!(
+        snap.gauge(names::gauge::OBS_TRACES_SAMPLED),
+        Some(sampler.traces_started() as f64),
+        "rate 1.0 samples every trace"
+    );
+
+    // Per-shard occupancy slots sum to the entry gauges.
+    let occupancy_sum = |name: &str| -> f64 {
+        snap.gauges
+            .iter()
+            .find(|g| g.name == name)
+            .map(|g| g.slots.iter().map(|(_, v)| *v).sum())
+            .unwrap_or(0.0)
+    };
+    assert_eq!(
+        occupancy_sum(names::gauge::SHARD_OCCUPANCY_FEAS_MEMO),
+        stats.feas_memos as f64
+    );
+    assert_eq!(
+        occupancy_sum(names::gauge::SHARD_OCCUPANCY_TYPE_GRAPH),
+        stats.type_graphs as f64
+    );
+
+    // Prometheus exposition carries every promised family.
+    let prom = expose::to_prometheus(&snap);
+    for needle in [
+        "ssd_verdict_",
+        "ssd_cache_feas_memo_hit_total",
+        "ssd_dispatch_count",
+        "ssd_hit_ratio_feas_memo",
+        "ssd_shard_occupancy_feas_memo{shard=\"",
+        "ssd_obs_traces_total",
+        "ssd_session_cache_bytes",
+        "ssd_evicted_session_entries",
+        "ssd_shard_contention_total",
+    ] {
+        assert!(
+            prom.contains(needle),
+            "exposition missing {needle}:\n{prom}"
+        );
+    }
+
+    // JSON export parses and agrees on the verdict total.
+    let parsed = JsonValue::parse(&expose::to_json_string(&snap)).unwrap();
+    let counters = parsed.get("counters").unwrap();
+    let sat = counters
+        .get(names::counter::VERDICT_SAT)
+        .and_then(|c| c.get("total"))
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0);
+    let unsat = counters
+        .get(names::counter::VERDICT_UNSAT)
+        .and_then(|c| c.get("total"))
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0);
+    assert_eq!(sat + unsat, dispatches);
+}
+
+/// Exhaustion forces a trace through even at sampling rate zero: the
+/// always-sample-on-`Exhausted` path promotes the open trace, so the
+/// inner recorder sees the spans of the starved request and nothing else.
+#[test]
+fn exhausted_traces_are_promoted_at_rate_zero() {
+    let inner = Arc::new(TraceRecorder::new());
+    let sampler = Arc::new(SamplingRecorder::new(inner.clone(), 0.0));
+    let sess = Session::with_recorder(Arc::clone(&sampler) as Arc<dyn Recorder>);
+
+    // A healthy request first: at rate 0 it must leave no spans behind.
+    let (q, s) = workload(50, 8, 1);
+    sess.satisfiable(&q, &s).unwrap();
+    assert_eq!(sampler.traces_promoted(), 0);
+    assert_eq!(
+        inner.span_count(),
+        0,
+        "rate 0 must not record healthy requests"
+    );
+
+    // Now starve a request that genuinely runs out of road: a 3SAT
+    // reduction is exponential for the general solver, so a small fuel
+    // allowance must trip.
+    let mut rng = StdRng::seed_from_u64(99);
+    let f = ssd::gen::sat3::Sat3::random(&mut rng, 10, 20);
+    let pool = SharedInterner::new();
+    let hard_s = ssd::schema::parse_schema(&f.schema_text(), &pool).unwrap();
+    let hard_q = ssd::query::parse_query(&f.query_text(), &pool).unwrap();
+    let tiny = Budget::unlimited().with_fuel(2_000);
+    let verdict = sess.satisfiable_budgeted(&hard_q, &hard_s, &tiny).unwrap();
+    assert!(
+        verdict.is_exhausted(),
+        "an exponential search must trip 2k fuel"
+    );
+    assert_eq!(
+        sampler.traces_promoted(),
+        1,
+        "the exhausted request promotes its trace"
+    );
+    assert!(
+        inner.span_count() > 0,
+        "promoted traces reach the inner recorder"
+    );
+    assert!(
+        inner
+            .report()
+            .span(&[ssd::obs::names::span::DISPATCH])
+            .is_some(),
+        "the promoted trace contains the dispatch span"
+    );
+}
+
+/// [`Session::with_telemetry`] is the one-line production wiring: real
+/// traffic shows up in the shared registry without further plumbing.
+#[test]
+fn with_telemetry_wires_session_to_registry() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let sess = Session::with_telemetry(Arc::clone(&registry), 1.0);
+    let (q, s) = workload(70, 6, 1);
+    sess.satisfiable(&q, &s).unwrap();
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter_total(names::counter::VERDICT_SAT)
+            + snap.counter_total(names::counter::VERDICT_UNSAT),
+        1
+    );
+    assert_eq!(
+        snap.histogram(names::span::DISPATCH).map(|h| h.count),
+        Some(1)
+    );
+}

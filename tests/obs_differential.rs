@@ -11,7 +11,7 @@ use ssd::core::Session;
 use ssd::gen::query_gen::{joinfree_query, QueryGenConfig};
 use ssd::gen::schema_gen::{ordered_schema, unordered_schema, SchemaGenConfig};
 use ssd::obs::json::JsonValue;
-use ssd::obs::{names, TraceRecorder};
+use ssd::obs::{names, SamplingRecorder, TraceRecorder};
 use ssd::query::Query;
 use ssd::schema::{Schema, TypeGraph};
 
@@ -146,4 +146,66 @@ fn spans_nest_and_json_round_trips() {
     // The compact greppable form the CI telemetry step relies on.
     assert!(text.contains(r#""name":"dispatch""#));
     assert!(text.contains(r#""name":"ptraces""#));
+
+    // A clean (uncapped) run reports zero drops everywhere.
+    assert_eq!(report.spans_dropped, 0);
+    assert_eq!(
+        parsed.get("spans_dropped").and_then(JsonValue::as_u64),
+        Some(0)
+    );
+    assert!(!report.render_tree().contains("dropped at capacity"));
+}
+
+/// Span loss is loud, never silent: when the recorder hits its span
+/// capacity, the drop count surfaces in the report struct, the rendered
+/// tree, and the JSON export — and the verdicts still match an
+/// unrecorded session.
+#[test]
+fn dropped_spans_are_surfaced_not_silent() {
+    let (q, s) = workload(0);
+    let rec = Arc::new(TraceRecorder::with_span_capacity(1));
+    let sess = Session::with_recorder(rec.clone());
+    let want = Session::new().satisfiable(&q, &s).unwrap();
+    assert_eq!(sess.satisfiable(&q, &s).unwrap(), want);
+
+    assert!(rec.spans_dropped() > 0, "capacity 1 must drop spans");
+    let report = rec.report();
+    assert_eq!(report.spans_dropped, rec.spans_dropped());
+    assert!(
+        report.render_tree().contains("dropped at capacity"),
+        "tree must warn about truncation:\n{}",
+        report.render_tree()
+    );
+    let parsed = JsonValue::parse(&report.to_json_string()).unwrap();
+    assert_eq!(
+        parsed.get("spans_dropped").and_then(JsonValue::as_u64),
+        Some(rec.spans_dropped())
+    );
+}
+
+/// The production sampler is semantically invisible too: a session whose
+/// recorder is a [`SamplingRecorder`] (at any rate) returns bit-identical
+/// verdicts to a plain session on every seed of the corpus.
+#[test]
+fn sampling_changes_no_verdicts() {
+    for &rate in &[0.0, 0.5, 1.0] {
+        for seed in 0..15u64 {
+            let (q, s) = workload(seed);
+            let plain = Session::new();
+            let inner = Arc::new(TraceRecorder::new());
+            let sampled =
+                Session::with_recorder(Arc::new(SamplingRecorder::new(inner.clone(), rate)));
+
+            assert_eq!(
+                sampled.satisfiable(&q, &s).unwrap(),
+                plain.satisfiable(&q, &s).unwrap(),
+                "rate {rate} seed {seed}\nschema:\n{s}\nquery:\n{q}"
+            );
+            assert_eq!(
+                sampled.infer(&q, &s).unwrap(),
+                plain.infer(&q, &s).unwrap(),
+                "rate {rate} seed {seed}"
+            );
+        }
+    }
 }
