@@ -32,14 +32,17 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
+use ssd_base::LabelId;
 use ssd_obs::{names, Recorder};
 
 use crate::shard::{read, write, ShardedMap};
 
+use crate::compiled::{self, CompiledDfa};
 use crate::dfa::{self, Dfa};
 use crate::glushkov;
 use crate::nfa::Nfa;
 use crate::ops;
+use crate::product;
 use crate::syntax::{LabelAtom, Regex};
 
 /// A hash-consed regex: one shared allocation per distinct structure, with
@@ -129,12 +132,18 @@ pub struct CacheStats {
     pub emptiness_table: TableStats,
     /// Inclusion-verdict table traffic.
     pub inclusion_table: TableStats,
+    /// Compiled-table traffic (`Arc<CompiledDfa>` snapshot lookups).
+    pub compiled_table: TableStats,
     /// Distinct hash-consed regexes.
     pub interned: usize,
     /// Memoized Glushkov NFAs.
     pub nfas: usize,
     /// Memoized determinized+minimized DFAs.
     pub dfas: usize,
+    /// Memoized compiled transition tables.
+    pub compiled: usize,
+    /// Estimated resident bytes of the compiled transition tables.
+    pub compiled_bytes: usize,
     /// Memoized emptiness + inclusion verdicts.
     pub verdicts: usize,
     /// Shard-lock acquisitions across all memo tables that found the lock
@@ -164,9 +173,17 @@ pub struct AutomataCache {
     cons: ShardedMap<u64, Vec<Arc<Regex<LabelAtom>>>>,
     nfas: ShardedMap<HcRegex, Arc<Nfa<LabelAtom>>>,
     dfas: ShardedMap<HcRegex, Arc<Dfa<LabelAtom>>>,
+    /// Compiled dense-table snapshots: hot loops clone the `Arc` once per
+    /// call and then step lock-free, never touching a shard lock per edge.
+    compiled: ShardedMap<HcRegex, Arc<CompiledDfa<LabelId>>>,
     empties: ShardedMap<HcRegex, bool>,
     inclusions: ShardedMap<(HcRegex, HcRegex), bool>,
-    tables: [Table; 4],
+    tables: [Table; 5],
+    /// When set, language comparisons run on the interpreted (NFA/DFA)
+    /// engines instead of the compiled kernels. Default off: the compiled
+    /// tier is the production path, the interpreter is retained behind the
+    /// same entry points for differential testing.
+    interpret_only: AtomicBool,
     /// Optional observability sink: when set, every hit/miss also bumps
     /// the matching `ssd_obs::names::counter` and constructions run under
     /// spans. `rec_on` mirrors `rec.is_some()` so the disabled hot path
@@ -184,6 +201,7 @@ enum TableId {
     Dfa = 1,
     Emptiness = 2,
     Inclusion = 3,
+    Compiled = 4,
 }
 
 impl TableId {
@@ -205,6 +223,10 @@ impl TableId {
             TableId::Inclusion => (
                 names::counter::CACHE_INCLUSION_HIT,
                 names::counter::CACHE_INCLUSION_MISS,
+            ),
+            TableId::Compiled => (
+                names::counter::CACHE_COMPILED_HIT,
+                names::counter::CACHE_COMPILED_MISS,
             ),
         }
     }
@@ -262,6 +284,20 @@ impl AutomataCache {
             let (hit_name, miss_name) = table.counter_names();
             rec.add(if hit { hit_name } else { miss_name }, 1);
         }
+    }
+
+    /// Selects the execution engine for language comparisons: `true`
+    /// (the default) routes inclusion/equivalence/intersection through
+    /// the compiled dense-table kernels; `false` retains the interpreted
+    /// NFA/DFA path behind the same entry points, for differential
+    /// testing. Verdicts are identical either way.
+    pub fn set_compiled(&self, on: bool) {
+        self.interpret_only.store(!on, Ordering::Relaxed);
+    }
+
+    /// Whether language comparisons run on the compiled kernels.
+    pub fn compiled_enabled(&self) -> bool {
+        !self.interpret_only.load(Ordering::Relaxed)
     }
 
     /// Hash-conses `re`: structurally equal regexes map to one shared
@@ -336,6 +372,69 @@ impl AutomataCache {
         Ok(self.dfas.insert_if_absent(key, built))
     }
 
+    /// The compiled dense transition table of `re`, built at most once
+    /// (determinize + minimize + compile on the first miss). The returned
+    /// `Arc` is a lock-free snapshot: callers clone it once and step
+    /// through the table without ever touching a shard lock.
+    pub fn compiled(&self, re: &Regex<LabelAtom>) -> Arc<CompiledDfa<LabelId>> {
+        self.compiled_b(re, ssd_base::Budget::unlimited_ref())
+            .expect("unlimited budget never trips")
+    }
+
+    /// [`AutomataCache::compiled`] under a [`ssd_base::Budget`]: a hit is
+    /// free, a miss runs determinization + minimization under the budget
+    /// and then the table build (under a `compiled_build` span). A trip
+    /// caches nothing partial.
+    pub fn compiled_b(
+        &self,
+        re: &Regex<LabelAtom>,
+        budget: &ssd_base::Budget,
+    ) -> ssd_base::BudgetResult<Arc<CompiledDfa<LabelId>>> {
+        let key = self.intern(re);
+        if let Some(c) = self.compiled.get(&key) {
+            self.note(TableId::Compiled, true);
+            return Ok(c);
+        }
+        self.note(TableId::Compiled, false);
+        let dfa = self.dfa_b(re, budget)?;
+        let rec = self.active_recorder();
+        let built = Arc::new(compiled::compile_rec(
+            &dfa,
+            rec.as_deref().unwrap_or(ssd_obs::noop()),
+        ));
+        Ok(self.compiled.insert_if_absent(key, built))
+    }
+
+    /// Whether `lang(left) ∩ lang(right)` is empty, decided under
+    /// `budget`. Not memoized (callers memoize at their own granularity).
+    /// On the compiled engine this is the fused pair-product kernel over
+    /// two dense tables; on the interpreted engine it materializes the
+    /// NFA product and checks reachability — same verdict, measured-order
+    /// slower.
+    pub fn intersection_empty_b(
+        &self,
+        left: &Regex<LabelAtom>,
+        right: &Regex<LabelAtom>,
+        budget: &ssd_base::Budget,
+    ) -> ssd_base::BudgetResult<bool> {
+        let rec = self.active_recorder();
+        let r = rec.as_deref().unwrap_or(ssd_obs::noop());
+        if self.compiled_enabled() {
+            let a = self.compiled_b(left, budget)?;
+            let b = self.compiled_b(right, budget)?;
+            compiled::is_empty_product_compiled_b(&a, &b, r, budget)
+        } else {
+            let p = product::product_b(
+                &self.nfa(left),
+                &self.nfa(right),
+                LabelAtom::meet,
+                r,
+                budget,
+            )?;
+            Ok(ops::is_empty_lang(&p))
+        }
+    }
+
     /// Entries across the artifact and verdict tables (NFAs, DFAs,
     /// emptiness + inclusion verdicts, hash-cons allocations) — the
     /// number the session's `max_automata_entries` cap is checked
@@ -344,8 +443,19 @@ impl AutomataCache {
         self.cons.fold_values(0, |n, bucket| n + bucket.len())
             + self.nfas.len()
             + self.dfas.len()
+            + self.compiled.len()
             + self.empties.len()
             + self.inclusions.len()
+    }
+
+    /// Compiled transition tables currently held.
+    pub fn compiled_entries(&self) -> usize {
+        self.compiled.len()
+    }
+
+    /// Estimated resident bytes of the compiled transition tables.
+    pub fn compiled_bytes(&self) -> usize {
+        self.compiled.fold_values(0, |n, c| n + c.size_bytes())
     }
 
     /// Per-shard entry counts summed across the artifact and verdict
@@ -355,6 +465,7 @@ impl AutomataCache {
         let tables = [
             self.nfas.len_by_shard(),
             self.dfas.len_by_shard(),
+            self.compiled.len_by_shard(),
             self.empties.len_by_shard(),
             self.inclusions.len_by_shard(),
         ];
@@ -373,6 +484,7 @@ impl AutomataCache {
             .fold_values(0u64, |n, bucket| n + bucket.len() as u64)
             + self.nfas.clear()
             + self.dfas.clear()
+            + self.compiled.clear()
             + self.empties.clear()
             + self.inclusions.clear();
         self.cons.clear();
@@ -411,7 +523,11 @@ impl AutomataCache {
             return v;
         }
         self.note(TableId::Inclusion, false);
-        let v = dfa::included(&self.nfa(left), &self.nfa(right));
+        let v = if self.compiled_enabled() {
+            compiled::included_compiled(&self.compiled(left), &self.compiled(right))
+        } else {
+            dfa::included(&self.nfa(left), &self.nfa(right))
+        };
         self.inclusions.insert_if_absent(key, v)
     }
 
@@ -426,7 +542,14 @@ impl AutomataCache {
         let dfa_table = self.tables[TableId::Dfa as usize].snapshot();
         let emptiness_table = self.tables[TableId::Emptiness as usize].snapshot();
         let inclusion_table = self.tables[TableId::Inclusion as usize].snapshot();
-        let tables = [nfa_table, dfa_table, emptiness_table, inclusion_table];
+        let compiled_table = self.tables[TableId::Compiled as usize].snapshot();
+        let tables = [
+            nfa_table,
+            dfa_table,
+            emptiness_table,
+            inclusion_table,
+            compiled_table,
+        ];
         CacheStats {
             hits: tables.iter().map(|t| t.hits).sum(),
             misses: tables.iter().map(|t| t.misses).sum(),
@@ -434,13 +557,17 @@ impl AutomataCache {
             dfa_table,
             emptiness_table,
             inclusion_table,
+            compiled_table,
             interned: self.cons.fold_values(0, |n, bucket| n + bucket.len()),
             nfas: self.nfas.len(),
             dfas: self.dfas.len(),
+            compiled: self.compiled.len(),
+            compiled_bytes: self.compiled_bytes(),
             verdicts: self.empties.len() + self.inclusions.len(),
             contended: self.cons.contended()
                 + self.nfas.contended()
                 + self.dfas.contended()
+                + self.compiled.contended()
                 + self.empties.contended()
                 + self.inclusions.contended(),
             evicted: self.evicted.load(Ordering::Relaxed),
@@ -627,6 +754,42 @@ mod tests {
         // Nothing partial was cached; an unlimited retry succeeds.
         let dfa = cache.dfa(&re);
         assert!(dfa.num_states() > 0);
+    }
+
+    #[test]
+    fn compiled_table_memoizes_and_counts_bytes() {
+        let cache = AutomataCache::new();
+        assert!(cache.compiled_enabled(), "compiled is the default engine");
+        let first = cache.compiled(&sample());
+        let second = cache.compiled(&sample());
+        assert!(Arc::ptr_eq(&first, &second));
+        let s = cache.stats();
+        assert_eq!(s.compiled_table, TableStats { hits: 1, misses: 1 });
+        assert_eq!(s.compiled, 1);
+        assert!(s.compiled_bytes > 0);
+        assert_eq!(cache.compiled_entries(), 1);
+        // The compiled table participates in epoch flushes.
+        cache.flush();
+        assert_eq!(cache.compiled_entries(), 0);
+    }
+
+    #[test]
+    fn both_engines_agree_on_inclusion_and_intersection() {
+        let star = Regex::star(l(0));
+        let plus = Regex::plus(l(0));
+        let anyp = Regex::star(Regex::atom(LabelAtom::Any));
+        for on in [true, false] {
+            let cache = AutomataCache::new();
+            cache.set_compiled(on);
+            assert_eq!(cache.compiled_enabled(), on);
+            assert!(cache.included(&plus, &star));
+            assert!(!cache.included(&star, &plus));
+            assert!(cache.included(&plus, &anyp));
+            assert!(cache.equivalent(&star, &Regex::star(Regex::plus(l(0)))));
+            let b = ssd_base::Budget::unlimited();
+            assert!(!cache.intersection_empty_b(&star, &anyp, &b).unwrap());
+            assert!(cache.intersection_empty_b(&l(0), &l(1), &b).unwrap());
+        }
     }
 
     #[test]

@@ -24,6 +24,15 @@ pub trait ClassAtom: Atom {
     /// Whether this atom matches every symbol of `class` (equivalently, any
     /// symbol, since classes refine atom boundaries).
     fn matches_class(&self, class: &Self) -> bool;
+
+    /// Whether this class representative is the residual "any other
+    /// symbol" class of a partition (at most one per partition, and
+    /// always last when present). The default says no residual class
+    /// exists, which is right for finite concrete alphabets such as
+    /// schema atoms.
+    fn is_wildcard_class(&self) -> bool {
+        false
+    }
 }
 
 impl ClassAtom for LabelAtom {
@@ -47,6 +56,10 @@ impl ClassAtom for LabelAtom {
             // A concrete label never matches the "other labels" class.
             (LabelAtom::Label(_), LabelAtom::Any) => false,
         }
+    }
+
+    fn is_wildcard_class(&self) -> bool {
+        matches!(self, LabelAtom::Any)
     }
 }
 
@@ -116,9 +129,13 @@ impl<A: ClassAtom> Dfa<A> {
     /// Checks structural invariants: the start state is in range, every
     /// state has exactly one transition row with one slot per alphabet
     /// class (the determinism invariant, given that classes partition the
-    /// alphabet), every present target is in range, and the accepting
-    /// table covers every state. Panics on violation in debug builds;
-    /// compiles to a no-op in release.
+    /// alphabet), every present target is in range, the accepting
+    /// table covers every state, the class list is duplicate-free, and at
+    /// most one wildcard ("any other symbol") class is present — as the
+    /// last class if so. Duplicate or misplaced classes would make the
+    /// compiled label→class index (`crate::compiled`) silently misroute
+    /// symbols, so they are hard errors here. Panics on violation in debug
+    /// builds; compiles to a no-op in release.
     pub fn debug_validate(&self) {
         #[cfg(debug_assertions)]
         {
@@ -128,6 +145,29 @@ impl<A: ClassAtom> Dfa<A> {
                 "DFA start state {} out of range (num_states = {n})",
                 self.start
             );
+            for (i, a) in self.classes.iter().enumerate() {
+                for (j, b) in self.classes.iter().enumerate().skip(i + 1) {
+                    assert!(
+                        a != b,
+                        "DFA class list has duplicate classes at indexes {i} and {j}"
+                    );
+                }
+            }
+            let wildcards = self
+                .classes
+                .iter()
+                .filter(|c| c.is_wildcard_class())
+                .count();
+            assert!(
+                wildcards <= 1,
+                "DFA class list has {wildcards} wildcard classes (at most one allowed)"
+            );
+            if wildcards == 1 {
+                assert!(
+                    self.classes.last().is_some_and(|c| c.is_wildcard_class()),
+                    "DFA wildcard class must be the last class (specific-first matching)"
+                );
+            }
             assert_eq!(
                 self.accepting.len(),
                 n,

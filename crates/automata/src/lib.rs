@@ -24,6 +24,7 @@
 
 pub mod bag;
 pub mod cache;
+pub mod compiled;
 pub mod dfa;
 pub mod display;
 pub mod glushkov;
@@ -36,6 +37,7 @@ pub mod shard;
 pub mod syntax;
 
 pub use cache::{AutomataCache, CacheStats, HcRegex, TableStats};
+pub use compiled::{CompileAtom, CompiledDfa, DEAD};
 pub use dfa::Dfa;
 pub use nfa::{Nfa, StateId};
 pub use shard::{ShardedMap, SHARDS};

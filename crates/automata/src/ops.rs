@@ -115,12 +115,9 @@ where
 {
     let _span = ssd_obs::span(rec, names::span::PRODUCT_BFS);
     let mut meter = budget.meter("product_bfs");
-    // Rough bytes per remembered product state: the state itself in the
-    // seen-set plus (transiently) the queue, with hash-table overhead.
-    let state_bytes = 2 * std::mem::size_of::<S>() + 48;
     let mut explored: u64 = 0;
     let result = (|| {
-        let mut seen: HashSet<S> = HashSet::new();
+        let mut seen: OpenSet<S> = OpenSet::new();
         let mut queue: VecDeque<S> = VecDeque::new();
         for s in starts {
             explored += 1;
@@ -135,7 +132,7 @@ where
         let mut buf: Vec<S> = Vec::new();
         while let Some(s) = queue.pop_front() {
             meter.set_frontier(queue.len());
-            meter.set_retained(seen.len() * state_bytes);
+            meter.set_retained(seen.retained_bytes() + queue.capacity() * std::mem::size_of::<S>());
             buf.clear();
             successors(&s, &mut buf);
             for n in buf.drain(..) {
@@ -156,6 +153,78 @@ where
         rec.observe(names::counter::PRODUCT_STATES_EXPLORED, explored);
     }
     result
+}
+
+/// An open-addressed seen-set for the product BFS: linear probing over a
+/// power-of-two slot array storing `(hash, state)`, grown at 7/8 load.
+///
+/// Product states are small `Copy`-ish values (packed pairs, tiny enums),
+/// so one flat allocation with the hash stored inline beats `HashSet`'s
+/// per-entry overhead in the hot loop — and, unlike the old
+/// `2 * size_of::<S>() + 48` guess, [`OpenSet::retained_bytes`] reports
+/// the *actual* table capacity (load-factor aware), so `Budget`
+/// retained-byte trips fire at honest thresholds.
+struct OpenSet<S> {
+    /// `(stored hash, state)` per occupied slot; capacity is a power of
+    /// two so probing can mask instead of mod.
+    slots: Vec<Option<(u64, S)>>,
+    len: usize,
+}
+
+impl<S: Eq + std::hash::Hash> OpenSet<S> {
+    fn new() -> OpenSet<S> {
+        OpenSet {
+            slots: (0..16).map(|_| None).collect(),
+            len: 0,
+        }
+    }
+
+    fn hash_of(state: &S) -> u64 {
+        use std::hash::Hasher;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        state.hash(&mut h);
+        h.finish()
+    }
+
+    /// Inserts `state`; returns `true` if it was not already present.
+    fn insert(&mut self, state: S) -> bool {
+        if (self.len + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let h = Self::hash_of(&state);
+        let mask = self.slots.len() - 1;
+        let mut i = (h as usize) & mask;
+        loop {
+            match &self.slots[i] {
+                None => {
+                    self.slots[i] = Some((h, state));
+                    self.len += 1;
+                    return true;
+                }
+                Some((sh, s)) if *sh == h && *s == state => return false,
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let doubled = (0..self.slots.len() * 2).map(|_| None).collect();
+        let old = std::mem::replace(&mut self.slots, doubled);
+        let mask = self.slots.len() - 1;
+        for slot in old.into_iter().flatten() {
+            let mut i = (slot.0 as usize) & mask;
+            while self.slots[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = Some(slot);
+        }
+    }
+
+    /// Actual resident bytes: the full slot array (occupied or not) plus
+    /// the struct header.
+    fn retained_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<Option<(u64, S)>>() + std::mem::size_of::<Self>()
+    }
 }
 
 /// Removes states that are not both reachable and co-reachable, renumbering

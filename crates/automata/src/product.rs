@@ -133,11 +133,7 @@ mod tests {
 
     /// Symbolic intersection for LabelAtom.
     fn meet(a: &LabelAtom, b: &LabelAtom) -> Option<LabelAtom> {
-        match (a, b) {
-            (LabelAtom::Any, x) | (x, LabelAtom::Any) => Some(*x),
-            (LabelAtom::Label(x), LabelAtom::Label(y)) if x == y => Some(*a),
-            _ => None,
-        }
+        LabelAtom::meet(a, b)
     }
 
     #[test]

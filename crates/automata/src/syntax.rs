@@ -45,6 +45,21 @@ impl Atom for LabelAtom {
     }
 }
 
+impl LabelAtom {
+    /// Symbolic intersection of two atoms: the atom matching exactly the
+    /// labels both match, or `None` when the atoms are disjoint. This is
+    /// the meet function the product construction needs for label
+    /// alphabets (`_ ∧ x = x`, `a ∧ a = a`, `a ∧ b = ∅`).
+    #[inline]
+    pub fn meet(a: &LabelAtom, b: &LabelAtom) -> Option<LabelAtom> {
+        match (a, b) {
+            (LabelAtom::Any, x) | (x, LabelAtom::Any) => Some(*x),
+            (LabelAtom::Label(x), LabelAtom::Label(y)) if x == y => Some(*a),
+            _ => None,
+        }
+    }
+}
+
 /// A regular expression over atoms of type `A`.
 ///
 /// `Empty` (the empty *language*) is distinguished from `Epsilon` (the empty

@@ -1,0 +1,256 @@
+//! Experiment COMPILED.r1: dense-table execution vs the interpreter.
+//!
+//! Three claims are measured, each asserted for verdict identity before
+//! any timing:
+//!
+//! * **product emptiness** — the fused pair-product kernel
+//!   ([`compiled::is_empty_product_compiled`]) against the interpreted
+//!   engine it replaced as the cache default: materialize the NFA
+//!   product with [`product::intersect`] and run reachability
+//!   ([`ops::is_empty_lang`]). Median speedup is published as
+//!   `compiled_product_speedup` (target ≥5×);
+//! * **membership simulation** — table-walking a word batch through
+//!   [`CompiledDfa::accepts`] against the NFA subset simulation the
+//!   interpreted conformance path uses. Published as
+//!   `compiled_conformance_speedup` (target ≥3×);
+//! * **end-to-end conformance** — `conforms` (compiled fast path) vs
+//!   `conforms_interpreted` on the paper's bibliography corpus, cold
+//!   tables included; recorded for context, not gated.
+//!
+//! Workload regexes come from the shared `regexgen_prop` generator at
+//! fixed seeds, filtered to pairs whose product is big enough to time.
+
+use ssd_automata::compiled::{self, compile, CompiledDfa};
+use ssd_automata::dfa::{determinize, minimize};
+use ssd_automata::{glushkov, ops, product, LabelAtom, Nfa, Regex};
+use ssd_base::rng::{Rng, StdRng};
+use ssd_base::{LabelId, SharedInterner};
+use ssd_bench::harness::{BenchmarkId, Criterion};
+use ssd_bench::summary::set_metric;
+use ssd_bench::{criterion_group, criterion_main};
+use ssd_gen::corpora::{bibliography, PAPER_SCHEMA};
+use ssd_model::parse_data_graph;
+use ssd_schema::{conforms, conforms_interpreted, parse_schema};
+
+fn quick() -> bool {
+    std::env::var_os("SSD_BENCH_QUICK").is_some()
+}
+
+/// The shared random-regex shape (4 labels + wildcard, bounded depth).
+fn random_regex(rng: &mut StdRng, depth: usize) -> Regex<LabelAtom> {
+    let leaf = depth == 0 || rng.gen_bool(0.3);
+    if leaf {
+        return match rng.gen_range(0..6u32) {
+            0 => Regex::Epsilon,
+            1 => Regex::atom(LabelAtom::Any),
+            n => Regex::atom(LabelAtom::Label(LabelId(n - 2))),
+        };
+    }
+    match rng.gen_range(0..5u32) {
+        0 => {
+            let n = rng.gen_range(2..=3usize);
+            Regex::concat((0..n).map(|_| random_regex(rng, depth - 1)).collect())
+        }
+        1 => {
+            let n = rng.gen_range(2..=3usize);
+            Regex::alt((0..n).map(|_| random_regex(rng, depth - 1)).collect())
+        }
+        2 => Regex::star(random_regex(rng, depth - 1)),
+        3 => Regex::plus(random_regex(rng, depth - 1)),
+        _ => Regex::opt(random_regex(rng, depth - 1)),
+    }
+}
+
+struct Pair {
+    n1: Nfa<LabelAtom>,
+    n2: Nfa<LabelAtom>,
+    c1: CompiledDfa<LabelId>,
+    c2: CompiledDfa<LabelId>,
+}
+
+/// Deterministic regex pairs whose compiled product has at least
+/// `min_product` states, so a timed iteration does real BFS work.
+fn product_pairs(count: usize, min_product: u32) -> Vec<Pair> {
+    let mut out = Vec::new();
+    let mut seed = 0u64;
+    while out.len() < count {
+        seed += 1;
+        assert!(seed < 10_000, "regex generator stopped producing big pairs");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r1 = random_regex(&mut rng, 5);
+        let r2 = random_regex(&mut rng, 5);
+        let (n1, n2) = (glushkov::build(&r1), glushkov::build(&r2));
+        let c1 = compile(&minimize(&determinize(&n1)));
+        let c2 = compile(&minimize(&determinize(&n2)));
+        if c1.num_states() * c2.num_states() < min_product {
+            continue;
+        }
+        out.push(Pair { n1, n2, c1, c2 });
+    }
+    out
+}
+
+/// The interpreted product-emptiness engine the compiled kernel replaced:
+/// materialize the NFA intersection, then decide reachability.
+fn interpreted_product_empty(n1: &Nfa<LabelAtom>, n2: &Nfa<LabelAtom>) -> bool {
+    ops::is_empty_lang(&product::intersect(n1, n2, LabelAtom::meet))
+}
+
+fn product_emptiness(c: &mut Criterion) {
+    let pairs = product_pairs(if quick() { 4 } else { 12 }, 60);
+    for p in &pairs {
+        assert_eq!(
+            compiled::is_empty_product_compiled(&p.c1, &p.c2),
+            interpreted_product_empty(&p.n1, &p.n2),
+            "engines disagree before timing"
+        );
+    }
+    let mut g = c.benchmark_group("compiled/product_emptiness");
+    g.sample_size(if quick() { 10 } else { 20 });
+    g.bench_with_input(
+        BenchmarkId::from_parameter("interpreted"),
+        &pairs,
+        |b, ps| {
+            b.iter(|| {
+                ps.iter()
+                    .filter(|p| interpreted_product_empty(&p.n1, &p.n2))
+                    .count()
+            })
+        },
+    );
+    g.bench_with_input(BenchmarkId::from_parameter("compiled"), &pairs, |b, ps| {
+        b.iter(|| {
+            ps.iter()
+                .filter(|p| compiled::is_empty_product_compiled(&p.c1, &p.c2))
+                .count()
+        })
+    });
+    g.finish();
+    publish_speedup(
+        "compiled/product_emptiness",
+        "compiled_product_speedup",
+        "product emptiness",
+    );
+}
+
+/// Random words over the generator alphabet, biased long enough that the
+/// per-word cost is the simulation loop, not call overhead.
+fn word_batch(rng: &mut StdRng, count: usize) -> Vec<Vec<LabelId>> {
+    (0..count)
+        .map(|_| {
+            let len = rng.gen_range(4..24usize);
+            (0..len).map(|_| LabelId(rng.gen_range(0..6u32))).collect()
+        })
+        .collect()
+}
+
+fn membership_simulation(c: &mut Criterion) {
+    let pairs = product_pairs(if quick() { 2 } else { 6 }, 60);
+    let mut rng = StdRng::seed_from_u64(42);
+    let words = word_batch(&mut rng, if quick() { 64 } else { 256 });
+    let automata: Vec<&Pair> = pairs.iter().collect();
+    for p in &automata {
+        for w in &words {
+            let syms: Vec<LabelId> = w.clone();
+            assert_eq!(
+                p.c1.accepts(syms.iter().copied()),
+                p.n1.accepts(w),
+                "membership engines disagree before timing"
+            );
+        }
+    }
+    let mut g = c.benchmark_group("compiled/membership");
+    g.sample_size(if quick() { 10 } else { 20 });
+    g.bench_with_input(
+        BenchmarkId::from_parameter("nfa_subset"),
+        &words,
+        |b, ws| {
+            b.iter(|| {
+                automata
+                    .iter()
+                    .map(|p| ws.iter().filter(|w| p.n1.accepts(w)).count())
+                    .sum::<usize>()
+            })
+        },
+    );
+    g.bench_with_input(BenchmarkId::from_parameter("compiled"), &words, |b, ws| {
+        b.iter(|| {
+            automata
+                .iter()
+                .map(|p| {
+                    ws.iter()
+                        .filter(|w| p.c1.accepts(w.iter().copied()))
+                        .count()
+                })
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+    publish_speedup(
+        "compiled/membership",
+        "compiled_conformance_speedup",
+        "membership simulation",
+    );
+}
+
+fn end_to_end_conformance(c: &mut Criterion) {
+    let pool = SharedInterner::new();
+    let s = parse_schema(PAPER_SCHEMA, &pool).unwrap();
+    let papers = if quick() { 40 } else { 160 };
+    let data = parse_data_graph(&bibliography(papers, 2), &pool).unwrap();
+    assert_eq!(
+        conforms(&data, &s).is_some(),
+        conforms_interpreted(&data, &s).is_some(),
+        "conformance engines disagree before timing"
+    );
+    let mut g = c.benchmark_group("compiled/conformance_e2e");
+    g.sample_size(if quick() { 10 } else { 20 });
+    g.bench_with_input(
+        BenchmarkId::from_parameter("interpreted"),
+        &papers,
+        |b, _| b.iter(|| conforms_interpreted(&data, &s).is_some()),
+    );
+    g.bench_with_input(BenchmarkId::from_parameter("compiled"), &papers, |b, _| {
+        b.iter(|| conforms(&data, &s).is_some())
+    });
+    g.finish();
+    let recs = ssd_bench::harness::records();
+    let median = |name: &str| {
+        recs.iter()
+            .find(|r| r.label == format!("compiled/conformance_e2e/{name}"))
+            .map(|r| r.median_ns)
+    };
+    if let (Some(interp), Some(comp)) = (median("interpreted"), median("compiled")) {
+        let ratio = interp / comp;
+        set_metric("compiled_conformance_e2e_speedup", ratio);
+        println!(
+            "compiled conformance e2e: {comp:.0} ns vs {interp:.0} ns interpreted ({ratio:.2}x)"
+        );
+    }
+}
+
+/// Reads back the group's `interpreted`-vs-`compiled` medians (the
+/// membership group labels its baseline `nfa_subset`) and publishes the
+/// speedup ratio into the bench summary.
+fn publish_speedup(group: &str, metric: &str, what: &str) {
+    let recs = ssd_bench::harness::records();
+    let median = |name: &str| {
+        recs.iter()
+            .find(|r| r.label == format!("{group}/{name}"))
+            .map(|r| r.median_ns)
+    };
+    let base = median("interpreted").or_else(|| median("nfa_subset"));
+    if let (Some(interp), Some(comp)) = (base, median("compiled")) {
+        let ratio = interp / comp;
+        set_metric(metric, ratio);
+        println!("compiled {what}: {comp:.0} ns vs {interp:.0} ns interpreted ({ratio:.2}x)");
+    }
+}
+
+criterion_group!(
+    benches,
+    product_emptiness,
+    membership_simulation,
+    end_to_end_conformance
+);
+criterion_main!(benches);

@@ -248,6 +248,12 @@ fn render(snap: &MetricsSnapshot, errs: u64) -> String {
     );
     let _ = writeln!(
         out,
+        "compiled  {} tables | {} bytes",
+        snap.gauge(names::gauge::COMPILED_ENTRIES).unwrap_or(0.0),
+        snap.gauge(names::gauge::COMPILED_BYTES).unwrap_or(0.0),
+    );
+    let _ = writeln!(
+        out,
         "memory    {} type-graph bytes | {} evicted | {} blocked lock acquisitions",
         snap.gauge(names::gauge::SESSION_CACHE_BYTES).unwrap_or(0.0),
         snap.gauge(names::gauge::EVICTED_SESSION).unwrap_or(0.0),

@@ -9,6 +9,12 @@
 //! | bounded joins, ordered (+homog.) schema | join enumeration over the trace product | `O(|S|^B)` · PTIME |
 //! | constant-suffix query, tagged ordered schema | forced assignment ([`crate::tagged`]) | PTIME |
 //! | otherwise | complete search ([`crate::solver`]) | exponential (NP-complete problem) |
+//!
+//! All routes bottom out in automata walks; language comparisons issued
+//! through the session's [`ssd_automata::AutomataCache`] run on the
+//! compiled dense-table kernels ([`ssd_automata::compiled`]) by default,
+//! with the interpreted path selectable per session
+//! ([`crate::Session::set_compiled_engine`]) for differential testing.
 
 use ssd_base::budget::{Budget, BudgetResult, Meter, Verdict};
 use ssd_base::VarId;

@@ -12,6 +12,15 @@
 //!   the schema, so: satisfiability ⇔ non-emptiness, type inference ⇔
 //!   marker projection, and feedback queries ⇔ per-segment label
 //!   projection (Proposition 4.1, implemented in `ssd-feedback`).
+//!
+//! The lazy emptiness check deliberately steps [`Stepper`] over the entry
+//! *NFAs* rather than compiled tables: entry regexes are adversarial
+//! (fuzzed, user-supplied) and determinizing them can blow up, and the
+//! materialized and lazy paths must share one-step semantics verbatim.
+//! Its speed instead comes from the BFS driver itself —
+//! [`is_empty_product_b`]'s seen-set is an open-addressed table over the
+//! small `Copy` product states, with honest (capacity-aware) retained-byte
+//! metering.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 

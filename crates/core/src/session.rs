@@ -251,8 +251,10 @@ impl Session {
         registry.set_gauge(gauge::SESSION_CACHE_BYTES, stats.type_graph_bytes as f64);
         registry.set_gauge(
             gauge::AUTOMATA_ENTRIES,
-            (a.nfas + a.dfas + a.verdicts + a.interned) as f64,
+            (a.nfas + a.dfas + a.compiled + a.verdicts + a.interned) as f64,
         );
+        registry.set_gauge(gauge::COMPILED_ENTRIES, a.compiled as f64);
+        registry.set_gauge(gauge::COMPILED_BYTES, a.compiled_bytes as f64);
         registry.set_gauge(
             gauge::HIT_RATIO_FEAS_MEMO,
             stats.feas_memo_table.hit_ratio(),
@@ -289,6 +291,20 @@ impl Session {
     /// The shared automata cache.
     pub fn automata(&self) -> &AutomataCache {
         &self.automata
+    }
+
+    /// Selects the automata execution engine for this session's language
+    /// comparisons: `true` (the default) uses the compiled dense-table
+    /// kernels, `false` pins the interpreted NFA/DFA path behind the same
+    /// entry points. Verdicts are identical either way — the interpreter
+    /// is retained for differential testing.
+    pub fn set_compiled_engine(&self, on: bool) {
+        self.automata.set_compiled(on);
+    }
+
+    /// Whether language comparisons run on the compiled kernels.
+    pub fn compiled_engine(&self) -> bool {
+        self.automata.compiled_enabled()
     }
 
     /// The `TypeGraph` of `s`, computed once per schema per session (and
@@ -603,6 +619,7 @@ impl std::fmt::Display for SessionStats {
         for (name, t) in [
             ("regex->nfa", a.nfa_table),
             ("nfa->dfa", a.dfa_table),
+            ("compiled", a.compiled_table),
             ("emptiness", a.emptiness_table),
             ("inclusion", a.inclusion_table),
             ("type-graph", self.type_graph_table),
@@ -618,8 +635,14 @@ impl std::fmt::Display for SessionStats {
         }
         writeln!(
             f,
-            "  entries: {} nfas, {} dfas, {} verdicts, {} interned regexes",
-            a.nfas, a.dfas, a.verdicts, a.interned
+            "  entries: {} nfas, {} dfas, {} compiled ({} KiB), {} verdicts, \
+             {} interned regexes",
+            a.nfas,
+            a.dfas,
+            a.compiled,
+            a.compiled_bytes / 1024,
+            a.verdicts,
+            a.interned
         )?;
         writeln!(
             f,

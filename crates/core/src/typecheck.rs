@@ -12,6 +12,12 @@
 //! *Partial* type checking — types only for the SELECT variables — is
 //! exactly satisfiability under pins, and is dispatched like
 //! satisfiability (it is NP-complete in general).
+//!
+//! Word-membership checks done while verifying assignments (content-model
+//! conformance, `ssd_schema::conform`) run on the schema's lazily compiled
+//! dense transition tables (`ssd_schema::Schema::compiled`) when the
+//! content model determinizes within budget, falling back to the Glushkov
+//! NFA otherwise — identical verdicts, one table load per edge.
 
 use std::collections::HashMap;
 

@@ -48,6 +48,9 @@ pub mod span {
     /// Budget-governed dispatch wrapper: covers the budgeted engine run
     /// plus the meter flushes inside it (`ssd_core::dispatch`).
     pub const BUDGET_CHECK: &str = "budget_check";
+    /// Building a dense compiled transition table from a minimized DFA
+    /// (`ssd_automata::compiled::compile_rec`).
+    pub const COMPILED_BUILD: &str = "compiled_build";
     /// The whole static-analysis pass (`ssd_lint::lint_with`).
     pub const LINT: &str = "lint";
     /// Lint phase: whole-query satisfiability (unsat-query detection).
@@ -88,6 +91,13 @@ pub mod counter {
     pub const CACHE_INCLUSION_HIT: &str = "cache_inclusion_hit";
     /// Inclusion-verdict memo table miss.
     pub const CACHE_INCLUSION_MISS: &str = "cache_inclusion_miss";
+    /// Compiled-DFA memo table hit (`Arc` clone, lock-free stepping).
+    pub const CACHE_COMPILED_HIT: &str = "cache_compiled_hit";
+    /// Compiled-DFA memo table miss (table build ran).
+    pub const CACHE_COMPILED_MISS: &str = "cache_compiled_miss";
+    /// Transition-table loads performed by the compiled kernels (product
+    /// emptiness, inclusion, membership simulation).
+    pub const COMPILED_STEPS: &str = "compiled_steps";
     /// Per-schema type-graph cache hit.
     pub const CACHE_TYPE_GRAPH_HIT: &str = "cache_type_graph_hit";
     /// Per-schema type-graph cache miss.
@@ -140,6 +150,10 @@ pub mod gauge {
     pub const SESSION_CACHE_BYTES: &str = "session_cache_bytes";
     /// Total entries across the automata cache's memo tables.
     pub const AUTOMATA_ENTRIES: &str = "automata_entries";
+    /// Compiled transition tables held by the automata cache.
+    pub const COMPILED_ENTRIES: &str = "compiled_entries";
+    /// Estimated resident bytes of the compiled transition tables.
+    pub const COMPILED_BYTES: &str = "compiled_bytes";
     /// Lifetime hit ratio of the feas-analysis memo (0..=1).
     pub const HIT_RATIO_FEAS_MEMO: &str = "hit_ratio_feas_memo";
     /// Lifetime hit ratio of the type-graph cache (0..=1).

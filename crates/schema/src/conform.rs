@@ -21,7 +21,25 @@ use ssd_model::{DataGraph, Node};
 
 /// Checks whether `assignment` (a type per node, indexed by oid) is a valid
 /// type assignment of `g` w.r.t. `s` (all four conditions of Def. 2.1).
+/// Ordered-type word checks run on the schema's compiled dense tables
+/// ([`Schema::compiled`]) when available.
 pub fn check_assignment(g: &DataGraph, s: &Schema, assignment: &[TypeIdx]) -> bool {
+    check_assignment_with(g, s, assignment, true)
+}
+
+/// [`check_assignment`] forced onto the interpreted NFA membership path —
+/// same verdicts, kept as a public entry point for differential testing
+/// of the compiled kernels.
+pub fn check_assignment_interpreted(g: &DataGraph, s: &Schema, assignment: &[TypeIdx]) -> bool {
+    check_assignment_with(g, s, assignment, false)
+}
+
+fn check_assignment_with(
+    g: &DataGraph,
+    s: &Schema,
+    assignment: &[TypeIdx],
+    compiled: bool,
+) -> bool {
     if assignment.len() != g.len() {
         return false;
     }
@@ -29,22 +47,36 @@ pub fn check_assignment(g: &DataGraph, s: &Schema, assignment: &[TypeIdx]) -> bo
         return false;
     }
     g.oids()
-        .all(|o| node_ok(g, s, o, assignment[o.index()], assignment))
+        .all(|o| node_ok(g, s, o, assignment[o.index()], assignment, compiled))
 }
 
 /// Local check for one node, given a full assignment of its successors.
-fn node_ok(g: &DataGraph, s: &Schema, o: OidId, t: TypeIdx, assignment: &[TypeIdx]) -> bool {
+fn node_ok(
+    g: &DataGraph,
+    s: &Schema,
+    o: OidId,
+    t: TypeIdx,
+    assignment: &[TypeIdx],
+    compiled: bool,
+) -> bool {
     if g.is_referenceable(o) && !s.is_referenceable(t) {
         return false;
     }
     match (g.node(o), s.def(t)) {
         (Node::Atomic(v), TypeDef::Atomic(a)) => a.admits(v),
         (Node::Ordered(edges), TypeDef::Ordered(_)) => {
-            let nfa = s.nfa(t).expect("collection type has nfa");
-            let word: Vec<SchemaAtom> = edges
+            let syms = edges
                 .iter()
-                .map(|e| SchemaAtom::new(e.label, assignment[e.target.index()]))
-                .collect();
+                .map(|e| SchemaAtom::new(e.label, assignment[e.target.index()]));
+            if compiled {
+                // One binary search + one table load per edge, and no
+                // word materialization at all.
+                if let Some(c) = s.compiled(t) {
+                    return c.accepts(syms);
+                }
+            }
+            let nfa = s.nfa(t).expect("collection type has nfa");
+            let word: Vec<SchemaAtom> = syms.collect();
             nfa.accepts(&word)
         }
         (Node::Unordered(edges), TypeDef::Unordered(r)) => {
@@ -64,7 +96,18 @@ fn node_ok(g: &DataGraph, s: &Schema, o: OidId, t: TypeIdx, assignment: &[TypeId
 }
 
 /// Decides conformance; returns a valid type assignment if one exists.
+/// Ordered word checks run on the compiled dense tables when available.
 pub fn conforms(g: &DataGraph, s: &Schema) -> Option<Vec<TypeIdx>> {
+    conforms_with(g, s, true)
+}
+
+/// [`conforms`] forced onto the interpreted NFA membership path — same
+/// verdicts and assignments, kept for differential testing.
+pub fn conforms_interpreted(g: &DataGraph, s: &Schema) -> Option<Vec<TypeIdx>> {
+    conforms_with(g, s, false)
+}
+
+fn conforms_with(g: &DataGraph, s: &Schema, compiled: bool) -> Option<Vec<TypeIdx>> {
     // Fast path: tagged schemas force the assignment.
     if let Some(tags) = tag_map(s) {
         let mut assignment = vec![None; g.len()];
@@ -86,7 +129,7 @@ pub fn conforms(g: &DataGraph, s: &Schema) -> Option<Vec<TypeIdx>> {
             }
         }
         let full: Vec<TypeIdx> = assignment.into_iter().collect::<Option<_>>()?;
-        return check_assignment(g, s, &full).then_some(full);
+        return check_assignment_with(g, s, &full, compiled).then_some(full);
     }
 
     // General path: candidate sets, pruning, then backtracking.
@@ -118,6 +161,7 @@ pub fn conforms(g: &DataGraph, s: &Schema) -> Option<Vec<TypeIdx>> {
     }
     let mut assignment = vec![TypeIdx(0); n];
 
+    #[allow(clippy::too_many_arguments)]
     fn backtrack(
         g: &DataGraph,
         s: &Schema,
@@ -125,6 +169,7 @@ pub fn conforms(g: &DataGraph, s: &Schema) -> Option<Vec<TypeIdx>> {
         ready_at: &[usize],
         assignment: &mut Vec<TypeIdx>,
         i: usize,
+        compiled: bool,
     ) -> bool {
         if i == g.len() {
             return true;
@@ -134,20 +179,27 @@ pub fn conforms(g: &DataGraph, s: &Schema) -> Option<Vec<TypeIdx>> {
             assignment[i] = t;
             for j in 0..=i {
                 if ready_at[j] == i
-                    && !node_ok(g, s, OidId::from_usize(j), assignment[j], assignment)
+                    && !node_ok(
+                        g,
+                        s,
+                        OidId::from_usize(j),
+                        assignment[j],
+                        assignment,
+                        compiled,
+                    )
                 {
                     continue 'cands;
                 }
             }
             let _ = o;
-            if backtrack(g, s, cand, ready_at, assignment, i + 1) {
+            if backtrack(g, s, cand, ready_at, assignment, i + 1, compiled) {
                 return true;
             }
         }
         false
     }
 
-    backtrack(g, s, &cand, &ready_at, &mut assignment, 0).then_some(assignment)
+    backtrack(g, s, &cand, &ready_at, &mut assignment, 0, compiled).then_some(assignment)
 }
 
 /// Kind, referenceability, and atomic-value compatibility.
@@ -368,6 +420,49 @@ mod tests {
         bad[g.root().index()] = s.by_name("U").unwrap();
         assert!(!check_assignment(&g, &s, &bad));
         assert!(!check_assignment(&g, &s, &good[..1]));
+    }
+
+    #[test]
+    fn compiled_and_interpreted_conformance_agree() {
+        let cases = [
+            (PAPER_SCHEMA, PAPER_DOC),
+            (
+                "T = [a->U.b->V]; U = int; V = string",
+                r#"o1 = [a->o2, b->o3]; o2 = 1; o3 = "x""#,
+            ),
+            (
+                "T = [a->U.b->V]; U = int; V = string",
+                r#"o1 = [b->o3, a->o2]; o2 = 1; o3 = "x""#,
+            ),
+            (
+                "T = [a->U | a->V]; U = int; V = string",
+                r#"o1 = [a->o2]; o2 = "str""#,
+            ),
+            ("R = [x->&T]; &T = [a->&T]", "o1 = [x->&o2]; &o2 = [a->&o2]"),
+        ];
+        for (schema, data) in cases {
+            let (g, s) = setup(schema, data);
+            let fast = conforms(&g, &s);
+            let slow = conforms_interpreted(&g, &s);
+            assert_eq!(fast, slow, "schema {schema} / data {data}");
+            if let Some(a) = &fast {
+                assert!(check_assignment(&g, &s, a));
+                assert!(check_assignment_interpreted(&g, &s, a));
+            }
+        }
+    }
+
+    #[test]
+    fn schema_compiled_slot_is_lazy_and_shared() {
+        let (_, s) = setup(PAPER_SCHEMA, PAPER_DOC);
+        let doc = s.by_name("DOCUMENT").unwrap();
+        let title = s.by_name("TITLE").unwrap();
+        assert!(s.compiled(title).is_none(), "atomic types have no table");
+        let c = s.compiled(doc).expect("collection type compiles");
+        assert!(c.num_states() > 0);
+        // Repeated access returns the same Arc (lazy init, then cached).
+        let again = s.compiled(doc).unwrap();
+        assert!(std::sync::Arc::ptr_eq(c, again));
     }
 
     #[test]

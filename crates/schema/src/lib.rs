@@ -29,7 +29,7 @@ pub mod types;
 
 pub use atomic::AtomicType;
 pub use classify::SchemaClass;
-pub use conform::{check_assignment, conforms};
+pub use conform::{check_assignment, check_assignment_interpreted, conforms, conforms_interpreted};
 pub use dtd::parse_dtd;
 pub use parser::parse_schema;
 pub use schema::{Schema, SchemaBuilder, SchemaSpans};

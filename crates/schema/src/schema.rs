@@ -2,13 +2,14 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use ssd_automata::compiled::{self, CompiledDfa};
 use ssd_automata::display::regex_to_string;
 use ssd_automata::glushkov;
-use ssd_automata::Nfa;
+use ssd_automata::{dfa, Nfa};
 use ssd_base::span::format_location;
-use ssd_base::{Error, Result, SharedInterner, Span, TypeIdx};
+use ssd_base::{Budget, Error, Result, SharedInterner, Span, TypeIdx};
 
 use crate::types::{SchemaAtom, TypeDef, TypeKind};
 
@@ -44,6 +45,13 @@ pub struct Schema {
     referenceable: Vec<bool>,
     defs: Vec<TypeDef>,
     nfas: Vec<Option<Nfa<SchemaAtom>>>,
+    /// Lazily built compiled DFAs, one slot per collection type: `None`
+    /// inside an initialized slot means determinization tripped its
+    /// internal fuel cap (adversarial regexes can blow up the subset
+    /// construction), and callers fall back to the NFA. Clones share the
+    /// same initialization state at clone time; slots initialized later
+    /// diverge harmlessly (both sides rebuild the identical pure value).
+    compiled: Vec<OnceLock<Option<Arc<CompiledDfa<SchemaAtom>>>>>,
     by_name: HashMap<String, TypeIdx>,
     root: TypeIdx,
     /// Process-unique identity, minted once at construction. Schemas are
@@ -96,6 +104,29 @@ impl Schema {
     /// The cached Glushkov automaton of `t`'s regex (collection types only).
     pub fn nfa(&self, t: TypeIdx) -> Option<&Nfa<SchemaAtom>> {
         self.nfas[t.index()].as_ref()
+    }
+
+    /// Determinization fuel cap for [`Schema::compiled`]: generous for
+    /// any realistic content model, but bounded so an adversarial regex
+    /// (exponential subset construction) degrades to the NFA path instead
+    /// of stalling schema use.
+    const COMPILE_FUEL: u64 = 10_000;
+
+    /// The compiled dense-table DFA of `t`'s regex, built lazily on first
+    /// use (collection types only). Returns `None` for atomic types and
+    /// for regexes whose determinization exceeds an internal fuel cap —
+    /// callers must then fall back to [`Schema::nfa`], which decides the
+    /// same language.
+    pub fn compiled(&self, t: TypeIdx) -> Option<&Arc<CompiledDfa<SchemaAtom>>> {
+        self.compiled[t.index()]
+            .get_or_init(|| {
+                let nfa = self.nfas[t.index()].as_ref()?;
+                let budget = Budget::unlimited().with_fuel(Self::COMPILE_FUEL);
+                let d = dfa::determinize_b(nfa, &budget).ok()?;
+                let d = dfa::minimize_b(&d, &budget).ok()?;
+                Some(Arc::new(compiled::compile(&d)))
+            })
+            .as_ref()
     }
 
     /// Whether `t` is referenceable (`&`-prefixed name).
@@ -279,10 +310,11 @@ impl SchemaBuilder {
                 }
             }
         }
-        let nfas = defs
+        let nfas: Vec<Option<Nfa<SchemaAtom>>> = defs
             .iter()
             .map(|d| d.regex().map(glushkov::build))
             .collect();
+        let compiled = (0..nfas.len()).map(|_| OnceLock::new()).collect();
         static NEXT_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let spans = self.source.map(|source| {
             Arc::new(SchemaSpans {
@@ -297,6 +329,7 @@ impl SchemaBuilder {
             referenceable: self.referenceable,
             defs,
             nfas,
+            compiled,
             by_name: self.by_name,
             root: TypeIdx(0),
             uid: NEXT_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),

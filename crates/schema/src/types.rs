@@ -1,5 +1,6 @@
 //! Type definitions and the schema regex alphabet.
 
+use ssd_automata::compiled::CompileAtom;
 use ssd_automata::syntax::Atom;
 use ssd_automata::{dfa::ClassAtom, Regex};
 use ssd_base::{LabelId, TypeIdx};
@@ -43,6 +44,20 @@ impl ClassAtom for SchemaAtom {
 
     fn matches_class(&self, class: &Self) -> bool {
         self == class
+    }
+}
+
+impl CompileAtom for SchemaAtom {
+    // Schema alphabets are fully concrete — every class is keyed by the
+    // atom itself and there is no residual wildcard class.
+    type Key = SchemaAtom;
+
+    fn class_key(&self) -> Option<SchemaAtom> {
+        Some(*self)
+    }
+
+    fn sym_key(sym: &SchemaAtom) -> SchemaAtom {
+        *sym
     }
 }
 

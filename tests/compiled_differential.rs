@@ -1,0 +1,279 @@
+//! Differential testing of the compiled execution tier (tier-1):
+//!
+//! * **verdict identity** — on random regex pairs, the compiled kernels
+//!   (emptiness, product emptiness, inclusion, equivalence) and the
+//!   compiled membership simulation return verdicts bit-identical to the
+//!   interpreted NFA/DFA paths, both through the raw kernels and through
+//!   an [`AutomataCache`] switched between engines;
+//! * **conformance identity** — `conforms`/`check_assignment` agree with
+//!   their `_interpreted` twins on generated schema/document pairs;
+//! * **exhaustion identity** — under tiny fuel budgets, the compiled
+//!   product kernel and the generic interpreter BFS *driven over the same
+//!   compiled tables* trip at exactly the same tick, with the same engine
+//!   name and reason, for every fuel value up to completion.
+
+use ssd::automata::compiled::{self, compile, intersection_classes, CompiledDfa, DEAD};
+use ssd::automata::dfa::{determinize, included, minimize};
+use ssd::automata::ops::{is_empty_lang, is_empty_product_b};
+use ssd::automata::{glushkov, product, AutomataCache, LabelAtom, Regex};
+use ssd::base::budget::{Budget, Exhausted, TripReason};
+use ssd::base::rng::{Rng, StdRng};
+use ssd::base::LabelId;
+
+/// A random regex over a 4-letter alphabet plus the wildcard, of bounded
+/// depth (the `regexgen_prop` generator, shared shape).
+fn random_regex(rng: &mut StdRng, depth: usize) -> Regex<LabelAtom> {
+    let leaf = depth == 0 || rng.gen_bool(0.3);
+    if leaf {
+        return match rng.gen_range(0..6u32) {
+            0 => Regex::Epsilon,
+            1 => Regex::atom(LabelAtom::Any),
+            n => Regex::atom(LabelAtom::Label(LabelId(n - 2))),
+        };
+    }
+    match rng.gen_range(0..5u32) {
+        0 => {
+            let n = rng.gen_range(2..=3usize);
+            Regex::concat((0..n).map(|_| random_regex(rng, depth - 1)).collect())
+        }
+        1 => {
+            let n = rng.gen_range(2..=3usize);
+            Regex::alt((0..n).map(|_| random_regex(rng, depth - 1)).collect())
+        }
+        2 => Regex::star(random_regex(rng, depth - 1)),
+        3 => Regex::plus(random_regex(rng, depth - 1)),
+        _ => Regex::opt(random_regex(rng, depth - 1)),
+    }
+}
+
+fn compiled_of(re: &Regex<LabelAtom>) -> CompiledDfa<LabelId> {
+    compile(&minimize(&determinize(&glushkov::build(re))))
+}
+
+/// A random word over the generator's alphabet (including labels the
+/// regexes never mention, to exercise the wildcard class).
+fn random_word(rng: &mut StdRng) -> Vec<LabelId> {
+    let len = rng.gen_range(0..8usize);
+    (0..len).map(|_| LabelId(rng.gen_range(0..6u32))).collect()
+}
+
+#[test]
+fn membership_and_emptiness_agree_with_interpreter() {
+    for seed in 0..150u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let re = random_regex(&mut rng, 3);
+        let nfa = glushkov::build(&re);
+        let dfa = minimize(&determinize(&nfa));
+        let c = compile(&dfa);
+        assert_eq!(
+            c.is_empty(),
+            is_empty_lang(&nfa),
+            "seed {seed}: emptiness disagrees on {re:?}"
+        );
+        for _ in 0..12 {
+            let word = random_word(&mut rng);
+            assert_eq!(
+                c.accepts(word.iter().copied()),
+                dfa.accepts(&word),
+                "seed {seed}: membership disagrees on {re:?} / {word:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn product_inclusion_equivalence_agree_with_interpreter() {
+    for seed in 0..120u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r1 = random_regex(&mut rng, 3);
+        let r2 = random_regex(&mut rng, 3);
+        let (n1, n2) = (glushkov::build(&r1), glushkov::build(&r2));
+        let (c1, c2) = (compiled_of(&r1), compiled_of(&r2));
+        let interp_empty = is_empty_lang(&product::intersect(&n1, &n2, LabelAtom::meet));
+        assert_eq!(
+            compiled::is_empty_product_compiled(&c1, &c2),
+            interp_empty,
+            "seed {seed}: product emptiness disagrees on {r1:?} ∩ {r2:?}"
+        );
+        assert_eq!(
+            compiled::included_compiled(&c1, &c2),
+            included(&n1, &n2),
+            "seed {seed}: inclusion disagrees on {r1:?} ⊆ {r2:?}"
+        );
+        assert_eq!(
+            compiled::equivalent_compiled(&c1, &c2),
+            ssd::automata::dfa::equivalent(&n1, &n2),
+            "seed {seed}: equivalence disagrees on {r1:?} ≡ {r2:?}"
+        );
+    }
+}
+
+#[test]
+fn cache_verdicts_identical_across_engines() {
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let r1 = random_regex(&mut rng, 3);
+        let r2 = random_regex(&mut rng, 3);
+        let fast = AutomataCache::new();
+        let slow = AutomataCache::new();
+        slow.set_compiled(false);
+        assert_eq!(
+            fast.included(&r1, &r2),
+            slow.included(&r1, &r2),
+            "seed {seed}"
+        );
+        assert_eq!(
+            fast.included(&r2, &r1),
+            slow.included(&r2, &r1),
+            "seed {seed}"
+        );
+        assert_eq!(
+            fast.equivalent(&r1, &r2),
+            slow.equivalent(&r1, &r2),
+            "seed {seed}"
+        );
+        assert_eq!(fast.is_empty(&r1), slow.is_empty(&r1), "seed {seed}");
+        let b = Budget::unlimited();
+        assert_eq!(
+            fast.intersection_empty_b(&r1, &r2, &b).unwrap(),
+            slow.intersection_empty_b(&r1, &r2, &b).unwrap(),
+            "seed {seed}: intersection emptiness disagrees"
+        );
+    }
+}
+
+/// The generic interpreter BFS of `ops::is_empty_product_b`, driven over
+/// the *same* compiled tables via their public accessors: identical state
+/// space, identical successor order, identical tick cadence — the
+/// reference the fused kernel must agree with down to the exact fuel tick.
+fn interpreter_pair_product(
+    a: &CompiledDfa<LabelId>,
+    b: &CompiledDfa<LabelId>,
+    budget: &Budget,
+) -> Result<bool, Exhausted> {
+    let joint = intersection_classes(a, b);
+    is_empty_product_b(
+        [(a.start(), b.start())],
+        |&(q1, q2)| a.is_accepting(q1) && b.is_accepting(q2),
+        |&(q1, q2), out| {
+            for &(ca, cb) in &joint {
+                let r1 = a.step(q1, ca);
+                if r1 == DEAD {
+                    continue;
+                }
+                let r2 = b.step(q2, cb);
+                if r2 == DEAD {
+                    continue;
+                }
+                out.push((r1, r2));
+            }
+        },
+        ssd::obs::noop(),
+        budget,
+    )
+}
+
+#[test]
+fn fuel_exhaustion_agrees_tick_for_tick() {
+    for seed in 0..25u64 {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        let r1 = random_regex(&mut rng, 3);
+        let r2 = random_regex(&mut rng, 3);
+        let (c1, c2) = (compiled_of(&r1), compiled_of(&r2));
+        // Find the fuel needed to finish, then sweep every smaller value.
+        let unlimited = Budget::unlimited();
+        let full =
+            compiled::is_empty_product_compiled_b(&c1, &c2, ssd::obs::noop(), &unlimited).unwrap();
+        assert_eq!(
+            interpreter_pair_product(&c1, &c2, &unlimited).unwrap(),
+            full,
+            "seed {seed}: unlimited verdicts disagree"
+        );
+        let mut finishing_fuel = None;
+        for fuel in 0..400u64 {
+            // A budget's fuel ledger is stateful — each engine run gets
+            // its own, else the first run drains the second's fuel.
+            let bf = Budget::unlimited().with_fuel(fuel);
+            let bs = Budget::unlimited().with_fuel(fuel);
+            let fast = compiled::is_empty_product_compiled_b(&c1, &c2, ssd::obs::noop(), &bf);
+            let slow = interpreter_pair_product(&c1, &c2, &bs);
+            match (fast, slow) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(x, y, "seed {seed} fuel {fuel}: verdicts disagree");
+                    assert_eq!(x, full, "seed {seed} fuel {fuel}: early finish flipped");
+                    finishing_fuel = Some(fuel);
+                    break;
+                }
+                (Err(ef), Err(es)) => {
+                    assert_eq!(
+                        ef.engine, es.engine,
+                        "seed {seed} fuel {fuel}: engine names disagree"
+                    );
+                    assert_eq!(ef.engine, "product_bfs");
+                    assert_eq!(
+                        ef.reason, es.reason,
+                        "seed {seed} fuel {fuel}: trip reasons disagree"
+                    );
+                    assert_eq!(ef.reason, TripReason::Fuel);
+                    assert_eq!(
+                        ef.work_done, es.work_done,
+                        "seed {seed} fuel {fuel}: work_done disagrees"
+                    );
+                }
+                (fast, slow) => panic!(
+                    "seed {seed} fuel {fuel}: one engine finished, the other tripped \
+                     (compiled ok={}, interpreter ok={})",
+                    fast.is_ok(),
+                    slow.is_ok()
+                ),
+            }
+        }
+        assert!(
+            finishing_fuel.is_some(),
+            "seed {seed}: product needs more than 400 fuel — generator drifted?"
+        );
+    }
+}
+
+#[test]
+fn conformance_agrees_with_interpreted_path() {
+    use ssd::base::SharedInterner;
+    use ssd::model::parse_data_graph;
+    use ssd::schema::{
+        check_assignment, check_assignment_interpreted, conforms, conforms_interpreted,
+        parse_schema,
+    };
+
+    let cases = [
+        (
+            "DOCUMENT = [(paper->PAPER)*];
+             PAPER = [title->TITLE.(author->AUTHOR)*];
+             AUTHOR = [name->NAME]; NAME = string; TITLE = string",
+            r#"o1 = [paper->o2, paper->o5];
+               o2 = [title->o3, author->o4];
+               o3 = "t1"; o4 = [name->o6]; o6 = "n";
+               o5 = [title->o7]; o7 = "t2""#,
+        ),
+        (
+            "T = [a->U | a->V]; U = int; V = string",
+            r#"o1 = [a->o2]; o2 = "str""#,
+        ),
+        (
+            "T = [a->U.b->V]; U = int; V = string",
+            r#"o1 = [b->o3, a->o2]; o2 = 1; o3 = "x""#,
+        ),
+        ("R = [x->&T]; &T = [a->&T]", "o1 = [x->&o2]; &o2 = [a->&o2]"),
+    ];
+    for (schema, data) in cases {
+        let pool = SharedInterner::new();
+        let s = parse_schema(schema, &pool).unwrap();
+        let g = parse_data_graph(data, &pool).unwrap();
+        let fast = conforms(&g, &s);
+        let slow = conforms_interpreted(&g, &s);
+        assert_eq!(fast, slow, "conformance disagrees: {schema} / {data}");
+        if let Some(a) = &fast {
+            assert!(check_assignment(&g, &s, a));
+            assert!(check_assignment_interpreted(&g, &s, a));
+        }
+    }
+}
