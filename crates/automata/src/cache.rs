@@ -165,6 +165,14 @@ impl CacheStats {
     }
 }
 
+/// One exported (regex, minimized DFA) pair from
+/// [`AutomataCache::export_dfas`].
+pub type ExportedDfa = (Arc<Regex<LabelAtom>>, Arc<Dfa<LabelAtom>>);
+
+/// One exported (regex, compiled table) pair from
+/// [`AutomataCache::export_compiled`].
+pub type ExportedCompiled = (Arc<Regex<LabelAtom>>, Arc<CompiledDfa<LabelId>>);
+
 /// The shared automata cache. See the module docs for the design.
 #[derive(Default)]
 pub struct AutomataCache {
@@ -456,6 +464,47 @@ impl AutomataCache {
     /// Estimated resident bytes of the compiled transition tables.
     pub fn compiled_bytes(&self) -> usize {
         self.compiled.fold_values(0, |n, c| n + c.size_bytes())
+    }
+
+    /// Every memoized minimized DFA paired with the regex it belongs to,
+    /// for the snapshot exporter. Order is shard-iteration order (not
+    /// deterministic across processes); consumers must not depend on it.
+    pub fn export_dfas(&self) -> Vec<ExportedDfa> {
+        self.dfas.fold(Vec::new(), |mut acc, k, v| {
+            acc.push((Arc::clone(&k.re), Arc::clone(v)));
+            acc
+        })
+    }
+
+    /// Every compiled dense table paired with its regex, for the
+    /// snapshot exporter.
+    pub fn export_compiled(&self) -> Vec<ExportedCompiled> {
+        self.compiled.fold(Vec::new(), |mut acc, k, v| {
+            acc.push((Arc::clone(&k.re), Arc::clone(v)));
+            acc
+        })
+    }
+
+    /// Publishes a snapshot-restored DFA under `re`. Goes through the
+    /// same hash-cons + `insert_if_absent` path as a live build, so a
+    /// concurrent request for the same regex either sees nothing (and
+    /// computes) or the fully-constructed table — never a partial
+    /// hydration. If a live build won the race, the restored value is
+    /// dropped and `false` is returned.
+    pub fn hydrate_dfa(&self, re: &Regex<LabelAtom>, dfa: Dfa<LabelAtom>) -> bool {
+        let key = self.intern(re);
+        let arc = Arc::new(dfa);
+        let published = self.dfas.insert_if_absent(key, Arc::clone(&arc));
+        Arc::ptr_eq(&published, &arc)
+    }
+
+    /// Publishes a snapshot-restored compiled table under `re`; same
+    /// race discipline as [`AutomataCache::hydrate_dfa`].
+    pub fn hydrate_compiled(&self, re: &Regex<LabelAtom>, c: CompiledDfa<LabelId>) -> bool {
+        let key = self.intern(re);
+        let arc = Arc::new(c);
+        let published = self.compiled.insert_if_absent(key, Arc::clone(&arc));
+        Arc::ptr_eq(&published, &arc)
     }
 
     /// Per-shard entry counts summed across the artifact and verdict

@@ -1,0 +1,535 @@
+//! Binary encode/decode for automata artifacts — the payload layer of the
+//! warm-start snapshot format (`ssd-snapshot`).
+//!
+//! Encoders write through [`ByteWriter`] (little-endian, `u32` lengths).
+//! Decoders are **total**: every read is bounds-checked, every count is
+//! capped, recursion is depth-limited, and overall work is bounded by a
+//! caller-supplied fuel budget — any violation returns `None` (the caller
+//! degrades the section to recompute) rather than panicking or
+//! allocating unboundedly. Decoded values are *validated reconstructions*:
+//! [`decode_dfa`] and [`decode_compiled`] re-check the structural
+//! invariants the live constructions guarantee by design
+//! ([`Dfa::from_parts_checked`], [`CompiledDfa::from_parts_checked`]), so
+//! a corrupt payload can never put a malformed automaton behind a cache.
+//!
+//! Regex decoding deliberately rebuilds through the **raw** [`Regex`]
+//! variants, not the smart constructors: encoded regexes come from the
+//! hash-cons cache and are already normalized, and re-normalizing could
+//! change structure — which would break the structural-equality match
+//! against live-interned keys on hydration.
+
+use ssd_base::{ByteReader, ByteWriter, LabelId};
+
+use crate::compiled::CompiledDfa;
+use crate::dfa::{ClassAtom, Dfa};
+use crate::nfa::Nfa;
+use crate::syntax::{LabelAtom, Regex};
+
+/// Ceiling on decoded automaton states (NFA or DFA).
+pub const MAX_STATES: usize = 1 << 20;
+/// Ceiling on decoded alphabet classes / keys.
+pub const MAX_CLASSES: usize = 1 << 16;
+/// Ceiling on decoded NFA transitions.
+pub const MAX_EDGES: usize = 1 << 22;
+/// Ceiling on decoded regex AST nodes (also the per-regex fuel cost).
+pub const MAX_REGEX_NODES: u64 = 1 << 16;
+/// Ceiling on regex AST nesting depth (bounds decoder recursion).
+pub const MAX_REGEX_DEPTH: u32 = 256;
+
+/// Spends `n` units of decode fuel; `None` when the budget is exhausted.
+/// Decoders thread one fuel pool through a whole section so adversarially
+/// large payloads stop early instead of grinding.
+pub fn spend(fuel: &mut u64, n: u64) -> Option<()> {
+    *fuel = fuel.checked_sub(n)?;
+    Some(())
+}
+
+// ---------------------------------------------------------------------
+// Regex over label atoms.
+//
+// Tags follow the injective FeasKey encoding (`ssd_core::memo`):
+// 0=Empty 1=Epsilon 2=Atom(Any) 3=Atom(Label)+u32 4=Star 5=Plus 6=Opt
+// 7=Concat+len 8=Alt+len.
+// ---------------------------------------------------------------------
+
+/// Encodes a label-atom regex.
+pub fn encode_regex(re: &Regex<LabelAtom>, w: &mut ByteWriter) {
+    match re {
+        Regex::Empty => w.put_u8(0),
+        Regex::Epsilon => w.put_u8(1),
+        Regex::Atom(LabelAtom::Any) => w.put_u8(2),
+        Regex::Atom(LabelAtom::Label(l)) => {
+            w.put_u8(3);
+            w.put_u32(l.0);
+        }
+        Regex::Star(inner) => {
+            w.put_u8(4);
+            encode_regex(inner, w);
+        }
+        Regex::Plus(inner) => {
+            w.put_u8(5);
+            encode_regex(inner, w);
+        }
+        Regex::Opt(inner) => {
+            w.put_u8(6);
+            encode_regex(inner, w);
+        }
+        Regex::Concat(parts) => {
+            w.put_u8(7);
+            w.put_u32(parts.len() as u32);
+            for p in parts {
+                encode_regex(p, w);
+            }
+        }
+        Regex::Alt(parts) => {
+            w.put_u8(8);
+            w.put_u32(parts.len() as u32);
+            for p in parts {
+                encode_regex(p, w);
+            }
+        }
+    }
+}
+
+/// Decodes a label-atom regex; total, fuel- and depth-bounded.
+pub fn decode_regex(r: &mut ByteReader<'_>, fuel: &mut u64) -> Option<Regex<LabelAtom>> {
+    decode_regex_at(r, fuel, 0)
+}
+
+fn decode_regex_at(r: &mut ByteReader<'_>, fuel: &mut u64, depth: u32) -> Option<Regex<LabelAtom>> {
+    if depth > MAX_REGEX_DEPTH {
+        return None;
+    }
+    spend(fuel, 1)?;
+    match r.get_u8()? {
+        0 => Some(Regex::Empty),
+        1 => Some(Regex::Epsilon),
+        2 => Some(Regex::Atom(LabelAtom::Any)),
+        3 => Some(Regex::Atom(LabelAtom::Label(LabelId(r.get_u32()?)))),
+        4 => Some(Regex::Star(Box::new(decode_regex_at(r, fuel, depth + 1)?))),
+        5 => Some(Regex::Plus(Box::new(decode_regex_at(r, fuel, depth + 1)?))),
+        6 => Some(Regex::Opt(Box::new(decode_regex_at(r, fuel, depth + 1)?))),
+        t @ (7 | 8) => {
+            let n = r.get_count(MAX_REGEX_NODES as usize)?;
+            // Normalized Concat/Alt always has ≥ 2 parts; anything else
+            // cannot have come from a live encode.
+            if n < 2 {
+                return None;
+            }
+            let mut parts = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                parts.push(decode_regex_at(r, fuel, depth + 1)?);
+            }
+            Some(if t == 7 {
+                Regex::Concat(parts)
+            } else {
+                Regex::Alt(parts)
+            })
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// NFA, generic over the atom codec (schema atoms live in ssd-schema).
+// ---------------------------------------------------------------------
+
+/// Encodes an NFA; atoms are written by `enc`.
+pub fn encode_nfa<A>(nfa: &Nfa<A>, w: &mut ByteWriter, mut enc: impl FnMut(&A, &mut ByteWriter)) {
+    let n = nfa.num_states();
+    w.put_u32(n as u32);
+    w.put_u32(nfa.start() as u32);
+    for q in 0..n {
+        w.put_u8(u8::from(nfa.is_accepting(q)));
+    }
+    w.put_u32(nfa.num_transitions() as u32);
+    for (q, a, tgt) in nfa.all_edges() {
+        w.put_u32(q as u32);
+        enc(a, w);
+        w.put_u32(tgt as u32);
+    }
+}
+
+/// Decodes an NFA; atoms are read by `dec`. Total: state and edge counts
+/// are capped, and every state index is range-checked before insertion
+/// (the live builder [`Nfa::add_transition`] does not bounds-check — by
+/// design its callers construct valid automata; this decoder's caller is
+/// a file).
+pub fn decode_nfa<A>(
+    r: &mut ByteReader<'_>,
+    fuel: &mut u64,
+    mut dec: impl FnMut(&mut ByteReader<'_>) -> Option<A>,
+) -> Option<Nfa<A>> {
+    let n = r.get_count(MAX_STATES)?;
+    let start = r.get_u32()? as usize;
+    if n == 0 || start >= n {
+        return None;
+    }
+    spend(fuel, n as u64)?;
+    let mut nfa = Nfa::with_states(n, start);
+    for q in 0..n {
+        match r.get_u8()? {
+            0 => {}
+            1 => nfa.set_accepting(q, true),
+            _ => return None,
+        }
+    }
+    let edges = r.get_count(MAX_EDGES)?;
+    spend(fuel, edges as u64)?;
+    for _ in 0..edges {
+        let q = r.get_u32()? as usize;
+        let atom = dec(r)?;
+        let tgt = r.get_u32()? as usize;
+        if q >= n || tgt >= n {
+            return None;
+        }
+        nfa.add_transition(q, atom, tgt);
+    }
+    Some(nfa)
+}
+
+// ---------------------------------------------------------------------
+// DFA, generic over the class-atom codec.
+// ---------------------------------------------------------------------
+
+/// Encodes a DFA; class atoms are written by `enc`. Transition targets
+/// use `u32::MAX` for "no transition".
+pub fn encode_dfa<A: ClassAtom>(
+    dfa: &Dfa<A>,
+    w: &mut ByteWriter,
+    mut enc: impl FnMut(&A, &mut ByteWriter),
+) {
+    w.put_u32(dfa.classes().len() as u32);
+    for c in dfa.classes() {
+        enc(c, w);
+    }
+    let n = dfa.num_states();
+    w.put_u32(n as u32);
+    w.put_u32(dfa.start() as u32);
+    for q in 0..n {
+        w.put_u8(u8::from(dfa.is_accepting(q)));
+    }
+    for q in 0..n {
+        for tgt in dfa.row(q) {
+            w.put_u32(tgt.map_or(u32::MAX, |t| t as u32));
+        }
+    }
+}
+
+/// Decodes a DFA; class atoms are read by `dec`. Total; the assembled
+/// parts go through [`Dfa::from_parts_checked`], which re-validates every
+/// structural invariant (class uniqueness, wildcard placement, row
+/// shapes, target ranges) in release builds.
+pub fn decode_dfa<A: ClassAtom>(
+    r: &mut ByteReader<'_>,
+    fuel: &mut u64,
+    mut dec: impl FnMut(&mut ByteReader<'_>) -> Option<A>,
+) -> Option<Dfa<A>> {
+    let nc = r.get_count(MAX_CLASSES)?;
+    spend(fuel, nc as u64)?;
+    let mut classes = Vec::with_capacity(nc.min(1024));
+    for _ in 0..nc {
+        classes.push(dec(r)?);
+    }
+    let n = r.get_count(MAX_STATES)?;
+    let start = r.get_u32()? as usize;
+    spend(fuel, n as u64)?;
+    let mut accepting = Vec::with_capacity(n.min(MAX_STATES));
+    for _ in 0..n {
+        match r.get_u8()? {
+            0 => accepting.push(false),
+            1 => accepting.push(true),
+            _ => return None,
+        }
+    }
+    spend(fuel, (n as u64).checked_mul(nc as u64)?)?;
+    let mut trans = Vec::with_capacity(n.min(MAX_STATES));
+    for _ in 0..n {
+        let mut row = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            let t = r.get_u32()?;
+            row.push(if t == u32::MAX {
+                None
+            } else {
+                Some(t as usize)
+            });
+        }
+        trans.push(row);
+    }
+    Dfa::from_parts_checked(classes, trans, start, accepting)
+}
+
+/// Encodes a [`LabelAtom`] as a DFA alphabet class (tag 2 = Any, 3 =
+/// Label + id, matching the regex atom tags).
+pub fn encode_label_atom(a: &LabelAtom, w: &mut ByteWriter) {
+    match a {
+        LabelAtom::Any => w.put_u8(2),
+        LabelAtom::Label(l) => {
+            w.put_u8(3);
+            w.put_u32(l.0);
+        }
+    }
+}
+
+/// Decodes a [`LabelAtom`] written by [`encode_label_atom`].
+pub fn decode_label_atom(r: &mut ByteReader<'_>) -> Option<LabelAtom> {
+    match r.get_u8()? {
+        2 => Some(LabelAtom::Any),
+        3 => Some(LabelAtom::Label(LabelId(r.get_u32()?))),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compiled dense tables, generic over the key codec.
+// ---------------------------------------------------------------------
+
+/// Encodes a compiled DFA; class keys are written by `enc`.
+pub fn encode_compiled<K: Ord + Copy>(
+    c: &CompiledDfa<K>,
+    w: &mut ByteWriter,
+    mut enc: impl FnMut(&K, &mut ByteWriter),
+) {
+    w.put_u32(c.keys().len() as u32);
+    for k in c.keys() {
+        enc(k, w);
+    }
+    w.put_u8(u8::from(c.has_wildcard()));
+    w.put_u32(c.num_states());
+    w.put_u32(c.num_classes());
+    w.put_u32(c.start());
+    for &cell in c.table() {
+        w.put_u32(cell);
+    }
+    for &word in c.accept_words() {
+        w.put_u64(word);
+    }
+}
+
+/// Decodes a compiled DFA; class keys are read by `dec`. Total; the
+/// assembled parts go through [`CompiledDfa::from_parts_checked`], which
+/// re-validates the sorted-key index, the table and bitset shapes, and
+/// that every target is a real state or [`DEAD`](crate::compiled::DEAD).
+pub fn decode_compiled<K: Ord + Copy>(
+    r: &mut ByteReader<'_>,
+    fuel: &mut u64,
+    mut dec: impl FnMut(&mut ByteReader<'_>) -> Option<K>,
+) -> Option<CompiledDfa<K>> {
+    let nk = r.get_count(MAX_CLASSES)?;
+    spend(fuel, nk as u64)?;
+    let mut keys = Vec::with_capacity(nk.min(1024));
+    for _ in 0..nk {
+        keys.push(dec(r)?);
+    }
+    let wildcard = match r.get_u8()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    let n = r.get_u32()?;
+    let nc = r.get_u32()?;
+    let start = r.get_u32()?;
+    if n as usize > MAX_STATES || nc as usize > MAX_CLASSES {
+        return None;
+    }
+    let cells = (n as u64).checked_mul(nc as u64)?;
+    spend(fuel, cells.max(n as u64))?;
+    let mut table = Vec::with_capacity(cells as usize);
+    for _ in 0..cells {
+        table.push(r.get_u32()?);
+    }
+    let words = (n as usize).div_ceil(64);
+    let mut accept = Vec::with_capacity(words);
+    for _ in 0..words {
+        accept.push(r.get_u64()?);
+    }
+    CompiledDfa::from_parts_checked(keys, wildcard, table, accept, start, n, nc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiled::DEAD;
+    use crate::{dfa, glushkov};
+
+    fn l(i: u32) -> Regex<LabelAtom> {
+        Regex::atom(LabelAtom::Label(LabelId(i)))
+    }
+
+    fn sample() -> Regex<LabelAtom> {
+        Regex::concat(vec![
+            l(1),
+            Regex::star(Regex::alt(vec![l(2), Regex::atom(LabelAtom::Any)])),
+            Regex::opt(Regex::plus(l(3))),
+        ])
+    }
+
+    #[test]
+    fn regex_roundtrip_is_structural() {
+        let re = sample();
+        let mut w = ByteWriter::new();
+        encode_regex(&re, &mut w);
+        let bytes = w.into_bytes();
+        let mut fuel = MAX_REGEX_NODES;
+        let back = decode_regex(&mut ByteReader::new(&bytes), &mut fuel).unwrap();
+        assert_eq!(back, re);
+        assert_eq!(back.fingerprint(), re.fingerprint());
+    }
+
+    #[test]
+    fn regex_decoder_survives_byte_soup() {
+        use ssd_base::Rng;
+        let mut rng = ssd_base::StdRng::seed_from_u64(42);
+        for _ in 0..2000 {
+            let len = (rng.next_u64() % 64) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+            let mut fuel = MAX_REGEX_NODES;
+            let _ = decode_regex(&mut ByteReader::new(&bytes), &mut fuel);
+        }
+    }
+
+    #[test]
+    fn regex_decoder_fuel_bounds_big_counts() {
+        // Concat declaring 2^16 parts but carrying none: fuel or length
+        // checks must stop it without a large allocation.
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(1 << 16);
+        let bytes = w.into_bytes();
+        let mut fuel = 100;
+        assert!(decode_regex(&mut ByteReader::new(&bytes), &mut fuel).is_none());
+    }
+
+    #[test]
+    fn regex_decoder_depth_bounds_nesting() {
+        let mut w = ByteWriter::new();
+        for _ in 0..(MAX_REGEX_DEPTH + 10) {
+            w.put_u8(4); // Star(Star(Star(...
+        }
+        w.put_u8(1);
+        let bytes = w.into_bytes();
+        let mut fuel = u64::MAX;
+        assert!(decode_regex(&mut ByteReader::new(&bytes), &mut fuel).is_none());
+    }
+
+    #[test]
+    fn nfa_roundtrip_preserves_language_structure() {
+        let nfa = glushkov::build(&sample());
+        let mut w = ByteWriter::new();
+        encode_nfa(&nfa, &mut w, encode_label_atom);
+        let bytes = w.into_bytes();
+        let mut fuel = 1 << 20;
+        let back = decode_nfa(&mut ByteReader::new(&bytes), &mut fuel, decode_label_atom).unwrap();
+        assert_eq!(back.num_states(), nfa.num_states());
+        assert_eq!(back.start(), nfa.start());
+        assert_eq!(back.num_transitions(), nfa.num_transitions());
+        let be: Vec<_> = back.all_edges().map(|(q, a, t)| (q, *a, t)).collect();
+        let ne: Vec<_> = nfa.all_edges().map(|(q, a, t)| (q, *a, t)).collect();
+        assert_eq!(be, ne);
+        for q in 0..nfa.num_states() {
+            assert_eq!(back.is_accepting(q), nfa.is_accepting(q));
+        }
+    }
+
+    #[test]
+    fn nfa_decoder_rejects_dangling_targets() {
+        let nfa = glushkov::build(&l(1));
+        let mut w = ByteWriter::new();
+        encode_nfa(&nfa, &mut w, encode_label_atom);
+        let mut bytes = w.into_bytes();
+        // Edge targets are the last u32; point it out of range.
+        let at = bytes.len() - 4;
+        bytes[at..].copy_from_slice(&999u32.to_le_bytes());
+        let mut fuel = 1 << 20;
+        assert!(decode_nfa(&mut ByteReader::new(&bytes), &mut fuel, decode_label_atom).is_none());
+    }
+
+    #[test]
+    fn dfa_roundtrip_accepts_identically() {
+        let d = dfa::minimize(&dfa::determinize(&glushkov::build(&sample())));
+        let mut w = ByteWriter::new();
+        encode_dfa(&d, &mut w, encode_label_atom);
+        let bytes = w.into_bytes();
+        let mut fuel = 1 << 20;
+        let back = decode_dfa(&mut ByteReader::new(&bytes), &mut fuel, decode_label_atom).unwrap();
+        assert_eq!(back.num_states(), d.num_states());
+        for word in [
+            vec![LabelId(1), LabelId(3)],
+            vec![LabelId(1), LabelId(2), LabelId(9), LabelId(3), LabelId(3)],
+            vec![LabelId(1)],
+            vec![],
+            vec![LabelId(3)],
+        ] {
+            assert_eq!(back.accepts(&word), d.accepts(&word), "word {word:?}");
+        }
+    }
+
+    #[test]
+    fn dfa_decoder_rejects_corrupt_rows() {
+        let d = dfa::minimize(&dfa::determinize(&glushkov::build(&sample())));
+        let mut w = ByteWriter::new();
+        encode_dfa(&d, &mut w, encode_label_atom);
+        let bytes = w.into_bytes();
+        // Flipping any single byte either still decodes to a *valid* DFA
+        // (e.g. a flipped accept flag) or returns None — never panics.
+        for i in 0..bytes.len() {
+            let mut m = bytes.clone();
+            m[i] ^= 0xFF;
+            let mut fuel = 1 << 20;
+            let _ = decode_dfa(&mut ByteReader::new(&m), &mut fuel, decode_label_atom);
+        }
+    }
+
+    #[test]
+    fn compiled_roundtrip_steps_identically() {
+        let d = dfa::minimize(&dfa::determinize(&glushkov::build(&sample())));
+        let c = crate::compiled::compile(&d);
+        let mut w = ByteWriter::new();
+        encode_compiled(&c, &mut w, |k, w| w.put_u32(k.0));
+        let bytes = w.into_bytes();
+        let mut fuel = 1 << 20;
+        let back = decode_compiled(&mut ByteReader::new(&bytes), &mut fuel, |r| {
+            r.get_u32().map(LabelId)
+        })
+        .unwrap();
+        assert_eq!(back.num_states(), c.num_states());
+        assert_eq!(back.num_classes(), c.num_classes());
+        assert_eq!(back.keys(), c.keys());
+        assert_eq!(back.table(), c.table());
+        assert_eq!(back.accept_words(), c.accept_words());
+        for word in [
+            vec![LabelId(1), LabelId(3)],
+            vec![LabelId(1), LabelId(2), LabelId(9)],
+            vec![],
+        ] {
+            assert_eq!(
+                back.accepts(word.iter().copied()),
+                c.accepts(word.iter().copied())
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_decoder_rejects_invalid_targets_and_shapes() {
+        let d = dfa::minimize(&dfa::determinize(&glushkov::build(&l(1))));
+        let c = crate::compiled::compile(&d);
+        let mut w = ByteWriter::new();
+        encode_compiled(&c, &mut w, |k, w| w.put_u32(k.0));
+        let bytes = w.into_bytes();
+        for i in 0..bytes.len() {
+            let mut m = bytes.clone();
+            m[i] ^= 0xFF;
+            let mut fuel = 1 << 20;
+            // Either a valid table or None; from_parts_checked guards
+            // targets, so a decoded table can never index out of range.
+            if let Some(back) = decode_compiled(&mut ByteReader::new(&m), &mut fuel, |r| {
+                r.get_u32().map(LabelId)
+            }) {
+                assert!(back
+                    .table()
+                    .iter()
+                    .all(|&t| t == DEAD || t < back.num_states()));
+            }
+        }
+    }
+}

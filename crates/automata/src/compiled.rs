@@ -278,6 +278,56 @@ impl<K: Ord + Copy> CompiledDfa<K> {
         true
     }
 
+    /// Raw accept-bitset words (one bit per state), for serialization.
+    pub fn accept_words(&self) -> &[u64] {
+        &self.accept
+    }
+
+    /// Raw row-major transition table, for serialization.
+    pub fn table(&self) -> &[u32] {
+        &self.table
+    }
+
+    /// Rebuilds a compiled table from raw parts, enforcing — in release
+    /// builds too — every invariant [`compile`] asserts, and returning
+    /// `None` instead of panicking on violation. This is the decode path
+    /// for untrusted snapshot payloads.
+    pub fn from_parts_checked(
+        keys: Vec<K>,
+        wildcard: bool,
+        table: Vec<u32>,
+        accept: Vec<u64>,
+        start: u32,
+        num_states: u32,
+        num_classes: u32,
+    ) -> Option<CompiledDfa<K>> {
+        if num_states == 0 || num_states as u64 >= DEAD as u64 || start >= num_states {
+            return None;
+        }
+        if num_classes as usize != keys.len() + usize::from(wildcard) {
+            return None;
+        }
+        if keys.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        let cells = (num_states as usize).checked_mul(num_classes as usize)?;
+        if table.len() != cells || accept.len() != (num_states as usize).div_ceil(64) {
+            return None;
+        }
+        if table.iter().any(|&t| t != DEAD && t >= num_states) {
+            return None;
+        }
+        Some(CompiledDfa {
+            keys,
+            wildcard,
+            table,
+            accept,
+            start,
+            num_states,
+            num_classes,
+        })
+    }
+
     /// Estimated resident bytes of this compiled table (keys, transition
     /// table, accept bitset, header).
     pub fn size_bytes(&self) -> usize {

@@ -194,6 +194,59 @@ impl<A: ClassAtom> Dfa<A> {
         }
     }
 
+    /// Transition row of state `q` (one slot per alphabet class), for
+    /// serialization.
+    pub fn row(&self, q: usize) -> &[Option<usize>] {
+        &self.trans[q]
+    }
+
+    /// Rebuilds a DFA from raw parts, enforcing — in release builds too —
+    /// every invariant [`Dfa::debug_validate`] checks, and returning
+    /// `None` instead of panicking on violation. This is the decode path
+    /// for untrusted snapshot payloads: the constructions guarantee these
+    /// invariants by design, a corrupted file does not.
+    pub fn from_parts_checked(
+        classes: Vec<A>,
+        trans: Vec<Vec<Option<usize>>>,
+        start: usize,
+        accepting: Vec<bool>,
+    ) -> Option<Dfa<A>> {
+        let n = trans.len();
+        if n == 0 || start >= n || accepting.len() != n {
+            return None;
+        }
+        for (i, a) in classes.iter().enumerate() {
+            for b in classes.iter().skip(i + 1) {
+                if a == b {
+                    return None;
+                }
+            }
+        }
+        let wildcards = classes.iter().filter(|c| c.is_wildcard_class()).count();
+        if wildcards > 1 {
+            return None;
+        }
+        if wildcards == 1 && !classes.last().is_some_and(|c| c.is_wildcard_class()) {
+            return None;
+        }
+        for row in &trans {
+            if row.len() != classes.len() {
+                return None;
+            }
+            for tgt in row.iter().flatten() {
+                if *tgt >= n {
+                    return None;
+                }
+            }
+        }
+        Some(Dfa {
+            classes,
+            trans,
+            start,
+            accepting,
+        })
+    }
+
     /// Converts back to an NFA (used by regex reconstruction).
     pub fn to_nfa(&self) -> Nfa<A> {
         let mut n = Nfa::with_states(self.num_states(), self.start);

@@ -24,6 +24,7 @@
 
 pub mod bag;
 pub mod cache;
+pub mod codec;
 pub mod compiled;
 pub mod dfa;
 pub mod display;

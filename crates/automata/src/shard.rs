@@ -198,6 +198,19 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         acc
     }
 
+    /// Folds `f` over every `(key, value)` entry (shard by shard, shared
+    /// locks). Used by the snapshot exporter, which must serialize both
+    /// the interned keys and the cached artifacts.
+    pub fn fold<A>(&self, init: A, mut f: impl FnMut(A, &K, &V) -> A) -> A {
+        let mut acc = init;
+        for shard in &self.shards {
+            for (k, v) in read(shard).iter() {
+                acc = f(acc, k, v);
+            }
+        }
+        acc
+    }
+
     /// Removes every entry `f` returns `false` for, returning how many
     /// were evicted. Shards are swept one at a time under their
     /// exclusive lock, so readers of other shards are never blocked.

@@ -8,6 +8,7 @@
 #![deny(missing_docs)]
 
 pub mod budget;
+pub mod bytes;
 pub mod error;
 pub mod ids;
 pub mod interner;
@@ -17,6 +18,7 @@ pub mod rng;
 pub mod span;
 
 pub use budget::{Budget, BudgetResult, Exhausted, Meter, TripReason, Verdict};
+pub use bytes::{crc32, crc32_update, fnv1a64, ByteReader, ByteWriter};
 pub use error::{Error, Result};
 pub use ids::{LabelId, OidId, TypeIdx, VarId};
 pub use interner::{Interner, SharedInterner};

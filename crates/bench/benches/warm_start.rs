@@ -1,0 +1,141 @@
+//! Experiment WARM.r1: cold-boot-to-first-verdict with and without a
+//! snapshot (the `ssd-snapshot` warm-start store).
+//!
+//! Three boots are measured end to end — session construction through the
+//! first `satisfiable` verdict on a mixed suite:
+//!
+//! * **cold** — no snapshot: every boot re-derives type graphs, DFAs, and
+//!   the feas analysis from scratch;
+//! * **warm** — a valid snapshot of a previously warmed session is loaded
+//!   first, so the first verdict is answered from the hydrated caches;
+//! * **corrupt** — the snapshot file is fully corrupt (header refuses),
+//!   so the boot degrades to cold after paying only the rejection cost.
+//!
+//! The printed summary reports the warm-start speedup and the corrupt
+//! overhead against plain cold boot, and asserts the ISSUE floors: warm
+//! boot ≥ 5× faster than cold, corrupt-file overhead within 10% of cold.
+//! Verdicts are asserted identical across all three boots inside the
+//! measured loops.
+//!
+//! `SSD_BENCH_QUICK=1` shrinks the suite and sample count for CI smoke
+//! runs; `SSD_BENCH_TELEMETRY` writes the rows to the bench telemetry
+//! JSON.
+
+use std::path::PathBuf;
+
+use ssd_bench::harness::Criterion;
+use ssd_bench::workload;
+use ssd_bench::{criterion_group, criterion_main};
+use ssd_core::Session;
+use ssd_query::Query;
+use ssd_schema::Schema;
+
+fn quick() -> bool {
+    std::env::var_os("SSD_BENCH_QUICK").is_some()
+}
+
+/// The boot suite: enough automata/feas work that a cold boot is
+/// dominated by derivation, which is exactly what the snapshot saves.
+fn suite() -> Vec<(Schema, Query)> {
+    // Quick mode keeps the heaviest workload: the speedup floor is about
+    // derivation-vs-decode cost, which only shows at realistic sizes.
+    let specs: &[(u64, usize, usize)] = if quick() {
+        &[(7000, 48, 4)]
+    } else {
+        &[(7000, 48, 4), (7001, 24, 4), (7002, 24, 2), (7003, 12, 2)]
+    };
+    specs
+        .iter()
+        .map(|&(seed, nt, nd)| {
+            let (s, _tg, q) = workload(seed, nt, nd, false, false);
+            (s, q)
+        })
+        .collect()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ssd-warm-start-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Boot a fresh session, optionally load `snap`, and answer the whole
+/// suite once; verdicts are checked against `want`.
+fn boot_to_first_verdict(items: &[(Schema, Query)], snap: Option<&PathBuf>, want: &[bool]) {
+    let sess = Session::new();
+    if let Some(path) = snap {
+        let schemas: Vec<_> = items.iter().map(|(s, _)| s).collect();
+        let _ = sess.load_snapshot(path, &schemas);
+    }
+    for ((s, q), &w) in items.iter().zip(want) {
+        assert_eq!(
+            sess.satisfiable(q, s).unwrap().satisfiable,
+            w,
+            "boot verdict diverged"
+        );
+    }
+}
+
+fn warm_start(c: &mut Criterion) {
+    let items = suite();
+    // Ground truth + the snapshot image, written once up front.
+    let src = Session::new();
+    let want: Vec<bool> = items
+        .iter()
+        .map(|(s, q)| src.satisfiable(q, s).unwrap().satisfiable)
+        .collect();
+    let valid = tmp("warm.snap");
+    let schemas: Vec<_> = items.iter().map(|(s, _)| s).collect();
+    let bytes = src.save_snapshot(&valid, &schemas).unwrap();
+    // A fully corrupt twin: same size, garbage content — the header CRC
+    // refuses it outright, so the boot pays only the read + reject.
+    let corrupt = tmp("corrupt.snap");
+    let garbage: Vec<u8> = (0..bytes)
+        .map(|i| (i as u8).wrapping_mul(37) ^ 0x5A)
+        .collect();
+    std::fs::write(&corrupt, &garbage).unwrap();
+
+    let mut g = c.benchmark_group("warm_start/first_verdict");
+    g.sample_size(if quick() { 10 } else { 20 });
+    g.bench_function("cold", |b| {
+        b.iter(|| boot_to_first_verdict(&items, None, &want))
+    });
+    g.bench_function("warm", |b| {
+        b.iter(|| boot_to_first_verdict(&items, Some(&valid), &want))
+    });
+    g.bench_function("corrupt", |b| {
+        b.iter(|| boot_to_first_verdict(&items, Some(&corrupt), &want))
+    });
+    g.finish();
+
+    std::fs::remove_file(&valid).ok();
+    std::fs::remove_file(&corrupt).ok();
+
+    // Summary + the acceptance floors.
+    let recs = ssd_bench::harness::records();
+    let median = |label: &str| {
+        recs.iter()
+            .find(|r| r.label == format!("warm_start/first_verdict/{label}"))
+            .map(|r| r.median_ns)
+            .expect("bench recorded")
+    };
+    let (cold, warm, corrupt) = (median("cold"), median("warm"), median("corrupt"));
+    let speedup = cold / warm;
+    let overhead = corrupt / cold;
+    println!(
+        "warm_start summary: snapshot {bytes} bytes; cold {cold:.0} ns, warm {warm:.0} ns \
+         (speedup {speedup:.2}x, floor 5.00x); corrupt {corrupt:.0} ns (overhead {overhead:.3}x \
+         of cold, ceiling 1.10x)"
+    );
+    assert!(
+        speedup >= 5.0,
+        "warm boot must be >= 5x faster than cold (got {speedup:.2}x)"
+    );
+    assert!(
+        overhead <= 1.10,
+        "corrupt-snapshot boot must stay within 10% of cold (got {overhead:.3}x)"
+    );
+}
+
+criterion_group!(benches, warm_start);
+criterion_main!(benches);

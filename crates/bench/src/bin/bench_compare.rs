@@ -7,6 +7,9 @@
 //!   --threshold R        regression ratio gate (default 1.30)
 //!   --noise-floor-ns N   skip baselines with median < N ns (default 1000)
 //!   --allow-missing      benches absent from the candidate are non-fatal
+//!   --added-ok           candidate benches absent from the baseline are
+//!                        reported as NOTE lines instead of failing (for
+//!                        landing a new bench before its baseline row)
 //!   --inject FACTOR      multiply candidate timings by FACTOR before
 //!                        comparing (CI self-test: a synthetic regression
 //!                        must make the exit code nonzero)
@@ -30,7 +33,7 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!("bench_compare: {msg}");
     eprintln!(
         "usage: bench_compare [--threshold R] [--noise-floor-ns N] \
-         [--allow-missing] [--inject FACTOR] BASELINE.json CANDIDATE.json"
+         [--allow-missing] [--added-ok] [--inject FACTOR] BASELINE.json CANDIDATE.json"
     );
     ExitCode::from(2)
 }
@@ -51,6 +54,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--noise-floor-ns" => cfg.noise_floor_ns = flag_value("--noise-floor-ns")?,
             "--inject" => inject = flag_value("--inject")?,
             "--allow-missing" => cfg.allow_missing = true,
+            "--added-ok" => cfg.added_ok = true,
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => positional.push(other.to_owned()),
         }

@@ -46,12 +46,64 @@ fn time_ms(f: impl FnOnce()) -> f64 {
 
 fn main() {
     let telemetry = telemetry_path();
+    let snap_save = flag_path("--snapshot-save", "BENCH_session.snap");
+    let snap_load = flag_path("--snapshot-load", "BENCH_session.snap");
     table2_shape();
     optimizer_tables();
     feedback_example();
     transform_example();
     if let Some(path) = telemetry {
         telemetry_run(&path);
+    }
+    if snap_save.is_some() || snap_load.is_some() {
+        snapshot_run(snap_save.as_deref(), snap_load.as_deref());
+    }
+}
+
+/// Parses `NAME` / `NAME=PATH` from the command line (the `--telemetry`
+/// idiom), with `default` standing in for the bare form.
+fn flag_path(name: &str, default: &str) -> Option<PathBuf> {
+    for arg in std::env::args().skip(1) {
+        if arg == name {
+            return Some(PathBuf::from(default));
+        }
+        if let Some(path) = arg.strip_prefix(name).and_then(|r| r.strip_prefix('=')) {
+            return Some(PathBuf::from(path));
+        }
+    }
+    None
+}
+
+/// Warm-start demonstration: optionally hydrate a session from `load`,
+/// run the paper worked example plus a mixed workload, then optionally
+/// persist the warmed caches to `save` for the next run.
+fn snapshot_run(save: Option<&Path>, load: Option<&Path>) {
+    println!("== Snapshot: warm-start session store ==");
+    let pool = SharedInterner::new();
+    let s = parse_schema(PAPER_SCHEMA, &pool).unwrap();
+    let q = parse_query(FEEDBACK_QUERY, &pool).unwrap();
+    let sess = Session::new();
+    if let Some(path) = load {
+        let t0 = Instant::now();
+        let out = sess.load_snapshot(path, &[&s]);
+        println!(
+            "loaded {} in {:.2} ms: {out}",
+            path.display(),
+            t0.elapsed().as_secs_f64() * 1e3
+        );
+    }
+    let t0 = Instant::now();
+    let verdict = sess.satisfiable(&q, &s).unwrap();
+    println!(
+        "first verdict (satisfiable={}) in {:.2} ms",
+        verdict.satisfiable,
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    if let Some(path) = save {
+        match sess.save_snapshot(path, &[&s]) {
+            Ok(bytes) => println!("saved {bytes} bytes to {}", path.display()),
+            Err(e) => println!("snapshot save failed: {e}"),
+        }
     }
 }
 

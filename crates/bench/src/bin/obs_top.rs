@@ -254,6 +254,17 @@ fn render(snap: &MetricsSnapshot, errs: u64) -> String {
     );
     let _ = writeln!(
         out,
+        "snapshot  {} bytes retained | loaded {} | {} sections in, {} rejected",
+        snap.gauge(names::gauge::SNAPSHOT_BYTES).unwrap_or(0.0),
+        match snap.gauge(names::gauge::SNAPSHOT_AGE_SECONDS) {
+            Some(age) => format!("{age:.0}s ago"),
+            None => "never".to_owned(),
+        },
+        snap.counter_total(names::counter::SNAPSHOT_SECTION_LOADED),
+        snap.counter_total(names::counter::SNAPSHOT_SECTION_REJECTED),
+    );
+    let _ = writeln!(
+        out,
         "memory    {} type-graph bytes | {} evicted | {} blocked lock acquisitions",
         snap.gauge(names::gauge::SESSION_CACHE_BYTES).unwrap_or(0.0),
         snap.gauge(names::gauge::EVICTED_SESSION).unwrap_or(0.0),
@@ -298,6 +309,22 @@ fn main() -> ExitCode {
     ));
     let sess = Session::with_recorder(Arc::clone(&sampler) as Arc<dyn ssd_obs::Recorder>);
     let items = mixed_items();
+    // Warm-start bootstrap: persist a warmed twin session and hydrate the
+    // live one from it, so the snapshot health row (and the snapshot_*
+    // metrics in the exposition) reflect a real load.
+    {
+        let warm = Session::new();
+        for (s, q, c) in &items {
+            let _ = warm.satisfiable_with(q, s, c);
+        }
+        let path = std::env::temp_dir().join(format!("ssd-obs-top-{}.snap", std::process::id()));
+        let schemas: Vec<&Schema> = items.iter().map(|(s, _, _)| s).collect();
+        if warm.save_snapshot(&path, &schemas).is_ok() {
+            let out = sess.load_snapshot(&path, &schemas);
+            println!("obs-top: warm start: {out}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
     let stop = AtomicBool::new(false);
     let errs = AtomicU64::new(0);
 

@@ -216,6 +216,11 @@ pub struct CompareConfig {
     /// When false, a bench present in the baseline but missing from the
     /// candidate fails the comparison.
     pub allow_missing: bool,
+    /// When false, a bench present in the candidate but absent from the
+    /// baseline fails the comparison (the baseline needs a refresh); when
+    /// true such rows are reported as NOTE lines and stay non-fatal, so a
+    /// freshly added bench can land before its baseline row does.
+    pub added_ok: bool,
 }
 
 impl Default for CompareConfig {
@@ -224,6 +229,7 @@ impl Default for CompareConfig {
             threshold: 1.30,
             noise_floor_ns: 1_000.0,
             allow_missing: false,
+            added_ok: false,
         }
     }
 }
@@ -251,6 +257,8 @@ pub struct CompareReport {
     pub suspects: Vec<Regression>,
     /// Baseline labels absent from the candidate.
     pub missing: Vec<String>,
+    /// Candidate labels absent from the baseline (newly added benches).
+    pub added: Vec<String>,
     /// Number of labels compared.
     pub compared: usize,
     /// Number of baselines skipped under the noise floor.
@@ -260,7 +268,9 @@ pub struct CompareReport {
 impl CompareReport {
     /// True when the comparison should pass CI.
     pub fn is_clean(&self, cfg: &CompareConfig) -> bool {
-        self.regressions.is_empty() && (cfg.allow_missing || self.missing.is_empty())
+        self.regressions.is_empty()
+            && (cfg.allow_missing || self.missing.is_empty())
+            && (cfg.added_ok || self.added.is_empty())
     }
 
     /// Human-readable multi-line report.
@@ -294,7 +304,21 @@ impl CompareReport {
             };
             let _ = writeln!(out, "  {tag}{m}: present in baseline, absent in candidate");
         }
-        if self.regressions.is_empty() && self.missing.is_empty() {
+        for a in &self.added {
+            if cfg.added_ok {
+                let _ = writeln!(
+                    out,
+                    "  NOTE       {a}: new bench, absent from baseline (added-ok)"
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  ADDED      {a}: absent from baseline - refresh the baseline \
+                     or pass --added-ok"
+                );
+            }
+        }
+        if self.regressions.is_empty() && self.missing.is_empty() && self.added.is_empty() {
             let _ = writeln!(out, "  ok: no regressions");
         }
         out
@@ -305,6 +329,11 @@ impl CompareReport {
 /// [module docs](self) for the exact regression rule.
 pub fn compare(old: &Summary, new: &Summary, cfg: &CompareConfig) -> CompareReport {
     let mut report = CompareReport::default();
+    for nb in &new.benches {
+        if old.bench(&nb.label).is_none() {
+            report.added.push(nb.label.clone());
+        }
+    }
     for ob in &old.benches {
         let Some(nb) = new.bench(&ob.label) else {
             report.missing.push(ob.label.clone());
@@ -439,6 +468,47 @@ mod tests {
             ..strict
         };
         assert!(compare(&old, &new, &lax).is_clean(&lax));
+    }
+
+    #[test]
+    fn added_bench_fails_unless_added_ok() {
+        let old = summary(vec![bench("g/a", 5000.0, 4800.0, 5600.0)]);
+        let new = summary(vec![
+            bench("g/a", 5000.0, 4800.0, 5600.0),
+            bench("g/new", 7000.0, 6800.0, 7600.0),
+        ]);
+        let strict = CompareConfig::default();
+        let report = compare(&old, &new, &strict);
+        assert_eq!(report.added, vec!["g/new".to_owned()]);
+        assert!(!report.is_clean(&strict));
+        assert!(report.render(&strict).contains("ADDED      g/new"));
+        let lax = CompareConfig {
+            added_ok: true,
+            ..strict
+        };
+        let report = compare(&old, &new, &lax);
+        assert!(report.is_clean(&lax), "{}", report.render(&lax));
+        assert!(report.render(&lax).contains("NOTE       g/new"));
+    }
+
+    #[test]
+    fn added_ok_does_not_mask_missing_or_regressions() {
+        let old = summary(vec![
+            bench("g/a", 5000.0, 4800.0, 5600.0),
+            bench("g/gone", 5000.0, 4800.0, 5600.0),
+        ]);
+        let new = summary(vec![
+            bench("g/a", 9000.0, 8700.0, 9400.0),
+            bench("g/new", 7000.0, 6800.0, 7600.0),
+        ]);
+        let cfg = CompareConfig {
+            added_ok: true,
+            ..CompareConfig::default()
+        };
+        let report = compare(&old, &new, &cfg);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.missing, vec!["g/gone".to_owned()]);
+        assert!(!report.is_clean(&cfg));
     }
 
     #[test]

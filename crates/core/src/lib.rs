@@ -25,6 +25,7 @@ pub mod marker;
 pub mod memo;
 pub mod ptraces;
 pub mod session;
+mod snapshot;
 pub mod solver;
 pub mod tagged;
 pub mod typecheck;
@@ -40,3 +41,4 @@ pub use typecheck::{partial_type_check, total_type_check, TypeAssignment};
 
 pub use ssd_base::budget::{Budget, BudgetResult, Exhausted, Verdict};
 pub use ssd_base::Result;
+pub use ssd_snapshot::{LoadOutcome, RejectReason};

@@ -56,6 +56,18 @@ impl FeasKey {
     pub fn canonical_bytes(&self) -> &[u8] {
         &self.bytes
     }
+
+    /// Reconstructs a key from stored canonical bytes (the snapshot-load
+    /// path). The fingerprint is recomputed from the bytes, so a key
+    /// whose bytes survived a checksummed round trip is identical to the
+    /// live one — and a corrupted byte stream yields a key that simply
+    /// never matches a live query, which is harmless.
+    pub fn from_canonical_bytes(bytes: &[u8]) -> FeasKey {
+        FeasKey {
+            fp: fnv1a(bytes),
+            bytes: bytes.into(),
+        }
+    }
 }
 
 impl PartialEq for FeasKey {

@@ -180,6 +180,12 @@ pub struct Session {
     tg_misses: AtomicU64,
     fm_hits: AtomicU64,
     fm_misses: AtomicU64,
+    /// Payload bytes retained from the last [`Session::load_snapshot`]
+    /// (0 = no snapshot loaded, or the load salvaged nothing).
+    snap_bytes: AtomicU64,
+    /// Snapshot age at load time plus one (0 = no snapshot loaded), so
+    /// the all-zeroes `Default` means "none" rather than "age 0".
+    snap_age_plus1: AtomicU64,
 }
 
 impl Session {
@@ -265,6 +271,10 @@ impl Session {
         );
         registry.set_gauge(gauge::HIT_RATIO_AUTOMATA, a.hit_ratio());
         registry.set_gauge(gauge::EVICTED_SESSION, (stats.evicted + a.evicted) as f64);
+        registry.set_gauge(gauge::SNAPSHOT_BYTES, stats.snapshot_bytes as f64);
+        if let Some(age) = stats.snapshot_age_seconds {
+            registry.set_gauge(gauge::SNAPSHOT_AGE_SECONDS, age as f64);
+        }
         registry.set_gauge(
             gauge::SHARD_CONTENTION,
             (stats.contended + a.contended) as f64,
@@ -480,6 +490,269 @@ impl Session {
         }
     }
 
+    /// Serializes this session's warmed artifacts — label pools, type
+    /// graphs, feas-memo entries (per schema in `schemas`), and the
+    /// automata cache's minimized DFAs and compiled dense tables — into a
+    /// crash-safe snapshot at `path` (temp file + fsync + rename; a crash
+    /// leaves the old file or the new one, never a torn mix). Sections
+    /// are keyed by [`Schema::content_fingerprint`], so a later process
+    /// can re-associate them with re-parsed schemas. Returns the bytes
+    /// written.
+    ///
+    /// `LabelId`-bearing artifacts (everything but the pools themselves)
+    /// are valid only under the pool they were interned in; the snapshot
+    /// therefore records each schema's pool and `load_snapshot` rejects
+    /// dependent sections when the live pool disagrees. The automata
+    /// entries are attributed to `schemas[0]` (sessions run one pool);
+    /// with no schemas only pool-independent framing is written.
+    pub fn save_snapshot(
+        &self,
+        path: &std::path::Path,
+        schemas: &[&Schema],
+    ) -> std::io::Result<u64> {
+        use ssd_automata::codec;
+        let rec = self.recorder();
+        let _span = ssd_obs::span(rec, names::span::SNAPSHOT_SAVE);
+        let mut writer = ssd_snapshot::SnapshotWriter::new();
+        for s in schemas {
+            let fp = s.content_fingerprint();
+            let mut w = ssd_base::ByteWriter::new();
+            ssd_snapshot::encode_pool(s.pool(), &mut w);
+            writer.section(ssd_snapshot::tag::LABEL_POOL, fp, w.into_bytes());
+            if let Some(tg) = self.type_graphs.get(&s.uid()) {
+                let mut w = ssd_base::ByteWriter::new();
+                tg.value.encode(&mut w);
+                writer.section(ssd_snapshot::tag::TYPE_GRAPH, fp, w.into_bytes());
+            }
+            let entries = self.feas_memo.fold(Vec::new(), |mut acc, k, v| {
+                if k.schema == s.uid() {
+                    acc.push((k.key.clone(), Arc::clone(&v.value)));
+                }
+                acc
+            });
+            if !entries.is_empty() {
+                let mut w = ssd_base::ByteWriter::new();
+                w.put_u32(entries.len() as u32);
+                for (key, analysis) in &entries {
+                    w.put_len_bytes(key.canonical_bytes());
+                    crate::snapshot::encode_feas(analysis, &mut w);
+                }
+                writer.section(ssd_snapshot::tag::FEAS_MEMO, fp, w.into_bytes());
+            }
+        }
+        if let Some(owner) = schemas.first() {
+            let fp = owner.content_fingerprint();
+            // One section per cache entry: per-entry CRCs mean one
+            // corrupted table costs exactly one recompute, not the whole
+            // automata cache.
+            for (re, dfa) in self.automata.export_dfas() {
+                let mut w = ssd_base::ByteWriter::new();
+                codec::encode_regex(&re, &mut w);
+                codec::encode_dfa(&dfa, &mut w, codec::encode_label_atom);
+                writer.section(ssd_snapshot::tag::DFA, fp, w.into_bytes());
+            }
+            for (re, c) in self.automata.export_compiled() {
+                let mut w = ssd_base::ByteWriter::new();
+                codec::encode_regex(&re, &mut w);
+                codec::encode_compiled(&c, &mut w, |k, w| w.put_u32(k.0));
+                writer.section(ssd_snapshot::tag::COMPILED_DFA, fp, w.into_bytes());
+            }
+        }
+        writer.write_atomic(path)
+    }
+
+    /// Loads a snapshot written by [`Session::save_snapshot`], hydrating
+    /// every section that survives validation into this session's caches
+    /// and degrading the rest to recompute-on-demand. **Total**: any
+    /// corruption, truncation, version or format skew, unknown schema, or
+    /// pool disagreement rejects the affected section (or, for header
+    /// damage, the whole file) in the returned [`ssd_snapshot::LoadOutcome`]
+    /// — the session is always left fully usable and warm verdicts stay
+    /// bit-identical to cold ones, because hydrated values pass the same
+    /// structural validation live construction guarantees and publish
+    /// through the same double-checked cache-insert paths.
+    pub fn load_snapshot(
+        &self,
+        path: &std::path::Path,
+        schemas: &[&Schema],
+    ) -> ssd_snapshot::LoadOutcome {
+        use ssd_automata::codec;
+        use ssd_snapshot::{tag, LoadOutcome, RejectReason};
+        /// Decode-work budget per section; corrupt payloads declaring
+        /// absurd sizes stop here instead of grinding or allocating.
+        const SECTION_FUEL: u64 = 1 << 24;
+
+        let rec = self.recorder();
+        let _span = ssd_obs::span(rec, names::span::SNAPSHOT_LOAD);
+        let finish = |out: LoadOutcome| {
+            self.snap_bytes.store(out.bytes_retained, Ordering::Relaxed);
+            self.snap_age_plus1.store(
+                out.age_seconds.map_or(0, |a| a.saturating_add(1)),
+                Ordering::Relaxed,
+            );
+            out.record(rec);
+            out
+        };
+        let Ok(bytes) = std::fs::read(path) else {
+            return finish(LoadOutcome::rejected_outright(
+                RejectReason::TruncatedHeader,
+            ));
+        };
+        let parsed = match ssd_snapshot::parse(&bytes) {
+            Ok(p) => p,
+            Err(rej) => return finish(LoadOutcome::rejected_outright(rej.reason)),
+        };
+        let mut out = LoadOutcome::default();
+        for rej in parsed.rejected {
+            out.note_rejected(rej.tag, rej.reason);
+        }
+        if parsed.written_at > 0 {
+            let now = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            out.age_seconds = Some(now.saturating_sub(parsed.written_at));
+        }
+        let by_fp: std::collections::HashMap<u64, &Schema> = schemas
+            .iter()
+            .map(|s| (s.content_fingerprint(), *s))
+            .collect();
+        // Pool agreement per schema fingerprint. Save order puts each
+        // pool before its dependents, so a single in-order pass suffices;
+        // a missing/corrupt/mismatched pool conservatively rejects every
+        // `LabelId`-keyed section of that schema.
+        let mut pool_ok: std::collections::HashMap<u64, bool> = std::collections::HashMap::new();
+        for sec in &parsed.sections {
+            let Some(schema) = by_fp.get(&sec.meta).copied() else {
+                out.note_rejected(Some(sec.tag), RejectReason::UnknownSchema);
+                continue;
+            };
+            let mut r = ssd_base::ByteReader::new(sec.payload);
+            let mut fuel = SECTION_FUEL;
+            if sec.tag != tag::LABEL_POOL && pool_ok.get(&sec.meta) != Some(&true) {
+                out.note_rejected(Some(sec.tag), RejectReason::PoolMismatch);
+                continue;
+            }
+            match sec.tag {
+                tag::LABEL_POOL => match ssd_snapshot::hydrate_pool(schema.pool(), &mut r) {
+                    None => out.note_rejected(Some(sec.tag), RejectReason::Decode),
+                    Some(false) => {
+                        pool_ok.insert(sec.meta, false);
+                        out.note_rejected(Some(sec.tag), RejectReason::PoolMismatch);
+                    }
+                    Some(true) => {
+                        pool_ok.insert(sec.meta, true);
+                        out.note_loaded(sec.payload.len(), 0);
+                    }
+                },
+                tag::TYPE_GRAPH => match TypeGraph::decode(&mut r, &mut fuel, schema) {
+                    Some(tg) => {
+                        self.type_graphs.insert_if_absent(
+                            schema.uid(),
+                            Tracked::new(Arc::new(tg), self.tg_epoch.load(Ordering::Relaxed)),
+                        );
+                        out.note_loaded(sec.payload.len(), 1);
+                    }
+                    None => out.note_rejected(
+                        Some(sec.tag),
+                        if fuel == 0 {
+                            RejectReason::Fuel
+                        } else {
+                            RejectReason::Decode
+                        },
+                    ),
+                },
+                tag::DFA => {
+                    let decoded = codec::decode_regex(&mut r, &mut fuel).and_then(|re| {
+                        codec::decode_dfa(&mut r, &mut fuel, codec::decode_label_atom)
+                            .map(|d| (re, d))
+                    });
+                    match decoded {
+                        Some((re, dfa)) => {
+                            self.automata.hydrate_dfa(&re, dfa);
+                            out.note_loaded(sec.payload.len(), 1);
+                        }
+                        None => out.note_rejected(
+                            Some(sec.tag),
+                            if fuel == 0 {
+                                RejectReason::Fuel
+                            } else {
+                                RejectReason::Decode
+                            },
+                        ),
+                    }
+                }
+                tag::COMPILED_DFA => {
+                    let decoded = codec::decode_regex(&mut r, &mut fuel).and_then(|re| {
+                        codec::decode_compiled(&mut r, &mut fuel, |r| {
+                            r.get_u32().map(ssd_base::LabelId)
+                        })
+                        .map(|c| (re, c))
+                    });
+                    match decoded {
+                        Some((re, c)) => {
+                            self.automata.hydrate_compiled(&re, c);
+                            out.note_loaded(sec.payload.len(), 1);
+                        }
+                        None => out.note_rejected(
+                            Some(sec.tag),
+                            if fuel == 0 {
+                                RejectReason::Fuel
+                            } else {
+                                RejectReason::Decode
+                            },
+                        ),
+                    }
+                }
+                tag::FEAS_MEMO => {
+                    // Decode the whole section before publishing any
+                    // entry, so a mid-section decode failure never leaves
+                    // a partially hydrated memo behind.
+                    let decoded = (|| {
+                        let n = r.get_count(crate::snapshot::MAX_VARS)?;
+                        let mut entries = Vec::with_capacity(n.min(1024));
+                        for _ in 0..n {
+                            let key_bytes = r.get_len_bytes(sec.payload.len())?;
+                            let key = FeasKey::from_canonical_bytes(key_bytes);
+                            let analysis =
+                                crate::snapshot::decode_feas(&mut r, &mut fuel, schema.len())?;
+                            entries.push((key, analysis));
+                        }
+                        Some(entries)
+                    })();
+                    match decoded {
+                        Some(entries) => {
+                            let count = entries.len() as u64;
+                            let epoch = self.fm_epoch.load(Ordering::Relaxed);
+                            for (key, analysis) in entries {
+                                self.feas_memo.insert_if_absent(
+                                    FeasMemoKey {
+                                        schema: schema.uid(),
+                                        key,
+                                    },
+                                    Tracked::new(Arc::new(analysis), epoch),
+                                );
+                            }
+                            out.note_loaded(sec.payload.len(), count);
+                        }
+                        None => out.note_rejected(
+                            Some(sec.tag),
+                            if fuel == 0 {
+                                RejectReason::Fuel
+                            } else {
+                                RejectReason::Decode
+                            },
+                        ),
+                    }
+                }
+                // Unknown tag from a future writer: not salvageable here,
+                // degrade to recompute.
+                _ => out.note_rejected(Some(sec.tag), RejectReason::Decode),
+            }
+        }
+        finish(out)
+    }
+
     /// Satisfiability (type correctness) through this session's caches.
     pub fn satisfiable(&self, q: &Query, s: &Schema) -> Result<SatOutcome> {
         dispatch::satisfiable_with_in(q, s, &Constraints::none(), self)
@@ -573,6 +846,11 @@ impl Session {
             },
             contended: self.type_graphs.contended() + self.feas_memo.contended(),
             feas_memo_contention: self.feas_memo.contention_by_shard(),
+            snapshot_bytes: self.snap_bytes.load(Ordering::Relaxed),
+            snapshot_age_seconds: match self.snap_age_plus1.load(Ordering::Relaxed) {
+                0 => None,
+                n => Some(n - 1),
+            },
         }
     }
 }
@@ -604,6 +882,11 @@ pub struct SessionStats {
     /// Blocked acquisitions per shard of the feas memo (the table the
     /// concurrency bench hammers), in shard order.
     pub feas_memo_contention: [u64; ssd_automata::SHARDS],
+    /// Payload bytes retained from the last snapshot load (0 when no
+    /// snapshot was loaded or nothing survived validation).
+    pub snapshot_bytes: u64,
+    /// Age of the last loaded snapshot at load time, if one was loaded.
+    pub snapshot_age_seconds: Option<u64>,
 }
 
 impl std::fmt::Display for SessionStats {
@@ -655,6 +938,14 @@ impl std::fmt::Display for SessionStats {
             "feas memo: {} entries; session shard contention: {} blocked acquisitions",
             self.feas_memos, self.contended
         )?;
+        match self.snapshot_age_seconds {
+            Some(age) => writeln!(
+                f,
+                "snapshot: {} bytes retained, loaded at age {age}s",
+                self.snapshot_bytes
+            )?,
+            None => writeln!(f, "snapshot: none loaded")?,
+        }
         let fmt_limit = |l: Option<usize>| match l {
             Some(n) => n.to_string(),
             None => "unlimited".to_string(),
@@ -813,6 +1104,49 @@ mod tests {
         let stats = sess.stats();
         assert!(stats.evicted > 0);
         assert!(stats.feas_memos <= 3, "cap plus at most one fresh insert");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_warms_a_fresh_session() {
+        let (q, s) = setup();
+        let warm = Session::new();
+        let cold_verdict = warm.satisfiable(&q, &s).unwrap();
+        let dir = std::env::temp_dir().join(format!("ssd-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.snap");
+        warm.save_snapshot(&path, &[&s]).unwrap();
+
+        let restored = Session::new();
+        let out = restored.load_snapshot(&path, &[&s]);
+        assert!(out.any_loaded(), "{out}");
+        assert_eq!(out.sections_rejected, 0, "{out}");
+        let stats = restored.stats();
+        assert!(stats.snapshot_bytes > 0);
+        assert!(stats.snapshot_age_seconds.is_some());
+        // The first query on the restored session is answered from the
+        // hydrated feas memo, and agrees with the cold verdict.
+        assert_eq!(restored.satisfiable(&q, &s).unwrap(), cold_verdict);
+        let after = restored.stats();
+        assert_eq!(after.feas_memo_table.hits, 1);
+        assert_eq!(after.feas_memo_table.misses, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_load_of_garbage_leaves_session_usable() {
+        let (q, s) = setup();
+        let dir = std::env::temp_dir().join(format!("ssd-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.snap");
+        std::fs::write(&path, b"definitely not a snapshot").unwrap();
+        let sess = Session::new();
+        let out = sess.load_snapshot(&path, &[&s]);
+        assert!(!out.any_loaded());
+        assert!(out.sections_rejected > 0);
+        assert_eq!(sess.stats().snapshot_bytes, 0);
+        let verdict = sess.satisfiable(&q, &s).unwrap();
+        assert_eq!(verdict, Session::new().satisfiable(&q, &s).unwrap());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Payload codecs for the session pieces of the warm-start snapshot
+//! ([`crate::Session::save_snapshot`] / `load_snapshot`): feas-memo
+//! entries. Container framing lives in `ssd-snapshot`, automata payloads
+//! in `ssd_automata::codec`, type-graph payloads in `ssd-schema`.
+
+use std::collections::BTreeSet;
+
+use ssd_automata::codec;
+use ssd_base::{ByteReader, ByteWriter, TypeIdx};
+
+use crate::feas::FeasAnalysis;
+
+/// Ceiling on the per-analysis variable count a snapshot may declare.
+pub(crate) const MAX_VARS: usize = 1 << 16;
+
+/// Encodes one [`FeasAnalysis`]: per-variable feasible-type sets (in
+/// `BTreeSet` order, so the encoding is canonical) plus the verdict.
+pub(crate) fn encode_feas(a: &FeasAnalysis, w: &mut ByteWriter) {
+    w.put_u32(a.feas.len() as u32);
+    for set in &a.feas {
+        w.put_u32(set.len() as u32);
+        for t in set {
+            w.put_u32(t.index() as u32);
+        }
+    }
+    w.put_u8(u8::from(a.satisfiable));
+}
+
+/// Decodes one [`FeasAnalysis`] against a schema with `num_types` types.
+/// Total: counts are capped (a feasible set can never exceed the type
+/// count), every type index is range-checked, work is fuel-bounded.
+pub(crate) fn decode_feas(
+    r: &mut ByteReader<'_>,
+    fuel: &mut u64,
+    num_types: usize,
+) -> Option<FeasAnalysis> {
+    let nv = r.get_count(MAX_VARS)?;
+    codec::spend(fuel, nv as u64)?;
+    let mut feas = Vec::with_capacity(nv.min(1024));
+    for _ in 0..nv {
+        let k = r.get_count(num_types)?;
+        codec::spend(fuel, k as u64)?;
+        let mut set = BTreeSet::new();
+        for _ in 0..k {
+            let t = r.get_u32()? as usize;
+            if t >= num_types {
+                return None;
+            }
+            set.insert(TypeIdx::from_usize(t));
+        }
+        feas.push(set);
+    }
+    let satisfiable = match r.get_u8()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    Some(FeasAnalysis { feas, satisfiable })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feas_roundtrip() {
+        let a = FeasAnalysis {
+            feas: vec![
+                [TypeIdx(0), TypeIdx(2)].into_iter().collect(),
+                BTreeSet::new(),
+                [TypeIdx(1)].into_iter().collect(),
+            ],
+            satisfiable: true,
+        };
+        let mut w = ByteWriter::new();
+        encode_feas(&a, &mut w);
+        let bytes = w.into_bytes();
+        let mut fuel = 1 << 16;
+        let back = decode_feas(&mut ByteReader::new(&bytes), &mut fuel, 3).unwrap();
+        assert_eq!(back.feas, a.feas);
+        assert_eq!(back.satisfiable, a.satisfiable);
+    }
+
+    #[test]
+    fn feas_decoder_rejects_out_of_range_types() {
+        let a = FeasAnalysis {
+            feas: vec![[TypeIdx(5)].into_iter().collect()],
+            satisfiable: false,
+        };
+        let mut w = ByteWriter::new();
+        encode_feas(&a, &mut w);
+        let bytes = w.into_bytes();
+        let mut fuel = 1 << 16;
+        assert!(decode_feas(&mut ByteReader::new(&bytes), &mut fuel, 3).is_none());
+    }
+}

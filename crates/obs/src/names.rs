@@ -61,6 +61,12 @@ pub mod span {
     pub const LINT_LABELS: &str = "lint_labels";
     /// Lint phase: redundant-constraint detection.
     pub const LINT_REDUNDANT: &str = "lint_redundant";
+    /// Loading a warm-start snapshot into a session
+    /// (`ssd_core::Session::load_snapshot`).
+    pub const SNAPSHOT_LOAD: &str = "snapshot_load";
+    /// Serializing a warmed session to a snapshot file
+    /// (`ssd_core::Session::save_snapshot`).
+    pub const SNAPSHOT_SAVE: &str = "snapshot_save";
 }
 
 /// Counter names. Cache counters come in `_hit`/`_miss` pairs, one pair
@@ -129,6 +135,14 @@ pub mod counter {
     pub const CACHE_EVICTED: &str = "cache_evicted";
     /// Diagnostics produced by a lint pass (all severities).
     pub const LINT_DIAGNOSTICS: &str = "lint_diagnostics";
+    /// Snapshot sections decoded, validated, and hydrated into caches.
+    pub const SNAPSHOT_SECTION_LOADED: &str = "snapshot_section_loaded";
+    /// Snapshot sections rejected (CRC mismatch, truncation, version or
+    /// fingerprint skew, decode failure) and degraded to recompute.
+    pub const SNAPSHOT_SECTION_REJECTED: &str = "snapshot_section_rejected";
+    /// Artifacts recomputed because their snapshot section was absent or
+    /// rejected — the cost the warm start failed to save.
+    pub const SNAPSHOT_SECTION_RECOMPUTED: &str = "snapshot_section_recomputed";
 }
 
 /// Gauge names: point-in-time values published into a
@@ -170,4 +184,10 @@ pub mod gauge {
     pub const OBS_TRACES_SAMPLED: &str = "obs_traces_sampled";
     /// Unsampled traces promoted by a budget exhaustion.
     pub const OBS_TRACES_PROMOTED: &str = "obs_traces_promoted";
+    /// Bytes retained from the last successfully loaded snapshot (0 when
+    /// no snapshot is loaded or the last load salvaged nothing).
+    pub const SNAPSHOT_BYTES: &str = "snapshot_bytes";
+    /// Age of the last loaded snapshot in seconds (time since its
+    /// `written_at` header stamp at load time).
+    pub const SNAPSHOT_AGE_SECONDS: &str = "snapshot_age_seconds";
 }

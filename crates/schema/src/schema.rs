@@ -163,6 +163,86 @@ impl Schema {
             .map(|d| 1 + d.regex().map_or(0, |r| r.size()))
             .sum()
     }
+
+    /// A structural fingerprint of this schema's *content*: type names,
+    /// referenceability, root, kinds, and regexes with edge labels
+    /// resolved to their *names* (so two processes that interned labels
+    /// in different orders still agree). Excludes [`Schema::uid`]
+    /// (process-local) and spans (presentation-only). This is the
+    /// cross-process identity snapshot sections are keyed by: equal
+    /// fingerprints mean snapshot artifacts derived from one schema are
+    /// valid for the other.
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut w = ssd_base::ByteWriter::with_capacity(256);
+        w.put_u32(self.defs.len() as u32);
+        w.put_u32(self.root.index() as u32);
+        for (i, def) in self.defs.iter().enumerate() {
+            w.put_str(&self.names[i]);
+            w.put_u8(u8::from(self.referenceable[i]));
+            match def {
+                TypeDef::Atomic(a) => {
+                    w.put_u8(0);
+                    w.put_u8(*a as u8);
+                }
+                TypeDef::Unordered(r) => {
+                    w.put_u8(1);
+                    fingerprint_regex(r, &self.pool, &mut w);
+                }
+                TypeDef::Ordered(r) => {
+                    w.put_u8(2);
+                    fingerprint_regex(r, &self.pool, &mut w);
+                }
+            }
+        }
+        ssd_base::fnv1a64(w.as_slice())
+    }
+}
+
+/// Writes the canonical byte form of a schema regex for
+/// [`Schema::content_fingerprint`]: structure tags follow the snapshot
+/// regex codec, atoms are `(label name, target index)` so the encoding is
+/// independent of the interner's id assignment.
+fn fingerprint_regex(
+    re: &ssd_automata::Regex<SchemaAtom>,
+    pool: &SharedInterner,
+    w: &mut ssd_base::ByteWriter,
+) {
+    use ssd_automata::Regex;
+    match re {
+        Regex::Empty => w.put_u8(0),
+        Regex::Epsilon => w.put_u8(1),
+        Regex::Atom(a) => {
+            w.put_u8(3);
+            w.put_str(&pool.resolve(a.label));
+            w.put_u32(a.target.index() as u32);
+        }
+        Regex::Star(inner) => {
+            w.put_u8(4);
+            fingerprint_regex(inner, pool, w);
+        }
+        Regex::Plus(inner) => {
+            w.put_u8(5);
+            fingerprint_regex(inner, pool, w);
+        }
+        Regex::Opt(inner) => {
+            w.put_u8(6);
+            fingerprint_regex(inner, pool, w);
+        }
+        Regex::Concat(parts) => {
+            w.put_u8(7);
+            w.put_u32(parts.len() as u32);
+            for p in parts {
+                fingerprint_regex(p, pool, w);
+            }
+        }
+        Regex::Alt(parts) => {
+            w.put_u8(8);
+            w.put_u32(parts.len() as u32);
+            for p in parts {
+                fingerprint_regex(p, pool, w);
+            }
+        }
+    }
 }
 
 impl fmt::Display for Schema {

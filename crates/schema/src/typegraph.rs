@@ -12,7 +12,7 @@
 
 use std::collections::HashSet;
 
-use ssd_automata::ops;
+use ssd_automata::{codec, ops};
 use ssd_automata::{Nfa, StateId};
 use ssd_base::TypeIdx;
 
@@ -147,6 +147,96 @@ impl TypeGraph {
     pub fn example_word(&self, t: TypeIdx) -> Option<Vec<SchemaAtom>> {
         self.pruned_nfa(t).and_then(ops::shortest_witness)
     }
+
+    /// Encodes this type graph as a snapshot `TYPE_GRAPH` payload.
+    /// `SchemaAtom`s are written as raw `(label id, target index)` pairs,
+    /// so the payload is only meaningful under the label pool it was
+    /// written with — loaders gate it on pool agreement.
+    pub fn encode(&self, w: &mut ssd_base::ByteWriter) {
+        let n = self.inhabited.len();
+        w.put_u32(n as u32);
+        for &b in &self.inhabited {
+            w.put_u8(u8::from(b));
+        }
+        for p in &self.pruned {
+            match p {
+                None => w.put_u8(0),
+                Some(nfa) => {
+                    w.put_u8(1);
+                    codec::encode_nfa(nfa, w, encode_schema_atom);
+                }
+            }
+        }
+        for step in &self.steps {
+            w.put_u32(step.len() as u32);
+            for a in step {
+                encode_schema_atom(a, w);
+            }
+        }
+    }
+
+    /// Decodes a `TYPE_GRAPH` payload against the live `schema`. Total:
+    /// the type count must match the schema exactly, every atom's target
+    /// is range-checked, and automaton decoding is fuel-bounded — any
+    /// violation returns `None` and the caller recomputes the graph.
+    pub fn decode(
+        r: &mut ssd_base::ByteReader<'_>,
+        fuel: &mut u64,
+        schema: &Schema,
+    ) -> Option<TypeGraph> {
+        let n = r.get_count(codec::MAX_STATES)?;
+        if n != schema.len() {
+            return None;
+        }
+        codec::spend(fuel, n as u64)?;
+        let mut inhabited = Vec::with_capacity(n);
+        for _ in 0..n {
+            match r.get_u8()? {
+                0 => inhabited.push(false),
+                1 => inhabited.push(true),
+                _ => return None,
+            }
+        }
+        let mut pruned = Vec::with_capacity(n);
+        for _ in 0..n {
+            match r.get_u8()? {
+                0 => pruned.push(None),
+                1 => pruned.push(Some(codec::decode_nfa(r, fuel, |r| {
+                    decode_schema_atom(r, n)
+                })?)),
+                _ => return None,
+            }
+        }
+        let mut steps = Vec::with_capacity(n);
+        for _ in 0..n {
+            let k = r.get_count(codec::MAX_EDGES)?;
+            codec::spend(fuel, k as u64)?;
+            let mut step = Vec::with_capacity(k.min(1024));
+            for _ in 0..k {
+                step.push(decode_schema_atom(r, n)?);
+            }
+            steps.push(step);
+        }
+        Some(TypeGraph {
+            inhabited,
+            pruned,
+            steps,
+        })
+    }
+}
+
+fn encode_schema_atom(a: &SchemaAtom, w: &mut ssd_base::ByteWriter) {
+    w.put_u32(a.label.0);
+    w.put_u32(a.target.index() as u32);
+}
+
+fn decode_schema_atom(r: &mut ssd_base::ByteReader<'_>, num_types: usize) -> Option<SchemaAtom> {
+    let label = ssd_base::LabelId(r.get_u32()?);
+    let target = r.get_u32()? as usize;
+    if target >= num_types {
+        return None;
+    }
+    Some(SchemaAtom::new(label, TypeIdx::from_usize(target)))
 }
 
 /// Whether a node of type `t` can be realized by a finite graph, assuming

@@ -39,4 +39,5 @@ pub use ssd_obs as obs;
 pub use ssd_optimizer as optimizer;
 pub use ssd_query as query;
 pub use ssd_schema as schema;
+pub use ssd_snapshot as snapshot;
 pub use ssd_transform as transform;

@@ -187,6 +187,86 @@ fn valid_exemplars_still_parse() {
     }
 }
 
+/// Byte-soup fuzzing of the *binary* front-end: the snapshot container
+/// parser and the full `Session::load_snapshot` path must return a
+/// structured outcome — never panic, hang, or leave the session claiming
+/// retained snapshot bytes after a failed load.
+#[test]
+fn snapshot_decoder_survives_byte_soup() {
+    use ssd::core::Session;
+    let pool = SharedInterner::new();
+    let schema = ssd::schema::parse_schema(SCHEMAS[0], &pool).unwrap();
+    let dir = std::env::temp_dir().join(format!("ssd-snap-fuzz-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xBEEF + seed);
+        let len = rng.gen_range(0..2048usize);
+        let mut bytes: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+        // Half the inputs start with the real magic so the fuzz reaches
+        // past the first gate.
+        if rng.gen_bool(0.5) && bytes.len() >= 8 {
+            bytes[..8].copy_from_slice(b"SSDSNAP1");
+        }
+        // The container parser is total on any byte string.
+        let _ = ssd::snapshot::parse(&bytes);
+        // And the full session load path degrades, never poisons.
+        let path = dir.join(format!("soup-{seed}.snap"));
+        std::fs::write(&path, &bytes).unwrap();
+        let sess = Session::new();
+        let out = sess.load_snapshot(&path, &[&schema]);
+        std::fs::remove_file(&path).ok();
+        if !out.any_loaded() {
+            assert_eq!(
+                sess.stats().snapshot_bytes,
+                0,
+                "failed load must retain zero snapshot bytes (seed {seed})"
+            );
+        }
+        let q = ssd::query::parse_query(QUERIES[0], &pool).unwrap();
+        let _ = sess.satisfiable(&q, &schema).unwrap();
+    }
+}
+
+/// Mutated *valid* snapshots: flip random bytes of a genuinely warmed
+/// image. Every mutation must yield a clean partial load (or a clean
+/// whole-file reject) with verdicts identical to cold.
+#[test]
+fn mutated_valid_snapshots_never_panic() {
+    use ssd::core::Session;
+    let pool = SharedInterner::new();
+    let schema = ssd::schema::parse_schema(SCHEMAS[0], &pool).unwrap();
+    let query = ssd::query::parse_query(QUERIES[0], &pool).unwrap();
+    let warm = Session::new();
+    let cold_verdict = warm.satisfiable(&query, &schema).unwrap();
+    let dir = std::env::temp_dir().join(format!("ssd-snap-fuzz-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base_path = dir.join("valid.snap");
+    warm.save_snapshot(&base_path, &[&schema]).unwrap();
+    let base = std::fs::read(&base_path).unwrap();
+    std::fs::remove_file(&base_path).ok();
+    for seed in 0..96u64 {
+        let mut rng = StdRng::seed_from_u64(0xCAFE + seed);
+        let mut bytes = base.clone();
+        for _ in 0..(1 + rng.gen_range(0..8usize)) {
+            let at = rng.gen_range(0..bytes.len());
+            bytes[at] ^= 1u8 << rng.gen_range(0..8u32);
+        }
+        let path = dir.join(format!("mut-{seed}.snap"));
+        std::fs::write(&path, &bytes).unwrap();
+        let sess = Session::new();
+        let out = sess.load_snapshot(&path, &[&schema]);
+        std::fs::remove_file(&path).ok();
+        if !out.any_loaded() {
+            assert_eq!(sess.stats().snapshot_bytes, 0, "seed {seed}");
+        }
+        assert_eq!(
+            sess.satisfiable(&query, &schema).unwrap(),
+            cold_verdict,
+            "mutation (seed {seed}) changed a verdict"
+        );
+    }
+}
+
 #[test]
 fn adversarial_depth_and_length_are_rejected_structurally() {
     let pool = SharedInterner::new();

@@ -1,0 +1,149 @@
+//! Warm-equals-cold differential suite for the snapshot store: a session
+//! hydrated from a snapshot must answer every query in the suite
+//! bit-identically to a cold session — across the random join-free
+//! workload family and the 3SAT reduction family — and a warm repeat of
+//! the saving process's own workload must be answered from the hydrated
+//! caches, not recomputed.
+
+use std::path::PathBuf;
+
+use ssd::base::rng::StdRng;
+use ssd::core::Session;
+use ssd::gen::sat3::Sat3;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ssd-snapshot-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn warm_verdicts_match_cold_on_random_workloads() {
+    const SEEDS: &[u64] = &[9001, 9002, 9003, 9004, 9005, 9006];
+    // Cold pass: compute verdicts, then persist the warmed session.
+    let warm_src = Session::new();
+    let mut cold_verdicts = Vec::new();
+    {
+        let suite: Vec<_> = SEEDS.iter().map(|&seed| ssd_bench_workload(seed)).collect();
+        for (s, q) in &suite {
+            cold_verdicts.push(warm_src.satisfiable(q, s).unwrap());
+        }
+        let path = tmp("workloads.snap");
+        let schemas: Vec<_> = suite.iter().map(|(s, _)| s).collect();
+        warm_src.save_snapshot(&path, &schemas).unwrap();
+
+        // Fresh process simulation: regenerate the identical suite (same
+        // seeds, fresh pools) and hydrate a fresh session.
+        let suite2: Vec<_> = SEEDS.iter().map(|&seed| ssd_bench_workload(seed)).collect();
+        let restored = Session::new();
+        let schemas2: Vec<_> = suite2.iter().map(|(s, _)| s).collect();
+        let out = restored.load_snapshot(&path, &schemas2);
+        std::fs::remove_file(&path).ok();
+        assert!(out.any_loaded(), "{out}");
+        assert_eq!(out.sections_rejected, 0, "{out}");
+
+        for ((s, q), cold) in suite2.iter().zip(&cold_verdicts) {
+            let warm = restored.satisfiable(q, s).unwrap();
+            assert_eq!(&warm, cold, "warm verdict diverged from cold");
+        }
+        // Every regenerated query was answered from the hydrated feas
+        // memo: zero misses on the warm session.
+        let stats = restored.stats();
+        assert_eq!(stats.feas_memo_table.misses, 0, "warm run recomputed");
+        assert_eq!(stats.feas_memo_table.hits, SEEDS.len() as u64);
+    }
+}
+
+fn ssd_bench_workload(seed: u64) -> (ssd::schema::Schema, ssd::query::Query) {
+    // Inline twin of ssd_bench::workload (the bench crate is not a dep of
+    // the integration tests): deterministic pool + schema + query.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = ssd::base::SharedInterner::new();
+    let scfg = ssd::gen::schema_gen::SchemaGenConfig {
+        num_types: 10,
+        ..Default::default()
+    };
+    let schema = ssd::gen::schema_gen::ordered_schema(&mut rng, &pool, &scfg);
+    let tg = ssd::schema::TypeGraph::new(&schema);
+    let qcfg = ssd::gen::query_gen::QueryGenConfig {
+        num_defs: 2,
+        ..Default::default()
+    };
+    let q = ssd::gen::query_gen::joinfree_query(&schema, &tg, &mut rng, &qcfg)
+        .expect("generated query parses");
+    (schema, q)
+}
+
+#[test]
+fn warm_verdicts_match_cold_on_3sat_family() {
+    let instances: Vec<Sat3> = [(3u64, 3usize, 6usize), (4, 4, 8), (5, 5, 10)]
+        .iter()
+        .map(|&(seed, v, c)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Sat3::random(&mut rng, v, c)
+        })
+        .collect();
+
+    let parse = |f: &Sat3| {
+        let pool = ssd::base::SharedInterner::new();
+        let s = ssd::schema::parse_schema(&f.schema_text(), &pool).unwrap();
+        let q = ssd::query::parse_query(&f.query_text(), &pool).unwrap();
+        (s, q)
+    };
+
+    let warm_src = Session::new();
+    let suite: Vec<_> = instances.iter().map(parse).collect();
+    let cold: Vec<_> = suite
+        .iter()
+        .map(|(s, q)| warm_src.satisfiable(q, s).unwrap())
+        .collect();
+    let path = tmp("sat3.snap");
+    let schemas: Vec<_> = suite.iter().map(|(s, _)| s).collect();
+    warm_src.save_snapshot(&path, &schemas).unwrap();
+
+    let suite2: Vec<_> = instances.iter().map(parse).collect();
+    let restored = Session::new();
+    let schemas2: Vec<_> = suite2.iter().map(|(s, _)| s).collect();
+    let out = restored.load_snapshot(&path, &schemas2);
+    std::fs::remove_file(&path).ok();
+    assert!(out.any_loaded(), "{out}");
+    assert_eq!(out.sections_rejected, 0, "{out}");
+    for ((s, q), cold) in suite2.iter().zip(&cold) {
+        assert_eq!(&restored.satisfiable(q, s).unwrap(), cold);
+    }
+}
+
+/// Inference (the richer API: full assignment enumeration) also agrees
+/// warm vs cold after a snapshot round trip.
+#[test]
+fn warm_inference_matches_cold() {
+    let (s, q) = ssd_bench_workload(9100);
+    let warm_src = Session::new();
+    let cold = warm_src.infer(&q, &s).unwrap();
+    let path = tmp("infer.snap");
+    warm_src.save_snapshot(&path, &[&s]).unwrap();
+
+    let (s2, q2) = ssd_bench_workload(9100);
+    let restored = Session::new();
+    let out = restored.load_snapshot(&path, &[&s2]);
+    std::fs::remove_file(&path).ok();
+    assert!(out.any_loaded());
+    assert_eq!(restored.infer(&q2, &s2).unwrap(), cold);
+}
+
+/// Saving and re-loading into the *same* session is a no-op for verdicts
+/// and never duplicates cache entries (insert-if-absent publish path).
+#[test]
+fn self_reload_is_idempotent() {
+    let (s, q) = ssd_bench_workload(9200);
+    let sess = Session::new();
+    let before = sess.satisfiable(&q, &s).unwrap();
+    let entries_before = sess.stats().feas_memos;
+    let path = tmp("self.snap");
+    sess.save_snapshot(&path, &[&s]).unwrap();
+    let out = sess.load_snapshot(&path, &[&s]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.sections_rejected, 0, "{out}");
+    assert_eq!(sess.stats().feas_memos, entries_before);
+    assert_eq!(sess.satisfiable(&q, &s).unwrap(), before);
+}
