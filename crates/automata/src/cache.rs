@@ -28,9 +28,8 @@
 //! function of its key — so the cache only grows, and verdicts stay
 //! bit-identical to what the uncached constructions produce.
 
+use ssd_base::sync::{Arc, AtomicBool, AtomicU64, Ordering, RwLock};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
 
 use ssd_base::LabelId;
 use ssd_obs::{names, Recorder};
@@ -300,6 +299,10 @@ impl AutomataCache {
     /// NFA/DFA path behind the same entry points, for differential
     /// testing. Verdicts are identical either way.
     pub fn set_compiled(&self, on: bool) {
+        // Relaxed: the flag selects between two engines that return
+        // identical verdicts, so a comparison that reads the old value
+        // mid-toggle is still correct — no other memory is published
+        // through this store.
         self.interpret_only.store(!on, Ordering::Relaxed);
     }
 

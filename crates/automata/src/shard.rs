@@ -27,10 +27,11 @@
 //! by [`ShardedMap::contended`]), which the concurrency bench reports per
 //! cache table.
 
+use ssd_base::sync::{
+    AtomicU64, Ordering, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError,
+};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError};
 
 /// Number of independently locked shards per map. A small power of two:
 /// enough to make same-shard collisions rare at typical core counts, small
@@ -58,6 +59,10 @@ pub fn write<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
 /// eviction passes the maps are grow-only.
 pub struct ShardedMap<K, V> {
     shards: [RwLock<HashMap<K, V>>; SHARDS],
+    // All accesses are Relaxed: these are diagnostic tallies read by
+    // stats snapshots — no data is published through them (the shard
+    // locks order every map access), only the counts themselves have to
+    // be atomic so concurrent bumps are never lost.
     contended: [AtomicU64; SHARDS],
 }
 

@@ -31,9 +31,10 @@
 //!    observed by meters on every other thread.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use crate::sync::{AtomicBool, AtomicU64, Ordering};
 
 /// How many ticks a [`Meter`] accumulates locally before flushing into
 /// the shared ledger and re-checking deadline/cancellation.

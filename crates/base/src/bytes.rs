@@ -27,7 +27,7 @@ pub fn crc32_update(crc: u32, data: &[u8]) -> u32 {
 }
 
 fn crc_table() -> &'static [u32; 256] {
-    use std::sync::OnceLock;
+    use crate::sync::OnceLock;
     static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
     TABLE.get_or_init(|| {
         let mut table = [0u32; 256];

@@ -8,7 +8,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::Arc;
+
+use crate::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::ids::LabelId;
 

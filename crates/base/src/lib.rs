@@ -16,6 +16,7 @@ pub mod limits;
 pub mod multiset;
 pub mod rng;
 pub mod span;
+pub mod sync;
 
 pub use budget::{Budget, BudgetResult, Exhausted, Meter, TripReason, Verdict};
 pub use bytes::{crc32, crc32_update, fnv1a64, ByteReader, ByteWriter};

@@ -1,0 +1,1066 @@
+//! The synchronization shim: every concurrent structure in the workspace
+//! builds on these wrappers instead of `std::sync` directly (a repo lint
+//! ratchets this, see `tests/repo_lint.rs`).
+//!
+//! In a normal build (`cfg(not(ssd_model_check))`) each wrapper is a
+//! `#[repr(transparent)]` newtype over the `std::sync` primitive with
+//! `#[inline]` delegation — the compiled code is the std primitive, so
+//! production pays **zero** overhead for being model-checkable.
+//!
+//! Under `RUSTFLAGS="--cfg ssd_model_check"` every acquire / release /
+//! load / store / once-init is routed through the [`rt`] hook table
+//! before touching the real primitive. The `ssd-check` crate installs
+//! hooks that run N logical threads under a deterministic scheduler,
+//! explore interleavings by DFS with a preemption bound, and track
+//! happens-before with vector clocks (see `crates/check` and DESIGN.md
+//! §16). Threads that are *not* part of a model run (the test harness
+//! itself, ordinary tests compiled with the cfg) fall straight through to
+//! the std behavior, so the instrumented build stays usable everywhere.
+//!
+//! Two properties keep the shim semantically invisible:
+//!
+//! * **the real primitive is always used for data protection** — even in
+//!   model mode a `Mutex` guard wraps the real `std::sync::MutexGuard`
+//!   (the scheduler serializes modeled threads, so the real acquire never
+//!   contends); poisoning therefore behaves exactly as std's.
+//! * **the API is a strict subset of std's** — `lock()` returns
+//!   [`LockResult`], `try_write()` returns [`TryLockResult`], atomics
+//!   take [`Ordering`] — so swapping `use std::sync::X` for
+//!   `use ssd_base::sync::X` is the whole migration.
+
+pub use std::sync::atomic::Ordering;
+pub use std::sync::{Arc, LockResult, PoisonError, TryLockError, TryLockResult, Weak};
+
+#[cfg(ssd_model_check)]
+pub mod rt {
+    //! The model-check hook table the `ssd-check` scheduler plugs into.
+    //!
+    //! Only compiled under `cfg(ssd_model_check)`. The shim calls
+    //! [`op`] at every instrumented operation *if* the current thread
+    //! has been marked as a modeled thread ([`set_modeled`]) *and* a
+    //! hook table has been installed ([`install`]); otherwise every
+    //! wrapper falls through to plain std behavior.
+
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+    /// What an atomic operation does, for the race detector.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum AtomicKind {
+        /// A pure load.
+        Load,
+        /// A pure store.
+        Store,
+        /// A read-modify-write (`fetch_*`, `swap`, `compare_exchange`).
+        Rmw,
+    }
+
+    /// Outcome of a `OnceAcquire`: whether the caller initializes.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum OnceRole {
+        /// The caller won the race and must run the init closure.
+        Winner,
+        /// Initialization already completed; read the stored value.
+        Done,
+    }
+
+    /// One instrumented operation, announced to the scheduler *before*
+    /// the real primitive is touched. Blocking operations return only
+    /// when the scheduler has granted them (i.e. the virtual state says
+    /// they can proceed without contending on the real primitive).
+    #[derive(Clone, Copy, Debug)]
+    pub enum OpCall {
+        /// Blocking mutex acquire.
+        MutexLock {
+            /// Shim object id.
+            id: u64,
+        },
+        /// Mutex release (never blocks).
+        MutexUnlock {
+            /// Shim object id.
+            id: u64,
+        },
+        /// Blocking rwlock acquire (`write` selects exclusive).
+        RwAcquire {
+            /// Shim object id.
+            id: u64,
+            /// Exclusive (writer) acquire when true.
+            write: bool,
+        },
+        /// Non-blocking rwlock acquire attempt.
+        RwTryAcquire {
+            /// Shim object id.
+            id: u64,
+            /// Exclusive (writer) attempt when true.
+            write: bool,
+        },
+        /// Rwlock release (never blocks).
+        RwRelease {
+            /// Shim object id.
+            id: u64,
+            /// Releasing an exclusive guard when true.
+            write: bool,
+        },
+        /// `OnceLock` init protocol entry: blocks while another thread
+        /// is mid-initialization.
+        OnceAcquire {
+            /// Shim object id.
+            id: u64,
+        },
+        /// Winner finished initializing (never blocks).
+        OnceComplete {
+            /// Shim object id.
+            id: u64,
+        },
+        /// Winner's init closure panicked; re-open the cell.
+        OnceAbort {
+            /// Shim object id.
+            id: u64,
+        },
+        /// A plain `OnceLock::get` read.
+        OnceGet {
+            /// Shim object id.
+            id: u64,
+        },
+        /// An atomic access (a preemption point + clock bookkeeping).
+        Atomic {
+            /// Shim object id.
+            id: u64,
+            /// Load / store / RMW.
+            kind: AtomicKind,
+            /// The ordering the call site requested.
+            order: Ordering,
+        },
+    }
+
+    /// Scheduler reply to an [`OpCall`].
+    #[derive(Clone, Copy, Debug)]
+    pub enum OpReply {
+        /// Nothing to report.
+        Unit,
+        /// Whether a try-acquire succeeded virtually.
+        Acquired(bool),
+        /// The caller's role in a once-init protocol.
+        Role(OnceRole),
+    }
+
+    /// The hook table `ssd-check` installs.
+    pub struct Hooks {
+        /// Allocates a fresh process-unique shim object id (never 0).
+        pub new_object: fn() -> u64,
+        /// Announces one operation; blocks until the scheduler grants it.
+        pub op: fn(OpCall) -> OpReply,
+    }
+
+    static HOOKS: AtomicPtr<Hooks> = AtomicPtr::new(std::ptr::null_mut());
+
+    thread_local! {
+        static MODELED: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Installs the hook table (once per process, from `ssd-check`).
+    pub fn install(hooks: &'static Hooks) {
+        HOOKS.store(hooks as *const Hooks as *mut Hooks, Ordering::Release);
+    }
+
+    /// Marks the current OS thread as a modeled logical thread (set by
+    /// the `ssd-check` thread wrapper, cleared when the closure exits).
+    pub fn set_modeled(on: bool) {
+        MODELED.with(|m| m.set(on));
+    }
+
+    /// Whether shim operations on this thread route to the scheduler.
+    pub fn modeled() -> bool {
+        MODELED.with(|m| m.get()) && !HOOKS.load(Ordering::Acquire).is_null()
+    }
+
+    pub(super) fn hooks() -> Option<&'static Hooks> {
+        if MODELED.with(|m| m.get()) {
+            // Safety: `install` only ever stores a `&'static` reference.
+            unsafe { HOOKS.load(Ordering::Acquire).as_ref() }
+        } else {
+            None
+        }
+    }
+
+    pub(super) fn op(call: OpCall) -> OpReply {
+        match hooks() {
+            Some(h) => (h.op)(call),
+            None => OpReply::Unit,
+        }
+    }
+
+    /// Lazily-assigned shim object identity (0 = unassigned). Ids are
+    /// process-unique and stable for the object's lifetime, so objects
+    /// that outlive one model execution keep their identity while the
+    /// scheduler re-derives per-execution state lazily.
+    pub(super) struct ModelObj {
+        id: AtomicU64,
+    }
+
+    impl ModelObj {
+        pub(super) const fn new() -> ModelObj {
+            ModelObj {
+                id: AtomicU64::new(0),
+            }
+        }
+
+        /// The object's id, assigned on first modeled use; `None` when
+        /// the current thread is not modeled (callers then fall through
+        /// to plain std behavior).
+        pub(super) fn id(&self) -> Option<u64> {
+            let h = hooks()?;
+            let cur = self.id.load(Ordering::Relaxed);
+            if cur != 0 {
+                return Some(cur);
+            }
+            let fresh = (h.new_object)();
+            match self
+                .id
+                .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => Some(fresh),
+                Err(existing) => Some(existing),
+            }
+        }
+    }
+}
+
+#[cfg(not(ssd_model_check))]
+mod imp {
+    //! Production implementation: transparent newtypes, fully inlined.
+    use std::fmt;
+    use std::sync::{LockResult, TryLockError, TryLockResult};
+
+    /// Maps a poisoned result through a guard-wrapping function.
+    #[inline]
+    fn map_lock<G, H>(r: LockResult<G>, f: impl FnOnce(G) -> H) -> LockResult<H> {
+        match r {
+            Ok(g) => Ok(f(g)),
+            Err(p) => Err(std::sync::PoisonError::new(f(p.into_inner()))),
+        }
+    }
+
+    /// Mutual exclusion ([`std::sync::Mutex`] behind the sync shim).
+    #[repr(transparent)]
+    #[derive(Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    /// RAII guard of [`Mutex::lock`].
+    pub struct MutexGuard<'a, T>(std::sync::MutexGuard<'a, T>);
+
+    impl<T> Mutex<T> {
+        /// A new unlocked mutex holding `t`.
+        #[inline]
+        pub const fn new(t: T) -> Mutex<T> {
+            Mutex(std::sync::Mutex::new(t))
+        }
+
+        /// Blocking acquire; `Err` carries the guard if poisoned.
+        #[inline]
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            map_lock(self.0.lock(), MutexGuard)
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.0.fmt(f)
+        }
+    }
+
+    impl<'a, T> std::ops::Deref for MutexGuard<'a, T> {
+        type Target = T;
+        #[inline]
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<'a, T> std::ops::DerefMut for MutexGuard<'a, T> {
+        #[inline]
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.0
+        }
+    }
+
+    /// Reader-writer lock ([`std::sync::RwLock`] behind the sync shim).
+    #[repr(transparent)]
+    #[derive(Default)]
+    pub struct RwLock<T>(std::sync::RwLock<T>);
+
+    /// RAII shared guard of [`RwLock::read`].
+    pub struct RwLockReadGuard<'a, T>(std::sync::RwLockReadGuard<'a, T>);
+
+    /// RAII exclusive guard of [`RwLock::write`].
+    pub struct RwLockWriteGuard<'a, T>(std::sync::RwLockWriteGuard<'a, T>);
+
+    impl<T> RwLock<T> {
+        /// A new unlocked lock holding `t`.
+        #[inline]
+        pub const fn new(t: T) -> RwLock<T> {
+            RwLock(std::sync::RwLock::new(t))
+        }
+
+        /// Blocking shared acquire.
+        #[inline]
+        pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+            map_lock(self.0.read(), RwLockReadGuard)
+        }
+
+        /// Blocking exclusive acquire.
+        #[inline]
+        pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+            map_lock(self.0.write(), RwLockWriteGuard)
+        }
+
+        /// Non-blocking shared acquire.
+        #[inline]
+        pub fn try_read(&self) -> TryLockResult<RwLockReadGuard<'_, T>> {
+            match self.0.try_read() {
+                Ok(g) => Ok(RwLockReadGuard(g)),
+                Err(TryLockError::Poisoned(p)) => Err(TryLockError::Poisoned(
+                    std::sync::PoisonError::new(RwLockReadGuard(p.into_inner())),
+                )),
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            }
+        }
+
+        /// Non-blocking exclusive acquire.
+        #[inline]
+        pub fn try_write(&self) -> TryLockResult<RwLockWriteGuard<'_, T>> {
+            match self.0.try_write() {
+                Ok(g) => Ok(RwLockWriteGuard(g)),
+                Err(TryLockError::Poisoned(p)) => Err(TryLockError::Poisoned(
+                    std::sync::PoisonError::new(RwLockWriteGuard(p.into_inner())),
+                )),
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            }
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.0.fmt(f)
+        }
+    }
+
+    impl<'a, T> std::ops::Deref for RwLockReadGuard<'a, T> {
+        type Target = T;
+        #[inline]
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<'a, T> std::ops::Deref for RwLockWriteGuard<'a, T> {
+        type Target = T;
+        #[inline]
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<'a, T> std::ops::DerefMut for RwLockWriteGuard<'a, T> {
+        #[inline]
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.0
+        }
+    }
+
+    /// Write-once cell ([`std::sync::OnceLock`] behind the sync shim).
+    #[repr(transparent)]
+    #[derive(Default)]
+    pub struct OnceLock<T>(std::sync::OnceLock<T>);
+
+    impl<T> OnceLock<T> {
+        /// A new empty cell.
+        #[inline]
+        pub const fn new() -> OnceLock<T> {
+            OnceLock(std::sync::OnceLock::new())
+        }
+
+        /// The stored value, if initialization has completed.
+        #[inline]
+        pub fn get(&self) -> Option<&T> {
+            self.0.get()
+        }
+
+        /// Stores `value` if the cell is empty; `Err(value)` otherwise.
+        #[inline]
+        pub fn set(&self, value: T) -> Result<(), T> {
+            self.0.set(value)
+        }
+
+        /// The stored value, initializing it with `f` if empty (at most
+        /// one racing initializer runs; the rest observe its result).
+        #[inline]
+        pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> &T {
+            self.0.get_or_init(f)
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for OnceLock<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.0.fmt(f)
+        }
+    }
+
+    impl<T: Clone> Clone for OnceLock<T> {
+        fn clone(&self) -> OnceLock<T> {
+            OnceLock(self.0.clone())
+        }
+    }
+
+    macro_rules! passthrough_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ty, $prim:ty,
+         rmw: [$($rmw:ident),*]) => {
+            $(#[$doc])*
+            #[repr(transparent)]
+            #[derive(Default)]
+            pub struct $name($std);
+
+            impl $name {
+                /// A new atomic holding `v`.
+                #[inline]
+                pub const fn new(v: $prim) -> $name {
+                    $name(<$std>::new(v))
+                }
+
+                /// Atomic load.
+                #[inline]
+                pub fn load(&self, order: super::Ordering) -> $prim {
+                    self.0.load(order)
+                }
+
+                /// Atomic store.
+                #[inline]
+                pub fn store(&self, val: $prim, order: super::Ordering) {
+                    self.0.store(val, order)
+                }
+
+                /// Atomic swap, returning the previous value.
+                #[inline]
+                pub fn swap(&self, val: $prim, order: super::Ordering) -> $prim {
+                    self.0.swap(val, order)
+                }
+
+                /// Atomic compare-exchange.
+                #[inline]
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: super::Ordering,
+                    failure: super::Ordering,
+                ) -> Result<$prim, $prim> {
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+
+                $(
+                    /// Atomic read-modify-write, returning the previous
+                    /// value.
+                    #[inline]
+                    pub fn $rmw(&self, val: $prim, order: super::Ordering) -> $prim {
+                        self.0.$rmw(val, order)
+                    }
+                )*
+            }
+
+            impl fmt::Debug for $name {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    self.0.fmt(f)
+                }
+            }
+        };
+    }
+
+    passthrough_atomic!(
+        /// `u64` atomic ([`std::sync::atomic::AtomicU64`] behind the shim).
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64,
+        rmw: [fetch_add, fetch_sub, fetch_or, fetch_and, fetch_max, fetch_min]
+    );
+    passthrough_atomic!(
+        /// `u32` atomic ([`std::sync::atomic::AtomicU32`] behind the shim).
+        AtomicU32,
+        std::sync::atomic::AtomicU32,
+        u32,
+        rmw: [fetch_add, fetch_sub, fetch_or, fetch_and, fetch_max, fetch_min]
+    );
+    passthrough_atomic!(
+        /// `usize` atomic ([`std::sync::atomic::AtomicUsize`] behind the shim).
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize,
+        rmw: [fetch_add, fetch_sub, fetch_or, fetch_and, fetch_max, fetch_min]
+    );
+    passthrough_atomic!(
+        /// `bool` atomic ([`std::sync::atomic::AtomicBool`] behind the shim).
+        AtomicBool,
+        std::sync::atomic::AtomicBool,
+        bool,
+        rmw: [fetch_or, fetch_and]
+    );
+}
+
+#[cfg(ssd_model_check)]
+mod imp {
+    //! Model-check implementation: every operation is announced to the
+    //! [`super::rt`] scheduler hooks before the real `std::sync`
+    //! primitive performs it. The real primitive still protects the
+    //! data (the scheduler serializes modeled threads, so real acquires
+    //! never contend), which keeps this layer memory-safe by
+    //! construction — it only adds *scheduling* and *clock* semantics.
+    use std::fmt;
+    use std::sync::{LockResult, TryLockError, TryLockResult};
+
+    use super::rt::{self, AtomicKind, ModelObj, OnceRole, OpCall, OpReply};
+
+    #[inline]
+    fn map_lock<G, H>(r: LockResult<G>, f: impl FnOnce(G) -> H) -> LockResult<H> {
+        match r {
+            Ok(g) => Ok(f(g)),
+            Err(p) => Err(std::sync::PoisonError::new(f(p.into_inner()))),
+        }
+    }
+
+    /// Mutual exclusion (model-checked; see [`super`] docs).
+    pub struct Mutex<T> {
+        obj: ModelObj,
+        inner: std::sync::Mutex<T>,
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Mutex<T> {
+            Mutex::new(T::default())
+        }
+    }
+
+    /// RAII guard of [`Mutex::lock`].
+    pub struct MutexGuard<'a, T> {
+        // `Option` so `Drop` can release the real guard *before*
+        // announcing the virtual release (the scheduler may immediately
+        // run another thread that takes the real lock).
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+        vid: Option<u64>,
+    }
+
+    impl<T> Mutex<T> {
+        /// A new unlocked mutex holding `t`.
+        pub const fn new(t: T) -> Mutex<T> {
+            Mutex {
+                obj: ModelObj::new(),
+                inner: std::sync::Mutex::new(t),
+            }
+        }
+
+        /// Blocking acquire; `Err` carries the guard if poisoned.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            let vid = self.obj.id();
+            if let Some(id) = vid {
+                rt::op(OpCall::MutexLock { id });
+            }
+            map_lock(self.inner.lock(), |g| MutexGuard {
+                inner: Some(g),
+                vid,
+            })
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    impl<'a, T> std::ops::Deref for MutexGuard<'a, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            match &self.inner {
+                Some(g) => g,
+                None => unreachable!("guard emptied only in Drop"),
+            }
+        }
+    }
+
+    impl<'a, T> std::ops::DerefMut for MutexGuard<'a, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            match &mut self.inner {
+                Some(g) => g,
+                None => unreachable!("guard emptied only in Drop"),
+            }
+        }
+    }
+
+    impl<'a, T> Drop for MutexGuard<'a, T> {
+        fn drop(&mut self) {
+            drop(self.inner.take());
+            if let Some(id) = self.vid {
+                rt::op(OpCall::MutexUnlock { id });
+            }
+        }
+    }
+
+    /// Reader-writer lock (model-checked; see [`super`] docs).
+    pub struct RwLock<T> {
+        obj: ModelObj,
+        inner: std::sync::RwLock<T>,
+    }
+
+    impl<T: Default> Default for RwLock<T> {
+        fn default() -> RwLock<T> {
+            RwLock::new(T::default())
+        }
+    }
+
+    /// RAII shared guard of [`RwLock::read`].
+    pub struct RwLockReadGuard<'a, T> {
+        inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+        vid: Option<u64>,
+    }
+
+    /// RAII exclusive guard of [`RwLock::write`].
+    pub struct RwLockWriteGuard<'a, T> {
+        inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+        vid: Option<u64>,
+    }
+
+    impl<T> RwLock<T> {
+        /// A new unlocked lock holding `t`.
+        pub const fn new(t: T) -> RwLock<T> {
+            RwLock {
+                obj: ModelObj::new(),
+                inner: std::sync::RwLock::new(t),
+            }
+        }
+
+        /// Blocking shared acquire.
+        pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+            let vid = self.obj.id();
+            if let Some(id) = vid {
+                rt::op(OpCall::RwAcquire { id, write: false });
+            }
+            map_lock(self.inner.read(), |g| RwLockReadGuard {
+                inner: Some(g),
+                vid,
+            })
+        }
+
+        /// Blocking exclusive acquire.
+        pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+            let vid = self.obj.id();
+            if let Some(id) = vid {
+                rt::op(OpCall::RwAcquire { id, write: true });
+            }
+            map_lock(self.inner.write(), |g| RwLockWriteGuard {
+                inner: Some(g),
+                vid,
+            })
+        }
+
+        /// Non-blocking shared acquire. In model mode the scheduler
+        /// decides from the *virtual* lock state, so a `WouldBlock`
+        /// here means another modeled thread really holds the lock in
+        /// the explored interleaving.
+        pub fn try_read(&self) -> TryLockResult<RwLockReadGuard<'_, T>> {
+            if let Some(id) = self.obj.id() {
+                if let OpReply::Acquired(false) = rt::op(OpCall::RwTryAcquire { id, write: false })
+                {
+                    return Err(TryLockError::WouldBlock);
+                }
+                return match self.inner.try_read() {
+                    Ok(g) => Ok(RwLockReadGuard {
+                        inner: Some(g),
+                        vid: Some(id),
+                    }),
+                    Err(TryLockError::Poisoned(p)) => Err(TryLockError::Poisoned(
+                        std::sync::PoisonError::new(RwLockReadGuard {
+                            inner: Some(p.into_inner()),
+                            vid: Some(id),
+                        }),
+                    )),
+                    Err(TryLockError::WouldBlock) => {
+                        // Virtually granted but really held (a
+                        // non-modeled thread): undo the virtual acquire.
+                        rt::op(OpCall::RwRelease { id, write: false });
+                        Err(TryLockError::WouldBlock)
+                    }
+                };
+            }
+            match self.inner.try_read() {
+                Ok(g) => Ok(RwLockReadGuard {
+                    inner: Some(g),
+                    vid: None,
+                }),
+                Err(TryLockError::Poisoned(p)) => Err(TryLockError::Poisoned(
+                    std::sync::PoisonError::new(RwLockReadGuard {
+                        inner: Some(p.into_inner()),
+                        vid: None,
+                    }),
+                )),
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            }
+        }
+
+        /// Non-blocking exclusive acquire (same model semantics as
+        /// [`RwLock::try_read`]).
+        pub fn try_write(&self) -> TryLockResult<RwLockWriteGuard<'_, T>> {
+            if let Some(id) = self.obj.id() {
+                if let OpReply::Acquired(false) = rt::op(OpCall::RwTryAcquire { id, write: true }) {
+                    return Err(TryLockError::WouldBlock);
+                }
+                return match self.inner.try_write() {
+                    Ok(g) => Ok(RwLockWriteGuard {
+                        inner: Some(g),
+                        vid: Some(id),
+                    }),
+                    Err(TryLockError::Poisoned(p)) => Err(TryLockError::Poisoned(
+                        std::sync::PoisonError::new(RwLockWriteGuard {
+                            inner: Some(p.into_inner()),
+                            vid: Some(id),
+                        }),
+                    )),
+                    Err(TryLockError::WouldBlock) => {
+                        rt::op(OpCall::RwRelease { id, write: true });
+                        Err(TryLockError::WouldBlock)
+                    }
+                };
+            }
+            match self.inner.try_write() {
+                Ok(g) => Ok(RwLockWriteGuard {
+                    inner: Some(g),
+                    vid: None,
+                }),
+                Err(TryLockError::Poisoned(p)) => Err(TryLockError::Poisoned(
+                    std::sync::PoisonError::new(RwLockWriteGuard {
+                        inner: Some(p.into_inner()),
+                        vid: None,
+                    }),
+                )),
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            }
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    impl<'a, T> std::ops::Deref for RwLockReadGuard<'a, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            match &self.inner {
+                Some(g) => g,
+                None => unreachable!("guard emptied only in Drop"),
+            }
+        }
+    }
+
+    impl<'a, T> Drop for RwLockReadGuard<'a, T> {
+        fn drop(&mut self) {
+            drop(self.inner.take());
+            if let Some(id) = self.vid {
+                rt::op(OpCall::RwRelease { id, write: false });
+            }
+        }
+    }
+
+    impl<'a, T> std::ops::Deref for RwLockWriteGuard<'a, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            match &self.inner {
+                Some(g) => g,
+                None => unreachable!("guard emptied only in Drop"),
+            }
+        }
+    }
+
+    impl<'a, T> std::ops::DerefMut for RwLockWriteGuard<'a, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            match &mut self.inner {
+                Some(g) => g,
+                None => unreachable!("guard emptied only in Drop"),
+            }
+        }
+    }
+
+    impl<'a, T> Drop for RwLockWriteGuard<'a, T> {
+        fn drop(&mut self) {
+            drop(self.inner.take());
+            if let Some(id) = self.vid {
+                rt::op(OpCall::RwRelease { id, write: true });
+            }
+        }
+    }
+
+    /// Re-opens a once cell if the winner's init closure panics, so
+    /// blocked waiters elect a new winner instead of hanging.
+    struct OnceAbortGuard(u64);
+
+    impl Drop for OnceAbortGuard {
+        fn drop(&mut self) {
+            rt::op(OpCall::OnceAbort { id: self.0 });
+        }
+    }
+
+    /// Write-once cell (model-checked; see [`super`] docs).
+    pub struct OnceLock<T> {
+        obj: ModelObj,
+        inner: std::sync::OnceLock<T>,
+    }
+
+    impl<T> Default for OnceLock<T> {
+        fn default() -> OnceLock<T> {
+            OnceLock::new()
+        }
+    }
+
+    impl<T> OnceLock<T> {
+        /// A new empty cell.
+        pub const fn new() -> OnceLock<T> {
+            OnceLock {
+                obj: ModelObj::new(),
+                inner: std::sync::OnceLock::new(),
+            }
+        }
+
+        /// The stored value, if initialization has completed.
+        pub fn get(&self) -> Option<&T> {
+            if let Some(id) = self.obj.id() {
+                rt::op(OpCall::OnceGet { id });
+            }
+            self.inner.get()
+        }
+
+        /// Stores `value` if the cell is empty; `Err(value)` otherwise.
+        pub fn set(&self, value: T) -> Result<(), T> {
+            if let Some(id) = self.obj.id() {
+                return match rt::op(OpCall::OnceAcquire { id }) {
+                    OpReply::Role(OnceRole::Winner) => {
+                        let r = self.inner.set(value);
+                        rt::op(OpCall::OnceComplete { id });
+                        r
+                    }
+                    _ => Err(value),
+                };
+            }
+            self.inner.set(value)
+        }
+
+        /// The stored value, initializing it with `f` if empty. In
+        /// model mode the winner election and the waiters' blocking are
+        /// scheduler-controlled, so racing initializations are explored
+        /// like any other interleaving.
+        pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> &T {
+            let Some(id) = self.obj.id() else {
+                return self.inner.get_or_init(f);
+            };
+            loop {
+                match rt::op(OpCall::OnceAcquire { id }) {
+                    OpReply::Role(OnceRole::Winner) => {
+                        let abort = OnceAbortGuard(id);
+                        let value = f();
+                        std::mem::forget(abort);
+                        let out = self.inner.get_or_init(move || value);
+                        rt::op(OpCall::OnceComplete { id });
+                        return out;
+                    }
+                    _ => {
+                        // Done: the winner stored the real value before
+                        // announcing completion.
+                        if let Some(v) = self.inner.get() {
+                            return v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    impl<T: Clone> Clone for OnceLock<T> {
+        fn clone(&self) -> OnceLock<T> {
+            // A clone is a fresh shim object (new identity, no shared
+            // virtual state) carrying a copy of the settled value.
+            let fresh = OnceLock::new();
+            if let Some(v) = self.inner.get() {
+                let _ = fresh.inner.set(v.clone());
+            }
+            fresh
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for OnceLock<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    macro_rules! model_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ty, $prim:ty,
+         rmw: [$($rmw:ident),*]) => {
+            $(#[$doc])*
+            pub struct $name {
+                obj: ModelObj,
+                v: $std,
+            }
+
+            impl Default for $name {
+                fn default() -> $name {
+                    $name::new(Default::default())
+                }
+            }
+
+            impl $name {
+                /// A new atomic holding `v`.
+                pub const fn new(v: $prim) -> $name {
+                    $name {
+                        obj: ModelObj::new(),
+                        v: <$std>::new(v),
+                    }
+                }
+
+                fn note(&self, kind: AtomicKind, order: super::Ordering) {
+                    if let Some(id) = self.obj.id() {
+                        rt::op(OpCall::Atomic { id, kind, order });
+                    }
+                }
+
+                /// Atomic load.
+                pub fn load(&self, order: super::Ordering) -> $prim {
+                    self.note(AtomicKind::Load, order);
+                    self.v.load(order)
+                }
+
+                /// Atomic store.
+                pub fn store(&self, val: $prim, order: super::Ordering) {
+                    self.note(AtomicKind::Store, order);
+                    self.v.store(val, order)
+                }
+
+                /// Atomic swap, returning the previous value.
+                pub fn swap(&self, val: $prim, order: super::Ordering) -> $prim {
+                    self.note(AtomicKind::Rmw, order);
+                    self.v.swap(val, order)
+                }
+
+                /// Atomic compare-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: super::Ordering,
+                    failure: super::Ordering,
+                ) -> Result<$prim, $prim> {
+                    self.note(AtomicKind::Rmw, success);
+                    self.v.compare_exchange(current, new, success, failure)
+                }
+
+                $(
+                    /// Atomic read-modify-write, returning the previous
+                    /// value.
+                    pub fn $rmw(&self, val: $prim, order: super::Ordering) -> $prim {
+                        self.note(AtomicKind::Rmw, order);
+                        self.v.$rmw(val, order)
+                    }
+                )*
+            }
+
+            impl fmt::Debug for $name {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    self.v.fmt(f)
+                }
+            }
+        };
+    }
+
+    model_atomic!(
+        /// `u64` atomic (model-checked).
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64,
+        rmw: [fetch_add, fetch_sub, fetch_or, fetch_and, fetch_max, fetch_min]
+    );
+    model_atomic!(
+        /// `u32` atomic (model-checked).
+        AtomicU32,
+        std::sync::atomic::AtomicU32,
+        u32,
+        rmw: [fetch_add, fetch_sub, fetch_or, fetch_and, fetch_max, fetch_min]
+    );
+    model_atomic!(
+        /// `usize` atomic (model-checked).
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize,
+        rmw: [fetch_add, fetch_sub, fetch_or, fetch_and, fetch_max, fetch_min]
+    );
+    model_atomic!(
+        /// `bool` atomic (model-checked).
+        AtomicBool,
+        std::sync::atomic::AtomicBool,
+        bool,
+        rmw: [fetch_or, fetch_and]
+    );
+}
+
+pub use imp::{
+    AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Mutex, MutexGuard, OnceLock, RwLock,
+    RwLockReadGuard, RwLockWriteGuard,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_round_trip_and_poison_recovery() {
+        let m = Mutex::new(1u32);
+        *m.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        assert_eq!(*m.lock().unwrap_or_else(|e| e.into_inner()), 2);
+    }
+
+    #[test]
+    fn rwlock_try_paths_behave_like_std() {
+        let l = RwLock::new(7u32);
+        {
+            let _w = l.write().unwrap_or_else(|e| e.into_inner());
+            assert!(matches!(l.try_read(), Err(TryLockError::WouldBlock)));
+            assert!(matches!(l.try_write(), Err(TryLockError::WouldBlock)));
+        }
+        assert_eq!(*l.try_read().expect("free lock"), 7);
+        *l.try_write().expect("free lock") = 8;
+        assert_eq!(*l.read().unwrap_or_else(|e| e.into_inner()), 8);
+    }
+
+    #[test]
+    fn once_lock_initializes_once() {
+        static CELL: OnceLock<u32> = OnceLock::new();
+        assert_eq!(CELL.get(), None);
+        assert_eq!(*CELL.get_or_init(|| 5), 5);
+        assert_eq!(*CELL.get_or_init(|| 6), 5);
+        assert!(CELL.set(9).is_err());
+        assert_eq!(CELL.get(), Some(&5));
+    }
+
+    #[test]
+    fn atomics_cover_the_workspace_op_set() {
+        let a = AtomicU64::new(1);
+        assert_eq!(a.fetch_add(2, Ordering::Relaxed), 1);
+        assert_eq!(a.swap(10, Ordering::AcqRel), 3);
+        assert_eq!(a.fetch_max(4, Ordering::Relaxed), 10);
+        assert_eq!(a.fetch_or(1, Ordering::Release), 10);
+        assert_eq!(a.load(Ordering::Acquire), 11);
+        a.store(0, Ordering::Release);
+        assert_eq!(
+            a.compare_exchange(0, 5, Ordering::AcqRel, Ordering::Acquire),
+            Ok(0)
+        );
+        let b = AtomicBool::new(false);
+        assert!(!b.swap(true, Ordering::Relaxed));
+        assert!(b.load(Ordering::Relaxed));
+    }
+}

@@ -22,9 +22,8 @@
 //!
 //! Exit codes: `0` on success, `2` on usage or I/O error.
 
+use ssd_base::sync::{Arc, AtomicBool, AtomicU64, Ordering};
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ssd_base::budget::Budget;

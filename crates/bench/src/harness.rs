@@ -13,7 +13,7 @@
 //! bench group/id ... median 12345 ns/iter (min 12000, max 13000, N=20)
 //! ```
 
-use std::sync::Mutex;
+use ssd_base::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use ssd_obs::json::JsonValue;

@@ -41,146 +41,3 @@ pub fn workload(
     let q = joinfree_query(&schema, &tg, &mut rng, &qcfg).expect("generated query parses");
     (schema, tg, q)
 }
-
-/// Test twin of `benches/concurrency.rs`: the bench measures scaling, the
-/// twin asserts the invariants the bench leans on — here, that snapshot
-/// restore publishes through the same double-checked insert-if-absent
-/// path as ordinary misses, so queries racing a restore never observe a
-/// half-hydrated table.
-#[cfg(test)]
-mod concurrency_twin {
-    use std::sync::atomic::{AtomicBool, Ordering};
-
-    use ssd_core::Session;
-
-    use super::workload;
-
-    /// The concurrency bench's mixed-workload shape, shrunk to test size.
-    fn suite() -> Vec<(ssd_schema::Schema, ssd_query::Query)> {
-        [
-            (1100u64, 6usize, 1usize, false),
-            (1102, 12, 2, false),
-            (1106, 12, 2, true),
-        ]
-        .iter()
-        .map(|&(seed, nt, nd, tagged)| {
-            let (s, _tg, q) = workload(seed, nt, nd, tagged, false);
-            (s, q)
-        })
-        .collect()
-    }
-
-    #[test]
-    fn queries_racing_a_snapshot_restore_never_see_partial_state() {
-        let items = suite();
-        // Cold truth + a warmed image to restore from.
-        let warm = Session::new();
-        let cold: Vec<bool> = items
-            .iter()
-            .map(|(s, q)| warm.satisfiable(q, s).unwrap().satisfiable)
-            .collect();
-        let dir = std::env::temp_dir().join(format!("ssd-conc-restore-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("race.snap");
-        let schemas: Vec<_> = items.iter().map(|(s, _)| s).collect();
-        warm.save_snapshot(&path, &schemas).unwrap();
-
-        // Fresh session: reader threads hammer the corpus while the main
-        // thread hydrates it from the snapshot mid-flight. Every verdict,
-        // before/during/after the restore, must equal cold — a reader that
-        // caught a half-published DFA table or memo entry would diverge
-        // (or panic), and the checked constructors would reject it.
-        let sess = Session::new();
-        let done = AtomicBool::new(false);
-        let outcome = std::thread::scope(|scope| {
-            let readers: Vec<_> = (0..4)
-                .map(|_| {
-                    let sess = &sess;
-                    let items = &items;
-                    let cold = &cold;
-                    let done = &done;
-                    scope.spawn(move || {
-                        let mut passes = 0usize;
-                        while !done.load(Ordering::Relaxed) || passes < 8 {
-                            for ((s, q), &want) in items.iter().zip(cold) {
-                                assert_eq!(
-                                    sess.satisfiable(q, s).unwrap().satisfiable,
-                                    want,
-                                    "verdict diverged while racing restore"
-                                );
-                            }
-                            passes += 1;
-                        }
-                        passes
-                    })
-                })
-                .collect();
-            let out = sess.load_snapshot(&path, &schemas);
-            // A second concurrent-ish restore must be an idempotent no-op
-            // (insert-if-absent drops duplicates rather than replacing
-            // entries out from under a reader).
-            let again = sess.load_snapshot(&path, &schemas);
-            done.store(true, Ordering::Relaxed);
-            for r in readers {
-                assert!(r.join().unwrap() >= 8);
-            }
-            assert_eq!(again.sections_rejected, 0, "{again}");
-            out
-        });
-        std::fs::remove_file(&path).ok();
-        assert_eq!(outcome.sections_rejected, 0, "{outcome}");
-        assert!(outcome.any_loaded());
-        // After the dust settles the session is warm: the whole corpus is
-        // answered from the hydrated caches.
-        let stats_before = sess.stats().feas_memo_table.misses;
-        for ((s, q), &want) in items.iter().zip(&cold) {
-            assert_eq!(sess.satisfiable(q, s).unwrap().satisfiable, want);
-        }
-        assert_eq!(sess.stats().feas_memo_table.misses, stats_before);
-    }
-
-    #[test]
-    fn restore_racing_a_corrupt_snapshot_stays_cold_correct() {
-        let items = suite();
-        let warm = Session::new();
-        let cold: Vec<bool> = items
-            .iter()
-            .map(|(s, q)| warm.satisfiable(q, s).unwrap().satisfiable)
-            .collect();
-        let dir = std::env::temp_dir().join(format!("ssd-conc-restore-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("race-corrupt.snap");
-        let schemas: Vec<_> = items.iter().map(|(s, _)| s).collect();
-        warm.save_snapshot(&path, &schemas).unwrap();
-        let mut bytes = std::fs::read(&path).unwrap();
-        let mid = bytes.len() / 2;
-        bytes[mid] ^= 0xFF;
-        std::fs::write(&path, &bytes).unwrap();
-
-        let sess = Session::new();
-        std::thread::scope(|scope| {
-            let readers: Vec<_> = (0..4)
-                .map(|_| {
-                    let sess = &sess;
-                    let items = &items;
-                    let cold = &cold;
-                    scope.spawn(move || {
-                        for _ in 0..16 {
-                            for ((s, q), &want) in items.iter().zip(cold) {
-                                assert_eq!(sess.satisfiable(q, s).unwrap().satisfiable, want);
-                            }
-                        }
-                    })
-                })
-                .collect();
-            let _ = sess.load_snapshot(&path, &schemas);
-            for r in readers {
-                r.join().unwrap();
-            }
-        });
-        std::fs::remove_file(&path).ok();
-        for ((s, q), &want) in items.iter().zip(&cold) {
-            assert_eq!(sess.satisfiable(q, s).unwrap().satisfiable, want);
-        }
-    }
-}

@@ -18,8 +18,8 @@
 //! baseline but absent from the candidate are reported as missing —
 //! silently dropping a bench is how regressions hide.
 
+use ssd_base::sync::Mutex;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
 
 use crate::harness::{records, BenchRecord};
 use ssd_obs::json::JsonValue;

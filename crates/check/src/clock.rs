@@ -1,0 +1,87 @@
+//! Vector clocks: the happens-before half of the race detector.
+//!
+//! Each logical thread carries a [`VClock`]; every synchronization object
+//! the scheduler models carries one or more clocks it joins with. Two
+//! accesses are *concurrent* (and, on a plain memory location, a data
+//! race) exactly when neither clock component-wise dominates the other at
+//! the time of the second access.
+
+/// A vector clock over logical thread indices. Grows on demand; absent
+/// components read as 0.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    ticks: Vec<u64>,
+}
+
+impl VClock {
+    /// The zero clock (happens before everything).
+    pub fn new() -> VClock {
+        VClock::default()
+    }
+
+    /// This thread's own component, advanced at every scheduled step.
+    pub fn tick(&mut self, thread: usize) {
+        if self.ticks.len() <= thread {
+            self.ticks.resize(thread + 1, 0);
+        }
+        self.ticks[thread] += 1;
+    }
+
+    /// Component for `thread` (0 when never ticked).
+    pub fn get(&self, thread: usize) -> u64 {
+        self.ticks.get(thread).copied().unwrap_or(0)
+    }
+
+    /// Component-wise maximum: `self` absorbs everything `other` has
+    /// observed. This is the transfer performed by every release→acquire
+    /// edge the scheduler models.
+    pub fn join(&mut self, other: &VClock) {
+        if self.ticks.len() < other.ticks.len() {
+            self.ticks.resize(other.ticks.len(), 0);
+        }
+        for (mine, theirs) in self.ticks.iter_mut().zip(&other.ticks) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// `self ≤ other` component-wise: everything up to `self` happened
+    /// before the moment `other` describes.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.ticks
+            .iter()
+            .enumerate()
+            .all(|(t, &v)| v <= other.get(t))
+    }
+
+    /// Neither clock dominates: the two moments are concurrent.
+    pub fn concurrent_with(&self, other: &VClock) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_orders_previously_concurrent_clocks() {
+        let mut a = VClock::new();
+        let mut b = VClock::new();
+        a.tick(0);
+        b.tick(1);
+        assert!(a.concurrent_with(&b));
+        b.join(&a);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        assert!(!a.concurrent_with(&b));
+    }
+
+    #[test]
+    fn zero_clock_happens_before_everything() {
+        let zero = VClock::new();
+        let mut t = VClock::new();
+        t.tick(3);
+        assert!(zero.le(&t));
+        assert!(zero.le(&zero));
+    }
+}

@@ -1,0 +1,61 @@
+//! Bridges `ssd_base::sync::rt` hook calls into the scheduler. Only
+//! compiled under `cfg(ssd_model_check)`; installing the hooks is what
+//! turns every shim lock/atomic/once operation into a schedule point.
+
+use ssd_base::sync::rt::{self, AtomicKind, Hooks, OnceRole, OpCall, OpReply};
+use ssd_base::sync::Ordering;
+
+use crate::sched::{self, AtomKind, Op, Reply};
+
+static HOOKS: Hooks = Hooks {
+    new_object: sched::next_obj_id,
+    op: glue_op,
+};
+
+/// Install the hook table (idempotent; called by every `check_with`).
+pub(crate) fn ensure_installed() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| rt::install(&HOOKS));
+}
+
+fn is_acquire(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn is_release(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn glue_op(call: OpCall) -> OpReply {
+    let op = match call {
+        OpCall::MutexLock { id } => Op::MutexLock(id),
+        OpCall::MutexUnlock { id } => Op::MutexUnlock(id),
+        OpCall::RwAcquire { id, write } => Op::RwAcquire(id, write),
+        OpCall::RwTryAcquire { id, write } => Op::RwTryAcquire(id, write),
+        OpCall::RwRelease { id, write } => Op::RwRelease(id, write),
+        OpCall::OnceAcquire { id } => Op::OnceAcquire(id),
+        OpCall::OnceComplete { id } => Op::OnceComplete(id),
+        OpCall::OnceAbort { id } => Op::OnceAbort(id),
+        OpCall::OnceGet { id } => Op::OnceGet(id),
+        OpCall::Atomic { id, kind, order } => {
+            let (kind, acq, rel) = match kind {
+                AtomicKind::Load => (AtomKind::Load, is_acquire(order), false),
+                AtomicKind::Store => (AtomKind::Store, false, is_release(order)),
+                AtomicKind::Rmw => (AtomKind::Rmw, is_acquire(order), is_release(order)),
+            };
+            Op::Atomic { id, kind, acq, rel }
+        }
+    };
+    match sched::request(op) {
+        Reply::Unit => OpReply::Unit,
+        Reply::Acquired(ok) => OpReply::Acquired(ok),
+        Reply::Role(true) => OpReply::Role(OnceRole::Winner),
+        Reply::Role(false) => OpReply::Role(OnceRole::Done),
+    }
+}

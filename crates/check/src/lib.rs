@@ -1,0 +1,383 @@
+//! `ssd-check`: a deterministic concurrency model checker for the `ssd`
+//! workspace, in the loom/shuttle family but with zero dependencies.
+//!
+//! A scenario is a closure using [`thread::spawn`]/[`thread::JoinHandle`]
+//! and any code built on `ssd_base::sync`. [`check`] runs the closure
+//! under a controlled scheduler that serializes the logical threads and
+//! explores distinct interleavings by DFS over scheduling decisions,
+//! bounded by a *preemption bound* (how many times the scheduler may
+//! switch away from a thread that could have kept running — empirically,
+//! almost all real concurrency bugs need ≤ 2 preemptions). A
+//! vector-clock detector reports genuine data races on [`RaceCell`]
+//! plain-memory cells and counts *relaxed observations* (an atomic load
+//! observing another thread's store with no happens-before edge) so
+//! tests can assert which paths intend them.
+//!
+//! Two modes:
+//!
+//! * **plain build** — `ssd_base::sync` is uninstrumented; only
+//!   check-level operations (spawn/join, `RaceCell`) are schedule
+//!   points. Self-tests of the checker run this way under ordinary
+//!   `cargo test`.
+//! * **`RUSTFLAGS="--cfg ssd_model_check"`** — every shim
+//!   lock/atomic/once operation is a schedule point, so production
+//!   structures (ShardedMap, AutomataCache, Session memo publishes,
+//!   obs registry/windows) are explored operation-by-operation.
+//!
+//! Every [`check`] run prints one machine-greppable line:
+//! `SSD_CHECK name=... schedules=N ...` — CI fails if the schedule
+//! count degenerates (see `.github/workflows/ci.yml`).
+
+#![deny(missing_docs)]
+
+mod clock;
+#[cfg(ssd_model_check)]
+mod glue;
+mod sched;
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub use clock::VClock;
+
+/// Exploration limits for one [`check_with`] call.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum number of preemptive context switches per execution
+    /// (switching away from a thread that could have continued).
+    pub preemption_bound: usize,
+    /// Cap on explored schedules; exploration stops (reported via
+    /// [`Report::capped`]) when it is reached.
+    pub max_schedules: u64,
+    /// Cap on scheduled operations in one execution; exceeding it is a
+    /// [`Failure::StepLimit`] (a runaway scenario, not a pass).
+    pub max_steps: u64,
+}
+
+impl Default for Config {
+    /// Quick-mode defaults; `SSD_CHECK_FULL=1` raises the schedule cap
+    /// for the nightly CI path and `SSD_CHECK_MAX_SCHEDULES=<n>`
+    /// overrides it exactly.
+    fn default() -> Config {
+        let full = std::env::var_os("SSD_CHECK_FULL").is_some_and(|v| v == "1");
+        let max_schedules = std::env::var("SSD_CHECK_MAX_SCHEDULES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if full { 1_000_000 } else { 4096 });
+        Config {
+            preemption_bound: 2,
+            max_schedules,
+            max_steps: 1_000_000,
+        }
+    }
+}
+
+impl Config {
+    /// Default config with a different schedule cap (for heavyweight
+    /// scenarios that meter their own budget).
+    pub fn with_max_schedules(max_schedules: u64) -> Config {
+        Config {
+            max_schedules,
+            ..Config::default()
+        }
+    }
+}
+
+/// Why an exploration stopped with a counterexample.
+#[derive(Clone, Debug)]
+pub enum Failure {
+    /// Two plain-memory accesses with no happens-before edge.
+    Race {
+        /// `"write-write"`, `"write-read"`, or `"read-write"`.
+        kind: &'static str,
+        /// Shim object id of the racing location.
+        object: u64,
+        /// The two logical threads involved (first accessor, second).
+        threads: (usize, usize),
+        /// Recent scheduled operations, oldest first.
+        trace: Vec<String>,
+    },
+    /// No runnable thread while some are still blocked.
+    Deadlock {
+        /// Blocked threads and the ops they were waiting on.
+        waiting: Vec<(usize, String)>,
+        /// Recent scheduled operations, oldest first.
+        trace: Vec<String>,
+    },
+    /// A logical thread panicked (assertion failure in the scenario).
+    Panic {
+        /// The panicking thread.
+        thread: usize,
+        /// The panic message.
+        message: String,
+        /// Recent scheduled operations, oldest first.
+        trace: Vec<String>,
+    },
+    /// One execution exceeded [`Config::max_steps`].
+    StepLimit {
+        /// Steps taken when the limit tripped.
+        steps: u64,
+        /// Recent scheduled operations, oldest first.
+        trace: Vec<String>,
+    },
+}
+
+impl Failure {
+    fn trace(&self) -> &[String] {
+        match self {
+            Failure::Race { trace, .. }
+            | Failure::Deadlock { trace, .. }
+            | Failure::Panic { trace, .. }
+            | Failure::StepLimit { trace, .. } => trace,
+        }
+    }
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Failure::Race {
+                kind,
+                object,
+                threads,
+                ..
+            } => write!(
+                f,
+                "data race ({kind}) on object #{object} between t{} and t{}",
+                threads.0, threads.1
+            )?,
+            Failure::Deadlock { waiting, .. } => {
+                write!(f, "deadlock; blocked: ")?;
+                for (i, (t, op)) in waiting.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "t{t} on {op}")?;
+                }
+            }
+            Failure::Panic {
+                thread, message, ..
+            } => write!(f, "t{thread} panicked: {message}")?,
+            Failure::StepLimit { steps, .. } => {
+                write!(f, "execution exceeded the step limit ({steps} steps)")?
+            }
+        }
+        if !self.trace().is_empty() {
+            write!(f, "\nlast scheduled ops:")?;
+            for line in self.trace() {
+                write!(f, "\n  {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of one [`check`] exploration.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Scenario name (as passed to [`check`]).
+    pub name: String,
+    /// Distinct schedules executed.
+    pub schedules: u64,
+    /// The counterexample, if any schedule failed.
+    pub failure: Option<Failure>,
+    /// A replayed decision prefix diverged — the scenario's operation
+    /// sequence depends on something outside the model (time, map
+    /// iteration order feeding back into control flow, ...). Results
+    /// are untrustworthy; fix the scenario.
+    pub nondeterministic: bool,
+    /// Exploration stopped at [`Config::max_schedules`] before
+    /// exhausting the bounded schedule space.
+    pub capped: bool,
+    /// Total relaxed observations (atomic load of another thread's
+    /// store with no happens-before edge) across all schedules.
+    pub relaxed_obs: u64,
+    /// Longest execution, in scheduled operations.
+    pub max_steps: u64,
+}
+
+impl Report {
+    /// True when every explored schedule passed deterministically.
+    pub fn is_ok(&self) -> bool {
+        self.failure.is_none() && !self.nondeterministic
+    }
+
+    /// Panics with the counterexample if the exploration failed.
+    pub fn assert_ok(&self) {
+        if let Some(failure) = &self.failure {
+            panic!(
+                "ssd-check '{}' failed after {} schedules: {failure}",
+                self.name, self.schedules
+            );
+        }
+        if self.nondeterministic {
+            panic!(
+                "ssd-check '{}' is nondeterministic after {} schedules",
+                self.name, self.schedules
+            );
+        }
+    }
+}
+
+/// Process-wide count of schedules explored by every [`check`] call, so
+/// an aggregate test can assert the suite's total coverage.
+static EXPLORED_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Total schedules explored by all [`check`] calls in this process.
+pub fn explored_total() -> u64 {
+    EXPLORED_TOTAL.load(Ordering::Relaxed)
+}
+
+/// Explore `scenario` under [`Config::default`].
+pub fn check(name: &str, scenario: impl Fn() + Send + Sync + 'static) -> Report {
+    check_with(name, Config::default(), scenario)
+}
+
+/// Explore `scenario` under an explicit [`Config`]. The closure runs
+/// once per schedule, so it must set up its own state each time and be
+/// deterministic given the schedule.
+pub fn check_with(
+    name: &str,
+    config: Config,
+    scenario: impl Fn() + Send + Sync + 'static,
+) -> Report {
+    #[cfg(ssd_model_check)]
+    glue::ensure_installed();
+    let report = sched::explore(name, &config, Arc::new(scenario));
+    EXPLORED_TOTAL.fetch_add(report.schedules, Ordering::Relaxed);
+    let result = if let Some(f) = &report.failure {
+        match f {
+            Failure::Race { .. } => "race",
+            Failure::Deadlock { .. } => "deadlock",
+            Failure::Panic { .. } => "panic",
+            Failure::StepLimit { .. } => "step-limit",
+        }
+    } else if report.nondeterministic {
+        "nondeterministic"
+    } else {
+        "ok"
+    };
+    println!(
+        "SSD_CHECK name={} schedules={} bound={} capped={} relaxed_obs={} max_steps={} result={}",
+        report.name,
+        report.schedules,
+        config.preemption_bound,
+        report.capped,
+        report.relaxed_obs,
+        report.max_steps,
+        result
+    );
+    report
+}
+
+/// A plain (non-atomic) memory cell the race detector watches: any two
+/// accesses from different threads without a happens-before edge — at
+/// least one a write — fail the exploration. Use it inside scenarios to
+/// model the *data* a lock-free protocol is supposed to protect.
+///
+/// Storage is internally synchronized (so a detected logical race never
+/// becomes real undefined behavior); the *model* treats every access as
+/// an unsynchronized plain-memory operation.
+pub struct RaceCell<T> {
+    id: u64,
+    v: std::sync::Mutex<T>,
+}
+
+impl<T: Copy> RaceCell<T> {
+    /// A new cell holding `v`.
+    pub fn new(v: T) -> RaceCell<T> {
+        RaceCell {
+            id: sched::next_obj_id(),
+            v: std::sync::Mutex::new(v),
+        }
+    }
+
+    /// Plain read.
+    pub fn get(&self) -> T {
+        sched::request(sched::Op::RaceRead(self.id));
+        *self.v.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Plain write.
+    pub fn set(&self, v: T) {
+        sched::request(sched::Op::RaceWrite(self.id));
+        *self.v.lock().unwrap_or_else(|e| e.into_inner()) = v;
+    }
+
+    /// Plain read-modify-write (a single *write* access in the model —
+    /// the classic lost-update shape when two threads do it at once).
+    pub fn update(&self, f: impl FnOnce(T) -> T) {
+        sched::request(sched::Op::RaceWrite(self.id));
+        let mut g = self.v.lock().unwrap_or_else(|e| e.into_inner());
+        *g = f(*g);
+    }
+}
+
+pub mod thread {
+    //! Scenario-side threading: like `std::thread`, but spawns logical
+    //! threads under the model scheduler when called inside a
+    //! [`crate::check`] scenario (and falls back to real threads
+    //! outside one).
+
+    use std::sync::{Arc, Mutex};
+
+    use crate::sched;
+
+    enum Inner<T> {
+        Model {
+            exec: Arc<sched::Exec>,
+            target: usize,
+            result: Arc<Mutex<Option<T>>>,
+        },
+        Os(std::thread::JoinHandle<T>),
+    }
+
+    /// Handle to a spawned scenario thread.
+    pub struct JoinHandle<T>(Inner<T>);
+
+    impl<T> JoinHandle<T> {
+        pub(crate) fn from_model(
+            exec: Arc<sched::Exec>,
+            target: usize,
+            result: Arc<Mutex<Option<T>>>,
+        ) -> JoinHandle<T> {
+            JoinHandle(Inner::Model {
+                exec,
+                target,
+                result,
+            })
+        }
+
+        pub(crate) fn from_os(h: std::thread::JoinHandle<T>) -> JoinHandle<T> {
+            JoinHandle(Inner::Os(h))
+        }
+
+        /// Wait for the thread and return its value. Unlike std this
+        /// propagates a child panic by panicking (the model run is
+        /// already failed at that point).
+        pub fn join(self) -> T {
+            match self.0 {
+                Inner::Model {
+                    exec,
+                    target,
+                    result,
+                } => sched::join_thread(&exec, target, &result),
+                Inner::Os(h) => match h.join() {
+                    Ok(v) => v,
+                    Err(_) => panic!("scenario thread panicked"),
+                },
+            }
+        }
+    }
+
+    /// Spawn a logical thread in the current model execution (or a real
+    /// thread outside one).
+    pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        sched::spawn_thread(f)
+    }
+}

@@ -1,0 +1,890 @@
+//! The deterministic scheduler and DFS schedule explorer.
+//!
+//! Logical threads are real OS threads, but only one ever runs at a
+//! time: every instrumented operation parks the thread and hands a
+//! token back to the controller, which picks the next thread to run.
+//! The sequence of picks at *decision points* (moments where more than
+//! one thread could be chosen under the preemption bound) identifies a
+//! schedule; the explorer enumerates schedules depth-first by replaying
+//! a decision prefix and taking the first untried alternative at the
+//! deepest point.
+//!
+//! Failure handling deliberately avoids ever blocking on a real lock in
+//! an inconsistent state: when an execution fails (race, deadlock,
+//! panic, step limit), the scheduler switches to *drain* mode — threads
+//! at non-blocking points proceed permissively, threads at blocking
+//! acquire points unwind via a private panic payload ([`AbortExec`]),
+//! releasing their real locks on the way out — so every OS thread joins
+//! and the explorer can report the failure.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::clock::VClock;
+use crate::{Config, Failure, Report};
+
+/// Process-unique shim/model object ids (never 0; the shim uses 0 as
+/// "unassigned").
+static NEXT_OBJ_ID: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn next_obj_id() -> u64 {
+    NEXT_OBJ_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Atomic access kind, after the shim's ordering has been folded into
+/// explicit acquire/release bits.
+// In a plain (non-`ssd_model_check`) build only the thread/RaceCell ops
+// are ever constructed — the rest arrive via the cfg-gated glue.
+#[cfg_attr(not(ssd_model_check), allow(dead_code))]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum AtomKind {
+    Load,
+    Store,
+    Rmw,
+}
+
+/// One instrumented operation a logical thread announces.
+#[cfg_attr(not(ssd_model_check), allow(dead_code))]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// First op of every logical thread; enabled once the parent's
+    /// `Spawn` has been applied (thread 0 starts enabled).
+    Start,
+    MutexLock(u64),
+    MutexUnlock(u64),
+    /// `write = true` for the exclusive side.
+    RwAcquire(u64, bool),
+    RwTryAcquire(u64, bool),
+    RwRelease(u64, bool),
+    OnceAcquire(u64),
+    OnceComplete(u64),
+    OnceAbort(u64),
+    OnceGet(u64),
+    Atomic {
+        id: u64,
+        kind: AtomKind,
+        acq: bool,
+        rel: bool,
+    },
+    /// Plain-memory accesses of a [`crate::RaceCell`].
+    RaceRead(u64),
+    RaceWrite(u64),
+    Spawn(usize),
+    Join(usize),
+}
+
+#[cfg_attr(not(ssd_model_check), allow(dead_code))]
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Reply {
+    Unit,
+    Acquired(bool),
+    /// `true` = the caller won a once-init election.
+    Role(bool),
+}
+
+/// Panic payload used to unwind threads when an execution is abandoned.
+struct AbortExec;
+
+/// Per-object model state, created lazily on first use each execution.
+enum Obj {
+    Mutex {
+        owner: Option<usize>,
+        clock: VClock,
+    },
+    Rw {
+        writer: Option<usize>,
+        readers: Vec<usize>,
+        /// Released by writers; joined by every acquire.
+        wclock: VClock,
+        /// Released by readers; joined by writer acquires only.
+        rclock: VClock,
+    },
+    Once {
+        init_by: Option<usize>,
+        done: bool,
+        clock: VClock,
+    },
+    Atomic {
+        /// Thread and clock of the most recent store/RMW.
+        last_store: Option<(usize, VClock)>,
+        /// Accumulated release clock (release stores and RMWs).
+        rel: VClock,
+    },
+    Race {
+        last_write: Option<(usize, VClock)>,
+        reads: Vec<(usize, VClock)>,
+    },
+}
+
+struct Th {
+    next: Option<Op>,
+    granted: bool,
+    reply: Reply,
+    finished: bool,
+    /// Set by the parent's `Spawn` application; gates `Start`.
+    started: bool,
+    clock: VClock,
+}
+
+impl Th {
+    fn new() -> Th {
+        Th {
+            next: None,
+            granted: false,
+            reply: Reply::Unit,
+            finished: false,
+            started: false,
+            clock: VClock::new(),
+        }
+    }
+}
+
+struct St {
+    threads: Vec<Th>,
+    objs: HashMap<u64, Obj>,
+    /// The thread currently running user code (holds the token).
+    running: Option<usize>,
+    /// The thread that ran the previous step, for preemption counting.
+    prev: Option<usize>,
+    failed: Option<Failure>,
+    draining: bool,
+    steps: u64,
+    /// Ring of recent steps, kept small for failure reports.
+    trace: Vec<String>,
+    relaxed_obs: u64,
+}
+
+const TRACE_CAP: usize = 64;
+
+impl St {
+    fn push_trace(&mut self, line: String) {
+        if self.trace.len() == TRACE_CAP {
+            self.trace.remove(0);
+        }
+        self.trace.push(line);
+    }
+}
+
+pub(crate) struct Exec {
+    st: Mutex<St>,
+    cv: Condvar,
+    /// Real join handles of every spawned logical thread.
+    os: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+fn lock_st(exec: &Exec) -> MutexGuard<'_, St> {
+    exec.st.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait_st<'a>(exec: &'a Exec, st: MutexGuard<'a, St>) -> MutexGuard<'a, St> {
+    exec.cv.wait(st).unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Exec>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn ctx() -> Option<(Arc<Exec>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Announce `op` and park until the controller grants it (or the
+/// execution is being drained, in which case reply permissively or
+/// unwind).
+pub(crate) fn request(op: Op) -> Reply {
+    let Some((exec, me)) = ctx() else {
+        return Reply::Unit;
+    };
+    let mut st = lock_st(&exec);
+    if st.draining {
+        return drain_reply(&exec, st, me, op);
+    }
+    st.threads[me].next = Some(op);
+    st.running = None;
+    exec.cv.notify_all();
+    loop {
+        if st.threads[me].granted {
+            st.threads[me].granted = false;
+            return st.threads[me].reply;
+        }
+        if st.draining {
+            st.threads[me].next = None;
+            return drain_reply(&exec, st, me, op);
+        }
+        st = wait_st(&exec, st);
+    }
+}
+
+/// Drain-mode reply. Blocking acquires unwind (releasing real locks on
+/// the way); everything else proceeds permissively. Release-shaped ops
+/// must never unwind here: they run inside guard `Drop` impls, and a
+/// panic mid-unwind would abort the process.
+fn drain_reply(exec: &Exec, st: MutexGuard<'_, St>, _me: usize, op: Op) -> Reply {
+    exec.cv.notify_all();
+    match op {
+        Op::MutexLock(_) | Op::RwAcquire(..) => {
+            drop(st);
+            std::panic::panic_any(AbortExec);
+        }
+        Op::RwTryAcquire(..) => Reply::Acquired(true),
+        Op::OnceAcquire(_) => Reply::Role(true),
+        _ => Reply::Unit,
+    }
+}
+
+/// Runs one logical thread: tag the OS thread, wait for the `Start`
+/// grant, run the closure, publish the result, mark finished.
+fn thread_body<T>(exec: Arc<Exec>, me: usize, f: impl FnOnce() -> T, result: &Mutex<Option<T>>) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), me)));
+    #[cfg(ssd_model_check)]
+    ssd_base::sync::rt::set_modeled(true);
+    let out = catch_unwind(AssertUnwindSafe(|| {
+        request(Op::Start);
+        f()
+    }));
+    #[cfg(ssd_model_check)]
+    ssd_base::sync::rt::set_modeled(false);
+    CTX.with(|c| *c.borrow_mut() = None);
+    let panic_msg = match out {
+        Ok(v) => {
+            *result.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+            None
+        }
+        Err(payload) => {
+            if payload.downcast_ref::<AbortExec>().is_some() {
+                None
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                Some((*s).to_owned())
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                Some(s.clone())
+            } else {
+                Some("panic with non-string payload".to_owned())
+            }
+        }
+    };
+    let mut st = lock_st(&exec);
+    st.threads[me].finished = true;
+    st.threads[me].next = None;
+    if st.running == Some(me) {
+        st.running = None;
+    }
+    if let Some(message) = panic_msg {
+        if st.failed.is_none() {
+            let trace = st.trace.clone();
+            st.failed = Some(Failure::Panic {
+                thread: me,
+                message,
+                trace,
+            });
+        }
+        st.draining = true;
+    }
+    exec.cv.notify_all();
+}
+
+/// Spawn a logical thread inside the current model execution; outside a
+/// model run, fall through to `std::thread::spawn`.
+pub(crate) fn spawn_thread<T, F>(f: F) -> crate::thread::JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let Some((exec, _me)) = ctx() else {
+        return crate::thread::JoinHandle::from_os(std::thread::spawn(f));
+    };
+    let result = Arc::new(Mutex::new(None));
+    let child = {
+        let mut st = lock_st(&exec);
+        st.threads.push(Th::new());
+        st.threads.len() - 1
+    };
+    let exec2 = Arc::clone(&exec);
+    let result2 = Arc::clone(&result);
+    let os = match std::thread::Builder::new()
+        .name(format!("ssd-check-t{child}"))
+        .spawn(move || thread_body(exec2, child, f, &result2))
+    {
+        Ok(h) => h,
+        Err(e) => panic!("failed to spawn model thread: {e}"),
+    };
+    exec.os.lock().unwrap_or_else(|e| e.into_inner()).push(os);
+    request(Op::Spawn(child));
+    crate::thread::JoinHandle::from_model(exec, child, result)
+}
+
+/// Blocking join on a model thread: the `Join` op is the HB edge; the
+/// wait loop below only does real waiting in drain mode (in a granted
+/// schedule the target is already finished).
+pub(crate) fn join_thread<T>(exec: &Arc<Exec>, target: usize, result: &Mutex<Option<T>>) -> T {
+    request(Op::Join(target));
+    let mut st = lock_st(exec);
+    while !st.threads[target].finished {
+        st = wait_st(exec, st);
+    }
+    drop(st);
+    let out = result.lock().unwrap_or_else(|e| e.into_inner()).take();
+    match out {
+        Some(v) => v,
+        // The target aborted or panicked; this execution is being
+        // abandoned, so unwind the joiner too.
+        None => std::panic::panic_any(AbortExec),
+    }
+}
+
+fn obj_for(objs: &mut HashMap<u64, Obj>, id: u64, op: Op) -> &mut Obj {
+    objs.entry(id).or_insert_with(|| match op {
+        Op::MutexLock(_) | Op::MutexUnlock(_) => Obj::Mutex {
+            owner: None,
+            clock: VClock::new(),
+        },
+        Op::RwAcquire(..) | Op::RwTryAcquire(..) | Op::RwRelease(..) => Obj::Rw {
+            writer: None,
+            readers: Vec::new(),
+            wclock: VClock::new(),
+            rclock: VClock::new(),
+        },
+        Op::OnceAcquire(_) | Op::OnceComplete(_) | Op::OnceAbort(_) | Op::OnceGet(_) => Obj::Once {
+            init_by: None,
+            done: false,
+            clock: VClock::new(),
+        },
+        Op::Atomic { .. } => Obj::Atomic {
+            last_store: None,
+            rel: VClock::new(),
+        },
+        Op::RaceRead(_) | Op::RaceWrite(_) => Obj::Race {
+            last_write: None,
+            reads: Vec::new(),
+        },
+        Op::Start | Op::Spawn(_) | Op::Join(_) => {
+            unreachable!("thread ops carry no object id")
+        }
+    })
+}
+
+/// Whether `op` can run now without blocking, given the virtual state.
+fn enabled(st: &St, me: usize, op: Op) -> bool {
+    match op {
+        Op::Start => st.threads[me].started,
+        Op::MutexLock(id) => match st.objs.get(&id) {
+            Some(Obj::Mutex { owner, .. }) => owner.is_none(),
+            _ => true,
+        },
+        Op::RwAcquire(id, true) => match st.objs.get(&id) {
+            Some(Obj::Rw {
+                writer, readers, ..
+            }) => writer.is_none() && readers.is_empty(),
+            _ => true,
+        },
+        Op::RwAcquire(id, false) => match st.objs.get(&id) {
+            Some(Obj::Rw { writer, .. }) => writer.is_none(),
+            _ => true,
+        },
+        Op::OnceAcquire(id) => match st.objs.get(&id) {
+            Some(Obj::Once { init_by, done, .. }) => *done || init_by.is_none(),
+            _ => true,
+        },
+        Op::Join(t) => st.threads[t].finished,
+        _ => true,
+    }
+}
+
+/// Apply the semantics of `op` for thread `me`: update virtual
+/// ownership, propagate vector clocks, and detect races. Returns the
+/// reply; may set `st.failed`.
+fn apply(st: &mut St, me: usize, op: Op) -> Reply {
+    let St {
+        threads,
+        objs,
+        relaxed_obs,
+        failed,
+        trace,
+        ..
+    } = st;
+    threads[me].clock.tick(me);
+    let mut race: Option<(&'static str, u64, usize)> = None;
+    let reply = match op {
+        Op::Start => Reply::Unit,
+        Op::Spawn(child) => {
+            let parent_clock = threads[me].clock.clone();
+            threads[child].clock.join(&parent_clock);
+            threads[child].clock.tick(child);
+            threads[child].started = true;
+            Reply::Unit
+        }
+        Op::Join(t) => {
+            let target_clock = threads[t].clock.clone();
+            threads[me].clock.join(&target_clock);
+            Reply::Unit
+        }
+        Op::MutexLock(id) => {
+            if let Obj::Mutex { owner, clock } = obj_for(objs, id, op) {
+                *owner = Some(me);
+                threads[me].clock.join(clock);
+            }
+            Reply::Unit
+        }
+        Op::MutexUnlock(id) => {
+            if let Obj::Mutex { owner, clock } = obj_for(objs, id, op) {
+                *owner = None;
+                clock.join(&threads[me].clock);
+            }
+            Reply::Unit
+        }
+        Op::RwAcquire(id, write) | Op::RwTryAcquire(id, write) => {
+            let is_try = matches!(op, Op::RwTryAcquire(..));
+            if let Obj::Rw {
+                writer,
+                readers,
+                wclock,
+                rclock,
+            } = obj_for(objs, id, op)
+            {
+                let free = if write {
+                    writer.is_none() && readers.is_empty()
+                } else {
+                    writer.is_none()
+                };
+                if is_try && !free {
+                    Reply::Acquired(false)
+                } else {
+                    if write {
+                        *writer = Some(me);
+                        threads[me].clock.join(wclock);
+                        threads[me].clock.join(rclock);
+                    } else {
+                        readers.push(me);
+                        threads[me].clock.join(wclock);
+                    }
+                    Reply::Acquired(true)
+                }
+            } else {
+                Reply::Acquired(true)
+            }
+        }
+        Op::RwRelease(id, write) => {
+            if let Obj::Rw {
+                writer,
+                readers,
+                wclock,
+                rclock,
+            } = obj_for(objs, id, op)
+            {
+                if write {
+                    *writer = None;
+                    wclock.join(&threads[me].clock);
+                } else {
+                    if let Some(pos) = readers.iter().position(|&r| r == me) {
+                        readers.remove(pos);
+                    }
+                    rclock.join(&threads[me].clock);
+                }
+            }
+            Reply::Unit
+        }
+        Op::OnceAcquire(id) => {
+            if let Obj::Once {
+                init_by,
+                done,
+                clock,
+            } = obj_for(objs, id, op)
+            {
+                if *done {
+                    threads[me].clock.join(clock);
+                    Reply::Role(false)
+                } else {
+                    *init_by = Some(me);
+                    Reply::Role(true)
+                }
+            } else {
+                Reply::Role(true)
+            }
+        }
+        Op::OnceComplete(id) => {
+            if let Obj::Once {
+                init_by,
+                done,
+                clock,
+            } = obj_for(objs, id, op)
+            {
+                *init_by = None;
+                *done = true;
+                clock.join(&threads[me].clock);
+            }
+            Reply::Unit
+        }
+        Op::OnceAbort(id) => {
+            if let Obj::Once { init_by, .. } = obj_for(objs, id, op) {
+                *init_by = None;
+            }
+            Reply::Unit
+        }
+        Op::OnceGet(id) => {
+            if let Obj::Once { done, clock, .. } = obj_for(objs, id, op) {
+                if *done {
+                    threads[me].clock.join(clock);
+                }
+            }
+            Reply::Unit
+        }
+        Op::Atomic { id, kind, acq, rel } => {
+            if let Obj::Atomic {
+                last_store,
+                rel: rel_clock,
+            } = obj_for(objs, id, op)
+            {
+                if acq && kind != AtomKind::Store {
+                    threads[me].clock.join(rel_clock);
+                }
+                if kind != AtomKind::Store {
+                    if let Some((s, sc)) = last_store {
+                        if *s != me && !sc.le(&threads[me].clock) {
+                            // Observed another thread's store with no
+                            // happens-before edge: legal for atomics,
+                            // but recorded so tests can assert which
+                            // paths *intend* relaxed observations.
+                            *relaxed_obs += 1;
+                        }
+                    }
+                }
+                if kind != AtomKind::Load {
+                    if rel {
+                        rel_clock.join(&threads[me].clock);
+                    }
+                    *last_store = Some((me, threads[me].clock.clone()));
+                }
+            }
+            Reply::Unit
+        }
+        Op::RaceRead(id) => {
+            if let Obj::Race { last_write, reads } = obj_for(objs, id, op) {
+                if let Some((w, wc)) = last_write {
+                    if *w != me && !wc.le(&threads[me].clock) {
+                        race = Some(("write-read", id, *w));
+                    }
+                }
+                if let Some(entry) = reads.iter_mut().find(|(r, _)| *r == me) {
+                    entry.1 = threads[me].clock.clone();
+                } else {
+                    reads.push((me, threads[me].clock.clone()));
+                }
+            }
+            Reply::Unit
+        }
+        Op::RaceWrite(id) => {
+            if let Obj::Race { last_write, reads } = obj_for(objs, id, op) {
+                if let Some((w, wc)) = last_write {
+                    if *w != me && !wc.le(&threads[me].clock) {
+                        race = Some(("write-write", id, *w));
+                    }
+                }
+                for (r, rc) in reads.iter() {
+                    if race.is_none() && *r != me && !rc.le(&threads[me].clock) {
+                        race = Some(("read-write", id, *r));
+                    }
+                }
+                *last_write = Some((me, threads[me].clock.clone()));
+                // Reads ordered before this write can no longer race
+                // with anything that races with us first.
+                reads.clear();
+            }
+            Reply::Unit
+        }
+    };
+    if let Some((kind, object, other)) = race {
+        if failed.is_none() {
+            *failed = Some(Failure::Race {
+                kind,
+                object,
+                threads: (other, me),
+                trace: trace.clone(),
+            });
+        }
+    }
+    reply
+}
+
+/// Record of one decision point, as seen by the controller.
+struct DecisionRec {
+    allowed: Vec<usize>,
+    chosen: usize,
+    prev: Option<usize>,
+    prev_enabled: bool,
+    preemptions_before: usize,
+}
+
+struct ExecOutcome {
+    decisions: Vec<DecisionRec>,
+    failure: Option<Failure>,
+    nondet: bool,
+    steps: u64,
+    relaxed_obs: u64,
+}
+
+/// Run one execution, replaying `prefix` at decision points and taking
+/// defaults beyond it.
+fn run_one(config: &Config, body: &Arc<dyn Fn() + Send + Sync>, prefix: &[usize]) -> ExecOutcome {
+    let exec = Arc::new(Exec {
+        st: Mutex::new(St {
+            threads: vec![Th::new()],
+            objs: HashMap::new(),
+            running: None,
+            prev: None,
+            failed: None,
+            draining: false,
+            steps: 0,
+            trace: Vec::new(),
+            relaxed_obs: 0,
+        }),
+        cv: Condvar::new(),
+        os: Mutex::new(Vec::new()),
+    });
+    {
+        let mut st = lock_st(&exec);
+        st.threads[0].started = true;
+    }
+    let root_body = Arc::clone(body);
+    let root_result: Arc<Mutex<Option<()>>> = Arc::new(Mutex::new(None));
+    let exec2 = Arc::clone(&exec);
+    let root_result2 = Arc::clone(&root_result);
+    let root = match std::thread::Builder::new()
+        .name("ssd-check-t0".to_owned())
+        .spawn(move || thread_body(exec2, 0, move || root_body(), &root_result2))
+    {
+        Ok(h) => h,
+        Err(e) => panic!("failed to spawn model root thread: {e}"),
+    };
+
+    let mut decisions: Vec<DecisionRec> = Vec::new();
+    let mut preemptions = 0usize;
+    let mut nondet = false;
+    let mut st = lock_st(&exec);
+    loop {
+        if st.draining {
+            if st.threads.iter().all(|t| t.finished) {
+                break;
+            }
+            st = wait_st(&exec, st);
+            continue;
+        }
+        let quiescent =
+            st.running.is_none() && st.threads.iter().all(|t| t.finished || t.next.is_some());
+        if !quiescent {
+            st = wait_st(&exec, st);
+            continue;
+        }
+        if st.threads.iter().all(|t| t.finished) {
+            break;
+        }
+        if st.steps >= config.max_steps {
+            let trace = st.trace.clone();
+            st.failed = Some(Failure::StepLimit {
+                steps: st.steps,
+                trace,
+            });
+            st.draining = true;
+            exec.cv.notify_all();
+            continue;
+        }
+        let ready: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.finished && t.next.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        let enabled_set: Vec<usize> = ready
+            .iter()
+            .copied()
+            .filter(|&i| match st.threads[i].next {
+                Some(op) => enabled(&st, i, op),
+                None => false,
+            })
+            .collect();
+        if enabled_set.is_empty() {
+            let waiting = ready
+                .iter()
+                .map(|&i| (i, format!("{:?}", st.threads[i].next)))
+                .collect();
+            let trace = st.trace.clone();
+            st.failed = Some(Failure::Deadlock { waiting, trace });
+            st.draining = true;
+            exec.cv.notify_all();
+            continue;
+        }
+        let prev = st.prev;
+        let prev_enabled = prev.is_some_and(|p| enabled_set.contains(&p));
+        let allowed: Vec<usize> = if preemptions >= config.preemption_bound && prev_enabled {
+            match prev {
+                Some(p) => vec![p],
+                None => enabled_set.clone(),
+            }
+        } else {
+            enabled_set.clone()
+        };
+        let chosen = if allowed.len() == 1 {
+            allowed[0]
+        } else {
+            let di = decisions.len();
+            let default = match prev {
+                Some(p) if allowed.contains(&p) => p,
+                _ => allowed[0],
+            };
+            let c = if di < prefix.len() {
+                if allowed.contains(&prefix[di]) {
+                    prefix[di]
+                } else {
+                    nondet = true;
+                    default
+                }
+            } else {
+                default
+            };
+            decisions.push(DecisionRec {
+                allowed: allowed.clone(),
+                chosen: c,
+                prev,
+                prev_enabled,
+                preemptions_before: preemptions,
+            });
+            c
+        };
+        if prev_enabled && prev != Some(chosen) {
+            preemptions += 1;
+        }
+        let op = match st.threads[chosen].next.take() {
+            Some(op) => op,
+            None => unreachable!("ready thread has a pending op"),
+        };
+        st.push_trace(format!("t{chosen} {op:?}"));
+        let reply = apply(&mut st, chosen, op);
+        st.steps += 1;
+        if st.failed.is_some() {
+            st.draining = true;
+            exec.cv.notify_all();
+            continue;
+        }
+        st.threads[chosen].reply = reply;
+        st.threads[chosen].granted = true;
+        st.running = Some(chosen);
+        st.prev = Some(chosen);
+        exec.cv.notify_all();
+    }
+    let failure = st.failed.take();
+    let steps = st.steps;
+    let relaxed_obs = st.relaxed_obs;
+    drop(st);
+    let _ = root.join();
+    let handles = std::mem::take(&mut *exec.os.lock().unwrap_or_else(|e| e.into_inner()));
+    for h in handles {
+        let _ = h.join();
+    }
+    ExecOutcome {
+        decisions,
+        failure,
+        nondet,
+        steps,
+        relaxed_obs,
+    }
+}
+
+/// One frame of the DFS stack: a decision point plus which alternatives
+/// have been tried at the current prefix.
+struct Frame {
+    allowed: Vec<usize>,
+    tried: Vec<usize>,
+    current: usize,
+    prev: Option<usize>,
+    prev_enabled: bool,
+    preemptions_before: usize,
+}
+
+impl Frame {
+    fn from_rec(d: &DecisionRec) -> Frame {
+        Frame {
+            allowed: d.allowed.clone(),
+            tried: vec![d.chosen],
+            current: d.chosen,
+            prev: d.prev,
+            prev_enabled: d.prev_enabled,
+            preemptions_before: d.preemptions_before,
+        }
+    }
+
+    /// Would picking `a` here keep the execution inside the bound?
+    fn fits_bound(&self, a: usize, bound: usize) -> bool {
+        let cost = usize::from(self.prev_enabled && self.prev != Some(a));
+        self.preemptions_before + cost <= bound
+    }
+}
+
+/// DFS over schedules: run, extend the stack with fresh decision
+/// points, then backtrack to the deepest point with an untried
+/// in-bound alternative.
+pub(crate) fn explore(name: &str, config: &Config, body: Arc<dyn Fn() + Send + Sync>) -> Report {
+    let mut report = Report {
+        name: name.to_owned(),
+        schedules: 0,
+        failure: None,
+        nondeterministic: false,
+        capped: false,
+        relaxed_obs: 0,
+        max_steps: 0,
+    };
+    let mut stack: Vec<Frame> = Vec::new();
+    loop {
+        let prefix: Vec<usize> = stack.iter().map(|f| f.current).collect();
+        let out = run_one(config, &body, &prefix);
+        report.schedules += 1;
+        report.relaxed_obs += out.relaxed_obs;
+        report.max_steps = report.max_steps.max(out.steps);
+        if out.nondet
+            || out.decisions.len() < stack.len()
+            || stack
+                .iter()
+                .zip(&out.decisions)
+                .any(|(f, d)| f.allowed != d.allowed || f.current != d.chosen)
+        {
+            report.nondeterministic = true;
+            break;
+        }
+        if out.failure.is_some() {
+            report.failure = out.failure;
+            break;
+        }
+        for d in &out.decisions[stack.len()..] {
+            stack.push(Frame::from_rec(d));
+        }
+        let advanced = loop {
+            match stack.last_mut() {
+                None => break false,
+                Some(top) => {
+                    let next = top.allowed.iter().copied().find(|a| {
+                        !top.tried.contains(a) && top.fits_bound(*a, config.preemption_bound)
+                    });
+                    match next {
+                        Some(a) => {
+                            top.tried.push(a);
+                            top.current = a;
+                            break true;
+                        }
+                        None => {
+                            stack.pop();
+                        }
+                    }
+                }
+            }
+        };
+        if !advanced {
+            break;
+        }
+        if report.schedules >= config.max_schedules {
+            report.capped = true;
+            break;
+        }
+    }
+    report
+}

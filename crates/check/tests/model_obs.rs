@@ -1,0 +1,66 @@
+//! Model checks of the telemetry layer: the registry's lock-free slot
+//! claim publishes every racing increment, and a windowed counter's
+//! epoch-boundary race loses at most the in-flight increments from the
+//! *window* — never from the lifetime total (the precision contract
+//! documented in `ssd_obs::window`).
+
+use ssd_check::{check_with, thread, Config};
+use ssd_obs::window::{WindowedCounter, RING};
+use ssd_obs::{MetricsRegistry, Recorder};
+use std::sync::Arc;
+
+/// Two threads racing to create-and-bump the same (previously unseen)
+/// counter: the probe table's `OnceLock` slot claim elects one cell and
+/// the loser re-checks, so no increment is ever dropped into a shadowed
+/// duplicate cell.
+#[test]
+fn registry_slot_claim_drops_no_increment() {
+    let report = check_with(
+        "obs.slot-one-winner",
+        Config::with_max_schedules(512),
+        || {
+            let reg = Arc::new(MetricsRegistry::new());
+            let r2 = Arc::clone(&reg);
+            let t = thread::spawn(move || r2.add("model.slot.counter", 2));
+            reg.add("model.slot.counter", 1);
+            t.join();
+            assert_eq!(
+                reg.counter_total("model.slot.counter"),
+                3,
+                "both racing increments landed in one cell"
+            );
+        },
+    );
+    report.assert_ok();
+}
+
+/// The windowed-counter precision contract, verified over every
+/// interleaving: two increments racing a slot re-claim at an epoch
+/// boundary keep the lifetime total exact, and the window retains at
+/// least the claim winner's increment — losing at most the one that was
+/// in flight across the tag-swap/zero gap.
+#[test]
+fn window_rollover_loses_at_most_inflight_increments() {
+    let report = check_with(
+        "obs.window-boundary",
+        Config::with_max_schedules(512),
+        || {
+            let c = Arc::new(WindowedCounter::new());
+            // Park 5 in the slot that epoch RING (= 8) will re-claim.
+            c.add(5, 0);
+            let c2 = Arc::clone(&c);
+            let boundary = RING as u64;
+            let t = thread::spawn(move || c2.add(1, boundary));
+            c.add(1, boundary);
+            t.join();
+            assert_eq!(c.total(), 7, "the lifetime total is exact");
+            let w = c.window_total(boundary, 1);
+            assert!(
+                (1..=2).contains(&w),
+                "window kept {w} of 2 boundary increments; \
+                 the claim winner's own increment can never be lost"
+            );
+        },
+    );
+    report.assert_ok();
+}

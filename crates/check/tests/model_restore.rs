@@ -1,0 +1,118 @@
+//! The "restore-race twins", ported from `ssd-bench`'s threaded stress
+//! tests into model-checked scenarios: instead of hammering four OS
+//! threads for thousands of passes and hoping the scheduler cooperates,
+//! the checker *enumerates* interleavings of a reader racing a snapshot
+//! restore — including the ones a timing-based test essentially never
+//! hits (a hydration insert landing between a reader's probe and its
+//! publish).
+//!
+//! Invariants (identical to the originals): a verdict computed while a
+//! restore is in flight equals the cold truth; a second restore is an
+//! idempotent no-op; a corrupt snapshot never poisons a verdict.
+
+use ssd_bench::workload;
+use ssd_check::{check_with, thread, Config};
+use ssd_core::Session;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Cold truth plus a warmed snapshot on disk for one small workload.
+fn fixture(
+    file: &str,
+) -> (
+    PathBuf,
+    Arc<ssd_schema::Schema>,
+    Arc<ssd_query::Query>,
+    bool,
+) {
+    let (schema, _tg, query) = workload(1100, 6, 1, false, false);
+    let warm = Session::new();
+    let cold = warm.satisfiable(&query, &schema).unwrap().satisfiable;
+    let dir = std::env::temp_dir().join(format!("ssd-check-restore-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(file);
+    warm.save_snapshot(&path, &[&schema]).unwrap();
+    (path, Arc::new(schema), Arc::new(query), cold)
+}
+
+/// Twin of `queries_racing_a_snapshot_restore_never_see_partial_state`:
+/// a reader's verdicts before/during/after the hydration equal the cold
+/// truth in every interleaving, and a second restore rejects nothing
+/// (insert-if-absent drops duplicates instead of replacing entries out
+/// from under the reader).
+#[test]
+fn restore_racing_queries_never_exposes_partial_state() {
+    let (path, schema, query, cold) = fixture("race.snap");
+    let report = {
+        let path = path.clone();
+        check_with(
+            "restore.vs-readers",
+            Config::with_max_schedules(12),
+            move || {
+                let sess = Arc::new(Session::new());
+                let (s2, sch2, q2) = (Arc::clone(&sess), Arc::clone(&schema), Arc::clone(&query));
+                let reader = thread::spawn(move || {
+                    for _ in 0..2 {
+                        assert_eq!(
+                            s2.satisfiable(&q2, &sch2).unwrap().satisfiable,
+                            cold,
+                            "verdict diverged while racing restore"
+                        );
+                    }
+                });
+                let out = sess.load_snapshot(&path, &[&schema]);
+                let again = sess.load_snapshot(&path, &[&schema]);
+                reader.join();
+                assert_eq!(out.sections_rejected, 0, "{out}");
+                assert!(out.any_loaded(), "{out}");
+                assert_eq!(again.sections_rejected, 0, "idempotent re-restore: {again}");
+                // The session is warm now: the corpus answers from the
+                // hydrated caches without new memo misses.
+                let misses = sess.stats().feas_memo_table.misses;
+                assert_eq!(sess.satisfiable(&query, &schema).unwrap().satisfiable, cold);
+                assert_eq!(sess.stats().feas_memo_table.misses, misses);
+            },
+        )
+    };
+    std::fs::remove_file(&path).ok();
+    report.assert_ok();
+}
+
+/// Twin of `restore_racing_a_corrupt_snapshot_stays_cold_correct`: a
+/// snapshot with a flipped payload byte is rejected at validation, and a
+/// reader racing the failed hydration still computes the cold truth.
+#[test]
+fn corrupt_restore_stays_cold_and_correct() {
+    let (path, schema, query, cold) = fixture("race-corrupt.snap");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    let report = {
+        let path = path.clone();
+        check_with(
+            "restore.vs-corrupt",
+            Config::with_max_schedules(12),
+            move || {
+                let sess = Arc::new(Session::new());
+                let (s2, sch2, q2) = (Arc::clone(&sess), Arc::clone(&schema), Arc::clone(&query));
+                let reader = thread::spawn(move || {
+                    assert_eq!(
+                        s2.satisfiable(&q2, &sch2).unwrap().satisfiable,
+                        cold,
+                        "corrupt restore poisoned a verdict"
+                    );
+                });
+                let out = sess.load_snapshot(&path, &[&schema]);
+                reader.join();
+                assert!(
+                    out.sections_rejected >= 1 || !out.any_loaded(),
+                    "corruption slipped through validation: {out}"
+                );
+                assert_eq!(sess.satisfiable(&query, &schema).unwrap().satisfiable, cold);
+            },
+        )
+    };
+    std::fs::remove_file(&path).ok();
+    report.assert_ok();
+}

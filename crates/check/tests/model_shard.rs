@@ -1,0 +1,167 @@
+//! Model checks of the production `ShardedMap` — the lock-sharded table
+//! under the session memo caches and the automata cache.
+//!
+//! Under `--cfg ssd_model_check` every shard-lock acquire/release and
+//! contention counter runs through the controlled scheduler, so these
+//! tests enumerate real interleavings (and would report any deadlock or
+//! race on the map's own state). In a plain build the same tests still
+//! run — serialized — as cheap smoke tests.
+
+use ssd_automata::ShardedMap;
+use ssd_check::{check_with, thread, Config};
+use std::sync::Arc;
+
+/// Two racing `insert_if_absent` calls on one key: exactly one value is
+/// published, and *both* callers observe that winner (never their own
+/// losing candidate).
+#[test]
+fn insert_if_absent_has_one_winner() {
+    let report = check_with(
+        "shard.insert-one-winner",
+        Config::with_max_schedules(512),
+        || {
+            let map: Arc<ShardedMap<u64, u64>> = Arc::new(ShardedMap::new());
+            let m2 = Arc::clone(&map);
+            let t = thread::spawn(move || m2.insert_if_absent(7, 200));
+            let mine = map.insert_if_absent(7, 100);
+            let theirs = t.join();
+            let settled = map.get(&7).expect("some insert published");
+            assert_eq!(mine, settled, "loser adopted the winner's value");
+            assert_eq!(theirs, settled, "both callers agree");
+            assert!(settled == 100 || settled == 200);
+            assert_eq!(map.len(), 1, "one key, one entry");
+        },
+    );
+    report.assert_ok();
+    #[cfg(ssd_model_check)]
+    assert!(
+        report.schedules > 1,
+        "instrumented locks must interleave: {} schedules",
+        report.schedules
+    );
+}
+
+/// `get_or_insert_with` under contention computes the value at most once
+/// per key: the double-checked write path re-probes under the exclusive
+/// shard lock before running the closure.
+#[test]
+fn get_or_insert_with_computes_once() {
+    let report = check_with(
+        "shard.compute-once",
+        Config::with_max_schedules(512),
+        || {
+            let map: Arc<ShardedMap<u64, u64>> = Arc::new(ShardedMap::new());
+            // Plain std counter on purpose: closure executions are already
+            // serialized by the shard lock, we only count them.
+            let runs = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            let (m2, r2) = (Arc::clone(&map), Arc::clone(&runs));
+            let t = thread::spawn(move || {
+                m2.get_or_insert_with(9, || {
+                    r2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    42
+                })
+            });
+            let mine = map.get_or_insert_with(9, || {
+                runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                42
+            });
+            let theirs = t.join();
+            assert_eq!(mine, 42);
+            assert_eq!(theirs, 42);
+            assert_eq!(
+                runs.load(std::sync::atomic::Ordering::Relaxed),
+                1,
+                "the expensive constructor ran exactly once"
+            );
+        },
+    );
+    report.assert_ok();
+}
+
+/// Satellite 6: `len_by_shard` (the occupancy gauge feed) takes the 16
+/// shard locks one at a time, never all at once. The snapshot it returns
+/// is *not* a point-in-time cut — but on a grow-only map it is bounded
+/// below by what had been inserted before the sweep started and above by
+/// what exists when it finishes, which is exactly what a gauge needs.
+/// The checker also proves the sweep cannot deadlock against writers
+/// (locks are acquired strictly one-at-a-time in index order).
+#[test]
+fn len_by_shard_gauge_is_bounded_mid_flight() {
+    let report = check_with(
+        "shard.gauge-bounds",
+        Config::with_max_schedules(512),
+        || {
+            let map: Arc<ShardedMap<u64, u64>> = Arc::new(ShardedMap::new());
+            let (m1, m2) = (Arc::clone(&map), Arc::clone(&map));
+            let w1 = thread::spawn(move || m1.insert_if_absent(1, 1));
+            let w2 = thread::spawn(move || m2.insert_if_absent(2, 2));
+            // Gauge sweep racing both writers: any value 0..=2 is a valid
+            // observation, anything else means the sweep saw phantom or
+            // lost entries.
+            let mid: usize = map.len_by_shard().iter().sum();
+            assert!(mid <= 2, "gauge sweep saw {mid} phantom entries");
+            w1.join();
+            w2.join();
+            let settled: usize = map.len_by_shard().iter().sum();
+            assert_eq!(settled, 2, "post-join sweep is exact");
+            assert_eq!(map.len(), 2);
+        },
+    );
+    report.assert_ok();
+}
+
+/// Racing `write_with` mutations on one key: no lost update, and the
+/// contention counter only ever counts acquisitions that actually found
+/// the lock held (it can never exceed the number of racing lock ops).
+#[test]
+fn write_with_never_loses_an_update() {
+    let report = check_with(
+        "shard.rmw-no-lost-update",
+        Config::with_max_schedules(512),
+        || {
+            let map: Arc<ShardedMap<u64, u64>> = Arc::new(ShardedMap::new());
+            let m2 = Arc::clone(&map);
+            let t = thread::spawn(move || m2.write_with(5, |v| *v += 1));
+            map.write_with(5, |v| *v += 1);
+            t.join();
+            assert_eq!(map.get(&5), Some(2), "both increments landed");
+            // Two exclusive ops plus this `get` can block each other at
+            // most once each.
+            assert!(map.contended() <= 3, "over-counted: {}", map.contended());
+        },
+    );
+    report.assert_ok();
+}
+
+/// The eviction invariant from the issue: a sweep (`retain`) that drops
+/// an entry never invalidates the `Arc` a concurrent reader already
+/// cloned out of the map. Eviction only unlinks; the value lives until
+/// its last holder drops it.
+#[test]
+fn eviction_never_invalidates_a_held_entry() {
+    let report = check_with(
+        "shard.evict-vs-reader",
+        Config::with_max_schedules(512),
+        || {
+            let map: Arc<ShardedMap<u64, Arc<Vec<u64>>>> = Arc::new(ShardedMap::new());
+            map.insert_if_absent(1, Arc::new(vec![10, 20, 30]));
+            let m2 = Arc::clone(&map);
+            let reader = thread::spawn(move || {
+                // Whether this lands before or after the eviction, the
+                // clone (if any) must stay fully readable.
+                if let Some(held) = m2.get(&1) {
+                    assert_eq!(*held, vec![10, 20, 30], "held entry mutated under us");
+                    held.len()
+                } else {
+                    0
+                }
+            });
+            let evicted = map.retain(|_, _| false);
+            assert_eq!(evicted, 1, "the sweep dropped the single entry");
+            let seen = reader.join();
+            assert!(seen == 0 || seen == 3, "reader saw a partial value");
+            assert_eq!(map.get(&1), None, "entry is gone after the sweep");
+        },
+    );
+    report.assert_ok();
+}

@@ -30,8 +30,7 @@
 //! without any source change; callers that want isolated or bounded cache
 //! lifetimes create their own `Session`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use ssd_base::sync::{Arc, AtomicU64, OnceLock, Ordering};
 
 use ssd_automata::{AutomataCache, CacheStats, ShardedMap, TableStats};
 use ssd_base::budget::{Budget, Verdict};
@@ -80,6 +79,11 @@ impl<T> Tracked<T> {
     }
 
     fn touch(&self, epoch: u64) {
+        // Relaxed: the stamp is a recency *hint* for second-chance
+        // eviction, read under the shard's write lock during the sweep.
+        // A racing touch that the sweep misses costs one early eviction
+        // (recomputed on the next miss), never a correctness violation —
+        // the eviction-invariance tests pin that down.
         self.stamp.store(epoch, Ordering::Relaxed);
     }
 }
@@ -176,6 +180,10 @@ pub struct Session {
     /// Observability sink, fixed at construction ([`Session::with_recorder`]).
     /// `None` means the engines run against the shared no-op recorder.
     recorder: Option<Arc<dyn Recorder>>,
+    // Hit/miss tallies are bumped and read at Relaxed: monotone
+    // diagnostics with no data published through them. A stats snapshot
+    // racing a lookup may see hit and miss counts from slightly
+    // different instants — fine for ratios, which is all they feed.
     tg_hits: AtomicU64,
     tg_misses: AtomicU64,
     fm_hits: AtomicU64,

@@ -11,14 +11,16 @@
 //!
 //! ## Storage
 //!
-//! Metric names are `&'static str`s from [`crate::names`], so the hot
-//! path hashes the name's *address* (one multiply) and linear-probes a
-//! fixed table of `OnceLock<Arc<_>>` slots — lock-free reads, no
-//! allocation after first touch. Two distinct statics with equal content
-//! get distinct cells; [`MetricsRegistry::snapshot`] merges cells by name
-//! so the export is still keyed by content. A full table (hundreds of
-//! distinct names) falls back to a mutexed overflow list rather than
-//! dropping data.
+//! Metric names are `&'static str`s from [`crate::names`]; the hot path
+//! hashes the name's *content* (names are short, so this is a handful of
+//! multiplies) and linear-probes a fixed table of `OnceLock<Arc<_>>`
+//! slots — lock-free reads, no allocation after first touch. Probe
+//! comparison is pointer-first with a content fallback: rustc may place
+//! the same literal at different addresses across codegen units, and
+//! keying by address would split one logical metric across cells (found
+//! by the concurrency model checker in release builds). A full table
+//! (hundreds of distinct names) falls back to a mutexed overflow list
+//! rather than dropping data.
 //!
 //! ## Time
 //!
@@ -28,9 +30,8 @@
 //! [`MetricsRegistry::advance_epochs`] advances the counter by hand for
 //! deterministic rollover tests — `tick` is monotone against both.
 
+use ssd_base::sync::{Arc, AtomicU64, Mutex, OnceLock, Ordering};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::recorder::{Recorder, SpanId};
@@ -46,21 +47,33 @@ const TABLE: usize = 512;
 const PROBE: usize = 32;
 
 /// Recovers a poisoned mutex guard: metrics must never compound a panic.
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+fn lock<T>(m: &Mutex<T>) -> ssd_base::sync::MutexGuard<'_, T> {
     match m.lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
     }
 }
 
-/// Mixes a name's address into a table index (splitmix-style finalizer).
+/// Hashes a name's *content* (FNV-1a) into a table index. The hash must
+/// not involve the string's address: rustc may duplicate an identical
+/// literal (or a `const` name used from two codegen units) at distinct
+/// addresses, and an address-based hash would then file the same logical
+/// metric under two cells, silently splitting its counts — a bug the
+/// concurrency model checker caught in release builds.
 fn name_hash(name: &'static str) -> usize {
-    let mut x = name.as_ptr() as u64;
-    x ^= x >> 30;
-    x = x.wrapping_mul(0xbf58476d1ce4e5b9);
-    x ^= x >> 27;
-    x = x.wrapping_mul(0x94d049bb133111eb);
-    (x ^ (x >> 31)) as usize
+    let mut x = 0xcbf29ce484222325u64;
+    for &b in name.as_bytes() {
+        x ^= u64::from(b);
+        x = x.wrapping_mul(0x100000001b3);
+    }
+    x as usize
+}
+
+/// Whether a cell's stored name matches a probe name: pointer fast path
+/// (the common case — one literal, one address), content comparison as
+/// the correctness backstop for duplicated literals.
+fn name_eq(stored: &'static str, probe: &'static str) -> bool {
+    std::ptr::eq(stored.as_ptr(), probe.as_ptr()) || stored == probe
 }
 
 /// A named metric cell.
@@ -84,13 +97,13 @@ impl<T> Table<T> {
     }
 
     /// The cell for `name`, created with `init` on first touch. The fast
-    /// path is one address hash plus a pointer compare per probe step.
+    /// path is one content hash plus a pointer compare per probe step.
     fn get_with(&self, name: &'static str, init: impl Fn() -> T) -> Arc<Cell<T>> {
         let h = name_hash(name);
         for i in 0..PROBE {
             let slot = &self.slots[(h + i) & (TABLE - 1)];
             if let Some(cell) = slot.get() {
-                if std::ptr::eq(cell.name.as_ptr(), name.as_ptr()) {
+                if name_eq(cell.name, name) {
                     return cell.clone();
                 }
                 continue;
@@ -101,16 +114,13 @@ impl<T> Table<T> {
             }
             // Lost the race for this slot; re-check what landed there.
             if let Some(cell) = slot.get() {
-                if std::ptr::eq(cell.name.as_ptr(), name.as_ptr()) {
+                if name_eq(cell.name, name) {
                     return cell.clone();
                 }
             }
         }
         let mut ov = lock(&self.overflow);
-        if let Some(cell) = ov
-            .iter()
-            .find(|c| std::ptr::eq(c.name.as_ptr(), name.as_ptr()))
-        {
+        if let Some(cell) = ov.iter().find(|c| name_eq(c.name, name)) {
             return cell.clone();
         }
         let fresh = Arc::new(Cell { name, body: init() });
@@ -132,7 +142,7 @@ impl<T> Table<T> {
         for i in 0..PROBE {
             let slot = &self.slots[(h + i) & (TABLE - 1)];
             match slot.get() {
-                Some(cell) if std::ptr::eq(cell.name.as_ptr(), name.as_ptr()) => return f(cell),
+                Some(cell) if name_eq(cell.name, name) => return f(cell),
                 Some(_) => continue,
                 None => break,
             }
@@ -287,6 +297,12 @@ impl MetricsRegistry {
     pub fn set_gauge(&self, name: &'static str, value: f64) {
         self.gauges.with(name, GaugeCell::new, |cell| {
             cell.body.scalar.set(value);
+            // Release, paired with the exporter's Acquire load of the
+            // presence flag: a snapshot that sees the gauge as "set"
+            // must also see (at least) the value stored above, so an
+            // export can never surface the zero-initialized placeholder
+            // as a real reading. The f64 bits themselves stay Relaxed —
+            // the flag carries the ordering once, not every store.
             cell.body.scalar_set.store(1, Ordering::Release);
         });
     }
@@ -299,6 +315,8 @@ impl MetricsRegistry {
         }
         self.gauges.with(name, GaugeCell::new, |cell| {
             cell.body.slots[index].set(value);
+            // Same Release/Acquire pairing (and rationale) as the
+            // scalar's presence flag in `set_gauge`, one bit per slot.
             cell.body.slot_mask.fetch_or(1 << index, Ordering::Release);
         });
     }

@@ -27,9 +27,8 @@
 //! deciding per call. Callers with their own correlation ids can pin one
 //! with [`begin_request_with_id`].
 
+use ssd_base::sync::{Arc, AtomicU64, Ordering};
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 use crate::names;
 use crate::recorder::{Recorder, SpanId};

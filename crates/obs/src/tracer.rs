@@ -1,8 +1,8 @@
 //! The collecting [`Recorder`]: a span table with monotonic timestamps,
 //! counters, and log₂-bucket latency histograms.
 
+use ssd_base::sync::Mutex;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::names;
@@ -168,7 +168,7 @@ impl TraceRecorder {
         self.origin.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+    fn lock(&self) -> ssd_base::sync::MutexGuard<'_, Inner> {
         match self.inner.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),

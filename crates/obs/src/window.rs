@@ -19,7 +19,7 @@
 //! by the handful of in-flight operations at the instant of rollover —
 //! acceptable for rate/quantile dashboards, which is all windows feed.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use ssd_base::sync::{AtomicU64, Ordering};
 
 use crate::tracer::Histogram;
 
@@ -57,6 +57,13 @@ impl Slot {
 
     /// Re-claims the slot for `epoch` if its tag is stale. Exactly one
     /// racing claimer wins the swap and zeroes the value.
+    ///
+    /// Invariant the orderings carry: a reader that observes the new tag
+    /// (Acquire) sees everything the claim winner did before publishing
+    /// it (AcqRel swap), and the winner's zeroing store (Release) is
+    /// ordered before its own subsequent increment — so a rolled-over
+    /// window can under-count only the *loser's* in-flight increments
+    /// (the documented boundary loss), never resurrect stale totals.
     fn claim(&self, epoch: u64) {
         if self.epoch.load(Ordering::Acquire) != epoch
             && self.epoch.swap(epoch, Ordering::AcqRel) != epoch
@@ -91,6 +98,10 @@ impl WindowedCounter {
     /// Adds `delta` at `epoch`: bumps the exact total and the epoch's
     /// ring bucket (re-claiming it if a stale window still owns it).
     pub fn add(&self, delta: u64, epoch: u64) {
+        // Relaxed on both bumps: each counter cell is self-contained —
+        // atomicity alone guarantees the exact-total invariant, and the
+        // bucket's epoch tag (not the value) carries the ordering via
+        // `Slot::claim`.
         self.total.fetch_add(delta, Ordering::Relaxed);
         let slot = &self.slots[(epoch % RING as u64) as usize];
         slot.claim(epoch);

@@ -1,8 +1,8 @@
 //! The schema container: named type definitions with cached automata.
 
+use ssd_base::sync::{Arc, OnceLock};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, OnceLock};
 
 use ssd_automata::compiled::{self, CompiledDfa};
 use ssd_automata::display::regex_to_string;
@@ -395,7 +395,10 @@ impl SchemaBuilder {
             .map(|d| d.regex().map(glushkov::build))
             .collect();
         let compiled = (0..nfas.len()).map(|_| OnceLock::new()).collect();
-        static NEXT_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        // Relaxed is sufficient: the uid only has to be *unique*, and a
+        // fetch_add is atomic at every ordering — no other memory is
+        // published through this counter.
+        static NEXT_UID: ssd_base::sync::AtomicU64 = ssd_base::sync::AtomicU64::new(0);
         let spans = self.source.map(|source| {
             Arc::new(SchemaSpans {
                 source,
@@ -412,7 +415,7 @@ impl SchemaBuilder {
             compiled,
             by_name: self.by_name,
             root: TypeIdx(0),
-            uid: NEXT_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            uid: NEXT_UID.fetch_add(1, ssd_base::sync::Ordering::Relaxed),
             spans,
         })
     }
